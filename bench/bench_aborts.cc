@@ -1,0 +1,76 @@
+// E4 (paper Figure 1 analog): deadlock/abort rate under contention.
+//
+// Each transaction inserts two rows whose groups are drawn at random, so in
+// X-lock mode it acquires two aggregate-row X locks in data-dependent order
+// — the classic deadlock recipe. In escrow mode the same transactions take
+// E locks, which never conflict with each other, so the deadlock rate is
+// (nearly) zero. Claim: escrow does not just raise throughput, it removes a
+// whole class of aborts.
+#include "bench_util.h"
+
+#include "common/random.h"
+
+using namespace ivdb;
+using namespace ivdb::bench;
+
+int main() {
+  PrintHeader(
+      "E4 bench_aborts — deadlock/abort rate, X locks vs escrow",
+      "rows: (groups, threads, mode); cells: aborts per 1k commits\n"
+      "claim: escrow eliminates view-row deadlocks");
+
+  const std::vector<int> widths = {8, 9, 9, 12, 15, 13};
+  PrintRow({"groups", "threads", "mode", "tps", "aborts/1k", "deadlocks"},
+           widths);
+
+  const int duration_ms = 300;
+  for (int64_t groups : {2, 8}) {
+    for (int threads : {2, 4, 8}) {
+      for (int mode = 0; mode < 2; mode++) {
+        bool escrow = mode == 1;
+        DatabaseOptions options = InMemoryOptions();
+        options.use_escrow_locks = escrow;
+        SalesBench bench = SalesBench::Create(std::move(options), groups);
+        for (int64_t g = 0; g < groups; g++) IVDB_CHECK(bench.InsertOne(g));
+
+        std::vector<Random> rngs;
+        for (int t = 0; t < threads; t++) rngs.emplace_back(t * 977 + 3);
+
+        RunResult result = RunFor(threads, duration_ms, [&](int t) {
+          Random& rng = rngs[static_cast<size_t>(t)];
+          int64_t g1 = static_cast<int64_t>(rng.Uniform(groups));
+          int64_t g2 = static_cast<int64_t>(rng.Uniform(groups));
+          int64_t id1 = bench.next_id.fetch_add(2);
+          Transaction* txn = bench.db->Begin();
+          Status s = bench.db->Insert(
+              txn, "sales",
+              {Value::Int64(id1), Value::Int64(g1), Value::Int64(1)});
+          if (s.ok()) {
+            s = bench.db->Insert(
+                txn, "sales",
+                {Value::Int64(id1 + 1), Value::Int64(g2), Value::Int64(1)});
+          }
+          if (s.ok()) s = bench.db->Commit(txn);
+          bool ok = s.ok();
+          if (!ok && txn->state() == TxnState::kActive) {
+            bench.db->Abort(txn);
+          }
+          bench.db->Forget(txn);
+          return ok;
+        });
+
+        Status check = bench.db->VerifyViewConsistency("by_grp");
+        IVDB_CHECK_MSG(check.ok(), check.ToString().c_str());
+        PrintRow({std::to_string(groups), std::to_string(threads),
+                  escrow ? "escrow" : "xlock", Fmt(result.Tps(), 0),
+                  Fmt(result.AbortsPer1k(), 1),
+                  std::to_string(bench.db->lock_stats().deadlocks.load())},
+                 widths);
+      }
+    }
+  }
+  std::printf(
+      "\nexpected shape: xlock rows show deadlocks growing with threads and\n"
+      "shrinking group counts; escrow rows show ~zero aborts/deadlocks.\n");
+  return 0;
+}

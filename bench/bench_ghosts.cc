@@ -1,0 +1,96 @@
+// E6 (paper Table 5 analog): ghost records and asynchronous cleanup.
+//
+// A churn workload repeatedly creates whole view groups and then empties
+// them (count -> 0). Under escrow the emptied rows must remain as ghosts —
+// the deleting transaction cannot remove them — so without cleanup the view
+// index bloats with invisible rows and scans slow down. Claim: the
+// asynchronous ghost cleaner (short system transactions with instant X
+// probes) bounds the bloat without ever blocking user transactions.
+#include "bench_util.h"
+
+using namespace ivdb;
+using namespace ivdb::bench;
+
+namespace {
+
+struct ChurnResult {
+  double tps = 0;
+  uint64_t view_rows_physical = 0;
+  uint64_t view_rows_visible = 0;
+  double scan_micros = 0;
+  uint64_t reclaimed = 0;
+};
+
+ChurnResult RunChurn(bool cleaner_on, int duration_ms) {
+  DatabaseOptions options = InMemoryOptions();
+  options.flush_delay_micros = 0;  // churn is lock/structure bound
+  options.start_ghost_cleaner = cleaner_on;
+  options.ghost_cleaner_interval_micros = 2000;
+  SalesBench bench = SalesBench::Create(std::move(options), 0);
+
+  // Each committed op creates a singleton group then deletes it, leaving a
+  // ghost behind. Group keys keep advancing so ghosts accumulate.
+  std::atomic<int64_t> group_seq{0};
+  RunResult result = RunFor(4, duration_ms, [&](int) {
+    int64_t grp = group_seq.fetch_add(1);
+    int64_t id = bench.next_id.fetch_add(1);
+    Transaction* txn = bench.db->Begin();
+    Status s = bench.db->Insert(
+        txn, "sales", {Value::Int64(id), Value::Int64(grp), Value::Int64(1)});
+    if (s.ok()) s = bench.db->Delete(txn, "sales", {Value::Int64(id)});
+    if (s.ok()) s = bench.db->Commit(txn);
+    bool ok = s.ok();
+    if (!ok && txn->state() == TxnState::kActive) bench.db->Abort(txn);
+    bench.db->Forget(txn);
+    return ok;
+  });
+
+  ChurnResult out;
+  out.tps = result.Tps();
+  const ViewInfo* info = bench.db->GetView("by_grp").value();
+  out.view_rows_physical = bench.db->GetIndex(info->id)->size();
+
+  // Scan cost over the (possibly ghost-bloated) view.
+  uint64_t start = NowMicros();
+  Transaction* reader = bench.db->Begin(ReadMode::kDirty);
+  auto rows = bench.db->ScanView(reader, "by_grp");
+  IVDB_CHECK(rows.ok());
+  out.view_rows_visible = rows->size();
+  bench.db->Commit(reader);
+  out.scan_micros = static_cast<double>(NowMicros() - start);
+
+  const GhostCleanerStats* stats = bench.db->ghost_stats("by_grp");
+  out.reclaimed = stats != nullptr ? stats->reclaimed.load() : 0;
+  Status check = bench.db->VerifyViewConsistency("by_grp");
+  IVDB_CHECK_MSG(check.ok(), check.ToString().c_str());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "E6 bench_ghosts — ghost bloat with and without the cleaner",
+      "rows: cleaner on/off; cells: physical vs visible view rows, scan cost\n"
+      "claim: async cleanup bounds ghost bloat at no user-txn cost");
+
+  const std::vector<int> widths = {9, 10, 15, 14, 13, 12};
+  PrintRow({"cleaner", "tps", "physical-rows", "visible-rows", "scan-us",
+            "reclaimed"},
+           widths);
+
+  const int duration_ms = 500;
+  for (bool cleaner_on : {false, true}) {
+    ChurnResult r = RunChurn(cleaner_on, duration_ms);
+    PrintRow({cleaner_on ? "on" : "off", Fmt(r.tps, 0),
+              std::to_string(r.view_rows_physical),
+              std::to_string(r.view_rows_visible), Fmt(r.scan_micros, 0),
+              std::to_string(r.reclaimed)},
+             widths);
+  }
+  std::printf(
+      "\nexpected shape: visible rows ~0 in both; physical rows grow with\n"
+      "every churned group when the cleaner is off and stay bounded when\n"
+      "on; scan cost tracks physical rows. User throughput is unaffected.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E7 (paper Table 6 analog): recovery with logical increment logging.
+//
+// Runs a maintained workload against a durable database, "crashes" (drops
+// the engine without checkpoint or clean shutdown, with a few transactions
+// left in flight), then measures restart: WAL records replayed, elapsed
+// time, and — the paper's correctness claim — that logical redo/undo of
+// INCREMENT records reconstructs a view exactly consistent with its base
+// table even though increments from winners and losers interleaved on the
+// same rows.
+#include <filesystem>
+
+#include "bench_util.h"
+
+using namespace ivdb;
+using namespace ivdb::bench;
+
+namespace {
+
+struct RecoveryResult {
+  uint64_t log_records = 0;
+  double recovery_ms = 0;
+  double replay_krecs_per_sec = 0;
+  bool view_consistent = false;
+};
+
+RecoveryResult RunOnce(int txns, const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  {
+    DatabaseOptions options;
+    options.dir = dir;
+    options.flush_delay_micros = 0;  // measure replay, not commit latency
+    SalesBench bench = SalesBench::Create(std::move(options), 16);
+    std::atomic<int> remaining{txns};
+    RunFor(4, /*duration_ms=*/1, [&](int) { return true; });  // warm threads
+    // Fixed work count rather than fixed duration.
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; t++) {
+      workers.emplace_back([&] {
+        while (remaining.fetch_sub(1) > 0) {
+          int64_t id = bench.next_id.fetch_add(1);
+          bench.InsertOne(id % 16);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    // Leave losers in flight, flushed to disk.
+    Transaction* a = bench.db->Begin();
+    Transaction* b = bench.db->Begin();
+    IVDB_CHECK(bench.db
+                   ->Insert(a, "sales",
+                            {Value::Int64(10000000), Value::Int64(1),
+                             Value::Int64(100)})
+                   .ok());
+    IVDB_CHECK(bench.db
+                   ->Insert(b, "sales",
+                            {Value::Int64(10000001), Value::Int64(1),
+                             Value::Int64(200)})
+                   .ok());
+    IVDB_CHECK(bench.db->FlushWal().ok());
+    // Crash: destructor without checkpoint.
+  }
+
+  RecoveryResult out;
+  std::vector<LogRecord> records;
+  IVDB_CHECK(LogManager::ReadAll(dir + "/wal.log", &records).ok());
+  out.log_records = records.size();
+
+  uint64_t start = NowMicros();
+  DatabaseOptions options;
+  options.dir = dir;
+  auto reopened = Database::Open(std::move(options));
+  IVDB_CHECK_MSG(reopened.ok(), reopened.status().ToString().c_str());
+  out.recovery_ms = (NowMicros() - start) / 1000.0;
+  out.replay_krecs_per_sec =
+      out.recovery_ms > 0 ? out.log_records / out.recovery_ms : 0;
+
+  auto db = std::move(reopened).value();
+  out.view_consistent = db->VerifyViewConsistency("by_grp").ok();
+  std::filesystem::remove_all(dir);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "E7 bench_recovery — restart cost and correctness vs log volume",
+      "rows: committed txns before crash; cells: replay rate, consistency\n"
+      "claim: recovery is linear in log volume and exact under escrow");
+
+  const std::vector<int> widths = {10, 13, 14, 16, 13};
+  PrintRow({"txns", "log-records", "recovery-ms", "krecs/s-replay",
+            "view-exact"},
+           widths);
+
+  const std::string dir = "/tmp/ivdb_bench_recovery";
+  for (int txns : {500, 2000, 8000, 32000}) {
+    RecoveryResult r = RunOnce(txns, dir);
+    PrintRow({std::to_string(txns), std::to_string(r.log_records),
+              Fmt(r.recovery_ms, 1), Fmt(r.replay_krecs_per_sec, 1),
+              r.view_consistent ? "yes" : "NO"},
+             widths);
+    IVDB_CHECK_MSG(r.view_consistent, "recovered view inconsistent");
+  }
+  std::printf(
+      "\nexpected shape: recovery time grows linearly with log records at a\n"
+      "roughly constant replay rate; view-exact is 'yes' on every row.\n");
+  return 0;
+}

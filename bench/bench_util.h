@@ -1,0 +1,169 @@
+#ifndef IVDB_BENCH_BENCH_UTIL_H_
+#define IVDB_BENCH_BENCH_UTIL_H_
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "engine/database.h"
+
+namespace ivdb {
+namespace bench {
+
+// Simulated stable-storage latency per WAL flush. This is the knob that
+// makes lock-hold-time effects visible regardless of host hardware: a
+// transaction that holds a hot lock across its commit flush serializes all
+// waiters behind ~this latency, while escrow holders overlap their flushes
+// through group commit.
+inline constexpr uint64_t kCommitLatencyMicros = 1000;
+
+struct RunResult {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  double seconds = 0;
+
+  double Tps() const { return seconds > 0 ? committed / seconds : 0; }
+  double AbortsPer1k() const {
+    return committed > 0 ? 1000.0 * aborted / committed : 0;
+  }
+};
+
+// Drives `body(thread_idx)` on `threads` threads for `duration_ms`.
+// body returns true if its transaction committed, false if it aborted
+// (after rolling back). The caller's body must not throw.
+inline RunResult RunFor(int threads, int duration_ms,
+                        const std::function<bool(int)>& body) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  uint64_t start = NowMicros();
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (body(t)) {
+          committed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          aborted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop = true;
+  for (auto& w : workers) w.join();
+  RunResult result;
+  result.seconds = (NowMicros() - start) / 1e6;
+  result.committed = committed.load();
+  result.aborted = aborted.load();
+  return result;
+}
+
+// The standard benchmark workload: a `sales` fact table and one aggregate
+// indexed view grouping into `groups` buckets.
+struct SalesBench {
+  std::unique_ptr<Database> db;
+  std::atomic<int64_t> next_id{1};
+  int64_t groups = 1;
+
+  SalesBench() = default;
+  SalesBench(SalesBench&& other) noexcept
+      : db(std::move(other.db)),
+        next_id(other.next_id.load()),
+        groups(other.groups) {}
+
+  static Schema FactSchema() {
+    return Schema({{"id", TypeId::kInt64},
+                   {"grp", TypeId::kInt64},
+                   {"amount", TypeId::kInt64}});
+  }
+
+  static SalesBench Create(DatabaseOptions options, int64_t groups,
+                           bool with_view = true) {
+    SalesBench bench;
+    bench.groups = groups;
+    auto opened = Database::Open(std::move(options));
+    IVDB_CHECK_MSG(opened.ok(), opened.status().ToString().c_str());
+    bench.db = std::move(opened).value();
+    auto table = bench.db->CreateTable("sales", FactSchema(), {0});
+    IVDB_CHECK(table.ok());
+    if (with_view) {
+      ViewDefinition def;
+      def.name = "by_grp";
+      def.kind = ViewKind::kAggregate;
+      def.fact_table = table.value()->id;
+      def.group_by = {1};
+      def.aggregates = {{AggregateFunction::kSum, 2, "total"}};
+      auto view = bench.db->CreateIndexedView(def);
+      IVDB_CHECK_MSG(view.ok(), view.status().ToString().c_str());
+    }
+    return bench;
+  }
+
+  // One insert transaction into group `grp`; true iff committed.
+  bool InsertOne(int64_t grp) {
+    int64_t id = next_id.fetch_add(1, std::memory_order_relaxed);
+    Transaction* txn = db->Begin();
+    Row row = {Value::Int64(id), Value::Int64(grp), Value::Int64(1)};
+    Status s = db->Insert(txn, "sales", row);
+    if (s.ok()) s = db->Commit(txn);
+    bool ok = s.ok();
+    if (!ok && txn->state() == TxnState::kActive) db->Abort(txn);
+    db->Forget(txn);
+    return ok;
+  }
+};
+
+// A batching window worth a fraction of the device latency keeps the
+// group-commit leader from claiming its batch before concurrent committers
+// have appended to it.
+inline constexpr uint64_t kGroupCommitWindowMicros = 50;
+
+inline DatabaseOptions DurableOptions(const std::string& dir) {
+  DatabaseOptions options;
+  options.dir = dir;
+  options.flush_delay_micros = kCommitLatencyMicros;
+  options.group_commit_window_micros = kGroupCommitWindowMicros;
+  return options;
+}
+
+inline DatabaseOptions InMemoryOptions() {
+  DatabaseOptions options;
+  options.flush_delay_micros = kCommitLatencyMicros;
+  options.group_commit_window_micros = kGroupCommitWindowMicros;
+  return options;
+}
+
+// --- Plain-text table printing (paper-style output). ---
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("\n=== %s ===\n", experiment.c_str());
+  std::printf("%s\n\n", claim.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); i++) {
+    std::printf("%-*s", widths[i], cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace ivdb
+
+#endif  // IVDB_BENCH_BENCH_UTIL_H_

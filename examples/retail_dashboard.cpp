@@ -1,0 +1,121 @@
+// Retail dashboard: the workload that motivates the paper.
+//
+// A stream of order-entry transactions (many threads) feeds a fact table
+// whose revenue-by-category indexed view backs a live dashboard. Because
+// categories are few, every order collides on a handful of aggregate rows —
+// the hotspot escrow locking was designed for. Meanwhile the dashboard
+// polls the view with snapshot reads, never blocking the order stream.
+//
+//   ./build/examples/retail_dashboard
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/random.h"
+#include "engine/database.h"
+
+using namespace ivdb;
+
+namespace {
+
+const char* kCategories[] = {"grocery", "electronics", "apparel", "toys"};
+constexpr int kCategoryCount = 4;
+constexpr int kCashiers = 4;
+constexpr int kSecondsToRun = 2;
+
+}  // namespace
+
+int main() {
+  DatabaseOptions options;
+  options.flush_delay_micros = 500;        // model commit-time log latency
+  options.group_commit_window_micros = 50;
+  options.start_ghost_cleaner = true;
+  auto db = std::move(Database::Open(options)).value();
+
+  Schema orders({{"order_id", TypeId::kInt64},
+                 {"category", TypeId::kString},
+                 {"revenue", TypeId::kDouble},
+                 {"items", TypeId::kInt64}});
+  ObjectId fact = db->CreateTable("orders", orders, {0}).value()->id;
+
+  // SELECT category, COUNT_BIG(*), SUM(revenue), SUM(items), AVG(revenue)
+  // FROM orders GROUP BY category — an indexed view, maintained inside
+  // every order-entry transaction.
+  ViewDefinition def;
+  def.name = "revenue_by_category";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = fact;
+  def.group_by = {1};
+  def.aggregates = {{AggregateFunction::kSum, 2, "revenue"},
+                    {AggregateFunction::kSum, 3, "items"},
+                    {AggregateFunction::kAvg, 2, "avg_ticket"}};
+  if (auto v = db->CreateIndexedView(def); !v.ok()) {
+    std::fprintf(stderr, "view: %s\n", v.status().ToString().c_str());
+    return 1;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> order_seq{1};
+  std::atomic<uint64_t> orders_committed{0};
+
+  // Order-entry threads: one insert per transaction, all hammering the same
+  // four aggregate rows. Escrow (E) locks let them commit concurrently.
+  std::vector<std::thread> cashiers;
+  for (int c = 0; c < kCashiers; c++) {
+    cashiers.emplace_back([&, c] {
+      Random rng(c * 131 + 7);
+      while (!stop.load(std::memory_order_relaxed)) {
+        int64_t id = order_seq.fetch_add(1);
+        const char* category = kCategories[rng.Uniform(kCategoryCount)];
+        double revenue = 5.0 + static_cast<double>(rng.Uniform(20000)) / 100.0;
+        int64_t items = 1 + static_cast<int64_t>(rng.Uniform(5));
+        Transaction* txn = db->Begin();
+        Status s = db->Insert(txn, "orders",
+                              {Value::Int64(id), Value::String(category),
+                               Value::Double(revenue), Value::Int64(items)});
+        if (s.ok()) s = db->Commit(txn);
+        if (s.ok()) {
+          orders_committed.fetch_add(1, std::memory_order_relaxed);
+        } else if (txn->state() == TxnState::kActive) {
+          db->Abort(txn);
+        }
+        db->Forget(txn);
+      }
+    });
+  }
+
+  // The dashboard: snapshot reads every 250 ms. Never blocks, never sees a
+  // torn aggregate (count and sums always from one committed prefix).
+  for (int tick = 0; tick < kSecondsToRun * 4; tick++) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    Transaction* reader = db->Begin(ReadMode::kSnapshot);
+    auto rows = db->ScanView(reader, "revenue_by_category");
+    std::printf("\n-- dashboard tick %d (orders committed: %llu) --\n",
+                tick + 1,
+                static_cast<unsigned long long>(orders_committed.load()));
+    std::printf("%-14s %8s %12s %8s %12s\n", "category", "orders", "revenue",
+                "items", "avg_ticket");
+    for (const Row& row : rows.value()) {
+      std::printf("%-14s %8lld %12.2f %8lld %12.2f\n",
+                  row[0].AsString().c_str(),
+                  static_cast<long long>(row[1].AsInt64()),
+                  row[2].AsDouble(),
+                  static_cast<long long>(row[3].AsInt64()),
+                  row[4].AsDouble());
+    }
+    db->Commit(reader);
+    db->Forget(reader);
+    db->GarbageCollectVersions();
+  }
+
+  stop = true;
+  for (auto& t : cashiers) t.join();
+
+  Status check = db->VerifyViewConsistency("revenue_by_category");
+  std::printf("\nfinal consistency check: %s\n", check.ToString().c_str());
+  std::printf("lock waits: %llu, deadlocks: %llu (escrow keeps both small)\n",
+              static_cast<unsigned long long>(db->lock_stats().waits.load()),
+              static_cast<unsigned long long>(
+                  db->lock_stats().deadlocks.load()));
+  return check.ok() ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+#include "catalog/catalog.h"
+
+namespace ivdb {
+
+Result<const TableInfo*> Catalog::CreateTable(const std::string& name,
+                                              Schema schema,
+                                              std::vector<int> key_columns) {
+  if (name.empty()) return Status::InvalidArgument("empty table name");
+  if (key_columns.empty()) {
+    return Status::InvalidArgument("table requires a primary key");
+  }
+  for (int c : key_columns) {
+    if (c < 0 || static_cast<size_t>(c) >= schema.num_columns()) {
+      return Status::InvalidArgument("key column index out of range");
+    }
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  if (by_name_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->id = next_id_++;
+  info->name = name;
+  info->schema = std::move(schema);
+  info->key_columns = std::move(key_columns);
+  const TableInfo* out = info.get();
+  by_name_[name] = info->id;
+  tables_[info->id] = std::move(info);
+  return out;
+}
+
+Result<const TableInfo*> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  return const_cast<const TableInfo*>(tables_.at(it->second).get());
+}
+
+Result<const TableInfo*> Catalog::GetTable(ObjectId id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = tables_.find(id);
+  if (it == tables_.end()) {
+    return Status::NotFound("table id " + std::to_string(id) + " not found");
+  }
+  return const_cast<const TableInfo*>(it->second.get());
+}
+
+std::vector<const TableInfo*> Catalog::ListTables() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<const TableInfo*> out;
+  out.reserve(tables_.size());
+  for (const auto& [id, info] : tables_) {
+    out.push_back(info.get());
+  }
+  return out;
+}
+
+ObjectId Catalog::AllocateId() {
+  std::lock_guard<std::mutex> guard(mu_);
+  return next_id_++;
+}
+
+Status Catalog::RestoreTable(TableInfo info) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (by_name_.count(info.name) != 0 || tables_.count(info.id) != 0) {
+    return Status::AlreadyExists("restore collision for '" + info.name + "'");
+  }
+  if (next_id_ <= info.id) next_id_ = info.id + 1;
+  by_name_[info.name] = info.id;
+  ObjectId id = info.id;
+  tables_[id] = std::make_unique<TableInfo>(std::move(info));
+  return Status::OK();
+}
+
+void Catalog::AdvancePastId(ObjectId id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (next_id_ <= id) next_id_ = id + 1;
+}
+
+Result<const SecondaryIndexInfo*> Catalog::CreateSecondaryIndex(
+    const std::string& name, ObjectId table_id, std::vector<int> columns) {
+  if (name.empty()) return Status::InvalidArgument("empty index name");
+  if (columns.empty()) {
+    return Status::InvalidArgument("index requires at least one column");
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  auto table_it = tables_.find(table_id);
+  if (table_it == tables_.end()) {
+    return Status::NotFound("index target table not found");
+  }
+  for (int c : columns) {
+    if (c < 0 ||
+        static_cast<size_t>(c) >= table_it->second->schema.num_columns()) {
+      return Status::InvalidArgument("index column out of range");
+    }
+  }
+  if (indexes_by_name_.count(name) != 0 || by_name_.count(name) != 0) {
+    return Status::AlreadyExists("name '" + name + "' already in use");
+  }
+  auto info = std::make_unique<SecondaryIndexInfo>();
+  info->id = next_id_++;
+  info->name = name;
+  info->table_id = table_id;
+  info->columns = std::move(columns);
+  const SecondaryIndexInfo* out = info.get();
+  indexes_by_name_[name] = info->id;
+  indexes_[info->id] = std::move(info);
+  return out;
+}
+
+Status Catalog::RestoreSecondaryIndex(SecondaryIndexInfo info) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (indexes_by_name_.count(info.name) != 0 ||
+      indexes_.count(info.id) != 0) {
+    return Status::AlreadyExists("index restore collision");
+  }
+  if (next_id_ <= info.id) next_id_ = info.id + 1;
+  indexes_by_name_[info.name] = info.id;
+  ObjectId id = info.id;
+  indexes_[id] = std::make_unique<SecondaryIndexInfo>(std::move(info));
+  return Status::OK();
+}
+
+Result<const SecondaryIndexInfo*> Catalog::GetSecondaryIndex(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = indexes_by_name_.find(name);
+  if (it == indexes_by_name_.end()) {
+    return Status::NotFound("index '" + name + "' not found");
+  }
+  return const_cast<const SecondaryIndexInfo*>(indexes_.at(it->second).get());
+}
+
+std::vector<const SecondaryIndexInfo*> Catalog::ListSecondaryIndexes(
+    ObjectId table_id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<const SecondaryIndexInfo*> out;
+  for (const auto& [id, info] : indexes_) {
+    if (info->table_id == table_id) out.push_back(info.get());
+  }
+  return out;
+}
+
+std::vector<const SecondaryIndexInfo*> Catalog::ListAllSecondaryIndexes()
+    const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<const SecondaryIndexInfo*> out;
+  out.reserve(indexes_.size());
+  for (const auto& [id, info] : indexes_) {
+    out.push_back(info.get());
+  }
+  return out;
+}
+
+}  // namespace ivdb

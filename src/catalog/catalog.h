@@ -1,0 +1,99 @@
+#ifndef IVDB_CATALOG_CATALOG_H_
+#define IVDB_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace ivdb {
+
+// Every lockable/loggable storage object (base table primary index or
+// indexed view) has a stable numeric id used in lock names and log records.
+using ObjectId = uint32_t;
+
+inline constexpr ObjectId kInvalidObjectId = 0;
+
+struct TableInfo {
+  ObjectId id = kInvalidObjectId;
+  std::string name;
+  Schema schema;
+  // Indexes (into schema columns) of the primary-key columns; rows are
+  // clustered in the primary index by the ordered encoding of these columns.
+  std::vector<int> key_columns;
+
+  std::vector<TypeId> KeyTypes() const {
+    std::vector<TypeId> types;
+    types.reserve(key_columns.size());
+    for (int c : key_columns) {
+      types.push_back(schema.column(static_cast<size_t>(c)).type);
+    }
+    return types;
+  }
+};
+
+// A secondary (non-clustered) index over a base table: entries map
+// (indexed columns..., primary-key columns...) -> primary key, so duplicate
+// secondary values stay unique and point back to the clustering index.
+struct SecondaryIndexInfo {
+  ObjectId id = kInvalidObjectId;
+  std::string name;
+  ObjectId table_id = kInvalidObjectId;
+  std::vector<int> columns;  // indexed columns (into the table schema)
+};
+
+// Name → metadata registry for base tables and secondary indexes, plus the
+// id allocator shared with views. Thread-safe.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Result<const TableInfo*> CreateTable(const std::string& name, Schema schema,
+                                       std::vector<int> key_columns);
+
+  Result<const TableInfo*> GetTable(const std::string& name) const;
+  Result<const TableInfo*> GetTable(ObjectId id) const;
+
+  std::vector<const TableInfo*> ListTables() const;
+
+  // Allocates an object id outside of table creation (for view indexes).
+  ObjectId AllocateId();
+
+  // Checkpoint-restore path: re-registers a table under its original id.
+  Status RestoreTable(TableInfo info);
+
+  // Moves the id allocator so the next id is > `id`.
+  void AdvancePastId(ObjectId id);
+
+  // --- Secondary indexes. ---
+
+  Result<const SecondaryIndexInfo*> CreateSecondaryIndex(
+      const std::string& name, ObjectId table_id, std::vector<int> columns);
+  // Restore path: register under an existing id.
+  Status RestoreSecondaryIndex(SecondaryIndexInfo info);
+  Result<const SecondaryIndexInfo*> GetSecondaryIndex(
+      const std::string& name) const;
+  // All secondary indexes of one table.
+  std::vector<const SecondaryIndexInfo*> ListSecondaryIndexes(
+      ObjectId table_id) const;
+  std::vector<const SecondaryIndexInfo*> ListAllSecondaryIndexes() const;
+
+ private:
+  mutable std::mutex mu_;
+  ObjectId next_id_ = 1;
+  std::map<std::string, ObjectId> by_name_;
+  std::map<ObjectId, std::unique_ptr<TableInfo>> tables_;
+  std::map<std::string, ObjectId> indexes_by_name_;
+  std::map<ObjectId, std::unique_ptr<SecondaryIndexInfo>> indexes_;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_CATALOG_CATALOG_H_

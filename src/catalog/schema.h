@@ -1,0 +1,68 @@
+#ifndef IVDB_CATALOG_SCHEMA_H_
+#define IVDB_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ivdb {
+
+// A row is a positional tuple matching some Schema.
+using Row = std::vector<Value>;
+
+struct Column {
+  std::string name;
+  TypeId type;
+};
+
+// Describes the columns of a table or view. Immutable once created.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Index of the named column, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  // Validates that `row` matches this schema (arity and types; NULLs are
+  // allowed in any column).
+  Status ValidateRow(const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+// --- Row serialization ---
+
+// Encodes a full row as a record payload (not order-preserving).
+std::string EncodeRow(const Row& row);
+Status DecodeRow(const Slice& data, Row* out);
+
+// Encodes the projection of `row` onto `key_columns` (by index) as an
+// order-preserving byte key: B-tree bytewise order == lexicographic order of
+// the column values.
+std::string EncodeKey(const Row& row, const std::vector<int>& key_columns);
+
+// Encodes a standalone list of values as an ordered key (used for group
+// keys and point lookups).
+std::string EncodeKeyValues(const std::vector<Value>& values);
+
+// Decodes an ordered key given the key column types.
+Status DecodeKeyValues(const Slice& data, const std::vector<TypeId>& types,
+                       std::vector<Value>* out);
+
+std::string RowToString(const Row& row);
+
+}  // namespace ivdb
+
+#endif  // IVDB_CATALOG_SCHEMA_H_

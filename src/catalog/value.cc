@@ -1,0 +1,220 @@
+#include "catalog/value.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace ivdb {
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt64:
+      return "INT64";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+double Value::AsNumeric() const {
+  IVDB_CHECK(!null_);
+  if (type_ == TypeId::kInt64) return static_cast<double>(AsInt64());
+  IVDB_CHECK(type_ == TypeId::kDouble);
+  return AsDouble();
+}
+
+int Value::Compare(const Value& other) const {
+  IVDB_CHECK_MSG(type_ == other.type_, "comparing values of different types");
+  if (null_ || other.null_) {
+    if (null_ && other.null_) return 0;
+    return null_ ? -1 : 1;  // NULL sorts first
+  }
+  switch (type_) {
+    case TypeId::kInt64: {
+      int64_t a = AsInt64(), b = other.AsInt64();
+      return a < b ? -1 : a > b ? 1 : 0;
+    }
+    case TypeId::kDouble: {
+      double a = AsDouble(), b = other.AsDouble();
+      return a < b ? -1 : a > b ? 1 : 0;
+    }
+    case TypeId::kString:
+      return AsString() < other.AsString()   ? -1
+             : AsString() > other.AsString() ? 1
+                                             : 0;
+  }
+  return 0;
+}
+
+Status Value::AccumulateAdd(const Value& other) {
+  if (null_ || other.null_) {
+    return Status::InvalidArgument("cannot accumulate NULL");
+  }
+  if (type_ != other.type_) {
+    return Status::InvalidArgument("accumulate type mismatch");
+  }
+  switch (type_) {
+    case TypeId::kInt64:
+      data_ = AsInt64() + other.AsInt64();
+      return Status::OK();
+    case TypeId::kDouble:
+      data_ = AsDouble() + other.AsDouble();
+      return Status::OK();
+    case TypeId::kString:
+      return Status::InvalidArgument("cannot accumulate strings");
+  }
+  return Status::InvalidArgument("unknown type");
+}
+
+Value Value::Negated() const {
+  IVDB_CHECK(!null_);
+  switch (type_) {
+    case TypeId::kInt64:
+      return Value::Int64(-AsInt64());
+    case TypeId::kDouble:
+      return Value::Double(-AsDouble());
+    case TypeId::kString:
+      IVDB_CHECK_MSG(false, "cannot negate a string");
+  }
+  return Value();
+}
+
+std::string Value::ToString() const {
+  if (null_) return "NULL";
+  switch (type_) {
+    case TypeId::kInt64:
+      return std::to_string(AsInt64());
+    case TypeId::kDouble:
+      return std::to_string(AsDouble());
+    case TypeId::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+void Value::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type_));
+  dst->push_back(null_ ? '\0' : '\1');
+  if (null_) return;
+  switch (type_) {
+    case TypeId::kInt64:
+      PutFixed64(dst, static_cast<uint64_t>(AsInt64()));
+      break;
+    case TypeId::kDouble: {
+      uint64_t bits;
+      double d = AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutFixed64(dst, bits);
+      break;
+    }
+    case TypeId::kString:
+      PutLengthPrefixed(dst, AsString());
+      break;
+  }
+}
+
+Status Value::DecodeFrom(Slice* input, Value* out) {
+  if (input->size() < 2) return Status::Corruption("value truncated");
+  TypeId type = static_cast<TypeId>((*input)[0]);
+  bool non_null = (*input)[1] != '\0';
+  input->RemovePrefix(2);
+  if (!non_null) {
+    *out = Value::Null(type);
+    return Status::OK();
+  }
+  switch (type) {
+    case TypeId::kInt64: {
+      uint64_t u;
+      if (!GetFixed64(input, &u)) return Status::Corruption("int64 truncated");
+      *out = Value::Int64(static_cast<int64_t>(u));
+      return Status::OK();
+    }
+    case TypeId::kDouble: {
+      uint64_t bits;
+      if (!GetFixed64(input, &bits)) {
+        return Status::Corruption("double truncated");
+      }
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value::Double(d);
+      return Status::OK();
+    }
+    case TypeId::kString: {
+      std::string s;
+      if (!GetLengthPrefixed(input, &s)) {
+        return Status::Corruption("string truncated");
+      }
+      *out = Value::String(std::move(s));
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown value type tag");
+}
+
+void Value::EncodeOrderedTo(std::string* dst) const {
+  if (null_) {
+    dst->push_back('\0');
+    return;
+  }
+  dst->push_back('\1');
+  switch (type_) {
+    case TypeId::kInt64:
+      EncodeOrderedInt64(dst, AsInt64());
+      break;
+    case TypeId::kDouble:
+      EncodeOrderedDouble(dst, AsDouble());
+      break;
+    case TypeId::kString:
+      EncodeOrderedString(dst, AsString());
+      break;
+  }
+}
+
+Status Value::DecodeOrderedFrom(Slice* input, TypeId type, Value* out) {
+  if (input->empty()) return Status::Corruption("ordered value truncated");
+  bool non_null = (*input)[0] != '\0';
+  input->RemovePrefix(1);
+  if (!non_null) {
+    *out = Value::Null(type);
+    return Status::OK();
+  }
+  switch (type) {
+    case TypeId::kInt64: {
+      int64_t v;
+      if (!DecodeOrderedInt64(input, &v)) {
+        return Status::Corruption("ordered int64 truncated");
+      }
+      *out = Value::Int64(v);
+      return Status::OK();
+    }
+    case TypeId::kDouble: {
+      double v;
+      if (!DecodeOrderedDouble(input, &v)) {
+        return Status::Corruption("ordered double truncated");
+      }
+      *out = Value::Double(v);
+      return Status::OK();
+    }
+    case TypeId::kString: {
+      std::string s;
+      if (!DecodeOrderedString(input, &s)) {
+        return Status::Corruption("ordered string truncated");
+      }
+      *out = Value::String(std::move(s));
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown ordered type");
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type_ != other.type_) return false;
+  if (null_ || other.null_) return null_ == other.null_;
+  return Compare(other) == 0;
+}
+
+}  // namespace ivdb

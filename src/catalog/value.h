@@ -1,0 +1,89 @@
+#ifndef IVDB_CATALOG_VALUE_H_
+#define IVDB_CATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace ivdb {
+
+// Column types supported by the engine. Kept deliberately small: the paper's
+// techniques (escrow locking, logical logging, ghost records) are orthogonal
+// to the richness of the type system.
+enum class TypeId : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+const char* TypeName(TypeId type);
+
+// A dynamically-typed SQL value. Nullable; NULL compares less than any
+// non-NULL value (total order for B-tree keys).
+class Value {
+ public:
+  Value() : type_(TypeId::kInt64), null_(true) {}
+
+  static Value Int64(int64_t v) { return Value(TypeId::kInt64, v); }
+  static Value Double(double v) { return Value(TypeId::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(TypeId::kString, std::move(v));
+  }
+  static Value Null(TypeId type) {
+    Value v;
+    v.type_ = type;
+    v.null_ = true;
+    return v;
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return null_; }
+
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  // Numeric value widened to double (for AVG and mixed arithmetic).
+  double AsNumeric() const;
+
+  // Three-way comparison; requires identical types (checked).
+  int Compare(const Value& other) const;
+
+  // value += other, for SUM aggregates and escrow increments. Requires both
+  // non-null and same numeric type.
+  Status AccumulateAdd(const Value& other);
+
+  // Returns -value (numeric types only); used for logical undo of increments.
+  Value Negated() const;
+
+  std::string ToString() const;
+
+  // Record serialization (not order-preserving).
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, Value* out);
+
+  // Order-preserving key serialization: bytewise comparison of encodings
+  // matches Compare(). A NULL is encoded as a 0x00 tag byte, non-null 0x01.
+  void EncodeOrderedTo(std::string* dst) const;
+  static Status DecodeOrderedFrom(Slice* input, TypeId type, Value* out);
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  Value(TypeId type, int64_t v) : type_(type), null_(false), data_(v) {}
+  Value(TypeId type, double v) : type_(type), null_(false), data_(v) {}
+  Value(TypeId type, std::string v)
+      : type_(type), null_(false), data_(std::move(v)) {}
+
+  TypeId type_;
+  bool null_;
+  std::variant<int64_t, double, std::string> data_;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_CATALOG_VALUE_H_

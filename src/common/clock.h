@@ -1,0 +1,47 @@
+#ifndef IVDB_COMMON_CLOCK_H_
+#define IVDB_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ivdb {
+
+// Wall-clock microseconds since an arbitrary (monotonic) epoch.
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Monotonic logical timestamp source. Transaction begin/commit timestamps
+// are drawn from one shared LogicalClock so that snapshot visibility
+// (`commit_ts <= snapshot_ts`) is a total order.
+class LogicalClock {
+ public:
+  LogicalClock() : next_(1) {}
+
+  LogicalClock(const LogicalClock&) = delete;
+  LogicalClock& operator=(const LogicalClock&) = delete;
+
+  uint64_t Tick() { return next_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t Peek() const { return next_.load(std::memory_order_relaxed); }
+
+  // Moves the clock forward so that the next Tick() is > `ts`. Used after
+  // recovery to resume past the highest timestamp in the log.
+  void AdvancePast(uint64_t ts) {
+    uint64_t cur = next_.load(std::memory_order_relaxed);
+    while (cur <= ts &&
+           !next_.compare_exchange_weak(cur, ts + 1,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> next_;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_CLOCK_H_

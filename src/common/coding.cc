@@ -1,0 +1,199 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace ivdb {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  buf[2] = static_cast<char>((value >> 16) & 0xff);
+  buf[3] = static_cast<char>((value >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; i++) {
+    buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  dst->append(buf, 8);
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(input->data());
+  *value = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  input->RemovePrefix(4);
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(input->data());
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; i--) {
+    v = (v << 8) | p[i];
+  }
+  *value = v;
+  input->RemovePrefix(8);
+  return true;
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    unsigned char byte = static_cast<unsigned char>((*input)[0]);
+    input->RemovePrefix(1);
+    if (byte & 0x80) {
+      result |= (static_cast<uint64_t>(byte & 0x7f) << shift);
+    } else {
+      result |= (static_cast<uint64_t>(byte) << shift);
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutLengthPrefixed(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixed(Slice* input, std::string* value) {
+  uint64_t len;
+  if (!GetVarint64(input, &len)) return false;
+  if (input->size() < len) return false;
+  value->assign(input->data(), len);
+  input->RemovePrefix(len);
+  return true;
+}
+
+void EncodeOrderedInt64(std::string* dst, int64_t value) {
+  uint64_t u = static_cast<uint64_t>(value) ^ (1ULL << 63);  // flip sign bit
+  char buf[8];
+  for (int i = 0; i < 8; i++) {
+    buf[i] = static_cast<char>((u >> (8 * (7 - i))) & 0xff);  // big-endian
+  }
+  dst->append(buf, 8);
+}
+
+bool DecodeOrderedInt64(Slice* input, int64_t* value) {
+  if (input->size() < 8) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(input->data());
+  uint64_t u = 0;
+  for (int i = 0; i < 8; i++) {
+    u = (u << 8) | p[i];
+  }
+  *value = static_cast<int64_t>(u ^ (1ULL << 63));
+  input->RemovePrefix(8);
+  return true;
+}
+
+void EncodeOrderedDouble(std::string* dst, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  // Positive doubles (sign bit clear) sort after negatives: flip the sign
+  // bit for positives, flip all bits for negatives (reversing their order).
+  if (bits & (1ULL << 63)) {
+    bits = ~bits;
+  } else {
+    bits ^= (1ULL << 63);
+  }
+  char buf[8];
+  for (int i = 0; i < 8; i++) {
+    buf[i] = static_cast<char>((bits >> (8 * (7 - i))) & 0xff);
+  }
+  dst->append(buf, 8);
+}
+
+bool DecodeOrderedDouble(Slice* input, double* value) {
+  if (input->size() < 8) return false;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(input->data());
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; i++) {
+    bits = (bits << 8) | p[i];
+  }
+  if (bits & (1ULL << 63)) {
+    bits ^= (1ULL << 63);
+  } else {
+    bits = ~bits;
+  }
+  std::memcpy(value, &bits, sizeof(bits));
+  input->RemovePrefix(8);
+  return true;
+}
+
+void EncodeOrderedString(std::string* dst, const Slice& value) {
+  for (size_t i = 0; i < value.size(); i++) {
+    if (value[i] == '\0') {
+      dst->push_back('\0');
+      dst->push_back('\xff');
+    } else {
+      dst->push_back(value[i]);
+    }
+  }
+  dst->push_back('\0');
+  dst->push_back('\x01');
+}
+
+bool DecodeOrderedString(Slice* input, std::string* value) {
+  value->clear();
+  size_t i = 0;
+  while (i + 1 < input->size() + 1) {
+    if (i >= input->size()) return false;
+    char c = (*input)[i];
+    if (c == '\0') {
+      if (i + 1 >= input->size()) return false;
+      char next = (*input)[i + 1];
+      if (next == '\x01') {
+        input->RemovePrefix(i + 2);
+        return true;
+      }
+      if (next == '\xff') {
+        value->push_back('\0');
+        i += 2;
+        continue;
+      }
+      return false;  // malformed escape
+    }
+    value->push_back(c);
+    i += 1;
+  }
+  return false;  // missing terminator
+}
+
+std::string PrefixSuccessor(const Slice& prefix) {
+  std::string out = prefix.ToString();
+  while (!out.empty()) {
+    unsigned char last = static_cast<unsigned char>(out.back());
+    if (last != 0xFF) {
+      out.back() = static_cast<char>(last + 1);
+      return out;
+    }
+    out.pop_back();
+  }
+  return out;  // empty: unbounded
+}
+
+}  // namespace ivdb

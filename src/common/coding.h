@@ -1,0 +1,59 @@
+#ifndef IVDB_COMMON_CODING_H_
+#define IVDB_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace ivdb {
+
+// --- Little-endian fixed-width integers (record/log serialization). ---
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+// Each Get* consumes bytes from the front of `input`. Returns false (and
+// leaves outputs unspecified) if the input is too short.
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+// --- Varints (compact lengths in log records). ---
+
+void PutVarint64(std::string* dst, uint64_t value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+// Length-prefixed byte string.
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+bool GetLengthPrefixed(Slice* input, std::string* value);
+
+// --- Order-preserving key encoding. ---
+//
+// Encoded keys compare bytewise (memcmp) in the same order as the source
+// values, so heterogeneous composite keys can be concatenated and stored in
+// a byte-keyed B-tree. Encodings:
+//   int64  -> sign bit flipped, big-endian (8 bytes)
+//   double -> IEEE-754 bits; positive: flip sign bit, negative: flip all
+//   string -> bytes with 0x00 escaped as 0x00 0xFF, terminated by 0x00 0x01
+//             (so shorter strings sort before their extensions and the
+//             terminator never collides with escaped content)
+
+void EncodeOrderedInt64(std::string* dst, int64_t value);
+bool DecodeOrderedInt64(Slice* input, int64_t* value);
+
+void EncodeOrderedDouble(std::string* dst, double value);
+bool DecodeOrderedDouble(Slice* input, double* value);
+
+void EncodeOrderedString(std::string* dst, const Slice& value);
+bool DecodeOrderedString(Slice* input, std::string* value);
+
+// Smallest byte string greater than every string with prefix `prefix`
+// (for prefix range scans: [prefix, PrefixSuccessor(prefix))). Returns the
+// empty string when no such bound exists (prefix is all 0xFF): scan
+// unbounded.
+std::string PrefixSuccessor(const Slice& prefix);
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_CODING_H_

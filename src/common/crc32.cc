@@ -1,0 +1,32 @@
+#include "common/crc32.h"
+
+namespace ivdb {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t t[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; k++) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  static const Crc32Table table;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; i++) {
+    c = table.t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ivdb

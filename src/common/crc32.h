@@ -1,0 +1,15 @@
+#ifndef IVDB_COMMON_CRC32_H_
+#define IVDB_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ivdb {
+
+// CRC-32 (IEEE polynomial) used to detect torn/corrupt log records at the
+// tail of the write-ahead log after a crash.
+uint32_t Crc32(const void* data, size_t n);
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_CRC32_H_

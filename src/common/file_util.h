@@ -1,0 +1,27 @@
+#ifndef IVDB_COMMON_FILE_UTIL_H_
+#define IVDB_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace ivdb {
+
+// Reads an entire file into *out. NotFound if the file does not exist.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+// Atomically replaces `path` with `contents`: writes to a temp file in the
+// same directory, fsyncs, then renames over the target (checkpoint files
+// must never be observed half-written).
+Status WriteStringToFileAtomic(const std::string& path,
+                               const std::string& contents);
+
+Status RemoveFileIfExists(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+Status EnsureDirectory(const std::string& path);
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_FILE_UTIL_H_

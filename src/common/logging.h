@@ -1,0 +1,32 @@
+#ifndef IVDB_COMMON_LOGGING_H_
+#define IVDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ivdb {
+
+// Invariant check that stays on in release builds: the engine's correctness
+// properties (lock compatibility, log chain integrity, B-tree structure) are
+// cheap to verify and catastrophic to violate silently.
+#define IVDB_CHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "IVDB_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define IVDB_CHECK_MSG(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "IVDB_CHECK failed at %s:%d: %s (%s)\n",      \
+                   __FILE__, __LINE__, #cond, (msg));                    \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_LOGGING_H_

@@ -1,0 +1,88 @@
+#ifndef IVDB_COMMON_RANDOM_H_
+#define IVDB_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ivdb {
+
+// Small fast PRNG (xorshift64*), deterministic per seed; one instance per
+// thread in benchmarks (not thread-safe).
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  // Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipfian-distributed generator over [0, n), used by the benchmark workload
+// generators to create skewed (hot-group) access patterns. Standard
+// Gray et al. rejection-free computation with precomputed zeta.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n > 0);
+    zeta_n_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Random rng_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_RANDOM_H_

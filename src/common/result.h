@@ -1,0 +1,69 @@
+#ifndef IVDB_COMMON_RESULT_H_
+#define IVDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ivdb {
+
+// Status-or-value, in the style of arrow::Result. A Result either holds a
+// value of type T (status is OK) or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}   // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the contained value, or `fallback` if the result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or returns the error
+// status from the enclosing function.
+#define IVDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define IVDB_ASSIGN_OR_RETURN(lhs, expr) \
+  IVDB_ASSIGN_OR_RETURN_IMPL(IVDB_CONCAT(_res_, __LINE__), lhs, expr)
+
+#define IVDB_CONCAT_INNER(a, b) a##b
+#define IVDB_CONCAT(a, b) IVDB_CONCAT_INNER(a, b)
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_RESULT_H_

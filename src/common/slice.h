@@ -1,0 +1,62 @@
+#ifndef IVDB_COMMON_SLICE_H_
+#define IVDB_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace ivdb {
+
+// A non-owning view of a byte range, RocksDB-style. Thin wrapper over
+// std::string_view with database-flavoured helpers.
+class Slice {
+ public:
+  Slice() = default;
+  Slice(const char* data, size_t size) : view_(data, size) {}
+  Slice(const std::string& s) : view_(s) {}   // NOLINT(runtime/explicit)
+  Slice(const char* s) : view_(s) {}          // NOLINT(runtime/explicit)
+  Slice(std::string_view v) : view_(v) {}     // NOLINT(runtime/explicit)
+
+  const char* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+
+  char operator[](size_t i) const {
+    assert(i < size());
+    return view_[i];
+  }
+
+  void RemovePrefix(size_t n) {
+    assert(n <= size());
+    view_.remove_prefix(n);
+  }
+
+  std::string ToString() const { return std::string(view_); }
+  std::string_view view() const { return view_; }
+
+  int Compare(const Slice& other) const {
+    return view_.compare(other.view_) < 0   ? -1
+           : view_.compare(other.view_) > 0 ? 1
+                                            : 0;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return view_.substr(0, prefix.size()) == prefix.view_;
+  }
+
+ private:
+  std::string_view view_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.view() == b.view();
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.view() < b.view();
+}
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_SLICE_H_

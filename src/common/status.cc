@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+namespace ivdb {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kBusy:
+      return "Busy";
+    case Status::Code::kTimedOut:
+      return "TimedOut";
+    case Status::Code::kDeadlock:
+      return "Deadlock";
+    case Status::Code::kAborted:
+      return "Aborted";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace ivdb

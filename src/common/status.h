@@ -1,0 +1,106 @@
+#ifndef IVDB_COMMON_STATUS_H_
+#define IVDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ivdb {
+
+// Error-code-based result type used throughout the engine (no exceptions),
+// in the style of RocksDB/Arrow Status.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,
+    kAlreadyExists,
+    kInvalidArgument,
+    kCorruption,
+    kIOError,
+    kNotSupported,
+    // Concurrency-control outcomes. A transaction receiving kDeadlock or
+    // kAborted must roll back; kBusy/kTimedOut indicate a lock could not be
+    // granted in instant-duration or bounded-wait mode.
+    kBusy,
+    kTimedOut,
+    kDeadlock,
+    kAborted,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+
+  // True for any outcome that requires the enclosing transaction to roll
+  // back and (typically) retry: deadlock victim, explicit abort, lock wait
+  // timeout.
+  bool RequiresRollback() const {
+    return code_ == Code::kDeadlock || code_ == Code::kAborted ||
+           code_ == Code::kTimedOut;
+  }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is not OK.
+#define IVDB_RETURN_NOT_OK(expr)        \
+  do {                                  \
+    ::ivdb::Status _s = (expr);         \
+    if (!_s.ok()) return _s;            \
+  } while (0)
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_STATUS_H_

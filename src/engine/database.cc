@@ -1,0 +1,1257 @@
+#include "engine/database.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/coding.h"
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "engine/snapshot.h"
+
+namespace ivdb {
+
+namespace {
+
+// Key-range (next-key) locking resources live in the same lock namespace as
+// row locks but cannot collide with them: ordered row-key encodings always
+// start with 0x00/0x01 (the null flag), so gap resources use 0x02/0x03.
+// Gap(k) protects the open interval below k, (predecessor(k), k).
+std::string GapResource(const std::string& key) {
+  return std::string("\x02") + key;
+}
+// The gap above the largest key ("end of file").
+const char kEofGapResource[] = "\x03";
+
+}  // namespace
+
+Database::Database(DatabaseOptions options)
+    : options_(std::move(options)),
+      locks_(LockManager::Options{options_.lock_wait_timeout,
+                                  options_.detect_deadlocks,
+                                  options_.lock_escalation_threshold}) {
+  LogManagerOptions log_options;
+  if (!options_.dir.empty()) log_options.path = WalPath();
+  log_options.sync = options_.sync;
+  log_options.flush_delay_micros = options_.flush_delay_micros;
+  log_options.group_commit_window_micros =
+      options_.group_commit_window_micros;
+  log_ = std::make_unique<LogManager>(std::move(log_options));
+  txns_ = std::make_unique<TransactionManager>(&locks_, log_.get(),
+                                               &versions_, this);
+}
+
+Database::~Database() {
+  // Simulated crash semantics: no implicit checkpoint, no implicit aborts.
+  // Whatever the WAL says is what a reopened database will reconstruct.
+  std::shared_lock<std::shared_mutex> views_guard(views_mu_);
+  for (auto& [name, entry] : views_) {
+    if (entry->cleaner != nullptr) entry->cleaner->Stop();
+  }
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  if (!options.dir.empty()) {
+    IVDB_RETURN_NOT_OK(EnsureDirectory(options.dir));
+  }
+  std::unique_ptr<Database> db(new Database(std::move(options)));
+  IVDB_RETURN_NOT_OK(db->log_->Open());
+  IVDB_RETURN_NOT_OK(db->Recover());
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Storage plumbing
+// ---------------------------------------------------------------------------
+
+BTree* Database::CreateIndex(ObjectId id) {
+  std::unique_lock<std::shared_mutex> guard(indexes_mu_);
+  auto& slot = indexes_[id];
+  if (slot == nullptr) slot = std::make_unique<BTree>();
+  return slot.get();
+}
+
+BTree* Database::GetIndex(ObjectId id) {
+  std::shared_lock<std::shared_mutex> guard(indexes_mu_);
+  auto it = indexes_.find(id);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+Status Database::ApplyRedo(LogRecordType op_type, const LogRecord& rec) {
+  BTree* tree = GetIndex(rec.object_id);
+  if (tree == nullptr) {
+    return Status::Corruption("redo references unknown object " +
+                              std::to_string(rec.object_id));
+  }
+  switch (op_type) {
+    case LogRecordType::kInsert:
+      tree->Put(rec.key, rec.after);
+      return Status::OK();
+    case LogRecordType::kDelete:
+      tree->Delete(rec.key);
+      return Status::OK();
+    case LogRecordType::kUpdate:
+      tree->Put(rec.key, rec.after);
+      return Status::OK();
+    case LogRecordType::kIncrement:
+      // Rollback compensations cancel the transaction's pending delta entry
+      // at the same instant the physical undo lands (snapshot readers must
+      // never see one without the other). During restart redo there is no
+      // pending entry and this is a pure physical application.
+      return versions_.ApplyIncrement(rec.object_id, rec.key, rec.deltas,
+                                      rec.txn_id, /*create_pending=*/false,
+                                      tree);
+    default:
+      return Status::Corruption("ApplyRedo on non-data record");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+Result<const TableInfo*> Database::CreateTable(const std::string& name,
+                                               Schema schema,
+                                               std::vector<int> key_columns) {
+  {
+    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    if (views_.count(name) != 0) {
+      return Status::AlreadyExists("a view named '" + name + "' exists");
+    }
+  }
+  IVDB_ASSIGN_OR_RETURN(const TableInfo* info,
+                        catalog_.CreateTable(name, std::move(schema),
+                                             std::move(key_columns)));
+  CreateIndex(info->id);
+  if (!options_.dir.empty()) {
+    IVDB_RETURN_NOT_OK(Checkpoint());
+  }
+  return info;
+}
+
+Status Database::RegisterView(ObjectId id, ViewDefinition def, bool populate) {
+  IVDB_ASSIGN_OR_RETURN(const TableInfo* fact,
+                        catalog_.GetTable(def.fact_table));
+  std::optional<Schema> dim_schema;
+  if (def.join.has_value()) {
+    IVDB_ASSIGN_OR_RETURN(const TableInfo* dim,
+                          catalog_.GetTable(def.join->dimension_table));
+    // The dimension is probed on its primary key, which must be exactly the
+    // join column; anything else would need secondary indexes.
+    if (dim->key_columns.size() != 1) {
+      return Status::NotSupported(
+          "joined dimension table must have a single-column primary key");
+    }
+    if (def.join->fact_column < 0 ||
+        static_cast<size_t>(def.join->fact_column) >=
+            fact->schema.num_columns()) {
+      return Status::InvalidArgument("join fact column out of range");
+    }
+    dim_schema = dim->schema;
+  }
+  Schema joined = JoinedSchema(
+      fact->schema, dim_schema.has_value() ? &*dim_schema : nullptr);
+  IVDB_RETURN_NOT_OK(def.Validate(joined));
+
+  auto entry = std::make_unique<ViewEntry>();
+  entry->info.id = id;
+  entry->info.definition = def;
+
+  ViewMaintainer::Options maintainer_options;
+  maintainer_options.use_escrow = options_.use_escrow_locks;
+  entry->maintainer = std::make_unique<ViewMaintainer>(
+      def, id, fact->schema, dim_schema, this, &locks_, txns_.get(),
+      &versions_, maintainer_options);
+  entry->info.schema = entry->maintainer->view_schema();
+
+  BTree* tree = CreateIndex(id);
+
+  if (def.kind == ViewKind::kAggregate) {
+    entry->cleaner = std::make_unique<GhostCleaner>(
+        id, def.CountColumnIndex(), this, &locks_, txns_.get(), &versions_);
+  }
+
+  std::string view_name = def.name;
+  ViewEntry* raw = entry.get();
+  {
+    std::unique_lock<std::shared_mutex> guard(views_mu_);
+    if (views_.count(view_name) != 0) {
+      return Status::AlreadyExists("view '" + view_name + "' exists");
+    }
+    if (def.join.has_value()) {
+      dimension_tables_.insert(def.join->dimension_table);
+    }
+    views_[view_name] = std::move(entry);
+  }
+
+  if (populate) {
+    std::map<std::string, Row> contents;
+    Status s = raw->maintainer->Recompute(&contents);
+    if (!s.ok()) {
+      std::unique_lock<std::shared_mutex> guard(views_mu_);
+      views_.erase(view_name);
+      return s;
+    }
+    for (const auto& [key, row] : contents) {
+      tree->Put(key, EncodeRow(row));
+    }
+  }
+
+  if (options_.start_ghost_cleaner && raw->cleaner != nullptr) {
+    raw->cleaner->Start(options_.ghost_cleaner_interval_micros);
+  }
+  return Status::OK();
+}
+
+Result<const ViewInfo*> Database::CreateIndexedView(ViewDefinition def) {
+  if (catalog_.GetTable(def.name).ok()) {
+    return Status::AlreadyExists("a table named '" + def.name + "' exists");
+  }
+  ObjectId id = catalog_.AllocateId();
+
+  // Populate under a quiescent section so no base-table change can slip
+  // between the initial computation and the first maintained transaction.
+  txns_->BeginQuiesce();
+  Status s = RegisterView(id, std::move(def), /*populate=*/true);
+  txns_->EndQuiesce();
+  IVDB_RETURN_NOT_OK(s);
+
+  if (!options_.dir.empty()) {
+    IVDB_RETURN_NOT_OK(Checkpoint());
+  }
+  std::shared_lock<std::shared_mutex> guard(views_mu_);
+  // Name lookup again: RegisterView moved `def`.
+  for (const auto& [name, entry] : views_) {
+    if (entry->info.id == id) return const_cast<const ViewInfo*>(&entry->info);
+  }
+  return Status::Corruption("view vanished after registration");
+}
+
+Result<const ViewInfo*> Database::GetView(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> guard(views_mu_);
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("view '" + name + "' not found");
+  }
+  return const_cast<const ViewInfo*>(&it->second->info);
+}
+
+std::vector<const ViewInfo*> Database::ListViews() const {
+  std::shared_lock<std::shared_mutex> guard(views_mu_);
+  std::vector<const ViewInfo*> out;
+  out.reserve(views_.size());
+  for (const auto& [name, entry] : views_) {
+    out.push_back(&entry->info);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+Transaction* Database::Begin(ReadMode read_mode) {
+  return txns_->Begin(read_mode);
+}
+
+Status Database::Commit(Transaction* txn) {
+  if (!txn->deferred_changes().empty()) {
+    // Commit-time (deferred) maintenance: coalesce this transaction's
+    // base-table changes per view, then apply. Failure here dooms the
+    // transaction — partial maintenance must not commit.
+    std::vector<std::pair<ViewMaintainer*, std::vector<DeferredChange>>> work;
+    {
+      std::shared_lock<std::shared_mutex> guard(views_mu_);
+      for (const auto& [name, entry] : views_) {
+        std::vector<DeferredChange> batch;
+        for (const DeferredChange& change : txn->deferred_changes()) {
+          if (change.table_id == entry->info.definition.fact_table) {
+            batch.push_back(change);
+          }
+        }
+        if (!batch.empty()) {
+          work.emplace_back(entry->maintainer.get(), std::move(batch));
+        }
+      }
+    }
+    for (auto& [maintainer, batch] : work) {
+      Status s = maintainer->ApplyBatch(txn, batch);
+      if (!s.ok()) {
+        Abort(txn);
+        return s;
+      }
+    }
+    txn->deferred_changes().clear();
+  }
+  return txns_->Commit(txn);
+}
+
+Status Database::Abort(Transaction* txn) { return txns_->Abort(txn); }
+
+void Database::Forget(Transaction* txn) { txns_->Forget(txn); }
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+Result<const SecondaryIndexInfo*> Database::CreateSecondaryIndex(
+    const std::string& index_name, const std::string& table,
+    const std::vector<std::string>& columns) {
+  IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  {
+    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    if (views_.count(index_name) != 0) {
+      return Status::AlreadyExists("a view named '" + index_name +
+                                   "' exists");
+    }
+  }
+  std::vector<int> column_indexes;
+  column_indexes.reserve(columns.size());
+  for (const std::string& name : columns) {
+    int idx = info->schema.FindColumn(name);
+    if (idx < 0) {
+      return Status::InvalidArgument("no column '" + name + "' in '" +
+                                     table + "'");
+    }
+    column_indexes.push_back(idx);
+  }
+  IVDB_ASSIGN_OR_RETURN(
+      const SecondaryIndexInfo* index,
+      catalog_.CreateSecondaryIndex(index_name, info->id,
+                                    std::move(column_indexes)));
+  BTree* tree = CreateIndex(index->id);
+
+  // Backfill under a quiescent section, mirroring view population.
+  txns_->BeginQuiesce();
+  BTree* base = GetIndex(info->id);
+  Status status;
+  base->Scan("", nullptr, [&](const Slice&, const Slice& value) {
+    Row row;
+    status = DecodeRow(value, &row);
+    if (!status.ok()) return false;
+    std::string entry_key =
+        EncodeKey(row, index->columns) + EncodeKey(row, info->key_columns);
+    Row pk_values;
+    for (int c : info->key_columns) {
+      pk_values.push_back(row[static_cast<size_t>(c)]);
+    }
+    tree->Put(entry_key, EncodeRow(pk_values));
+    return true;
+  });
+  txns_->EndQuiesce();
+  IVDB_RETURN_NOT_OK(status);
+
+  if (!options_.dir.empty()) {
+    IVDB_RETURN_NOT_OK(Checkpoint());
+  }
+  return index;
+}
+
+Status Database::MaintainSecondaryIndexes(Transaction* txn,
+                                          const TableInfo* info,
+                                          const Row* old_row,
+                                          const Row* new_row) {
+  auto indexes = catalog_.ListSecondaryIndexes(info->id);
+  if (indexes.empty()) return Status::OK();
+
+  auto entry_key = [&](const SecondaryIndexInfo* index, const Row& row) {
+    return EncodeKey(row, index->columns) +
+           EncodeKey(row, info->key_columns);
+  };
+  auto pk_payload = [&](const Row& row) {
+    Row pk_values;
+    for (int c : info->key_columns) {
+      pk_values.push_back(row[static_cast<size_t>(c)]);
+    }
+    return EncodeRow(pk_values);
+  };
+
+  for (const SecondaryIndexInfo* index : indexes) {
+    std::string old_key, new_key;
+    if (old_row != nullptr) old_key = entry_key(index, *old_row);
+    if (new_row != nullptr) new_key = entry_key(index, *new_row);
+    if (old_row != nullptr && new_row != nullptr && old_key == new_key) {
+      continue;  // indexed columns unchanged
+    }
+    BTree* tree = GetIndex(index->id);
+    if (old_row != nullptr) {
+      std::string payload = pk_payload(*old_row);
+      IVDB_RETURN_NOT_OK(
+          txns_->LogDelete(txn, index->id, old_key, payload));
+      IVDB_RETURN_NOT_OK(versions_.ApplyWithPendingWrite(
+          index->id, old_key, payload, txn->id(), [&] {
+            tree->Delete(old_key);
+            return Status::OK();
+          }));
+    }
+    if (new_row != nullptr) {
+      std::string payload = pk_payload(*new_row);
+      IVDB_RETURN_NOT_OK(
+          txns_->LogInsert(txn, index->id, new_key, payload));
+      IVDB_RETURN_NOT_OK(versions_.ApplyWithPendingWrite(
+          index->id, new_key, std::nullopt, txn->id(), [&] {
+            tree->Insert(new_key, payload);
+            return Status::OK();
+          }));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> Database::GetByIndex(
+    Transaction* txn, const std::string& index_name,
+    const std::vector<Value>& values) {
+  IVDB_ASSIGN_OR_RETURN(const SecondaryIndexInfo* index,
+                        catalog_.GetSecondaryIndex(index_name));
+  IVDB_ASSIGN_OR_RETURN(const TableInfo* info,
+                        catalog_.GetTable(index->table_id));
+  if (values.size() > index->columns.size()) {
+    return Status::InvalidArgument("more values than indexed columns");
+  }
+  std::string prefix = EncodeKeyValues(values);
+  std::string end = PrefixSuccessor(prefix);
+  IVDB_ASSIGN_OR_RETURN(
+      auto entries,
+      ScanObject(txn, index->id, prefix, end.empty() ? nullptr : &end));
+
+  std::vector<Row> rows;
+  rows.reserve(entries.size());
+  for (auto& [key, pk_values] : entries) {
+    IVDB_ASSIGN_OR_RETURN(
+        auto row, ReadRow(txn, info->id, EncodeKeyValues(pk_values)));
+    // Entry and base row can only disagree transiently in kDirty mode.
+    if (row.has_value()) rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+Status Database::WithStatementAtomicity(Transaction* txn,
+                                        const std::function<Status()>& body) {
+  TransactionManager::Savepoint savepoint =
+      TransactionManager::GetSavepoint(txn);
+  Status s = body();
+  if (!s.ok() && !s.RequiresRollback()) {
+    // Statement atomicity: a failed statement (constraint violation,
+    // escrow-bound rejection, duplicate view key, ...) must leave no
+    // partial effects, while the transaction itself stays usable. Doomed
+    // transactions (deadlock/timeout) skip this — the caller must Abort.
+    IVDB_RETURN_NOT_OK(txns_->RollbackToSavepoint(txn, savepoint));
+  }
+  return s;
+}
+
+Status Database::MaintainViews(Transaction* txn, DeferredChange change) {
+  if (options_.maintenance_timing == MaintenanceTiming::kDeferred &&
+      !txn->is_system()) {
+    txn->deferred_changes().push_back(std::move(change));
+    return Status::OK();
+  }
+  std::vector<ViewMaintainer*> maintainers;
+  {
+    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    for (const auto& [name, entry] : views_) {
+      if (entry->info.definition.fact_table == change.table_id) {
+        maintainers.push_back(entry->maintainer.get());
+      }
+    }
+  }
+  for (ViewMaintainer* m : maintainers) {
+    IVDB_RETURN_NOT_OK(m->ApplyBaseChange(txn, change));
+  }
+  return Status::OK();
+}
+
+Status Database::Insert(Transaction* txn, const std::string& table,
+                        const Row& row) {
+  IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  IVDB_RETURN_NOT_OK(info->schema.ValidateRow(row));
+  {
+    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    if (dimension_tables_.count(info->id) != 0) {
+      return Status::NotSupported(
+          "DML on a dimension table referenced by an indexed view");
+    }
+  }
+  return WithStatementAtomicity(txn, [&]() -> Status {
+    std::string key = EncodeKey(row, info->key_columns);
+    BTree* tree = GetIndex(info->id);
+
+    IVDB_RETURN_NOT_OK(
+        locks_.Lock(txn->id(), ResourceId::Object(info->id), LockMode::kIX));
+    IVDB_RETURN_NOT_OK(
+        locks_.Lock(txn->id(), ResourceId::Key(info->id, key), LockMode::kX));
+    if (tree->Contains(key)) {
+      return Status::AlreadyExists("duplicate primary key in '" + table +
+                                   "'");
+    }
+    if (options_.scan_locking == ScanLockingMode::kKeyRange) {
+      IVDB_RETURN_NOT_OK(LockGapsForWrite(txn, info->id, tree, key));
+    }
+    std::string value = EncodeRow(row);
+    IVDB_RETURN_NOT_OK(txns_->LogInsert(txn, info->id, key, value));
+    IVDB_RETURN_NOT_OK(versions_.ApplyWithPendingWrite(
+        info->id, key, std::nullopt, txn->id(), [&] {
+          tree->Insert(key, value);
+          return Status::OK();
+        }));
+
+    IVDB_RETURN_NOT_OK(
+        MaintainSecondaryIndexes(txn, info, /*old_row=*/nullptr, &row));
+
+    DeferredChange change;
+    change.table_id = info->id;
+    change.op = DeferredChange::Op::kInsert;
+    change.new_row = row;
+    return MaintainViews(txn, std::move(change));
+  });
+}
+
+Status Database::Update(Transaction* txn, const std::string& table,
+                        const Row& row) {
+  IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  IVDB_RETURN_NOT_OK(info->schema.ValidateRow(row));
+  {
+    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    if (dimension_tables_.count(info->id) != 0) {
+      return Status::NotSupported(
+          "DML on a dimension table referenced by an indexed view");
+    }
+  }
+  return WithStatementAtomicity(txn, [&]() -> Status {
+    std::string key = EncodeKey(row, info->key_columns);
+    BTree* tree = GetIndex(info->id);
+
+    IVDB_RETURN_NOT_OK(
+        locks_.Lock(txn->id(), ResourceId::Object(info->id), LockMode::kIX));
+    IVDB_RETURN_NOT_OK(
+        locks_.Lock(txn->id(), ResourceId::Key(info->id, key), LockMode::kX));
+    std::string before;
+    if (!tree->Get(key, &before)) {
+      return Status::NotFound("update target row not found in '" + table +
+                              "'");
+    }
+    Row old_row;
+    IVDB_RETURN_NOT_OK(DecodeRow(before, &old_row));
+    std::string after = EncodeRow(row);
+    if (before == after) return Status::OK();
+    IVDB_RETURN_NOT_OK(txns_->LogUpdate(txn, info->id, key, before, after));
+    IVDB_RETURN_NOT_OK(versions_.ApplyWithPendingWrite(
+        info->id, key, before, txn->id(), [&] {
+          tree->Update(key, after);
+          return Status::OK();
+        }));
+
+    IVDB_RETURN_NOT_OK(MaintainSecondaryIndexes(txn, info, &old_row, &row));
+
+    DeferredChange change;
+    change.table_id = info->id;
+    change.op = DeferredChange::Op::kUpdate;
+    change.old_row = std::move(old_row);
+    change.new_row = row;
+    return MaintainViews(txn, std::move(change));
+  });
+}
+
+Status Database::Delete(Transaction* txn, const std::string& table,
+                        const std::vector<Value>& key_values) {
+  IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  {
+    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    if (dimension_tables_.count(info->id) != 0) {
+      return Status::NotSupported(
+          "DML on a dimension table referenced by an indexed view");
+    }
+  }
+  return WithStatementAtomicity(txn, [&]() -> Status {
+    std::string key = EncodeKeyValues(key_values);
+    BTree* tree = GetIndex(info->id);
+
+    IVDB_RETURN_NOT_OK(
+        locks_.Lock(txn->id(), ResourceId::Object(info->id), LockMode::kIX));
+    IVDB_RETURN_NOT_OK(
+        locks_.Lock(txn->id(), ResourceId::Key(info->id, key), LockMode::kX));
+    std::string before;
+    if (!tree->Get(key, &before)) {
+      return Status::NotFound("delete target row not found in '" + table +
+                              "'");
+    }
+    if (options_.scan_locking == ScanLockingMode::kKeyRange) {
+      IVDB_RETURN_NOT_OK(LockGapsForWrite(txn, info->id, tree, key));
+    }
+    Row old_row;
+    IVDB_RETURN_NOT_OK(DecodeRow(before, &old_row));
+    IVDB_RETURN_NOT_OK(txns_->LogDelete(txn, info->id, key, before));
+    IVDB_RETURN_NOT_OK(versions_.ApplyWithPendingWrite(
+        info->id, key, before, txn->id(), [&] {
+          tree->Delete(key);
+          return Status::OK();
+        }));
+
+    IVDB_RETURN_NOT_OK(
+        MaintainSecondaryIndexes(txn, info, &old_row, /*new_row=*/nullptr));
+
+    DeferredChange change;
+    change.table_id = info->id;
+    change.op = DeferredChange::Op::kDelete;
+    change.old_row = std::move(old_row);
+    return MaintainViews(txn, std::move(change));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+Result<std::optional<Row>> Database::ReadRow(Transaction* txn,
+                                             ObjectId object_id,
+                                             const std::string& key) {
+  BTree* tree = GetIndex(object_id);
+  if (tree == nullptr) return Status::NotFound("unknown object");
+
+  auto decode = [](const std::string& value) -> Result<std::optional<Row>> {
+    Row row;
+    IVDB_RETURN_NOT_OK(DecodeRow(value, &row));
+    return std::optional<Row>(std::move(row));
+  };
+
+  switch (txn->read_mode()) {
+    case ReadMode::kLocking: {
+      IVDB_RETURN_NOT_OK(
+          locks_.Lock(txn->id(), ResourceId::Object(object_id), LockMode::kIS));
+      IVDB_RETURN_NOT_OK(locks_.Lock(
+          txn->id(), ResourceId::Key(object_id, key), LockMode::kS));
+      std::string value;
+      if (!tree->Get(key, &value)) return std::optional<Row>();
+      return decode(value);
+    }
+    case ReadMode::kDirty: {
+      std::string value;
+      if (!tree->Get(key, &value)) return std::optional<Row>();
+      return decode(value);
+    }
+    case ReadMode::kSnapshot: {
+      std::optional<std::string> physical;
+      VersionStore::SnapshotView view = versions_.GetAsOfConsistent(
+          object_id, key, txn->begin_ts(), tree, &physical);
+      std::optional<std::string> base =
+          view.use_chain_value ? view.chain_value : std::move(physical);
+      if (!base.has_value()) return std::optional<Row>();
+      Row row;
+      IVDB_RETURN_NOT_OK(DecodeRow(*base, &row));
+      // Strip increments the snapshot must not see.
+      for (const auto& deltas : view.subtract) {
+        for (const ColumnDelta& d : deltas) {
+          IVDB_RETURN_NOT_OK(row[d.column].AccumulateAdd(d.delta.Negated()));
+        }
+      }
+      return std::optional<Row>(std::move(row));
+    }
+  }
+  return Status::InvalidArgument("unknown read mode");
+}
+
+Status Database::LockGapsForWrite(Transaction* txn, ObjectId object_id,
+                                  BTree* tree, const std::string& key) {
+  // Inserting or deleting `key` changes the gap structure around it: the
+  // writer must own the gap below the key's successor (which the write
+  // splits or merges) and the gap below the key itself. A scanner holding
+  // either in S blocks the write — that is exactly phantom protection.
+  std::optional<std::string> successor = tree->Successor(key);
+  std::string successor_gap = successor.has_value()
+                                  ? GapResource(*successor)
+                                  : std::string(kEofGapResource);
+  IVDB_RETURN_NOT_OK(locks_.Lock(
+      txn->id(), ResourceId::Key(object_id, successor_gap), LockMode::kX));
+  return locks_.Lock(txn->id(),
+                     ResourceId::Key(object_id, GapResource(key)),
+                     LockMode::kX);
+}
+
+Result<std::vector<std::pair<std::string, Row>>> Database::ScanObject(
+    Transaction* txn, ObjectId object_id, const std::string& begin,
+    const std::string* end, bool key_range_eligible) {
+  BTree* tree = GetIndex(object_id);
+  if (tree == nullptr) return Status::NotFound("unknown object");
+  std::vector<std::pair<std::string, Row>> out;
+  std::optional<Slice> end_slice;
+  if (end != nullptr) end_slice = Slice(*end);
+  const Slice* end_ptr = end_slice.has_value() ? &*end_slice : nullptr;
+
+  bool key_range =
+      key_range_eligible && options_.scan_locking == ScanLockingMode::kKeyRange;
+
+  switch (txn->read_mode()) {
+    case ReadMode::kLocking:
+      if (key_range) {
+        // Next-key locking: IS on the object, then S on every row in the
+        // range, the gap below each row, and the gap below the range's
+        // upper boundary. Re-scan after locking: a writer may have slipped
+        // a row in before our first boundary lock was granted.
+        IVDB_RETURN_NOT_OK(locks_.Lock(
+            txn->id(), ResourceId::Object(object_id), LockMode::kIS));
+        while (true) {
+          auto entries = tree->ScanRange(begin, end_ptr);
+          for (auto& [key, value] : entries) {
+            IVDB_RETURN_NOT_OK(locks_.Lock(
+                txn->id(), ResourceId::Key(object_id, key), LockMode::kS));
+            IVDB_RETURN_NOT_OK(
+                locks_.Lock(txn->id(),
+                            ResourceId::Key(object_id, GapResource(key)),
+                            LockMode::kS));
+          }
+          // Upper boundary: the gap below the first key at/after the end.
+          std::optional<std::string> boundary;
+          if (end != nullptr) {
+            boundary = tree->Contains(*end)
+                           ? std::optional<std::string>(*end)
+                           : tree->Successor(*end);
+          }
+          std::string boundary_gap = boundary.has_value()
+                                         ? GapResource(*boundary)
+                                         : std::string(kEofGapResource);
+          IVDB_RETURN_NOT_OK(locks_.Lock(
+              txn->id(), ResourceId::Key(object_id, boundary_gap),
+              LockMode::kS));
+          // Validate stability: locks held, so a second scan returning the
+          // same keys proves no phantom slipped in during acquisition.
+          auto check = tree->ScanRange(begin, end_ptr);
+          if (check.size() == entries.size()) {
+            bool same = true;
+            for (size_t i = 0; i < check.size(); i++) {
+              if (check[i].first != entries[i].first) {
+                same = false;
+                break;
+              }
+            }
+            if (same) {
+              out.reserve(entries.size());
+              for (auto& [key, value] : check) {
+                Row row;
+                IVDB_RETURN_NOT_OK(DecodeRow(value, &row));
+                out.emplace_back(std::move(key), std::move(row));
+              }
+              return out;
+            }
+          }
+          // Contents moved under us; with the acquired locks now held the
+          // next iteration stabilizes.
+        }
+      }
+      // Object-level S: coarse but phantom-safe (see DESIGN.md §5b).
+      IVDB_RETURN_NOT_OK(
+          locks_.Lock(txn->id(), ResourceId::Object(object_id), LockMode::kS));
+      [[fallthrough]];
+    case ReadMode::kDirty: {
+      auto entries = tree->ScanRange(begin, end_ptr);
+      out.reserve(entries.size());
+      for (auto& [key, value] : entries) {
+        Row row;
+        IVDB_RETURN_NOT_OK(DecodeRow(value, &row));
+        out.emplace_back(std::move(key), std::move(row));
+      }
+      return out;
+    }
+    case ReadMode::kSnapshot: {
+      // Candidate keys: everything physically present plus keys only the
+      // version store still knows about (deleted after our snapshot). Keys
+      // that appear after this collection cannot be visible at our
+      // timestamp, so missing them is correct.
+      std::set<std::string> keys;
+      tree->Scan(begin, end_ptr, [&keys](const Slice& key, const Slice&) {
+        keys.insert(key.ToString());
+        return true;
+      });
+      for (std::string& key : versions_.ListChainKeys(object_id)) {
+        if (key < begin) continue;
+        if (end != nullptr && !(key < *end)) continue;
+        keys.insert(std::move(key));
+      }
+      for (const std::string& key : keys) {
+        std::optional<std::string> physical;
+        VersionStore::SnapshotView view = versions_.GetAsOfConsistent(
+            object_id, key, txn->begin_ts(), tree, &physical);
+        std::optional<std::string> value =
+            view.use_chain_value ? view.chain_value : std::move(physical);
+        if (!value.has_value()) continue;
+        Row row;
+        IVDB_RETURN_NOT_OK(DecodeRow(*value, &row));
+        for (const auto& deltas : view.subtract) {
+          for (const ColumnDelta& d : deltas) {
+            IVDB_RETURN_NOT_OK(
+                row[d.column].AccumulateAdd(d.delta.Negated()));
+          }
+        }
+        out.emplace_back(key, std::move(row));
+      }
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unknown read mode");
+}
+
+Result<std::optional<Row>> Database::Get(Transaction* txn,
+                                         const std::string& table,
+                                         const std::vector<Value>& key) {
+  IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  return ReadRow(txn, info->id, EncodeKeyValues(key));
+}
+
+Result<std::vector<Row>> Database::ScanTable(Transaction* txn,
+                                             const std::string& table) {
+  IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  IVDB_ASSIGN_OR_RETURN(auto entries,
+                        ScanObject(txn, info->id, "", nullptr,
+                                   /*key_range_eligible=*/true));
+  std::vector<Row> rows;
+  rows.reserve(entries.size());
+  for (auto& [key, row] : entries) rows.push_back(std::move(row));
+  return rows;
+}
+
+Result<std::vector<Row>> Database::ScanTableRange(
+    Transaction* txn, const std::string& table, const std::vector<Value>& low,
+    const std::vector<Value>& high) {
+  IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
+  std::string begin = EncodeKeyValues(low);
+  std::string end;
+  if (!high.empty()) end = EncodeKeyValues(high);
+  IVDB_ASSIGN_OR_RETURN(
+      auto entries,
+      ScanObject(txn, info->id, begin, high.empty() ? nullptr : &end,
+                 /*key_range_eligible=*/true));
+  std::vector<Row> rows;
+  rows.reserve(entries.size());
+  for (auto& [key, row] : entries) rows.push_back(std::move(row));
+  return rows;
+}
+
+Result<std::optional<Row>> Database::GetViewRow(
+    Transaction* txn, const std::string& view,
+    const std::vector<Value>& group) {
+  IVDB_ASSIGN_OR_RETURN(const ViewInfo* info, GetView(view));
+  IVDB_ASSIGN_OR_RETURN(auto row,
+                        ReadRow(txn, info->id, EncodeKeyValues(group)));
+  if (!row.has_value()) return std::optional<Row>();
+  if (info->definition.kind == ViewKind::kAggregate) {
+    const Row& stored = *row;
+    if (stored[info->definition.CountColumnIndex()].AsInt64() == 0) {
+      return std::optional<Row>();  // ghost: logically absent
+    }
+    return std::optional<Row>(FinalizeViewRow(info->definition, stored));
+  }
+  return row;
+}
+
+Result<std::vector<Row>> Database::FinalizeViewScan(
+    const ViewInfo* info,
+    std::vector<std::pair<std::string, Row>> entries) const {
+  std::vector<Row> rows;
+  rows.reserve(entries.size());
+  for (auto& [key, row] : entries) {
+    if (info->definition.kind == ViewKind::kAggregate) {
+      if (row[info->definition.CountColumnIndex()].AsInt64() == 0) continue;
+      rows.push_back(FinalizeViewRow(info->definition, row));
+    } else {
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> Database::ScanView(Transaction* txn,
+                                            const std::string& view) {
+  IVDB_ASSIGN_OR_RETURN(const ViewInfo* info, GetView(view));
+  IVDB_ASSIGN_OR_RETURN(auto entries, ScanObject(txn, info->id));
+  return FinalizeViewScan(info, std::move(entries));
+}
+
+Result<std::vector<Row>> Database::ScanViewRange(
+    Transaction* txn, const std::string& view, const std::vector<Value>& low,
+    const std::vector<Value>& high) {
+  IVDB_ASSIGN_OR_RETURN(const ViewInfo* info, GetView(view));
+  std::string begin = EncodeKeyValues(low);
+  std::string end;
+  if (!high.empty()) end = EncodeKeyValues(high);
+  IVDB_ASSIGN_OR_RETURN(
+      auto entries,
+      ScanObject(txn, info->id, begin, high.empty() ? nullptr : &end));
+  return FinalizeViewScan(info, std::move(entries));
+}
+
+Result<Database::ViewRowBounds> Database::GetViewRowBounds(
+    const std::string& view, const std::vector<Value>& group) {
+  IVDB_ASSIGN_OR_RETURN(const ViewInfo* info, GetView(view));
+  if (info->definition.kind != ViewKind::kAggregate) {
+    return Status::InvalidArgument("bounds reads apply to aggregate views");
+  }
+  BTree* tree = GetIndex(info->id);
+  const std::string key = EncodeKeyValues(group);
+
+  // A snapshot at +infinity: the subtract list is exactly the pending
+  // increments, and the physical value rides along atomically.
+  std::optional<std::string> physical;
+  VersionStore::SnapshotView now = versions_.GetAsOfConsistent(
+      info->id, key, UINT64_MAX, tree, &physical);
+
+  ViewRowBounds bounds;
+  if (now.use_chain_value) {
+    // A structural change (ghost creation/cleanup) is in flight; the
+    // committed state is the chain value, and escrow uncertainty is nil
+    // (E conflicts with the writer's X).
+    if (!now.chain_value.has_value()) return bounds;  // not created yet
+    Row row;
+    IVDB_RETURN_NOT_OK(DecodeRow(*now.chain_value, &row));
+    bounds.exists = true;
+    bounds.low = row;
+    bounds.high = std::move(row);
+    return bounds;
+  }
+  if (!physical.has_value()) return bounds;
+
+  Row base;
+  IVDB_RETURN_NOT_OK(DecodeRow(*physical, &base));
+  bounds.exists = true;
+  bounds.low = base;
+  bounds.high = std::move(base);
+  // Each pending transaction may abort, removing its (already applied)
+  // contribution: positive pending deltas pull the low bound down, negative
+  // ones push the high bound up.
+  for (const auto& deltas : now.subtract) {
+    for (const ColumnDelta& d : deltas) {
+      if (d.delta.is_null()) continue;
+      bool positive = d.delta.type() == TypeId::kInt64
+                          ? d.delta.AsInt64() > 0
+                          : d.delta.AsNumeric() > 0;
+      Row& side = positive ? bounds.low : bounds.high;
+      IVDB_RETURN_NOT_OK(side[d.column].AccumulateAdd(d.delta.Negated()));
+    }
+  }
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// Durability: checkpoint + recovery
+// ---------------------------------------------------------------------------
+
+Status Database::FlushWal() { return log_->Flush(log_->last_lsn()); }
+
+Status Database::CheckpointLocked() {
+  if (options_.dir.empty()) return Status::OK();
+
+  SnapshotImage image;
+  image.checkpoint_lsn = log_->last_lsn();
+  image.clock_ts = txns_->clock()->Peek();
+  image.next_txn_id = txns_->PeekNextTxnId();
+
+  for (const TableInfo* t : catalog_.ListTables()) {
+    SnapshotImage::TableImage ti;
+    ti.id = t->id;
+    ti.name = t->name;
+    ti.schema = t->schema;
+    ti.key_columns = t->key_columns;
+    image.tables.push_back(std::move(ti));
+  }
+  {
+    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    for (const auto& [name, entry] : views_) {
+      SnapshotImage::ViewImage vi;
+      vi.id = entry->info.id;
+      vi.def = entry->info.definition;
+      image.views.push_back(std::move(vi));
+    }
+  }
+  for (const SecondaryIndexInfo* idx : catalog_.ListAllSecondaryIndexes()) {
+    image.secondary_indexes.push_back(*idx);
+  }
+  {
+    std::shared_lock<std::shared_mutex> guard(indexes_mu_);
+    for (const auto& [id, tree] : indexes_) {
+      std::string payload;
+      tree->SerializeTo(&payload);
+      image.indexes.emplace_back(id, std::move(payload));
+    }
+  }
+
+  IVDB_RETURN_NOT_OK(log_->Flush(log_->last_lsn()));
+  std::string encoded;
+  IVDB_RETURN_NOT_OK(EncodeSnapshot(image, &encoded));
+  IVDB_RETURN_NOT_OK(WriteStringToFileAtomic(CheckpointPath(), encoded));
+  // Everything up to checkpoint_lsn is captured in the snapshot; the log can
+  // restart empty.
+  return log_->TruncateAll();
+}
+
+Status Database::Checkpoint() {
+  // Pause cleaners: their system transactions bypass the quiesce gate by
+  // design, but a checkpoint needs a still image.
+  std::vector<GhostCleaner*> paused;
+  {
+    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    for (const auto& [name, entry] : views_) {
+      if (entry->cleaner != nullptr) {
+        entry->cleaner->Stop();
+        paused.push_back(entry->cleaner.get());
+      }
+    }
+  }
+  txns_->BeginQuiesce();
+  Status s = CheckpointLocked();
+  txns_->EndQuiesce();
+  if (options_.start_ghost_cleaner) {
+    for (GhostCleaner* cleaner : paused) {
+      cleaner->Start(options_.ghost_cleaner_interval_micros);
+    }
+  }
+  return s;
+}
+
+Status Database::RestoreFromImage(const SnapshotImage& image) {
+  for (const auto& t : image.tables) {
+    TableInfo info;
+    info.id = t.id;
+    info.name = t.name;
+    info.schema = t.schema;
+    info.key_columns = t.key_columns;
+    IVDB_RETURN_NOT_OK(catalog_.RestoreTable(std::move(info)));
+  }
+  for (const auto& [id, payload] : image.indexes) {
+    BTree* tree = CreateIndex(id);
+    Slice input(payload);
+    IVDB_RETURN_NOT_OK(tree->DeserializeFrom(&input));
+  }
+  for (const auto& v : image.views) {
+    catalog_.AdvancePastId(v.id);
+    IVDB_RETURN_NOT_OK(RegisterView(v.id, v.def, /*populate=*/false));
+  }
+  for (const SecondaryIndexInfo& idx : image.secondary_indexes) {
+    IVDB_RETURN_NOT_OK(catalog_.RestoreSecondaryIndex(idx));
+    CreateIndex(idx.id);  // contents came with image.indexes above
+  }
+  txns_->AdvancePast(image.next_txn_id, image.clock_ts);
+  return Status::OK();
+}
+
+Status Database::Recover() {
+  if (options_.dir.empty()) return Status::OK();
+
+  Lsn checkpoint_lsn = kInvalidLsn;
+  if (FileExists(CheckpointPath())) {
+    std::string contents;
+    IVDB_RETURN_NOT_OK(ReadFileToString(CheckpointPath(), &contents));
+    SnapshotImage image;
+    IVDB_RETURN_NOT_OK(DecodeSnapshot(contents, &image));
+    IVDB_RETURN_NOT_OK(RestoreFromImage(image));
+    checkpoint_lsn = image.checkpoint_lsn;
+  }
+
+  std::vector<LogRecord> records;
+  IVDB_RETURN_NOT_OK(LogManager::ReadAll(WalPath(), &records));
+
+  // --- Analysis: transaction outcomes + chain index. ---
+  struct TxnEntry {
+    Lsn last_lsn = kInvalidLsn;
+    bool committed = false;
+    bool ended = false;
+    bool system = false;
+  };
+  std::map<TxnId, TxnEntry> txn_table;
+  std::map<Lsn, const LogRecord*> by_lsn;
+  Lsn max_lsn = checkpoint_lsn;
+  TxnId max_txn = 0;
+  uint64_t max_ts = 0;
+
+  for (const LogRecord& rec : records) {
+    if (rec.lsn <= checkpoint_lsn) continue;
+    max_lsn = std::max(max_lsn, rec.lsn);
+    max_txn = std::max(max_txn, rec.txn_id);
+    max_ts = std::max(max_ts, rec.timestamp);
+    by_lsn[rec.lsn] = &rec;
+    TxnEntry& entry = txn_table[rec.txn_id];
+    entry.last_lsn = rec.lsn;
+    entry.system = rec.system_txn;
+    if (rec.type == LogRecordType::kCommit) entry.committed = true;
+    if (rec.type == LogRecordType::kEnd) entry.ended = true;
+  }
+  log_->AdvancePastLsn(max_lsn);
+  txns_->AdvancePast(max_txn, max_ts);
+
+  // --- Redo: replay history (including compensations) from the snapshot
+  //     base. Logical redo is deterministic and exact from a quiescent
+  //     checkpoint image. ---
+  for (const LogRecord& rec : records) {
+    if (rec.lsn <= checkpoint_lsn) continue;
+    switch (rec.type) {
+      case LogRecordType::kInsert:
+      case LogRecordType::kDelete:
+      case LogRecordType::kUpdate:
+      case LogRecordType::kIncrement:
+        IVDB_RETURN_NOT_OK(ApplyRedo(rec.type, rec));
+        break;
+      case LogRecordType::kClr:
+        IVDB_RETURN_NOT_OK(ApplyRedo(rec.clr_op, rec));
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- Undo: roll back losers (no COMMIT, no END), resuming mid-rollback
+  //     transactions from their last CLR's undo_next_lsn. ---
+  for (auto& [txn_id, entry] : txn_table) {
+    if (entry.committed || entry.ended) continue;
+    Lsn cursor = entry.last_lsn;
+    Lsn chain_tail = entry.last_lsn;
+    while (cursor != kInvalidLsn) {
+      auto it = by_lsn.find(cursor);
+      if (it == by_lsn.end()) {
+        return Status::Corruption("undo chain references missing LSN " +
+                                  std::to_string(cursor));
+      }
+      const LogRecord& rec = *it->second;
+      switch (rec.type) {
+        case LogRecordType::kClr:
+          cursor = rec.undo_next_lsn;
+          break;
+        case LogRecordType::kInsert:
+        case LogRecordType::kDelete:
+        case LogRecordType::kUpdate:
+        case LogRecordType::kIncrement: {
+          LogRecord clr = MakeCompensation(rec);
+          clr.prev_lsn = chain_tail;
+          IVDB_RETURN_NOT_OK(log_->Append(&clr));
+          chain_tail = clr.lsn;
+          IVDB_RETURN_NOT_OK(ApplyRedo(clr.clr_op, clr));
+          cursor = rec.prev_lsn;
+          break;
+        }
+        case LogRecordType::kBegin:
+          cursor = kInvalidLsn;
+          break;
+        case LogRecordType::kAbort:
+          cursor = rec.prev_lsn;
+          break;
+        default:
+          cursor = rec.prev_lsn;
+          break;
+      }
+    }
+    LogRecord end;
+    end.type = LogRecordType::kEnd;
+    end.txn_id = txn_id;
+    end.system_txn = entry.system;
+    end.prev_lsn = chain_tail;
+    IVDB_RETURN_NOT_OK(log_->Append(&end));
+  }
+
+  return log_->Flush(log_->last_lsn());
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance / administration
+// ---------------------------------------------------------------------------
+
+Status Database::CleanGhosts(uint64_t* reclaimed_out) {
+  uint64_t total = 0;
+  std::vector<GhostCleaner*> cleaners;
+  {
+    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    for (const auto& [name, entry] : views_) {
+      if (entry->cleaner != nullptr) cleaners.push_back(entry->cleaner.get());
+    }
+  }
+  for (GhostCleaner* cleaner : cleaners) {
+    uint64_t reclaimed = 0;
+    IVDB_RETURN_NOT_OK(cleaner->RunOnce(&reclaimed));
+    total += reclaimed;
+  }
+  if (reclaimed_out != nullptr) *reclaimed_out = total;
+  return Status::OK();
+}
+
+uint64_t Database::GarbageCollectVersions() {
+  return versions_.GarbageCollect(txns_->OldestActiveTs());
+}
+
+Status Database::VerifyViewConsistency(const std::string& view) const {
+  const ViewEntry* entry = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    auto it = views_.find(view);
+    if (it == views_.end()) return Status::NotFound("view not found");
+    entry = it->second.get();
+  }
+  std::map<std::string, Row> expected;
+  IVDB_RETURN_NOT_OK(entry->maintainer->Recompute(&expected));
+
+  std::shared_lock<std::shared_mutex> guard(indexes_mu_);
+  auto it = indexes_.find(entry->info.id);
+  if (it == indexes_.end()) return Status::Corruption("view index missing");
+  std::map<std::string, Row> stored;
+  Status decode_status;
+  it->second->Scan("", nullptr, [&](const Slice& key, const Slice& value) {
+    Row row;
+    decode_status = DecodeRow(value, &row);
+    if (!decode_status.ok()) return false;
+    if (entry->info.definition.kind == ViewKind::kAggregate &&
+        row[entry->info.definition.CountColumnIndex()].AsInt64() == 0) {
+      return true;  // ghost: logically absent
+    }
+    stored[key.ToString()] = std::move(row);
+    return true;
+  });
+  IVDB_RETURN_NOT_OK(decode_status);
+
+  if (stored.size() != expected.size()) {
+    return Status::Corruption(
+        "view '" + view + "' row count mismatch: stored " +
+        std::to_string(stored.size()) + ", recomputed " +
+        std::to_string(expected.size()));
+  }
+  for (const auto& [key, row] : expected) {
+    auto sit = stored.find(key);
+    if (sit == stored.end()) {
+      return Status::Corruption("view '" + view + "' missing key");
+    }
+    if (sit->second.size() != row.size()) {
+      return Status::Corruption("view '" + view + "' arity mismatch");
+    }
+    for (size_t i = 0; i < row.size(); i++) {
+      const Value& stored_v = sit->second[i];
+      const Value& expect_v = row[i];
+      bool equal;
+      if (stored_v.type() == TypeId::kDouble && !stored_v.is_null() &&
+          !expect_v.is_null()) {
+        // Incrementally maintained double SUMs accumulate additions in a
+        // different order than a fresh evaluation, so low-order bits may
+        // differ (floating-point addition is not associative — the reason
+        // SQL Server bans imprecise types in indexed-view aggregates).
+        // Compare with a relative tolerance instead.
+        double a = stored_v.AsDouble(), b = expect_v.AsDouble();
+        double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+        equal = std::fabs(a - b) <= 1e-9 * scale;
+      } else {
+        equal = stored_v == expect_v;
+      }
+      if (!equal) {
+        return Status::Corruption(
+            "view '" + view + "' value mismatch: stored " +
+            RowToString(sit->second) + ", recomputed " + RowToString(row));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const ViewMaintainerStats* Database::view_stats(const std::string& view) const {
+  std::shared_lock<std::shared_mutex> guard(views_mu_);
+  auto it = views_.find(view);
+  return it == views_.end() ? nullptr : &it->second->maintainer->stats();
+}
+
+const GhostCleanerStats* Database::ghost_stats(const std::string& view) const {
+  std::shared_lock<std::shared_mutex> guard(views_mu_);
+  auto it = views_.find(view);
+  if (it == views_.end() || it->second->cleaner == nullptr) return nullptr;
+  return &it->second->cleaner->stats();
+}
+
+}  // namespace ivdb

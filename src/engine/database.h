@@ -1,0 +1,288 @@
+#ifndef IVDB_ENGINE_DATABASE_H_
+#define IVDB_ENGINE_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "lock/lock_manager.h"
+#include "storage/btree.h"
+#include "storage/version_store.h"
+#include "txn/txn_manager.h"
+#include "view/ghost_cleaner.h"
+#include "view/maintenance.h"
+#include "view/view_def.h"
+#include "wal/log_manager.h"
+
+namespace ivdb {
+
+struct SnapshotImage;
+
+// How locking-mode scans of base tables achieve phantom safety.
+enum class ScanLockingMode : uint8_t {
+  // One object-level S lock per scan: simple, cheap, but serializes the
+  // whole table against writers.
+  kObjectLevel,
+  // ARIES/KVL-style key-range (next-key) locking: the scan S-locks every
+  // row in the range plus the gap below each row and below the range's
+  // upper boundary; inserts/deletes take X gap locks on the affected
+  // next-keys. Scans of disjoint ranges run concurrently with writers.
+  // (View scans always use object-level locks — snapshot reads are the
+  // intended concurrent-read path for hot aggregates.)
+  kKeyRange,
+};
+
+struct DatabaseOptions {
+  // Directory for the WAL and checkpoint files. Empty => purely in-memory
+  // (no durability; recovery tests and lock-only benchmarks).
+  std::string dir;
+
+  SyncMode sync = SyncMode::kNone;
+  // Simulated stable-storage latency per log flush (see LogManagerOptions).
+  uint64_t flush_delay_micros = 0;
+  // Group-commit leader batching window (see LogManagerOptions).
+  uint64_t group_commit_window_micros = 0;
+
+  // View maintenance configuration (sweepable by the benchmarks).
+  MaintenanceTiming maintenance_timing = MaintenanceTiming::kImmediate;
+  bool use_escrow_locks = true;
+
+  std::chrono::milliseconds lock_wait_timeout{10000};
+  // Waits-for-graph deadlock detection; with it off, deadlocks resolve by
+  // lock_wait_timeout only (ablation A3 in bench_ablation).
+  bool detect_deadlocks = true;
+  // Lock escalation trigger (key locks per object per transaction before
+  // trading them for one object lock); 0 disables.
+  size_t lock_escalation_threshold = 0;
+  // Phantom-protection strategy for base-table scans in kLocking mode.
+  ScanLockingMode scan_locking = ScanLockingMode::kObjectLevel;
+
+  // Background ghost cleanup for every aggregate view.
+  bool start_ghost_cleaner = false;
+  uint64_t ghost_cleaner_interval_micros = 50000;
+};
+
+struct ViewInfo {
+  ObjectId id = kInvalidObjectId;
+  ViewDefinition definition;
+  Schema schema;
+};
+
+// The public facade: a multi-threaded transactional storage engine with
+// indexed views maintained inside user transactions.
+//
+// Typical use:
+//
+//   auto db = Database::Open({.dir = "/tmp/mydb"}).value();
+//   auto* t = db->CreateTable("sales", schema, {0}).value();
+//   ViewDefinition def = ...;                 // GROUP BY + SUM/COUNT
+//   db->CreateIndexedView(def);
+//   Transaction* txn = db->Begin();
+//   db->Insert(txn, "sales", row);            // view maintained in-txn
+//   db->Commit(txn);
+//
+// Error handling contract: any Status with RequiresRollback() (deadlock,
+// timeout, abort) leaves the transaction active-but-doomed; the caller must
+// call Abort() and may retry. All other statement failures (NotFound,
+// AlreadyExists, InvalidArgument, escrow-bound kBusy, ...) are *statement
+// atomic*: the failed statement's partial effects are rolled back via a
+// savepoint and the transaction remains usable.
+class Database : public LogApplier, public IndexResolver {
+ public:
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
+  ~Database() override;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- DDL ---
+
+  // Creates a base table clustered on `key_columns`. When the database is
+  // durable (dir set), DDL forces a checkpoint: the engine does not log DDL.
+  Result<const TableInfo*> CreateTable(const std::string& name, Schema schema,
+                                       std::vector<int> key_columns);
+
+  // Creates an indexed view and populates it from current base data (under
+  // a quiescent section). The view is maintained by every subsequent
+  // transaction that changes its fact table.
+  Result<const ViewInfo*> CreateIndexedView(ViewDefinition definition);
+
+  Result<const ViewInfo*> GetView(const std::string& name) const;
+  std::vector<const ViewInfo*> ListViews() const;
+  const Catalog& catalog() const { return catalog_; }
+
+  // Creates a secondary (non-clustered) index over `columns` of a base
+  // table, backfilled from current contents. Maintained by every subsequent
+  // DML statement; fully logged, so it recovers with the table.
+  Result<const SecondaryIndexInfo*> CreateSecondaryIndex(
+      const std::string& index_name, const std::string& table,
+      const std::vector<std::string>& columns);
+
+  // Rows of the indexed table whose indexed columns match `values` (a
+  // prefix of the index columns is allowed). Read semantics follow the
+  // transaction's read mode, exactly like primary-key reads.
+  Result<std::vector<Row>> GetByIndex(Transaction* txn,
+                                      const std::string& index_name,
+                                      const std::vector<Value>& values);
+
+  // --- Transactions ---
+
+  Transaction* Begin(ReadMode read_mode = ReadMode::kLocking);
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+  // Frees a finished transaction's descriptor (optional; bounds memory in
+  // long benchmark runs).
+  void Forget(Transaction* txn);
+
+  // --- DML (primary-key based) ---
+
+  Status Insert(Transaction* txn, const std::string& table, const Row& row);
+  // Replaces the row with the same primary key (which must exist).
+  Status Update(Transaction* txn, const std::string& table, const Row& row);
+  Status Delete(Transaction* txn, const std::string& table,
+                const std::vector<Value>& key);
+
+  // --- Reads (behaviour depends on txn->read_mode()) ---
+
+  Result<std::optional<Row>> Get(Transaction* txn, const std::string& table,
+                                 const std::vector<Value>& key);
+  Result<std::vector<Row>> ScanTable(Transaction* txn,
+                                     const std::string& table);
+  // Rows whose clustering key is in [low, high) — each bound given as a
+  // (possibly partial) prefix of key values; empty high = unbounded.
+  Result<std::vector<Row>> ScanTableRange(Transaction* txn,
+                                          const std::string& table,
+                                          const std::vector<Value>& low,
+                                          const std::vector<Value>& high);
+
+  // View reads return *finalized* rows (AVG derived from sum/count); ghost
+  // rows (count == 0) are invisible.
+  Result<std::optional<Row>> GetViewRow(Transaction* txn,
+                                        const std::string& view,
+                                        const std::vector<Value>& group);
+  Result<std::vector<Row>> ScanView(Transaction* txn, const std::string& view);
+  // Aggregate rows whose group key is in [low, high) (prefix bounds, empty
+  // high = unbounded); same finalization/ghost rules as ScanView.
+  Result<std::vector<Row>> ScanViewRange(Transaction* txn,
+                                         const std::string& view,
+                                         const std::vector<Value>& low,
+                                         const std::vector<Value>& high);
+
+  // Optimistic escrow read: the range of values the aggregate row can
+  // settle to once every in-flight transaction commits or aborts, computed
+  // WITHOUT taking any lock (never blocks behind E holders). Rows are in
+  // stored form (AVG columns are running sums). `low` and `high` coincide
+  // when nothing is pending. If the row's count may reach 0, `low` is a
+  // ghost-valued row — the group might disappear.
+  struct ViewRowBounds {
+    bool exists = false;  // row physically present / being created
+    Row low;
+    Row high;
+  };
+  Result<ViewRowBounds> GetViewRowBounds(const std::string& view,
+                                         const std::vector<Value>& group);
+
+  // --- Durability ---
+
+  // Quiescent checkpoint: waits out active transactions, snapshots all
+  // state, truncates the WAL.
+  Status Checkpoint();
+  // Forces the WAL to stable storage (commits already do this).
+  Status FlushWal();
+
+  // --- Maintenance / administration ---
+
+  // Runs one ghost-cleanup pass over every aggregate view.
+  Status CleanGhosts(uint64_t* reclaimed = nullptr);
+  // Reclaims version-store entries older than the oldest active snapshot.
+  uint64_t GarbageCollectVersions();
+
+  // Test/benchmark oracle: recomputes the view from base tables and compares
+  // with the stored index (must be called while quiescent).
+  Status VerifyViewConsistency(const std::string& view) const;
+
+  // Component stats for benchmarks.
+  const LockManagerStats& lock_stats() const { return locks_.stats(); }
+  const LogManagerStats& log_stats() const { return log_->stats(); }
+  const TxnManagerStats& txn_stats() const { return txns_->stats(); }
+  const ViewMaintainerStats* view_stats(const std::string& view) const;
+  const GhostCleanerStats* ghost_stats(const std::string& view) const;
+  uint64_t version_store_entries() const { return versions_.TotalEntries(); }
+
+  // --- LogApplier (rollback + recovery) ---
+  Status ApplyRedo(LogRecordType op_type, const LogRecord& rec) override;
+
+  // --- IndexResolver ---
+  BTree* GetIndex(ObjectId id) override;
+
+ private:
+  explicit Database(DatabaseOptions options);
+
+  struct ViewEntry {
+    ViewInfo info;
+    std::unique_ptr<ViewMaintainer> maintainer;
+    std::unique_ptr<GhostCleaner> cleaner;
+  };
+
+  std::string WalPath() const { return options_.dir + "/wal.log"; }
+  std::string CheckpointPath() const { return options_.dir + "/checkpoint.db"; }
+
+  Status Recover();
+  Status RestoreFromImage(const SnapshotImage& image);
+  Status CheckpointLocked();  // requires quiesced state
+
+  BTree* CreateIndex(ObjectId id);
+  // Runs `body` under a savepoint: on a non-doomed failure, everything the
+  // statement logged is compensated before the status is returned.
+  Status WithStatementAtomicity(Transaction* txn,
+                                const std::function<Status()>& body);
+  Status MaintainViews(Transaction* txn, DeferredChange change);
+  // Keeps every secondary index of `info` in step with one base change
+  // (within the statement's savepoint).
+  Status MaintainSecondaryIndexes(Transaction* txn, const TableInfo* info,
+                                  const Row* old_row, const Row* new_row);
+  Status RegisterView(ObjectId id, ViewDefinition def, bool populate);
+
+  // Mode-dispatched visibility: the row of (object, key) as `txn` must see
+  // it (nullopt = absent). Takes the read locks itself in kLocking mode.
+  Result<std::optional<Row>> ReadRow(Transaction* txn, ObjectId object_id,
+                                     const std::string& key);
+  // Mode-dispatched scan of [begin, end) of an object (end nullptr =
+  // unbounded), as (key, row) pairs. `key_range_eligible` marks base-table
+  // scans that may use next-key locking instead of an object S lock.
+  Result<std::vector<std::pair<std::string, Row>>> ScanObject(
+      Transaction* txn, ObjectId object_id, const std::string& begin = "",
+      const std::string* end = nullptr, bool key_range_eligible = false);
+  // Gap locks (next-key locking) around an insert/delete of `key`.
+  Status LockGapsForWrite(Transaction* txn, ObjectId object_id, BTree* tree,
+                          const std::string& key);
+  // Shared tail of ScanView/ScanViewRange.
+  Result<std::vector<Row>> FinalizeViewScan(
+      const ViewInfo* info,
+      std::vector<std::pair<std::string, Row>> entries) const;
+
+  DatabaseOptions options_;
+  Catalog catalog_;
+  LockManager locks_;
+  VersionStore versions_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<TransactionManager> txns_;
+
+  mutable std::shared_mutex indexes_mu_;
+  std::map<ObjectId, std::unique_ptr<BTree>> indexes_;
+
+  mutable std::shared_mutex views_mu_;
+  std::map<std::string, std::unique_ptr<ViewEntry>> views_;
+  std::set<ObjectId> dimension_tables_;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_ENGINE_DATABASE_H_

@@ -1,0 +1,177 @@
+#include "engine/snapshot.h"
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace ivdb {
+
+namespace {
+
+constexpr char kMagic[] = "IVCKPT02";
+constexpr size_t kMagicLen = 8;
+
+void EncodeSchema(const Schema& schema, std::string* dst) {
+  PutVarint64(dst, schema.num_columns());
+  for (const Column& c : schema.columns()) {
+    PutLengthPrefixed(dst, c.name);
+    dst->push_back(static_cast<char>(c.type));
+  }
+}
+
+Status DecodeSchema(Slice* input, Schema* out) {
+  uint64_t n = 0;
+  if (!GetVarint64(input, &n)) return Status::Corruption("schema count");
+  if (n > input->size() / 2) {
+    return Status::Corruption("schema count implausible");
+  }
+  std::vector<Column> columns;
+  columns.reserve(n);
+  for (uint64_t i = 0; i < n; i++) {
+    Column c;
+    if (!GetLengthPrefixed(input, &c.name) || input->empty()) {
+      return Status::Corruption("schema column");
+    }
+    c.type = static_cast<TypeId>((*input)[0]);
+    input->RemovePrefix(1);
+    columns.push_back(std::move(c));
+  }
+  *out = Schema(std::move(columns));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EncodeSnapshot(const SnapshotImage& image, std::string* out) {
+  out->clear();
+  std::string body;
+  PutVarint64(&body, image.checkpoint_lsn);
+  PutVarint64(&body, image.clock_ts);
+  PutVarint64(&body, image.next_txn_id);
+
+  PutVarint64(&body, image.tables.size());
+  for (const auto& t : image.tables) {
+    PutVarint64(&body, t.id);
+    PutLengthPrefixed(&body, t.name);
+    EncodeSchema(t.schema, &body);
+    PutVarint64(&body, t.key_columns.size());
+    for (int k : t.key_columns) PutVarint64(&body, static_cast<uint64_t>(k));
+  }
+
+  PutVarint64(&body, image.views.size());
+  for (const auto& v : image.views) {
+    PutVarint64(&body, v.id);
+    v.def.EncodeTo(&body);
+  }
+
+  PutVarint64(&body, image.secondary_indexes.size());
+  for (const SecondaryIndexInfo& idx : image.secondary_indexes) {
+    PutVarint64(&body, idx.id);
+    PutLengthPrefixed(&body, idx.name);
+    PutVarint64(&body, idx.table_id);
+    PutVarint64(&body, idx.columns.size());
+    for (int c : idx.columns) PutVarint64(&body, static_cast<uint64_t>(c));
+  }
+
+  PutVarint64(&body, image.indexes.size());
+  for (const auto& [id, payload] : image.indexes) {
+    PutVarint64(&body, id);
+    PutLengthPrefixed(&body, payload);
+  }
+
+  out->append(kMagic, kMagicLen);
+  PutFixed32(out, Crc32(body.data(), body.size()));
+  PutFixed64(out, body.size());
+  out->append(body);
+  return Status::OK();
+}
+
+Status DecodeSnapshot(const Slice& data, SnapshotImage* out) {
+  *out = SnapshotImage();
+  Slice input = data;
+  if (input.size() < kMagicLen ||
+      std::string_view(input.data(), kMagicLen) != kMagic) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  input.RemovePrefix(kMagicLen);
+  uint32_t crc = 0;
+  uint64_t body_len = 0;
+  if (!GetFixed32(&input, &crc) || !GetFixed64(&input, &body_len) ||
+      input.size() < body_len) {
+    return Status::Corruption("snapshot header truncated");
+  }
+  Slice body(input.data(), body_len);
+  if (Crc32(body.data(), body.size()) != crc) {
+    return Status::Corruption("snapshot checksum mismatch");
+  }
+
+  if (!GetVarint64(&body, &out->checkpoint_lsn) ||
+      !GetVarint64(&body, &out->clock_ts) ||
+      !GetVarint64(&body, &out->next_txn_id)) {
+    return Status::Corruption("snapshot preamble");
+  }
+
+  uint64_t n = 0;
+  if (!GetVarint64(&body, &n)) return Status::Corruption("table count");
+  for (uint64_t i = 0; i < n; i++) {
+    SnapshotImage::TableImage t;
+    uint64_t id = 0;
+    if (!GetVarint64(&body, &id) || !GetLengthPrefixed(&body, &t.name)) {
+      return Status::Corruption("table image");
+    }
+    t.id = static_cast<ObjectId>(id);
+    IVDB_RETURN_NOT_OK(DecodeSchema(&body, &t.schema));
+    uint64_t nk = 0;
+    if (!GetVarint64(&body, &nk)) return Status::Corruption("table keys");
+    for (uint64_t k = 0; k < nk; k++) {
+      uint64_t col = 0;
+      if (!GetVarint64(&body, &col)) return Status::Corruption("table key");
+      t.key_columns.push_back(static_cast<int>(col));
+    }
+    out->tables.push_back(std::move(t));
+  }
+
+  if (!GetVarint64(&body, &n)) return Status::Corruption("view count");
+  for (uint64_t i = 0; i < n; i++) {
+    SnapshotImage::ViewImage v;
+    uint64_t id = 0;
+    if (!GetVarint64(&body, &id)) return Status::Corruption("view id");
+    v.id = static_cast<ObjectId>(id);
+    IVDB_RETURN_NOT_OK(ViewDefinition::DecodeFrom(&body, &v.def));
+    out->views.push_back(std::move(v));
+  }
+
+  if (!GetVarint64(&body, &n)) {
+    return Status::Corruption("secondary index count");
+  }
+  for (uint64_t i = 0; i < n; i++) {
+    SecondaryIndexInfo idx;
+    uint64_t id = 0, table_id = 0, ncols = 0;
+    if (!GetVarint64(&body, &id) || !GetLengthPrefixed(&body, &idx.name) ||
+        !GetVarint64(&body, &table_id) || !GetVarint64(&body, &ncols)) {
+      return Status::Corruption("secondary index image");
+    }
+    idx.id = static_cast<ObjectId>(id);
+    idx.table_id = static_cast<ObjectId>(table_id);
+    for (uint64_t c = 0; c < ncols; c++) {
+      uint64_t col = 0;
+      if (!GetVarint64(&body, &col)) {
+        return Status::Corruption("secondary index column");
+      }
+      idx.columns.push_back(static_cast<int>(col));
+    }
+    out->secondary_indexes.push_back(std::move(idx));
+  }
+
+  if (!GetVarint64(&body, &n)) return Status::Corruption("index count");
+  for (uint64_t i = 0; i < n; i++) {
+    uint64_t id = 0;
+    std::string payload;
+    if (!GetVarint64(&body, &id) || !GetLengthPrefixed(&body, &payload)) {
+      return Status::Corruption("index payload");
+    }
+    out->indexes.emplace_back(static_cast<ObjectId>(id), std::move(payload));
+  }
+  return Status::OK();
+}
+
+}  // namespace ivdb

@@ -1,0 +1,49 @@
+#ifndef IVDB_ENGINE_SNAPSHOT_H_
+#define IVDB_ENGINE_SNAPSHOT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "view/view_def.h"
+#include "wal/log_record.h"
+
+namespace ivdb {
+
+// A full, transactionally-consistent image of the database taken by a
+// quiescent checkpoint: catalog, view definitions, id/timestamp high-water
+// marks, and every index's contents. Restart loads the newest image and
+// replays the WAL past `checkpoint_lsn`.
+struct SnapshotImage {
+  Lsn checkpoint_lsn = kInvalidLsn;
+  uint64_t clock_ts = 0;
+  TxnId next_txn_id = 1;
+
+  struct TableImage {
+    ObjectId id = kInvalidObjectId;
+    std::string name;
+    Schema schema;
+    std::vector<int> key_columns;
+  };
+  std::vector<TableImage> tables;
+
+  struct ViewImage {
+    ObjectId id = kInvalidObjectId;
+    ViewDefinition def;
+  };
+  std::vector<ViewImage> views;
+
+  std::vector<SecondaryIndexInfo> secondary_indexes;
+
+  // (object id, BTree::SerializeTo payload) for every index.
+  std::vector<std::pair<ObjectId, std::string>> indexes;
+};
+
+// CRC-framed snapshot file codec.
+Status EncodeSnapshot(const SnapshotImage& image, std::string* out);
+Status DecodeSnapshot(const Slice& data, SnapshotImage* out);
+
+}  // namespace ivdb
+
+#endif  // IVDB_ENGINE_SNAPSHOT_H_

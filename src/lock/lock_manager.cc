@@ -1,0 +1,391 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace ivdb {
+
+std::string ResourceId::ToString() const {
+  std::string out = "obj" + std::to_string(object_id);
+  if (!key.empty()) {
+    out += "/key(";
+    for (char c : key) {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%02x", static_cast<unsigned char>(c));
+      out += buf;
+    }
+    out += ")";
+  }
+  return out;
+}
+
+Status LockManager::Lock(TxnId txn, const ResourceId& res, LockMode mode) {
+  std::unique_lock<std::mutex> guard(mu_);
+  return LockInternal(txn, res, mode, /*wait=*/true, &guard);
+}
+
+Status LockManager::TryLock(TxnId txn, const ResourceId& res, LockMode mode) {
+  std::unique_lock<std::mutex> guard(mu_);
+  return LockInternal(txn, res, mode, /*wait=*/false, &guard);
+}
+
+bool LockManager::CanGrant(const LockQueue& queue,
+                           const LockRequest& req) const {
+  bool is_conversion = req.converting_from != LockMode::kNL;
+  for (const LockRequest& other : queue.requests) {
+    if (&other == &req) {
+      // Fresh requests queue FIFO: anything after our own position arrived
+      // later and cannot block us. Conversions keep scanning — they must be
+      // compatible with *every* other holder regardless of position.
+      if (!is_conversion) break;
+      continue;
+    }
+    // A waiting conversion still *holds* its original mode; its target mode
+    // is not held yet. Granted requests hold `mode`.
+    LockMode held =
+        other.granted ? other.mode : other.converting_from;
+    if (held != LockMode::kNL) {
+      if (!LockModesCompatible(req.mode, held)) return false;
+    }
+    if (!other.granted && !is_conversion) {
+      // Strict FIFO among fresh waiters: do not overtake an earlier waiter.
+      // (Conversions may overtake: they already hold a lock here, and making
+      // them queue behind fresh waiters would turn every upgrade into a
+      // deadlock with the waiter.)
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
+                                 LockMode mode, bool wait,
+                                 std::unique_lock<std::mutex>* guard) {
+  stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+
+  // Coarse-lock coverage: a key request already implied by a held
+  // object-level lock (e.g. after escalation) is granted without creating
+  // a key-level request at all.
+  if (!res.IsObjectLevel()) {
+    LockMode object_mode =
+        HeldModeLocked(txn, ResourceId::Object(res.object_id));
+    if (object_mode != LockMode::kNL && LockModeCovers(object_mode, mode)) {
+      stats_.covered_by_object_lock.fetch_add(1, std::memory_order_relaxed);
+      stats_.immediate_grants.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+
+  auto& queue_ptr = queues_[res];
+  if (queue_ptr == nullptr) queue_ptr = std::make_unique<LockQueue>();
+  LockQueue* queue = queue_ptr.get();
+
+  // Locate an existing request by this transaction.
+  auto it = std::find_if(queue->requests.begin(), queue->requests.end(),
+                         [txn](const LockRequest& r) { return r.txn == txn; });
+
+  bool is_conversion = false;
+  LockMode restore_mode = LockMode::kNL;
+  if (it != queue->requests.end()) {
+    IVDB_CHECK_MSG(it->granted, "transaction already waiting on this lock");
+    if (LockModeCovers(it->mode, mode)) {
+      stats_.immediate_grants.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();  // already strong enough
+    }
+    // Lock conversion: keep position (within the granted region), switch to
+    // the supremum mode, and wait until compatible with all other holders.
+    is_conversion = true;
+    restore_mode = it->mode;
+    it->converting_from = it->mode;
+    it->mode = LockModeSupremum(it->mode, mode);
+    it->granted = false;
+    stats_.conversions.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    queue->requests.push_back(LockRequest{txn, mode, LockMode::kNL, false});
+    it = std::prev(queue->requests.end());
+    txn_locks_[txn].insert(res);
+  }
+
+  auto rollback_request = [&]() {
+    if (is_conversion) {
+      it->mode = restore_mode;
+      it->converting_from = LockMode::kNL;
+      it->granted = true;
+    } else {
+      queue->requests.erase(it);
+      // Only erase the bookkeeping entry if the txn has no other request on
+      // this resource (it cannot, but keep the set consistent regardless).
+      txn_locks_[txn].erase(res);
+      if (txn_locks_[txn].empty()) txn_locks_.erase(txn);
+    }
+    GrantWaiters(res, queue);
+  };
+
+  auto note_key_grant = [&] {
+    if (is_conversion || res.IsObjectLevel()) return;
+    size_t count = ++key_counts_[{txn, res.object_id}];
+    if (options_.escalation_threshold > 0 &&
+        count >= options_.escalation_threshold) {
+      TryEscalateLocked(txn, res.object_id);
+    }
+  };
+
+  if (CanGrant(*queue, *it)) {
+    it->granted = true;
+    it->converting_from = LockMode::kNL;
+    stats_.immediate_grants.fetch_add(1, std::memory_order_relaxed);
+    note_key_grant();
+    return Status::OK();
+  }
+
+  if (!wait) {
+    rollback_request();
+    return Status::Busy("lock not immediately available: " + res.ToString());
+  }
+
+  waiting_on_[txn] = res;
+  if (options_.detect_deadlocks && WouldDeadlock(txn)) {
+    waiting_on_.erase(txn);
+    rollback_request();
+    stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+    return Status::Deadlock(std::string("deadlock acquiring ") +
+                            LockModeName(mode) + " on " + res.ToString());
+  }
+
+  stats_.waits.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t wait_start = NowMicros();
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.wait_timeout;
+  bool granted = false;
+  while (true) {
+    if (queue->cv.wait_until(*guard, deadline) == std::cv_status::timeout) {
+      // Re-check once under the lock: the grant may have raced the timeout.
+      granted = it->granted;
+      break;
+    }
+    if (it->granted) {
+      granted = true;
+      break;
+    }
+  }
+  waiting_on_.erase(txn);
+  stats_.wait_micros.fetch_add(NowMicros() - wait_start,
+                               std::memory_order_relaxed);
+  if (granted) {
+    note_key_grant();
+    return Status::OK();
+  }
+  rollback_request();
+  stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+  return Status::TimedOut("lock wait timeout on " + res.ToString());
+}
+
+void LockManager::GrantWaiters(const ResourceId& res, LockQueue* queue) {
+  (void)res;
+  bool any_granted = false;
+  bool fresh_blocked = false;
+  for (LockRequest& req : queue->requests) {
+    if (req.granted) continue;
+    bool is_conversion = req.converting_from != LockMode::kNL;
+    if (!is_conversion && fresh_blocked) continue;
+    if (CanGrant(*queue, req)) {
+      req.granted = true;
+      req.converting_from = LockMode::kNL;
+      any_granted = true;
+    } else if (!is_conversion) {
+      fresh_blocked = true;
+    }
+  }
+  if (any_granted) queue->cv.notify_all();
+}
+
+std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
+  std::vector<TxnId> blockers;
+  auto wait_it = waiting_on_.find(txn);
+  if (wait_it == waiting_on_.end()) return blockers;
+  auto queue_it = queues_.find(wait_it->second);
+  if (queue_it == queues_.end()) return blockers;
+  const LockQueue& queue = *queue_it->second;
+
+  auto self = std::find_if(queue.requests.begin(), queue.requests.end(),
+                           [txn](const LockRequest& r) { return r.txn == txn; });
+  if (self == queue.requests.end() || self->granted) return blockers;
+  bool is_conversion = self->converting_from != LockMode::kNL;
+
+  for (auto it = queue.requests.begin(); it != queue.requests.end(); ++it) {
+    if (it->txn == txn) {
+      if (!is_conversion && it == self) break;  // fresh: earlier reqs only
+      continue;
+    }
+    LockMode held = it->granted ? it->mode : it->converting_from;
+    if (held != LockMode::kNL && !LockModesCompatible(self->mode, held)) {
+      blockers.push_back(it->txn);
+    } else if (!it->granted && !is_conversion) {
+      // An earlier fresh waiter blocks us through FIFO ordering.
+      blockers.push_back(it->txn);
+    }
+  }
+  return blockers;
+}
+
+bool LockManager::WouldDeadlock(TxnId requester) const {
+  // DFS over the waits-for graph looking for a cycle back to `requester`.
+  std::vector<TxnId> stack = BlockersOf(requester);
+  std::set<TxnId> visited;
+  while (!stack.empty()) {
+    TxnId t = stack.back();
+    stack.pop_back();
+    if (t == requester) return true;
+    if (!visited.insert(t).second) continue;
+    for (TxnId b : BlockersOf(t)) stack.push_back(b);
+  }
+  return false;
+}
+
+void LockManager::EraseRequest(TxnId txn, const ResourceId& res,
+                               LockQueue* queue) {
+  queue->requests.remove_if(
+      [txn](const LockRequest& r) { return r.txn == txn; });
+  GrantWaiters(res, queue);
+  if (queue->requests.empty()) queues_.erase(res);
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::unique_lock<std::mutex> guard(mu_);
+  auto it = txn_locks_.find(txn);
+  if (it != txn_locks_.end()) {
+    for (const ResourceId& res : it->second) {
+      auto queue_it = queues_.find(res);
+      if (queue_it == queues_.end()) continue;
+      EraseRequest(txn, res, queue_it->second.get());
+    }
+    txn_locks_.erase(it);
+  }
+  waiting_on_.erase(txn);
+  key_counts_.erase(key_counts_.lower_bound({txn, 0}),
+                    key_counts_.upper_bound({txn, UINT32_MAX}));
+}
+
+void LockManager::Unlock(TxnId txn, const ResourceId& res) {
+  std::unique_lock<std::mutex> guard(mu_);
+  auto queue_it = queues_.find(res);
+  if (queue_it == queues_.end()) return;
+  EraseRequest(txn, res, queue_it->second.get());
+  auto it = txn_locks_.find(txn);
+  if (it != txn_locks_.end()) {
+    it->second.erase(res);
+    if (it->second.empty()) txn_locks_.erase(it);
+  }
+  if (!res.IsObjectLevel()) {
+    auto count_it = key_counts_.find({txn, res.object_id});
+    if (count_it != key_counts_.end() && count_it->second > 0) {
+      count_it->second--;
+    }
+  }
+}
+
+LockMode LockManager::HeldModeLocked(TxnId txn, const ResourceId& res) const {
+  auto queue_it = queues_.find(res);
+  if (queue_it == queues_.end()) return LockMode::kNL;
+  for (const LockRequest& r : queue_it->second->requests) {
+    if (r.txn == txn) {
+      if (r.granted) return r.mode;
+      if (r.converting_from != LockMode::kNL) return r.converting_from;
+      return LockMode::kNL;
+    }
+  }
+  return LockMode::kNL;
+}
+
+LockMode LockManager::HeldMode(TxnId txn, const ResourceId& res) const {
+  std::unique_lock<std::mutex> guard(mu_);
+  return HeldModeLocked(txn, res);
+}
+
+void LockManager::TryEscalateLocked(TxnId txn, uint32_t object_id) {
+  auto locks_it = txn_locks_.find(txn);
+  if (locks_it == txn_locks_.end()) return;
+
+  // Collect this txn's granted key locks on the object and derive the
+  // escalation target: S when everything held is shared, X otherwise
+  // (an object-level E would not license arbitrary key access).
+  std::vector<ResourceId> key_locks;
+  bool all_shared = true;
+  for (auto it = locks_it->second.lower_bound(ResourceId::Object(object_id));
+       it != locks_it->second.end() && it->object_id == object_id; ++it) {
+    if (it->IsObjectLevel()) continue;
+    LockMode held = HeldModeLocked(txn, *it);
+    if (held == LockMode::kNL) return;  // a key wait is in flight: bail
+    if (held != LockMode::kS && held != LockMode::kIS) all_shared = false;
+    key_locks.push_back(*it);
+  }
+  if (key_locks.empty()) return;
+  LockMode target = all_shared ? LockMode::kS : LockMode::kX;
+
+  // Upgrade (or freshly take) the object-level lock, without waiting.
+  ResourceId object_res = ResourceId::Object(object_id);
+  auto& queue_ptr = queues_[object_res];
+  if (queue_ptr == nullptr) queue_ptr = std::make_unique<LockQueue>();
+  LockQueue* queue = queue_ptr.get();
+  auto self = std::find_if(queue->requests.begin(), queue->requests.end(),
+                           [txn](const LockRequest& r) { return r.txn == txn; });
+  if (self != queue->requests.end()) {
+    if (!self->granted) return;  // waiting on the object already: bail
+    if (LockModeCovers(self->mode, target)) {
+      // Already strong enough (repeat escalation attempt).
+    } else {
+      LockMode restore = self->mode;
+      self->converting_from = self->mode;
+      self->mode = LockModeSupremum(self->mode, target);
+      self->granted = false;
+      if (CanGrant(*queue, *self)) {
+        self->granted = true;
+        self->converting_from = LockMode::kNL;
+      } else {
+        self->mode = restore;
+        self->converting_from = LockMode::kNL;
+        self->granted = true;
+        return;  // conflicting holders: try again at the next trigger
+      }
+    }
+  } else {
+    LockRequest req{txn, target, LockMode::kNL, false};
+    queue->requests.push_back(req);
+    auto inserted = std::prev(queue->requests.end());
+    if (CanGrant(*queue, *inserted)) {
+      inserted->granted = true;
+      txn_locks_[txn].insert(object_res);
+    } else {
+      queue->requests.erase(inserted);
+      return;
+    }
+  }
+
+  // Escalated: the key locks are now redundant — drop them so the lock
+  // table shrinks (the point of the exercise).
+  for (const ResourceId& res : key_locks) {
+    auto queue_it = queues_.find(res);
+    if (queue_it != queues_.end()) {
+      EraseRequest(txn, res, queue_it->second.get());
+    }
+    locks_it->second.erase(res);
+  }
+  key_counts_.erase({txn, object_id});
+  stats_.escalations.fetch_add(1, std::memory_order_relaxed);
+}
+
+int LockManager::NumHolders(const ResourceId& res) const {
+  std::unique_lock<std::mutex> guard(mu_);
+  auto queue_it = queues_.find(res);
+  if (queue_it == queues_.end()) return 0;
+  int n = 0;
+  for (const LockRequest& r : queue_it->second->requests) {
+    // A waiting conversion still holds its original lock.
+    if (r.granted || r.converting_from != LockMode::kNL) n++;
+  }
+  return n;
+}
+
+}  // namespace ivdb

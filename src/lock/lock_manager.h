@@ -1,0 +1,161 @@
+#ifndef IVDB_LOCK_LOCK_MANAGER_H_
+#define IVDB_LOCK_LOCK_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lock/lock_mode.h"
+
+namespace ivdb {
+
+using TxnId = uint64_t;
+
+// A lockable resource: a whole object (table or view index) when `key` is
+// empty, otherwise one key within that object. Key-range/predicate locking
+// is approximated by key locks on the clustering key plus object-level locks
+// for scans.
+struct ResourceId {
+  uint32_t object_id = 0;
+  std::string key;
+
+  static ResourceId Object(uint32_t object_id) { return {object_id, ""}; }
+  static ResourceId Key(uint32_t object_id, std::string key) {
+    return {object_id, std::move(key)};
+  }
+
+  bool IsObjectLevel() const { return key.empty(); }
+
+  bool operator<(const ResourceId& other) const {
+    if (object_id != other.object_id) return object_id < other.object_id;
+    return key < other.key;
+  }
+  bool operator==(const ResourceId& other) const {
+    return object_id == other.object_id && key == other.key;
+  }
+
+  std::string ToString() const;
+};
+
+// Aggregate counters exposed for the benchmarks (lock-level behaviour is
+// half the paper's story).
+struct LockManagerStats {
+  std::atomic<uint64_t> acquisitions{0};
+  std::atomic<uint64_t> immediate_grants{0};
+  std::atomic<uint64_t> waits{0};
+  std::atomic<uint64_t> deadlocks{0};
+  std::atomic<uint64_t> timeouts{0};
+  std::atomic<uint64_t> conversions{0};
+  std::atomic<uint64_t> wait_micros{0};
+  std::atomic<uint64_t> escalations{0};
+  std::atomic<uint64_t> covered_by_object_lock{0};
+};
+
+// Centralized hierarchical lock manager with escrow support.
+//
+// Deadlock handling: when a request must wait, a depth-first search over the
+// waits-for graph (computed from the queues) runs first; if the new wait
+// would close a cycle the requester is chosen as the victim and receives
+// Status::Deadlock — it must roll back. Waits additionally carry a timeout
+// (Status::TimedOut) as a backstop.
+//
+// Fairness: strict FIFO per resource, except that conversions of already-
+// granted locks wait ahead of fresh requests (standard practice; avoids
+// conversion starvation and most conversion deadlocks).
+class LockManager {
+ public:
+  struct Options {
+    std::chrono::milliseconds wait_timeout{10000};
+    bool detect_deadlocks = true;
+    // Lock escalation: once a transaction holds this many key locks on one
+    // object, the manager opportunistically trades them for a single
+    // object-level lock (S if all keys are shared, X otherwise). Escalation
+    // only succeeds when no other transaction holds a conflicting
+    // object-level lock — it never waits, it just tries again later.
+    // 0 disables escalation.
+    size_t escalation_threshold = 0;
+  };
+
+  LockManager() : LockManager(Options{}) {}
+  explicit LockManager(Options options) : options_(options) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // Acquires (or converts to) `mode` on `res` for `txn`, blocking until
+  // granted, deadlock, or timeout. Re-entrant: requesting a mode already
+  // covered is a no-op.
+  Status Lock(TxnId txn, const ResourceId& res, LockMode mode);
+
+  // Instant-duration attempt: grants only if immediately compatible,
+  // otherwise returns Status::Busy without waiting. Used by the ghost
+  // cleaner (E→X only when no other escrow holders exist).
+  Status TryLock(TxnId txn, const ResourceId& res, LockMode mode);
+
+  // Releases every lock held by `txn` (commit/abort).
+  void ReleaseAll(TxnId txn);
+
+  // Releases one lock early (used for instant-duration locks). The caller
+  // is responsible for two-phase discipline.
+  void Unlock(TxnId txn, const ResourceId& res);
+
+  // Mode currently held by `txn` on `res` (kNL if none).
+  LockMode HeldMode(TxnId txn, const ResourceId& res) const;
+
+  // Number of distinct transactions holding a granted lock on `res`.
+  int NumHolders(const ResourceId& res) const;
+
+  const LockManagerStats& stats() const { return stats_; }
+
+ private:
+  struct LockRequest {
+    TxnId txn;
+    LockMode mode;            // requested/target mode
+    LockMode converting_from = LockMode::kNL;  // kNL => fresh request
+    bool granted = false;
+  };
+
+  struct LockQueue {
+    std::list<LockRequest> requests;  // granted prefix, then waiters in order
+    std::condition_variable cv;
+  };
+
+  // All private helpers require mu_ held.
+  Status LockInternal(TxnId txn, const ResourceId& res, LockMode mode,
+                      bool wait, std::unique_lock<std::mutex>* guard);
+  bool CanGrant(const LockQueue& queue, const LockRequest& req) const;
+  void GrantWaiters(const ResourceId& res, LockQueue* queue);
+  bool WouldDeadlock(TxnId requester) const;
+  std::vector<TxnId> BlockersOf(TxnId txn) const;
+  void EraseRequest(TxnId txn, const ResourceId& res, LockQueue* queue);
+  // Mode the txn holds on `res` via a granted request, kNL if none.
+  LockMode HeldModeLocked(TxnId txn, const ResourceId& res) const;
+  // Attempts to replace the txn's key locks on `object_id` with one
+  // object-level lock; silently does nothing if that lock cannot be
+  // granted immediately.
+  void TryEscalateLocked(TxnId txn, uint32_t object_id);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<ResourceId, std::unique_ptr<LockQueue>> queues_;
+  // Resources each txn has requests (granted or waiting) in.
+  std::map<TxnId, std::set<ResourceId>> txn_locks_;
+  // Resource each txn is currently waiting on (at most one).
+  std::map<TxnId, ResourceId> waiting_on_;
+  // Granted key-lock counts per (txn, object): escalation trigger.
+  std::map<std::pair<TxnId, uint32_t>, size_t> key_counts_;
+  LockManagerStats stats_;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_LOCK_LOCK_MANAGER_H_

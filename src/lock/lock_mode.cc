@@ -1,0 +1,84 @@
+#include "lock/lock_mode.h"
+
+#include "common/logging.h"
+
+namespace ivdb {
+
+namespace {
+
+constexpr bool Y = true;
+constexpr bool N = false;
+
+// compat[requested][held]
+// held:                    NL IS IX  S SIX  U  X  E
+constexpr bool kCompat[kNumLockModes][kNumLockModes] = {
+    /* req NL  */ {Y, Y, Y, Y, Y, Y, Y, Y},
+    /* req IS  */ {Y, Y, Y, Y, Y, Y, N, N},
+    /* req IX  */ {Y, Y, Y, N, N, N, N, N},
+    /* req S   */ {Y, Y, N, Y, N, N, N, N},
+    /* req SIX */ {Y, Y, N, N, N, N, N, N},
+    /* req U   */ {Y, Y, N, Y, N, N, N, N},
+    /* req X   */ {Y, N, N, N, N, N, N, N},
+    /* req E   */ {Y, N, N, N, N, N, N, Y},
+};
+
+// Lattice order used for supremum. Anything not related in the classic
+// hierarchy escalates to X; in particular every mix involving E (other than
+// E+E) escalates to X, because escrow compatibility is only sound while all
+// holders promise increment-only access.
+constexpr LockMode kSup[kNumLockModes][kNumLockModes] = {
+    /* NL  */ {LockMode::kNL, LockMode::kIS, LockMode::kIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kU, LockMode::kX, LockMode::kE},
+    /* IS  */ {LockMode::kIS, LockMode::kIS, LockMode::kIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kU, LockMode::kX, LockMode::kX},
+    /* IX  */ {LockMode::kIX, LockMode::kIX, LockMode::kIX, LockMode::kSIX,
+               LockMode::kSIX, LockMode::kX, LockMode::kX, LockMode::kX},
+    /* S   */ {LockMode::kS, LockMode::kS, LockMode::kSIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kU, LockMode::kX, LockMode::kX},
+    /* SIX */ {LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kSIX,
+               LockMode::kSIX, LockMode::kX, LockMode::kX, LockMode::kX},
+    /* U   */ {LockMode::kU, LockMode::kU, LockMode::kX, LockMode::kU,
+               LockMode::kX, LockMode::kU, LockMode::kX, LockMode::kX},
+    /* X   */ {LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kX,
+               LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kX},
+    /* E   */ {LockMode::kE, LockMode::kX, LockMode::kX, LockMode::kX,
+               LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kE},
+};
+
+}  // namespace
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kNL:
+      return "NL";
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kSIX:
+      return "SIX";
+    case LockMode::kU:
+      return "U";
+    case LockMode::kX:
+      return "X";
+    case LockMode::kE:
+      return "E";
+  }
+  return "?";
+}
+
+bool LockModesCompatible(LockMode requested, LockMode held) {
+  return kCompat[static_cast<int>(requested)][static_cast<int>(held)];
+}
+
+LockMode LockModeSupremum(LockMode a, LockMode b) {
+  return kSup[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+bool LockModeCovers(LockMode held, LockMode requested) {
+  return LockModeSupremum(held, requested) == held;
+}
+
+}  // namespace ivdb

@@ -1,0 +1,52 @@
+#ifndef IVDB_LOCK_LOCK_MODE_H_
+#define IVDB_LOCK_LOCK_MODE_H_
+
+#include <cstdint>
+
+namespace ivdb {
+
+// Lock modes. Standard hierarchical modes (Gray) plus the paper's escrow
+// ("increment") mode E:
+//
+//   * E is compatible with E: concurrent transactions may all hold E locks
+//     on the same aggregate row and apply commutative increments.
+//   * E conflicts with S, U, and X: a reader must not observe a row with
+//     uncommitted increments outstanding (its value is not final), and a
+//     plain writer must not overwrite it.
+//
+// Intention modes are taken at coarser granularity (table/index level);
+// key-level requests use S/U/X/E only.
+enum class LockMode : uint8_t {
+  kNL = 0,   // no lock
+  kIS = 1,   // intention shared
+  kIX = 2,   // intention exclusive
+  kS = 3,    // shared
+  kSIX = 4,  // shared + intention exclusive
+  kU = 5,    // update (read now, likely upgrade to X)
+  kX = 6,    // exclusive
+  kE = 7,    // escrow / increment
+};
+
+inline constexpr int kNumLockModes = 8;
+
+const char* LockModeName(LockMode mode);
+
+// True if a lock request of mode `requested` can be granted while another
+// transaction holds mode `held` on the same resource. Asymmetric for U:
+// a U request is granted alongside held S locks, but an S request is blocked
+// by a held U (classic asymmetric update-mode semantics).
+bool LockModesCompatible(LockMode requested, LockMode held);
+
+// The weakest mode at least as strong as both `a` and `b`; used when a
+// transaction re-requests a lock it already holds (lock conversion). Note
+// S+E and similar mixed escalations go to X: escrow guarantees only hold
+// while *every* holder restricts itself to increments.
+LockMode LockModeSupremum(LockMode a, LockMode b);
+
+// True if holding `held` already implies the permissions of `requested`
+// (no conversion needed).
+bool LockModeCovers(LockMode held, LockMode requested);
+
+}  // namespace ivdb
+
+#endif  // IVDB_LOCK_LOCK_MODE_H_

@@ -1,0 +1,124 @@
+#ifndef IVDB_STORAGE_BTREE_H_
+#define IVDB_STORAGE_BTREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace ivdb {
+
+// In-memory B+-tree mapping binary keys to binary values. Keys compare
+// bytewise, so callers store order-preserving encodings (see
+// common/coding.h). Used for base-table primary indexes and view indexes.
+//
+// Concurrency: one reader-writer latch per tree. Readers (Get/Scan/
+// Serialize) share; mutators are exclusive. Transaction-level isolation is
+// the lock manager's job — the tree latch only protects physical structure,
+// and is held for the duration of a single operation (the classic
+// latch-vs-lock split; fine-grained latch crabbing is an orthogonal
+// optimization this reproduction does not need).
+//
+// Deletion rebalances: an underfull node first borrows from an adjacent
+// sibling, else merges with it, so every non-root node stays at least half
+// full (kMinEntries) and lookups remain logarithmic under any delete
+// pattern.
+class BTree {
+ public:
+  // Fan-out of 64 keeps trees shallow while making splits and merges
+  // frequent enough to be exercised by unit tests.
+  static constexpr size_t kMaxEntries = 64;
+  static constexpr size_t kMinEntries = kMaxEntries / 2;
+
+  BTree();
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  // Inserts or overwrites. Returns true if the key was newly inserted.
+  bool Put(const Slice& key, const Slice& value);
+
+  // Inserts only if absent; returns false (and changes nothing) if present.
+  bool Insert(const Slice& key, const Slice& value);
+
+  // Overwrites only if present; returns false if absent.
+  bool Update(const Slice& key, const Slice& value);
+
+  // Removes the key; returns false if absent.
+  bool Delete(const Slice& key);
+
+  bool Get(const Slice& key, std::string* value) const;
+  bool Contains(const Slice& key) const;
+
+  // Smallest key strictly greater than `key` (next-key locking probes).
+  std::optional<std::string> Successor(const Slice& key) const;
+
+  // Atomically mutates the value of an existing key under the tree's
+  // exclusive latch (read-modify-write safe against concurrent modifiers —
+  // required for escrow increments, where several transactions update one
+  // aggregate row "simultaneously"). Returns false if the key is absent.
+  bool ModifyInPlace(const Slice& key,
+                     const std::function<void(std::string* value)>& fn);
+
+  // Visits entries with begin <= key (< end when end is non-null) in order.
+  // Return false from the callback to stop. The callback runs under the
+  // tree's shared latch: it must not mutate this tree.
+  void Scan(const Slice& begin, const Slice* end,
+            const std::function<bool(const Slice& key, const Slice& value)>&
+                callback) const;
+
+  // Convenience: copies out all entries in [begin, end).
+  std::vector<std::pair<std::string, std::string>> ScanRange(
+      const Slice& begin, const Slice* end) const;
+
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  void Clear();
+
+  // Checkpoint support: ordered dump / bulk reload of all entries.
+  void SerializeTo(std::string* dst) const;
+  Status DeserializeFrom(Slice* input);
+
+  // Verifies structural invariants (ordering, uniform depth, separator
+  // correctness, leaf-chain completeness). Used by tests.
+  Status Validate() const;
+
+  // Height of the tree (1 = just a leaf). For tests/benchmarks.
+  int Depth() const;
+
+ private:
+  struct Node;
+
+  Node* FindLeaf(const Slice& key) const;
+  // Returns (separator, new right sibling) when the child split.
+  struct SplitResult {
+    std::string separator;
+    std::unique_ptr<Node> right;
+  };
+  std::optional<SplitResult> InsertRec(Node* node, const Slice& key,
+                                       const Slice& value, bool overwrite,
+                                       bool* inserted, bool* updated);
+  // Returns true if `node` is underfull after the delete; the parent then
+  // rebalances it against a sibling (borrow or merge).
+  bool DeleteRec(Node* node, const Slice& key, bool* deleted);
+  void RebalanceChild(Node* parent, size_t idx);
+  Status ValidateRec(const Node* node, int depth, int leaf_depth,
+                     const std::string* lower, const std::string* upper) const;
+
+  mutable std::shared_mutex latch_;
+  std::unique_ptr<Node> root_;
+  Node* first_leaf_ = nullptr;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_STORAGE_BTREE_H_

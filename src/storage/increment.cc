@@ -1,0 +1,32 @@
+#include "storage/increment.h"
+
+namespace ivdb {
+
+Status ApplyIncrementToRow(Row* row, const std::vector<ColumnDelta>& deltas) {
+  for (const ColumnDelta& d : deltas) {
+    if (d.column >= row->size()) {
+      return Status::Corruption("increment column out of range");
+    }
+    IVDB_RETURN_NOT_OK((*row)[d.column].AccumulateAdd(d.delta));
+  }
+  return Status::OK();
+}
+
+Status ApplyIncrementToTree(BTree* tree, const Slice& key,
+                            const std::vector<ColumnDelta>& deltas) {
+  Status status;
+  bool found = tree->ModifyInPlace(key, [&](std::string* value) {
+    Row row;
+    status = DecodeRow(*value, &row);
+    if (!status.ok()) return;
+    status = ApplyIncrementToRow(&row, deltas);
+    if (!status.ok()) return;
+    *value = EncodeRow(row);
+  });
+  if (!found) {
+    return Status::NotFound("increment target row missing");
+  }
+  return status;
+}
+
+}  // namespace ivdb

@@ -1,0 +1,339 @@
+#include "storage/version_store.h"
+
+#include <algorithm>
+
+namespace ivdb {
+
+void VersionStore::NotePendingWriteLocked(uint32_t object_id, const Slice& key,
+                                          std::optional<std::string> old_value,
+                                          TxnId txn) {
+  ChainKey ck{object_id, key.ToString()};
+  Chain& chain = chains_[ck];
+  for (const ValueVersion& v : chain.values) {
+    if (v.superseded_ts == 0 && v.owner == txn) return;  // already noted
+  }
+  ValueVersion v;
+  v.value = std::move(old_value);
+  v.superseded_ts = 0;
+  v.owner = txn;
+  chain.values.push_back(std::move(v));
+  pending_[txn].push_back(std::move(ck));
+}
+
+void VersionStore::NotePendingWrite(uint32_t object_id, const Slice& key,
+                                    std::optional<std::string> old_value,
+                                    TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  NotePendingWriteLocked(object_id, key, std::move(old_value), txn);
+}
+
+void VersionStore::NotePendingIncrementLocked(
+    uint32_t object_id, const Slice& key,
+    const std::vector<ColumnDelta>& deltas, TxnId txn, bool create_pending) {
+  ChainKey ck{object_id, key.ToString()};
+  auto chain_it = chains_.find(ck);
+  if (chain_it == chains_.end()) {
+    if (!create_pending) return;
+    chain_it = chains_.emplace(ck, Chain{}).first;
+  }
+  Chain& chain = chain_it->second;
+  // Coalesce with an existing pending delta entry of this transaction.
+  for (DeltaVersion& d : chain.deltas) {
+    if (d.commit_ts == 0 && d.owner == txn) {
+      for (const ColumnDelta& nd : deltas) {
+        bool merged = false;
+        for (ColumnDelta& od : d.deltas) {
+          if (od.column == nd.column) {
+            od.delta.AccumulateAdd(nd.delta);
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) d.deltas.push_back(nd);
+      }
+      return;
+    }
+  }
+  if (!create_pending) return;  // undo path with nothing pending: physical only
+  DeltaVersion d;
+  d.deltas = deltas;
+  d.commit_ts = 0;
+  d.owner = txn;
+  chain.deltas.push_back(std::move(d));
+  pending_[txn].push_back(std::move(ck));
+}
+
+void VersionStore::NotePendingIncrement(uint32_t object_id, const Slice& key,
+                                        const std::vector<ColumnDelta>& deltas,
+                                        TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  NotePendingIncrementLocked(object_id, key, deltas, txn,
+                             /*create_pending=*/true);
+}
+
+Status VersionStore::ApplyIncrement(uint32_t object_id, const Slice& key,
+                                    const std::vector<ColumnDelta>& deltas,
+                                    TxnId txn, bool create_pending,
+                                    BTree* tree,
+                                    const std::vector<ColumnBound>* bounds,
+                                    const std::function<Status()>& pre_apply) {
+  std::lock_guard<std::mutex> guard(mu_);
+
+  if (bounds != nullptr && !bounds->empty()) {
+    // Escrow-bound admission: candidate = physical + my deltas (= the value
+    // if every pending transaction commits, since physical already contains
+    // the others' applied deltas). Worst case subtracts every *positive*
+    // pending contribution of other transactions (they might all abort).
+    std::string value;
+    if (!tree->Get(key, &value)) {
+      return Status::NotFound("escrow bound check: row missing");
+    }
+    Row row;
+    IVDB_RETURN_NOT_OK(DecodeRow(value, &row));
+    IVDB_RETURN_NOT_OK(ApplyIncrementToRow(&row, deltas));
+    auto chain_it = chains_.find(ChainKey{object_id, key.ToString()});
+    for (const ColumnBound& bound : *bounds) {
+      if (bound.column >= row.size() ||
+          row[bound.column].type() != TypeId::kInt64) {
+        return Status::InvalidArgument("escrow bound on non-int64 column");
+      }
+      int64_t candidate = row[bound.column].AsInt64();
+      if (candidate < bound.min_value) {
+        return Status::InvalidArgument(
+            "escrow bound violated even if all pending work commits");
+      }
+      int64_t worst = candidate;
+      if (chain_it != chains_.end()) {
+        for (const DeltaVersion& d : chain_it->second.deltas) {
+          if (d.commit_ts != 0 || d.owner == txn) continue;
+          for (const ColumnDelta& cd : d.deltas) {
+            if (cd.column == bound.column && !cd.delta.is_null() &&
+                cd.delta.AsInt64() > 0) {
+              worst -= cd.delta.AsInt64();
+            }
+          }
+        }
+      }
+      if (worst < bound.min_value) {
+        return Status::Busy(
+            "escrow bound at risk until concurrent transactions settle");
+      }
+    }
+  }
+
+  if (pre_apply) {
+    IVDB_RETURN_NOT_OK(pre_apply());  // WAL append, log-before-apply
+  }
+  // Apply after admission: if the physical application fails (corrupt row,
+  // missing key) the bookkeeping must not claim a delta that never landed.
+  IVDB_RETURN_NOT_OK(ApplyIncrementToTree(tree, key, deltas));
+  NotePendingIncrementLocked(object_id, key, deltas, txn, create_pending);
+  return Status::OK();
+}
+
+std::vector<std::vector<ColumnDelta>> VersionStore::PendingDeltas(
+    uint32_t object_id, const Slice& key, TxnId exclude_txn) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::vector<ColumnDelta>> out;
+  auto it = chains_.find(ChainKey{object_id, key.ToString()});
+  if (it == chains_.end()) return out;
+  for (const DeltaVersion& d : it->second.deltas) {
+    if (d.commit_ts == 0 && d.owner != exclude_txn) {
+      out.push_back(d.deltas);
+    }
+  }
+  return out;
+}
+
+Status VersionStore::ApplyWithPendingWrite(
+    uint32_t object_id, const Slice& key,
+    std::optional<std::string> old_value, TxnId txn,
+    const std::function<Status()>& apply) {
+  std::lock_guard<std::mutex> guard(mu_);
+  IVDB_RETURN_NOT_OK(apply());
+  NotePendingWriteLocked(object_id, key, std::move(old_value), txn);
+  return Status::OK();
+}
+
+void VersionStore::Commit(TxnId txn, uint64_t commit_ts) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) return;
+  for (const ChainKey& ck : it->second) {
+    auto chain_it = chains_.find(ck);
+    if (chain_it == chains_.end()) continue;
+    Chain& chain = chain_it->second;
+    for (ValueVersion& v : chain.values) {
+      if (v.superseded_ts == 0 && v.owner == txn) {
+        v.superseded_ts = commit_ts;
+        v.owner = 0;
+      }
+    }
+    for (DeltaVersion& d : chain.deltas) {
+      if (d.commit_ts == 0 && d.owner == txn) {
+        d.commit_ts = commit_ts;
+        d.owner = 0;
+      }
+    }
+    // Keep committed value versions sorted by superseded_ts (pendings, with
+    // ts 0, conceptually sort last).
+    std::stable_sort(chain.values.begin(), chain.values.end(),
+                     [](const ValueVersion& a, const ValueVersion& b) {
+                       uint64_t ta = a.superseded_ts == 0 ? UINT64_MAX
+                                                          : a.superseded_ts;
+                       uint64_t tb = b.superseded_ts == 0 ? UINT64_MAX
+                                                          : b.superseded_ts;
+                       return ta < tb;
+                     });
+  }
+  pending_.erase(it);
+}
+
+void VersionStore::Abort(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) return;
+  for (const ChainKey& ck : it->second) {
+    auto chain_it = chains_.find(ck);
+    if (chain_it == chains_.end()) continue;
+    Chain& chain = chain_it->second;
+    chain.values.erase(
+        std::remove_if(chain.values.begin(), chain.values.end(),
+                       [txn](const ValueVersion& v) {
+                         return v.superseded_ts == 0 && v.owner == txn;
+                       }),
+        chain.values.end());
+    chain.deltas.erase(
+        std::remove_if(chain.deltas.begin(), chain.deltas.end(),
+                       [txn](const DeltaVersion& d) {
+                         return d.commit_ts == 0 && d.owner == txn;
+                       }),
+        chain.deltas.end());
+    if (chain.values.empty() && chain.deltas.empty()) {
+      chains_.erase(chain_it);
+    }
+  }
+  pending_.erase(it);
+}
+
+VersionStore::SnapshotView VersionStore::GetAsOfLocked(
+    uint32_t object_id, const Slice& key, uint64_t snapshot_ts) const {
+  SnapshotView view;
+  auto it = chains_.find(ChainKey{object_id, key.ToString()});
+  if (it == chains_.end()) return view;
+  const Chain& chain = it->second;
+
+  // 1. A committed superseded value with superseded_ts > snapshot_ts is the
+  //    base image the reader must see (the oldest such, since versions are
+  //    ordered oldest-first). That image physically contains every
+  //    increment committed before it was captured, so increments committed
+  //    in (snapshot_ts, superseded_ts) — invisible to the reader but baked
+  //    into the image — must still be stripped. (Lock conflicts guarantee
+  //    increments and image-superseding writes serialize in commit order.)
+  for (const ValueVersion& v : chain.values) {
+    if (v.superseded_ts != 0 && v.superseded_ts > snapshot_ts) {
+      view.use_chain_value = true;
+      view.chain_value = v.value;
+      for (const DeltaVersion& d : chain.deltas) {
+        if (d.commit_ts != 0 && d.commit_ts > snapshot_ts &&
+            d.commit_ts < v.superseded_ts) {
+          view.subtract.push_back(d.deltas);
+        }
+      }
+      return view;
+    }
+  }
+  // 2. A pending write's old value is the current committed state; strip
+  //    committed increments the snapshot must not see (pending increments
+  //    cannot coexist with a pending write: E conflicts with X).
+  for (const ValueVersion& v : chain.values) {
+    if (v.superseded_ts == 0) {
+      view.use_chain_value = true;
+      view.chain_value = v.value;
+      for (const DeltaVersion& d : chain.deltas) {
+        if (d.commit_ts != 0 && d.commit_ts > snapshot_ts) {
+          view.subtract.push_back(d.deltas);
+        }
+      }
+      return view;
+    }
+  }
+  // 3. Otherwise reconstruct by stripping invisible increments off the
+  //    physical value.
+  for (const DeltaVersion& d : chain.deltas) {
+    if (d.commit_ts == 0 || d.commit_ts > snapshot_ts) {
+      view.subtract.push_back(d.deltas);
+    }
+  }
+  return view;
+}
+
+VersionStore::SnapshotView VersionStore::GetAsOf(uint32_t object_id,
+                                                 const Slice& key,
+                                                 uint64_t snapshot_ts) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return GetAsOfLocked(object_id, key, snapshot_ts);
+}
+
+VersionStore::SnapshotView VersionStore::GetAsOfConsistent(
+    uint32_t object_id, const Slice& key, uint64_t snapshot_ts,
+    const BTree* tree, std::optional<std::string>* physical) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  SnapshotView view = GetAsOfLocked(object_id, key, snapshot_ts);
+  physical->reset();
+  if (!view.use_chain_value) {
+    std::string value;
+    if (tree->Get(key, &value)) *physical = std::move(value);
+  }
+  return view;
+}
+
+std::vector<std::string> VersionStore::ListChainKeys(
+    uint32_t object_id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::string> keys;
+  for (auto it = chains_.lower_bound(ChainKey{object_id, ""});
+       it != chains_.end() && it->first.first == object_id; ++it) {
+    keys.push_back(it->first.second);
+  }
+  return keys;
+}
+
+uint64_t VersionStore::GarbageCollect(uint64_t oldest_active_ts) {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t reclaimed = 0;
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    Chain& chain = it->second;
+    auto dead_value = [&](const ValueVersion& v) {
+      return v.superseded_ts != 0 && v.superseded_ts <= oldest_active_ts;
+    };
+    auto dead_delta = [&](const DeltaVersion& d) {
+      return d.commit_ts != 0 && d.commit_ts <= oldest_active_ts;
+    };
+    size_t before = chain.values.size() + chain.deltas.size();
+    chain.values.erase(
+        std::remove_if(chain.values.begin(), chain.values.end(), dead_value),
+        chain.values.end());
+    chain.deltas.erase(
+        std::remove_if(chain.deltas.begin(), chain.deltas.end(), dead_delta),
+        chain.deltas.end());
+    reclaimed += before - (chain.values.size() + chain.deltas.size());
+    if (chain.values.empty() && chain.deltas.empty()) {
+      it = chains_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+uint64_t VersionStore::TotalEntries() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  uint64_t n = 0;
+  for (const auto& [ck, chain] : chains_) {
+    n += chain.values.size() + chain.deltas.size();
+  }
+  return n;
+}
+
+}  // namespace ivdb

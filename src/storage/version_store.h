@@ -1,0 +1,190 @@
+#ifndef IVDB_STORAGE_VERSION_STORE_H_
+#define IVDB_STORAGE_VERSION_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <functional>
+
+#include "common/slice.h"
+#include "storage/btree.h"
+#include "storage/increment.h"
+#include "wal/log_record.h"
+
+namespace ivdb {
+
+// Committed-version bookkeeping for snapshot (multiversion) reads.
+//
+// The paper's answer to readers blocking behind escrow writers is
+// multiversioning: a read-only query reads the state committed before its
+// snapshot timestamp and never touches the lock manager. The storage
+// B-trees are updated *in place* (with WAL undo), so this side store keeps
+// exactly what in-place updating destroys:
+//
+//  1. For plain writes (insert/delete/update under X locks): a chain of
+//     superseded committed values per key, each stamped with the commit
+//     timestamp of the transaction that replaced it, plus "pending" entries
+//     for in-flight writers (whose old value *is* the current committed
+//     state).
+//  2. For escrow increments (E locks): per-key lists of column deltas, each
+//     either uncommitted (owned by a live transaction) or committed at some
+//     timestamp. The committed value visible at snapshot S is
+//        physical_value − Σ uncommitted deltas − Σ committed deltas with
+//        commit_ts > S.
+//     Delta-based reconstruction is the only correct option here: with
+//     several uncommitted incrementers interleaved on one row, *no*
+//     before-image of the row equals the committed state.
+//
+// The two representations never overlap on a key at the same instant
+// because E conflicts with X/S/U in the lock manager.
+class VersionStore {
+ public:
+  VersionStore() = default;
+  VersionStore(const VersionStore&) = delete;
+  VersionStore& operator=(const VersionStore&) = delete;
+
+  // --- Writer-side hooks (called by the engine while it holds the
+  //     appropriate transaction locks). ---
+
+  // First physical replace of (object, key) by `txn`: remembers the
+  // pre-transaction committed value (nullopt = key absent). Subsequent calls
+  // by the same txn for the same key are ignored.
+  void NotePendingWrite(uint32_t object_id, const Slice& key,
+                        std::optional<std::string> old_value, TxnId txn);
+
+  // Escrow increment applied physically by `txn`.
+  void NotePendingIncrement(uint32_t object_id, const Slice& key,
+                            const std::vector<ColumnDelta>& deltas, TxnId txn);
+
+  // --- Atomic note+apply (the physical change and its version-store
+  //     bookkeeping become one event w.r.t. snapshot readers, which is what
+  //     makes GetAsOfConsistent race-free). ---
+
+  // A lower bound the committed value of a row column must never violate,
+  // whatever subset of the currently pending increments eventually commits
+  // (O'Neil-style escrow constraint, e.g. "quantity on hand >= 0").
+  struct ColumnBound {
+    uint32_t column = 0;
+    int64_t min_value = 0;
+  };
+
+  // Records the pending increment for `txn` and applies it to `tree`, both
+  // under the store's mutex. With create_pending = false, only an existing
+  // pending entry of `txn` is accumulated into (rollback compensation:
+  // cancels the entry as the physical undo lands) — when none exists (e.g.
+  // restart redo, where there are no readers), the apply is purely physical.
+  //
+  // When `bounds` is non-null the increment is admitted only if every bound
+  // holds in the *worst case* (this increment commits, every other pending
+  // increment aborts). Returns:
+  //   kInvalidArgument — violated even if everything commits (permanent);
+  //   kBusy            — only the pessimistic outcome violates; the caller
+  //                      may retry once concurrent transactions settle.
+  // `pre_apply`, when provided, runs under the mutex after bound admission
+  // and before the physical application — the hook where the caller appends
+  // its WAL record, preserving log-before-apply without letting another
+  // increment slip between admission and application.
+  Status ApplyIncrement(uint32_t object_id, const Slice& key,
+                        const std::vector<ColumnDelta>& deltas, TxnId txn,
+                        bool create_pending, BTree* tree,
+                        const std::vector<ColumnBound>* bounds = nullptr,
+                        const std::function<Status()>& pre_apply = {});
+
+  // The pending (uncommitted) delta sets currently attached to (object,
+  // key), excluding those owned by `exclude_txn`. Used for escrow-bound
+  // checks and optimistic "value bounds" reads.
+  std::vector<std::vector<ColumnDelta>> PendingDeltas(
+      uint32_t object_id, const Slice& key, TxnId exclude_txn = 0) const;
+
+  // Records the pending write (pre-image `old_value`) for `txn` and runs
+  // `apply` (the physical insert/update/delete) under the store's mutex.
+  Status ApplyWithPendingWrite(uint32_t object_id, const Slice& key,
+                               std::optional<std::string> old_value,
+                               TxnId txn, const std::function<Status()>& apply);
+
+  // Converts all pending entries of `txn` into committed versions stamped
+  // with commit_ts.
+  void Commit(TxnId txn, uint64_t commit_ts);
+
+  // Discards all pending entries of `txn` (the physical rollback restores
+  // the B-tree itself).
+  void Abort(TxnId txn);
+
+  // --- Reader side. ---
+
+  struct SnapshotView {
+    // When true, `chain_value` (possibly absent) is the base image instead
+    // of the current physical value.
+    bool use_chain_value = false;
+    std::optional<std::string> chain_value;
+    // Delta sets to subtract from the base image (increments invisible at
+    // the snapshot but physically contained in it).
+    std::vector<std::vector<ColumnDelta>> subtract;
+  };
+
+  // Computes how a reader at `snapshot_ts` must interpret (object, key).
+  // An empty view (no chain value, no subtractions) means the physical
+  // B-tree value is directly visible.
+  SnapshotView GetAsOf(uint32_t object_id, const Slice& key,
+                       uint64_t snapshot_ts) const;
+
+  // Race-free variant: computes the view AND reads the physical value from
+  // `tree` under the store's mutex, so no writer's note+apply pair can fall
+  // between them. On return, *physical holds the tree value (when present)
+  // — only meaningful when the view does not carry a chain value.
+  SnapshotView GetAsOfConsistent(uint32_t object_id, const Slice& key,
+                                 uint64_t snapshot_ts, const BTree* tree,
+                                 std::optional<std::string>* physical) const;
+
+  // Drops versions invisible to every snapshot with ts >= oldest_active_ts.
+  // Returns number of entries reclaimed.
+  uint64_t GarbageCollect(uint64_t oldest_active_ts);
+
+  uint64_t TotalEntries() const;
+
+  // Keys of `object_id` that currently have version chains. Snapshot scans
+  // union these with the physical keys (a recently deleted key may still be
+  // visible to old snapshots only through its chain).
+  std::vector<std::string> ListChainKeys(uint32_t object_id) const;
+
+ private:
+  struct ValueVersion {
+    std::optional<std::string> value;  // committed value before superseded_ts
+    uint64_t superseded_ts = 0;        // 0 => pending
+    TxnId owner = 0;                   // valid while pending
+  };
+  struct DeltaVersion {
+    std::vector<ColumnDelta> deltas;
+    uint64_t commit_ts = 0;  // 0 => pending
+    TxnId owner = 0;         // valid while pending
+  };
+  struct Chain {
+    // Committed versions in ascending superseded_ts order, then pendings.
+    std::vector<ValueVersion> values;
+    std::vector<DeltaVersion> deltas;
+  };
+
+  using ChainKey = std::pair<uint32_t, std::string>;
+
+  // Unlocked internals (mu_ held by caller).
+  void NotePendingWriteLocked(uint32_t object_id, const Slice& key,
+                              std::optional<std::string> old_value, TxnId txn);
+  void NotePendingIncrementLocked(uint32_t object_id, const Slice& key,
+                                  const std::vector<ColumnDelta>& deltas,
+                                  TxnId txn, bool create_pending);
+  SnapshotView GetAsOfLocked(uint32_t object_id, const Slice& key,
+                             uint64_t snapshot_ts) const;
+
+  mutable std::mutex mu_;
+  std::map<ChainKey, Chain> chains_;
+  // txn -> keys it has pending entries in (for O(changes) commit/abort).
+  std::map<TxnId, std::vector<ChainKey>> pending_;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_STORAGE_VERSION_STORE_H_

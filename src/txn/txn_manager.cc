@@ -1,0 +1,287 @@
+#include "txn/txn_manager.h"
+
+#include "common/logging.h"
+
+namespace ivdb {
+
+TransactionManager::TransactionManager(LockManager* lock_manager,
+                                       LogManager* log_manager,
+                                       VersionStore* version_store,
+                                       LogApplier* applier)
+    : lock_manager_(lock_manager),
+      log_manager_(log_manager),
+      version_store_(version_store),
+      applier_(applier) {}
+
+Transaction* TransactionManager::Begin(ReadMode read_mode) {
+  std::unique_lock<std::mutex> active_guard(active_mu_);
+  active_cv_.wait(active_guard, [this] { return !quiescing_; });
+  TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t begin_ts;
+  {
+    // Serialized against commit-visibility conversion: a begin timestamp
+    // drawn here is strictly ordered w.r.t. every commit timestamp.
+    std::lock_guard<std::mutex> vis_guard(visibility_mu_);
+    begin_ts = clock_.Tick();
+  }
+  auto txn = std::make_unique<Transaction>(id, begin_ts, read_mode,
+                                           /*system=*/false);
+  Transaction* out = txn.get();
+  active_[id] = std::move(txn);
+  stats_.begun.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Transaction* TransactionManager::BeginSystem() {
+  // System transactions bypass the quiesce gate deliberately: they are
+  // spawned by in-flight user transactions, and making them wait on a
+  // checkpoint that itself waits for those user transactions would deadlock.
+  std::unique_lock<std::mutex> active_guard(active_mu_);
+  TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t begin_ts;
+  {
+    std::lock_guard<std::mutex> vis_guard(visibility_mu_);
+    begin_ts = clock_.Tick();
+  }
+  auto txn = std::make_unique<Transaction>(id, begin_ts, ReadMode::kLocking,
+                                           /*system=*/true);
+  Transaction* out = txn.get();
+  active_[id] = std::move(txn);
+  stats_.begun.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Status TransactionManager::AppendBeginIfNeeded(Transaction* txn) {
+  if (txn->has_writes()) return Status::OK();
+  LogRecord rec;
+  rec.type = LogRecordType::kBegin;
+  rec.txn_id = txn->id();
+  rec.system_txn = txn->is_system();
+  rec.prev_lsn = kInvalidLsn;
+  IVDB_RETURN_NOT_OK(log_manager_->Append(&rec));
+  txn->set_last_lsn(rec.lsn);
+  return Status::OK();
+}
+
+Status TransactionManager::AppendDataRecord(Transaction* txn, LogRecord rec) {
+  IVDB_CHECK(txn->state() == TxnState::kActive);
+  IVDB_RETURN_NOT_OK(AppendBeginIfNeeded(txn));
+  rec.txn_id = txn->id();
+  rec.system_txn = txn->is_system();
+  rec.prev_lsn = txn->last_lsn();
+  IVDB_RETURN_NOT_OK(log_manager_->Append(&rec));
+  txn->set_last_lsn(rec.lsn);
+  txn->undo_records().push_back(std::move(rec));
+  return Status::OK();
+}
+
+Status TransactionManager::LogInsert(Transaction* txn, ObjectId object_id,
+                                     std::string key, std::string value) {
+  LogRecord rec;
+  rec.type = LogRecordType::kInsert;
+  rec.object_id = object_id;
+  rec.key = std::move(key);
+  rec.after = std::move(value);
+  return AppendDataRecord(txn, std::move(rec));
+}
+
+Status TransactionManager::LogDelete(Transaction* txn, ObjectId object_id,
+                                     std::string key, std::string before) {
+  LogRecord rec;
+  rec.type = LogRecordType::kDelete;
+  rec.object_id = object_id;
+  rec.key = std::move(key);
+  rec.before = std::move(before);
+  return AppendDataRecord(txn, std::move(rec));
+}
+
+Status TransactionManager::LogUpdate(Transaction* txn, ObjectId object_id,
+                                     std::string key, std::string before,
+                                     std::string after) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.object_id = object_id;
+  rec.key = std::move(key);
+  rec.before = std::move(before);
+  rec.after = std::move(after);
+  return AppendDataRecord(txn, std::move(rec));
+}
+
+Status TransactionManager::LogIncrement(Transaction* txn, ObjectId object_id,
+                                        std::string key,
+                                        std::vector<ColumnDelta> deltas) {
+  LogRecord rec;
+  rec.type = LogRecordType::kIncrement;
+  rec.object_id = object_id;
+  rec.key = std::move(key);
+  rec.deltas = std::move(deltas);
+  return AppendDataRecord(txn, std::move(rec));
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->state() != TxnState::kActive) {
+    return Status::InvalidArgument("commit of non-active transaction");
+  }
+  if (!txn->has_writes()) {
+    txn->set_commit_ts(txn->begin_ts());
+    FinishTxn(txn, TxnState::kCommitted);
+    stats_.committed.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  LogRecord commit;
+  {
+    std::lock_guard<std::mutex> vis_guard(visibility_mu_);
+    uint64_t commit_ts = clock_.Tick();
+    txn->set_commit_ts(commit_ts);
+    commit.type = LogRecordType::kCommit;
+    commit.txn_id = txn->id();
+    commit.system_txn = txn->is_system();
+    commit.prev_lsn = txn->last_lsn();
+    commit.timestamp = commit_ts;
+    IVDB_RETURN_NOT_OK(log_manager_->Append(&commit));
+    txn->set_last_lsn(commit.lsn);
+    version_store_->Commit(txn->id(), commit_ts);
+  }
+
+  if (!txn->is_system()) {
+    // Group commit: blocks until the COMMIT record is on stable storage.
+    // System transactions skip the forced flush — log order alone
+    // guarantees their records become durable before any dependent user
+    // commit is acknowledged.
+    IVDB_RETURN_NOT_OK(log_manager_->Flush(commit.lsn));
+  }
+
+  LogRecord end;
+  end.type = LogRecordType::kEnd;
+  end.txn_id = txn->id();
+  end.system_txn = txn->is_system();
+  end.prev_lsn = txn->last_lsn();
+  IVDB_RETURN_NOT_OK(log_manager_->Append(&end));
+
+  FinishTxn(txn, TxnState::kCommitted);
+  if (txn->is_system()) {
+    stats_.system_committed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.committed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->state() != TxnState::kActive) {
+    return Status::InvalidArgument("abort of non-active transaction");
+  }
+  if (txn->has_writes()) {
+    LogRecord abort_rec;
+    abort_rec.type = LogRecordType::kAbort;
+    abort_rec.txn_id = txn->id();
+    abort_rec.system_txn = txn->is_system();
+    abort_rec.prev_lsn = txn->last_lsn();
+    IVDB_RETURN_NOT_OK(log_manager_->Append(&abort_rec));
+    txn->set_last_lsn(abort_rec.lsn);
+
+    // Undo newest-first, writing a compensation record (CLR) before each
+    // physical undo step. Increments are undone *logically* (inverse
+    // deltas): other transactions' concurrent increments to the same record
+    // are untouched — this is the escrow-recovery core of the paper.
+    auto& records = txn->undo_records();
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      LogRecord clr = MakeCompensation(*it);
+      clr.prev_lsn = txn->last_lsn();
+      IVDB_RETURN_NOT_OK(log_manager_->Append(&clr));
+      txn->set_last_lsn(clr.lsn);
+      IVDB_RETURN_NOT_OK(applier_->ApplyRedo(clr.clr_op, clr));
+    }
+
+    version_store_->Abort(txn->id());
+
+    LogRecord end;
+    end.type = LogRecordType::kEnd;
+    end.txn_id = txn->id();
+    end.system_txn = txn->is_system();
+    end.prev_lsn = txn->last_lsn();
+    IVDB_RETURN_NOT_OK(log_manager_->Append(&end));
+  } else {
+    version_store_->Abort(txn->id());
+  }
+  FinishTxn(txn, TxnState::kAborted);
+  stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TransactionManager::RollbackToSavepoint(Transaction* txn,
+                                               Savepoint savepoint) {
+  if (txn->state() != TxnState::kActive) {
+    return Status::InvalidArgument("savepoint rollback on finished txn");
+  }
+  auto& records = txn->undo_records();
+  if (savepoint > records.size()) {
+    return Status::InvalidArgument("savepoint beyond current undo log");
+  }
+  while (records.size() > savepoint) {
+    LogRecord clr = MakeCompensation(records.back());
+    clr.prev_lsn = txn->last_lsn();
+    IVDB_RETURN_NOT_OK(log_manager_->Append(&clr));
+    txn->set_last_lsn(clr.lsn);
+    IVDB_RETURN_NOT_OK(applier_->ApplyRedo(clr.clr_op, clr));
+    // Undone records must not be undone again by a later full abort; the
+    // on-disk chain stays correct through the CLR's undo_next_lsn.
+    records.pop_back();
+  }
+  return Status::OK();
+}
+
+void TransactionManager::FinishTxn(Transaction* txn, TxnState final_state) {
+  lock_manager_->ReleaseAll(txn->id());
+  txn->set_state(final_state);
+  std::lock_guard<std::mutex> guard(active_mu_);
+  auto it = active_.find(txn->id());
+  if (it != active_.end()) {
+    finished_[txn->id()] = std::move(it->second);
+    active_.erase(it);
+  }
+  active_cv_.notify_all();
+}
+
+uint64_t TransactionManager::OldestActiveTs() const {
+  std::lock_guard<std::mutex> guard(active_mu_);
+  if (active_.empty()) return clock_.Peek();
+  uint64_t oldest = UINT64_MAX;
+  for (const auto& [id, txn] : active_) {
+    oldest = std::min(oldest, txn->begin_ts());
+  }
+  return oldest;
+}
+
+int TransactionManager::ActiveCount() const {
+  std::lock_guard<std::mutex> guard(active_mu_);
+  return static_cast<int>(active_.size());
+}
+
+void TransactionManager::BeginQuiesce() {
+  std::unique_lock<std::mutex> guard(active_mu_);
+  quiescing_ = true;
+  active_cv_.wait(guard, [this] { return active_.empty(); });
+}
+
+void TransactionManager::EndQuiesce() {
+  std::lock_guard<std::mutex> guard(active_mu_);
+  quiescing_ = false;
+  active_cv_.notify_all();
+}
+
+void TransactionManager::Forget(Transaction* txn) {
+  std::lock_guard<std::mutex> guard(active_mu_);
+  finished_.erase(txn->id());
+}
+
+void TransactionManager::AdvancePast(TxnId max_txn_id, uint64_t max_ts) {
+  TxnId cur = next_txn_id_.load(std::memory_order_relaxed);
+  while (cur <= max_txn_id &&
+         !next_txn_id_.compare_exchange_weak(cur, max_txn_id + 1)) {
+  }
+  clock_.AdvancePast(max_ts);
+}
+
+}  // namespace ivdb

@@ -1,0 +1,150 @@
+#ifndef IVDB_TXN_TXN_MANAGER_H_
+#define IVDB_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "lock/lock_manager.h"
+#include "storage/version_store.h"
+#include "txn/transaction.h"
+#include "wal/log_manager.h"
+
+namespace ivdb {
+
+// Applies the physical effect of a (redo-interpreted) log record to storage.
+// Implemented by the engine; used for rollback (applying compensations) and
+// restart recovery.
+class LogApplier {
+ public:
+  virtual ~LogApplier() = default;
+
+  // `op_type` is kInsert/kDelete/kUpdate/kIncrement; for CLRs the caller
+  // passes the compensation operation (rec.clr_op).
+  virtual Status ApplyRedo(LogRecordType op_type, const LogRecord& rec) = 0;
+};
+
+struct TxnManagerStats {
+  std::atomic<uint64_t> begun{0};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> system_committed{0};
+};
+
+// Coordinates transaction lifecycle: timestamps, WAL records, rollback,
+// lock release, and multiversion visibility.
+//
+// Commit protocol (user transactions with writes):
+//   1. under the visibility mutex: draw commit_ts, append COMMIT record,
+//      flip this txn's version-store entries to committed — so any
+//      transaction that *begins* after the commit timestamp exists is
+//      guaranteed to see the converted versions;
+//   2. group-commit flush of the WAL up to the COMMIT record;
+//   3. append END, release all locks.
+//
+// System transactions (ghost creation/cleanup) follow the same protocol but
+// skip step 2: their effects are structural and become durable with (and
+// strictly before, in log order) the user commit that depends on them.
+class TransactionManager {
+ public:
+  TransactionManager(LockManager* lock_manager, LogManager* log_manager,
+                     VersionStore* version_store, LogApplier* applier);
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  Transaction* Begin(ReadMode read_mode = ReadMode::kLocking);
+  Transaction* BeginSystem();
+
+  Status Commit(Transaction* txn);
+
+  // Rolls back all of the transaction's effects (writing CLRs) and releases
+  // its locks. Safe to call after a Deadlock/TimedOut/Aborted status.
+  Status Abort(Transaction* txn);
+
+  // --- Statement-level (partial) rollback. ---
+  //
+  // A savepoint marks a position in the transaction's undo log. Rolling
+  // back to it undoes everything logged after the mark (writing CLRs, so
+  // the partial rollback is crash-consistent) while keeping the
+  // transaction — and all its locks — alive. The engine wraps each DML
+  // statement in one, giving statement atomicity: a failed statement
+  // leaves no trace, the transaction stays usable.
+  using Savepoint = size_t;
+  static Savepoint GetSavepoint(Transaction* txn) {
+    return txn->undo_records().size();
+  }
+  Status RollbackToSavepoint(Transaction* txn, Savepoint savepoint);
+
+  // --- WAL helpers used by the engine's DML paths. WAL rule: the engine
+  //     must call these BEFORE applying the physical change. ---
+  Status LogInsert(Transaction* txn, ObjectId object_id, std::string key,
+                   std::string value);
+  Status LogDelete(Transaction* txn, ObjectId object_id, std::string key,
+                   std::string before);
+  Status LogUpdate(Transaction* txn, ObjectId object_id, std::string key,
+                   std::string before, std::string after);
+  Status LogIncrement(Transaction* txn, ObjectId object_id, std::string key,
+                      std::vector<ColumnDelta> deltas);
+
+  // Oldest begin timestamp among active transactions (version-store GC
+  // horizon); the current clock value when none are active.
+  uint64_t OldestActiveTs() const;
+
+  int ActiveCount() const;
+
+  // Quiescent-checkpoint support: blocks new transactions from starting and
+  // waits until no transaction is active. EndQuiesce() re-opens the gate.
+  void BeginQuiesce();
+  void EndQuiesce();
+
+  // Releases the descriptor of a finished transaction. Optional — finished
+  // descriptors are also reclaimed lazily — but long-running benchmarks
+  // should call it to bound memory.
+  void Forget(Transaction* txn);
+
+  LogicalClock* clock() { return &clock_; }
+  const TxnManagerStats& stats() const { return stats_; }
+
+  // Next id to be handed out (checkpoint high-water mark).
+  TxnId PeekNextTxnId() const {
+    return next_txn_id_.load(std::memory_order_relaxed);
+  }
+
+  // After restart: resume id/timestamp allocation above everything replayed.
+  void AdvancePast(TxnId max_txn_id, uint64_t max_ts);
+
+ private:
+  Status AppendBeginIfNeeded(Transaction* txn);
+  Status AppendDataRecord(Transaction* txn, LogRecord rec);
+  void FinishTxn(Transaction* txn, TxnState final_state);
+
+  LockManager* const lock_manager_;
+  LogManager* const log_manager_;
+  VersionStore* const version_store_;
+  LogApplier* const applier_;
+
+  LogicalClock clock_;
+  std::atomic<TxnId> next_txn_id_{1};
+
+  // Serializes commit-timestamp draw + version-store flip against Begin's
+  // snapshot-timestamp draw (see class comment).
+  std::mutex visibility_mu_;
+
+  mutable std::mutex active_mu_;
+  std::condition_variable active_cv_;
+  bool quiescing_ = false;
+  std::map<TxnId, std::unique_ptr<Transaction>> active_;
+  std::map<TxnId, std::unique_ptr<Transaction>> finished_;
+
+  TxnManagerStats stats_;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_TXN_TXN_MANAGER_H_

@@ -1,0 +1,125 @@
+#include "view/ghost_cleaner.h"
+
+#include <chrono>
+
+#include "catalog/schema.h"
+
+namespace ivdb {
+
+GhostCleaner::GhostCleaner(ObjectId view_id, size_t count_column,
+                           IndexResolver* resolver, LockManager* locks,
+                           TransactionManager* txns, VersionStore* versions)
+    : view_id_(view_id),
+      count_column_(count_column),
+      resolver_(resolver),
+      locks_(locks),
+      txns_(txns),
+      versions_(versions) {}
+
+GhostCleaner::~GhostCleaner() { Stop(); }
+
+Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
+  stats_.passes.fetch_add(1, std::memory_order_relaxed);
+  BTree* tree = resolver_->GetIndex(view_id_);
+  if (tree == nullptr) return Status::Corruption("view index missing");
+
+  // Collect candidate keys first (cheap shared-latch scan), then reclaim
+  // each under its own system transaction.
+  std::vector<std::string> candidates;
+  Status scan_status;
+  tree->Scan("", nullptr, [&](const Slice& key, const Slice& value) {
+    Row row;
+    Status s = DecodeRow(value, &row);
+    if (!s.ok()) {
+      scan_status = s;
+      return false;
+    }
+    if (count_column_ < row.size() && !row[count_column_].is_null() &&
+        row[count_column_].AsInt64() == 0) {
+      candidates.push_back(key.ToString());
+    }
+    return true;
+  });
+  IVDB_RETURN_NOT_OK(scan_status);
+  stats_.candidates_seen.fetch_add(candidates.size(),
+                                   std::memory_order_relaxed);
+
+  uint64_t reclaimed = 0;
+  for (const std::string& key : candidates) {
+    Transaction* sys = txns_->BeginSystem();
+    Status lock_status =
+        locks_->TryLock(sys->id(), ResourceId::Key(view_id_, key),
+                        LockMode::kX);
+    if (!lock_status.ok()) {
+      // Some transaction still holds E (uncommitted contributions) or is
+      // reading the row; leave the ghost for a later pass.
+      stats_.skipped_locked.fetch_add(1, std::memory_order_relaxed);
+      txns_->Abort(sys);
+      txns_->Forget(sys);
+      continue;
+    }
+    std::string value;
+    bool still_ghost = false;
+    if (tree->Get(key, &value)) {
+      Row row;
+      Status s = DecodeRow(value, &row);
+      if (s.ok() && count_column_ < row.size() &&
+          row[count_column_].AsInt64() == 0) {
+        still_ghost = true;
+      }
+    }
+    if (!still_ghost) {
+      stats_.skipped_revived.fetch_add(1, std::memory_order_relaxed);
+      txns_->Commit(sys);
+      txns_->Forget(sys);
+      continue;
+    }
+    Status s = txns_->LogDelete(sys, view_id_, key, value);
+    if (s.ok()) {
+      s = versions_->ApplyWithPendingWrite(view_id_, key, value, sys->id(),
+                                           [&] {
+                                             tree->Delete(key);
+                                             return Status::OK();
+                                           });
+    }
+    if (!s.ok()) {
+      txns_->Abort(sys);
+      txns_->Forget(sys);
+      return s;
+    }
+    IVDB_RETURN_NOT_OK(txns_->Commit(sys));
+    txns_->Forget(sys);
+    reclaimed++;
+  }
+  stats_.reclaimed.fetch_add(reclaimed, std::memory_order_relaxed);
+  if (reclaimed_out != nullptr) *reclaimed_out = reclaimed;
+  return Status::OK();
+}
+
+void GhostCleaner::Start(uint64_t interval_micros) {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this, interval_micros] {
+    while (running_.load(std::memory_order_acquire)) {
+      RunOnce();
+      // Sleep in small slices so Stop() is responsive.
+      uint64_t slept = 0;
+      while (slept < interval_micros &&
+             running_.load(std::memory_order_acquire)) {
+        uint64_t slice = std::min<uint64_t>(interval_micros - slept, 2000);
+        std::this_thread::sleep_for(std::chrono::microseconds(slice));
+        slept += slice;
+      }
+    }
+  });
+}
+
+void GhostCleaner::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace ivdb

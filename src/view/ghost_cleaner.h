@@ -1,0 +1,71 @@
+#ifndef IVDB_VIEW_GHOST_CLEANER_H_
+#define IVDB_VIEW_GHOST_CLEANER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "lock/lock_manager.h"
+#include "storage/version_store.h"
+#include "txn/txn_manager.h"
+#include "view/maintenance.h"
+
+namespace ivdb {
+
+struct GhostCleanerStats {
+  std::atomic<uint64_t> passes{0};
+  std::atomic<uint64_t> candidates_seen{0};
+  std::atomic<uint64_t> reclaimed{0};
+  std::atomic<uint64_t> skipped_locked{0};   // E/X holder present; try later
+  std::atomic<uint64_t> skipped_revived{0};  // count rose again before lock
+};
+
+// Asynchronous reclamation of ghost aggregate rows (count == 0).
+//
+// Escrow updates can decrement a group's count to zero, but the holder of an
+// E lock must not delete the row: a concurrent E holder may be about to
+// increment it, and deletion does not commute. So the row is left behind as
+// a ghost and reclaimed here, one short system transaction per row:
+//
+//   TryLock X (instant)  — succeeds only when *no* transaction holds E/S/X,
+//                          i.e. every contributor has committed or aborted
+//   re-check count == 0  — it may have been revived in the meantime
+//   log DELETE, remove   — commit immediately
+//
+// Rows that are busy are simply skipped; a later pass gets them. This is the
+// paper's "asynchronous ghost cleanup" system transaction.
+class GhostCleaner {
+ public:
+  GhostCleaner(ObjectId view_id, size_t count_column, IndexResolver* resolver,
+               LockManager* locks, TransactionManager* txns,
+               VersionStore* versions);
+  ~GhostCleaner();
+
+  GhostCleaner(const GhostCleaner&) = delete;
+  GhostCleaner& operator=(const GhostCleaner&) = delete;
+
+  // One full pass; *reclaimed (optional) receives the rows removed.
+  Status RunOnce(uint64_t* reclaimed = nullptr);
+
+  // Background mode: a pass every `interval_micros` until Stop().
+  void Start(uint64_t interval_micros);
+  void Stop();
+
+  const GhostCleanerStats& stats() const { return stats_; }
+
+ private:
+  const ObjectId view_id_;
+  const size_t count_column_;
+  IndexResolver* const resolver_;
+  LockManager* const locks_;
+  TransactionManager* const txns_;
+  VersionStore* const versions_;
+
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  GhostCleanerStats stats_;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_VIEW_GHOST_CLEANER_H_

@@ -1,0 +1,57 @@
+#include "view/predicate.h"
+
+namespace ivdb {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool Predicate::Eval(const Row& row) const {
+  const Value& v = row[static_cast<size_t>(column)];
+  if (v.is_null() || literal.is_null()) return false;
+  int cmp = v.Compare(literal);
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  return "col#" + std::to_string(column) + " " + CompareOpName(op) + " " +
+         literal.ToString();
+}
+
+bool EvalConjunction(const std::vector<Predicate>& predicates,
+                     const Row& row) {
+  for (const Predicate& p : predicates) {
+    if (!p.Eval(row)) return false;
+  }
+  return true;
+}
+
+}  // namespace ivdb

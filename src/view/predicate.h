@@ -1,0 +1,32 @@
+#ifndef IVDB_VIEW_PREDICATE_H_
+#define IVDB_VIEW_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+
+namespace ivdb {
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+// A single `column <op> literal` comparison against a row. NULL column
+// values fail every comparison (SQL three-valued logic collapsed to false).
+struct Predicate {
+  int column = 0;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+
+  bool Eval(const Row& row) const;
+  std::string ToString() const;
+};
+
+// Conjunction of predicates; empty conjunction is true.
+bool EvalConjunction(const std::vector<Predicate>& predicates, const Row& row);
+
+}  // namespace ivdb
+
+#endif  // IVDB_VIEW_PREDICATE_H_

@@ -1,0 +1,259 @@
+#include "view/view_def.h"
+
+#include "common/coding.h"
+
+namespace ivdb {
+
+const char* AggregateFunctionName(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kAvg:
+      return "AVG";
+    case AggregateFunction::kCountColumn:
+      return "COUNT_COL";
+  }
+  return "?";
+}
+
+Schema JoinedSchema(const Schema& fact, const Schema* dimension) {
+  std::vector<Column> columns = fact.columns();
+  if (dimension != nullptr) {
+    for (const Column& c : dimension->columns()) {
+      columns.push_back(c);
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+Schema ViewDefinition::DerivedSchema(const Schema& joined_schema) const {
+  std::vector<Column> columns;
+  if (kind == ViewKind::kAggregate) {
+    for (int g : group_by) {
+      columns.push_back(joined_schema.column(static_cast<size_t>(g)));
+    }
+    columns.push_back(Column{"count_big", TypeId::kInt64});
+    for (const AggregateSpec& agg : aggregates) {
+      TypeId type = TypeId::kInt64;  // kCountColumn counts as INT64
+      if (agg.func == AggregateFunction::kSum) {
+        type = joined_schema.column(static_cast<size_t>(agg.column)).type;
+      } else if (agg.func == AggregateFunction::kAvg) {
+        type = TypeId::kDouble;  // stored as the running sum
+      }
+      columns.push_back(Column{agg.name, type});
+    }
+  } else {
+    for (int p : projection) {
+      columns.push_back(joined_schema.column(static_cast<size_t>(p)));
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+Status ViewDefinition::Validate(const Schema& joined_schema) const {
+  if (name.empty()) return Status::InvalidArgument("view requires a name");
+  if (fact_table == kInvalidObjectId) {
+    return Status::InvalidArgument("view requires a fact table");
+  }
+  auto check_col = [&](int c) {
+    return c >= 0 && static_cast<size_t>(c) < joined_schema.num_columns();
+  };
+  for (const Predicate& p : filter) {
+    if (!check_col(p.column)) {
+      return Status::InvalidArgument("filter column out of range");
+    }
+  }
+  if (kind == ViewKind::kAggregate) {
+    if (group_by.empty()) {
+      return Status::InvalidArgument(
+          "aggregate view requires at least one group-by column");
+    }
+    for (int g : group_by) {
+      if (!check_col(g)) {
+        return Status::InvalidArgument("group-by column out of range");
+      }
+    }
+    for (const AggregateSpec& agg : aggregates) {
+      if (agg.func == AggregateFunction::kCount) {
+        return Status::InvalidArgument(
+            "COUNT is implicit in every aggregate view; do not list it");
+      }
+      if (!check_col(agg.column)) {
+        return Status::InvalidArgument("aggregate column out of range");
+      }
+      TypeId t = joined_schema.column(static_cast<size_t>(agg.column)).type;
+      if (t == TypeId::kString && agg.func != AggregateFunction::kCountColumn) {
+        return Status::InvalidArgument("cannot SUM/AVG a string column");
+      }
+      if (agg.func == AggregateFunction::kAvg && t != TypeId::kDouble) {
+        return Status::InvalidArgument(
+            "AVG requires a DOUBLE column (stored as a running sum)");
+      }
+      if (agg.name.empty()) {
+        return Status::InvalidArgument("aggregate requires an output name");
+      }
+      if (agg.min_value.has_value() &&
+          (agg.func != AggregateFunction::kSum || t != TypeId::kInt64)) {
+        return Status::InvalidArgument(
+            "escrow min bounds require an INT64 SUM column");
+      }
+      if (agg.func == AggregateFunction::kCountColumn && agg.column < 0) {
+        return Status::InvalidArgument("COUNT(col) requires a column");
+      }
+    }
+  } else {
+    if (projection.empty()) {
+      return Status::InvalidArgument("projection view requires columns");
+    }
+    for (int p : projection) {
+      if (!check_col(p)) {
+        return Status::InvalidArgument("projection column out of range");
+      }
+    }
+    if (projection_key.empty()) {
+      return Status::InvalidArgument(
+          "projection view requires a unique clustering key");
+    }
+    for (int k : projection_key) {
+      if (k < 0 || static_cast<size_t>(k) >= projection.size()) {
+        return Status::InvalidArgument(
+            "projection key indexes into the projected columns");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void ViewDefinition::EncodeTo(std::string* dst) const {
+  PutLengthPrefixed(dst, name);
+  dst->push_back(static_cast<char>(kind));
+  PutVarint64(dst, fact_table);
+  dst->push_back(join.has_value() ? '\1' : '\0');
+  if (join.has_value()) {
+    PutVarint64(dst, join->dimension_table);
+    PutVarint64(dst, static_cast<uint64_t>(join->fact_column));
+  }
+  PutVarint64(dst, filter.size());
+  for (const Predicate& p : filter) {
+    PutVarint64(dst, static_cast<uint64_t>(p.column));
+    dst->push_back(static_cast<char>(p.op));
+    p.literal.EncodeTo(dst);
+  }
+  PutVarint64(dst, group_by.size());
+  for (int g : group_by) PutVarint64(dst, static_cast<uint64_t>(g));
+  PutVarint64(dst, aggregates.size());
+  for (const AggregateSpec& a : aggregates) {
+    dst->push_back(static_cast<char>(a.func));
+    PutVarint64(dst, static_cast<uint64_t>(a.column));
+    PutLengthPrefixed(dst, a.name);
+    dst->push_back(a.min_value.has_value() ? '\1' : '\0');
+    if (a.min_value.has_value()) {
+      PutFixed64(dst, static_cast<uint64_t>(*a.min_value));
+    }
+  }
+  PutVarint64(dst, projection.size());
+  for (int p : projection) PutVarint64(dst, static_cast<uint64_t>(p));
+  PutVarint64(dst, projection_key.size());
+  for (int k : projection_key) PutVarint64(dst, static_cast<uint64_t>(k));
+}
+
+Status ViewDefinition::DecodeFrom(Slice* input, ViewDefinition* out) {
+  *out = ViewDefinition();
+  if (!GetLengthPrefixed(input, &out->name) || input->empty()) {
+    return Status::Corruption("view definition truncated");
+  }
+  out->kind = static_cast<ViewKind>((*input)[0]);
+  input->RemovePrefix(1);
+  uint64_t u = 0;
+  if (!GetVarint64(input, &u)) return Status::Corruption("view fact table");
+  out->fact_table = static_cast<ObjectId>(u);
+  if (input->empty()) return Status::Corruption("view join flag");
+  bool has_join = (*input)[0] != '\0';
+  input->RemovePrefix(1);
+  if (has_join) {
+    JoinSpec join;
+    uint64_t dim = 0, col = 0;
+    if (!GetVarint64(input, &dim) || !GetVarint64(input, &col)) {
+      return Status::Corruption("view join spec");
+    }
+    join.dimension_table = static_cast<ObjectId>(dim);
+    join.fact_column = static_cast<int>(col);
+    out->join = join;
+  }
+  uint64_t n = 0;
+  if (!GetVarint64(input, &n)) return Status::Corruption("view filter count");
+  for (uint64_t i = 0; i < n; i++) {
+    Predicate p;
+    uint64_t col = 0;
+    if (!GetVarint64(input, &col) || input->empty()) {
+      return Status::Corruption("view predicate");
+    }
+    p.column = static_cast<int>(col);
+    p.op = static_cast<CompareOp>((*input)[0]);
+    input->RemovePrefix(1);
+    IVDB_RETURN_NOT_OK(Value::DecodeFrom(input, &p.literal));
+    out->filter.push_back(std::move(p));
+  }
+  if (!GetVarint64(input, &n)) return Status::Corruption("view group count");
+  for (uint64_t i = 0; i < n; i++) {
+    uint64_t g = 0;
+    if (!GetVarint64(input, &g)) return Status::Corruption("view group col");
+    out->group_by.push_back(static_cast<int>(g));
+  }
+  if (!GetVarint64(input, &n)) return Status::Corruption("view agg count");
+  for (uint64_t i = 0; i < n; i++) {
+    AggregateSpec a;
+    if (input->empty()) return Status::Corruption("view agg func");
+    a.func = static_cast<AggregateFunction>((*input)[0]);
+    input->RemovePrefix(1);
+    uint64_t col = 0;
+    if (!GetVarint64(input, &col) || !GetLengthPrefixed(input, &a.name) ||
+        input->empty()) {
+      return Status::Corruption("view agg spec");
+    }
+    a.column = static_cast<int>(col);
+    bool has_bound = (*input)[0] != '\0';
+    input->RemovePrefix(1);
+    if (has_bound) {
+      uint64_t bound = 0;
+      if (!GetFixed64(input, &bound)) {
+        return Status::Corruption("view agg bound");
+      }
+      a.min_value = static_cast<int64_t>(bound);
+    }
+    out->aggregates.push_back(std::move(a));
+  }
+  if (!GetVarint64(input, &n)) return Status::Corruption("view proj count");
+  for (uint64_t i = 0; i < n; i++) {
+    uint64_t p = 0;
+    if (!GetVarint64(input, &p)) return Status::Corruption("view proj col");
+    out->projection.push_back(static_cast<int>(p));
+  }
+  if (!GetVarint64(input, &n)) return Status::Corruption("view key count");
+  for (uint64_t i = 0; i < n; i++) {
+    uint64_t k = 0;
+    if (!GetVarint64(input, &k)) return Status::Corruption("view key col");
+    out->projection_key.push_back(static_cast<int>(k));
+  }
+  return Status::OK();
+}
+
+Row FinalizeViewRow(const ViewDefinition& def, const Row& stored) {
+  if (def.kind != ViewKind::kAggregate) return stored;
+  Row out = stored;
+  int64_t count = stored[def.CountColumnIndex()].AsInt64();
+  for (size_t i = 0; i < def.aggregates.size(); i++) {
+    if (def.aggregates[i].func == AggregateFunction::kAvg) {
+      size_t col = def.AggregateColumnIndex(i);
+      out[col] = count == 0
+                     ? Value::Null(TypeId::kDouble)
+                     : Value::Double(stored[col].AsNumeric() /
+                                     static_cast<double>(count));
+    }
+  }
+  return out;
+}
+
+}  // namespace ivdb

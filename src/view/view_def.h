@@ -1,0 +1,116 @@
+#ifndef IVDB_VIEW_VIEW_DEF_H_
+#define IVDB_VIEW_VIEW_DEF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "view/predicate.h"
+
+namespace ivdb {
+
+// Aggregate functions allowed in indexed views. Mirrors the SQL Server
+// indexed-view rules the paper builds on: COUNT (as COUNT_BIG) and SUM are
+// escrow-maintainable because they commute under insert *and* delete; AVG is
+// stored as SUM plus the shared COUNT and derived at read time. MIN/MAX are
+// deliberately absent — a deletion of the current extreme cannot be repaired
+// from the aggregate row alone, so they are not self-maintainable and not
+// escrow-compatible.
+enum class AggregateFunction : uint8_t {
+  kCount,  // COUNT(*) — every aggregate view also keeps this as the row's
+           // existence count (ghost rows have count == 0)
+  kSum,
+  kAvg,  // stored as a SUM column; reads divide by the view's count
+  kCountColumn,  // COUNT(col): non-null values only; commutes like SUM
+};
+
+const char* AggregateFunctionName(AggregateFunction f);
+
+struct AggregateSpec {
+  AggregateSpec() = default;
+  AggregateSpec(AggregateFunction f, int c, std::string n,
+                std::optional<int64_t> min = std::nullopt)
+      : func(f), column(c), name(std::move(n)), min_value(min) {}
+
+  AggregateFunction func = AggregateFunction::kSum;
+  int column = -1;  // source column in the (joined) row; -1 for COUNT
+  std::string name;
+  // Optional escrow constraint (O'Neil): the committed value of this SUM
+  // must never drop below min_value, no matter which subset of in-flight
+  // transactions commits. Decrements that put the bound at risk are
+  // rejected with kBusy (transient: concurrent work unsettled) or
+  // kInvalidArgument (permanent). INT64 SUM columns only.
+  std::optional<int64_t> min_value;
+};
+
+enum class ViewKind : uint8_t {
+  kAggregate,   // SELECT g..., COUNT(*), SUM(x)... GROUP BY g...
+  kProjection,  // SELECT cols... (unique key required) — no aggregation
+};
+
+// Optional equijoin with a second ("dimension") table. The joined row seen
+// by filter/group-by/projection is the fact row's columns followed by the
+// dimension row's columns. Maintenance is driven by fact-table changes;
+// the dimension table is probed by its primary key under an S lock. DML on
+// a dimension table referenced by a view is rejected by the engine (a
+// documented scope restriction, matching the common fact/dimension usage
+// the paper's workloads assume).
+struct JoinSpec {
+  ObjectId dimension_table = kInvalidObjectId;
+  int fact_column = -1;  // equijoin column in the fact table
+  // The dimension is probed on its primary key, which must be exactly the
+  // single join column.
+};
+
+// Declarative definition of an indexed view over one fact table.
+struct ViewDefinition {
+  std::string name;
+  ViewKind kind = ViewKind::kAggregate;
+  ObjectId fact_table = kInvalidObjectId;
+  std::optional<JoinSpec> join;
+
+  // WHERE conjunction over the (joined) row.
+  std::vector<Predicate> filter;
+
+  // kAggregate: group-by columns (indexes into the joined row).
+  std::vector<int> group_by;
+  std::vector<AggregateSpec> aggregates;  // excluding the implicit COUNT
+
+  // kProjection: projected columns (indexes into the joined row) and which
+  // of the *projected* positions form the unique clustering key.
+  std::vector<int> projection;
+  std::vector<int> projection_key;
+
+  // Derives the stored schema of the view:
+  //   kAggregate:  [group cols..., "count_big" INT64, agg cols...]
+  //   kProjection: [projected cols...]
+  // `joined_schema` is the fact schema (+ dimension schema when joined).
+  Schema DerivedSchema(const Schema& joined_schema) const;
+
+  // Positions within the stored view row.
+  size_t CountColumnIndex() const { return group_by.size(); }
+  size_t AggregateColumnIndex(size_t agg_idx) const {
+    return group_by.size() + 1 + agg_idx;
+  }
+
+  // Validates internal consistency against the joined schema.
+  Status Validate(const Schema& joined_schema) const;
+
+  // Checkpoint serialization.
+  void EncodeTo(std::string* dst) const;
+  static Status DecodeFrom(Slice* input, ViewDefinition* out);
+};
+
+// Converts a stored aggregate view row into its query output: AVG columns
+// (stored as running sums) are divided by the view's count. Projection views
+// and non-AVG columns pass through unchanged.
+Row FinalizeViewRow(const ViewDefinition& def, const Row& stored);
+
+// Builds the joined schema: fact columns then dimension columns.
+Schema JoinedSchema(const Schema& fact, const Schema* dimension);
+
+}  // namespace ivdb
+
+#endif  // IVDB_VIEW_VIEW_DEF_H_

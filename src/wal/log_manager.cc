@@ -1,0 +1,189 @@
+#include "wal/log_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace ivdb {
+
+LogManager::LogManager(LogManagerOptions options)
+    : options_(std::move(options)) {}
+
+LogManager::~LogManager() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status LogManager::Open() {
+  if (options_.path.empty()) return Status::OK();  // in-memory log
+  fd_ = ::open(options_.path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("open '" + options_.path +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status LogManager::Append(LogRecord* rec) {
+  std::string body;
+  // LSN must be assigned while holding buf_mu_ so buffer order == LSN order.
+  std::lock_guard<std::mutex> guard(buf_mu_);
+  rec->lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
+  rec->EncodeTo(&body);
+  PutFixed32(&buffer_, static_cast<uint32_t>(body.size()));
+  PutFixed32(&buffer_, Crc32(body.data(), body.size()));
+  buffer_.append(body);
+  buffered_upto_ = rec->lsn;
+  stats_.records_appended.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_appended.fetch_add(body.size() + 8, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LogManager::WriteBatch(const std::string& batch) {
+  if (!batch.empty() && fd_ >= 0) {
+    size_t off = 0;
+    while (off < batch.size()) {
+      ssize_t n = ::write(fd_, batch.data() + off, batch.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("log write: ") +
+                               std::strerror(errno));
+      }
+      off += static_cast<size_t>(n);
+    }
+    if (options_.sync == SyncMode::kFsync) {
+      if (::fdatasync(fd_) != 0) {
+        return Status::IOError(std::string("log fdatasync: ") +
+                               std::strerror(errno));
+      }
+    }
+  }
+  if (options_.flush_delay_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.flush_delay_micros));
+  }
+  return Status::OK();
+}
+
+Status LogManager::Flush(Lsn upto) {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  while (flushed_lsn_.load(std::memory_order_acquire) < upto) {
+    if (flusher_active_) {
+      // Follower: a leader's I/O is in flight; our records (appended before
+      // this call) will ride this batch or the immediately following one.
+      flush_cv_.wait(lock);
+      continue;
+    }
+    // Become the leader: claim everything buffered so far and write it as
+    // one batch with the state lock released, so concurrent committers keep
+    // appending into the next batch meanwhile.
+    flusher_active_ = true;
+    if (options_.group_commit_window_micros > 0) {
+      // Batching window: let committers that are a few microseconds behind
+      // us join this batch instead of waiting a full device latency.
+      lock.unlock();
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.group_commit_window_micros));
+      lock.lock();
+    }
+    std::string batch;
+    Lsn batch_upto;
+    {
+      std::lock_guard<std::mutex> buf_guard(buf_mu_);
+      batch.swap(buffer_);
+      batch_upto = buffered_upto_;
+    }
+    lock.unlock();
+    Status status = WriteBatch(batch);
+    lock.lock();
+    flusher_active_ = false;
+    if (!status.ok()) {
+      flush_cv_.notify_all();
+      return status;
+    }
+    stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+    Lsn prev = flushed_lsn_.load(std::memory_order_relaxed);
+    if (batch_upto > prev) {
+      stats_.flushed_records.fetch_add(batch_upto - prev,
+                                       std::memory_order_relaxed);
+      flushed_lsn_.store(batch_upto, std::memory_order_release);
+    }
+    flush_cv_.notify_all();
+  }
+  return Status::OK();
+}
+
+void LogManager::AdvancePastLsn(Lsn lsn) {
+  Lsn cur = next_lsn_.load(std::memory_order_relaxed);
+  while (cur <= lsn && !next_lsn_.compare_exchange_weak(cur, lsn + 1)) {
+  }
+  Lsn f = flushed_lsn_.load(std::memory_order_relaxed);
+  while (f < lsn && !flushed_lsn_.compare_exchange_weak(f, lsn)) {
+  }
+  std::lock_guard<std::mutex> guard(buf_mu_);
+  if (buffered_upto_ < lsn) buffered_upto_ = lsn;
+}
+
+Status LogManager::ReadAll(const std::string& path,
+                           std::vector<LogRecord>* records) {
+  records->clear();
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::OK();  // no log yet
+    return Status::IOError("open '" + path + "': " + std::strerror(errno));
+  }
+  std::string contents;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError(std::string("log read: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  Slice input(contents);
+  while (input.size() >= 8) {
+    Slice frame = input;
+    uint32_t len = 0, crc = 0;
+    GetFixed32(&frame, &len);
+    GetFixed32(&frame, &crc);
+    if (frame.size() < len) break;  // torn tail
+    Slice body(frame.data(), len);
+    if (Crc32(body.data(), body.size()) != crc) break;  // corrupt tail
+    LogRecord rec;
+    if (!LogRecord::DecodeFrom(body, &rec).ok()) break;
+    records->push_back(std::move(rec));
+    input.RemovePrefix(8 + len);
+  }
+  return Status::OK();
+}
+
+Status LogManager::TruncateAll() {
+  std::lock_guard<std::mutex> flush_guard(flush_mu_);
+  std::lock_guard<std::mutex> buf_guard(buf_mu_);
+  buffer_.clear();
+  if (fd_ >= 0) {
+    if (::ftruncate(fd_, 0) != 0) {
+      return Status::IOError(std::string("log truncate: ") +
+                             std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ivdb

@@ -1,0 +1,309 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/coding.h"
+#include "common/random.h"
+
+namespace ivdb {
+namespace {
+
+std::string Key(int i) {
+  std::string k;
+  EncodeOrderedInt64(&k, i);
+  return k;
+}
+
+TEST(BTree, EmptyTree) {
+  BTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Contains("x"));
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.Depth(), 1);
+  EXPECT_TRUE(tree.ScanRange("", nullptr).empty());
+}
+
+TEST(BTree, PutGetSingle) {
+  BTree tree;
+  EXPECT_TRUE(tree.Put("k", "v"));
+  std::string value;
+  ASSERT_TRUE(tree.Get("k", &value));
+  EXPECT_EQ(value, "v");
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTree, PutOverwrites) {
+  BTree tree;
+  EXPECT_TRUE(tree.Put("k", "v1"));
+  EXPECT_FALSE(tree.Put("k", "v2"));  // not a new insert
+  std::string value;
+  ASSERT_TRUE(tree.Get("k", &value));
+  EXPECT_EQ(value, "v2");
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BTree, InsertRefusesDuplicates) {
+  BTree tree;
+  EXPECT_TRUE(tree.Insert("k", "v1"));
+  EXPECT_FALSE(tree.Insert("k", "v2"));
+  std::string value;
+  ASSERT_TRUE(tree.Get("k", &value));
+  EXPECT_EQ(value, "v1");
+}
+
+TEST(BTree, UpdateOnlyExisting) {
+  BTree tree;
+  EXPECT_FALSE(tree.Update("k", "v"));
+  tree.Put("k", "v1");
+  EXPECT_TRUE(tree.Update("k", "v2"));
+  std::string value;
+  tree.Get("k", &value);
+  EXPECT_EQ(value, "v2");
+}
+
+TEST(BTree, DeleteMissing) {
+  BTree tree;
+  EXPECT_FALSE(tree.Delete("k"));
+  tree.Put("k", "v");
+  EXPECT_TRUE(tree.Delete("k"));
+  EXPECT_FALSE(tree.Contains("k"));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BTree, SplitsMaintainInvariants) {
+  BTree tree;
+  const int n = 5000;  // several levels deep at fan-out 64
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(tree.Put(Key(i), "v" + std::to_string(i)));
+  }
+  EXPECT_EQ(tree.size(), static_cast<uint64_t>(n));
+  EXPECT_GE(tree.Depth(), 2);
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  for (int i = 0; i < n; i++) {
+    std::string value;
+    ASSERT_TRUE(tree.Get(Key(i), &value)) << i;
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+}
+
+TEST(BTree, ReverseInsertionOrder) {
+  BTree tree;
+  for (int i = 4999; i >= 0; i--) {
+    ASSERT_TRUE(tree.Put(Key(i), "v"));
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  auto all = tree.ScanRange("", nullptr);
+  ASSERT_EQ(all.size(), 5000u);
+  for (size_t i = 1; i < all.size(); i++) {
+    EXPECT_LT(all[i - 1].first, all[i].first);
+  }
+}
+
+TEST(BTree, ScanRangeBounds) {
+  BTree tree;
+  for (int i = 0; i < 100; i++) tree.Put(Key(i), std::to_string(i));
+  std::string end_str = Key(20);
+  Slice end(end_str);
+  auto some = tree.ScanRange(Key(10), &end);
+  ASSERT_EQ(some.size(), 10u);
+  EXPECT_EQ(some.front().second, "10");
+  EXPECT_EQ(some.back().second, "19");
+}
+
+TEST(BTree, ScanEarlyStop) {
+  BTree tree;
+  for (int i = 0; i < 100; i++) tree.Put(Key(i), "v");
+  int seen = 0;
+  tree.Scan("", nullptr, [&](const Slice&, const Slice&) {
+    seen++;
+    return seen < 7;
+  });
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(BTree, ModifyInPlace) {
+  BTree tree;
+  tree.Put("k", "aaa");
+  EXPECT_TRUE(tree.ModifyInPlace("k", [](std::string* v) { *v += "bbb"; }));
+  std::string value;
+  tree.Get("k", &value);
+  EXPECT_EQ(value, "aaabbb");
+  EXPECT_FALSE(tree.ModifyInPlace("missing", [](std::string*) {}));
+}
+
+TEST(BTree, RandomOpsMatchStdMap) {
+  BTree tree;
+  std::map<std::string, std::string> model;
+  Random rng(1234);
+  for (int i = 0; i < 20000; i++) {
+    int key_int = static_cast<int>(rng.Uniform(2000));
+    std::string key = Key(key_int);
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {
+        std::string value = std::to_string(rng.Next());
+        bool inserted = tree.Put(key, value);
+        EXPECT_EQ(inserted, model.count(key) == 0);
+        model[key] = value;
+        break;
+      }
+      case 2: {
+        bool deleted = tree.Delete(key);
+        EXPECT_EQ(deleted, model.erase(key) > 0);
+        break;
+      }
+      case 3: {
+        std::string value;
+        bool found = tree.Get(key, &value);
+        auto it = model.find(key);
+        ASSERT_EQ(found, it != model.end());
+        if (found) {
+          EXPECT_EQ(value, it->second);
+        }
+        break;
+      }
+    }
+    if (i % 2500 == 0) {
+      ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), model.size());
+  auto all = tree.ScanRange("", nullptr);
+  ASSERT_EQ(all.size(), model.size());
+  auto mit = model.begin();
+  for (const auto& [k, v] : all) {
+    EXPECT_EQ(k, mit->first);
+    EXPECT_EQ(v, mit->second);
+    ++mit;
+  }
+}
+
+TEST(BTree, DeleteEverything) {
+  BTree tree;
+  const int n = 3000;
+  for (int i = 0; i < n; i++) tree.Put(Key(i), "v");
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(tree.Delete(Key(i))) << i;
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  EXPECT_TRUE(tree.ScanRange("", nullptr).empty());
+  // Tree is reusable after total deletion.
+  tree.Put(Key(1), "again");
+  EXPECT_TRUE(tree.Contains(Key(1)));
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(BTree, DeleteInterleavedDirections) {
+  BTree tree;
+  const int n = 2000;
+  for (int i = 0; i < n; i++) tree.Put(Key(i), "v");
+  // Delete from both ends toward the middle.
+  for (int lo = 0, hi = n - 1; lo < hi; lo++, hi--) {
+    ASSERT_TRUE(tree.Delete(Key(lo)));
+    ASSERT_TRUE(tree.Delete(Key(hi)));
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(BTree, SerializeDeserializeRoundTrip) {
+  BTree tree;
+  for (int i = 0; i < 1000; i++) tree.Put(Key(i * 3), std::to_string(i));
+  std::string payload;
+  tree.SerializeTo(&payload);
+
+  BTree restored;
+  Slice input(payload);
+  ASSERT_TRUE(restored.DeserializeFrom(&input).ok());
+  EXPECT_TRUE(input.empty());
+  EXPECT_EQ(restored.size(), tree.size());
+  ASSERT_TRUE(restored.Validate().ok());
+  for (int i = 0; i < 1000; i++) {
+    std::string value;
+    ASSERT_TRUE(restored.Get(Key(i * 3), &value));
+    EXPECT_EQ(value, std::to_string(i));
+  }
+}
+
+TEST(BTree, DeserializeCorruptFails) {
+  BTree tree;
+  std::string bogus = "zz";
+  Slice input(bogus);
+  BTree restored;
+  restored.Put("a", "b");
+  // A failed restore clears the tree (Clear runs first).
+  Status s = restored.DeserializeFrom(&input);
+  (void)s;  // header may parse as count then fail on entries
+  // Either way the restored tree must still be structurally valid.
+  EXPECT_TRUE(restored.Validate().ok());
+}
+
+TEST(BTree, Clear) {
+  BTree tree;
+  for (int i = 0; i < 500; i++) tree.Put(Key(i), "v");
+  tree.Clear();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_FALSE(tree.Contains(Key(1)));
+}
+
+TEST(BTree, ConcurrentReadersAndWriters) {
+  BTree tree;
+  for (int i = 0; i < 1000; i++) tree.Put(Key(i), "0");
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+
+  std::thread writer([&] {
+    Random rng(1);
+    for (int i = 0; i < 20000; i++) {
+      int k = static_cast<int>(rng.Uniform(1000));
+      tree.ModifyInPlace(Key(k), [](std::string* v) {
+        *v = std::to_string(std::stoll(*v) + 1);
+      });
+    }
+    stop = true;
+  });
+  std::thread reader([&] {
+    Random rng(2);
+    while (!stop) {
+      int k = static_cast<int>(rng.Uniform(1000));
+      std::string value;
+      if (!tree.Get(Key(k), &value)) errors++;
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(errors.load(), 0);
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(BTree, ConcurrentIncrementsDoNotLoseUpdates) {
+  BTree tree;
+  tree.Put("counter", "0");
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; i++) {
+        tree.ModifyInPlace("counter", [](std::string* v) {
+          *v = std::to_string(std::stoll(*v) + 1);
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::string value;
+  ASSERT_TRUE(tree.Get("counter", &value));
+  EXPECT_EQ(value, std::to_string(kThreads * kIncrements));
+}
+
+}  // namespace
+}  // namespace ivdb

@@ -1,0 +1,696 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+namespace ivdb {
+namespace {
+
+Schema SalesSchema() {
+  return Schema({{"id", TypeId::kInt64},
+                 {"region", TypeId::kString},
+                 {"amount", TypeId::kDouble},
+                 {"qty", TypeId::kInt64}});
+}
+
+Row Sale(int64_t id, const std::string& region, double amount, int64_t qty) {
+  return {Value::Int64(id), Value::String(region), Value::Double(amount),
+          Value::Int64(qty)};
+}
+
+ViewDefinition RegionView(ObjectId fact) {
+  ViewDefinition def;
+  def.name = "sales_by_region";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = fact;
+  def.group_by = {1};
+  def.aggregates = {{AggregateFunction::kSum, 2, "total"},
+                    {AggregateFunction::kSum, 3, "units"}};
+  return def;
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto result = Database::Open(options_);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    db_ = std::move(result).value();
+    auto table = db_->CreateTable("sales", SalesSchema(), {0});
+    ASSERT_TRUE(table.ok());
+    sales_ = table.value()->id;
+  }
+
+  // Runs `fn` inside a fresh committed transaction.
+  void Commit(const std::function<void(Transaction*)>& fn) {
+    Transaction* txn = db_->Begin();
+    fn(txn);
+    Status s = db_->Commit(txn);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  DatabaseOptions options_;  // in-memory by default
+  std::unique_ptr<Database> db_;
+  ObjectId sales_ = kInvalidObjectId;
+};
+
+TEST_F(DatabaseTest, CreateTableErrors) {
+  EXPECT_TRUE(db_->CreateTable("sales", SalesSchema(), {0})
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_TRUE(db_->CreateTable("x", SalesSchema(), {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(DatabaseTest, InsertGetRoundTrip) {
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+  });
+  Transaction* reader = db_->Begin();
+  auto row = db_->Get(reader, "sales", {Value::Int64(1)});
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(row->has_value());
+  EXPECT_EQ((**row)[1].AsString(), "eu");
+  EXPECT_EQ((**row)[2].AsDouble(), 10.0);
+  auto missing = db_->Get(reader, "sales", {Value::Int64(99)});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->has_value());
+  ASSERT_TRUE(db_->Commit(reader).ok());
+}
+
+TEST_F(DatabaseTest, DuplicateInsertRejected) {
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+  });
+  Transaction* txn = db_->Begin();
+  EXPECT_TRUE(
+      db_->Insert(txn, "sales", Sale(1, "us", 1.0, 1)).IsAlreadyExists());
+  ASSERT_TRUE(db_->Abort(txn).ok());
+}
+
+TEST_F(DatabaseTest, UpdateAndDelete) {
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+  });
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Update(txn, "sales", Sale(1, "eu", 99.0, 3)).ok());
+  });
+  Transaction* reader = db_->Begin();
+  auto row = db_->Get(reader, "sales", {Value::Int64(1)});
+  EXPECT_EQ((**row)[2].AsDouble(), 99.0);
+  db_->Commit(reader);
+
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Delete(txn, "sales", {Value::Int64(1)}).ok());
+  });
+  reader = db_->Begin();
+  EXPECT_FALSE(db_->Get(reader, "sales", {Value::Int64(1)})->has_value());
+  db_->Commit(reader);
+}
+
+TEST_F(DatabaseTest, UpdateMissingRowFails) {
+  Transaction* txn = db_->Begin();
+  EXPECT_TRUE(db_->Update(txn, "sales", Sale(5, "eu", 1.0, 1)).IsNotFound());
+  EXPECT_TRUE(db_->Delete(txn, "sales", {Value::Int64(5)}).IsNotFound());
+  db_->Abort(txn);
+}
+
+TEST_F(DatabaseTest, SchemaValidatedOnDml) {
+  Transaction* txn = db_->Begin();
+  Row bad = {Value::Int64(1), Value::Int64(2)};
+  EXPECT_TRUE(db_->Insert(txn, "sales", bad).IsInvalidArgument());
+  db_->Abort(txn);
+}
+
+TEST_F(DatabaseTest, AbortRollsBackBaseTable) {
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+  ASSERT_TRUE(db_->Abort(txn).ok());
+  Transaction* reader = db_->Begin();
+  EXPECT_FALSE(db_->Get(reader, "sales", {Value::Int64(1)})->has_value());
+  db_->Commit(reader);
+}
+
+TEST_F(DatabaseTest, AggregateViewMaintainedOnInsert) {
+  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "eu", 5.0, 1)).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(3, "us", 7.0, 4)).ok());
+  });
+  Transaction* reader = db_->Begin();
+  auto eu = db_->GetViewRow(reader, "sales_by_region",
+                            {Value::String("eu")});
+  ASSERT_TRUE(eu.ok());
+  ASSERT_TRUE(eu->has_value());
+  EXPECT_EQ((**eu)[1].AsInt64(), 2);       // count
+  EXPECT_EQ((**eu)[2].AsDouble(), 15.0);   // total
+  EXPECT_EQ((**eu)[3].AsInt64(), 3);       // units
+  auto us = db_->GetViewRow(reader, "sales_by_region",
+                            {Value::String("us")});
+  EXPECT_EQ((**us)[1].AsInt64(), 1);
+  db_->Commit(reader);
+  EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_region").ok());
+}
+
+TEST_F(DatabaseTest, AggregateViewMaintainedOnDeleteAndUpdate) {
+  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "eu", 5.0, 1)).ok());
+  });
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Delete(txn, "sales", {Value::Int64(2)}).ok());
+  });
+  Commit([&](Transaction* txn) {
+    // Move row 1 from eu to us with a new amount.
+    ASSERT_TRUE(db_->Update(txn, "sales", Sale(1, "us", 3.0, 2)).ok());
+  });
+  Transaction* reader = db_->Begin();
+  auto eu = db_->GetViewRow(reader, "sales_by_region",
+                            {Value::String("eu")});
+  EXPECT_FALSE(eu->has_value());  // count dropped to 0 => ghost, invisible
+  auto us = db_->GetViewRow(reader, "sales_by_region",
+                            {Value::String("us")});
+  ASSERT_TRUE(us->has_value());
+  EXPECT_EQ((**us)[1].AsInt64(), 1);
+  EXPECT_EQ((**us)[2].AsDouble(), 3.0);
+  db_->Commit(reader);
+  EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_region").ok());
+}
+
+TEST_F(DatabaseTest, ViewPopulatedFromExistingData) {
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "us", 5.0, 1)).ok());
+  });
+  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  Transaction* reader = db_->Begin();
+  auto rows = db_->ScanView(reader, "sales_by_region");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  db_->Commit(reader);
+  EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_region").ok());
+}
+
+TEST_F(DatabaseTest, ViewWithFilter) {
+  ViewDefinition def = RegionView(sales_);
+  def.name = "big_sales";
+  def.filter = {{2, CompareOp::kGe, Value::Double(10.0)}};
+  ASSERT_TRUE(db_->CreateIndexedView(def).ok());
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 1)).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "eu", 3.0, 1)).ok());
+  });
+  Transaction* reader = db_->Begin();
+  auto eu = db_->GetViewRow(reader, "big_sales", {Value::String("eu")});
+  ASSERT_TRUE(eu->has_value());
+  EXPECT_EQ((**eu)[1].AsInt64(), 1);  // only the >= 10 row counts
+  db_->Commit(reader);
+
+  // An update that moves a row across the filter boundary.
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Update(txn, "sales", Sale(2, "eu", 50.0, 1)).ok());
+  });
+  reader = db_->Begin();
+  eu = db_->GetViewRow(reader, "big_sales", {Value::String("eu")});
+  EXPECT_EQ((**eu)[1].AsInt64(), 2);
+  db_->Commit(reader);
+  EXPECT_TRUE(db_->VerifyViewConsistency("big_sales").ok());
+}
+
+TEST_F(DatabaseTest, AvgViewFinalization) {
+  ViewDefinition def;
+  def.name = "avg_by_region";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = sales_;
+  def.group_by = {1};
+  def.aggregates = {{AggregateFunction::kAvg, 2, "avg_amount"}};
+  ASSERT_TRUE(db_->CreateIndexedView(def).ok());
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 1)).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "eu", 20.0, 1)).ok());
+  });
+  Transaction* reader = db_->Begin();
+  auto eu = db_->GetViewRow(reader, "avg_by_region", {Value::String("eu")});
+  ASSERT_TRUE(eu->has_value());
+  EXPECT_EQ((**eu)[2].AsDouble(), 15.0);
+  db_->Commit(reader);
+}
+
+TEST_F(DatabaseTest, AbortRollsBackViewMaintenance) {
+  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+  });
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "eu", 100.0, 9)).ok());
+  ASSERT_TRUE(db_->Abort(txn).ok());
+
+  Transaction* reader = db_->Begin();
+  auto eu = db_->GetViewRow(reader, "sales_by_region",
+                            {Value::String("eu")});
+  ASSERT_TRUE(eu->has_value());
+  EXPECT_EQ((**eu)[1].AsInt64(), 1);
+  EXPECT_EQ((**eu)[2].AsDouble(), 10.0);
+  db_->Commit(reader);
+  EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_region").ok());
+}
+
+TEST_F(DatabaseTest, GhostRowsStayPhysicallyUntilCleaned) {
+  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+  });
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Delete(txn, "sales", {Value::Int64(1)}).ok());
+  });
+  // Invisible to queries...
+  Transaction* reader = db_->Begin();
+  EXPECT_FALSE(db_->GetViewRow(reader, "sales_by_region",
+                               {Value::String("eu")})
+                   ->has_value());
+  EXPECT_TRUE(db_->ScanView(reader, "sales_by_region")->empty());
+  db_->Commit(reader);
+  // ...but physically present until the cleaner runs.
+  const ViewInfo* info = db_->GetView("sales_by_region").value();
+  EXPECT_EQ(db_->GetIndex(info->id)->size(), 1u);
+  uint64_t reclaimed = 0;
+  ASSERT_TRUE(db_->CleanGhosts(&reclaimed).ok());
+  EXPECT_EQ(reclaimed, 1u);
+  EXPECT_EQ(db_->GetIndex(info->id)->size(), 0u);
+  EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_region").ok());
+}
+
+TEST_F(DatabaseTest, GhostStatsTracked) {
+  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+  });
+  const ViewMaintainerStats* stats = db_->view_stats("sales_by_region");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->ghosts_created.load(), 1u);
+  EXPECT_EQ(stats->increments_applied.load(), 1u);
+}
+
+TEST_F(DatabaseTest, ProjectionView) {
+  ViewDefinition def;
+  def.name = "eu_sales";
+  def.kind = ViewKind::kProjection;
+  def.fact_table = sales_;
+  def.filter = {{1, CompareOp::kEq, Value::String("eu")}};
+  def.projection = {0, 2};   // id, amount
+  def.projection_key = {0};  // id
+  ASSERT_TRUE(db_->CreateIndexedView(def).ok());
+
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 1)).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "us", 5.0, 1)).ok());
+  });
+  Transaction* reader = db_->Begin();
+  auto rows = db_->ScanView(reader, "eu_sales");
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt64(), 1);
+  EXPECT_EQ((*rows)[0][1].AsDouble(), 10.0);
+  db_->Commit(reader);
+
+  // Update within the filter changes the projected row; moving out of the
+  // filter removes it.
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Update(txn, "sales", Sale(1, "eu", 11.0, 1)).ok());
+  });
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Update(txn, "sales", Sale(1, "apac", 11.0, 1)).ok());
+  });
+  reader = db_->Begin();
+  EXPECT_TRUE(db_->ScanView(reader, "eu_sales")->empty());
+  db_->Commit(reader);
+  EXPECT_TRUE(db_->VerifyViewConsistency("eu_sales").ok());
+}
+
+TEST_F(DatabaseTest, JoinViewMaintainedThroughFactChanges) {
+  Schema dim_schema(
+      {{"region", TypeId::kString}, {"zone", TypeId::kString}});
+  auto dim = db_->CreateTable("regions", dim_schema, {0});
+  ASSERT_TRUE(dim.ok());
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "regions",
+                            {Value::String("eu"), Value::String("emea")})
+                    .ok());
+    ASSERT_TRUE(db_->Insert(txn, "regions",
+                            {Value::String("us"), Value::String("amer")})
+                    .ok());
+  });
+
+  ViewDefinition def;
+  def.name = "sales_by_zone";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = sales_;
+  def.join = JoinSpec{dim.value()->id, 1};  // sales.region = regions.region
+  def.group_by = {5};                       // regions.zone
+  def.aggregates = {{AggregateFunction::kSum, 2, "total"}};
+  ASSERT_TRUE(db_->CreateIndexedView(def).ok());
+
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 1)).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "us", 5.0, 1)).ok());
+    // No matching dimension row: drops out of the join.
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(3, "mars", 99.0, 1)).ok());
+  });
+  Transaction* reader = db_->Begin();
+  auto emea = db_->GetViewRow(reader, "sales_by_zone",
+                              {Value::String("emea")});
+  ASSERT_TRUE(emea->has_value());
+  EXPECT_EQ((**emea)[1].AsInt64(), 1);
+  EXPECT_EQ((**emea)[2].AsDouble(), 10.0);
+  auto rows = db_->ScanView(reader, "sales_by_zone");
+  EXPECT_EQ(rows->size(), 2u);
+  db_->Commit(reader);
+  EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_zone").ok());
+
+  // Dimension DML is rejected while referenced.
+  Transaction* txn = db_->Begin();
+  EXPECT_TRUE(db_->Insert(txn, "regions",
+                          {Value::String("cn"), Value::String("apac")})
+                  .IsNotSupported());
+  db_->Abort(txn);
+}
+
+TEST_F(DatabaseTest, DeferredMaintenanceCoalesces) {
+  options_ = DatabaseOptions{};
+  options_.maintenance_timing = MaintenanceTiming::kDeferred;
+  auto result = Database::Open(options_);
+  ASSERT_TRUE(result.ok());
+  auto db = std::move(result).value();
+  ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+  ASSERT_TRUE(db->CreateIndexedView(RegionView(fact)).ok());
+
+  Transaction* txn = db->Begin();
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(db->Insert(txn, "sales", Sale(i, "eu", 1.0, 1)).ok());
+  }
+  // Before commit the view is untouched.
+  {
+    Transaction* peek = db->Begin(ReadMode::kDirty);
+    EXPECT_TRUE(db->ScanView(peek, "sales_by_region")->empty());
+    db->Commit(peek);
+  }
+  ASSERT_TRUE(db->Commit(txn).ok());
+
+  Transaction* reader = db->Begin();
+  auto eu = db->GetViewRow(reader, "sales_by_region", {Value::String("eu")});
+  ASSERT_TRUE(eu->has_value());
+  EXPECT_EQ((**eu)[1].AsInt64(), 10);
+  db->Commit(reader);
+
+  // Ten changes coalesced into a single increment.
+  const ViewMaintainerStats* stats = db->view_stats("sales_by_region");
+  EXPECT_EQ(stats->increments_applied.load(), 1u);
+  EXPECT_EQ(stats->deferred_changes_coalesced.load(), 10u);
+  EXPECT_TRUE(db->VerifyViewConsistency("sales_by_region").ok());
+}
+
+TEST_F(DatabaseTest, DeferredSelfCancelingChangeIsNoop) {
+  options_ = DatabaseOptions{};
+  options_.maintenance_timing = MaintenanceTiming::kDeferred;
+  auto db = std::move(Database::Open(options_)).value();
+  ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+  ASSERT_TRUE(db->CreateIndexedView(RegionView(fact)).ok());
+
+  Transaction* txn = db->Begin();
+  ASSERT_TRUE(db->Insert(txn, "sales", Sale(1, "eu", 4.0, 1)).ok());
+  ASSERT_TRUE(db->Delete(txn, "sales", {Value::Int64(1)}).ok());
+  ASSERT_TRUE(db->Commit(txn).ok());
+
+  // Net delta was zero: no increment, no ghost.
+  const ViewMaintainerStats* stats = db->view_stats("sales_by_region");
+  EXPECT_EQ(stats->increments_applied.load(), 0u);
+  EXPECT_EQ(stats->ghosts_created.load(), 0u);
+  EXPECT_TRUE(db->VerifyViewConsistency("sales_by_region").ok());
+}
+
+TEST_F(DatabaseTest, XLockBaselineModeProducesSameResults) {
+  options_ = DatabaseOptions{};
+  options_.use_escrow_locks = false;
+  auto db = std::move(Database::Open(options_)).value();
+  ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+  ASSERT_TRUE(db->CreateIndexedView(RegionView(fact)).ok());
+
+  Transaction* txn = db->Begin();
+  ASSERT_TRUE(db->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+  ASSERT_TRUE(db->Insert(txn, "sales", Sale(2, "eu", 5.0, 3)).ok());
+  ASSERT_TRUE(db->Commit(txn).ok());
+
+  Transaction* t2 = db->Begin();
+  ASSERT_TRUE(db->Delete(t2, "sales", {Value::Int64(2)}).ok());
+  ASSERT_TRUE(db->Abort(t2).ok());  // physical-image undo path
+
+  Transaction* reader = db->Begin();
+  auto eu = db->GetViewRow(reader, "sales_by_region", {Value::String("eu")});
+  ASSERT_TRUE(eu->has_value());
+  EXPECT_EQ((**eu)[1].AsInt64(), 2);
+  EXPECT_EQ((**eu)[2].AsDouble(), 15.0);
+  db->Commit(reader);
+  EXPECT_TRUE(db->VerifyViewConsistency("sales_by_region").ok());
+}
+
+TEST_F(DatabaseTest, MultipleViewsOverOneTable) {
+  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  ViewDefinition by_qty;
+  by_qty.name = "sales_by_qty";
+  by_qty.kind = ViewKind::kAggregate;
+  by_qty.fact_table = sales_;
+  by_qty.group_by = {3};
+  by_qty.aggregates = {{AggregateFunction::kSum, 2, "total"}};
+  ASSERT_TRUE(db_->CreateIndexedView(by_qty).ok());
+
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "us", 4.0, 2)).ok());
+  });
+  EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_region").ok());
+  EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_qty").ok());
+
+  Transaction* reader = db_->Begin();
+  auto q2 = db_->GetViewRow(reader, "sales_by_qty", {Value::Int64(2)});
+  ASSERT_TRUE(q2->has_value());
+  EXPECT_EQ((**q2)[1].AsInt64(), 2);
+  EXPECT_EQ((**q2)[2].AsDouble(), 14.0);
+  db_->Commit(reader);
+}
+
+TEST_F(DatabaseTest, ViewNameCollisions) {
+  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  EXPECT_TRUE(
+      db_->CreateIndexedView(RegionView(sales_)).status().IsAlreadyExists());
+  ViewDefinition table_clash = RegionView(sales_);
+  table_clash.name = "sales";
+  EXPECT_TRUE(
+      db_->CreateIndexedView(table_clash).status().IsAlreadyExists());
+  EXPECT_TRUE(db_->GetView("nope").status().IsNotFound());
+  EXPECT_EQ(db_->ListViews().size(), 1u);
+}
+
+TEST_F(DatabaseTest, ScanTable) {
+  Commit([&](Transaction* txn) {
+    for (int i = 0; i < 5; i++) {
+      ASSERT_TRUE(db_->Insert(txn, "sales", Sale(i, "eu", i * 1.0, 1)).ok());
+    }
+  });
+  Transaction* reader = db_->Begin();
+  auto rows = db_->ScanTable(reader, "sales");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 5u);
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ((*rows)[i][0].AsInt64(), i);  // PK order
+  }
+  db_->Commit(reader);
+}
+
+TEST_F(DatabaseTest, SnapshotReadSeesBeginState) {
+  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 1)).ok());
+  });
+  Transaction* snapshot = db_->Begin(ReadMode::kSnapshot);
+  // A later committed write is invisible to the snapshot.
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "eu", 90.0, 1)).ok());
+  });
+  auto eu = db_->GetViewRow(snapshot, "sales_by_region",
+                            {Value::String("eu")});
+  ASSERT_TRUE(eu->has_value());
+  EXPECT_EQ((**eu)[1].AsInt64(), 1);
+  EXPECT_EQ((**eu)[2].AsDouble(), 10.0);
+  auto base = db_->Get(snapshot, "sales", {Value::Int64(2)});
+  EXPECT_FALSE(base->has_value());
+  db_->Commit(snapshot);
+
+  // A fresh reader sees both.
+  Transaction* later = db_->Begin(ReadMode::kSnapshot);
+  eu = db_->GetViewRow(later, "sales_by_region", {Value::String("eu")});
+  EXPECT_EQ((**eu)[1].AsInt64(), 2);
+  db_->Commit(later);
+}
+
+TEST_F(DatabaseTest, SnapshotScanSeesDeletedRows) {
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 1)).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "us", 5.0, 1)).ok());
+  });
+  Transaction* snapshot = db_->Begin(ReadMode::kSnapshot);
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Delete(txn, "sales", {Value::Int64(1)}).ok());
+  });
+  auto rows = db_->ScanTable(snapshot, "sales");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // deletion happened after our snapshot
+  db_->Commit(snapshot);
+
+  Transaction* later = db_->Begin(ReadMode::kSnapshot);
+  EXPECT_EQ(db_->ScanTable(later, "sales")->size(), 1u);
+  db_->Commit(later);
+}
+
+TEST_F(DatabaseTest, VersionGarbageCollection) {
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 1)).ok());
+  });
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Update(txn, "sales", Sale(1, "eu", 20.0, 1)).ok());
+  });
+  EXPECT_GT(db_->version_store_entries(), 0u);
+  EXPECT_GT(db_->GarbageCollectVersions(), 0u);
+  EXPECT_EQ(db_->version_store_entries(), 0u);
+}
+
+TEST_F(DatabaseTest, CountColumnAggregateSkipsNulls) {
+  ViewDefinition def;
+  def.name = "region_stats";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = sales_;
+  def.group_by = {1};
+  def.aggregates = {{AggregateFunction::kCountColumn, 3, "qty_known"}};
+  ASSERT_TRUE(db_->CreateIndexedView(def).ok());
+
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 1.0, 5)).ok());
+    Row with_null = {Value::Int64(2), Value::String("eu"),
+                     Value::Double(2.0), Value::Null(TypeId::kInt64)};
+    ASSERT_TRUE(db_->Insert(txn, "sales", with_null).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(3, "eu", 3.0, 7)).ok());
+  });
+  Transaction* reader = db_->Begin();
+  auto eu = db_->GetViewRow(reader, "region_stats", {Value::String("eu")});
+  ASSERT_TRUE(eu->has_value());
+  EXPECT_EQ((**eu)[1].AsInt64(), 3);  // COUNT(*) sees all rows
+  EXPECT_EQ((**eu)[2].AsInt64(), 2);  // COUNT(qty) skips the NULL
+  db_->Commit(reader);
+
+  // Deleting the NULL row changes COUNT(*) but not COUNT(qty).
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Delete(txn, "sales", {Value::Int64(2)}).ok());
+  });
+  reader = db_->Begin();
+  eu = db_->GetViewRow(reader, "region_stats", {Value::String("eu")});
+  EXPECT_EQ((**eu)[1].AsInt64(), 2);
+  EXPECT_EQ((**eu)[2].AsInt64(), 2);
+  db_->Commit(reader);
+  EXPECT_TRUE(db_->VerifyViewConsistency("region_stats").ok());
+}
+
+TEST_F(DatabaseTest, RangeScans) {
+  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  Commit([&](Transaction* txn) {
+    for (int i = 0; i < 20; i++) {
+      const char* region = i % 2 == 0 ? "apac" : "eu";
+      ASSERT_TRUE(
+          db_->Insert(txn, "sales", Sale(i, region, i * 1.0, 1)).ok());
+    }
+  });
+
+  Transaction* reader = db_->Begin();
+  // Base-table range [5, 12).
+  auto rows = db_->ScanTableRange(reader, "sales", {Value::Int64(5)},
+                                  {Value::Int64(12)});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 7u);
+  EXPECT_EQ((*rows)[0][0].AsInt64(), 5);
+  EXPECT_EQ(rows->back()[0].AsInt64(), 11);
+
+  // Unbounded high.
+  rows = db_->ScanTableRange(reader, "sales", {Value::Int64(18)}, {});
+  EXPECT_EQ(rows->size(), 2u);
+
+  // View range: groups in ["b", "z") -> only "eu".
+  auto groups = db_->ScanViewRange(reader, "sales_by_region",
+                                   {Value::String("b")},
+                                   {Value::String("z")});
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 1u);
+  EXPECT_EQ((*groups)[0][0].AsString(), "eu");
+  EXPECT_EQ((*groups)[0][1].AsInt64(), 10);
+  db_->Commit(reader);
+}
+
+TEST_F(DatabaseTest, SnapshotRangeScanRespectsVisibility) {
+  Commit([&](Transaction* txn) {
+    for (int i = 0; i < 10; i++) {
+      ASSERT_TRUE(db_->Insert(txn, "sales", Sale(i, "eu", 1.0, 1)).ok());
+    }
+  });
+  Transaction* snapshot = db_->Begin(ReadMode::kSnapshot);
+  Commit([&](Transaction* txn) {
+    ASSERT_TRUE(db_->Delete(txn, "sales", {Value::Int64(4)}).ok());
+    ASSERT_TRUE(db_->Insert(txn, "sales", Sale(100, "eu", 1.0, 1)).ok());
+  });
+  auto rows = db_->ScanTableRange(snapshot, "sales", {Value::Int64(2)},
+                                  {Value::Int64(7)});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 5u);  // 2,3,4,5,6 — the delete is invisible
+  db_->Commit(snapshot);
+
+  Transaction* later = db_->Begin(ReadMode::kSnapshot);
+  rows = db_->ScanTableRange(later, "sales", {Value::Int64(2)},
+                             {Value::Int64(7)});
+  EXPECT_EQ(rows->size(), 4u);
+  db_->Commit(later);
+}
+
+TEST_F(DatabaseTest, FailedStatementIsAtomic) {
+  // A projection view with a unique key that the second insert violates:
+  // the statement must roll back its base-table insert too, and the
+  // transaction must remain usable.
+  ViewDefinition def;
+  def.name = "by_amount";
+  def.kind = ViewKind::kProjection;
+  def.fact_table = sales_;
+  def.projection = {2, 0};   // amount, id
+  def.projection_key = {0};  // amount must be unique
+  ASSERT_TRUE(db_->CreateIndexedView(def).ok());
+
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 1)).ok());
+  Status s = db_->Insert(txn, "sales", Sale(2, "us", 10.0, 1));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();  // duplicate view key
+  // The failed statement's base row is gone; txn continues and commits.
+  ASSERT_TRUE(db_->Insert(txn, "sales", Sale(3, "us", 11.0, 1)).ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+
+  Transaction* reader = db_->Begin();
+  EXPECT_FALSE(db_->Get(reader, "sales", {Value::Int64(2)})->has_value());
+  EXPECT_TRUE(db_->Get(reader, "sales", {Value::Int64(3)})->has_value());
+  db_->Commit(reader);
+  EXPECT_TRUE(db_->VerifyViewConsistency("by_amount").ok());
+}
+
+TEST_F(DatabaseTest, DirtyReadSeesUncommitted) {
+  Transaction* writer = db_->Begin();
+  ASSERT_TRUE(db_->Insert(writer, "sales", Sale(1, "eu", 10.0, 1)).ok());
+  Transaction* dirty = db_->Begin(ReadMode::kDirty);
+  EXPECT_TRUE(db_->Get(dirty, "sales", {Value::Int64(1)})->has_value());
+  db_->Commit(dirty);
+  db_->Abort(writer);
+}
+
+}  // namespace
+}  // namespace ivdb

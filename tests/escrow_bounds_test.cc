@@ -1,0 +1,336 @@
+// Tests for the O'Neil-style escrow extensions: min-bound constraints on
+// SUM columns and optimistic lock-free bounds reads.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "engine/database.h"
+
+namespace ivdb {
+namespace {
+
+Schema StockSchema() {
+  return Schema({{"movement_id", TypeId::kInt64},
+                 {"item", TypeId::kInt64},
+                 {"qty", TypeId::kInt64}});
+}
+
+Row Movement(int64_t id, int64_t item, int64_t qty) {
+  return {Value::Int64(id), Value::Int64(item), Value::Int64(qty)};
+}
+
+// inventory(item) = SUM(qty) with the constraint SUM(qty) >= 0: stock on
+// hand can never be driven negative, even transiently across concurrent
+// uncommitted movements.
+struct Fixture {
+  std::unique_ptr<Database> db;
+  int64_t next_id = 1;
+
+  explicit Fixture(DatabaseOptions options = {}) {
+    db = std::move(Database::Open(std::move(options))).value();
+    ObjectId fact = db->CreateTable("movements", StockSchema(), {0})
+                        .value()
+                        ->id;
+    ViewDefinition def;
+    def.name = "inventory";
+    def.kind = ViewKind::kAggregate;
+    def.fact_table = fact;
+    def.group_by = {1};
+    def.aggregates = {
+        AggregateSpec(AggregateFunction::kSum, 2, "on_hand", int64_t{0})};
+    auto created = db->CreateIndexedView(def);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+  }
+
+  Status Move(Transaction* txn, int64_t item, int64_t qty) {
+    return db->Insert(txn, "movements", Movement(next_id++, item, qty));
+  }
+
+  Status CommitMove(int64_t item, int64_t qty) {
+    Transaction* txn = db->Begin();
+    Status s = Move(txn, item, qty);
+    if (s.ok()) {
+      Status c = db->Commit(txn);
+      if (!c.ok()) s = c;
+    } else {
+      db->Abort(txn);
+    }
+    db->Forget(txn);
+    return s;
+  }
+
+  int64_t OnHand(int64_t item) {
+    Transaction* reader = db->Begin(ReadMode::kDirty);
+    auto row = db->GetViewRow(reader, "inventory", {Value::Int64(item)});
+    int64_t qty = row->has_value() ? (**row)[2].AsInt64() : 0;
+    db->Commit(reader);
+    db->Forget(reader);
+    return qty;
+  }
+};
+
+TEST(EscrowBounds, ValidationRules) {
+  Schema schema = StockSchema();
+  ViewDefinition def;
+  def.name = "v";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = 1;
+  def.group_by = {1};
+  // Bound on a DOUBLE column is rejected.
+  Schema with_double({{"id", TypeId::kInt64},
+                      {"g", TypeId::kInt64},
+                      {"x", TypeId::kDouble}});
+  def.aggregates = {
+      AggregateSpec(AggregateFunction::kSum, 2, "s", int64_t{0})};
+  EXPECT_TRUE(def.Validate(with_double).IsInvalidArgument());
+  // Bound on an AVG is rejected.
+  def.aggregates = {
+      AggregateSpec(AggregateFunction::kAvg, 2, "a", int64_t{0})};
+  EXPECT_TRUE(def.Validate(with_double).IsInvalidArgument());
+  // Bound on an INT64 SUM is fine.
+  def.aggregates = {
+      AggregateSpec(AggregateFunction::kSum, 2, "s", int64_t{0})};
+  EXPECT_TRUE(def.Validate(schema).ok());
+}
+
+TEST(EscrowBounds, BoundSurvivesSerialization) {
+  ViewDefinition def;
+  def.name = "v";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = 1;
+  def.group_by = {1};
+  def.aggregates = {
+      AggregateSpec(AggregateFunction::kSum, 2, "s", int64_t{-5})};
+  std::string buf;
+  def.EncodeTo(&buf);
+  Slice input(buf);
+  ViewDefinition out;
+  ASSERT_TRUE(ViewDefinition::DecodeFrom(&input, &out).ok());
+  ASSERT_TRUE(out.aggregates[0].min_value.has_value());
+  EXPECT_EQ(*out.aggregates[0].min_value, -5);
+}
+
+TEST(EscrowBounds, SimpleDebitWithinBoundSucceeds) {
+  Fixture f;
+  ASSERT_TRUE(f.CommitMove(1, 10).ok());
+  ASSERT_TRUE(f.CommitMove(1, -4).ok());
+  EXPECT_EQ(f.OnHand(1), 6);
+}
+
+TEST(EscrowBounds, OverdraftRejectedPermanently) {
+  Fixture f;
+  ASSERT_TRUE(f.CommitMove(1, 10).ok());
+  Status s = f.CommitMove(1, -11);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(f.OnHand(1), 10);  // nothing changed
+  EXPECT_TRUE(f.db->VerifyViewConsistency("inventory").ok());
+}
+
+TEST(EscrowBounds, ExactDrainToBoundAllowed) {
+  Fixture f;
+  ASSERT_TRUE(f.CommitMove(1, 10).ok());
+  ASSERT_TRUE(f.CommitMove(1, -10).ok());
+  // on_hand is 0 but count is 2: the row is visible with a zero sum.
+  EXPECT_EQ(f.OnHand(1), 0);
+  EXPECT_TRUE(f.CommitMove(1, -1).IsInvalidArgument());
+}
+
+TEST(EscrowBounds, PessimisticRejectionWhileCreditUncommitted) {
+  Fixture f;
+  ASSERT_TRUE(f.CommitMove(1, 5).ok());
+
+  // An uncommitted credit of +10 must NOT be spendable yet: if it aborted,
+  // the debit of -12 would leave on_hand at -7.
+  Transaction* credit = f.db->Begin();
+  ASSERT_TRUE(f.Move(credit, 1, 10).ok());
+
+  Transaction* debit = f.db->Begin();
+  Status s = f.Move(debit, 1, -12);
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();  // transient, not permanent
+  ASSERT_TRUE(f.db->Abort(debit).ok());
+
+  // Once the credit commits the same debit is admissible.
+  ASSERT_TRUE(f.db->Commit(credit).ok());
+  EXPECT_TRUE(f.CommitMove(1, -12).ok());
+  EXPECT_EQ(f.OnHand(1), 3);
+  EXPECT_TRUE(f.db->VerifyViewConsistency("inventory").ok());
+}
+
+TEST(EscrowBounds, UncommittedDebitReservesStock) {
+  Fixture f;
+  ASSERT_TRUE(f.CommitMove(1, 10).ok());
+
+  // A pending debit is counted against availability only via the physical
+  // value (it already applied), so a second debit sees on_hand = 4.
+  Transaction* debit1 = f.db->Begin();
+  ASSERT_TRUE(f.Move(debit1, 1, -6).ok());
+
+  Transaction* debit2 = f.db->Begin();
+  // -5 would take the committed-if-both-commit value to -1: permanent no.
+  EXPECT_TRUE(f.Move(debit2, 1, -5).IsInvalidArgument());
+  // -4 is fine in every outcome (debit1's negative delta cannot break the
+  // lower bound by aborting).
+  EXPECT_TRUE(f.Move(debit2, 1, -4).ok());
+  ASSERT_TRUE(f.db->Commit(debit2).ok());
+  ASSERT_TRUE(f.db->Abort(debit1).ok());
+  EXPECT_EQ(f.OnHand(1), 6);  // 10 - 4
+  EXPECT_TRUE(f.db->VerifyViewConsistency("inventory").ok());
+}
+
+TEST(EscrowBounds, ConcurrentDrainNeverOverdraws) {
+  Fixture f;
+  constexpr int64_t kInitial = 200;
+  ASSERT_TRUE(f.CommitMove(1, kInitial).ok());
+
+  std::atomic<int64_t> drained{0};
+  std::atomic<int64_t> id_seq{1000};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; i++) {
+        Transaction* txn = f.db->Begin();
+        int64_t id = id_seq.fetch_add(1);
+        Status s = f.db->Insert(txn, "movements", Movement(id, 1, -1));
+        if (s.ok()) s = f.db->Commit(txn);
+        if (s.ok()) {
+          drained.fetch_add(1);
+        } else if (txn->state() == TxnState::kActive) {
+          f.db->Abort(txn);
+        }
+        f.db->Forget(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // 800 attempted unit debits against 200 stock: exactly 200 succeed.
+  EXPECT_EQ(drained.load(), kInitial);
+  EXPECT_EQ(f.OnHand(1), 0);
+  EXPECT_TRUE(f.db->VerifyViewConsistency("inventory").ok());
+}
+
+TEST(EscrowBounds, XLockModeEnforcesBoundToo) {
+  DatabaseOptions options;
+  options.use_escrow_locks = false;
+  Fixture f(options);
+  ASSERT_TRUE(f.CommitMove(1, 5).ok());
+  EXPECT_TRUE(f.CommitMove(1, -6).IsInvalidArgument());
+  EXPECT_TRUE(f.CommitMove(1, -5).ok());
+  EXPECT_EQ(f.OnHand(1), 0);
+}
+
+TEST(EscrowBounds, DeferredMaintenanceChecksNetDeltaAtCommit) {
+  DatabaseOptions options;
+  options.maintenance_timing = MaintenanceTiming::kDeferred;
+  Fixture f(options);
+  ASSERT_TRUE(f.CommitMove(1, 10).ok());
+
+  // Within one transaction, -15 then +8 nets to -7: admissible even though
+  // the intermediate -15 alone would violate the bound. Commit-time
+  // coalescing checks the net.
+  Transaction* txn = f.db->Begin();
+  ASSERT_TRUE(f.Move(txn, 1, -15).ok());  // buffered, not yet checked
+  ASSERT_TRUE(f.Move(txn, 1, 8).ok());
+  ASSERT_TRUE(f.db->Commit(txn).ok());
+  EXPECT_EQ(f.OnHand(1), 3);
+
+  // A net violation is caught at commit and the whole txn aborts.
+  txn = f.db->Begin();
+  ASSERT_TRUE(f.Move(txn, 1, -10).ok());
+  Status s = f.db->Commit(txn);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_EQ(txn->state(), TxnState::kAborted);
+  EXPECT_EQ(f.OnHand(1), 3);
+  EXPECT_TRUE(f.db->VerifyViewConsistency("inventory").ok());
+}
+
+TEST(EscrowBounds, SavepointRollbackRestoresReservedStock) {
+  Fixture f;
+  ASSERT_TRUE(f.CommitMove(1, 10).ok());
+  Transaction* txn = f.db->Begin();
+  ASSERT_TRUE(f.Move(txn, 1, -6).ok());  // reserves 6
+  // Second statement fails (would overdraw); its own partial work is rolled
+  // back but the earlier reservation stays.
+  EXPECT_TRUE(f.Move(txn, 1, -5).IsInvalidArgument());
+  // Availability unchanged: a third, fitting statement succeeds.
+  ASSERT_TRUE(f.Move(txn, 1, -4).ok());
+  ASSERT_TRUE(f.db->Commit(txn).ok());
+  EXPECT_EQ(f.OnHand(1), 0);
+  EXPECT_TRUE(f.db->VerifyViewConsistency("inventory").ok());
+}
+
+TEST(BoundsRead, NoPendingWorkGivesPointBounds) {
+  Fixture f;
+  ASSERT_TRUE(f.CommitMove(1, 10).ok());
+  auto bounds = f.db->GetViewRowBounds("inventory", {Value::Int64(1)});
+  ASSERT_TRUE(bounds.ok());
+  ASSERT_TRUE(bounds->exists);
+  EXPECT_EQ(bounds->low[2].AsInt64(), 10);
+  EXPECT_EQ(bounds->high[2].AsInt64(), 10);
+}
+
+TEST(BoundsRead, MissingRow) {
+  Fixture f;
+  auto bounds = f.db->GetViewRowBounds("inventory", {Value::Int64(99)});
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_FALSE(bounds->exists);
+}
+
+TEST(BoundsRead, PendingWorkWidensInterval) {
+  Fixture f;
+  ASSERT_TRUE(f.CommitMove(1, 10).ok());
+
+  Transaction* credit = f.db->Begin();
+  ASSERT_TRUE(f.Move(credit, 1, 7).ok());
+  Transaction* debit = f.db->Begin();
+  ASSERT_TRUE(f.Move(debit, 1, -3).ok());
+
+  // Physical value: 14. Outcomes: credit/debit each commit or abort:
+  // {10, 17, 7, 14} -> low 7 (credit aborts, debit commits),
+  //                    high 17 (credit commits, debit aborts).
+  auto bounds = f.db->GetViewRowBounds("inventory", {Value::Int64(1)});
+  ASSERT_TRUE(bounds.ok());
+  ASSERT_TRUE(bounds->exists);
+  EXPECT_EQ(bounds->low[2].AsInt64(), 7);
+  EXPECT_EQ(bounds->high[2].AsInt64(), 17);
+  // Count bounds widen too (two pending +1 counts).
+  EXPECT_EQ(bounds->low[1].AsInt64(), 1);
+  EXPECT_EQ(bounds->high[1].AsInt64(), 3);
+
+  ASSERT_TRUE(f.db->Commit(credit).ok());
+  ASSERT_TRUE(f.db->Abort(debit).ok());
+  bounds = f.db->GetViewRowBounds("inventory", {Value::Int64(1)});
+  EXPECT_EQ(bounds->low[2].AsInt64(), 17);
+  EXPECT_EQ(bounds->high[2].AsInt64(), 17);
+}
+
+TEST(BoundsRead, NeverBlocksBehindEscrowWriters) {
+  Fixture f;
+  ASSERT_TRUE(f.CommitMove(1, 10).ok());
+  Transaction* writer = f.db->Begin();
+  ASSERT_TRUE(f.Move(writer, 1, 5).ok());
+  // A locking reader would block here; the bounds read returns instantly.
+  auto bounds = f.db->GetViewRowBounds("inventory", {Value::Int64(1)});
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->low[2].AsInt64(), 10);
+  EXPECT_EQ(bounds->high[2].AsInt64(), 15);
+  ASSERT_TRUE(f.db->Commit(writer).ok());
+}
+
+TEST(BoundsRead, RejectsProjectionViews) {
+  auto db = std::move(Database::Open(DatabaseOptions{})).value();
+  ObjectId fact = db->CreateTable("t", StockSchema(), {0}).value()->id;
+  ViewDefinition def;
+  def.name = "proj";
+  def.kind = ViewKind::kProjection;
+  def.fact_table = fact;
+  def.projection = {0, 2};
+  def.projection_key = {0};
+  ASSERT_TRUE(db->CreateIndexedView(def).ok());
+  EXPECT_TRUE(db->GetViewRowBounds("proj", {Value::Int64(1)})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ivdb

@@ -1,0 +1,188 @@
+#include "view/ghost_cleaner.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "engine/database.h"
+
+namespace ivdb {
+namespace {
+
+using namespace std::chrono_literals;
+
+Schema SalesSchema() {
+  return Schema({{"id", TypeId::kInt64},
+                 {"grp", TypeId::kInt64},
+                 {"amount", TypeId::kInt64}});
+}
+
+Row Sale(int64_t id, int64_t grp, int64_t amount = 1) {
+  return {Value::Int64(id), Value::Int64(grp), Value::Int64(amount)};
+}
+
+struct Fixture {
+  std::unique_ptr<Database> db;
+  ObjectId view_id = kInvalidObjectId;
+
+  explicit Fixture(DatabaseOptions options = {}) {
+    db = std::move(Database::Open(std::move(options))).value();
+    ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+    ViewDefinition def;
+    def.name = "by_grp";
+    def.kind = ViewKind::kAggregate;
+    def.fact_table = fact;
+    def.group_by = {1};
+    def.aggregates = {{AggregateFunction::kSum, 2, "total"}};
+    view_id = db->CreateIndexedView(def).value()->id;
+  }
+
+  void CommitOp(const std::function<Status(Transaction*)>& fn) {
+    Transaction* txn = db->Begin();
+    Status s = fn(txn);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    s = db->Commit(txn);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  uint64_t PhysicalRows() { return db->GetIndex(view_id)->size(); }
+};
+
+TEST(GhostCleaner, ReclaimsCommittedGhosts) {
+  Fixture f;
+  f.CommitOp([&](Transaction* t) { return f.db->Insert(t, "sales", Sale(1, 7)); });
+  f.CommitOp([&](Transaction* t) {
+    return f.db->Delete(t, "sales", {Value::Int64(1)});
+  });
+  EXPECT_EQ(f.PhysicalRows(), 1u);  // ghost with count 0
+  uint64_t reclaimed = 0;
+  ASSERT_TRUE(f.db->CleanGhosts(&reclaimed).ok());
+  EXPECT_EQ(reclaimed, 1u);
+  EXPECT_EQ(f.PhysicalRows(), 0u);
+  const GhostCleanerStats* stats = f.db->ghost_stats("by_grp");
+  EXPECT_EQ(stats->reclaimed.load(), 1u);
+  EXPECT_GE(stats->passes.load(), 1u);
+}
+
+TEST(GhostCleaner, LeavesLiveRowsAlone) {
+  Fixture f;
+  f.CommitOp([&](Transaction* t) { return f.db->Insert(t, "sales", Sale(1, 7)); });
+  uint64_t reclaimed = 99;
+  ASSERT_TRUE(f.db->CleanGhosts(&reclaimed).ok());
+  EXPECT_EQ(reclaimed, 0u);
+  EXPECT_EQ(f.PhysicalRows(), 1u);
+}
+
+TEST(GhostCleaner, SkipsGhostWithUncommittedDecrementer) {
+  Fixture f;
+  f.CommitOp([&](Transaction* t) { return f.db->Insert(t, "sales", Sale(1, 7)); });
+
+  // This transaction takes the group to count 0 but is still open: its E
+  // lock must make the cleaner skip (an abort would revive the row).
+  Transaction* open_txn = f.db->Begin();
+  ASSERT_TRUE(f.db->Delete(open_txn, "sales", {Value::Int64(1)}).ok());
+
+  uint64_t reclaimed = 0;
+  ASSERT_TRUE(f.db->CleanGhosts(&reclaimed).ok());
+  EXPECT_EQ(reclaimed, 0u);
+  const GhostCleanerStats* stats = f.db->ghost_stats("by_grp");
+  EXPECT_GE(stats->skipped_locked.load(), 1u);
+
+  ASSERT_TRUE(f.db->Abort(open_txn).ok());  // count back to 1
+  ASSERT_TRUE(f.db->CleanGhosts(&reclaimed).ok());
+  EXPECT_EQ(reclaimed, 0u);  // revived: not a ghost anymore
+  EXPECT_TRUE(f.db->VerifyViewConsistency("by_grp").ok());
+}
+
+TEST(GhostCleaner, SkipsRevivedRow) {
+  Fixture f;
+  f.CommitOp([&](Transaction* t) { return f.db->Insert(t, "sales", Sale(1, 7)); });
+  f.CommitOp([&](Transaction* t) {
+    return f.db->Delete(t, "sales", {Value::Int64(1)});
+  });
+  // Revive the group before the cleaner runs.
+  f.CommitOp([&](Transaction* t) { return f.db->Insert(t, "sales", Sale(2, 7)); });
+  uint64_t reclaimed = 0;
+  ASSERT_TRUE(f.db->CleanGhosts(&reclaimed).ok());
+  EXPECT_EQ(reclaimed, 0u);
+  Transaction* reader = f.db->Begin();
+  auto row = f.db->GetViewRow(reader, "by_grp", {Value::Int64(7)});
+  ASSERT_TRUE(row->has_value());
+  EXPECT_EQ((**row)[1].AsInt64(), 1);
+  f.db->Commit(reader);
+}
+
+TEST(GhostCleaner, SnapshotReaderStillSeesPreCleanupState) {
+  Fixture f;
+  f.CommitOp([&](Transaction* t) { return f.db->Insert(t, "sales", Sale(1, 7)); });
+  // Open a snapshot BEFORE the delete: it must keep seeing count 1 even
+  // after the row is deleted and the ghost is physically reclaimed.
+  Transaction* snapshot = f.db->Begin(ReadMode::kSnapshot);
+  f.CommitOp([&](Transaction* t) {
+    return f.db->Delete(t, "sales", {Value::Int64(1)});
+  });
+  ASSERT_TRUE(f.db->CleanGhosts().ok());
+  EXPECT_EQ(f.PhysicalRows(), 0u);
+
+  auto row = f.db->GetViewRow(snapshot, "by_grp", {Value::Int64(7)});
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  ASSERT_TRUE(row->has_value());
+  EXPECT_EQ((**row)[1].AsInt64(), 1);
+  f.db->Commit(snapshot);
+}
+
+TEST(GhostCleaner, ManyGhostsReclaimedInOnePass) {
+  Fixture f;
+  for (int64_t g = 0; g < 50; g++) {
+    f.CommitOp([&](Transaction* t) { return f.db->Insert(t, "sales", Sale(g, g)); });
+    f.CommitOp([&](Transaction* t) {
+      return f.db->Delete(t, "sales", {Value::Int64(g)});
+    });
+  }
+  EXPECT_EQ(f.PhysicalRows(), 50u);
+  uint64_t reclaimed = 0;
+  ASSERT_TRUE(f.db->CleanGhosts(&reclaimed).ok());
+  EXPECT_EQ(reclaimed, 50u);
+  EXPECT_EQ(f.PhysicalRows(), 0u);
+  EXPECT_TRUE(f.db->VerifyViewConsistency("by_grp").ok());
+}
+
+TEST(GhostCleaner, BackgroundModeStartStop) {
+  DatabaseOptions options;
+  options.start_ghost_cleaner = true;
+  options.ghost_cleaner_interval_micros = 500;
+  Fixture f(options);
+  for (int64_t g = 0; g < 10; g++) {
+    f.CommitOp([&](Transaction* t) { return f.db->Insert(t, "sales", Sale(g, g)); });
+    f.CommitOp([&](Transaction* t) {
+      return f.db->Delete(t, "sales", {Value::Int64(g)});
+    });
+  }
+  // The background thread reclaims without explicit calls.
+  for (int i = 0; i < 100 && f.PhysicalRows() > 0; i++) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(f.PhysicalRows(), 0u);
+  // Destruction (Fixture going out of scope) stops the thread cleanly.
+}
+
+TEST(GhostCleaner, GhostInvisibleInAllReadModes) {
+  Fixture f;
+  f.CommitOp([&](Transaction* t) { return f.db->Insert(t, "sales", Sale(1, 7)); });
+  f.CommitOp([&](Transaction* t) {
+    return f.db->Delete(t, "sales", {Value::Int64(1)});
+  });
+  for (ReadMode mode :
+       {ReadMode::kLocking, ReadMode::kSnapshot, ReadMode::kDirty}) {
+    Transaction* reader = f.db->Begin(mode);
+    auto row = f.db->GetViewRow(reader, "by_grp", {Value::Int64(7)});
+    ASSERT_TRUE(row.ok());
+    EXPECT_FALSE(row->has_value()) << static_cast<int>(mode);
+    auto rows = f.db->ScanView(reader, "by_grp");
+    EXPECT_TRUE(rows->empty());
+    f.db->Commit(reader);
+  }
+}
+
+}  // namespace
+}  // namespace ivdb

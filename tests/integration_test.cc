@@ -1,0 +1,294 @@
+// End-to-end randomized property tests: multi-threaded mixed workloads over
+// durable databases with multiple views, interleaved with crashes,
+// recoveries, checkpoints, and ghost cleanup. After every phase the oracle
+// (VerifyViewConsistency: stored view == from-scratch evaluation) must hold.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "common/random.h"
+#include "engine/database.h"
+
+namespace ivdb {
+namespace {
+
+Schema SalesSchema() {
+  return Schema({{"id", TypeId::kInt64},
+                 {"grp", TypeId::kInt64},
+                 {"region", TypeId::kString},
+                 {"amount", TypeId::kInt64},
+                 {"price", TypeId::kDouble}});
+}
+
+Row RandomRow(Random* rng, int64_t id) {
+  static const char* kRegions[] = {"eu", "us", "apac"};
+  return {Value::Int64(id), Value::Int64(static_cast<int64_t>(rng->Uniform(6))),
+          Value::String(kRegions[rng->Uniform(3)]),
+          Value::Int64(static_cast<int64_t>(rng->Uniform(100))),
+          Value::Double(static_cast<double>(rng->Uniform(10000)) / 100.0)};
+}
+
+void CreateViews(Database* db, ObjectId fact) {
+  {
+    ViewDefinition def;
+    def.name = "by_grp";
+    def.kind = ViewKind::kAggregate;
+    def.fact_table = fact;
+    def.group_by = {1};
+    def.aggregates = {{AggregateFunction::kSum, 3, "total"},
+                      {AggregateFunction::kAvg, 4, "avg_price"}};
+    ASSERT_TRUE(db->CreateIndexedView(def).ok());
+  }
+  {
+    ViewDefinition def;
+    def.name = "by_region";
+    def.kind = ViewKind::kAggregate;
+    def.fact_table = fact;
+    def.filter = {{3, CompareOp::kGe, Value::Int64(20)}};
+    def.group_by = {2};
+    def.aggregates = {{AggregateFunction::kSum, 3, "total"}};
+    ASSERT_TRUE(db->CreateIndexedView(def).ok());
+  }
+  {
+    ViewDefinition def;
+    def.name = "big_sales";
+    def.kind = ViewKind::kProjection;
+    def.fact_table = fact;
+    def.filter = {{3, CompareOp::kGe, Value::Int64(80)}};
+    def.projection = {0, 2, 3};
+    def.projection_key = {0};
+    ASSERT_TRUE(db->CreateIndexedView(def).ok());
+  }
+}
+
+void VerifyAll(Database* db) {
+  for (const char* view : {"by_grp", "by_region", "big_sales"}) {
+    Status s = db->VerifyViewConsistency(view);
+    EXPECT_TRUE(s.ok()) << view << ": " << s.ToString();
+  }
+}
+
+// One random operation inside its own transaction, with retry on
+// concurrency rollbacks.
+void RandomOp(Database* db, Random* rng, int64_t id_space) {
+  int64_t id = static_cast<int64_t>(rng->Uniform(id_space));
+  for (int attempt = 0; attempt < 20; attempt++) {
+    Transaction* txn = db->Begin();
+    Status s;
+    switch (rng->Uniform(4)) {
+      case 0:
+      case 1: {
+        s = db->Insert(txn, "sales", RandomRow(rng, id));
+        if (s.IsAlreadyExists()) s = Status::OK();
+        break;
+      }
+      case 2: {
+        s = db->Update(txn, "sales", RandomRow(rng, id));
+        if (s.IsNotFound()) s = Status::OK();
+        break;
+      }
+      case 3: {
+        s = db->Delete(txn, "sales", {Value::Int64(id)});
+        if (s.IsNotFound()) s = Status::OK();
+        break;
+      }
+    }
+    if (s.ok() && rng->OneIn(6)) {
+      // Multi-statement transactions exercise prevLSN chains and batching.
+      Status s2 = db->Insert(txn, "sales", RandomRow(rng, id + id_space));
+      if (!s2.IsAlreadyExists() && !s2.ok()) s = s2;
+    }
+    if (s.ok() && rng->OneIn(10)) {
+      db->Abort(txn);
+      db->Forget(txn);
+      return;
+    }
+    if (s.ok()) s = db->Commit(txn);
+    bool done = s.ok();
+    if (!done && txn->state() == TxnState::kActive) db->Abort(txn);
+    db->Forget(txn);
+    if (done) return;
+  }
+  FAIL() << "operation never succeeded";
+}
+
+TEST(Integration, SingleThreadedRandomWorkloadImmediate) {
+  auto db = std::move(Database::Open(DatabaseOptions{})).value();
+  ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+  CreateViews(db.get(), fact);
+  Random rng(42);
+  for (int i = 0; i < 2000; i++) {
+    RandomOp(db.get(), &rng, 300);
+  }
+  VerifyAll(db.get());
+  ASSERT_TRUE(db->CleanGhosts().ok());
+  VerifyAll(db.get());
+}
+
+TEST(Integration, SingleThreadedRandomWorkloadDeferred) {
+  DatabaseOptions options;
+  options.maintenance_timing = MaintenanceTiming::kDeferred;
+  auto db = std::move(Database::Open(options)).value();
+  ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+  CreateViews(db.get(), fact);
+  Random rng(43);
+  for (int i = 0; i < 2000; i++) {
+    RandomOp(db.get(), &rng, 300);
+  }
+  VerifyAll(db.get());
+}
+
+TEST(Integration, MultiThreadedWorkloadWithCleanerAndGc) {
+  DatabaseOptions options;
+  options.start_ghost_cleaner = true;
+  options.ghost_cleaner_interval_micros = 2000;
+  auto db = std::move(Database::Open(options)).value();
+  ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+  CreateViews(db.get(), fact);
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      Random rng(1000 + t);
+      for (int i = 0; i < 400; i++) {
+        RandomOp(db.get(), &rng, 200);
+        if (i % 64 == 0) db->GarbageCollectVersions();
+      }
+    });
+  }
+  // Concurrent snapshot scans assert per-snapshot invariants never tear.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop) {
+      Transaction* txn = db->Begin(ReadMode::kSnapshot);
+      auto rows = db->ScanView(txn, "by_grp");
+      ASSERT_TRUE(rows.ok());
+      for (const Row& row : rows.value()) {
+        EXPECT_GT(row[1].AsInt64(), 0);  // no ghosts leak into queries
+      }
+      db->Commit(txn);
+      db->Forget(txn);
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop = true;
+  reader.join();
+
+  ASSERT_TRUE(db->CleanGhosts().ok());
+  VerifyAll(db.get());
+}
+
+TEST(Integration, CrashRecoveryCyclesPreserveConsistency) {
+  std::string dir = ::testing::TempDir() + "integration_crash_cycles";
+  std::filesystem::remove_all(dir);
+  Random rng(77);
+
+  for (int cycle = 0; cycle < 5; cycle++) {
+    DatabaseOptions options;
+    options.dir = dir;
+    auto opened = Database::Open(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto db = std::move(opened).value();
+
+    if (cycle == 0) {
+      ObjectId fact =
+          db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+      CreateViews(db.get(), fact);
+    }
+    VerifyAll(db.get());  // recovery left a consistent state
+
+    for (int i = 0; i < 300; i++) {
+      RandomOp(db.get(), &rng, 150);
+    }
+    if (cycle % 2 == 1) {
+      ASSERT_TRUE(db->Checkpoint().ok());
+    }
+    // Leave some transactions in flight, flushed, and "crash".
+    Transaction* loser1 = db->Begin();
+    Transaction* loser2 = db->Begin();
+    (void)db->Insert(loser1, "sales", RandomRow(&rng, 900001));
+    (void)db->Insert(loser2, "sales", RandomRow(&rng, 900002));
+    (void)db->Update(loser1, "sales", RandomRow(&rng, 10));
+    ASSERT_TRUE(db->FlushWal().ok());
+    // drop without commit/abort/checkpoint
+  }
+
+  DatabaseOptions options;
+  options.dir = dir;
+  auto db = std::move(Database::Open(options)).value();
+  VerifyAll(db.get());
+  // Loser rows never became visible.
+  Transaction* reader = db->Begin();
+  EXPECT_FALSE(db->Get(reader, "sales", {Value::Int64(900001)})->has_value());
+  EXPECT_FALSE(db->Get(reader, "sales", {Value::Int64(900002)})->has_value());
+  db->Commit(reader);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Integration, XlockModeFullWorkloadEquivalence) {
+  // The baseline (non-escrow) configuration must produce exactly the same
+  // logical results on a deterministic workload.
+  std::map<std::string, std::vector<Row>> results;
+  for (bool escrow : {true, false}) {
+    DatabaseOptions options;
+    options.use_escrow_locks = escrow;
+    auto db = std::move(Database::Open(options)).value();
+    ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+    CreateViews(db.get(), fact);
+    Random rng(555);  // same seed -> same op sequence
+    for (int i = 0; i < 1500; i++) {
+      RandomOp(db.get(), &rng, 250);
+    }
+    VerifyAll(db.get());
+    Transaction* reader = db->Begin();
+    results[escrow ? "escrow" : "xlock"] =
+        db->ScanView(reader, "by_grp").value();
+    db->Commit(reader);
+  }
+  const auto& a = results["escrow"];
+  const auto& b = results["xlock"];
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (size_t j = 0; j < a[i].size(); j++) {
+      EXPECT_TRUE(a[i][j] == b[i][j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(Integration, LargeScaleSingleViewStress) {
+  auto db = std::move(Database::Open(DatabaseOptions{})).value();
+  ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+  ViewDefinition def;
+  def.name = "by_grp";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = fact;
+  def.group_by = {1};
+  def.aggregates = {{AggregateFunction::kSum, 3, "total"}};
+  ASSERT_TRUE(db->CreateIndexedView(def).ok());
+
+  // Enough rows to force multi-level B-trees on base and view paths.
+  Transaction* txn = db->Begin();
+  Random rng(9);
+  for (int64_t i = 0; i < 20000; i++) {
+    Row row = {Value::Int64(i), Value::Int64(i % 500),
+               Value::String("eu"), Value::Int64(i % 97),
+               Value::Double(1.0)};
+    ASSERT_TRUE(db->Insert(txn, "sales", row).ok());
+    if (i % 1000 == 999) {
+      ASSERT_TRUE(db->Commit(txn).ok());
+      txn = db->Begin();
+    }
+  }
+  ASSERT_TRUE(db->Commit(txn).ok());
+  EXPECT_EQ(db->GetIndex(fact)->size(), 20000u);
+  EXPECT_GE(db->GetIndex(fact)->Depth(), 2);
+  ASSERT_TRUE(db->GetIndex(fact)->Validate().ok());
+  Status s = db->VerifyViewConsistency("by_grp");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+}  // namespace
+}  // namespace ivdb

@@ -1,0 +1,245 @@
+// Textbook isolation anomalies, each demonstrated to be impossible under
+// the engine's strict two-phase locking (and, where relevant, contrasted
+// with snapshot-mode behaviour). These are the guarantees the paper's
+// maintenance protocol quietly relies on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "engine/database.h"
+
+namespace ivdb {
+namespace {
+
+using namespace std::chrono_literals;
+
+Schema AccountSchema() {
+  return Schema({{"id", TypeId::kInt64}, {"balance", TypeId::kInt64}});
+}
+
+Row Account(int64_t id, int64_t balance) {
+  return {Value::Int64(id), Value::Int64(balance)};
+}
+
+std::unique_ptr<Database> OpenDb(std::chrono::milliseconds timeout = 150ms) {
+  DatabaseOptions options;
+  options.lock_wait_timeout = timeout;
+  auto db = std::move(Database::Open(std::move(options))).value();
+  EXPECT_TRUE(db->CreateTable("acct", AccountSchema(), {0}).ok());
+  Transaction* seed = db->Begin();
+  EXPECT_TRUE(db->Insert(seed, "acct", Account(1, 100)).ok());
+  EXPECT_TRUE(db->Insert(seed, "acct", Account(2, 100)).ok());
+  EXPECT_TRUE(db->Commit(seed).ok());
+  return db;
+}
+
+int64_t Balance(Database* db, Transaction* txn, int64_t id) {
+  auto row = db->Get(txn, "acct", {Value::Int64(id)});
+  EXPECT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_TRUE(row->has_value());
+  return (**row)[1].AsInt64();
+}
+
+TEST(Isolation, NoDirtyRead) {
+  auto db = OpenDb();
+  Transaction* writer = db->Begin();
+  ASSERT_TRUE(db->Update(writer, "acct", Account(1, 999)).ok());
+
+  // A locking reader cannot observe the uncommitted 999: it blocks on the
+  // writer's X lock until timeout.
+  Transaction* reader = db->Begin(ReadMode::kLocking);
+  auto blocked = db->Get(reader, "acct", {Value::Int64(1)});
+  EXPECT_TRUE(blocked.status().IsTimedOut());
+  db->Abort(reader);
+
+  // A snapshot reader sees the last committed value, also not 999.
+  Transaction* snapshot = db->Begin(ReadMode::kSnapshot);
+  EXPECT_EQ(Balance(db.get(), snapshot, 1), 100);
+  db->Commit(snapshot);
+
+  ASSERT_TRUE(db->Abort(writer).ok());
+}
+
+TEST(Isolation, NoLostUpdate) {
+  auto db = OpenDb(2000ms);
+  // Two read-modify-write transactions on the same account. S2PL turns the
+  // S->X upgrade race into a deadlock; the victim retries; both deposits
+  // land.
+  auto deposit = [&](int64_t amount) {
+    while (true) {
+      Transaction* txn = db->Begin();
+      Status s;
+      {
+        auto row = db->Get(txn, "acct", {Value::Int64(1)});
+        s = row.status();
+        if (s.ok()) {
+          int64_t balance = (**row)[1].AsInt64();
+          s = db->Update(txn, "acct", Account(1, balance + amount));
+        }
+      }
+      if (s.ok()) s = db->Commit(txn);
+      if (s.ok()) {
+        db->Forget(txn);
+        return;
+      }
+      EXPECT_TRUE(s.RequiresRollback()) << s.ToString();
+      if (txn->state() == TxnState::kActive) db->Abort(txn);
+      db->Forget(txn);
+    }
+  };
+  std::thread t1(deposit, 10);
+  std::thread t2(deposit, 25);
+  t1.join();
+  t2.join();
+  Transaction* reader = db->Begin();
+  EXPECT_EQ(Balance(db.get(), reader, 1), 135);  // both deposits present
+  db->Commit(reader);
+}
+
+TEST(Isolation, RepeatableRead) {
+  auto db = OpenDb();
+  Transaction* reader = db->Begin(ReadMode::kLocking);
+  EXPECT_EQ(Balance(db.get(), reader, 1), 100);
+
+  // A concurrent writer cannot change the row while the reader's S lock is
+  // held...
+  std::atomic<bool> committed{false};
+  std::thread writer([&] {
+    Transaction* txn = db->Begin();
+    Status s = db->Update(txn, "acct", Account(1, 500));
+    while (s.RequiresRollback()) {  // blocked until the reader finishes
+      db->Abort(txn);
+      db->Forget(txn);
+      txn = db->Begin();
+      s = db->Update(txn, "acct", Account(1, 500));
+    }
+    ASSERT_TRUE(db->Commit(txn).ok());
+    committed = true;
+  });
+  std::this_thread::sleep_for(30ms);
+  // ...so the second read inside the same transaction sees the same value.
+  EXPECT_EQ(Balance(db.get(), reader, 1), 100);
+  EXPECT_FALSE(committed.load());
+  ASSERT_TRUE(db->Commit(reader).ok());
+  writer.join();
+  EXPECT_TRUE(committed.load());
+}
+
+TEST(Isolation, SnapshotRepeatableAcrossCommits) {
+  auto db = OpenDb();
+  Transaction* snapshot = db->Begin(ReadMode::kSnapshot);
+  EXPECT_EQ(Balance(db.get(), snapshot, 1), 100);
+
+  Transaction* writer = db->Begin();
+  ASSERT_TRUE(db->Update(writer, "acct", Account(1, 500)).ok());
+  ASSERT_TRUE(db->Commit(writer).ok());
+
+  // Snapshot still sees its begin-time state after the commit.
+  EXPECT_EQ(Balance(db.get(), snapshot, 1), 100);
+  db->Commit(snapshot);
+
+  Transaction* later = db->Begin(ReadMode::kSnapshot);
+  EXPECT_EQ(Balance(db.get(), later, 1), 500);
+  db->Commit(later);
+}
+
+TEST(Isolation, NoPhantoms) {
+  auto db = OpenDb();
+  // A locking scan takes an object-level S lock: inserts are excluded until
+  // the scan's transaction finishes.
+  Transaction* scanner = db->Begin(ReadMode::kLocking);
+  auto first = db->ScanTable(scanner, "acct");
+  ASSERT_EQ(first->size(), 2u);
+
+  Transaction* inserter = db->Begin();
+  Status s = db->Insert(inserter, "acct", Account(3, 1));
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();  // blocked by the scan
+  db->Abort(inserter);
+
+  auto second = db->ScanTable(scanner, "acct");
+  EXPECT_EQ(second->size(), 2u);  // no phantom appeared
+  ASSERT_TRUE(db->Commit(scanner).ok());
+}
+
+TEST(Isolation, WriteSkewPreventedByS2PL) {
+  // Classic write skew: each txn reads both rows, then writes "the other"
+  // one, preserving a cross-row invariant (sum >= 0) only if serialized.
+  // Under S2PL the S locks collide with the X upgrades; a deadlock victim
+  // retries and the result is serial.
+  auto db = OpenDb(2000ms);
+  // Withdraw 150 from `target` only if the PAIR's total allows it. An
+  // engine with write skew lets both run against the initial total of 200
+  // and drives the sum to -100; serializable execution lets exactly one
+  // withdraw.
+  auto withdraw_if_total_allows = [&](int64_t target) {
+    while (true) {
+      Transaction* txn = db->Begin();
+      Status s;
+      auto r1 = db->Get(txn, "acct", {Value::Int64(1)});
+      auto r2 = db->Get(txn, "acct", {Value::Int64(2)});
+      s = !r1.ok() ? r1.status() : r2.status();
+      if (s.ok()) {
+        int64_t b1 = (**r1)[1].AsInt64();
+        int64_t b2 = (**r2)[1].AsInt64();
+        if (b1 + b2 >= 150) {
+          int64_t target_balance = target == 1 ? b1 : b2;
+          s = db->Update(txn, "acct", Account(target, target_balance - 150));
+        }
+      }
+      if (s.ok()) s = db->Commit(txn);
+      if (s.ok()) {
+        db->Forget(txn);
+        return;
+      }
+      ASSERT_TRUE(s.RequiresRollback()) << s.ToString();
+      if (txn->state() == TxnState::kActive) db->Abort(txn);
+      db->Forget(txn);
+    }
+  };
+  std::thread t1(withdraw_if_total_allows, 1);
+  std::thread t2(withdraw_if_total_allows, 2);
+  t1.join();
+  t2.join();
+  Transaction* reader = db->Begin();
+  int64_t sum = Balance(db.get(), reader, 1) + Balance(db.get(), reader, 2);
+  db->Commit(reader);
+  // Serial execution: first txn sees 200 >= 150 and withdraws; second then
+  // sees 50 < 150 and declines. Sum never goes negative.
+  EXPECT_GE(sum, 0);
+  EXPECT_EQ(sum, 50);
+}
+
+TEST(Isolation, EscrowPreservesSerializableAggregates) {
+  // Escrow relaxes *lock* conflicts, not correctness: concurrent increments
+  // commute, so any interleaving equals some serial order.
+  auto db = OpenDb(2000ms);
+  ViewDefinition def;
+  def.name = "total";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = db->catalog().GetTable("acct").value()->id;
+  def.group_by = {0};  // degenerate per-account group
+  def.aggregates = {{AggregateFunction::kSum, 1, "bal"}};
+  // group by a constant-ish: use balance bucket — simpler: one group per id.
+  ASSERT_TRUE(db->CreateIndexedView(def).ok());
+
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> id_seq{100};
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; i++) {
+        Transaction* txn = db->Begin();
+        Status s = db->Insert(txn, "acct",
+                              Account(id_seq.fetch_add(1), 1));
+        if (s.ok()) s = db->Commit(txn);
+        if (!s.ok() && txn->state() == TxnState::kActive) db->Abort(txn);
+        db->Forget(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(db->VerifyViewConsistency("total").ok());
+}
+
+}  // namespace
+}  // namespace ivdb

@@ -1,0 +1,202 @@
+// Key-range (next-key) locking: phantom protection without table-level
+// scan locks. Scans of disjoint ranges coexist with writers; writes into a
+// scanned range still block.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "engine/database.h"
+
+namespace ivdb {
+namespace {
+
+using namespace std::chrono_literals;
+
+Schema ItemSchema() {
+  return Schema({{"id", TypeId::kInt64}, {"v", TypeId::kInt64}});
+}
+
+Row Item(int64_t id, int64_t v = 0) {
+  return {Value::Int64(id), Value::Int64(v)};
+}
+
+std::unique_ptr<Database> OpenDb(int64_t seeded_rows) {
+  DatabaseOptions options;
+  options.scan_locking = ScanLockingMode::kKeyRange;
+  options.lock_wait_timeout = 150ms;
+  auto db = std::move(Database::Open(std::move(options))).value();
+  EXPECT_TRUE(db->CreateTable("t", ItemSchema(), {0}).ok());
+  Transaction* seed = db->Begin();
+  for (int64_t i = 0; i < seeded_rows; i++) {
+    EXPECT_TRUE(db->Insert(seed, "t", Item(i * 10)).ok());  // 0,10,20,...
+  }
+  EXPECT_TRUE(db->Commit(seed).ok());
+  return db;
+}
+
+TEST(KeyRange, DisjointWriterRunsConcurrentlyWithScan) {
+  auto db = OpenDb(10);  // keys 0..90
+  Transaction* scanner = db->Begin(ReadMode::kLocking);
+  auto rows = db->ScanTableRange(scanner, "t", {Value::Int64(0)},
+                                 {Value::Int64(30)});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);  // 0, 10, 20
+
+  // Insert far above the scanned range: no conflict (object-level locking
+  // would block here).
+  Transaction* writer = db->Begin();
+  Status s = db->Insert(writer, "t", Item(75));
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(db->Commit(writer).ok());
+  ASSERT_TRUE(db->Commit(scanner).ok());
+}
+
+TEST(KeyRange, InsertIntoScannedRangeBlocks) {
+  auto db = OpenDb(10);
+  Transaction* scanner = db->Begin(ReadMode::kLocking);
+  auto rows = db->ScanTableRange(scanner, "t", {Value::Int64(0)},
+                                 {Value::Int64(30)});
+  ASSERT_EQ(rows->size(), 3u);
+
+  Transaction* writer = db->Begin();
+  // 15 falls in the gap below scanned key 20: phantom, must block.
+  Status s = db->Insert(writer, "t", Item(15));
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  db->Abort(writer);
+
+  // The scan still sees exactly the same rows.
+  auto again = db->ScanTableRange(scanner, "t", {Value::Int64(0)},
+                                  {Value::Int64(30)});
+  EXPECT_EQ(again->size(), 3u);
+  ASSERT_TRUE(db->Commit(scanner).ok());
+}
+
+TEST(KeyRange, InsertJustBelowBoundaryBlocksConservatively) {
+  auto db = OpenDb(10);
+  Transaction* scanner = db->Begin(ReadMode::kLocking);
+  // Range [0, 25): boundary gap is below key 30.
+  ASSERT_TRUE(db->ScanTableRange(scanner, "t", {Value::Int64(0)},
+                                 {Value::Int64(25)})
+                  .ok());
+  Transaction* writer = db->Begin();
+  // 27 is outside [0,25) but inside the boundary gap (20, 30): blocked —
+  // the standard (conservative) granularity of next-key locking.
+  EXPECT_TRUE(db->Insert(writer, "t", Item(27)).IsTimedOut());
+  db->Abort(writer);
+  ASSERT_TRUE(db->Commit(scanner).ok());
+}
+
+TEST(KeyRange, DeleteInsideScannedRangeBlocks) {
+  auto db = OpenDb(10);
+  Transaction* scanner = db->Begin(ReadMode::kLocking);
+  ASSERT_TRUE(db->ScanTableRange(scanner, "t", {Value::Int64(0)},
+                                 {Value::Int64(30)})
+                  .ok());
+  Transaction* writer = db->Begin();
+  EXPECT_TRUE(db->Delete(writer, "t", {Value::Int64(10)}).IsTimedOut());
+  db->Abort(writer);
+  ASSERT_TRUE(db->Commit(scanner).ok());
+}
+
+TEST(KeyRange, DeleteOfBoundaryRowBlocks) {
+  auto db = OpenDb(10);
+  Transaction* scanner = db->Begin(ReadMode::kLocking);
+  // Range [0, 25): boundary row is 30 — deleting it would merge the
+  // protected gap (20,30) into (20,40) and unprotect future inserts.
+  ASSERT_TRUE(db->ScanTableRange(scanner, "t", {Value::Int64(0)},
+                                 {Value::Int64(25)})
+                  .ok());
+  Transaction* writer = db->Begin();
+  EXPECT_TRUE(db->Delete(writer, "t", {Value::Int64(30)}).IsTimedOut());
+  db->Abort(writer);
+  // A row far above is deletable.
+  writer = db->Begin();
+  EXPECT_TRUE(db->Delete(writer, "t", {Value::Int64(80)}).ok());
+  ASSERT_TRUE(db->Commit(writer).ok());
+  ASSERT_TRUE(db->Commit(scanner).ok());
+}
+
+TEST(KeyRange, UnboundedScanLocksEofGap) {
+  auto db = OpenDb(3);  // keys 0,10,20
+  Transaction* scanner = db->Begin(ReadMode::kLocking);
+  ASSERT_EQ(db->ScanTable(scanner, "t")->size(), 3u);
+  // Appending past the maximum key hits the EOF gap.
+  Transaction* writer = db->Begin();
+  EXPECT_TRUE(db->Insert(writer, "t", Item(1000)).IsTimedOut());
+  db->Abort(writer);
+  ASSERT_TRUE(db->Commit(scanner).ok());
+}
+
+TEST(KeyRange, EmptyRangeStillProtected) {
+  auto db = OpenDb(4);  // 0,10,20,30
+  Transaction* scanner = db->Begin(ReadMode::kLocking);
+  auto rows = db->ScanTableRange(scanner, "t", {Value::Int64(11)},
+                                 {Value::Int64(19)});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  // The empty range is covered by the boundary gap below 20.
+  Transaction* writer = db->Begin();
+  EXPECT_TRUE(db->Insert(writer, "t", Item(15)).IsTimedOut());
+  db->Abort(writer);
+  ASSERT_TRUE(db->Commit(scanner).ok());
+}
+
+TEST(KeyRange, TwoDisjointScannersAndWriters) {
+  auto db = OpenDb(20);  // keys 0..190
+  std::atomic<int> ok_writes{0};
+  Transaction* low_scan = db->Begin(ReadMode::kLocking);
+  Transaction* high_scan = db->Begin(ReadMode::kLocking);
+  ASSERT_TRUE(db->ScanTableRange(low_scan, "t", {Value::Int64(0)},
+                                 {Value::Int64(40)})
+                  .ok());
+  ASSERT_TRUE(db->ScanTableRange(high_scan, "t", {Value::Int64(150)},
+                                 {Value::Int64(190)})
+                  .ok());
+  // The middle band is free for writers.
+  for (int64_t k : {75, 85, 95}) {
+    Transaction* writer = db->Begin();
+    if (db->Insert(writer, "t", Item(k)).ok() && db->Commit(writer).ok()) {
+      ok_writes++;
+    } else if (writer->state() == TxnState::kActive) {
+      db->Abort(writer);
+    }
+    db->Forget(writer);
+  }
+  EXPECT_EQ(ok_writes.load(), 3);
+  ASSERT_TRUE(db->Commit(low_scan).ok());
+  ASSERT_TRUE(db->Commit(high_scan).ok());
+}
+
+TEST(KeyRange, ViewMaintenanceUnaffected) {
+  // Aggregate views keep working with key-range scans enabled (view scans
+  // themselves stay object-locked; ghost creation is not blocked by base
+  // scans of other ranges).
+  DatabaseOptions options;
+  options.scan_locking = ScanLockingMode::kKeyRange;
+  auto db = std::move(Database::Open(std::move(options))).value();
+  Schema schema({{"id", TypeId::kInt64},
+                 {"grp", TypeId::kInt64},
+                 {"amount", TypeId::kInt64}});
+  ObjectId fact = db->CreateTable("sales", schema, {0}).value()->id;
+  ViewDefinition def;
+  def.name = "by_grp";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = fact;
+  def.group_by = {1};
+  def.aggregates = {{AggregateFunction::kSum, 2, "total"}};
+  ASSERT_TRUE(db->CreateIndexedView(def).ok());
+
+  for (int i = 0; i < 50; i++) {
+    Transaction* txn = db->Begin();
+    ASSERT_TRUE(db->Insert(txn, "sales",
+                           {Value::Int64(i), Value::Int64(i % 4),
+                            Value::Int64(i)})
+                    .ok());
+    ASSERT_TRUE(db->Commit(txn).ok());
+    db->Forget(txn);
+  }
+  EXPECT_TRUE(db->VerifyViewConsistency("by_grp").ok());
+}
+
+}  // namespace
+}  // namespace ivdb

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "lock/lock_manager.h"
+
+namespace ivdb {
+namespace {
+
+ResourceId Obj() { return ResourceId::Object(1); }
+ResourceId K(int i) { return ResourceId::Key(1, "k" + std::to_string(i)); }
+
+LockManager::Options WithThreshold(size_t n) {
+  LockManager::Options options;
+  options.escalation_threshold = n;
+  return options;
+}
+
+TEST(LockEscalation, DisabledByDefault) {
+  LockManager lm;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(lm.Lock(1, K(i), LockMode::kX).ok());
+  }
+  EXPECT_EQ(lm.stats().escalations.load(), 0u);
+  EXPECT_EQ(lm.HeldMode(1, Obj()), LockMode::kNL);
+}
+
+TEST(LockEscalation, ExclusiveKeysEscalateToObjectX) {
+  LockManager lm(WithThreshold(4));
+  ASSERT_TRUE(lm.Lock(1, Obj(), LockMode::kIX).ok());
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(lm.Lock(1, K(i), LockMode::kX).ok());
+  }
+  EXPECT_EQ(lm.stats().escalations.load(), 1u);
+  EXPECT_EQ(lm.HeldMode(1, Obj()), LockMode::kX);
+  // Key locks were dropped...
+  EXPECT_EQ(lm.NumHolders(K(0)), 0);
+  // ...and another txn is excluded at the object level.
+  EXPECT_TRUE(lm.TryLock(2, Obj(), LockMode::kIX).IsBusy());
+}
+
+TEST(LockEscalation, SharedKeysEscalateToObjectS) {
+  LockManager lm(WithThreshold(3));
+  ASSERT_TRUE(lm.Lock(1, Obj(), LockMode::kIS).ok());
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(lm.Lock(1, K(i), LockMode::kS).ok());
+  }
+  EXPECT_EQ(lm.stats().escalations.load(), 1u);
+  EXPECT_EQ(lm.HeldMode(1, Obj()), LockMode::kS);
+  // Readers coexist at object level; writers do not.
+  EXPECT_TRUE(lm.TryLock(2, Obj(), LockMode::kIS).ok());
+  EXPECT_TRUE(lm.TryLock(3, Obj(), LockMode::kIX).IsBusy());
+}
+
+TEST(LockEscalation, FurtherKeyLocksCoveredByObjectLock) {
+  LockManager lm(WithThreshold(4));
+  ASSERT_TRUE(lm.Lock(1, Obj(), LockMode::kIX).ok());
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(lm.Lock(1, K(i), LockMode::kX).ok());
+  }
+  EXPECT_EQ(lm.stats().escalations.load(), 1u);
+  // Requests 5..10 never created key-level state.
+  EXPECT_GE(lm.stats().covered_by_object_lock.load(), 5u);
+  for (int i = 4; i < 10; i++) {
+    EXPECT_EQ(lm.NumHolders(K(i)), 0);
+  }
+}
+
+TEST(LockEscalation, SkippedWhileAnotherTxnHoldsIntentLock) {
+  LockManager lm(WithThreshold(4));
+  ASSERT_TRUE(lm.Lock(1, Obj(), LockMode::kIX).ok());
+  ASSERT_TRUE(lm.Lock(2, Obj(), LockMode::kIX).ok());
+  ASSERT_TRUE(lm.Lock(2, K(99), LockMode::kX).ok());
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(lm.Lock(1, K(i), LockMode::kX).ok());
+  }
+  // Txn 2's IX blocks the object-X conversion: escalation silently skipped,
+  // all key locks retained, everything still correct.
+  EXPECT_EQ(lm.stats().escalations.load(), 0u);
+  EXPECT_EQ(lm.HeldMode(1, Obj()), LockMode::kIX);
+  EXPECT_EQ(lm.NumHolders(K(0)), 1);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
+TEST(LockEscalation, EscrowKeysEscalateToXOnlyWhenAlone) {
+  LockManager lm(WithThreshold(3));
+  ASSERT_TRUE(lm.Lock(1, Obj(), LockMode::kIX).ok());
+  ASSERT_TRUE(lm.Lock(2, Obj(), LockMode::kIX).ok());
+  ASSERT_TRUE(lm.Lock(2, K(50), LockMode::kE).ok());
+  for (int i = 0; i < 6; i++) {
+    ASSERT_TRUE(lm.Lock(1, K(i), LockMode::kE).ok());
+  }
+  // Concurrent escrow writer prevents escalation (object X would conflict).
+  EXPECT_EQ(lm.stats().escalations.load(), 0u);
+  lm.ReleaseAll(2);
+  ASSERT_TRUE(lm.Lock(1, K(6), LockMode::kE).ok());
+  EXPECT_EQ(lm.stats().escalations.load(), 1u);
+  EXPECT_EQ(lm.HeldMode(1, Obj()), LockMode::kX);
+}
+
+TEST(LockEscalation, ReleaseAllResetsCounters) {
+  LockManager lm(WithThreshold(4));
+  for (int round = 0; round < 3; round++) {
+    TxnId txn = static_cast<TxnId>(round + 1);
+    ASSERT_TRUE(lm.Lock(txn, Obj(), LockMode::kIX).ok());
+    for (int i = 0; i < 3; i++) {  // below threshold each round
+      ASSERT_TRUE(lm.Lock(txn, K(i), LockMode::kX).ok());
+    }
+    lm.ReleaseAll(txn);
+  }
+  EXPECT_EQ(lm.stats().escalations.load(), 0u);
+}
+
+TEST(LockEscalation, EndToEndThroughDatabase) {
+  DatabaseOptions options;
+  options.lock_escalation_threshold = 16;
+  auto db = std::move(Database::Open(options)).value();
+  Schema schema({{"id", TypeId::kInt64}, {"v", TypeId::kInt64}});
+  ASSERT_TRUE(db->CreateTable("t", schema, {0}).ok());
+
+  Transaction* txn = db->Begin();
+  for (int i = 0; i < 64; i++) {
+    ASSERT_TRUE(
+        db->Insert(txn, "t", {Value::Int64(i), Value::Int64(i)}).ok());
+  }
+  EXPECT_GE(db->lock_stats().escalations.load(), 1u);
+  ASSERT_TRUE(db->Commit(txn).ok());
+
+  // Everything committed despite the key locks being dropped mid-flight.
+  Transaction* reader = db->Begin();
+  EXPECT_EQ(db->ScanTable(reader, "t")->size(), 64u);
+  db->Commit(reader);
+}
+
+TEST(LockEscalation, EscalatedTransactionStillRollsBack) {
+  DatabaseOptions options;
+  options.lock_escalation_threshold = 8;
+  auto db = std::move(Database::Open(options)).value();
+  Schema schema({{"id", TypeId::kInt64}, {"v", TypeId::kInt64}});
+  ASSERT_TRUE(db->CreateTable("t", schema, {0}).ok());
+
+  Transaction* txn = db->Begin();
+  for (int i = 0; i < 32; i++) {
+    ASSERT_TRUE(
+        db->Insert(txn, "t", {Value::Int64(i), Value::Int64(i)}).ok());
+  }
+  EXPECT_GE(db->lock_stats().escalations.load(), 1u);
+  ASSERT_TRUE(db->Abort(txn).ok());
+  Transaction* reader = db->Begin();
+  EXPECT_TRUE(db->ScanTable(reader, "t")->empty());
+  db->Commit(reader);
+}
+
+}  // namespace
+}  // namespace ivdb

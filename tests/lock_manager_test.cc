@@ -1,0 +1,353 @@
+#include "lock/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace ivdb {
+namespace {
+
+using namespace std::chrono_literals;
+
+ResourceId Table() { return ResourceId::Object(1); }
+ResourceId RowKey(const std::string& k = "row") {
+  return ResourceId::Key(1, k);
+}
+
+TEST(ResourceIdTest, OrderingAndLevels) {
+  EXPECT_TRUE(ResourceId::Object(1).IsObjectLevel());
+  EXPECT_FALSE(RowKey().IsObjectLevel());
+  EXPECT_LT(ResourceId::Object(1), ResourceId::Key(1, "a"));
+  EXPECT_LT(ResourceId::Key(1, "a"), ResourceId::Key(1, "b"));
+  EXPECT_LT(ResourceId::Key(1, "z"), ResourceId::Key(2, "a"));
+  EXPECT_TRUE(ResourceId::Key(1, "a") == ResourceId::Key(1, "a"));
+}
+
+TEST(LockManager, GrantAndRelease) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Lock(1, RowKey(), LockMode::kX).ok());
+  EXPECT_EQ(lm.HeldMode(1, RowKey()), LockMode::kX);
+  EXPECT_EQ(lm.NumHolders(RowKey()), 1);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HeldMode(1, RowKey()), LockMode::kNL);
+  EXPECT_EQ(lm.NumHolders(RowKey()), 0);
+}
+
+TEST(LockManager, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Lock(1, RowKey(), LockMode::kS).ok());
+  EXPECT_TRUE(lm.Lock(2, RowKey(), LockMode::kS).ok());
+  EXPECT_TRUE(lm.Lock(3, RowKey(), LockMode::kS).ok());
+  EXPECT_EQ(lm.NumHolders(RowKey()), 3);
+}
+
+TEST(LockManager, EscrowLocksCoexist) {
+  LockManager lm;
+  for (TxnId t = 1; t <= 8; t++) {
+    EXPECT_TRUE(lm.Lock(t, RowKey(), LockMode::kE).ok()) << t;
+  }
+  EXPECT_EQ(lm.NumHolders(RowKey()), 8);
+}
+
+TEST(LockManager, ReentrantRequestIsNoop) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Lock(1, RowKey(), LockMode::kX).ok());
+  EXPECT_TRUE(lm.Lock(1, RowKey(), LockMode::kX).ok());
+  EXPECT_TRUE(lm.Lock(1, RowKey(), LockMode::kS).ok());  // covered by X
+  EXPECT_EQ(lm.NumHolders(RowKey()), 1);
+}
+
+TEST(LockManager, TryLockBusy) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kE).ok());
+  EXPECT_TRUE(lm.TryLock(2, RowKey(), LockMode::kX).IsBusy());
+  EXPECT_TRUE(lm.TryLock(2, RowKey(), LockMode::kS).IsBusy());
+  EXPECT_TRUE(lm.TryLock(2, RowKey(), LockMode::kE).ok());
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(lm.TryLock(3, RowKey(), LockMode::kX).ok());
+}
+
+TEST(LockManager, SBlocksBehindEUntilRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kE).ok());
+  std::atomic<bool> got_s{false};
+  std::thread reader([&] {
+    ASSERT_TRUE(lm.Lock(2, RowKey(), LockMode::kS).ok());
+    got_s = true;
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(got_s.load());
+  lm.ReleaseAll(1);
+  reader.join();
+  EXPECT_TRUE(got_s.load());
+}
+
+TEST(LockManager, EBlocksBehindS) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kS).ok());
+  std::atomic<bool> got_e{false};
+  std::thread writer([&] {
+    ASSERT_TRUE(lm.Lock(2, RowKey(), LockMode::kE).ok());
+    got_e = true;
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(got_e.load());
+  lm.ReleaseAll(1);
+  writer.join();
+  EXPECT_TRUE(got_e.load());
+}
+
+TEST(LockManager, XSerializesWaiters) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kX).ok());
+  std::atomic<int> acquired{0};
+  std::vector<std::thread> threads;
+  for (TxnId t = 2; t <= 4; t++) {
+    threads.emplace_back([&, t] {
+      ASSERT_TRUE(lm.Lock(t, RowKey(), LockMode::kX).ok());
+      acquired++;
+      lm.ReleaseAll(t);
+    });
+  }
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(acquired.load(), 0);
+  lm.ReleaseAll(1);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(acquired.load(), 3);
+}
+
+TEST(LockManager, UpgradeSToXWhenSoleHolder) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kX).ok());
+  EXPECT_EQ(lm.HeldMode(1, RowKey()), LockMode::kX);
+}
+
+TEST(LockManager, UpgradeWaitsForOtherReaders) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(2, RowKey(), LockMode::kS).ok());
+  std::atomic<bool> upgraded{false};
+  std::thread upgrader([&] {
+    ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kX).ok());
+    upgraded = true;
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(upgraded.load());
+  lm.ReleaseAll(2);
+  upgrader.join();
+  EXPECT_TRUE(upgraded.load());
+  EXPECT_EQ(lm.HeldMode(1, RowKey()), LockMode::kX);
+}
+
+TEST(LockManager, ConversionDeadlockDetected) {
+  // Two S holders both upgrading to X: one must get Deadlock.
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(2, RowKey(), LockMode::kS).ok());
+  std::atomic<int> deadlocks{0};
+  std::atomic<int> successes{0};
+  auto upgrade = [&](TxnId t) {
+    Status s = lm.Lock(t, RowKey(), LockMode::kX);
+    if (s.IsDeadlock()) {
+      deadlocks++;
+      lm.ReleaseAll(t);  // victim rolls back
+    } else if (s.ok()) {
+      successes++;
+      lm.ReleaseAll(t);
+    }
+  };
+  std::thread t1(upgrade, 1);
+  std::this_thread::sleep_for(20ms);
+  std::thread t2(upgrade, 2);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(deadlocks.load(), 1);
+  EXPECT_EQ(successes.load(), 1);
+}
+
+TEST(LockManager, TwoResourceDeadlockDetected) {
+  LockManager lm;
+  ResourceId a = ResourceId::Key(1, "a");
+  ResourceId b = ResourceId::Key(1, "b");
+  ASSERT_TRUE(lm.Lock(1, a, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(2, b, LockMode::kX).ok());
+
+  std::atomic<int> deadlocks{0};
+  std::thread t1([&] {
+    Status s = lm.Lock(1, b, LockMode::kX);
+    if (s.IsDeadlock()) {
+      deadlocks++;
+      lm.ReleaseAll(1);
+    } else {
+      ASSERT_TRUE(s.ok());
+      lm.ReleaseAll(1);
+    }
+  });
+  std::this_thread::sleep_for(20ms);
+  std::thread t2([&] {
+    Status s = lm.Lock(2, a, LockMode::kX);
+    if (s.IsDeadlock()) {
+      deadlocks++;
+      lm.ReleaseAll(2);
+    } else {
+      ASSERT_TRUE(s.ok());
+      lm.ReleaseAll(2);
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(deadlocks.load(), 1);
+  EXPECT_GE(lm.stats().deadlocks.load(), 1u);
+}
+
+TEST(LockManager, ThreeWayDeadlockDetected) {
+  LockManager lm;
+  ResourceId r[3] = {ResourceId::Key(1, "a"), ResourceId::Key(1, "b"),
+                     ResourceId::Key(1, "c")};
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(lm.Lock(i + 1, r[i], LockMode::kX).ok());
+  }
+  std::atomic<int> deadlocks{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; i++) {
+    threads.emplace_back([&, i] {
+      // Stagger so the cycle closes on the last requester.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10 * i));
+      Status s = lm.Lock(i + 1, r[(i + 1) % 3], LockMode::kX);
+      if (s.IsDeadlock()) deadlocks++;
+      lm.ReleaseAll(i + 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GE(deadlocks.load(), 1);
+}
+
+TEST(LockManager, TimeoutWithoutDetection) {
+  LockManager::Options options;
+  options.detect_deadlocks = false;
+  options.wait_timeout = 50ms;
+  LockManager lm(options);
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kX).ok());
+  Status s = lm.Lock(2, RowKey(), LockMode::kX);
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_GE(lm.stats().timeouts.load(), 1u);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Lock(2, RowKey(), LockMode::kX).ok());
+}
+
+TEST(LockManager, ObjectAndKeyLocksAreIndependentResources) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, Table(), LockMode::kIX).ok());
+  ASSERT_TRUE(lm.Lock(2, Table(), LockMode::kIX).ok());
+  ASSERT_TRUE(lm.Lock(1, RowKey("a"), LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(2, RowKey("b"), LockMode::kX).ok());
+  // Object-level S conflicts with both IX holders.
+  EXPECT_TRUE(lm.TryLock(3, Table(), LockMode::kS).IsBusy());
+}
+
+TEST(LockManager, UnlockSingleResource) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, RowKey("a"), LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(1, RowKey("b"), LockMode::kX).ok());
+  lm.Unlock(1, RowKey("a"));
+  EXPECT_EQ(lm.HeldMode(1, RowKey("a")), LockMode::kNL);
+  EXPECT_EQ(lm.HeldMode(1, RowKey("b")), LockMode::kX);
+  EXPECT_TRUE(lm.TryLock(2, RowKey("a"), LockMode::kX).ok());
+}
+
+TEST(LockManager, FIFOPreventsStarvationOvertaking) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kS).ok());
+  // Writer queues first.
+  std::atomic<bool> writer_granted{false};
+  std::thread writer([&] {
+    ASSERT_TRUE(lm.Lock(2, RowKey(), LockMode::kX).ok());
+    writer_granted = true;
+    lm.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(20ms);
+  // A later S must not overtake the queued X even though it is compatible
+  // with the current holder.
+  std::atomic<bool> reader_granted{false};
+  std::thread reader([&] {
+    ASSERT_TRUE(lm.Lock(3, RowKey(), LockMode::kS).ok());
+    reader_granted = true;
+    lm.ReleaseAll(3);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(writer_granted.load());
+  EXPECT_FALSE(reader_granted.load());
+  lm.ReleaseAll(1);
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(writer_granted.load());
+  EXPECT_TRUE(reader_granted.load());
+}
+
+TEST(LockManager, EscrowToXConversionRequiresSoleHolder) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kE).ok());
+  ASSERT_TRUE(lm.Lock(2, RowKey(), LockMode::kE).ok());
+  // Ghost-cleaner pattern: instant X probe fails while escrow is shared.
+  EXPECT_TRUE(lm.TryLock(3, RowKey(), LockMode::kX).IsBusy());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.TryLock(3, RowKey(), LockMode::kX).IsBusy());
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(lm.TryLock(3, RowKey(), LockMode::kX).ok());
+}
+
+TEST(LockManager, StatsCountWaits) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kX).ok());
+  std::thread waiter([&] { ASSERT_TRUE(lm.Lock(2, RowKey(), LockMode::kS).ok()); });
+  std::this_thread::sleep_for(20ms);
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_GE(lm.stats().waits.load(), 1u);
+  EXPECT_GE(lm.stats().acquisitions.load(), 2u);
+  EXPECT_GT(lm.stats().wait_micros.load(), 0u);
+}
+
+TEST(LockManager, StressManyThreadsManyKeys) {
+  LockManager::Options options;
+  options.wait_timeout = 2000ms;
+  LockManager lm(options);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      uint64_t seed = t * 7919 + 13;
+      for (int i = 0; i < kOpsPerThread; i++) {
+        TxnId txn = static_cast<TxnId>(t * kOpsPerThread + i + 1);
+        seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+        std::string key = "k" + std::to_string(seed % 5);
+        LockMode mode = (seed >> 8) % 3 == 0 ? LockMode::kX
+                        : (seed >> 8) % 3 == 1 ? LockMode::kS
+                                               : LockMode::kE;
+        Status s = lm.Lock(txn, ResourceId::Key(1, key), mode);
+        if (s.ok()) {
+          // Second key in deterministic order to avoid deadlock storms.
+          std::string key2 = "k" + std::to_string(5 + seed % 3);
+          s = lm.Lock(txn, ResourceId::Key(1, key2), LockMode::kE);
+        }
+        lm.ReleaseAll(txn);
+        completed++;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completed.load(), kThreads * kOpsPerThread);
+  // No lingering holders.
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(lm.NumHolders(ResourceId::Key(1, "k" + std::to_string(i))), 0);
+  }
+}
+
+}  // namespace
+}  // namespace ivdb

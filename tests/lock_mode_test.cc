@@ -1,0 +1,136 @@
+#include "lock/lock_mode.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ivdb {
+namespace {
+
+const std::vector<LockMode> kAllModes = {
+    LockMode::kNL, LockMode::kIS, LockMode::kIX, LockMode::kS,
+    LockMode::kSIX, LockMode::kU, LockMode::kX, LockMode::kE};
+
+TEST(LockMode, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (LockMode m : kAllModes) names.insert(LockModeName(m));
+  EXPECT_EQ(names.size(), kAllModes.size());
+}
+
+TEST(LockMode, NLCompatibleWithEverything) {
+  for (LockMode m : kAllModes) {
+    EXPECT_TRUE(LockModesCompatible(LockMode::kNL, m));
+    EXPECT_TRUE(LockModesCompatible(m, LockMode::kNL));
+  }
+}
+
+TEST(LockMode, XConflictsWithEverythingReal) {
+  for (LockMode m : kAllModes) {
+    if (m == LockMode::kNL) continue;
+    EXPECT_FALSE(LockModesCompatible(LockMode::kX, m)) << LockModeName(m);
+    EXPECT_FALSE(LockModesCompatible(m, LockMode::kX)) << LockModeName(m);
+  }
+}
+
+// The paper's escrow mode: E ~ E, E conflicts with S/U/X (readers must not
+// see unsettled aggregates; plain writers must not clobber deltas).
+TEST(LockMode, EscrowCompatibility) {
+  EXPECT_TRUE(LockModesCompatible(LockMode::kE, LockMode::kE));
+  EXPECT_FALSE(LockModesCompatible(LockMode::kE, LockMode::kS));
+  EXPECT_FALSE(LockModesCompatible(LockMode::kS, LockMode::kE));
+  EXPECT_FALSE(LockModesCompatible(LockMode::kE, LockMode::kU));
+  EXPECT_FALSE(LockModesCompatible(LockMode::kU, LockMode::kE));
+  EXPECT_FALSE(LockModesCompatible(LockMode::kE, LockMode::kX));
+  EXPECT_FALSE(LockModesCompatible(LockMode::kX, LockMode::kE));
+}
+
+TEST(LockMode, ClassicHierarchyPairs) {
+  EXPECT_TRUE(LockModesCompatible(LockMode::kIS, LockMode::kIX));
+  EXPECT_TRUE(LockModesCompatible(LockMode::kIX, LockMode::kIX));
+  EXPECT_TRUE(LockModesCompatible(LockMode::kIS, LockMode::kS));
+  EXPECT_FALSE(LockModesCompatible(LockMode::kIX, LockMode::kS));
+  EXPECT_FALSE(LockModesCompatible(LockMode::kS, LockMode::kIX));
+  EXPECT_TRUE(LockModesCompatible(LockMode::kS, LockMode::kS));
+  EXPECT_TRUE(LockModesCompatible(LockMode::kSIX, LockMode::kIS));
+  EXPECT_FALSE(LockModesCompatible(LockMode::kSIX, LockMode::kSIX));
+}
+
+TEST(LockMode, UpdateModeAsymmetry) {
+  // U requests pass held S...
+  EXPECT_TRUE(LockModesCompatible(LockMode::kU, LockMode::kS));
+  // ...but S requests block behind a held U (prevents upgrade starvation).
+  EXPECT_FALSE(LockModesCompatible(LockMode::kS, LockMode::kU));
+  EXPECT_FALSE(LockModesCompatible(LockMode::kU, LockMode::kU));
+}
+
+TEST(LockMode, SupremumIdempotent) {
+  for (LockMode m : kAllModes) {
+    EXPECT_EQ(LockModeSupremum(m, m), m) << LockModeName(m);
+  }
+}
+
+TEST(LockMode, SupremumCommutative) {
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      EXPECT_EQ(LockModeSupremum(a, b), LockModeSupremum(b, a))
+          << LockModeName(a) << "," << LockModeName(b);
+    }
+  }
+}
+
+TEST(LockMode, SupremumIsUpperBound) {
+  // sup(a, b) must cover both inputs.
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      LockMode s = LockModeSupremum(a, b);
+      EXPECT_TRUE(LockModeCovers(s, a))
+          << LockModeName(a) << "," << LockModeName(b);
+      EXPECT_TRUE(LockModeCovers(s, b))
+          << LockModeName(a) << "," << LockModeName(b);
+    }
+  }
+}
+
+TEST(LockMode, SupremumClassics) {
+  EXPECT_EQ(LockModeSupremum(LockMode::kIX, LockMode::kS), LockMode::kSIX);
+  EXPECT_EQ(LockModeSupremum(LockMode::kS, LockMode::kX), LockMode::kX);
+  EXPECT_EQ(LockModeSupremum(LockMode::kIS, LockMode::kIX), LockMode::kIX);
+}
+
+// Mixing escrow with read/write access escalates to X: E+E is the only
+// escrow-preserving combination.
+TEST(LockMode, EscrowMixEscalatesToX) {
+  EXPECT_EQ(LockModeSupremum(LockMode::kE, LockMode::kE), LockMode::kE);
+  EXPECT_EQ(LockModeSupremum(LockMode::kE, LockMode::kS), LockMode::kX);
+  EXPECT_EQ(LockModeSupremum(LockMode::kE, LockMode::kU), LockMode::kX);
+  EXPECT_EQ(LockModeSupremum(LockMode::kE, LockMode::kX), LockMode::kX);
+}
+
+TEST(LockMode, CoversIsReflexive) {
+  for (LockMode m : kAllModes) EXPECT_TRUE(LockModeCovers(m, m));
+}
+
+TEST(LockMode, XCoversAll) {
+  for (LockMode m : kAllModes) EXPECT_TRUE(LockModeCovers(LockMode::kX, m));
+}
+
+TEST(LockMode, StrongerModeNeverWidensCompatibility) {
+  // If sup(a,b)=c then anything compatible with c must be compatible with
+  // both a and b (monotonicity of the lattice w.r.t. conflicts).
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      LockMode c = LockModeSupremum(a, b);
+      for (LockMode other : kAllModes) {
+        if (LockModesCompatible(other, c)) {
+          EXPECT_TRUE(LockModesCompatible(other, a))
+              << LockModeName(other) << " vs sup(" << LockModeName(a) << ","
+              << LockModeName(b) << ")";
+          EXPECT_TRUE(LockModesCompatible(other, b));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ivdb

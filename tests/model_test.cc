@@ -1,0 +1,172 @@
+// Differential testing: the engine executes a long randomized schedule of
+// multi-statement transactions (with commits, aborts, and failed
+// statements) side by side with a trivially-correct in-memory reference
+// model. After every transaction boundary the two must agree exactly — on
+// the base table, on reads, and (via the recompute oracle) on every view.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "engine/database.h"
+
+namespace ivdb {
+namespace {
+
+Schema TableSchema() {
+  return Schema({{"id", TypeId::kInt64},
+                 {"grp", TypeId::kInt64},
+                 {"amount", TypeId::kInt64}});
+}
+
+// The reference: a map with copy-on-begin transaction semantics.
+class Model {
+ public:
+  void Begin() { scratch_ = committed_; }
+  void Commit() { committed_ = scratch_; }
+  void Abort() { scratch_ = committed_; }
+
+  Status Insert(int64_t id, int64_t grp, int64_t amount) {
+    if (scratch_.count(id) != 0) return Status::AlreadyExists("");
+    scratch_[id] = {grp, amount};
+    return Status::OK();
+  }
+  Status Update(int64_t id, int64_t grp, int64_t amount) {
+    auto it = scratch_.find(id);
+    if (it == scratch_.end()) return Status::NotFound("");
+    it->second = {grp, amount};
+    return Status::OK();
+  }
+  Status Delete(int64_t id) {
+    if (scratch_.erase(id) == 0) return Status::NotFound("");
+    return Status::OK();
+  }
+  std::optional<std::pair<int64_t, int64_t>> Get(int64_t id) const {
+    auto it = scratch_.find(id);
+    if (it == scratch_.end()) return std::nullopt;
+    return it->second;
+  }
+  const std::map<int64_t, std::pair<int64_t, int64_t>>& committed() const {
+    return committed_;
+  }
+
+ private:
+  std::map<int64_t, std::pair<int64_t, int64_t>> committed_;
+  std::map<int64_t, std::pair<int64_t, int64_t>> scratch_;
+};
+
+class ModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModelTest, EngineMatchesReferenceModel) {
+  DatabaseOptions options;
+  // Alternate engine configurations by seed to widen coverage.
+  options.use_escrow_locks = GetParam() % 2 == 0;
+  options.maintenance_timing = GetParam() % 3 == 0
+                                   ? MaintenanceTiming::kDeferred
+                                   : MaintenanceTiming::kImmediate;
+  auto db = std::move(Database::Open(std::move(options))).value();
+  ASSERT_TRUE(db->CreateTable("t", TableSchema(), {0}).ok());
+  ViewDefinition def;
+  def.name = "v";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = db->catalog().GetTable("t").value()->id;
+  def.group_by = {1};
+  def.aggregates = {{AggregateFunction::kSum, 2, "total"}};
+  ASSERT_TRUE(db->CreateIndexedView(def).ok());
+  ASSERT_TRUE(db->CreateSecondaryIndex("by_grp_idx", "t", {"grp"}).ok());
+
+  Model model;
+  Random rng(GetParam());
+
+  for (int round = 0; round < 150; round++) {
+    Transaction* txn = db->Begin();
+    model.Begin();
+    int statements = 1 + static_cast<int>(rng.Uniform(5));
+    for (int s = 0; s < statements; s++) {
+      int64_t id = static_cast<int64_t>(rng.Uniform(60));
+      int64_t grp = static_cast<int64_t>(rng.Uniform(5));
+      int64_t amount = static_cast<int64_t>(rng.Uniform(100));
+      Row row = {Value::Int64(id), Value::Int64(grp), Value::Int64(amount)};
+      Status engine_status, model_status;
+      switch (rng.Uniform(4)) {
+        case 0:
+          engine_status = db->Insert(txn, "t", row);
+          model_status = model.Insert(id, grp, amount);
+          break;
+        case 1:
+          engine_status = db->Update(txn, "t", row);
+          model_status = model.Update(id, grp, amount);
+          break;
+        case 2:
+          engine_status = db->Delete(txn, "t", {Value::Int64(id)});
+          model_status = model.Delete(id);
+          break;
+        case 3: {
+          // In-transaction read must observe the transaction's own writes.
+          auto got = db->Get(txn, "t", {Value::Int64(id)});
+          ASSERT_TRUE(got.ok());
+          auto expected = model.Get(id);
+          ASSERT_EQ(got->has_value(), expected.has_value()) << "id " << id;
+          if (expected.has_value()) {
+            EXPECT_EQ((**got)[1].AsInt64(), expected->first);
+            EXPECT_EQ((**got)[2].AsInt64(), expected->second);
+          }
+          continue;
+        }
+      }
+      // Engine and model must fail/succeed identically.
+      ASSERT_EQ(engine_status.code(), model_status.code())
+          << "round " << round << " stmt " << s << ": engine="
+          << engine_status.ToString();
+    }
+    if (rng.OneIn(4)) {
+      ASSERT_TRUE(db->Abort(txn).ok());
+      model.Abort();
+    } else {
+      ASSERT_TRUE(db->Commit(txn).ok());
+      model.Commit();
+    }
+    db->Forget(txn);
+
+    if (round % 25 == 24) {
+      // Full-state comparison at a transaction boundary.
+      Transaction* reader = db->Begin();
+      auto rows = db->ScanTable(reader, "t");
+      ASSERT_TRUE(rows.ok());
+      ASSERT_EQ(rows->size(), model.committed().size()) << "round " << round;
+      auto mit = model.committed().begin();
+      for (const Row& row : rows.value()) {
+        ASSERT_EQ(row[0].AsInt64(), mit->first);
+        EXPECT_EQ(row[1].AsInt64(), mit->second.first);
+        EXPECT_EQ(row[2].AsInt64(), mit->second.second);
+        ++mit;
+      }
+      // Secondary-index lookups agree with the model per group.
+      for (int64_t grp = 0; grp < 5; grp++) {
+        auto by_idx = db->GetByIndex(reader, "by_grp_idx",
+                                     {Value::Int64(grp)});
+        ASSERT_TRUE(by_idx.ok());
+        size_t expected = 0;
+        for (const auto& [id, v] : model.committed()) {
+          if (v.first == grp) expected++;
+        }
+        EXPECT_EQ(by_idx->size(), expected) << "grp " << grp;
+      }
+      db->Commit(reader);
+      db->Forget(reader);
+      ASSERT_TRUE(db->VerifyViewConsistency("v").ok());
+    }
+  }
+  ASSERT_TRUE(db->CleanGhosts().ok());
+  Status final_check = db->VerifyViewConsistency("v");
+  EXPECT_TRUE(final_check.ok()) << final_check.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ivdb

@@ -1,0 +1,161 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace ivdb {
+namespace {
+
+Schema SalesSchema() {
+  return Schema({{"id", TypeId::kInt64},
+                 {"region", TypeId::kString},
+                 {"amount", TypeId::kDouble}});
+}
+
+TEST(Schema, FindColumn) {
+  Schema s = SalesSchema();
+  EXPECT_EQ(s.FindColumn("id"), 0);
+  EXPECT_EQ(s.FindColumn("region"), 1);
+  EXPECT_EQ(s.FindColumn("amount"), 2);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+}
+
+TEST(Schema, ValidateRow) {
+  Schema s = SalesSchema();
+  Row good = {Value::Int64(1), Value::String("eu"), Value::Double(9.5)};
+  EXPECT_TRUE(s.ValidateRow(good).ok());
+
+  Row wrong_arity = {Value::Int64(1)};
+  EXPECT_TRUE(s.ValidateRow(wrong_arity).IsInvalidArgument());
+
+  Row wrong_type = {Value::Int64(1), Value::Int64(2), Value::Double(9.5)};
+  EXPECT_TRUE(s.ValidateRow(wrong_type).IsInvalidArgument());
+
+  Row with_null = {Value::Null(TypeId::kInt64), Value::String("eu"),
+                   Value::Double(1.0)};
+  EXPECT_TRUE(s.ValidateRow(with_null).ok());
+}
+
+TEST(Schema, ToString) {
+  EXPECT_EQ(SalesSchema().ToString(),
+            "(id INT64, region STRING, amount DOUBLE)");
+}
+
+TEST(RowCodec, RoundTrip) {
+  Row row = {Value::Int64(42), Value::String("apac"), Value::Double(-1.5)};
+  std::string encoded = EncodeRow(row);
+  Row out;
+  ASSERT_TRUE(DecodeRow(encoded, &out).ok());
+  ASSERT_EQ(out.size(), row.size());
+  for (size_t i = 0; i < row.size(); i++) EXPECT_TRUE(out[i] == row[i]);
+}
+
+TEST(RowCodec, EmptyRow) {
+  Row row;
+  Row out;
+  ASSERT_TRUE(DecodeRow(EncodeRow(row), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RowCodec, TrailingGarbageFails) {
+  std::string encoded = EncodeRow({Value::Int64(1)});
+  encoded += "x";
+  Row out;
+  EXPECT_TRUE(DecodeRow(encoded, &out).IsCorruption());
+}
+
+TEST(KeyCodec, CompositeOrdering) {
+  Row a = {Value::Int64(1), Value::String("b"), Value::Double(0)};
+  Row b = {Value::Int64(1), Value::String("c"), Value::Double(0)};
+  Row c = {Value::Int64(2), Value::String("a"), Value::Double(0)};
+  std::vector<int> cols = {0, 1};
+  EXPECT_LT(EncodeKey(a, cols), EncodeKey(b, cols));
+  EXPECT_LT(EncodeKey(b, cols), EncodeKey(c, cols));
+}
+
+TEST(KeyCodec, KeyValuesRoundTrip) {
+  std::vector<Value> values = {Value::Int64(-3), Value::String("k")};
+  std::string key = EncodeKeyValues(values);
+  std::vector<Value> out;
+  ASSERT_TRUE(
+      DecodeKeyValues(key, {TypeId::kInt64, TypeId::kString}, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0] == values[0]);
+  EXPECT_TRUE(out[1] == values[1]);
+}
+
+TEST(KeyCodec, MatchesEncodeKeyProjection) {
+  Row row = {Value::Int64(9), Value::String("x"), Value::Double(1.0)};
+  EXPECT_EQ(EncodeKey(row, {0}), EncodeKeyValues({Value::Int64(9)}));
+}
+
+TEST(Catalog, CreateAndLookup) {
+  Catalog catalog;
+  auto result = catalog.CreateTable("sales", SalesSchema(), {0});
+  ASSERT_TRUE(result.ok());
+  const TableInfo* info = result.value();
+  EXPECT_EQ(info->name, "sales");
+  EXPECT_NE(info->id, kInvalidObjectId);
+
+  auto by_name = catalog.GetTable("sales");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_name.value(), info);
+
+  auto by_id = catalog.GetTable(info->id);
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(by_id.value(), info);
+}
+
+TEST(Catalog, Errors) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", SalesSchema(), {0}).ok());
+  EXPECT_TRUE(catalog.CreateTable("t", SalesSchema(), {0})
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_TRUE(
+      catalog.CreateTable("", SalesSchema(), {0}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      catalog.CreateTable("u", SalesSchema(), {}).status().IsInvalidArgument());
+  EXPECT_TRUE(catalog.CreateTable("v", SalesSchema(), {9})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(catalog.GetTable("missing").status().IsNotFound());
+}
+
+TEST(Catalog, IdsAreUniqueAndMonotonic) {
+  Catalog catalog;
+  ObjectId a = catalog.CreateTable("a", SalesSchema(), {0}).value()->id;
+  ObjectId manual = catalog.AllocateId();
+  ObjectId b = catalog.CreateTable("b", SalesSchema(), {0}).value()->id;
+  EXPECT_LT(a, manual);
+  EXPECT_LT(manual, b);
+}
+
+TEST(Catalog, RestoreTable) {
+  Catalog catalog;
+  TableInfo info;
+  info.id = 17;
+  info.name = "restored";
+  info.schema = SalesSchema();
+  info.key_columns = {0};
+  ASSERT_TRUE(catalog.RestoreTable(info).ok());
+  EXPECT_EQ(catalog.GetTable("restored").value()->id, 17u);
+  // Fresh ids continue past restored ones.
+  EXPECT_GT(catalog.AllocateId(), 17u);
+  // Collision rejected.
+  EXPECT_TRUE(catalog.RestoreTable(info).IsAlreadyExists());
+}
+
+TEST(Catalog, KeyTypes) {
+  Catalog catalog;
+  const TableInfo* info =
+      catalog.CreateTable("t", SalesSchema(), {1, 0}).value();
+  auto types = info->KeyTypes();
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], TypeId::kString);
+  EXPECT_EQ(types[1], TypeId::kInt64);
+}
+
+}  // namespace
+}  // namespace ivdb

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "engine/database.h"
+
+namespace ivdb {
+namespace {
+
+Schema SalesSchema() {
+  return Schema({{"id", TypeId::kInt64},
+                 {"region", TypeId::kString},
+                 {"amount", TypeId::kInt64}});
+}
+
+Row Sale(int64_t id, const std::string& region, int64_t amount) {
+  return {Value::Int64(id), Value::String(region), Value::Int64(amount)};
+}
+
+struct Fixture {
+  std::unique_ptr<Database> db;
+
+  explicit Fixture(DatabaseOptions options = {}, bool create_table = true) {
+    db = std::move(Database::Open(std::move(options))).value();
+    if (create_table) {
+      EXPECT_TRUE(db->CreateTable("sales", SalesSchema(), {0}).ok());
+    }
+  }
+
+  void Commit(const std::function<void(Transaction*)>& fn) {
+    Transaction* txn = db->Begin();
+    fn(txn);
+    Status s = db->Commit(txn);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  std::vector<int64_t> IdsByRegion(const std::string& region,
+                                   ReadMode mode = ReadMode::kLocking) {
+    Transaction* txn = db->Begin(mode);
+    auto rows = db->GetByIndex(txn, "sales_by_region_idx",
+                               {Value::String(region)});
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    std::vector<int64_t> ids;
+    for (const Row& row : rows.value()) ids.push_back(row[0].AsInt64());
+    db->Commit(txn);
+    db->Forget(txn);
+    return ids;
+  }
+};
+
+TEST(SecondaryIndex, CreateValidation) {
+  Fixture f;
+  EXPECT_TRUE(f.db->CreateSecondaryIndex("i", "missing", {"region"})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(f.db->CreateSecondaryIndex("i", "sales", {"nope"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(f.db->CreateSecondaryIndex("i", "sales", {})
+                  .status()
+                  .IsInvalidArgument());
+  ASSERT_TRUE(f.db->CreateSecondaryIndex("i", "sales", {"region"}).ok());
+  EXPECT_TRUE(f.db->CreateSecondaryIndex("i", "sales", {"amount"})
+                  .status()
+                  .IsAlreadyExists());
+  // Index/table name space is shared.
+  EXPECT_TRUE(f.db->CreateSecondaryIndex("sales", "sales", {"region"})
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(SecondaryIndex, BackfillsExistingRows) {
+  Fixture f;
+  f.Commit([&](Transaction* txn) {
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(1, "eu", 10)).ok());
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(2, "us", 20)).ok());
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(3, "eu", 30)).ok());
+  });
+  ASSERT_TRUE(
+      f.db->CreateSecondaryIndex("sales_by_region_idx", "sales", {"region"})
+          .ok());
+  EXPECT_EQ(f.IdsByRegion("eu"), (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(f.IdsByRegion("us"), (std::vector<int64_t>{2}));
+  EXPECT_TRUE(f.IdsByRegion("apac").empty());
+}
+
+TEST(SecondaryIndex, MaintainedByDml) {
+  Fixture f;
+  ASSERT_TRUE(
+      f.db->CreateSecondaryIndex("sales_by_region_idx", "sales", {"region"})
+          .ok());
+  f.Commit([&](Transaction* txn) {
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(1, "eu", 10)).ok());
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(2, "eu", 20)).ok());
+  });
+  EXPECT_EQ(f.IdsByRegion("eu"), (std::vector<int64_t>{1, 2}));
+
+  // Update moving a row between index values.
+  f.Commit([&](Transaction* txn) {
+    ASSERT_TRUE(f.db->Update(txn, "sales", Sale(1, "us", 10)).ok());
+  });
+  EXPECT_EQ(f.IdsByRegion("eu"), (std::vector<int64_t>{2}));
+  EXPECT_EQ(f.IdsByRegion("us"), (std::vector<int64_t>{1}));
+
+  // Update that leaves indexed columns alone keeps entries untouched.
+  f.Commit([&](Transaction* txn) {
+    ASSERT_TRUE(f.db->Update(txn, "sales", Sale(1, "us", 999)).ok());
+  });
+  EXPECT_EQ(f.IdsByRegion("us"), (std::vector<int64_t>{1}));
+
+  f.Commit([&](Transaction* txn) {
+    ASSERT_TRUE(f.db->Delete(txn, "sales", {Value::Int64(2)}).ok());
+  });
+  EXPECT_TRUE(f.IdsByRegion("eu").empty());
+}
+
+TEST(SecondaryIndex, RollbackRestoresEntries) {
+  Fixture f;
+  ASSERT_TRUE(
+      f.db->CreateSecondaryIndex("sales_by_region_idx", "sales", {"region"})
+          .ok());
+  f.Commit([&](Transaction* txn) {
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(1, "eu", 10)).ok());
+  });
+  Transaction* txn = f.db->Begin();
+  ASSERT_TRUE(f.db->Update(txn, "sales", Sale(1, "us", 10)).ok());
+  ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(2, "eu", 5)).ok());
+  ASSERT_TRUE(f.db->Abort(txn).ok());
+  EXPECT_EQ(f.IdsByRegion("eu"), (std::vector<int64_t>{1}));
+  EXPECT_TRUE(f.IdsByRegion("us").empty());
+}
+
+TEST(SecondaryIndex, DuplicateIndexedValuesAllowed) {
+  Fixture f;
+  ASSERT_TRUE(
+      f.db->CreateSecondaryIndex("by_amount", "sales", {"amount"}).ok());
+  f.Commit([&](Transaction* txn) {
+    for (int i = 0; i < 10; i++) {
+      ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(i, "eu", 7)).ok());
+    }
+  });
+  Transaction* reader = f.db->Begin();
+  auto rows = f.db->GetByIndex(reader, "by_amount", {Value::Int64(7)});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+  f.db->Commit(reader);
+}
+
+TEST(SecondaryIndex, CompositeIndexPrefixLookups) {
+  Fixture f;
+  ASSERT_TRUE(f.db->CreateSecondaryIndex("by_region_amount", "sales",
+                                         {"region", "amount"})
+                  .ok());
+  f.Commit([&](Transaction* txn) {
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(1, "eu", 10)).ok());
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(2, "eu", 20)).ok());
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(3, "us", 10)).ok());
+  });
+  Transaction* reader = f.db->Begin();
+  // Full key.
+  auto exact = f.db->GetByIndex(reader, "by_region_amount",
+                                {Value::String("eu"), Value::Int64(20)});
+  ASSERT_EQ(exact->size(), 1u);
+  EXPECT_EQ((*exact)[0][0].AsInt64(), 2);
+  // Prefix.
+  auto prefix =
+      f.db->GetByIndex(reader, "by_region_amount", {Value::String("eu")});
+  EXPECT_EQ(prefix->size(), 2u);
+  // Too many values.
+  EXPECT_TRUE(f.db
+                  ->GetByIndex(reader, "by_region_amount",
+                               {Value::String("eu"), Value::Int64(1),
+                                Value::Int64(2)})
+                  .status()
+                  .IsInvalidArgument());
+  f.db->Commit(reader);
+}
+
+TEST(SecondaryIndex, SnapshotReadsSeeIndexAsOfBegin) {
+  Fixture f;
+  ASSERT_TRUE(
+      f.db->CreateSecondaryIndex("sales_by_region_idx", "sales", {"region"})
+          .ok());
+  f.Commit([&](Transaction* txn) {
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(1, "eu", 10)).ok());
+  });
+  Transaction* snapshot = f.db->Begin(ReadMode::kSnapshot);
+  f.Commit([&](Transaction* txn) {
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(2, "eu", 20)).ok());
+    ASSERT_TRUE(f.db->Update(txn, "sales", Sale(1, "us", 10)).ok());
+  });
+  auto rows = f.db->GetByIndex(snapshot, "sales_by_region_idx",
+                               {Value::String("eu")});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsInt64(), 1);
+  f.db->Commit(snapshot);
+  EXPECT_EQ(f.IdsByRegion("eu"), (std::vector<int64_t>{2}));
+}
+
+TEST(SecondaryIndex, FailedStatementRollsBackEntries) {
+  Fixture f;
+  ASSERT_TRUE(
+      f.db->CreateSecondaryIndex("sales_by_region_idx", "sales", {"region"})
+          .ok());
+  f.Commit([&](Transaction* txn) {
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(1, "eu", 10)).ok());
+  });
+  Transaction* txn = f.db->Begin();
+  // Duplicate primary key: fails before index maintenance.
+  EXPECT_TRUE(f.db->Insert(txn, "sales", Sale(1, "us", 5)).IsAlreadyExists());
+  ASSERT_TRUE(f.db->Commit(txn).ok());
+  EXPECT_TRUE(f.IdsByRegion("us").empty());
+  EXPECT_EQ(f.IdsByRegion("eu"), (std::vector<int64_t>{1}));
+}
+
+TEST(SecondaryIndex, SurvivesCrashRecovery) {
+  std::string dir = ::testing::TempDir() + "secondary_index_recovery";
+  std::filesystem::remove_all(dir);
+  {
+    DatabaseOptions options;
+    options.dir = dir;
+    Fixture f(options);
+    ASSERT_TRUE(
+        f.db->CreateSecondaryIndex("sales_by_region_idx", "sales", {"region"})
+            .ok());
+    f.Commit([&](Transaction* txn) {
+      ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(1, "eu", 10)).ok());
+      ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(2, "us", 20)).ok());
+    });
+    // A loser whose index entries must vanish at restart.
+    Transaction* loser = f.db->Begin();
+    ASSERT_TRUE(f.db->Insert(loser, "sales", Sale(3, "eu", 30)).ok());
+    ASSERT_TRUE(f.db->FlushWal().ok());
+    // crash
+  }
+  DatabaseOptions options;
+  options.dir = dir;
+  Fixture f(options, /*create_table=*/false);
+  EXPECT_EQ(f.IdsByRegion("eu"), (std::vector<int64_t>{1}));
+  EXPECT_EQ(f.IdsByRegion("us"), (std::vector<int64_t>{2}));
+  // The restored index is still maintained.
+  f.Commit([&](Transaction* txn) {
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(4, "eu", 40)).ok());
+  });
+  EXPECT_EQ(f.IdsByRegion("eu"), (std::vector<int64_t>{1, 4}));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ivdb

@@ -1,0 +1,155 @@
+#include "catalog/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ivdb {
+namespace {
+
+TEST(Value, BasicAccessors) {
+  Value i = Value::Int64(-7);
+  EXPECT_EQ(i.type(), TypeId::kInt64);
+  EXPECT_FALSE(i.is_null());
+  EXPECT_EQ(i.AsInt64(), -7);
+
+  Value d = Value::Double(2.5);
+  EXPECT_EQ(d.AsDouble(), 2.5);
+  EXPECT_EQ(d.AsNumeric(), 2.5);
+
+  Value s = Value::String("abc");
+  EXPECT_EQ(s.AsString(), "abc");
+
+  Value n = Value::Null(TypeId::kString);
+  EXPECT_TRUE(n.is_null());
+  EXPECT_EQ(n.type(), TypeId::kString);
+}
+
+TEST(Value, CompareSameType) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::Int64(5).Compare(Value::Int64(2)), 0);
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Int64(3)), 0);
+  EXPECT_LT(Value::Double(-1).Compare(Value::Double(0)), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+}
+
+TEST(Value, NullSortsFirst) {
+  EXPECT_LT(Value::Null(TypeId::kInt64).Compare(Value::Int64(-999999)), 0);
+  EXPECT_GT(Value::Int64(0).Compare(Value::Null(TypeId::kInt64)), 0);
+  EXPECT_EQ(Value::Null(TypeId::kInt64).Compare(Value::Null(TypeId::kInt64)),
+            0);
+}
+
+TEST(Value, AccumulateAddInt) {
+  Value v = Value::Int64(10);
+  ASSERT_TRUE(v.AccumulateAdd(Value::Int64(-3)).ok());
+  EXPECT_EQ(v.AsInt64(), 7);
+}
+
+TEST(Value, AccumulateAddDouble) {
+  Value v = Value::Double(1.5);
+  ASSERT_TRUE(v.AccumulateAdd(Value::Double(2.25)).ok());
+  EXPECT_EQ(v.AsDouble(), 3.75);
+}
+
+TEST(Value, AccumulateAddErrors) {
+  Value s = Value::String("x");
+  EXPECT_FALSE(s.AccumulateAdd(Value::String("y")).ok());
+  Value i = Value::Int64(1);
+  EXPECT_FALSE(i.AccumulateAdd(Value::Double(1.0)).ok());
+  EXPECT_FALSE(i.AccumulateAdd(Value::Null(TypeId::kInt64)).ok());
+  Value n = Value::Null(TypeId::kInt64);
+  EXPECT_FALSE(n.AccumulateAdd(Value::Int64(1)).ok());
+}
+
+TEST(Value, NegatedIsAdditiveInverse) {
+  Random rng(3);
+  for (int i = 0; i < 200; i++) {
+    int64_t x = static_cast<int64_t>(rng.Next() >> 1) - (1ll << 40);
+    Value v = Value::Int64(x);
+    Value sum = v;
+    ASSERT_TRUE(sum.AccumulateAdd(v.Negated()).ok());
+    EXPECT_EQ(sum.AsInt64(), 0);
+  }
+  Value d = Value::Double(3.5);
+  Value sum = d;
+  ASSERT_TRUE(sum.AccumulateAdd(d.Negated()).ok());
+  EXPECT_EQ(sum.AsDouble(), 0.0);
+}
+
+TEST(Value, EncodeDecodeRoundTrip) {
+  std::vector<Value> values = {
+      Value::Int64(0),           Value::Int64(-123456789),
+      Value::Double(3.25),       Value::Double(-0.0),
+      Value::String(""),         Value::String("hello"),
+      Value::Null(TypeId::kInt64),
+      Value::Null(TypeId::kDouble),
+      Value::Null(TypeId::kString),
+  };
+  for (const Value& v : values) {
+    std::string buf;
+    v.EncodeTo(&buf);
+    Slice input(buf);
+    Value out;
+    ASSERT_TRUE(Value::DecodeFrom(&input, &out).ok()) << v.ToString();
+    EXPECT_TRUE(out == v) << v.ToString();
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(Value, DecodeTruncatedFails) {
+  std::string buf;
+  Value::Int64(42).EncodeTo(&buf);
+  buf.resize(buf.size() - 1);
+  Slice input(buf);
+  Value out;
+  EXPECT_FALSE(Value::DecodeFrom(&input, &out).ok());
+}
+
+TEST(Value, OrderedEncodingMatchesCompare) {
+  Random rng(11);
+  std::vector<Value> values;
+  values.push_back(Value::Null(TypeId::kInt64));
+  for (int i = 0; i < 100; i++) {
+    values.push_back(Value::Int64(static_cast<int64_t>(rng.Next())));
+  }
+  for (size_t i = 0; i < values.size(); i++) {
+    for (size_t j = 0; j < values.size(); j++) {
+      std::string a, b;
+      values[i].EncodeOrderedTo(&a);
+      values[j].EncodeOrderedTo(&b);
+      int cmp = values[i].Compare(values[j]);
+      EXPECT_EQ(cmp < 0, a < b);
+      EXPECT_EQ(cmp == 0, a == b);
+    }
+  }
+}
+
+TEST(Value, OrderedRoundTrip) {
+  std::vector<Value> values = {
+      Value::Int64(-5), Value::Double(2.5), Value::String("xyz"),
+      Value::Null(TypeId::kDouble)};
+  for (const Value& v : values) {
+    std::string buf;
+    v.EncodeOrderedTo(&buf);
+    Slice input(buf);
+    Value out;
+    ASSERT_TRUE(Value::DecodeOrderedFrom(&input, v.type(), &out).ok());
+    EXPECT_TRUE(out == v);
+  }
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::Int64(7).ToString(), "7");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Null(TypeId::kInt64).ToString(), "NULL");
+}
+
+TEST(Value, EqualityAcrossTypes) {
+  EXPECT_FALSE(Value::Int64(1) == Value::Double(1.0));
+  EXPECT_TRUE(Value::Null(TypeId::kInt64) == Value::Null(TypeId::kInt64));
+  EXPECT_FALSE(Value::Null(TypeId::kInt64) == Value::Int64(0));
+}
+
+}  // namespace
+}  // namespace ivdb

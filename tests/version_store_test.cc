@@ -1,0 +1,208 @@
+#include "storage/version_store.h"
+
+#include <gtest/gtest.h>
+
+namespace ivdb {
+namespace {
+
+constexpr uint32_t kObj = 9;
+
+TEST(VersionStore, EmptyMeansPhysicalVisible) {
+  VersionStore vs;
+  auto view = vs.GetAsOf(kObj, "k", 100);
+  EXPECT_FALSE(view.use_chain_value);
+  EXPECT_TRUE(view.subtract.empty());
+}
+
+TEST(VersionStore, PendingWriteExposesOldValueToEveryone) {
+  VersionStore vs;
+  vs.NotePendingWrite(kObj, "k", std::string("old"), /*txn=*/1);
+  // Any snapshot during the write sees the old committed value.
+  for (uint64_t ts : {1ull, 50ull, 1000ull}) {
+    auto view = vs.GetAsOf(kObj, "k", ts);
+    ASSERT_TRUE(view.use_chain_value);
+    ASSERT_TRUE(view.chain_value.has_value());
+    EXPECT_EQ(*view.chain_value, "old");
+  }
+}
+
+TEST(VersionStore, CommitMakesNewValueVisibleToLaterSnapshots) {
+  VersionStore vs;
+  vs.NotePendingWrite(kObj, "k", std::string("old"), 1);
+  vs.Commit(1, /*commit_ts=*/100);
+
+  // Snapshot before the commit still sees the superseded value.
+  auto before = vs.GetAsOf(kObj, "k", 99);
+  ASSERT_TRUE(before.use_chain_value);
+  EXPECT_EQ(*before.chain_value, "old");
+
+  // Snapshot at/after the commit reads the physical (new) value.
+  auto after = vs.GetAsOf(kObj, "k", 100);
+  EXPECT_FALSE(after.use_chain_value);
+  EXPECT_TRUE(after.subtract.empty());
+}
+
+TEST(VersionStore, PendingInsertShowsAbsence) {
+  VersionStore vs;
+  vs.NotePendingWrite(kObj, "k", std::nullopt, 1);
+  auto view = vs.GetAsOf(kObj, "k", 10);
+  ASSERT_TRUE(view.use_chain_value);
+  EXPECT_FALSE(view.chain_value.has_value());  // did not exist
+  vs.Commit(1, 100);
+  auto before = vs.GetAsOf(kObj, "k", 50);
+  ASSERT_TRUE(before.use_chain_value);
+  EXPECT_FALSE(before.chain_value.has_value());
+  auto after = vs.GetAsOf(kObj, "k", 150);
+  EXPECT_FALSE(after.use_chain_value);
+}
+
+TEST(VersionStore, AbortDropsPending) {
+  VersionStore vs;
+  vs.NotePendingWrite(kObj, "k", std::string("old"), 1);
+  vs.Abort(1);
+  auto view = vs.GetAsOf(kObj, "k", 10);
+  EXPECT_FALSE(view.use_chain_value);
+  EXPECT_TRUE(view.subtract.empty());
+  EXPECT_EQ(vs.TotalEntries(), 0u);
+}
+
+TEST(VersionStore, MultiVersionChainPicksOldestCovering) {
+  VersionStore vs;
+  // v1 superseded at 10, v2 superseded at 20.
+  vs.NotePendingWrite(kObj, "k", std::string("v1"), 1);
+  vs.Commit(1, 10);
+  vs.NotePendingWrite(kObj, "k", std::string("v2"), 2);
+  vs.Commit(2, 20);
+
+  auto at5 = vs.GetAsOf(kObj, "k", 5);
+  ASSERT_TRUE(at5.use_chain_value);
+  EXPECT_EQ(*at5.chain_value, "v1");
+
+  auto at15 = vs.GetAsOf(kObj, "k", 15);
+  ASSERT_TRUE(at15.use_chain_value);
+  EXPECT_EQ(*at15.chain_value, "v2");
+
+  auto at25 = vs.GetAsOf(kObj, "k", 25);
+  EXPECT_FALSE(at25.use_chain_value);
+}
+
+TEST(VersionStore, UncommittedDeltasAreSubtracted) {
+  VersionStore vs;
+  std::vector<ColumnDelta> d1 = {{1, Value::Int64(5)}};
+  std::vector<ColumnDelta> d2 = {{1, Value::Int64(3)}};
+  vs.NotePendingIncrement(kObj, "k", d1, 1);
+  vs.NotePendingIncrement(kObj, "k", d2, 2);
+  auto view = vs.GetAsOf(kObj, "k", 10);
+  EXPECT_FALSE(view.use_chain_value);
+  ASSERT_EQ(view.subtract.size(), 2u);
+}
+
+TEST(VersionStore, CommittedDeltaVisibleOnlyAfterCommitTs) {
+  VersionStore vs;
+  vs.NotePendingIncrement(kObj, "k", {{1, Value::Int64(5)}}, 1);
+  vs.Commit(1, 100);
+  // Reader at 50 must subtract the delta committed at 100.
+  auto at50 = vs.GetAsOf(kObj, "k", 50);
+  ASSERT_EQ(at50.subtract.size(), 1u);
+  EXPECT_EQ(at50.subtract[0][0].delta.AsInt64(), 5);
+  // Reader at 100+ sees it.
+  auto at100 = vs.GetAsOf(kObj, "k", 100);
+  EXPECT_TRUE(at100.subtract.empty());
+}
+
+TEST(VersionStore, SameTxnDeltasCoalesce) {
+  VersionStore vs;
+  vs.NotePendingIncrement(kObj, "k", {{1, Value::Int64(5)}}, 1);
+  vs.NotePendingIncrement(kObj, "k", {{1, Value::Int64(2)}}, 1);
+  vs.NotePendingIncrement(kObj, "k", {{2, Value::Double(1.5)}}, 1);
+  auto view = vs.GetAsOf(kObj, "k", 10);
+  ASSERT_EQ(view.subtract.size(), 1u);  // one entry for txn 1
+  ASSERT_EQ(view.subtract[0].size(), 2u);
+  EXPECT_EQ(view.subtract[0][0].delta.AsInt64(), 7);
+  EXPECT_EQ(view.subtract[0][1].delta.AsDouble(), 1.5);
+}
+
+TEST(VersionStore, AbortDropsDeltas) {
+  VersionStore vs;
+  vs.NotePendingIncrement(kObj, "k", {{1, Value::Int64(5)}}, 1);
+  vs.Abort(1);
+  auto view = vs.GetAsOf(kObj, "k", 10);
+  EXPECT_TRUE(view.subtract.empty());
+}
+
+TEST(VersionStore, PendingWriteTakesPriorityOverDeltas) {
+  // A ghost insert (pending write) plus earlier committed deltas: the chain
+  // value answers for snapshots that predate everything.
+  VersionStore vs;
+  vs.NotePendingWrite(kObj, "k", std::nullopt, 1);  // creating the row
+  auto view = vs.GetAsOf(kObj, "k", 5);
+  ASSERT_TRUE(view.use_chain_value);
+  EXPECT_FALSE(view.chain_value.has_value());
+}
+
+TEST(VersionStore, GhostLifecycleVisibility) {
+  VersionStore vs;
+  // System txn 1 creates ghost at ts 10; txn 2 increments, commits at 20.
+  vs.NotePendingWrite(kObj, "g", std::nullopt, 1);
+  vs.Commit(1, 10);
+  vs.NotePendingIncrement(kObj, "g", {{1, Value::Int64(1)}}, 2);
+  vs.Commit(2, 20);
+
+  auto at5 = vs.GetAsOf(kObj, "g", 5);
+  ASSERT_TRUE(at5.use_chain_value);
+  EXPECT_FALSE(at5.chain_value.has_value());  // before creation: absent
+
+  auto at15 = vs.GetAsOf(kObj, "g", 15);
+  EXPECT_FALSE(at15.use_chain_value);
+  ASSERT_EQ(at15.subtract.size(), 1u);  // strip the ts-20 increment => ghost
+
+  auto at25 = vs.GetAsOf(kObj, "g", 25);
+  EXPECT_FALSE(at25.use_chain_value);
+  EXPECT_TRUE(at25.subtract.empty());  // fully visible
+}
+
+TEST(VersionStore, GarbageCollectReclaimsInvisible) {
+  VersionStore vs;
+  vs.NotePendingWrite(kObj, "k", std::string("v1"), 1);
+  vs.Commit(1, 10);
+  vs.NotePendingIncrement(kObj, "k", {{1, Value::Int64(2)}}, 2);
+  vs.Commit(2, 20);
+  EXPECT_EQ(vs.TotalEntries(), 2u);
+
+  EXPECT_EQ(vs.GarbageCollect(5), 0u);   // both still visible to ts<10 readers
+  EXPECT_EQ(vs.GarbageCollect(15), 1u);  // value version dead
+  EXPECT_EQ(vs.GarbageCollect(25), 1u);  // delta dead
+  EXPECT_EQ(vs.TotalEntries(), 0u);
+}
+
+TEST(VersionStore, GcKeepsPendingEntries) {
+  VersionStore vs;
+  vs.NotePendingWrite(kObj, "k", std::string("v"), 1);
+  vs.NotePendingIncrement(kObj, "k2", {{1, Value::Int64(1)}}, 2);
+  EXPECT_EQ(vs.GarbageCollect(1000), 0u);
+  EXPECT_EQ(vs.TotalEntries(), 2u);
+}
+
+TEST(VersionStore, ListChainKeys) {
+  VersionStore vs;
+  vs.NotePendingWrite(kObj, "a", std::string("v"), 1);
+  vs.NotePendingWrite(kObj, "b", std::string("v"), 1);
+  vs.NotePendingWrite(kObj + 1, "c", std::string("v"), 1);
+  auto keys = vs.ListChainKeys(kObj);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+  EXPECT_EQ(vs.ListChainKeys(kObj + 2).size(), 0u);
+}
+
+TEST(VersionStore, DuplicatePendingWriteIgnored) {
+  VersionStore vs;
+  vs.NotePendingWrite(kObj, "k", std::string("first"), 1);
+  vs.NotePendingWrite(kObj, "k", std::string("second"), 1);
+  auto view = vs.GetAsOf(kObj, "k", 10);
+  ASSERT_TRUE(view.use_chain_value);
+  EXPECT_EQ(*view.chain_value, "first");  // pre-transaction value wins
+}
+
+}  // namespace
+}  // namespace ivdb

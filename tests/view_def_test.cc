@@ -1,0 +1,229 @@
+#include "view/view_def.h"
+
+#include <gtest/gtest.h>
+
+namespace ivdb {
+namespace {
+
+Schema FactSchema() {
+  return Schema({{"id", TypeId::kInt64},
+                 {"region", TypeId::kString},
+                 {"amount", TypeId::kDouble},
+                 {"qty", TypeId::kInt64}});
+}
+
+ViewDefinition AggView() {
+  ViewDefinition def;
+  def.name = "sales_by_region";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = 1;
+  def.group_by = {1};
+  def.aggregates = {{AggregateFunction::kSum, 2, "total"},
+                    {AggregateFunction::kSum, 3, "units"}};
+  return def;
+}
+
+TEST(Predicate, EvalOperators) {
+  Row row = {Value::Int64(5)};
+  auto pred = [&](CompareOp op, int64_t lit) {
+    return Predicate{0, op, Value::Int64(lit)}.Eval(row);
+  };
+  EXPECT_TRUE(pred(CompareOp::kEq, 5));
+  EXPECT_FALSE(pred(CompareOp::kEq, 6));
+  EXPECT_TRUE(pred(CompareOp::kNe, 6));
+  EXPECT_TRUE(pred(CompareOp::kLt, 6));
+  EXPECT_FALSE(pred(CompareOp::kLt, 5));
+  EXPECT_TRUE(pred(CompareOp::kLe, 5));
+  EXPECT_TRUE(pred(CompareOp::kGt, 4));
+  EXPECT_TRUE(pred(CompareOp::kGe, 5));
+  EXPECT_FALSE(pred(CompareOp::kGe, 6));
+}
+
+TEST(Predicate, NullFailsComparisons) {
+  Row row = {Value::Null(TypeId::kInt64)};
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kGe}) {
+    EXPECT_FALSE((Predicate{0, op, Value::Int64(5)}.Eval(row)));
+  }
+}
+
+TEST(Predicate, ConjunctionSemantics) {
+  Row row = {Value::Int64(5), Value::String("eu")};
+  std::vector<Predicate> both = {
+      {0, CompareOp::kGt, Value::Int64(1)},
+      {1, CompareOp::kEq, Value::String("eu")}};
+  EXPECT_TRUE(EvalConjunction(both, row));
+  std::vector<Predicate> one_fails = {
+      {0, CompareOp::kGt, Value::Int64(10)},
+      {1, CompareOp::kEq, Value::String("eu")}};
+  EXPECT_FALSE(EvalConjunction(one_fails, row));
+  EXPECT_TRUE(EvalConjunction({}, row));  // empty conjunction is true
+}
+
+TEST(ViewDefinition, DerivedSchemaAggregate) {
+  ViewDefinition def = AggView();
+  Schema schema = def.DerivedSchema(FactSchema());
+  ASSERT_EQ(schema.num_columns(), 4u);
+  EXPECT_EQ(schema.column(0).name, "region");
+  EXPECT_EQ(schema.column(1).name, "count_big");
+  EXPECT_EQ(schema.column(1).type, TypeId::kInt64);
+  EXPECT_EQ(schema.column(2).name, "total");
+  EXPECT_EQ(schema.column(2).type, TypeId::kDouble);
+  EXPECT_EQ(schema.column(3).name, "units");
+  EXPECT_EQ(schema.column(3).type, TypeId::kInt64);
+  EXPECT_EQ(def.CountColumnIndex(), 1u);
+  EXPECT_EQ(def.AggregateColumnIndex(0), 2u);
+}
+
+TEST(ViewDefinition, DerivedSchemaAvgStoresSum) {
+  ViewDefinition def = AggView();
+  def.aggregates = {{AggregateFunction::kAvg, 2, "avg_amount"}};
+  Schema schema = def.DerivedSchema(FactSchema());
+  EXPECT_EQ(schema.column(2).name, "avg_amount");
+  EXPECT_EQ(schema.column(2).type, TypeId::kDouble);
+}
+
+TEST(ViewDefinition, DerivedSchemaProjection) {
+  ViewDefinition def;
+  def.kind = ViewKind::kProjection;
+  def.fact_table = 1;
+  def.projection = {0, 2};
+  def.projection_key = {0};
+  Schema schema = def.DerivedSchema(FactSchema());
+  ASSERT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(schema.column(0).name, "id");
+  EXPECT_EQ(schema.column(1).name, "amount");
+}
+
+TEST(ViewDefinition, ValidateAcceptsGoodAggregate) {
+  EXPECT_TRUE(AggView().Validate(FactSchema()).ok());
+}
+
+TEST(ViewDefinition, ValidateRejectsBadViews) {
+  Schema fact = FactSchema();
+
+  ViewDefinition no_name = AggView();
+  no_name.name.clear();
+  EXPECT_FALSE(no_name.Validate(fact).ok());
+
+  ViewDefinition no_group = AggView();
+  no_group.group_by.clear();
+  EXPECT_FALSE(no_group.Validate(fact).ok());
+
+  ViewDefinition bad_col = AggView();
+  bad_col.group_by = {99};
+  EXPECT_FALSE(bad_col.Validate(fact).ok());
+
+  ViewDefinition sum_string = AggView();
+  sum_string.aggregates = {{AggregateFunction::kSum, 1, "s"}};
+  EXPECT_FALSE(sum_string.Validate(fact).ok());
+
+  ViewDefinition explicit_count = AggView();
+  explicit_count.aggregates = {{AggregateFunction::kCount, -1, "c"}};
+  EXPECT_FALSE(explicit_count.Validate(fact).ok());
+
+  ViewDefinition avg_int = AggView();
+  avg_int.aggregates = {{AggregateFunction::kAvg, 3, "a"}};
+  EXPECT_FALSE(avg_int.Validate(fact).ok());  // AVG requires DOUBLE
+
+  ViewDefinition unnamed_agg = AggView();
+  unnamed_agg.aggregates = {{AggregateFunction::kSum, 2, ""}};
+  EXPECT_FALSE(unnamed_agg.Validate(fact).ok());
+
+  ViewDefinition bad_filter = AggView();
+  bad_filter.filter = {{42, CompareOp::kEq, Value::Int64(1)}};
+  EXPECT_FALSE(bad_filter.Validate(fact).ok());
+
+  ViewDefinition proj_no_key;
+  proj_no_key.name = "p";
+  proj_no_key.kind = ViewKind::kProjection;
+  proj_no_key.fact_table = 1;
+  proj_no_key.projection = {0};
+  EXPECT_FALSE(proj_no_key.Validate(fact).ok());
+
+  ViewDefinition proj_key_oob;
+  proj_key_oob.name = "p";
+  proj_key_oob.kind = ViewKind::kProjection;
+  proj_key_oob.fact_table = 1;
+  proj_key_oob.projection = {0, 1};
+  proj_key_oob.projection_key = {5};  // indexes projected positions
+  EXPECT_FALSE(proj_key_oob.Validate(fact).ok());
+}
+
+TEST(ViewDefinition, JoinedSchemaConcatenates) {
+  Schema dim({{"rid", TypeId::kInt64}, {"zone", TypeId::kString}});
+  Schema joined = JoinedSchema(FactSchema(), &dim);
+  ASSERT_EQ(joined.num_columns(), 6u);
+  EXPECT_EQ(joined.column(4).name, "rid");
+  EXPECT_EQ(joined.column(5).name, "zone");
+  EXPECT_EQ(JoinedSchema(FactSchema(), nullptr).num_columns(), 4u);
+}
+
+TEST(ViewDefinition, EncodeDecodeRoundTrip) {
+  ViewDefinition def = AggView();
+  def.join = JoinSpec{7, 1};
+  def.filter = {{2, CompareOp::kGt, Value::Double(0.0)}};
+
+  std::string buf;
+  def.EncodeTo(&buf);
+  Slice input(buf);
+  ViewDefinition out;
+  ASSERT_TRUE(ViewDefinition::DecodeFrom(&input, &out).ok());
+  EXPECT_TRUE(input.empty());
+  EXPECT_EQ(out.name, def.name);
+  EXPECT_EQ(out.kind, def.kind);
+  EXPECT_EQ(out.fact_table, def.fact_table);
+  ASSERT_TRUE(out.join.has_value());
+  EXPECT_EQ(out.join->dimension_table, 7u);
+  EXPECT_EQ(out.join->fact_column, 1);
+  ASSERT_EQ(out.filter.size(), 1u);
+  EXPECT_EQ(out.filter[0].column, 2);
+  EXPECT_EQ(out.filter[0].op, CompareOp::kGt);
+  EXPECT_EQ(out.group_by, def.group_by);
+  ASSERT_EQ(out.aggregates.size(), 2u);
+  EXPECT_EQ(out.aggregates[1].name, "units");
+}
+
+TEST(ViewDefinition, EncodeDecodeProjection) {
+  ViewDefinition def;
+  def.name = "proj";
+  def.kind = ViewKind::kProjection;
+  def.fact_table = 3;
+  def.projection = {0, 2, 3};
+  def.projection_key = {0, 1};
+  std::string buf;
+  def.EncodeTo(&buf);
+  Slice input(buf);
+  ViewDefinition out;
+  ASSERT_TRUE(ViewDefinition::DecodeFrom(&input, &out).ok());
+  EXPECT_EQ(out.projection, def.projection);
+  EXPECT_EQ(out.projection_key, def.projection_key);
+}
+
+TEST(FinalizeViewRowTest, AvgDerivedFromSumAndCount) {
+  ViewDefinition def = AggView();
+  def.aggregates = {{AggregateFunction::kAvg, 2, "avg_amount"}};
+  // stored: [region, count=4, sum=10.0]
+  Row stored = {Value::String("eu"), Value::Int64(4), Value::Double(10.0)};
+  Row out = FinalizeViewRow(def, stored);
+  EXPECT_EQ(out[2].AsDouble(), 2.5);
+  // SUM columns pass through.
+  ViewDefinition sums = AggView();
+  Row stored2 = {Value::String("eu"), Value::Int64(4), Value::Double(10.0),
+                 Value::Int64(7)};
+  Row out2 = FinalizeViewRow(sums, stored2);
+  EXPECT_EQ(out2[2].AsDouble(), 10.0);
+  EXPECT_EQ(out2[3].AsInt64(), 7);
+}
+
+TEST(FinalizeViewRowTest, ProjectionPassesThrough) {
+  ViewDefinition def;
+  def.kind = ViewKind::kProjection;
+  Row stored = {Value::Int64(1), Value::String("x")};
+  Row out = FinalizeViewRow(def, stored);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out[0] == stored[0]);
+}
+
+}  // namespace
+}  // namespace ivdb

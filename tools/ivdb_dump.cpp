@@ -1,0 +1,167 @@
+// ivdb_dump — offline inspection of a database directory (the moral
+// equivalent of RocksDB's `ldb`): prints the checkpoint's catalog and index
+// statistics, and decodes the write-ahead log record by record.
+//
+//   ivdb_dump <dir>            # summary: checkpoint + log statistics
+//   ivdb_dump <dir> --wal      # every WAL record, decoded
+//   ivdb_dump <dir> --catalog  # tables, views, secondary indexes
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/file_util.h"
+#include "engine/snapshot.h"
+#include "storage/btree.h"
+#include "wal/log_manager.h"
+
+using namespace ivdb;
+
+namespace {
+
+int DumpCatalog(const SnapshotImage& image) {
+  std::printf("checkpoint LSN: %llu, clock: %llu, next txn id: %llu\n\n",
+              static_cast<unsigned long long>(image.checkpoint_lsn),
+              static_cast<unsigned long long>(image.clock_ts),
+              static_cast<unsigned long long>(image.next_txn_id));
+  std::printf("tables (%zu):\n", image.tables.size());
+  for (const auto& t : image.tables) {
+    std::printf("  [%u] %s %s  pk(", t.id, t.name.c_str(),
+                t.schema.ToString().c_str());
+    for (size_t i = 0; i < t.key_columns.size(); i++) {
+      std::printf("%s%d", i ? "," : "", t.key_columns[i]);
+    }
+    std::printf(")\n");
+  }
+  std::printf("\nindexed views (%zu):\n", image.views.size());
+  for (const auto& v : image.views) {
+    std::printf("  [%u] %s  kind=%s fact=%u", v.id, v.def.name.c_str(),
+                v.def.kind == ViewKind::kAggregate ? "aggregate"
+                                                   : "projection",
+                v.def.fact_table);
+    if (v.def.join.has_value()) {
+      std::printf(" join(dim=%u on col %d)", v.def.join->dimension_table,
+                  v.def.join->fact_column);
+    }
+    if (!v.def.filter.empty()) {
+      std::printf(" where ");
+      for (size_t i = 0; i < v.def.filter.size(); i++) {
+        std::printf("%s%s", i ? " and " : "",
+                    v.def.filter[i].ToString().c_str());
+      }
+    }
+    if (v.def.kind == ViewKind::kAggregate) {
+      std::printf(" group_by(");
+      for (size_t i = 0; i < v.def.group_by.size(); i++) {
+        std::printf("%s%d", i ? "," : "", v.def.group_by[i]);
+      }
+      std::printf(") aggs(");
+      for (size_t i = 0; i < v.def.aggregates.size(); i++) {
+        const AggregateSpec& a = v.def.aggregates[i];
+        std::printf("%s%s(%d) as %s", i ? ", " : "",
+                    AggregateFunctionName(a.func), a.column, a.name.c_str());
+        if (a.min_value.has_value()) {
+          std::printf(" min=%lld", static_cast<long long>(*a.min_value));
+        }
+      }
+      std::printf(")");
+    }
+    std::printf("\n");
+  }
+  std::printf("\nsecondary indexes (%zu):\n", image.secondary_indexes.size());
+  for (const auto& idx : image.secondary_indexes) {
+    std::printf("  [%u] %s on table %u cols(", idx.id, idx.name.c_str(),
+                idx.table_id);
+    for (size_t i = 0; i < idx.columns.size(); i++) {
+      std::printf("%s%d", i ? "," : "", idx.columns[i]);
+    }
+    std::printf(")\n");
+  }
+  std::printf("\nindex contents:\n");
+  for (const auto& [id, payload] : image.indexes) {
+    BTree tree;
+    Slice input(payload);
+    if (!tree.DeserializeFrom(&input).ok()) {
+      std::printf("  [%u] <corrupt payload>\n", id);
+      continue;
+    }
+    std::printf("  [%u] %llu entries, depth %d, %zu snapshot bytes\n", id,
+                static_cast<unsigned long long>(tree.size()), tree.Depth(),
+                payload.size());
+  }
+  return 0;
+}
+
+int DumpWal(const std::vector<LogRecord>& records, bool verbose) {
+  std::map<std::string, int> counts;
+  std::map<TxnId, int> per_txn;
+  for (const LogRecord& rec : records) {
+    counts[LogRecordTypeName(rec.type)]++;
+    per_txn[rec.txn_id]++;
+    if (verbose) std::printf("%s\n", rec.ToString().c_str());
+  }
+  std::printf("\n%zu records, %zu transactions\n", records.size(),
+              per_txn.size());
+  for (const auto& [type, n] : counts) {
+    std::printf("  %-12s %d\n", type.c_str(), n);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <dir> [--wal | --catalog]\n"
+                 "  inspects an ivdb database directory offline\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string dir = argv[1];
+  std::string mode = argc > 2 ? argv[2] : "";
+
+  SnapshotImage image;
+  bool have_checkpoint = false;
+  std::string checkpoint_path = dir + "/checkpoint.db";
+  if (FileExists(checkpoint_path)) {
+    std::string contents;
+    Status s = ReadFileToString(checkpoint_path, &contents);
+    if (s.ok()) s = DecodeSnapshot(contents, &image);
+    if (!s.ok()) {
+      std::fprintf(stderr, "checkpoint unreadable: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    have_checkpoint = true;
+  }
+  std::vector<LogRecord> records;
+  Status s = LogManager::ReadAll(dir + "/wal.log", &records);
+  if (!s.ok()) {
+    std::fprintf(stderr, "wal unreadable: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  if (mode == "--catalog") {
+    if (!have_checkpoint) {
+      std::printf("no checkpoint file\n");
+      return 0;
+    }
+    return DumpCatalog(image);
+  }
+  if (mode == "--wal") {
+    return DumpWal(records, /*verbose=*/true);
+  }
+
+  std::printf("== %s ==\n", dir.c_str());
+  std::printf("checkpoint: %s\n",
+              have_checkpoint
+                  ? ("present (LSN " + std::to_string(image.checkpoint_lsn) +
+                     ", " + std::to_string(image.tables.size()) + " tables, " +
+                     std::to_string(image.views.size()) + " views, " +
+                     std::to_string(image.indexes.size()) + " indexes)")
+                        .c_str()
+                  : "absent");
+  DumpWal(records, /*verbose=*/false);
+  return 0;
+}
