@@ -1,5 +1,7 @@
 #include "catalog/catalog.h"
 
+#include "common/lock_order.h"
+
 namespace ivdb {
 
 Result<const TableInfo*> Catalog::CreateTable(const std::string& name,
@@ -14,6 +16,7 @@ Result<const TableInfo*> Catalog::CreateTable(const std::string& name,
       return Status::InvalidArgument("key column index out of range");
     }
   }
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   if (by_name_.count(name) != 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
@@ -30,6 +33,7 @@ Result<const TableInfo*> Catalog::CreateTable(const std::string& name,
 }
 
 Result<const TableInfo*> Catalog::GetTable(const std::string& name) const {
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
@@ -39,6 +43,7 @@ Result<const TableInfo*> Catalog::GetTable(const std::string& name) const {
 }
 
 Result<const TableInfo*> Catalog::GetTable(ObjectId id) const {
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   auto it = tables_.find(id);
   if (it == tables_.end()) {
@@ -48,6 +53,7 @@ Result<const TableInfo*> Catalog::GetTable(ObjectId id) const {
 }
 
 std::vector<const TableInfo*> Catalog::ListTables() const {
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   std::vector<const TableInfo*> out;
   out.reserve(tables_.size());
@@ -58,11 +64,13 @@ std::vector<const TableInfo*> Catalog::ListTables() const {
 }
 
 ObjectId Catalog::AllocateId() {
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   return next_id_++;
 }
 
 Status Catalog::RestoreTable(TableInfo info) {
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   if (by_name_.count(info.name) != 0 || tables_.count(info.id) != 0) {
     return Status::AlreadyExists("restore collision for '" + info.name + "'");
@@ -75,6 +83,7 @@ Status Catalog::RestoreTable(TableInfo info) {
 }
 
 void Catalog::AdvancePastId(ObjectId id) {
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   if (next_id_ <= id) next_id_ = id + 1;
 }
@@ -85,6 +94,7 @@ Result<const SecondaryIndexInfo*> Catalog::CreateSecondaryIndex(
   if (columns.empty()) {
     return Status::InvalidArgument("index requires at least one column");
   }
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   auto table_it = tables_.find(table_id);
   if (table_it == tables_.end()) {
@@ -111,6 +121,7 @@ Result<const SecondaryIndexInfo*> Catalog::CreateSecondaryIndex(
 }
 
 Status Catalog::RestoreSecondaryIndex(SecondaryIndexInfo info) {
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   if (indexes_by_name_.count(info.name) != 0 ||
       indexes_.count(info.id) != 0) {
@@ -125,6 +136,7 @@ Status Catalog::RestoreSecondaryIndex(SecondaryIndexInfo info) {
 
 Result<const SecondaryIndexInfo*> Catalog::GetSecondaryIndex(
     const std::string& name) const {
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   auto it = indexes_by_name_.find(name);
   if (it == indexes_by_name_.end()) {
@@ -135,6 +147,7 @@ Result<const SecondaryIndexInfo*> Catalog::GetSecondaryIndex(
 
 std::vector<const SecondaryIndexInfo*> Catalog::ListSecondaryIndexes(
     ObjectId table_id) const {
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   std::vector<const SecondaryIndexInfo*> out;
   for (const auto& [id, info] : indexes_) {
@@ -145,6 +158,7 @@ std::vector<const SecondaryIndexInfo*> Catalog::ListSecondaryIndexes(
 
 std::vector<const SecondaryIndexInfo*> Catalog::ListAllSecondaryIndexes()
     const {
+  IVDB_LOCK_ORDER(LockRank::kCatalog);
   std::lock_guard<std::mutex> guard(mu_);
   std::vector<const SecondaryIndexInfo*> out;
   out.reserve(indexes_.size());

@@ -1,0 +1,59 @@
+#ifndef IVDB_COMMON_INVARIANT_H_
+#define IVDB_COMMON_INVARIANT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Debug-build invariant checking, distinct from IVDB_CHECK (logging.h):
+// IVDB_CHECK stays on in every build because its conditions are O(1) and
+// guard against catastrophic silent corruption; IVDB_ASSERT/IVDB_INVARIANT
+// may be arbitrarily expensive (chain scans, re-decodes) and are compiled
+// out of optimized builds.
+//
+// Activation: on unless NDEBUG is defined, and forced on in any build by
+// IVDB_ENABLE_CHECKS (the IVDB_CHECKS CMake option, default ON; the
+// `release` preset turns it off so NDEBUG compiles the checkers out).
+#if !defined(IVDB_CHECKS_ENABLED)
+#if defined(IVDB_ENABLE_CHECKS) || !defined(NDEBUG)
+#define IVDB_CHECKS_ENABLED 1
+#else
+#define IVDB_CHECKS_ENABLED 0
+#endif
+#endif
+
+namespace ivdb {
+
+#if IVDB_CHECKS_ENABLED
+
+#define IVDB_ASSERT(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "IVDB_ASSERT failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define IVDB_INVARIANT(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "IVDB_INVARIANT violated at %s:%d: %s (%s)\n",   \
+                   __FILE__, __LINE__, #cond, (msg));                       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#else
+
+#define IVDB_ASSERT(cond) ((void)0)
+#define IVDB_INVARIANT(cond, msg) ((void)0)
+
+#endif  // IVDB_CHECKS_ENABLED
+
+// True when the invariant/lock-order checkers are compiled into this build
+// (lets tests skip rather than fail where the checkers are absent).
+constexpr bool ChecksEnabled() { return IVDB_CHECKS_ENABLED != 0; }
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_INVARIANT_H_

@@ -1,0 +1,103 @@
+#ifndef IVDB_COMMON_LOCK_ORDER_H_
+#define IVDB_COMMON_LOCK_ORDER_H_
+
+#include "common/invariant.h"
+
+// Runtime lock-acquisition-order checker.
+//
+// Every long-lived mutex in the engine has a rank; a thread may only acquire
+// a mutex whose rank is strictly greater than every rank it already holds.
+// The total order below is the one the commit path actually uses:
+//
+//   TxnManager::active_mu_      (10)   Begin / FinishTxn / quiesce gate
+//   TxnManager::visibility_mu_  (20)   commit-ts draw + version flip
+//   LockManager::mu_            (30)   the lock table
+//   VersionStore::mu_           (40)   version chains (+ atomic note+apply)
+//   LogManager::flush_mu_       (50)   group-commit leader election
+//   LogManager::buf_mu_         (60)   WAL append buffer (innermost)
+//   Catalog::mu_                (70)   leaf: never held across calls out
+//
+// e.g. Commit holds visibility_mu_ (20) while appending the COMMIT record
+// (60) and flipping versions (40); ApplyIncrement holds the version-store
+// mutex (40) while appending the INCREMENT record (60); the group-commit
+// leader holds flush_mu_ (50) while swapping the buffer (60).
+//
+// Each locking site declares itself with IVDB_LOCK_ORDER(rank) immediately
+// before taking the mutex. The tracker keeps a per-thread stack of held
+// ranks; an out-of-order acquisition prints the thread's held-lock stack
+// plus the ordering cycle it would create, then aborts. Everything compiles
+// to nothing when the checkers are off (NDEBUG without IVDB_ENABLE_CHECKS),
+// so release builds carry zero overhead.
+//
+// Condition-variable waits release and reacquire the mutex inside one
+// guard scope; the tracker intentionally keeps the rank on the stack for
+// the whole scope (conservative: the wait itself never acquires further
+// locks on this thread).
+
+namespace ivdb {
+
+enum class LockRank : int {
+  kTxnActive = 10,
+  kTxnVisibility = 20,
+  kLockManager = 30,
+  kVersionStore = 40,
+  kWalFlush = 50,
+  kWalBuffer = 60,
+  kCatalog = 70,
+};
+
+#if IVDB_CHECKS_ENABLED
+
+// Records that the calling thread is about to acquire a mutex of `rank`.
+// Aborts with a report if a held rank is >= `rank`.
+void LockOrderAcquire(LockRank rank, const char* name);
+
+// Records release. Tolerates non-LIFO release (unique_lock::unlock()).
+void LockOrderRelease(LockRank rank);
+
+// Number of ranks the calling thread currently holds (tests).
+int LockOrderDepth();
+
+class LockOrderScope {
+ public:
+  LockOrderScope(LockRank rank, const char* name) : rank_(rank) {
+    LockOrderAcquire(rank, name);
+  }
+  ~LockOrderScope() { LockOrderRelease(rank_); }
+
+  LockOrderScope(const LockOrderScope&) = delete;
+  LockOrderScope& operator=(const LockOrderScope&) = delete;
+
+ private:
+  LockRank rank_;
+};
+
+#define IVDB_LOCK_ORDER_CAT2(a, b) a##b
+#define IVDB_LOCK_ORDER_CAT(a, b) IVDB_LOCK_ORDER_CAT2(a, b)
+// Declare immediately BEFORE constructing the guard for the ranked mutex;
+// the scope must enclose the guard so release tracking matches.
+#define IVDB_LOCK_ORDER(rank)                                        \
+  ::ivdb::LockOrderScope IVDB_LOCK_ORDER_CAT(ivdb_lock_order_scope_, \
+                                             __LINE__)((rank), #rank)
+
+#else
+
+inline void LockOrderAcquire(LockRank, const char*) {}
+inline void LockOrderRelease(LockRank) {}
+inline int LockOrderDepth() { return 0; }
+
+class LockOrderScope {
+ public:
+  LockOrderScope(LockRank, const char*) {}
+
+  LockOrderScope(const LockOrderScope&) = delete;
+  LockOrderScope& operator=(const LockOrderScope&) = delete;
+};
+
+#define IVDB_LOCK_ORDER(rank) ((void)0)
+
+#endif  // IVDB_CHECKS_ENABLED
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_LOCK_ORDER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "common/lock_order.h"
 #include "common/logging.h"
 
 namespace ivdb {
@@ -22,11 +23,13 @@ std::string ResourceId::ToString() const {
 }
 
 Status LockManager::Lock(TxnId txn, const ResourceId& res, LockMode mode) {
+  IVDB_LOCK_ORDER(LockRank::kLockManager);
   std::unique_lock<std::mutex> guard(mu_);
   return LockInternal(txn, res, mode, /*wait=*/true, &guard);
 }
 
 Status LockManager::TryLock(TxnId txn, const ResourceId& res, LockMode mode) {
+  IVDB_LOCK_ORDER(LockRank::kLockManager);
   std::unique_lock<std::mutex> guard(mu_);
   return LockInternal(txn, res, mode, /*wait=*/false, &guard);
 }
@@ -253,6 +256,7 @@ void LockManager::EraseRequest(TxnId txn, const ResourceId& res,
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
+  IVDB_LOCK_ORDER(LockRank::kLockManager);
   std::unique_lock<std::mutex> guard(mu_);
   auto it = txn_locks_.find(txn);
   if (it != txn_locks_.end()) {
@@ -269,6 +273,7 @@ void LockManager::ReleaseAll(TxnId txn) {
 }
 
 void LockManager::Unlock(TxnId txn, const ResourceId& res) {
+  IVDB_LOCK_ORDER(LockRank::kLockManager);
   std::unique_lock<std::mutex> guard(mu_);
   auto queue_it = queues_.find(res);
   if (queue_it == queues_.end()) return;
@@ -300,6 +305,7 @@ LockMode LockManager::HeldModeLocked(TxnId txn, const ResourceId& res) const {
 }
 
 LockMode LockManager::HeldMode(TxnId txn, const ResourceId& res) const {
+  IVDB_LOCK_ORDER(LockRank::kLockManager);
   std::unique_lock<std::mutex> guard(mu_);
   return HeldModeLocked(txn, res);
 }
@@ -351,8 +357,7 @@ void LockManager::TryEscalateLocked(TxnId txn, uint32_t object_id) {
       }
     }
   } else {
-    LockRequest req{txn, target, LockMode::kNL, false};
-    queue->requests.push_back(req);
+    queue->requests.push_back(LockRequest{txn, target, LockMode::kNL, false});
     auto inserted = std::prev(queue->requests.end());
     if (CanGrant(*queue, *inserted)) {
       inserted->granted = true;
@@ -377,6 +382,7 @@ void LockManager::TryEscalateLocked(TxnId txn, uint32_t object_id) {
 }
 
 int LockManager::NumHolders(const ResourceId& res) const {
+  IVDB_LOCK_ORDER(LockRank::kLockManager);
   std::unique_lock<std::mutex> guard(mu_);
   auto queue_it = queues_.find(res);
   if (queue_it == queues_.end()) return 0;

@@ -2,7 +2,52 @@
 
 #include <algorithm>
 
+#include "common/invariant.h"
+#include "common/lock_order.h"
+
 namespace ivdb {
+
+#if IVDB_CHECKS_ENABLED
+namespace {
+
+// Structural invariants of one version chain (mu_ held):
+//  - committed values appear before pendings, in ascending superseded_ts;
+//  - every pending entry (value or delta) carries a live owner;
+//  - at most one pending value version per owner.
+// (Template so the private Chain type is deduced, not named.)
+template <typename ChainT>
+void CheckChainInvariants(const ChainT& chain) {
+  uint64_t prev_ts = 0;
+  bool seen_pending = false;
+  uint64_t pending_owners_seen = 0;
+  for (const auto& v : chain.values) {
+    if (v.superseded_ts == 0) {
+      IVDB_INVARIANT(v.owner != 0, "pending value version must have an owner");
+      for (const auto& w : chain.values) {
+        if (&w != &v && w.superseded_ts == 0 && w.owner == v.owner) {
+          IVDB_INVARIANT(false, "duplicate pending value version for one txn");
+        }
+      }
+      seen_pending = true;
+      pending_owners_seen++;
+      continue;
+    }
+    IVDB_INVARIANT(!seen_pending,
+                   "committed value version ordered after a pending one");
+    IVDB_INVARIANT(v.superseded_ts >= prev_ts,
+                   "committed value versions out of superseded_ts order");
+    prev_ts = v.superseded_ts;
+  }
+  (void)pending_owners_seen;
+  for (const auto& d : chain.deltas) {
+    if (d.commit_ts == 0) {
+      IVDB_INVARIANT(d.owner != 0, "pending delta must have an owner");
+    }
+  }
+}
+
+}  // namespace
+#endif  // IVDB_CHECKS_ENABLED
 
 void VersionStore::NotePendingWriteLocked(uint32_t object_id, const Slice& key,
                                           std::optional<std::string> old_value,
@@ -23,6 +68,7 @@ void VersionStore::NotePendingWriteLocked(uint32_t object_id, const Slice& key,
 void VersionStore::NotePendingWrite(uint32_t object_id, const Slice& key,
                                     std::optional<std::string> old_value,
                                     TxnId txn) {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
   NotePendingWriteLocked(object_id, key, std::move(old_value), txn);
 }
@@ -66,6 +112,7 @@ void VersionStore::NotePendingIncrementLocked(
 void VersionStore::NotePendingIncrement(uint32_t object_id, const Slice& key,
                                         const std::vector<ColumnDelta>& deltas,
                                         TxnId txn) {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
   NotePendingIncrementLocked(object_id, key, deltas, txn,
                              /*create_pending=*/true);
@@ -77,6 +124,7 @@ Status VersionStore::ApplyIncrement(uint32_t object_id, const Slice& key,
                                     BTree* tree,
                                     const std::vector<ColumnBound>* bounds,
                                     const std::function<Status()>& pre_apply) {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
 
   if (bounds != nullptr && !bounds->empty()) {
@@ -133,6 +181,7 @@ Status VersionStore::ApplyIncrement(uint32_t object_id, const Slice& key,
 
 std::vector<std::vector<ColumnDelta>> VersionStore::PendingDeltas(
     uint32_t object_id, const Slice& key, TxnId exclude_txn) const {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
   std::vector<std::vector<ColumnDelta>> out;
   auto it = chains_.find(ChainKey{object_id, key.ToString()});
@@ -149,6 +198,7 @@ Status VersionStore::ApplyWithPendingWrite(
     uint32_t object_id, const Slice& key,
     std::optional<std::string> old_value, TxnId txn,
     const std::function<Status()>& apply) {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
   IVDB_RETURN_NOT_OK(apply());
   NotePendingWriteLocked(object_id, key, std::move(old_value), txn);
@@ -156,6 +206,7 @@ Status VersionStore::ApplyWithPendingWrite(
 }
 
 void VersionStore::Commit(TxnId txn, uint64_t commit_ts) {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
   auto it = pending_.find(txn);
   if (it == pending_.end()) return;
@@ -185,11 +236,15 @@ void VersionStore::Commit(TxnId txn, uint64_t commit_ts) {
                                                           : b.superseded_ts;
                        return ta < tb;
                      });
+#if IVDB_CHECKS_ENABLED
+    CheckChainInvariants(chain);
+#endif
   }
   pending_.erase(it);
 }
 
 void VersionStore::Abort(TxnId txn) {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
   auto it = pending_.find(txn);
   if (it == pending_.end()) return;
@@ -211,6 +266,10 @@ void VersionStore::Abort(TxnId txn) {
         chain.deltas.end());
     if (chain.values.empty() && chain.deltas.empty()) {
       chains_.erase(chain_it);
+    } else {
+#if IVDB_CHECKS_ENABLED
+      CheckChainInvariants(chain);
+#endif
     }
   }
   pending_.erase(it);
@@ -271,6 +330,7 @@ VersionStore::SnapshotView VersionStore::GetAsOfLocked(
 VersionStore::SnapshotView VersionStore::GetAsOf(uint32_t object_id,
                                                  const Slice& key,
                                                  uint64_t snapshot_ts) const {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
   return GetAsOfLocked(object_id, key, snapshot_ts);
 }
@@ -278,6 +338,7 @@ VersionStore::SnapshotView VersionStore::GetAsOf(uint32_t object_id,
 VersionStore::SnapshotView VersionStore::GetAsOfConsistent(
     uint32_t object_id, const Slice& key, uint64_t snapshot_ts,
     const BTree* tree, std::optional<std::string>* physical) const {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
   SnapshotView view = GetAsOfLocked(object_id, key, snapshot_ts);
   physical->reset();
@@ -290,6 +351,7 @@ VersionStore::SnapshotView VersionStore::GetAsOfConsistent(
 
 std::vector<std::string> VersionStore::ListChainKeys(
     uint32_t object_id) const {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
   std::vector<std::string> keys;
   for (auto it = chains_.lower_bound(ChainKey{object_id, ""});
@@ -300,6 +362,7 @@ std::vector<std::string> VersionStore::ListChainKeys(
 }
 
 uint64_t VersionStore::GarbageCollect(uint64_t oldest_active_ts) {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
   uint64_t reclaimed = 0;
   for (auto it = chains_.begin(); it != chains_.end();) {
@@ -328,6 +391,7 @@ uint64_t VersionStore::GarbageCollect(uint64_t oldest_active_ts) {
 }
 
 uint64_t VersionStore::TotalEntries() const {
+  IVDB_LOCK_ORDER(LockRank::kVersionStore);
   std::lock_guard<std::mutex> guard(mu_);
   uint64_t n = 0;
   for (const auto& [ck, chain] : chains_) {

@@ -1,5 +1,7 @@
 #include "txn/txn_manager.h"
 
+#include "common/invariant.h"
+#include "common/lock_order.h"
 #include "common/logging.h"
 
 namespace ivdb {
@@ -14,6 +16,7 @@ TransactionManager::TransactionManager(LockManager* lock_manager,
       applier_(applier) {}
 
 Transaction* TransactionManager::Begin(ReadMode read_mode) {
+  IVDB_LOCK_ORDER(LockRank::kTxnActive);
   std::unique_lock<std::mutex> active_guard(active_mu_);
   active_cv_.wait(active_guard, [this] { return !quiescing_; });
   TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
@@ -21,6 +24,7 @@ Transaction* TransactionManager::Begin(ReadMode read_mode) {
   {
     // Serialized against commit-visibility conversion: a begin timestamp
     // drawn here is strictly ordered w.r.t. every commit timestamp.
+    IVDB_LOCK_ORDER(LockRank::kTxnVisibility);
     std::lock_guard<std::mutex> vis_guard(visibility_mu_);
     begin_ts = clock_.Tick();
   }
@@ -36,10 +40,12 @@ Transaction* TransactionManager::BeginSystem() {
   // System transactions bypass the quiesce gate deliberately: they are
   // spawned by in-flight user transactions, and making them wait on a
   // checkpoint that itself waits for those user transactions would deadlock.
+  IVDB_LOCK_ORDER(LockRank::kTxnActive);
   std::unique_lock<std::mutex> active_guard(active_mu_);
   TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   uint64_t begin_ts;
   {
+    IVDB_LOCK_ORDER(LockRank::kTxnVisibility);
     std::lock_guard<std::mutex> vis_guard(visibility_mu_);
     begin_ts = clock_.Tick();
   }
@@ -131,8 +137,11 @@ Status TransactionManager::Commit(Transaction* txn) {
 
   LogRecord commit;
   {
+    IVDB_LOCK_ORDER(LockRank::kTxnVisibility);
     std::lock_guard<std::mutex> vis_guard(visibility_mu_);
     uint64_t commit_ts = clock_.Tick();
+    IVDB_INVARIANT(commit_ts > txn->begin_ts(),
+                   "commit timestamp must follow the begin timestamp");
     txn->set_commit_ts(commit_ts);
     commit.type = LogRecordType::kCommit;
     commit.txn_id = txn->id();
@@ -235,6 +244,7 @@ Status TransactionManager::RollbackToSavepoint(Transaction* txn,
 void TransactionManager::FinishTxn(Transaction* txn, TxnState final_state) {
   lock_manager_->ReleaseAll(txn->id());
   txn->set_state(final_state);
+  IVDB_LOCK_ORDER(LockRank::kTxnActive);
   std::lock_guard<std::mutex> guard(active_mu_);
   auto it = active_.find(txn->id());
   if (it != active_.end()) {
@@ -245,6 +255,7 @@ void TransactionManager::FinishTxn(Transaction* txn, TxnState final_state) {
 }
 
 uint64_t TransactionManager::OldestActiveTs() const {
+  IVDB_LOCK_ORDER(LockRank::kTxnActive);
   std::lock_guard<std::mutex> guard(active_mu_);
   if (active_.empty()) return clock_.Peek();
   uint64_t oldest = UINT64_MAX;
@@ -255,23 +266,27 @@ uint64_t TransactionManager::OldestActiveTs() const {
 }
 
 int TransactionManager::ActiveCount() const {
+  IVDB_LOCK_ORDER(LockRank::kTxnActive);
   std::lock_guard<std::mutex> guard(active_mu_);
   return static_cast<int>(active_.size());
 }
 
 void TransactionManager::BeginQuiesce() {
+  IVDB_LOCK_ORDER(LockRank::kTxnActive);
   std::unique_lock<std::mutex> guard(active_mu_);
   quiescing_ = true;
   active_cv_.wait(guard, [this] { return active_.empty(); });
 }
 
 void TransactionManager::EndQuiesce() {
+  IVDB_LOCK_ORDER(LockRank::kTxnActive);
   std::lock_guard<std::mutex> guard(active_mu_);
   quiescing_ = false;
   active_cv_.notify_all();
 }
 
 void TransactionManager::Forget(Transaction* txn) {
+  IVDB_LOCK_ORDER(LockRank::kTxnActive);
   std::lock_guard<std::mutex> guard(active_mu_);
   finished_.erase(txn->id());
 }

@@ -10,6 +10,8 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "common/invariant.h"
+#include "common/lock_order.h"
 #include "common/logging.h"
 
 namespace ivdb {
@@ -37,8 +39,15 @@ Status LogManager::Open() {
 Status LogManager::Append(LogRecord* rec) {
   std::string body;
   // LSN must be assigned while holding buf_mu_ so buffer order == LSN order.
+  IVDB_LOCK_ORDER(LockRank::kWalBuffer);
   std::lock_guard<std::mutex> guard(buf_mu_);
   rec->lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
+  // WAL LSN monotonicity: every record appended must extend the buffered
+  // prefix — a regression here silently reorders recovery.
+  IVDB_INVARIANT(rec->lsn > buffered_upto_,
+                 "WAL LSN must advance past the buffered prefix");
+  IVDB_INVARIANT(rec->lsn > flushed_lsn_.load(std::memory_order_relaxed),
+                 "WAL LSN must advance past the flushed prefix");
   rec->EncodeTo(&body);
   PutFixed32(&buffer_, static_cast<uint32_t>(body.size()));
   PutFixed32(&buffer_, Crc32(body.data(), body.size()));
@@ -76,6 +85,7 @@ Status LogManager::WriteBatch(const std::string& batch) {
 }
 
 Status LogManager::Flush(Lsn upto) {
+  IVDB_LOCK_ORDER(LockRank::kWalFlush);
   std::unique_lock<std::mutex> lock(flush_mu_);
   while (flushed_lsn_.load(std::memory_order_acquire) < upto) {
     if (flusher_active_) {
@@ -99,6 +109,7 @@ Status LogManager::Flush(Lsn upto) {
     std::string batch;
     Lsn batch_upto;
     {
+      IVDB_LOCK_ORDER(LockRank::kWalBuffer);
       std::lock_guard<std::mutex> buf_guard(buf_mu_);
       batch.swap(buffer_);
       batch_upto = buffered_upto_;
@@ -113,6 +124,8 @@ Status LogManager::Flush(Lsn upto) {
     }
     stats_.flushes.fetch_add(1, std::memory_order_relaxed);
     Lsn prev = flushed_lsn_.load(std::memory_order_relaxed);
+    IVDB_INVARIANT(batch_upto >= prev || batch.empty(),
+                   "flushed LSN watermark may only advance");
     if (batch_upto > prev) {
       stats_.flushed_records.fetch_add(batch_upto - prev,
                                        std::memory_order_relaxed);
@@ -130,6 +143,7 @@ void LogManager::AdvancePastLsn(Lsn lsn) {
   Lsn f = flushed_lsn_.load(std::memory_order_relaxed);
   while (f < lsn && !flushed_lsn_.compare_exchange_weak(f, lsn)) {
   }
+  IVDB_LOCK_ORDER(LockRank::kWalBuffer);
   std::lock_guard<std::mutex> guard(buf_mu_);
   if (buffered_upto_ < lsn) buffered_upto_ = lsn;
 }
@@ -174,7 +188,9 @@ Status LogManager::ReadAll(const std::string& path,
 }
 
 Status LogManager::TruncateAll() {
+  IVDB_LOCK_ORDER(LockRank::kWalFlush);
   std::lock_guard<std::mutex> flush_guard(flush_mu_);
+  IVDB_LOCK_ORDER(LockRank::kWalBuffer);
   std::lock_guard<std::mutex> buf_guard(buf_mu_);
   buffer_.clear();
   if (fd_ >= 0) {

@@ -1,0 +1,428 @@
+// ivdb_lint — repo-local static checker (token/regex level, no libclang).
+//
+// Enforced rules (see docs/INTERNALS.md "Correctness tooling"):
+//   naked-mutex-lock   Never call .lock()/.unlock()/.try_lock() directly on a
+//                      mutex member (names ending in mu_/mutex_/latch_): use
+//                      std::lock_guard / std::unique_lock / std::shared_lock
+//                      so lock-order scopes and exceptions stay correct.
+//                      (unique_lock variables named `lock`/`guard` are fine.)
+//   raw-new-delete     No naked `new` / `delete`: ownership goes through
+//                      std::make_unique / containers (arena allocators, when
+//                      they arrive, get allowlisted here).
+//   own-header-first   Every src/**/*.cc includes its own header first, so
+//                      each header is verified self-contained.
+//   todo-owner         TODOs carry an owner: `TODO(name): ...`.
+//   include-guard      src/**/*.h opens with an IVDB_ include guard.
+//
+// Usage:
+//   ivdb_lint --root <repo> [--allowlist <file>]   lint the tree
+//   ivdb_lint --self-test                          verify each rule fires
+//
+// Allowlist file: one entry per line, `<rule-id> <path-substring>`;
+// lines starting with '#' are comments. A finding is suppressed when its
+// rule matches and its path contains the substring.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string path_substring;
+};
+
+// Replaces comments (unless `keep_comments`) and string/char literals
+// (unless `keep_literals`) with spaces, preserving newlines, so rule regexes
+// never fire inside them and line numbers survive. Handles // and /* */
+// comments, escapes, and raw strings.
+std::string StripCommentsAndLiterals(const std::string& in,
+                                     bool keep_comments = false,
+                                     bool keep_literals = false) {
+  std::string out = in;
+  size_t i = 0;
+  const size_t n = in.size();
+  auto blank = [&](size_t from, size_t to) {
+    for (size_t k = from; k < to && k < n; k++) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  auto skip = [&](size_t from, size_t to, bool erase) {
+    if (erase) blank(from, to);
+    i = to;
+  };
+  while (i < n) {
+    char c = in[i];
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      size_t end = in.find('\n', i);
+      if (end == std::string::npos) end = n;
+      skip(i, end, !keep_comments);
+    } else if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      size_t end = in.find("*/", i + 2);
+      end = (end == std::string::npos) ? n : end + 2;
+      skip(i, end, !keep_comments);
+    } else if (c == '"' || c == '\'') {
+      // Raw string literal? (R"tag( ... )tag")
+      if (c == '"' && i >= 1 && in[i - 1] == 'R') {
+        size_t paren = in.find('(', i);
+        if (paren != std::string::npos) {
+          std::string tag = in.substr(i + 1, paren - i - 1);
+          std::string closer = ")" + tag + "\"";
+          size_t end = in.find(closer, paren);
+          end = (end == std::string::npos) ? n : end + closer.size();
+          skip(i, end, !keep_literals);
+          continue;
+        }
+      }
+      size_t j = i + 1;
+      while (j < n && in[j] != c) {
+        if (in[j] == '\\') j++;
+        j++;
+      }
+      j = (j < n) ? j + 1 : n;
+      skip(i, j, !keep_literals);
+    } else {
+      i++;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool IsSourcePath(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+// --- Rules. Each takes the repo-relative path, raw content, and the
+//     comment/literal-stripped content. ---
+
+void CheckNakedMutexLock(const std::string& path, const std::string& stripped,
+                         std::vector<Finding>* findings) {
+  static const std::regex re(
+      R"(\b[A-Za-z0-9_]*(mu_|mutex_|latch_)\s*(\.|->)\s*(try_lock|lock|unlock)\s*\()");
+  const std::vector<std::string> lines = SplitLines(stripped);
+  for (size_t i = 0; i < lines.size(); i++) {
+    if (std::regex_search(lines[i], re)) {
+      findings->push_back({path, static_cast<int>(i + 1), "naked-mutex-lock",
+                           "direct mutex member lock/unlock; use a guard "
+                           "(std::lock_guard / std::unique_lock)"});
+    }
+  }
+}
+
+void CheckRawNewDelete(const std::string& path, const std::string& stripped,
+                       std::vector<Finding>* findings) {
+  static const std::regex re_new(R"(\bnew\b\s*[(A-Za-z_\[])");
+  static const std::regex re_delete(R"(\bdelete\b(\s*\[\s*\])?\s*[A-Za-z_(])");
+  const std::vector<std::string> lines = SplitLines(stripped);
+  for (size_t i = 0; i < lines.size(); i++) {
+    const std::string& line = lines[i];
+    if (std::regex_search(line, re_new)) {
+      findings->push_back({path, static_cast<int>(i + 1), "raw-new-delete",
+                           "raw `new`; use std::make_unique or a container"});
+    }
+    std::smatch m;
+    if (std::regex_search(line, m, re_delete)) {
+      // `= delete` (deleted special members) is not a deallocation.
+      size_t pos = static_cast<size_t>(m.position(0));
+      size_t prev = line.find_last_not_of(" \t", pos == 0 ? 0 : pos - 1);
+      bool deleted_fn = pos > 0 && prev != std::string::npos &&
+                        line[prev] == '=';
+      if (!deleted_fn) {
+        findings->push_back({path, static_cast<int>(i + 1), "raw-new-delete",
+                             "raw `delete`; ownership must be RAII-managed"});
+      }
+    }
+  }
+}
+
+void CheckOwnHeaderFirst(const std::string& path,
+                         const std::string& literals_kept,
+                         std::vector<Finding>* findings) {
+  // Applies to src/**/*.cc only (tests/bench/tools have no own header).
+  if (path.rfind("src/", 0) != 0) return;
+  if (path.size() < 3 || path.compare(path.size() - 3, 3, ".cc") != 0) return;
+  std::string expected = path.substr(4, path.size() - 4 - 3) + ".h";
+  static const std::regex re_include(R"(^\s*#\s*include\s*([<"])([^>"]+)[>"])");
+  const std::vector<std::string> lines = SplitLines(literals_kept);
+  for (size_t i = 0; i < lines.size(); i++) {
+    std::smatch m;
+    if (!std::regex_search(lines[i], m, re_include)) continue;
+    if (m[1] != "\"" || m[2] != expected) {
+      findings->push_back({path, static_cast<int>(i + 1), "own-header-first",
+                           "first include must be the file's own header \"" +
+                               expected + "\""});
+    }
+    return;  // only the first include matters
+  }
+}
+
+void CheckTodoOwner(const std::string& path, const std::string& comments_kept,
+                    std::vector<Finding>* findings) {
+  // TODOs live in comments, so this rule scans content with comments kept
+  // (string literals are still stripped).
+  static const std::regex re(R"(\bTODO\b)");
+  static const std::regex re_ok(
+      R"(^TODO\(\s*[A-Za-z_][A-Za-z0-9_.-]*\s*\))");
+  const std::vector<std::string> lines = SplitLines(comments_kept);
+  for (size_t i = 0; i < lines.size(); i++) {
+    const std::string& line = lines[i];
+    auto begin = std::sregex_iterator(line.begin(), line.end(), re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      std::string tail = line.substr(static_cast<size_t>(it->position(0)));
+      if (!std::regex_search(tail, re_ok)) {
+        findings->push_back({path, static_cast<int>(i + 1), "todo-owner",
+                             "TODO without owner; write `TODO(name): ...`"});
+      }
+    }
+  }
+}
+
+void CheckIncludeGuard(const std::string& path, const std::string& stripped,
+                       std::vector<Finding>* findings) {
+  if (path.rfind("src/", 0) != 0) return;
+  if (path.size() < 2 || path.compare(path.size() - 2, 2, ".h") != 0) return;
+  static const std::regex re_guard(R"(^\s*#\s*ifndef\s+IVDB_[A-Z0-9_]+_H_)");
+  for (const std::string& line : SplitLines(stripped)) {
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    if (std::regex_search(line, re_guard)) return;  // first real line is guard
+    findings->push_back({path, 1, "include-guard",
+                         "header must open with `#ifndef IVDB_..._H_`"});
+    return;
+  }
+}
+
+// Runs every rule over one file's content.
+void LintContent(const std::string& path, const std::string& raw,
+                 std::vector<Finding>* findings) {
+  const std::string stripped = StripCommentsAndLiterals(raw);
+  const std::string comments_kept =
+      StripCommentsAndLiterals(raw, /*keep_comments=*/true);
+  const std::string literals_kept = StripCommentsAndLiterals(
+      raw, /*keep_comments=*/false, /*keep_literals=*/true);
+  CheckNakedMutexLock(path, stripped, findings);
+  CheckRawNewDelete(path, stripped, findings);
+  CheckOwnHeaderFirst(path, literals_kept, findings);
+  CheckTodoOwner(path, comments_kept, findings);
+  CheckIncludeGuard(path, stripped, findings);
+}
+
+bool LoadAllowlist(const std::string& path, std::vector<AllowEntry>* entries) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream fields(line);
+    AllowEntry entry;
+    if (fields >> entry.rule >> entry.path_substring) {
+      entries->push_back(std::move(entry));
+    }
+  }
+  return true;
+}
+
+bool Allowlisted(const Finding& f, const std::vector<AllowEntry>& entries) {
+  for (const AllowEntry& e : entries) {
+    if (e.rule == f.rule &&
+        f.path.find(e.path_substring) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int LintTree(const fs::path& root, const std::string& allowlist_path) {
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "ivdb_lint: --root %s is not a directory\n",
+                 root.c_str());
+    return 2;
+  }
+  std::vector<AllowEntry> allow;
+  if (!allowlist_path.empty() && !LoadAllowlist(allowlist_path, &allow)) {
+    std::fprintf(stderr, "ivdb_lint: cannot read allowlist %s\n",
+                 allowlist_path.c_str());
+    return 2;
+  }
+  static const char* kDirs[] = {"src", "tests", "bench", "tools", "examples"};
+  std::vector<Finding> findings;
+  size_t files = 0;
+  for (const char* dir : kDirs) {
+    fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !IsSourcePath(entry.path())) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      LintContent(rel, buf.str(), &findings);
+      files++;
+    }
+  }
+  int reported = 0;
+  for (const Finding& f : findings) {
+    if (Allowlisted(f, allow)) continue;
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.path.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+    reported++;
+  }
+  std::fprintf(stderr, "ivdb_lint: %d finding(s) in %zu files\n", reported,
+               files);
+  return reported == 0 ? 0 : 1;
+}
+
+// --- Self-test: every rule must fire on a known-bad snippet, stay quiet on
+//     the good twin, and respect the allowlist. ---
+
+struct SelfCase {
+  const char* name;
+  const char* path;   // repo-relative pseudo-path (rules are path-sensitive)
+  const char* code;
+  const char* expect_rule;  // nullptr => expect clean
+};
+
+int SelfTest() {
+  const SelfCase cases[] = {
+      {"naked lock fires", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F() { mu_.lock(); }\n",
+       "naked-mutex-lock"},
+      {"naked unlock via pointer fires", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F(B* b) { b->latch_.unlock(); }\n",
+       "naked-mutex-lock"},
+      {"guard is fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F() { std::lock_guard<std::mutex> "
+       "g(mu_); }\n",
+       nullptr},
+      {"unique_lock relock is fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F(std::unique_lock<std::mutex>& lock) "
+       "{ lock.unlock(); lock.lock(); }\n",
+       nullptr},
+      {"raw new fires", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nint* P() { return new int(3); }\n",
+       "raw-new-delete"},
+      {"raw delete fires", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F(int* p) { delete p; }\n",
+       "raw-new-delete"},
+      {"deleted special member is fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nstruct S { S(const S&) = delete; };\n",
+       nullptr},
+      {"new in comment is fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\n// allocate a new thing below\nint x;\n",
+       nullptr},
+      {"wrong first include fires", "src/foo/bar.cc",
+       "#include <vector>\n#include \"foo/bar.h\"\n", "own-header-first"},
+      {"own header first is fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\n#include <vector>\n", nullptr},
+      {"ownerless TODO fires", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\n// TODO: make this faster\n", "todo-owner"},
+      {"owned TODO is fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\n// TODO(graefe): make this faster\n",
+       nullptr},
+      {"missing include guard fires", "src/foo/bar.h",
+       "#pragma once\nint x;\n", "include-guard"},
+      {"include guard is fine", "src/foo/bar.h",
+       "#ifndef IVDB_FOO_BAR_H_\n#define IVDB_FOO_BAR_H_\n#endif\n",
+       nullptr},
+  };
+
+  int failures = 0;
+  for (const SelfCase& c : cases) {
+    std::vector<Finding> findings;
+    LintContent(c.path, c.code, &findings);
+    bool fired = false;
+    for (const Finding& f : findings) {
+      if (c.expect_rule != nullptr && f.rule == c.expect_rule) fired = true;
+      if (c.expect_rule == nullptr) fired = true;  // any finding is a failure
+    }
+    bool ok = (c.expect_rule != nullptr) ? fired : !fired;
+    if (!ok) {
+      failures++;
+      std::fprintf(stderr, "self-test FAIL: %s (expected %s)\n", c.name,
+                   c.expect_rule != nullptr ? c.expect_rule : "clean");
+      for (const Finding& f : findings) {
+        std::fprintf(stderr, "  got %s:%d [%s]\n", f.path.c_str(), f.line,
+                     f.rule.c_str());
+      }
+    }
+  }
+
+  // Allowlisting: the same bad snippet must be suppressed by a matching
+  // entry and NOT suppressed by a non-matching one.
+  {
+    std::vector<Finding> findings;
+    LintContent("src/foo/bar.cc",
+                "#include \"foo/bar.h\"\nvoid F() { mu_.lock(); }\n",
+                &findings);
+    std::vector<AllowEntry> match = {{"naked-mutex-lock", "src/foo/"}};
+    std::vector<AllowEntry> wrong_rule = {{"raw-new-delete", "src/foo/"}};
+    std::vector<AllowEntry> wrong_path = {{"naked-mutex-lock", "src/baz/"}};
+    bool suppressed = !findings.empty() && Allowlisted(findings[0], match);
+    bool kept_rule = !findings.empty() && !Allowlisted(findings[0], wrong_rule);
+    bool kept_path = !findings.empty() && !Allowlisted(findings[0], wrong_path);
+    if (!suppressed || !kept_rule || !kept_path) {
+      failures++;
+      std::fprintf(stderr, "self-test FAIL: allowlist semantics\n");
+    }
+  }
+
+  if (failures == 0) {
+    std::fprintf(stderr, "ivdb_lint self-test: all rules verified\n");
+    return 0;
+  }
+  std::fprintf(stderr, "ivdb_lint self-test: %d failure(s)\n", failures);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string allowlist;
+  bool self_test = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--self-test") == 0) {
+      self_test = true;
+    } else if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--allowlist") == 0 && i + 1 < argc) {
+      allowlist = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: ivdb_lint --root <repo> [--allowlist <file>]\n"
+                   "       ivdb_lint --self-test\n");
+      return 2;
+    }
+  }
+  if (self_test) return SelfTest();
+  if (root.empty()) {
+    std::fprintf(stderr, "ivdb_lint: --root is required (or --self-test)\n");
+    return 2;
+  }
+  return LintTree(root, allowlist);
+}
