@@ -23,11 +23,12 @@ struct RecoveryResult {
   bool view_consistent = false;
 };
 
-RecoveryResult RunOnce(int txns, const std::string& dir) {
+// `env` lets the whole run (workload, crash, replay) go through a custom
+// Env — e.g. a FaultInjectionEnv — without touching the bench body.
+RecoveryResult RunOnce(int txns, const std::string& dir, Env* env = nullptr) {
   std::filesystem::remove_all(dir);
   {
-    DatabaseOptions options;
-    options.dir = dir;
+    DatabaseOptions options = DurableOptions(dir, env);
     options.flush_delay_micros = 0;  // measure replay, not commit latency
     SalesBench bench = SalesBench::Create(std::move(options), 16);
     std::atomic<int> remaining{txns};
@@ -62,12 +63,12 @@ RecoveryResult RunOnce(int txns, const std::string& dir) {
 
   RecoveryResult out;
   std::vector<LogRecord> records;
-  IVDB_CHECK(LogManager::ReadAll(dir + "/wal.log", &records).ok());
+  IVDB_CHECK(LogManager::ReadAll(dir + "/wal.log", &records, env).ok());
   out.log_records = records.size();
 
   uint64_t start = NowMicros();
-  DatabaseOptions options;
-  options.dir = dir;
+  DatabaseOptions options = DurableOptions(dir, env);
+  options.flush_delay_micros = 0;
   auto reopened = Database::Open(std::move(options));
   IVDB_CHECK_MSG(reopened.ok(), reopened.status().ToString().c_str());
   out.recovery_ms = (NowMicros() - start) / 1000.0;

@@ -126,9 +126,13 @@ struct SalesBench {
 // have appended to it.
 inline constexpr uint64_t kGroupCommitWindowMicros = 50;
 
-inline DatabaseOptions DurableOptions(const std::string& dir) {
+// `env` routes all file I/O through a custom Env (e.g. FaultInjectionEnv to
+// measure recovery under injected faults); nullptr means the real OS.
+inline DatabaseOptions DurableOptions(const std::string& dir,
+                                      Env* env = nullptr) {
   DatabaseOptions options;
   options.dir = dir;
+  options.env = env;
   options.flush_delay_micros = kCommitLatencyMicros;
   options.group_commit_window_micros = kGroupCommitWindowMicros;
   return options;

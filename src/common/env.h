@@ -1,0 +1,176 @@
+#ifndef IVDB_COMMON_ENV_H_
+#define IVDB_COMMON_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace ivdb {
+
+// An open file handle for sequential appends (the WAL, checkpoint temp
+// files). Sync() is the durability boundary: bytes appended before a
+// successful Sync() survive a crash; bytes after it may or may not.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const std::string& data) = 0;
+  // fdatasync-equivalent: everything appended so far reaches stable storage.
+  virtual Status Sync() = 0;
+  virtual Status Truncate(uint64_t size) = 0;
+  // Close is not a durability boundary; it never loses synced data.
+  virtual Status Close() = 0;
+};
+
+// The seam between the engine and the filesystem. All file I/O performed by
+// the WAL, the checkpoint path, and recovery goes through an Env, so tests
+// can substitute FaultInjectionEnv to inject torn writes, fsync failures,
+// transient errors, and exact power-loss states at any write/sync boundary.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Process-wide PosixEnv singleton (zero-overhead passthrough).
+  static Env* Default();
+
+  // Opens `path` for writing, creating it if needed. `truncate_existing`
+  // chooses between replace (checkpoint temp files) and append (the WAL).
+  // Creating a file also makes its directory entry durable.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate_existing) = 0;
+
+  // Reads an entire file into *out. NotFound if the file does not exist.
+  virtual Status ReadFileToString(const std::string& path,
+                                  std::string* out) = 0;
+
+  virtual Status RemoveFileIfExists(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status EnsureDirectory(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  // fsyncs a directory so renames/creations inside it survive a crash.
+  virtual Status SyncDirectory(const std::string& path) = 0;
+  // Names (not paths) of the entries in a directory.
+  virtual Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+
+  // Atomically replaces `path` with `contents`: write `path + ".tmp"`, sync
+  // it, rename over the target, sync the directory. Built from the virtual
+  // primitives above so every step is a fault-injection point. The temp file
+  // is removed on every error path; a crash can still strand one, which
+  // recovery must ignore (and may delete).
+  Status WriteStringToFileAtomic(const std::string& path,
+                                 const std::string& contents);
+};
+
+// Production Env: direct POSIX passthrough with no bookkeeping.
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate_existing) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  Status RemoveFileIfExists(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status EnsureDirectory(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status SyncDirectory(const std::string& path) override;
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+};
+
+// Deterministic fault-injecting Env (tests and fault benchmarks).
+//
+// Every mutating call — append, sync, truncate, rename, file creation,
+// directory creation, removal — is one "op" with a stable zero-based index.
+// Faults are scheduled against that index or against upcoming calls:
+//
+//   CrashAtOp(k)      The k-th mutating op (and everything after it) fails,
+//                     and the on-disk state freezes at the exact byte state
+//                     a power loss would leave: per file, everything up to
+//                     the last Sync survives, plus a seeded-random prefix of
+//                     the unsynced tail (modelling background writeback and
+//                     interrupted syncs — this is what makes torn/short
+//                     writes reachable).
+//   FailNextSyncs(n)  The next n Sync() calls fail with IOError, and the
+//                     file's unsynced bytes are dropped (the adversarial
+//                     outcome of a failed fsync: the data never reached the
+//                     device). The process lives on — this is how
+//                     commit-time fsync failure is simulated.
+//   FailNextReads(n)  The next n ReadFileToString calls fail with a
+//                     transient IOError.
+//
+// Writes pass through to the real filesystem; Sync() only advances the
+// tracked watermark (real fsync is pointless under simulated power loss),
+// which also makes crash-sweep loops fast on any filesystem.
+//
+// All randomness derives from the constructor seed, so a failing
+// (seed, crash index) pair replays exactly.
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(uint64_t seed, Env* base = nullptr);
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate_existing) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  Status RemoveFileIfExists(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status EnsureDirectory(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status SyncDirectory(const std::string& path) override;
+  Result<std::vector<std::string>> ListDirectory(
+      const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+
+  // --- fault scheduling ---
+  void CrashAtOp(int64_t op_index);
+  void FailNextSyncs(int count);
+  void FailNextReads(int count);
+
+  // Mutating ops successfully issued so far (== the next op's index).
+  int64_t ops_issued() const;
+  bool crashed() const;
+
+  // Implementation hooks for the WritableFile wrapper (not for callers):
+  // route one file mutation through the op counter and watermark tracking.
+  Status FileAppend(const std::string& path, WritableFile* base,
+                    const std::string& data);
+  Status FileSync(const std::string& path, WritableFile* base);
+  Status FileTruncate(const std::string& path, WritableFile* base,
+                      uint64_t size);
+
+ private:
+  struct FileState {
+    uint64_t written = 0;  // bytes handed to the filesystem
+    uint64_t synced = 0;   // bytes guaranteed to survive power loss
+  };
+
+  // Counts one mutating op; triggers the scheduled crash. Returns non-OK
+  // when the env is (or just became) crashed. Caller holds mu_.
+  Status BeforeMutationLocked(const char* what);
+  // Freezes every tracked file at its power-loss byte state. Holds mu_.
+  void FreezeLocked();
+
+  Env* base_;
+  mutable std::mutex mu_;
+  Random rng_;
+  int64_t ops_ = 0;
+  int64_t crash_at_ = -1;
+  int syncs_to_fail_ = 0;
+  int reads_to_fail_ = 0;
+  bool crashed_ = false;
+  std::map<std::string, FileState> files_;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_COMMON_ENV_H_

@@ -1,83 +1,32 @@
 #include "common/file_util.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
+#include "common/env.h"
 
 namespace ivdb {
 
+// Convenience wrappers over the default Env for call sites that are not
+// Env-parameterized (tools, tests). Engine code paths that must be
+// fault-injectable take an Env* instead of calling these.
+
 Status ReadFileToString(const std::string& path, std::string* out) {
-  out->clear();
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
-    return Status::IOError("open '" + path + "': " + std::strerror(errno));
-  }
-  char buf[1 << 16];
-  while (true) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return Status::IOError("read '" + path + "': " + std::strerror(errno));
-    }
-    if (n == 0) break;
-    out->append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  return Status::OK();
+  return Env::Default()->ReadFileToString(path, out);
 }
 
 Status WriteStringToFileAtomic(const std::string& path,
                                const std::string& contents) {
-  std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::IOError("open '" + tmp + "': " + std::strerror(errno));
-  }
-  size_t off = 0;
-  while (off < contents.size()) {
-    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return Status::IOError("write '" + tmp + "': " + std::strerror(errno));
-    }
-    off += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Status::IOError("fsync '" + tmp + "': " + std::strerror(errno));
-  }
-  ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError("rename '" + tmp + "' -> '" + path +
-                           "': " + std::strerror(errno));
-  }
-  return Status::OK();
+  return Env::Default()->WriteStringToFileAtomic(path, contents);
 }
 
 Status RemoveFileIfExists(const std::string& path) {
-  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
-    return Status::IOError("unlink '" + path + "': " + std::strerror(errno));
-  }
-  return Status::OK();
+  return Env::Default()->RemoveFileIfExists(path);
 }
 
 bool FileExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0;
+  return Env::Default()->FileExists(path);
 }
 
 Status EnsureDirectory(const std::string& path) {
-  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::IOError("mkdir '" + path + "': " + std::strerror(errno));
-  }
-  return Status::OK();
+  return Env::Default()->EnsureDirectory(path);
 }
 
 }  // namespace ivdb

@@ -7,12 +7,17 @@
 
 namespace ivdb {
 
+// Free-function convenience wrappers over Env::Default() (see common/env.h).
+// Code that must be testable under fault injection takes an Env* and calls
+// the equivalent methods on it instead.
+
 // Reads an entire file into *out. NotFound if the file does not exist.
 Status ReadFileToString(const std::string& path, std::string* out);
 
-// Atomically replaces `path` with `contents`: writes to a temp file in the
-// same directory, fsyncs, then renames over the target (checkpoint files
-// must never be observed half-written).
+// Atomically replaces `path` with `contents`: writes `path + ".tmp"`, fsyncs
+// it, renames over the target, and fsyncs the containing directory
+// (checkpoint files must never be observed half-written, and the rename
+// must not be lost to a crash). The temp file is cleaned up on error.
 Status WriteStringToFileAtomic(const std::string& path,
                                const std::string& contents);
 

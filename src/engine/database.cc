@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/coding.h"
-#include "common/file_util.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "engine/snapshot.h"
 
@@ -26,11 +26,13 @@ const char kEofGapResource[] = "\x03";
 
 Database::Database(DatabaseOptions options)
     : options_(std::move(options)),
+      env_(options_.env != nullptr ? options_.env : Env::Default()),
       locks_(LockManager::Options{options_.lock_wait_timeout,
                                   options_.detect_deadlocks,
                                   options_.lock_escalation_threshold}) {
   LogManagerOptions log_options;
   if (!options_.dir.empty()) log_options.path = WalPath();
+  log_options.env = env_;
   log_options.sync = options_.sync;
   log_options.flush_delay_micros = options_.flush_delay_micros;
   log_options.group_commit_window_micros =
@@ -51,7 +53,8 @@ Database::~Database() {
 
 Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   if (!options.dir.empty()) {
-    IVDB_RETURN_NOT_OK(EnsureDirectory(options.dir));
+    Env* env = options.env != nullptr ? options.env : Env::Default();
+    IVDB_RETURN_NOT_OK(env->EnsureDirectory(options.dir));
   }
   std::unique_ptr<Database> db(new Database(std::move(options)));
   IVDB_RETURN_NOT_OK(db->log_->Open());
@@ -974,7 +977,7 @@ Status Database::CheckpointLocked() {
   IVDB_RETURN_NOT_OK(log_->Flush(log_->last_lsn()));
   std::string encoded;
   IVDB_RETURN_NOT_OK(EncodeSnapshot(image, &encoded));
-  IVDB_RETURN_NOT_OK(WriteStringToFileAtomic(CheckpointPath(), encoded));
+  IVDB_RETURN_NOT_OK(env_->WriteStringToFileAtomic(CheckpointPath(), encoded));
   // Everything up to checkpoint_lsn is captured in the snapshot; the log can
   // restart empty.
   return log_->TruncateAll();
@@ -1033,10 +1036,22 @@ Status Database::RestoreFromImage(const SnapshotImage& image) {
 Status Database::Recover() {
   if (options_.dir.empty()) return Status::OK();
 
+  // A crash inside an atomic file replace can strand a half-written
+  // `*.tmp` file; it was never renamed into place, so its contents are
+  // garbage by definition. Sweep before reading anything.
+  IVDB_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                        env_->ListDirectory(options_.dir));
+  for (const std::string& name : entries) {
+    if (name.size() >= 4 &&
+        name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      IVDB_RETURN_NOT_OK(env_->RemoveFileIfExists(options_.dir + "/" + name));
+    }
+  }
+
   Lsn checkpoint_lsn = kInvalidLsn;
-  if (FileExists(CheckpointPath())) {
+  if (env_->FileExists(CheckpointPath())) {
     std::string contents;
-    IVDB_RETURN_NOT_OK(ReadFileToString(CheckpointPath(), &contents));
+    IVDB_RETURN_NOT_OK(env_->ReadFileToString(CheckpointPath(), &contents));
     SnapshotImage image;
     IVDB_RETURN_NOT_OK(DecodeSnapshot(contents, &image));
     IVDB_RETURN_NOT_OK(RestoreFromImage(image));
@@ -1044,7 +1059,7 @@ Status Database::Recover() {
   }
 
   std::vector<LogRecord> records;
-  IVDB_RETURN_NOT_OK(LogManager::ReadAll(WalPath(), &records));
+  IVDB_RETURN_NOT_OK(LogManager::ReadAll(WalPath(), &records, env_));
 
   // --- Analysis: transaction outcomes + chain index. ---
   struct TxnEntry {

@@ -67,6 +67,12 @@ struct DatabaseOptions {
   // Background ghost cleanup for every aggregate view.
   bool start_ghost_cleaner = false;
   uint64_t ghost_cleaner_interval_micros = 50000;
+
+  // File-system seam for all WAL/checkpoint/recovery I/O; nullptr =>
+  // Env::Default(). Tests inject a FaultInjectionEnv to simulate torn
+  // writes, fsync failures, and crashes at exact I/O boundaries. Must
+  // outlive the Database.
+  Env* env = nullptr;
 };
 
 struct ViewInfo {
@@ -269,6 +275,7 @@ class Database : public LogApplier, public IndexResolver {
       std::vector<std::pair<std::string, Row>> entries) const;
 
   DatabaseOptions options_;
+  Env* env_ = nullptr;  // options_.env resolved against Env::Default()
   Catalog catalog_;
   LockManager locks_;
   VersionStore versions_;

@@ -1,11 +1,6 @@
 #include "wal/log_manager.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <thread>
 
 #include "common/coding.h"
@@ -17,22 +12,17 @@
 namespace ivdb {
 
 LogManager::LogManager(LogManagerOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      env_(options_.env != nullptr ? options_.env : Env::Default()) {}
 
 LogManager::~LogManager() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  if (file_ != nullptr) file_->Close();
 }
 
 Status LogManager::Open() {
   if (options_.path.empty()) return Status::OK();  // in-memory log
-  fd_ = ::open(options_.path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd_ < 0) {
-    return Status::IOError("open '" + options_.path +
-                           "': " + std::strerror(errno));
-  }
+  IVDB_ASSIGN_OR_RETURN(
+      file_, env_->NewWritableFile(options_.path, /*truncate_existing=*/false));
   return Status::OK();
 }
 
@@ -59,22 +49,10 @@ Status LogManager::Append(LogRecord* rec) {
 }
 
 Status LogManager::WriteBatch(const std::string& batch) {
-  if (!batch.empty() && fd_ >= 0) {
-    size_t off = 0;
-    while (off < batch.size()) {
-      ssize_t n = ::write(fd_, batch.data() + off, batch.size() - off);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Status::IOError(std::string("log write: ") +
-                               std::strerror(errno));
-      }
-      off += static_cast<size_t>(n);
-    }
+  if (!batch.empty() && file_ != nullptr) {
+    IVDB_RETURN_NOT_OK(file_->Append(batch));
     if (options_.sync == SyncMode::kFsync) {
-      if (::fdatasync(fd_) != 0) {
-        return Status::IOError(std::string("log fdatasync: ") +
-                               std::strerror(errno));
-      }
+      IVDB_RETURN_NOT_OK(file_->Sync());
     }
   }
   if (options_.flush_delay_micros > 0) {
@@ -149,26 +127,13 @@ void LogManager::AdvancePastLsn(Lsn lsn) {
 }
 
 Status LogManager::ReadAll(const std::string& path,
-                           std::vector<LogRecord>* records) {
+                           std::vector<LogRecord>* records, Env* env) {
   records->clear();
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) return Status::OK();  // no log yet
-    return Status::IOError("open '" + path + "': " + std::strerror(errno));
-  }
+  if (env == nullptr) env = Env::Default();
   std::string contents;
-  char buf[1 << 16];
-  while (true) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return Status::IOError(std::string("log read: ") + std::strerror(errno));
-    }
-    if (n == 0) break;
-    contents.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
+  Status s = env->ReadFileToString(path, &contents);
+  if (s.IsNotFound()) return Status::OK();  // no log yet
+  IVDB_RETURN_NOT_OK(s);
 
   Slice input(contents);
   while (input.size() >= 8) {
@@ -193,11 +158,8 @@ Status LogManager::TruncateAll() {
   IVDB_LOCK_ORDER(LockRank::kWalBuffer);
   std::lock_guard<std::mutex> buf_guard(buf_mu_);
   buffer_.clear();
-  if (fd_ >= 0) {
-    if (::ftruncate(fd_, 0) != 0) {
-      return Status::IOError(std::string("log truncate: ") +
-                             std::strerror(errno));
-    }
+  if (file_ != nullptr) {
+    IVDB_RETURN_NOT_OK(file_->Truncate(0));
   }
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "wal/log_record.h"
 
@@ -35,6 +36,9 @@ struct LogManagerOptions {
   // flush_delay_micros under concurrent commit load; adds that much commit
   // latency when a single transaction commits alone.
   uint64_t group_commit_window_micros = 0;
+  // File-system seam; nullptr => Env::Default(). Tests inject a
+  // FaultInjectionEnv here to crash the log at exact write/sync boundaries.
+  Env* env = nullptr;
 };
 
 struct LogManagerStats {
@@ -77,8 +81,9 @@ class LogManager {
 
   // Reads every well-formed record from a log file, stopping silently at the
   // first corrupt/torn record (crash tail). Returns the records in order.
+  // `env` defaults to Env::Default().
   static Status ReadAll(const std::string& path,
-                        std::vector<LogRecord>* records);
+                        std::vector<LogRecord>* records, Env* env = nullptr);
 
   // Truncates the on-disk log (used right after a checkpoint made earlier
   // records unnecessary). Callers must guarantee no concurrent appends.
@@ -86,7 +91,8 @@ class LogManager {
 
  private:
   LogManagerOptions options_;
-  int fd_ = -1;
+  Env* env_ = nullptr;  // options_.env resolved against Env::Default()
+  std::unique_ptr<WritableFile> file_;
 
   // Writes a batch to the file (plus fsync / simulated latency). Called
   // with no locks held.

@@ -2,55 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace ivdb {
 namespace {
 
-Schema SalesSchema() {
-  return Schema({{"id", TypeId::kInt64},
-                 {"region", TypeId::kString},
-                 {"amount", TypeId::kDouble},
-                 {"qty", TypeId::kInt64}});
+// GROUP BY region with SUM(amount) + SUM(qty).
+ViewDefinition SalesRegionView(ObjectId fact) {
+  return RegionView(fact, "sales_by_region", /*with_units=*/true);
 }
 
-Row Sale(int64_t id, const std::string& region, double amount, int64_t qty) {
-  return {Value::Int64(id), Value::String(region), Value::Double(amount),
-          Value::Int64(qty)};
-}
-
-ViewDefinition RegionView(ObjectId fact) {
-  ViewDefinition def;
-  def.name = "sales_by_region";
-  def.kind = ViewKind::kAggregate;
-  def.fact_table = fact;
-  def.group_by = {1};
-  def.aggregates = {{AggregateFunction::kSum, 2, "total"},
-                    {AggregateFunction::kSum, 3, "units"}};
-  return def;
-}
-
-class DatabaseTest : public ::testing::Test {
- protected:
-  void SetUp() override {
-    auto result = Database::Open(options_);
-    ASSERT_TRUE(result.ok()) << result.status().ToString();
-    db_ = std::move(result).value();
-    auto table = db_->CreateTable("sales", SalesSchema(), {0});
-    ASSERT_TRUE(table.ok());
-    sales_ = table.value()->id;
-  }
-
-  // Runs `fn` inside a fresh committed transaction.
-  void Commit(const std::function<void(Transaction*)>& fn) {
-    Transaction* txn = db_->Begin();
-    fn(txn);
-    Status s = db_->Commit(txn);
-    ASSERT_TRUE(s.ok()) << s.ToString();
-  }
-
-  DatabaseOptions options_;  // in-memory by default
-  std::unique_ptr<Database> db_;
-  ObjectId sales_ = kInvalidObjectId;
-};
+using DatabaseTest = SalesDbTest;
 
 TEST_F(DatabaseTest, CreateTableErrors) {
   EXPECT_TRUE(db_->CreateTable("sales", SalesSchema(), {0})
@@ -131,7 +93,7 @@ TEST_F(DatabaseTest, AbortRollsBackBaseTable) {
 }
 
 TEST_F(DatabaseTest, AggregateViewMaintainedOnInsert) {
-  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  ASSERT_TRUE(db_->CreateIndexedView(SalesRegionView(sales_)).ok());
   Commit([&](Transaction* txn) {
     ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
     ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "eu", 5.0, 1)).ok());
@@ -153,7 +115,7 @@ TEST_F(DatabaseTest, AggregateViewMaintainedOnInsert) {
 }
 
 TEST_F(DatabaseTest, AggregateViewMaintainedOnDeleteAndUpdate) {
-  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  ASSERT_TRUE(db_->CreateIndexedView(SalesRegionView(sales_)).ok());
   Commit([&](Transaction* txn) {
     ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
     ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "eu", 5.0, 1)).ok());
@@ -183,7 +145,7 @@ TEST_F(DatabaseTest, ViewPopulatedFromExistingData) {
     ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
     ASSERT_TRUE(db_->Insert(txn, "sales", Sale(2, "us", 5.0, 1)).ok());
   });
-  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  ASSERT_TRUE(db_->CreateIndexedView(SalesRegionView(sales_)).ok());
   Transaction* reader = db_->Begin();
   auto rows = db_->ScanView(reader, "sales_by_region");
   ASSERT_TRUE(rows.ok());
@@ -193,7 +155,7 @@ TEST_F(DatabaseTest, ViewPopulatedFromExistingData) {
 }
 
 TEST_F(DatabaseTest, ViewWithFilter) {
-  ViewDefinition def = RegionView(sales_);
+  ViewDefinition def = SalesRegionView(sales_);
   def.name = "big_sales";
   def.filter = {{2, CompareOp::kGe, Value::Double(10.0)}};
   ASSERT_TRUE(db_->CreateIndexedView(def).ok());
@@ -238,7 +200,7 @@ TEST_F(DatabaseTest, AvgViewFinalization) {
 }
 
 TEST_F(DatabaseTest, AbortRollsBackViewMaintenance) {
-  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  ASSERT_TRUE(db_->CreateIndexedView(SalesRegionView(sales_)).ok());
   Commit([&](Transaction* txn) {
     ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
   });
@@ -257,7 +219,7 @@ TEST_F(DatabaseTest, AbortRollsBackViewMaintenance) {
 }
 
 TEST_F(DatabaseTest, GhostRowsStayPhysicallyUntilCleaned) {
-  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  ASSERT_TRUE(db_->CreateIndexedView(SalesRegionView(sales_)).ok());
   Commit([&](Transaction* txn) {
     ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
   });
@@ -282,7 +244,7 @@ TEST_F(DatabaseTest, GhostRowsStayPhysicallyUntilCleaned) {
 }
 
 TEST_F(DatabaseTest, GhostStatsTracked) {
-  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  ASSERT_TRUE(db_->CreateIndexedView(SalesRegionView(sales_)).ok());
   Commit([&](Transaction* txn) {
     ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
   });
@@ -376,13 +338,13 @@ TEST_F(DatabaseTest, JoinViewMaintainedThroughFactChanges) {
 }
 
 TEST_F(DatabaseTest, DeferredMaintenanceCoalesces) {
-  options_ = DatabaseOptions{};
-  options_.maintenance_timing = MaintenanceTiming::kDeferred;
-  auto result = Database::Open(options_);
+  DatabaseOptions options;
+  options.maintenance_timing = MaintenanceTiming::kDeferred;
+  auto result = Database::Open(options);
   ASSERT_TRUE(result.ok());
   auto db = std::move(result).value();
   ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
-  ASSERT_TRUE(db->CreateIndexedView(RegionView(fact)).ok());
+  ASSERT_TRUE(db->CreateIndexedView(SalesRegionView(fact)).ok());
 
   Transaction* txn = db->Begin();
   for (int i = 0; i < 10; i++) {
@@ -410,11 +372,11 @@ TEST_F(DatabaseTest, DeferredMaintenanceCoalesces) {
 }
 
 TEST_F(DatabaseTest, DeferredSelfCancelingChangeIsNoop) {
-  options_ = DatabaseOptions{};
-  options_.maintenance_timing = MaintenanceTiming::kDeferred;
-  auto db = std::move(Database::Open(options_)).value();
+  DatabaseOptions options;
+  options.maintenance_timing = MaintenanceTiming::kDeferred;
+  auto db = std::move(Database::Open(options)).value();
   ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
-  ASSERT_TRUE(db->CreateIndexedView(RegionView(fact)).ok());
+  ASSERT_TRUE(db->CreateIndexedView(SalesRegionView(fact)).ok());
 
   Transaction* txn = db->Begin();
   ASSERT_TRUE(db->Insert(txn, "sales", Sale(1, "eu", 4.0, 1)).ok());
@@ -429,11 +391,11 @@ TEST_F(DatabaseTest, DeferredSelfCancelingChangeIsNoop) {
 }
 
 TEST_F(DatabaseTest, XLockBaselineModeProducesSameResults) {
-  options_ = DatabaseOptions{};
-  options_.use_escrow_locks = false;
-  auto db = std::move(Database::Open(options_)).value();
+  DatabaseOptions options;
+  options.use_escrow_locks = false;
+  auto db = std::move(Database::Open(options)).value();
   ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
-  ASSERT_TRUE(db->CreateIndexedView(RegionView(fact)).ok());
+  ASSERT_TRUE(db->CreateIndexedView(SalesRegionView(fact)).ok());
 
   Transaction* txn = db->Begin();
   ASSERT_TRUE(db->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
@@ -454,7 +416,7 @@ TEST_F(DatabaseTest, XLockBaselineModeProducesSameResults) {
 }
 
 TEST_F(DatabaseTest, MultipleViewsOverOneTable) {
-  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  ASSERT_TRUE(db_->CreateIndexedView(SalesRegionView(sales_)).ok());
   ViewDefinition by_qty;
   by_qty.name = "sales_by_qty";
   by_qty.kind = ViewKind::kAggregate;
@@ -479,10 +441,11 @@ TEST_F(DatabaseTest, MultipleViewsOverOneTable) {
 }
 
 TEST_F(DatabaseTest, ViewNameCollisions) {
-  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
-  EXPECT_TRUE(
-      db_->CreateIndexedView(RegionView(sales_)).status().IsAlreadyExists());
-  ViewDefinition table_clash = RegionView(sales_);
+  ASSERT_TRUE(db_->CreateIndexedView(SalesRegionView(sales_)).ok());
+  EXPECT_TRUE(db_->CreateIndexedView(SalesRegionView(sales_))
+                  .status()
+                  .IsAlreadyExists());
+  ViewDefinition table_clash = SalesRegionView(sales_);
   table_clash.name = "sales";
   EXPECT_TRUE(
       db_->CreateIndexedView(table_clash).status().IsAlreadyExists());
@@ -507,7 +470,7 @@ TEST_F(DatabaseTest, ScanTable) {
 }
 
 TEST_F(DatabaseTest, SnapshotReadSeesBeginState) {
-  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  ASSERT_TRUE(db_->CreateIndexedView(SalesRegionView(sales_)).ok());
   Commit([&](Transaction* txn) {
     ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 1)).ok());
   });
@@ -599,7 +562,7 @@ TEST_F(DatabaseTest, CountColumnAggregateSkipsNulls) {
 }
 
 TEST_F(DatabaseTest, RangeScans) {
-  ASSERT_TRUE(db_->CreateIndexedView(RegionView(sales_)).ok());
+  ASSERT_TRUE(db_->CreateIndexedView(SalesRegionView(sales_)).ok());
   Commit([&](Transaction* txn) {
     for (int i = 0; i < 20; i++) {
       const char* region = i % 2 == 0 ? "apac" : "eu";

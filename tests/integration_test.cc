@@ -2,141 +2,43 @@
 // durable databases with multiple views, interleaved with crashes,
 // recoveries, checkpoints, and ghost cleanup. After every phase the oracle
 // (VerifyViewConsistency: stored view == from-scratch evaluation) must hold.
+// The schema, view set, and random-op driver live in tests/test_util.h and
+// are shared with the crash-torture harness.
 #include <gtest/gtest.h>
 
-#include <filesystem>
 #include <thread>
 
 #include "common/random.h"
 #include "engine/database.h"
+#include "test_util.h"
 
 namespace ivdb {
 namespace {
 
-Schema SalesSchema() {
-  return Schema({{"id", TypeId::kInt64},
-                 {"grp", TypeId::kInt64},
-                 {"region", TypeId::kString},
-                 {"amount", TypeId::kInt64},
-                 {"price", TypeId::kDouble}});
-}
-
-Row RandomRow(Random* rng, int64_t id) {
-  static const char* kRegions[] = {"eu", "us", "apac"};
-  return {Value::Int64(id), Value::Int64(static_cast<int64_t>(rng->Uniform(6))),
-          Value::String(kRegions[rng->Uniform(3)]),
-          Value::Int64(static_cast<int64_t>(rng->Uniform(100))),
-          Value::Double(static_cast<double>(rng->Uniform(10000)) / 100.0)};
-}
-
-void CreateViews(Database* db, ObjectId fact) {
-  {
-    ViewDefinition def;
-    def.name = "by_grp";
-    def.kind = ViewKind::kAggregate;
-    def.fact_table = fact;
-    def.group_by = {1};
-    def.aggregates = {{AggregateFunction::kSum, 3, "total"},
-                      {AggregateFunction::kAvg, 4, "avg_price"}};
-    ASSERT_TRUE(db->CreateIndexedView(def).ok());
-  }
-  {
-    ViewDefinition def;
-    def.name = "by_region";
-    def.kind = ViewKind::kAggregate;
-    def.fact_table = fact;
-    def.filter = {{3, CompareOp::kGe, Value::Int64(20)}};
-    def.group_by = {2};
-    def.aggregates = {{AggregateFunction::kSum, 3, "total"}};
-    ASSERT_TRUE(db->CreateIndexedView(def).ok());
-  }
-  {
-    ViewDefinition def;
-    def.name = "big_sales";
-    def.kind = ViewKind::kProjection;
-    def.fact_table = fact;
-    def.filter = {{3, CompareOp::kGe, Value::Int64(80)}};
-    def.projection = {0, 2, 3};
-    def.projection_key = {0};
-    ASSERT_TRUE(db->CreateIndexedView(def).ok());
-  }
-}
-
-void VerifyAll(Database* db) {
-  for (const char* view : {"by_grp", "by_region", "big_sales"}) {
-    Status s = db->VerifyViewConsistency(view);
-    EXPECT_TRUE(s.ok()) << view << ": " << s.ToString();
-  }
-}
-
-// One random operation inside its own transaction, with retry on
-// concurrency rollbacks.
-void RandomOp(Database* db, Random* rng, int64_t id_space) {
-  int64_t id = static_cast<int64_t>(rng->Uniform(id_space));
-  for (int attempt = 0; attempt < 20; attempt++) {
-    Transaction* txn = db->Begin();
-    Status s;
-    switch (rng->Uniform(4)) {
-      case 0:
-      case 1: {
-        s = db->Insert(txn, "sales", RandomRow(rng, id));
-        if (s.IsAlreadyExists()) s = Status::OK();
-        break;
-      }
-      case 2: {
-        s = db->Update(txn, "sales", RandomRow(rng, id));
-        if (s.IsNotFound()) s = Status::OK();
-        break;
-      }
-      case 3: {
-        s = db->Delete(txn, "sales", {Value::Int64(id)});
-        if (s.IsNotFound()) s = Status::OK();
-        break;
-      }
-    }
-    if (s.ok() && rng->OneIn(6)) {
-      // Multi-statement transactions exercise prevLSN chains and batching.
-      Status s2 = db->Insert(txn, "sales", RandomRow(rng, id + id_space));
-      if (!s2.IsAlreadyExists() && !s2.ok()) s = s2;
-    }
-    if (s.ok() && rng->OneIn(10)) {
-      db->Abort(txn);
-      db->Forget(txn);
-      return;
-    }
-    if (s.ok()) s = db->Commit(txn);
-    bool done = s.ok();
-    if (!done && txn->state() == TxnState::kActive) db->Abort(txn);
-    db->Forget(txn);
-    if (done) return;
-  }
-  FAIL() << "operation never succeeded";
-}
-
 TEST(Integration, SingleThreadedRandomWorkloadImmediate) {
   auto db = std::move(Database::Open(DatabaseOptions{})).value();
-  ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
-  CreateViews(db.get(), fact);
+  ObjectId fact = db->CreateTable("sales", WideSchema(), {0}).value()->id;
+  CreateStandardViews(db.get(), fact);
   Random rng(42);
   for (int i = 0; i < 2000; i++) {
     RandomOp(db.get(), &rng, 300);
   }
-  VerifyAll(db.get());
+  VerifyAllViews(db.get());
   ASSERT_TRUE(db->CleanGhosts().ok());
-  VerifyAll(db.get());
+  VerifyAllViews(db.get());
 }
 
 TEST(Integration, SingleThreadedRandomWorkloadDeferred) {
   DatabaseOptions options;
   options.maintenance_timing = MaintenanceTiming::kDeferred;
   auto db = std::move(Database::Open(options)).value();
-  ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
-  CreateViews(db.get(), fact);
+  ObjectId fact = db->CreateTable("sales", WideSchema(), {0}).value()->id;
+  CreateStandardViews(db.get(), fact);
   Random rng(43);
   for (int i = 0; i < 2000; i++) {
     RandomOp(db.get(), &rng, 300);
   }
-  VerifyAll(db.get());
+  VerifyAllViews(db.get());
 }
 
 TEST(Integration, MultiThreadedWorkloadWithCleanerAndGc) {
@@ -144,8 +46,8 @@ TEST(Integration, MultiThreadedWorkloadWithCleanerAndGc) {
   options.start_ghost_cleaner = true;
   options.ghost_cleaner_interval_micros = 2000;
   auto db = std::move(Database::Open(options)).value();
-  ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
-  CreateViews(db.get(), fact);
+  ObjectId fact = db->CreateTable("sales", WideSchema(), {0}).value()->id;
+  CreateStandardViews(db.get(), fact);
 
   constexpr int kThreads = 4;
   std::vector<std::thread> threads;
@@ -177,27 +79,26 @@ TEST(Integration, MultiThreadedWorkloadWithCleanerAndGc) {
   reader.join();
 
   ASSERT_TRUE(db->CleanGhosts().ok());
-  VerifyAll(db.get());
+  VerifyAllViews(db.get());
 }
 
 TEST(Integration, CrashRecoveryCyclesPreserveConsistency) {
-  std::string dir = ::testing::TempDir() + "integration_crash_cycles";
-  std::filesystem::remove_all(dir);
+  ScopedTempDir dir("integration_crash_cycles");
   Random rng(77);
 
   for (int cycle = 0; cycle < 5; cycle++) {
     DatabaseOptions options;
-    options.dir = dir;
+    options.dir = dir.path();
     auto opened = Database::Open(options);
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
     auto db = std::move(opened).value();
 
     if (cycle == 0) {
       ObjectId fact =
-          db->CreateTable("sales", SalesSchema(), {0}).value()->id;
-      CreateViews(db.get(), fact);
+          db->CreateTable("sales", WideSchema(), {0}).value()->id;
+      CreateStandardViews(db.get(), fact);
     }
-    VerifyAll(db.get());  // recovery left a consistent state
+    VerifyAllViews(db.get());  // recovery left a consistent state
 
     for (int i = 0; i < 300; i++) {
       RandomOp(db.get(), &rng, 150);
@@ -208,23 +109,22 @@ TEST(Integration, CrashRecoveryCyclesPreserveConsistency) {
     // Leave some transactions in flight, flushed, and "crash".
     Transaction* loser1 = db->Begin();
     Transaction* loser2 = db->Begin();
-    (void)db->Insert(loser1, "sales", RandomRow(&rng, 900001));
-    (void)db->Insert(loser2, "sales", RandomRow(&rng, 900002));
-    (void)db->Update(loser1, "sales", RandomRow(&rng, 10));
+    (void)db->Insert(loser1, "sales", RandomWideRow(&rng, 900001));
+    (void)db->Insert(loser2, "sales", RandomWideRow(&rng, 900002));
+    (void)db->Update(loser1, "sales", RandomWideRow(&rng, 10));
     ASSERT_TRUE(db->FlushWal().ok());
     // drop without commit/abort/checkpoint
   }
 
   DatabaseOptions options;
-  options.dir = dir;
+  options.dir = dir.path();
   auto db = std::move(Database::Open(options)).value();
-  VerifyAll(db.get());
+  VerifyAllViews(db.get());
   // Loser rows never became visible.
   Transaction* reader = db->Begin();
   EXPECT_FALSE(db->Get(reader, "sales", {Value::Int64(900001)})->has_value());
   EXPECT_FALSE(db->Get(reader, "sales", {Value::Int64(900002)})->has_value());
   db->Commit(reader);
-  std::filesystem::remove_all(dir);
 }
 
 TEST(Integration, XlockModeFullWorkloadEquivalence) {
@@ -235,13 +135,13 @@ TEST(Integration, XlockModeFullWorkloadEquivalence) {
     DatabaseOptions options;
     options.use_escrow_locks = escrow;
     auto db = std::move(Database::Open(options)).value();
-    ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
-    CreateViews(db.get(), fact);
+    ObjectId fact = db->CreateTable("sales", WideSchema(), {0}).value()->id;
+    CreateStandardViews(db.get(), fact);
     Random rng(555);  // same seed -> same op sequence
     for (int i = 0; i < 1500; i++) {
       RandomOp(db.get(), &rng, 250);
     }
-    VerifyAll(db.get());
+    VerifyAllViews(db.get());
     Transaction* reader = db->Begin();
     results[escrow ? "escrow" : "xlock"] =
         db->ScanView(reader, "by_grp").value();
@@ -260,7 +160,7 @@ TEST(Integration, XlockModeFullWorkloadEquivalence) {
 
 TEST(Integration, LargeScaleSingleViewStress) {
   auto db = std::move(Database::Open(DatabaseOptions{})).value();
-  ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+  ObjectId fact = db->CreateTable("sales", WideSchema(), {0}).value()->id;
   ViewDefinition def;
   def.name = "by_grp";
   def.kind = ViewKind::kAggregate;

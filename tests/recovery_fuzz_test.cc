@@ -7,10 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <vector>
 
+#include "common/coding.h"
 #include "common/file_util.h"
 #include "common/random.h"
+#include "common/slice.h"
 #include "engine/database.h"
+#include "wal/log_manager.h"
 
 namespace ivdb {
 namespace {
@@ -140,6 +144,122 @@ TEST_P(RecoveryFuzz, EveryLogPrefixRecoversConsistently) {
     ASSERT_TRUE(db->Commit(txn).ok());
     std::filesystem::remove_all(crash_dir);
   }
+  std::filesystem::remove_all(dir);
+}
+
+// Torn-tail sweep: damage the FINAL WAL record at every single byte offset
+// — both prefix truncation (torn write) and single-bit corruption (media
+// error). ReadAll must drop exactly that record (never half of it, never a
+// spurious extra), and recovery must reach a consistent state without it.
+TEST_P(RecoveryFuzz, TornFinalRecordEveryByteOffset) {
+  const std::string dir = BaseDir() + "_tail";
+  std::filesystem::remove_all(dir);
+
+  // Phase 1: a small committed workload keeps the final record's byte range
+  // sweepable in reasonable time while still ending mid-history.
+  {
+    DatabaseOptions options;
+    options.dir = dir;
+    auto db = std::move(Database::Open(options)).value();
+    ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
+    ViewDefinition def;
+    def.name = "by_grp";
+    def.kind = ViewKind::kAggregate;
+    def.fact_table = fact;
+    def.group_by = {1};
+    def.aggregates = {{AggregateFunction::kSum, 2, "total"}};
+    ASSERT_TRUE(db->CreateIndexedView(def).ok());
+
+    Random rng(GetParam() * 104729 + 3);
+    for (int64_t i = 0; i < 8; i++) {
+      Transaction* txn = db->Begin();
+      ASSERT_TRUE(db->Insert(txn, "sales",
+                             {Value::Int64(i),
+                              Value::Int64(static_cast<int64_t>(
+                                  rng.Uniform(4))),
+                              Value::Int64(static_cast<int64_t>(
+                                  rng.Uniform(20)))})
+                      .ok());
+      ASSERT_TRUE(db->Commit(txn).ok());
+      db->Forget(txn);
+    }
+    ASSERT_TRUE(db->FlushWal().ok());
+  }
+
+  std::string full_wal;
+  ASSERT_TRUE(ReadFileToString(dir + "/wal.log", &full_wal).ok());
+
+  // Walk the [len:4][crc:4][body] framing to find every record boundary.
+  std::vector<size_t> starts;
+  {
+    Slice input(full_wal);
+    size_t off = 0;
+    while (input.size() >= 8) {
+      Slice frame = input;
+      uint32_t len = 0, crc = 0;
+      ASSERT_TRUE(GetFixed32(&frame, &len));
+      ASSERT_TRUE(GetFixed32(&frame, &crc));
+      ASSERT_LE(static_cast<size_t>(len), frame.size())
+          << "seed WAL is itself torn";
+      starts.push_back(off);
+      input.RemovePrefix(8 + len);
+      off += 8 + len;
+    }
+    ASSERT_EQ(off, full_wal.size()) << "trailing garbage in seed WAL";
+  }
+  ASSERT_GE(starts.size(), 2u);
+  const size_t last_start = starts.back();
+  const size_t n_records = starts.size();
+
+  std::string checkpoint;
+  const bool have_checkpoint = FileExists(dir + "/checkpoint.db");
+  if (have_checkpoint) {
+    ASSERT_TRUE(ReadFileToString(dir + "/checkpoint.db", &checkpoint).ok());
+  }
+
+  const std::string crash_dir = dir + "_cut";
+  auto expect_recovers_without_tail = [&](const std::string& wal,
+                                          const std::string& what) {
+    std::filesystem::remove_all(crash_dir);
+    std::filesystem::create_directories(crash_dir);
+    ASSERT_TRUE(WriteStringToFileAtomic(crash_dir + "/wal.log", wal).ok());
+    if (have_checkpoint) {
+      ASSERT_TRUE(
+          WriteStringToFileAtomic(crash_dir + "/checkpoint.db", checkpoint)
+              .ok());
+    }
+    // The damaged record must be dropped whole — exactly n-1 survive.
+    std::vector<LogRecord> records;
+    ASSERT_TRUE(LogManager::ReadAll(crash_dir + "/wal.log", &records).ok());
+    ASSERT_EQ(records.size(), n_records - 1) << what;
+
+    DatabaseOptions options;
+    options.dir = crash_dir;
+    auto reopened = Database::Open(options);
+    ASSERT_TRUE(reopened.ok())
+        << what << ": " << reopened.status().ToString();
+    auto db = std::move(reopened).value();
+    Status check = db->VerifyViewConsistency("by_grp");
+    ASSERT_TRUE(check.ok()) << what << ": " << check.ToString();
+  };
+
+  // Truncate at every byte offset inside the final record.
+  for (size_t cut = last_start; cut < full_wal.size(); cut++) {
+    expect_recovers_without_tail(full_wal.substr(0, cut),
+                                 "truncate at byte " + std::to_string(cut));
+    if (HasFatalFailure()) return;
+  }
+  // Flip one bit at every byte offset of the final record. CRC32 catches
+  // any single-bit error in the body; a flipped length either overruns the
+  // file or shifts the CRC window — both stop the reader cleanly.
+  for (size_t off = last_start; off < full_wal.size(); off++) {
+    std::string wal = full_wal;
+    wal[off] = static_cast<char>(wal[off] ^ 0x20);
+    expect_recovers_without_tail(wal,
+                                 "bit flip at byte " + std::to_string(off));
+    if (HasFatalFailure()) return;
+  }
+  std::filesystem::remove_all(crash_dir);
   std::filesystem::remove_all(dir);
 }
 

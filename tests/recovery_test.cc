@@ -1,52 +1,13 @@
 #include <gtest/gtest.h>
 
-#include <filesystem>
-
 #include "common/file_util.h"
 #include "engine/database.h"
+#include "test_util.h"
 
 namespace ivdb {
 namespace {
 
-Schema SalesSchema() {
-  return Schema({{"id", TypeId::kInt64},
-                 {"region", TypeId::kString},
-                 {"amount", TypeId::kDouble}});
-}
-
-Row Sale(int64_t id, const std::string& region, double amount) {
-  return {Value::Int64(id), Value::String(region), Value::Double(amount)};
-}
-
-ViewDefinition RegionView(ObjectId fact) {
-  ViewDefinition def;
-  def.name = "by_region";
-  def.kind = ViewKind::kAggregate;
-  def.fact_table = fact;
-  def.group_by = {1};
-  def.aggregates = {{AggregateFunction::kSum, 2, "total"}};
-  return def;
-}
-
-class RecoveryTest : public ::testing::Test {
- protected:
-  void SetUp() override {
-    dir_ = ::testing::TempDir() + "recovery_test_" +
-           std::to_string(reinterpret_cast<uintptr_t>(this));
-    std::filesystem::remove_all(dir_);
-  }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
-  std::unique_ptr<Database> OpenDb() {
-    DatabaseOptions options;
-    options.dir = dir_;
-    auto result = Database::Open(options);
-    EXPECT_TRUE(result.ok()) << result.status().ToString();
-    return std::move(result).value();
-  }
-
-  std::string dir_;
-};
+using RecoveryTest = DurableDbTest;
 
 TEST_F(RecoveryTest, CommittedWorkSurvivesRestart) {
   {

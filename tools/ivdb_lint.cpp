@@ -13,6 +13,11 @@
 //                      each header is verified self-contained.
 //   todo-owner         TODOs carry an owner: `TODO(name): ...`.
 //   include-guard      src/**/*.h opens with an IVDB_ include guard.
+//   direct-io          No direct POSIX file I/O (::open/::write/::fsync/...)
+//                      or fopen outside src/common/env.cc and
+//                      src/common/file_util.cc: all file access goes through
+//                      the Env seam so fault injection and crash-torture
+//                      tests see every byte. (See docs/TESTING.md.)
 //
 // Usage:
 //   ivdb_lint --root <repo> [--allowlist <file>]   lint the tree
@@ -216,6 +221,24 @@ void CheckIncludeGuard(const std::string& path, const std::string& stripped,
   }
 }
 
+void CheckDirectIo(const std::string& path, const std::string& stripped,
+                   std::vector<Finding>* findings) {
+  // The Env implementation and its thin free-function wrappers are the only
+  // places allowed to touch the OS file API directly.
+  if (path == "src/common/env.cc" || path == "src/common/file_util.cc") return;
+  static const std::regex re(
+      R"((::\s*(open|openat|creat|read|pread|write|pwrite|close|fsync|fdatasync|ftruncate|truncate|rename|unlink|mkdir|rmdir)|\bfopen)\s*\()");
+  const std::vector<std::string> lines = SplitLines(stripped);
+  for (size_t i = 0; i < lines.size(); i++) {
+    if (std::regex_search(lines[i], re)) {
+      findings->push_back({path, static_cast<int>(i + 1), "direct-io",
+                           "direct file I/O outside the Env seam; route "
+                           "through Env (src/common/env.h) so fault "
+                           "injection covers it"});
+    }
+  }
+}
+
 // Runs every rule over one file's content.
 void LintContent(const std::string& path, const std::string& raw,
                  std::vector<Finding>* findings) {
@@ -229,6 +252,7 @@ void LintContent(const std::string& path, const std::string& raw,
   CheckOwnHeaderFirst(path, literals_kept, findings);
   CheckTodoOwner(path, comments_kept, findings);
   CheckIncludeGuard(path, stripped, findings);
+  CheckDirectIo(path, stripped, findings);
 }
 
 bool LoadAllowlist(const std::string& path, std::vector<AllowEntry>* entries) {
@@ -348,6 +372,23 @@ int SelfTest() {
        "#pragma once\nint x;\n", "include-guard"},
       {"include guard is fine", "src/foo/bar.h",
        "#ifndef IVDB_FOO_BAR_H_\n#define IVDB_FOO_BAR_H_\n#endif\n",
+       nullptr},
+      {"direct ::open fires", "src/wal/log_manager.cc",
+       "#include \"wal/log_manager.h\"\nint F(const char* p) { return "
+       "::open(p, 0); }\n",
+       "direct-io"},
+      {"direct ::fsync in tests fires", "tests/foo_test.cc",
+       "void F(int fd) { ::fsync(fd); }\n", "direct-io"},
+      {"fopen fires", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F() { fopen(\"x\", \"r\"); }\n",
+       "direct-io"},
+      {"env.cc may use syscalls", "src/common/env.cc",
+       "#include \"common/env.h\"\nint F(const char* p) { return "
+       "::open(p, 0); }\n",
+       nullptr},
+      {"Env method calls are fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F(Env* env) { "
+       "env->RemoveFileIfExists(\"x\"); file.open(\"x\"); }\n",
        nullptr},
   };
 
