@@ -33,17 +33,23 @@ void RunGroupCommitAblation() {
       SalesBench bench = SalesBench::Create(std::move(options), 8);
       for (int64_t g = 0; g < 8; g++) IVDB_CHECK(bench.InsertOne(g));
       std::atomic<uint64_t> seq{0};
-      RunResult result = RunFor(threads, 300, [&](int) {
+      RunResult result = RunFor(threads, BenchDurationMs(300), [&](int) {
         return bench.InsertOne(static_cast<int64_t>(seq.fetch_add(1) % 8));
       });
       tps[mode] = result.Tps();
       if (threads == 8) {
-        uint64_t flushes = bench.db->log_stats().flushes.load();
-        batch = flushes > 0 ? double(bench.db->log_stats()
-                                         .records_appended.load()) /
-                                  flushes
-                            : 0;
+        uint64_t flushes = bench.db->log_metrics().flushes->Value();
+        batch = flushes > 0
+                    ? double(bench.db->log_metrics()
+                                 .records_appended->Value()) /
+                          flushes
+                    : 0;
       }
+      PrintResultJson("ablation_group_commit",
+                      {{"window_us", std::to_string(window)},
+                       {"threads", std::to_string(threads)}},
+                      result);
+      MaybeDumpMetrics(bench.db.get());
     }
     PrintRow({std::to_string(window), Fmt(tps[0], 0), Fmt(tps[1], 0),
               Fmt(batch, 1)},
@@ -79,7 +85,7 @@ void RunBoundCheckAblation() {
     IVDB_CHECK(db->CreateIndexedView(def).ok());
 
     std::atomic<int64_t> id{0};
-    RunResult result = RunFor(8, 300, [&](int) {
+    RunResult result = RunFor(8, BenchDurationMs(300), [&](int) {
       Transaction* txn = db->Begin();
       int64_t i = id.fetch_add(1);
       Status s = db->Insert(txn, "sales",
@@ -95,6 +101,8 @@ void RunBoundCheckAblation() {
     PrintRow({bounded ? "on" : "off", Fmt(result.Tps(), 0),
               Fmt(base_tps > 0 ? base_tps / result.Tps() : 1.0, 2)},
              widths);
+    PrintResultJson("ablation_bound_check",
+                    {{"bounds", Jstr(bounded ? "on" : "off")}}, result);
     IVDB_CHECK(db->VerifyViewConsistency("by_grp").ok());
   }
   std::printf(
@@ -120,7 +128,7 @@ void RunDeadlockAblation() {
 
     std::vector<Random> rngs;
     for (int t = 0; t < 8; t++) rngs.emplace_back(t * 37 + 1);
-    RunResult result = RunFor(8, 300, [&](int t) {
+    RunResult result = RunFor(8, BenchDurationMs(300), [&](int t) {
       Random& rng = rngs[static_cast<size_t>(t)];
       int64_t g1 = static_cast<int64_t>(rng.Uniform(2));
       int64_t g2 = 1 - g1;
@@ -141,10 +149,13 @@ void RunDeadlockAblation() {
     });
     IVDB_CHECK(bench.db->VerifyViewConsistency("by_grp").ok());
     PrintRow({detect ? "detect" : "timeout", Fmt(result.Tps(), 0),
-              std::to_string(bench.db->lock_stats().deadlocks.load()),
-              std::to_string(bench.db->lock_stats().timeouts.load()),
+              std::to_string(bench.db->lock_metrics().deadlocks->Value()),
+              std::to_string(bench.db->lock_metrics().timeouts->Value()),
               Fmt(result.AbortsPer1k(), 1)},
              widths);
+    PrintResultJson("ablation_deadlock",
+                    {{"resolution", Jstr(detect ? "detect" : "timeout")}},
+                    result);
   }
   std::printf(
       "expected shape: with detection, victims are chosen instantly and\n"

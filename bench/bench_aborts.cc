@@ -23,7 +23,7 @@ int main() {
   PrintRow({"groups", "threads", "mode", "tps", "aborts/1k", "deadlocks"},
            widths);
 
-  const int duration_ms = 300;
+  const int duration_ms = BenchDurationMs(300);
   for (int64_t groups : {2, 8}) {
     for (int threads : {2, 4, 8}) {
       for (int mode = 0; mode < 2; mode++) {
@@ -64,8 +64,13 @@ int main() {
         PrintRow({std::to_string(groups), std::to_string(threads),
                   escrow ? "escrow" : "xlock", Fmt(result.Tps(), 0),
                   Fmt(result.AbortsPer1k(), 1),
-                  std::to_string(bench.db->lock_stats().deadlocks.load())},
+                  std::to_string(bench.db->lock_metrics().deadlocks->Value())},
                  widths);
+        PrintResultJson("aborts",
+                        {{"groups", std::to_string(groups)},
+                         {"threads", std::to_string(threads)},
+                         {"mode", Jstr(escrow ? "escrow" : "xlock")}},
+                        result);
       }
     }
   }

@@ -22,7 +22,7 @@ int main() {
   PrintRow({"k", "timing", "tps", "rows/s", "incs/txn"}, widths);
 
   const int threads = 4;
-  const int duration_ms = 300;
+  const int duration_ms = BenchDurationMs(300);
   for (int k : {1, 4, 16, 64}) {
     for (int mode = 0; mode < 2; mode++) {
       bool deferred = mode == 1;
@@ -31,8 +31,8 @@ int main() {
                                             : MaintenanceTiming::kImmediate;
       SalesBench bench = SalesBench::Create(std::move(options), 8);
       for (int64_t g = 0; g < 8; g++) IVDB_CHECK(bench.InsertOne(g));
-      const ViewMaintainerStats* stats = bench.db->view_stats("by_grp");
-      uint64_t incs_before = stats->increments_applied.load();
+      const ViewMaintainerMetrics* metrics = bench.db->view_metrics("by_grp");
+      uint64_t incs_before = metrics->increments_applied->Value();
 
       std::atomic<uint64_t> op_seq{0};
       RunResult result = RunFor(threads, duration_ms, [&](int) {
@@ -54,12 +54,16 @@ int main() {
 
       Status check = bench.db->VerifyViewConsistency("by_grp");
       IVDB_CHECK_MSG(check.ok(), check.ToString().c_str());
-      uint64_t incs = stats->increments_applied.load() - incs_before;
+      uint64_t incs = metrics->increments_applied->Value() - incs_before;
       PrintRow(
           {std::to_string(k), deferred ? "deferred" : "immediate",
            Fmt(result.Tps(), 0), Fmt(result.Tps() * k, 0),
            Fmt(result.committed ? double(incs) / result.committed : 0, 2)},
           widths);
+      PrintResultJson("deferred",
+                      {{"k", std::to_string(k)},
+                       {"timing", Jstr(deferred ? "deferred" : "immediate")}},
+                      result);
     }
   }
   std::printf(

@@ -59,10 +59,13 @@ ChurnResult RunChurn(bool cleaner_on, int duration_ms) {
   bench.db->Commit(reader);
   out.scan_micros = static_cast<double>(NowMicros() - start);
 
-  const GhostCleanerStats* stats = bench.db->ghost_stats("by_grp");
-  out.reclaimed = stats != nullptr ? stats->reclaimed.load() : 0;
+  const GhostCleanerMetrics* metrics = bench.db->ghost_metrics("by_grp");
+  out.reclaimed = metrics != nullptr ? metrics->reclaimed->Value() : 0;
   Status check = bench.db->VerifyViewConsistency("by_grp");
   IVDB_CHECK_MSG(check.ok(), check.ToString().c_str());
+  PrintResultJson("ghosts", {{"cleaner", Jstr(cleaner_on ? "on" : "off")}},
+                  result);
+  MaybeDumpMetrics(bench.db.get());
   return out;
 }
 
@@ -79,7 +82,7 @@ int main() {
             "reclaimed"},
            widths);
 
-  const int duration_ms = 500;
+  const int duration_ms = BenchDurationMs(500);
   for (bool cleaner_on : {false, true}) {
     ChurnResult r = RunChurn(cleaner_on, duration_ms);
     PrintRow({cleaner_on ? "on" : "off", Fmt(r.tps, 0),

@@ -23,7 +23,7 @@ int main() {
 
   const std::vector<int64_t> group_counts = {1, 4, 16, 64};
   const std::vector<int> thread_counts = {1, 2, 4, 8};
-  const int duration_ms = 400;
+  const int duration_ms = BenchDurationMs(400);
   const std::vector<int> widths = {8, 9, 12, 12, 10, 14};
 
   PrintRow({"groups", "threads", "xlock", "escrow", "speedup", "xlock-waits"},
@@ -50,9 +50,15 @@ int main() {
           return bench.InsertOne(grp);
         });
         tps[mode] = result.Tps();
-        if (!escrow) xlock_waits = bench.db->lock_stats().waits.load();
+        if (!escrow) xlock_waits = bench.db->lock_metrics().waits->Value();
         Status check = bench.db->VerifyViewConsistency("by_grp");
         IVDB_CHECK_MSG(check.ok(), check.ToString().c_str());
+        PrintResultJson("hotspot",
+                        {{"groups", std::to_string(groups)},
+                         {"threads", std::to_string(threads)},
+                         {"mode", Jstr(escrow ? "escrow" : "xlock")}},
+                        result);
+        MaybeDumpMetrics(bench.db.get());
       }
       PrintRow({std::to_string(groups), std::to_string(threads),
                 Fmt(tps[0], 0), Fmt(tps[1], 0), Fmt(tps[1] / tps[0], 2),

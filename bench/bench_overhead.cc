@@ -34,7 +34,7 @@ int main() {
   PrintRow({"views", "tps", "log-recs/txn", "rel-slowdown"}, widths);
 
   const int threads = 4;
-  const int duration_ms = 300;
+  const int duration_ms = BenchDurationMs(300);
   double baseline_tps = 0;
 
   for (int nviews = 0; nviews <= 4; nviews++) {
@@ -58,7 +58,7 @@ int main() {
     }
 
     std::atomic<int64_t> next_id{0};
-    uint64_t recs_before = db->log_stats().records_appended.load();
+    uint64_t recs_before = db->log_metrics().records_appended->Value();
     RunResult result = RunFor(threads, duration_ms, [&](int t) {
       int64_t id = next_id.fetch_add(1);
       Transaction* txn = db->Begin();
@@ -75,7 +75,7 @@ int main() {
       db->Forget(txn);
       return ok;
     });
-    uint64_t recs = db->log_stats().records_appended.load() - recs_before;
+    uint64_t recs = db->log_metrics().records_appended->Value() - recs_before;
     for (int v = 0; v < nviews; v++) {
       Status check =
           db->VerifyViewConsistency("view_g" + std::to_string(v + 1));
@@ -88,6 +88,8 @@ int main() {
               Fmt(result.committed ? double(recs) / result.committed : 0, 2),
               Fmt(baseline_tps > 0 ? baseline_tps / tps : 1.0, 2)},
              widths);
+    PrintResultJson("overhead", {{"views", std::to_string(nviews)}}, result);
+    MaybeDumpMetrics(db.get());
   }
   std::printf(
       "\nexpected shape: log records per txn grow by ~1 per view; tps\n"

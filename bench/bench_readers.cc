@@ -73,6 +73,14 @@ ReaderResult RunMix(ReadMode reader_mode, int writers, int readers,
 
   Status check = bench.db->VerifyViewConsistency("by_grp");
   IVDB_CHECK_MSG(check.ok(), check.ToString().c_str());
+  PrintResultJson("readers",
+                  {{"writers", std::to_string(writers)},
+                   {"readers", std::to_string(readers)},
+                   {"mode", Jstr(reader_mode == ReadMode::kLocking
+                                     ? "locking"
+                                     : "snapshot")}},
+                  result);
+  MaybeDumpMetrics(bench.db.get());
 
   ReaderResult out;
   out.writer_tps = writes.load() / result.seconds;
@@ -98,7 +106,7 @@ int main() {
             "rd-max-us", "rd-timeouts/1k"},
            widths);
 
-  const int duration_ms = 400;
+  const int duration_ms = BenchDurationMs(400);
   for (int writers : {1, 2, 4}) {
     for (int readers : {1, 4}) {
       for (ReadMode mode : {ReadMode::kLocking, ReadMode::kSnapshot}) {

@@ -3,15 +3,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/env.h"
 #include "common/logging.h"
 #include "engine/database.h"
+#include "obs/metrics.h"
 
 namespace ivdb {
 namespace bench {
@@ -27,6 +31,12 @@ struct RunResult {
   uint64_t committed = 0;
   uint64_t aborted = 0;
   double seconds = 0;
+  // Per-commit latency distribution (one committed body() call each), in
+  // microseconds. Zero when nothing committed.
+  double p50_micros = 0;
+  double p95_micros = 0;
+  double p99_micros = 0;
+  double max_micros = 0;
 
   double Tps() const { return seconds > 0 ? committed / seconds : 0; }
   double AbortsPer1k() const {
@@ -37,21 +47,37 @@ struct RunResult {
 // Drives `body(thread_idx)` on `threads` threads for `duration_ms`.
 // body returns true if its transaction committed, false if it aborted
 // (after rolling back). The caller's body must not throw.
+//
+// Every committed call's latency lands in a histogram (p50/p95/p99 in the
+// result). The clock stops at the *last completed* body() call, not at the
+// stop flag: in-flight transactions that finish during the drain are real
+// measurements, and counting them in the numerator but not the window used
+// to inflate Tps by up to one transaction per thread on short runs.
 inline RunResult RunFor(int threads, int duration_ms,
                         const std::function<bool(int)>& body) {
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> committed{0};
   std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> last_done{0};
+  obs::Histogram latency;
   std::vector<std::thread> workers;
   workers.reserve(threads);
   uint64_t start = NowMicros();
   for (int t = 0; t < threads; t++) {
     workers.emplace_back([&, t] {
       while (!stop.load(std::memory_order_relaxed)) {
-        if (body(t)) {
+        uint64_t begin = NowMicros();
+        bool ok = body(t);
+        uint64_t end = NowMicros();
+        if (ok) {
           committed.fetch_add(1, std::memory_order_relaxed);
+          latency.Record(end - begin);
         } else {
           aborted.fetch_add(1, std::memory_order_relaxed);
+        }
+        uint64_t prev = last_done.load(std::memory_order_relaxed);
+        while (prev < end && !last_done.compare_exchange_weak(
+                                 prev, end, std::memory_order_relaxed)) {
         }
       }
     });
@@ -60,10 +86,64 @@ inline RunResult RunFor(int threads, int duration_ms,
   stop = true;
   for (auto& w : workers) w.join();
   RunResult result;
-  result.seconds = (NowMicros() - start) / 1e6;
+  uint64_t finish = last_done.load();
+  result.seconds = (finish > start ? finish - start : 0) / 1e6;
   result.committed = committed.load();
   result.aborted = aborted.load();
+  obs::Histogram::Snapshot snap = latency.Snap();
+  result.p50_micros = snap.P50();
+  result.p95_micros = snap.P95();
+  result.p99_micros = snap.P99();
+  result.max_micros = double(snap.max);
   return result;
+}
+
+// Benchmark duration override (CI smoke runs set IVDB_BENCH_DURATION_MS to
+// a small value; the default is each bench's own choice).
+inline int BenchDurationMs(int default_ms) {
+  const char* v = std::getenv("IVDB_BENCH_DURATION_MS");
+  if (v == nullptr || *v == '\0') return default_ms;
+  int ms = std::atoi(v);
+  return ms > 0 ? ms : default_ms;
+}
+
+// With IVDB_METRICS_OUT set, writes the database's full Prometheus metrics
+// dump there (atomic replace; the last call wins). CI's bench smoke job
+// uses this to assert the engine actually exposes metrics.
+inline void MaybeDumpMetrics(Database* db) {
+  const char* path = std::getenv("IVDB_METRICS_OUT");
+  if (path == nullptr || *path == '\0' || db == nullptr) return;
+  Status s = Env::Default()->WriteStringToFileAtomic(path, db->DumpMetrics());
+  if (!s.ok()) {
+    std::fprintf(stderr, "metrics dump to %s failed: %s\n", path,
+                 s.ToString().c_str());
+  }
+}
+
+// One self-contained JSON line per configuration, machine-diffable across
+// runs: {"bench":...,<config fields>,"committed":...,"p99_micros":...}.
+// Config values are emitted verbatim — pass numbers as digits and strings
+// pre-quoted via Jstr().
+inline std::string Jstr(const std::string& s) { return "\"" + s + "\""; }
+
+inline void PrintResultJson(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& config,
+    const RunResult& r) {
+  std::string line = "{\"bench\":" + Jstr(bench);
+  for (const auto& [key, value] : config) {
+    line += ",\"" + key + "\":" + value;
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ",\"committed\":%llu,\"aborted\":%llu,\"seconds\":%.3f,"
+                "\"tps\":%.1f,\"p50_micros\":%.1f,\"p95_micros\":%.1f,"
+                "\"p99_micros\":%.1f,\"max_micros\":%.0f}",
+                static_cast<unsigned long long>(r.committed),
+                static_cast<unsigned long long>(r.aborted), r.seconds, r.Tps(),
+                r.p50_micros, r.p95_micros, r.p99_micros, r.max_micros);
+  line += buf;
+  std::printf("%s\n", line.c_str());
 }
 
 // The standard benchmark workload: a `sales` fact table and one aggregate

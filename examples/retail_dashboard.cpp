@@ -114,8 +114,8 @@ int main() {
   Status check = db->VerifyViewConsistency("revenue_by_category");
   std::printf("\nfinal consistency check: %s\n", check.ToString().c_str());
   std::printf("lock waits: %llu, deadlocks: %llu (escrow keeps both small)\n",
-              static_cast<unsigned long long>(db->lock_stats().waits.load()),
+              static_cast<unsigned long long>(db->lock_metrics().waits->Value()),
               static_cast<unsigned long long>(
-                  db->lock_stats().deadlocks.load()));
+                  db->lock_metrics().deadlocks->Value()));
   return check.ok() ? 0 : 1;
 }

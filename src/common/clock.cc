@@ -1,0 +1,19 @@
+#include "common/clock.h"
+
+namespace ivdb {
+
+namespace {
+
+class MonotonicClock : public Clock {
+ public:
+  uint64_t NowMicros() const override { return ivdb::NowMicros(); }
+};
+
+}  // namespace
+
+Clock* Clock::Default() {
+  static MonotonicClock clock;
+  return &clock;
+}
+
+}  // namespace ivdb

@@ -15,6 +15,35 @@ inline uint64_t NowMicros() {
           .count());
 }
 
+// Time source seam. Components that *measure* durations (lock wait
+// accounting, latency histograms, trace timestamps) take a Clock* so tests
+// and fault/torture harnesses can substitute virtual time; Default() is the
+// monotonic clock behind NowMicros(). Mirrors the Env seam for file I/O.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t NowMicros() const = 0;
+
+  // Process-wide monotonic clock; never null, never deleted.
+  static Clock* Default();
+};
+
+// Test double: time advances only when told to. Thread-safe.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void Advance(uint64_t micros) {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
 // Monotonic logical timestamp source. Transaction begin/commit timestamps
 // are drawn from one shared LogicalClock so that snapshot visibility
 // (`commit_ts <= snapshot_ts`) is a total order.

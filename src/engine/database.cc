@@ -7,6 +7,7 @@
 #include "common/env.h"
 #include "common/logging.h"
 #include "engine/snapshot.h"
+#include "obs/trace.h"
 
 namespace ivdb {
 
@@ -22,14 +23,27 @@ std::string GapResource(const std::string& key) {
 // The gap above the largest key ("end of file").
 const char kEofGapResource[] = "\x03";
 
+// The engine owns the unified registry; every component below receives it
+// and registers its instruments there, so DumpMetrics() sees the whole
+// engine at once.
+LockManager::Options MakeLockOptions(const DatabaseOptions& options,
+                                     obs::MetricsRegistry* registry) {
+  LockManager::Options lock_options;
+  lock_options.wait_timeout = options.lock_wait_timeout;
+  lock_options.detect_deadlocks = options.detect_deadlocks;
+  lock_options.escalation_threshold = options.lock_escalation_threshold;
+  lock_options.metrics = registry;
+  return lock_options;
+}
+
 }  // namespace
 
 Database::Database(DatabaseOptions options)
     : options_(std::move(options)),
       env_(options_.env != nullptr ? options_.env : Env::Default()),
-      locks_(LockManager::Options{options_.lock_wait_timeout,
-                                  options_.detect_deadlocks,
-                                  options_.lock_escalation_threshold}) {
+      version_entries_gauge_(
+          registry_.GetGauge("ivdb_storage_version_entries")),
+      locks_(MakeLockOptions(options_, &registry_)) {
   LogManagerOptions log_options;
   if (!options_.dir.empty()) log_options.path = WalPath();
   log_options.env = env_;
@@ -37,9 +51,13 @@ Database::Database(DatabaseOptions options)
   log_options.flush_delay_micros = options_.flush_delay_micros;
   log_options.group_commit_window_micros =
       options_.group_commit_window_micros;
+  log_options.metrics = &registry_;
   log_ = std::make_unique<LogManager>(std::move(log_options));
+  TransactionManager::Options txn_options;
+  txn_options.metrics = &registry_;
+  txn_options.trace_ring_capacity = options_.trace_ring_capacity;
   txns_ = std::make_unique<TransactionManager>(&locks_, log_.get(),
-                                               &versions_, this);
+                                               &versions_, this, txn_options);
 }
 
 Database::~Database() {
@@ -161,6 +179,7 @@ Status Database::RegisterView(ObjectId id, ViewDefinition def, bool populate) {
 
   ViewMaintainer::Options maintainer_options;
   maintainer_options.use_escrow = options_.use_escrow_locks;
+  maintainer_options.metrics = &registry_;
   entry->maintainer = std::make_unique<ViewMaintainer>(
       def, id, fact->schema, dim_schema, this, &locks_, txns_.get(),
       &versions_, maintainer_options);
@@ -169,8 +188,12 @@ Status Database::RegisterView(ObjectId id, ViewDefinition def, bool populate) {
   BTree* tree = CreateIndex(id);
 
   if (def.kind == ViewKind::kAggregate) {
+    GhostCleaner::Options cleaner_options;
+    cleaner_options.metrics = &registry_;
+    cleaner_options.view_name = def.name;
     entry->cleaner = std::make_unique<GhostCleaner>(
-        id, def.CountColumnIndex(), this, &locks_, txns_.get(), &versions_);
+        id, def.CountColumnIndex(), this, &locks_, txns_.get(), &versions_,
+        std::move(cleaner_options));
   }
 
   std::string view_name = def.name;
@@ -257,6 +280,9 @@ Transaction* Database::Begin(ReadMode read_mode) {
 }
 
 Status Database::Commit(Transaction* txn) {
+  // Covers deferred view maintenance below; the TxnManager re-establishes
+  // the scope for the WAL commit path itself.
+  obs::TraceScope trace_scope(txn->trace());
   if (!txn->deferred_changes().empty()) {
     // Commit-time (deferred) maintenance: coalesce this transaction's
     // base-table changes per view, then apply. Failure here dooms the
@@ -474,6 +500,7 @@ Status Database::Insert(Transaction* txn, const std::string& table,
           "DML on a dimension table referenced by an indexed view");
     }
   }
+  obs::TraceScope trace_scope(txn->trace());
   return WithStatementAtomicity(txn, [&]() -> Status {
     std::string key = EncodeKey(row, info->key_columns);
     BTree* tree = GetIndex(info->id);
@@ -519,6 +546,7 @@ Status Database::Update(Transaction* txn, const std::string& table,
           "DML on a dimension table referenced by an indexed view");
     }
   }
+  obs::TraceScope trace_scope(txn->trace());
   return WithStatementAtomicity(txn, [&]() -> Status {
     std::string key = EncodeKey(row, info->key_columns);
     BTree* tree = GetIndex(info->id);
@@ -564,6 +592,7 @@ Status Database::Delete(Transaction* txn, const std::string& table,
           "DML on a dimension table referenced by an indexed view");
     }
   }
+  obs::TraceScope trace_scope(txn->trace());
   return WithStatementAtomicity(txn, [&]() -> Status {
     std::string key = EncodeKeyValues(key_values);
     BTree* tree = GetIndex(info->id);
@@ -607,6 +636,7 @@ Status Database::Delete(Transaction* txn, const std::string& table,
 Result<std::optional<Row>> Database::ReadRow(Transaction* txn,
                                              ObjectId object_id,
                                              const std::string& key) {
+  obs::TraceScope trace_scope(txn->trace());
   BTree* tree = GetIndex(object_id);
   if (tree == nullptr) return Status::NotFound("unknown object");
 
@@ -672,6 +702,7 @@ Status Database::LockGapsForWrite(Transaction* txn, ObjectId object_id,
 Result<std::vector<std::pair<std::string, Row>>> Database::ScanObject(
     Transaction* txn, ObjectId object_id, const std::string& begin,
     const std::string* end, bool key_range_eligible) {
+  obs::TraceScope trace_scope(txn->trace());
   BTree* tree = GetIndex(object_id);
   if (tree == nullptr) return Status::NotFound("unknown object");
   std::vector<std::pair<std::string, Row>> out;
@@ -1256,17 +1287,25 @@ Status Database::VerifyViewConsistency(const std::string& view) const {
   return Status::OK();
 }
 
-const ViewMaintainerStats* Database::view_stats(const std::string& view) const {
+const ViewMaintainerMetrics* Database::view_metrics(
+    const std::string& view) const {
   std::shared_lock<std::shared_mutex> guard(views_mu_);
   auto it = views_.find(view);
-  return it == views_.end() ? nullptr : &it->second->maintainer->stats();
+  return it == views_.end() ? nullptr : &it->second->maintainer->metrics();
 }
 
-const GhostCleanerStats* Database::ghost_stats(const std::string& view) const {
+const GhostCleanerMetrics* Database::ghost_metrics(
+    const std::string& view) const {
   std::shared_lock<std::shared_mutex> guard(views_mu_);
   auto it = views_.find(view);
   if (it == views_.end() || it->second->cleaner == nullptr) return nullptr;
-  return &it->second->cleaner->stats();
+  return &it->second->cleaner->metrics();
+}
+
+std::string Database::DumpMetrics() const {
+  version_entries_gauge_->Set(
+      static_cast<int64_t>(versions_.TotalEntries()));
+  return registry_.RenderPrometheus();
 }
 
 }  // namespace ivdb

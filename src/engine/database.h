@@ -13,6 +13,7 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "lock/lock_manager.h"
+#include "obs/metrics.h"
 #include "storage/btree.h"
 #include "storage/version_store.h"
 #include "txn/txn_manager.h"
@@ -67,6 +68,12 @@ struct DatabaseOptions {
   // Background ghost cleanup for every aggregate view.
   bool start_ghost_cleaner = false;
   uint64_t ghost_cleaner_interval_micros = 50000;
+
+  // Per-transaction span-trace ring size (see obs/trace.h). 0 — the
+  // default — disables tracing entirely; benches and deadlock-diagnosis
+  // runs set a few hundred. Each transaction then carries its own ring and
+  // Transaction::DumpTrace() yields a readable span log.
+  size_t trace_ring_capacity = 0;
 
   // File-system seam for all WAL/checkpoint/recovery I/O; nullptr =>
   // Env::Default(). Tests inject a FaultInjectionEnv to simulate torn
@@ -214,12 +221,21 @@ class Database : public LogApplier, public IndexResolver {
   // with the stored index (must be called while quiescent).
   Status VerifyViewConsistency(const std::string& view) const;
 
-  // Component stats for benchmarks.
-  const LockManagerStats& lock_stats() const { return locks_.stats(); }
-  const LogManagerStats& log_stats() const { return log_->stats(); }
-  const TxnManagerStats& txn_stats() const { return txns_->stats(); }
-  const ViewMaintainerStats* view_stats(const std::string& view) const;
-  const GhostCleanerStats* ghost_stats(const std::string& view) const;
+  // --- Observability ---
+
+  // Every component of this engine registers its instruments here.
+  obs::MetricsRegistry* metrics_registry() { return &registry_; }
+  // Prometheus text exposition of every instrument in the engine (counters,
+  // gauges, histogram summaries with p50/p95/p99). Point-in-time gauges
+  // (e.g. ivdb_storage_version_entries) are refreshed by this call.
+  std::string DumpMetrics() const;
+
+  // Typed component handles for benchmarks/tests that assert exact counts.
+  const LockManagerMetrics& lock_metrics() const { return locks_.metrics(); }
+  const LogManagerMetrics& log_metrics() const { return log_->metrics(); }
+  const TxnManagerMetrics& txn_metrics() const { return txns_->metrics(); }
+  const ViewMaintainerMetrics* view_metrics(const std::string& view) const;
+  const GhostCleanerMetrics* ghost_metrics(const std::string& view) const;
   uint64_t version_store_entries() const { return versions_.TotalEntries(); }
 
   // --- LogApplier (rollback + recovery) ---
@@ -277,6 +293,12 @@ class Database : public LogApplier, public IndexResolver {
   DatabaseOptions options_;
   Env* env_ = nullptr;  // options_.env resolved against Env::Default()
   Catalog catalog_;
+  // Declared before every component so it outlives the instrument pointers
+  // they cache at construction.
+  obs::MetricsRegistry registry_;
+  // Refreshed on DumpMetrics(); TotalEntries() walks the store, so it is
+  // not kept current on the hot path.
+  obs::Gauge* version_entries_gauge_ = nullptr;
   LockManager locks_;
   VersionStore versions_;
   std::unique_ptr<LogManager> log_;

@@ -2,11 +2,34 @@
 
 #include <algorithm>
 
-#include "common/clock.h"
 #include "common/lock_order.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ivdb {
+
+LockManagerMetrics::LockManagerMetrics(obs::MetricsRegistry* registry)
+    : acquisitions(registry->GetCounter("ivdb_lock_acquisitions_total")),
+      immediate_grants(
+          registry->GetCounter("ivdb_lock_immediate_grants_total")),
+      waits(registry->GetCounter("ivdb_lock_waits_total")),
+      deadlocks(registry->GetCounter("ivdb_lock_deadlocks_total")),
+      timeouts(registry->GetCounter("ivdb_lock_timeouts_total")),
+      conversions(registry->GetCounter("ivdb_lock_conversions_total")),
+      wait_micros(registry->GetCounter("ivdb_lock_wait_micros_total")),
+      escalations(registry->GetCounter("ivdb_lock_escalations_total")),
+      covered_by_object_lock(
+          registry->GetCounter("ivdb_lock_covered_by_object_lock_total")),
+      wait_latency(registry->GetHistogram("ivdb_lock_wait_micros")) {}
+
+LockManager::LockManager(Options options)
+    : options_(options),
+      owned_registry_(options.metrics == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : owned_registry_.get()),
+      clock_(options.clock != nullptr ? options.clock : Clock::Default()) {}
 
 std::string ResourceId::ToString() const {
   std::string out = "obj" + std::to_string(object_id);
@@ -66,7 +89,7 @@ bool LockManager::CanGrant(const LockQueue& queue,
 Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
                                  LockMode mode, bool wait,
                                  std::unique_lock<std::mutex>* guard) {
-  stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  metrics_.acquisitions->Add();
 
   // Coarse-lock coverage: a key request already implied by a held
   // object-level lock (e.g. after escalation) is granted without creating
@@ -75,8 +98,8 @@ Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
     LockMode object_mode =
         HeldModeLocked(txn, ResourceId::Object(res.object_id));
     if (object_mode != LockMode::kNL && LockModeCovers(object_mode, mode)) {
-      stats_.covered_by_object_lock.fetch_add(1, std::memory_order_relaxed);
-      stats_.immediate_grants.fetch_add(1, std::memory_order_relaxed);
+      metrics_.covered_by_object_lock->Add();
+      metrics_.immediate_grants->Add();
       return Status::OK();
     }
   }
@@ -94,7 +117,7 @@ Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
   if (it != queue->requests.end()) {
     IVDB_CHECK_MSG(it->granted, "transaction already waiting on this lock");
     if (LockModeCovers(it->mode, mode)) {
-      stats_.immediate_grants.fetch_add(1, std::memory_order_relaxed);
+      metrics_.immediate_grants->Add();
       return Status::OK();  // already strong enough
     }
     // Lock conversion: keep position (within the granted region), switch to
@@ -104,7 +127,7 @@ Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
     it->converting_from = it->mode;
     it->mode = LockModeSupremum(it->mode, mode);
     it->granted = false;
-    stats_.conversions.fetch_add(1, std::memory_order_relaxed);
+    metrics_.conversions->Add();
   } else {
     queue->requests.push_back(LockRequest{txn, mode, LockMode::kNL, false});
     it = std::prev(queue->requests.end());
@@ -138,7 +161,7 @@ Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
   if (CanGrant(*queue, *it)) {
     it->granted = true;
     it->converting_from = LockMode::kNL;
-    stats_.immediate_grants.fetch_add(1, std::memory_order_relaxed);
+    metrics_.immediate_grants->Add();
     note_key_grant();
     return Status::OK();
   }
@@ -149,16 +172,23 @@ Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
   }
 
   waiting_on_[txn] = res;
+  // Recorded before the deadlock probe so a victim's trace still shows what
+  // it was about to wait on when the detector chose it.
+  obs::EmitTrace(obs::TraceEventType::kLockWait, res.object_id,
+                 res.IsObjectLevel() ? 0 : 1);
   if (options_.detect_deadlocks && WouldDeadlock(txn)) {
     waiting_on_.erase(txn);
     rollback_request();
-    stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+    metrics_.deadlocks->Add();
+    obs::EmitTrace(obs::TraceEventType::kLockDeadlock, res.object_id);
     return Status::Deadlock(std::string("deadlock acquiring ") +
                             LockModeName(mode) + " on " + res.ToString());
   }
 
-  stats_.waits.fetch_add(1, std::memory_order_relaxed);
-  const uint64_t wait_start = NowMicros();
+  metrics_.waits->Add();
+  // Wait accounting goes through the Clock seam (virtual time in tests);
+  // the condition-variable deadline below necessarily stays on real time.
+  const uint64_t wait_start = clock_->NowMicros();
   const auto deadline =
       std::chrono::steady_clock::now() + options_.wait_timeout;
   bool granted = false;
@@ -174,14 +204,17 @@ Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
     }
   }
   waiting_on_.erase(txn);
-  stats_.wait_micros.fetch_add(NowMicros() - wait_start,
-                               std::memory_order_relaxed);
+  const uint64_t waited = clock_->NowMicros() - wait_start;
+  metrics_.wait_micros->Add(waited);
+  metrics_.wait_latency->Record(waited);
   if (granted) {
+    obs::EmitTrace(obs::TraceEventType::kLockGrant, res.object_id, waited);
     note_key_grant();
     return Status::OK();
   }
   rollback_request();
-  stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+  metrics_.timeouts->Add();
+  obs::EmitTrace(obs::TraceEventType::kLockTimeout, res.object_id, waited);
   return Status::TimedOut("lock wait timeout on " + res.ToString());
 }
 
@@ -378,7 +411,9 @@ void LockManager::TryEscalateLocked(TxnId txn, uint32_t object_id) {
     locks_it->second.erase(res);
   }
   key_counts_.erase({txn, object_id});
-  stats_.escalations.fetch_add(1, std::memory_order_relaxed);
+  metrics_.escalations->Add();
+  obs::EmitTrace(obs::TraceEventType::kLockEscalation, object_id,
+                 key_locks.size());
 }
 
 int LockManager::NumHolders(const ResourceId& res) const {

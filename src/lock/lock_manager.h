@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
 #include "lock/lock_mode.h"
+#include "obs/metrics.h"
 
 namespace ivdb {
 
@@ -46,18 +48,25 @@ struct ResourceId {
   std::string ToString() const;
 };
 
-// Aggregate counters exposed for the benchmarks (lock-level behaviour is
-// half the paper's story).
-struct LockManagerStats {
-  std::atomic<uint64_t> acquisitions{0};
-  std::atomic<uint64_t> immediate_grants{0};
-  std::atomic<uint64_t> waits{0};
-  std::atomic<uint64_t> deadlocks{0};
-  std::atomic<uint64_t> timeouts{0};
-  std::atomic<uint64_t> conversions{0};
-  std::atomic<uint64_t> wait_micros{0};
-  std::atomic<uint64_t> escalations{0};
-  std::atomic<uint64_t> covered_by_object_lock{0};
+// Lock-manager instruments (lock-level behaviour is half the paper's
+// story). Registered in the engine's unified MetricsRegistry — or in a
+// private registry when the manager is used standalone — under
+// `ivdb_lock_*` names; see docs/OBSERVABILITY.md.
+struct LockManagerMetrics {
+  obs::Counter* acquisitions;
+  obs::Counter* immediate_grants;
+  obs::Counter* waits;
+  obs::Counter* deadlocks;
+  obs::Counter* timeouts;
+  obs::Counter* conversions;
+  obs::Counter* wait_micros;
+  obs::Counter* escalations;
+  obs::Counter* covered_by_object_lock;
+  // Per-wait latency distribution (`ivdb_lock_wait_micros`): the paper's
+  // contention story lives in this tail, not in the counter above.
+  obs::Histogram* wait_latency;
+
+  explicit LockManagerMetrics(obs::MetricsRegistry* registry);
 };
 
 // Centralized hierarchical lock manager with escrow support.
@@ -83,10 +92,17 @@ class LockManager {
     // object-level lock — it never waits, it just tries again later.
     // 0 disables escalation.
     size_t escalation_threshold = 0;
+    // Unified metrics registry to register `ivdb_lock_*` instruments in;
+    // nullptr => the manager owns a private registry (standalone use in
+    // tests/benches).
+    obs::MetricsRegistry* metrics = nullptr;
+    // Time source for wait accounting; nullptr => Clock::Default(). Tests
+    // and fault/torture harnesses inject a ManualClock for virtual time.
+    Clock* clock = nullptr;
   };
 
   LockManager() : LockManager(Options{}) {}
-  explicit LockManager(Options options) : options_(options) {}
+  explicit LockManager(Options options);
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -114,7 +130,7 @@ class LockManager {
   // Number of distinct transactions holding a granted lock on `res`.
   int NumHolders(const ResourceId& res) const;
 
-  const LockManagerStats& stats() const { return stats_; }
+  const LockManagerMetrics& metrics() const { return metrics_; }
 
  private:
   struct LockRequest {
@@ -145,6 +161,11 @@ class LockManager {
   void TryEscalateLocked(TxnId txn, uint32_t object_id);
 
   Options options_;
+  // Private fallback registry (standalone use); the handles in metrics_
+  // point into either this or the caller-provided registry.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  LockManagerMetrics metrics_;
+  Clock* const clock_;
   mutable std::mutex mu_;
   std::map<ResourceId, std::unique_ptr<LockQueue>> queues_;
   // Resources each txn has requests (granted or waiting) in.
@@ -153,7 +174,6 @@ class LockManager {
   std::map<TxnId, ResourceId> waiting_on_;
   // Granted key-lock counts per (txn, object): escalation trigger.
   std::map<std::pair<TxnId, uint32_t>, size_t> key_counts_;
-  LockManagerStats stats_;
 };
 
 }  // namespace ivdb

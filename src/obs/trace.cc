@@ -1,0 +1,144 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ivdb {
+namespace obs {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kTxnBegin: return "txn.begin";
+    case TraceEventType::kLockWait: return "lock.wait";
+    case TraceEventType::kLockGrant: return "lock.grant";
+    case TraceEventType::kLockDeadlock: return "lock.deadlock";
+    case TraceEventType::kLockTimeout: return "lock.timeout";
+    case TraceEventType::kLockEscalation: return "lock.escalation";
+    case TraceEventType::kEscrowIncrement: return "escrow.increment";
+    case TraceEventType::kWalAppend: return "wal.append";
+    case TraceEventType::kWalFlushJoin: return "wal.flush_join";
+    case TraceEventType::kViewMaintain: return "view.maintain";
+    case TraceEventType::kGhostCreate: return "ghost.create";
+    case TraceEventType::kGhostCleanup: return "ghost.cleanup";
+    case TraceEventType::kTxnCommit: return "txn.commit";
+    case TraceEventType::kTxnAbort: return "txn.abort";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::ToString(uint64_t origin_micros) const {
+  char buf[160];
+  uint64_t rel = at_micros - origin_micros;
+  switch (type) {
+    case TraceEventType::kTxnBegin:
+    case TraceEventType::kTxnAbort:
+      std::snprintf(buf, sizeof(buf), "+%8" PRIu64 "us %-16s txn=%" PRIu64,
+                    rel, TraceEventTypeName(type), a);
+      break;
+    case TraceEventType::kTxnCommit:
+      std::snprintf(buf, sizeof(buf),
+                    "+%8" PRIu64 "us %-16s txn=%" PRIu64 " took=%" PRIu64
+                    "us",
+                    rel, TraceEventTypeName(type), a, b);
+      break;
+    case TraceEventType::kLockWait:
+      std::snprintf(buf, sizeof(buf),
+                    "+%8" PRIu64 "us %-16s obj=%" PRIu64 " %s", rel,
+                    TraceEventTypeName(type), a,
+                    b != 0 ? "key" : "object");
+      break;
+    case TraceEventType::kLockGrant:
+    case TraceEventType::kLockTimeout:
+    case TraceEventType::kWalFlushJoin:
+      std::snprintf(buf, sizeof(buf),
+                    "+%8" PRIu64 "us %-16s obj=%" PRIu64 " waited=%" PRIu64
+                    "us",
+                    rel, TraceEventTypeName(type), a, b);
+      break;
+    case TraceEventType::kLockEscalation:
+    case TraceEventType::kViewMaintain:
+    case TraceEventType::kGhostCleanup:
+      std::snprintf(buf, sizeof(buf),
+                    "+%8" PRIu64 "us %-16s obj=%" PRIu64 " n=%" PRIu64, rel,
+                    TraceEventTypeName(type), a, b);
+      break;
+    case TraceEventType::kWalAppend:
+      std::snprintf(buf, sizeof(buf),
+                    "+%8" PRIu64 "us %-16s lsn=%" PRIu64 " bytes=%" PRIu64,
+                    rel, TraceEventTypeName(type), a, b);
+      break;
+    case TraceEventType::kLockDeadlock:
+    case TraceEventType::kEscrowIncrement:
+    case TraceEventType::kGhostCreate:
+      std::snprintf(buf, sizeof(buf), "+%8" PRIu64 "us %-16s obj=%" PRIu64,
+                    rel, TraceEventTypeName(type), a);
+      break;
+  }
+  return buf;
+}
+
+TraceRecorder::TraceRecorder(size_t capacity, Clock* clock)
+    : capacity_(capacity),
+      clock_(clock != nullptr ? clock : Clock::Default()) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::Record(TraceEventType type, uint64_t a, uint64_t b) {
+  if (capacity_ == 0) return;
+  TraceEvent event;
+  event.at_micros = clock_->NowMicros();
+  event.type = type;
+  event.a = a;
+  event.b = b;
+  std::lock_guard<std::mutex> guard(mu_);
+  if (recorded_ == 0) origin_micros_ = event.at_micros;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  recorded_++;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+std::string TraceRecorder::Dump() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  char header[96];
+  std::snprintf(header, sizeof(header),
+                "trace: %" PRIu64 " event(s), %" PRIu64 " dropped\n",
+                recorded_, recorded_ - ring_.size());
+  std::string out = header;
+  // Oldest-first: when the ring has wrapped, `next_` points at the oldest
+  // slot; before wrapping the oldest is slot 0.
+  size_t start = (ring_.size() == capacity_) ? next_ : 0;
+  for (size_t i = 0; i < ring_.size(); i++) {
+    const TraceEvent& event = ring_[(start + i) % ring_.size()];
+    out += "  " + event.ToString(origin_micros_) + "\n";
+  }
+  return out;
+}
+
+namespace {
+thread_local TraceRecorder* g_current_trace = nullptr;
+}  // namespace
+
+TraceRecorder* CurrentTrace() { return g_current_trace; }
+
+TraceScope::TraceScope(TraceRecorder* recorder) : prev_(g_current_trace) {
+  g_current_trace = recorder;
+}
+
+TraceScope::~TraceScope() { g_current_trace = prev_; }
+
+}  // namespace obs
+}  // namespace ivdb

@@ -1,0 +1,115 @@
+#ifndef IVDB_OBS_TRACE_H_
+#define IVDB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace ivdb {
+namespace obs {
+
+// Span-event catalog (see docs/OBSERVABILITY.md for the full reference).
+// Events carry two generic uint64 arguments whose meaning depends on the
+// type; ToString() in trace.cc knows how to render each.
+enum class TraceEventType : uint8_t {
+  kTxnBegin = 0,       // a = txn id
+  kLockWait,           // a = object id, b = 1 if key-level
+  kLockGrant,          // a = object id, b = wait micros (0 = immediate)
+  kLockDeadlock,       // a = object id
+  kLockTimeout,        // a = object id, b = wait micros
+  kLockEscalation,     // a = object id, b = key locks traded in
+  kEscrowIncrement,    // a = view object id
+  kWalAppend,          // a = lsn, b = record bytes
+  kWalFlushJoin,       // a = lsn waited for, b = flush-wait micros
+  kViewMaintain,       // a = view object id, b = deltas applied
+  kGhostCreate,        // a = view object id
+  kGhostCleanup,       // a = view object id, b = rows reclaimed
+  kTxnCommit,          // a = txn id, b = commit-path micros
+  kTxnAbort,           // a = txn id
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  uint64_t at_micros = 0;
+  TraceEventType type = TraceEventType::kTxnBegin;
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  std::string ToString(uint64_t origin_micros) const;
+};
+
+// Fixed-capacity ring buffer of timestamped span events, attached to one
+// Transaction. capacity == 0 disables recording entirely (the default
+// outside tests/benches): Record() is then a single branch.
+//
+// A transaction is driven by one thread at a time, but a dump may race a
+// late recorder (e.g. diagnosing a stuck transaction), so the ring is
+// guarded by a mutex; with tracing enabled the cost is one uncontended
+// lock per event, and with tracing disabled no lock is taken at all.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity, Clock* clock = nullptr);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+
+  void Record(TraceEventType type, uint64_t a = 0, uint64_t b = 0);
+
+  // Events currently held (<= capacity) and events overwritten by ring
+  // wraparound.
+  size_t size() const;
+  uint64_t dropped() const;
+
+  // Oldest-to-newest human-readable span log; timestamps are printed
+  // relative to the first event ever recorded. The header notes how many
+  // earlier events the ring dropped.
+  std::string Dump() const;
+
+ private:
+  const size_t capacity_;
+  Clock* const clock_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // capacity_ slots once full
+  size_t next_ = 0;               // ring slot for the next event
+  uint64_t recorded_ = 0;         // total events ever recorded
+  uint64_t origin_micros_ = 0;    // timestamp of the first event
+};
+
+// Thread-local trace sink. The engine scopes each operation it performs on
+// behalf of a transaction with `TraceScope scope(txn->trace());` and the
+// layers below (lock manager, WAL, view maintenance) emit events through
+// EmitTrace() without knowing which transaction is running. Null recorder
+// (or a disabled one) makes EmitTrace a no-op.
+TraceRecorder* CurrentTrace();
+
+class TraceScope {
+ public:
+  explicit TraceScope(TraceRecorder* recorder);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRecorder* prev_;
+};
+
+inline void EmitTrace(TraceEventType type, uint64_t a = 0, uint64_t b = 0) {
+  TraceRecorder* recorder = CurrentTrace();
+  if (recorder != nullptr && recorder->enabled()) {
+    recorder->Record(type, a, b);
+  }
+}
+
+}  // namespace obs
+}  // namespace ivdb
+
+#endif  // IVDB_OBS_TRACE_H_

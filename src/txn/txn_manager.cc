@@ -6,14 +6,46 @@
 
 namespace ivdb {
 
+TxnManagerMetrics::TxnManagerMetrics(obs::MetricsRegistry* registry)
+    : begun(registry->GetCounter("ivdb_txn_begun_total")),
+      committed(registry->GetCounter("ivdb_txn_committed_total")),
+      aborted(registry->GetCounter("ivdb_txn_aborted_total")),
+      system_committed(
+          registry->GetCounter("ivdb_txn_system_committed_total")),
+      active(registry->GetGauge("ivdb_txn_active")),
+      commit_latency(registry->GetHistogram("ivdb_txn_commit_micros")) {}
+
 TransactionManager::TransactionManager(LockManager* lock_manager,
                                        LogManager* log_manager,
                                        VersionStore* version_store,
-                                       LogApplier* applier)
+                                       LogApplier* applier, Options options)
     : lock_manager_(lock_manager),
       log_manager_(log_manager),
       version_store_(version_store),
-      applier_(applier) {}
+      applier_(applier),
+      options_(options),
+      owned_registry_(options.metrics == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : owned_registry_.get()),
+      wall_clock_(options.clock != nullptr ? options.clock
+                                           : Clock::Default()) {}
+
+// Attaches a trace recorder when enabled and publishes the descriptor.
+// Caller holds active_mu_.
+Transaction* TransactionManager::Register(std::unique_ptr<Transaction> txn) {
+  if (options_.trace_ring_capacity > 0) {
+    txn->set_trace(std::make_unique<obs::TraceRecorder>(
+        options_.trace_ring_capacity, wall_clock_));
+    txn->trace()->Record(obs::TraceEventType::kTxnBegin, txn->id());
+  }
+  Transaction* out = txn.get();
+  active_[out->id()] = std::move(txn);
+  metrics_.begun->Add();
+  metrics_.active->Add(1);
+  return out;
+}
 
 Transaction* TransactionManager::Begin(ReadMode read_mode) {
   IVDB_LOCK_ORDER(LockRank::kTxnActive);
@@ -28,12 +60,8 @@ Transaction* TransactionManager::Begin(ReadMode read_mode) {
     std::lock_guard<std::mutex> vis_guard(visibility_mu_);
     begin_ts = clock_.Tick();
   }
-  auto txn = std::make_unique<Transaction>(id, begin_ts, read_mode,
-                                           /*system=*/false);
-  Transaction* out = txn.get();
-  active_[id] = std::move(txn);
-  stats_.begun.fetch_add(1, std::memory_order_relaxed);
-  return out;
+  return Register(std::make_unique<Transaction>(id, begin_ts, read_mode,
+                                                /*system=*/false));
 }
 
 Transaction* TransactionManager::BeginSystem() {
@@ -49,12 +77,9 @@ Transaction* TransactionManager::BeginSystem() {
     std::lock_guard<std::mutex> vis_guard(visibility_mu_);
     begin_ts = clock_.Tick();
   }
-  auto txn = std::make_unique<Transaction>(id, begin_ts, ReadMode::kLocking,
-                                           /*system=*/true);
-  Transaction* out = txn.get();
-  active_[id] = std::move(txn);
-  stats_.begun.fetch_add(1, std::memory_order_relaxed);
-  return out;
+  return Register(std::make_unique<Transaction>(id, begin_ts,
+                                                ReadMode::kLocking,
+                                                /*system=*/true));
 }
 
 Status TransactionManager::AppendBeginIfNeeded(Transaction* txn) {
@@ -128,12 +153,16 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (txn->state() != TxnState::kActive) {
     return Status::InvalidArgument("commit of non-active transaction");
   }
+  // Commit-path events (WAL append, flush join) land in this transaction's
+  // trace even when the caller did not set a scope.
+  obs::TraceScope trace_scope(txn->trace());
   if (!txn->has_writes()) {
     txn->set_commit_ts(txn->begin_ts());
     FinishTxn(txn, TxnState::kCommitted);
-    stats_.committed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.committed->Add();
     return Status::OK();
   }
+  const uint64_t commit_start = wall_clock_->NowMicros();
 
   LogRecord commit;
   {
@@ -169,11 +198,16 @@ Status TransactionManager::Commit(Transaction* txn) {
   IVDB_RETURN_NOT_OK(log_manager_->Append(&end));
 
   FinishTxn(txn, TxnState::kCommitted);
+  const uint64_t commit_micros = wall_clock_->NowMicros() - commit_start;
   if (txn->is_system()) {
-    stats_.system_committed.fetch_add(1, std::memory_order_relaxed);
+    metrics_.system_committed->Add();
   } else {
-    stats_.committed.fetch_add(1, std::memory_order_relaxed);
+    // Only user transactions with writes pay the commit path; this is the
+    // latency distribution the benches report percentiles of.
+    metrics_.commit_latency->Record(commit_micros);
+    metrics_.committed->Add();
   }
+  obs::EmitTrace(obs::TraceEventType::kTxnCommit, txn->id(), commit_micros);
   return Status::OK();
 }
 
@@ -181,6 +215,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   if (txn->state() != TxnState::kActive) {
     return Status::InvalidArgument("abort of non-active transaction");
   }
+  obs::TraceScope trace_scope(txn->trace());
   if (txn->has_writes()) {
     LogRecord abort_rec;
     abort_rec.type = LogRecordType::kAbort;
@@ -215,7 +250,8 @@ Status TransactionManager::Abort(Transaction* txn) {
     version_store_->Abort(txn->id());
   }
   FinishTxn(txn, TxnState::kAborted);
-  stats_.aborted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.aborted->Add();
+  obs::EmitTrace(obs::TraceEventType::kTxnAbort, txn->id());
   return Status::OK();
 }
 
@@ -250,6 +286,7 @@ void TransactionManager::FinishTxn(Transaction* txn, TxnState final_state) {
   if (it != active_.end()) {
     finished_[txn->id()] = std::move(it->second);
     active_.erase(it);
+    metrics_.active->Add(-1);
   }
   active_cv_.notify_all();
 }

@@ -11,6 +11,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "lock/lock_manager.h"
+#include "obs/metrics.h"
 #include "storage/version_store.h"
 #include "txn/transaction.h"
 #include "wal/log_manager.h"
@@ -29,11 +30,20 @@ class LogApplier {
   virtual Status ApplyRedo(LogRecordType op_type, const LogRecord& rec) = 0;
 };
 
-struct TxnManagerStats {
-  std::atomic<uint64_t> begun{0};
-  std::atomic<uint64_t> committed{0};
-  std::atomic<uint64_t> aborted{0};
-  std::atomic<uint64_t> system_committed{0};
+// Transaction-lifecycle instruments (`ivdb_txn_*`); see
+// docs/OBSERVABILITY.md.
+struct TxnManagerMetrics {
+  obs::Counter* begun;
+  obs::Counter* committed;
+  obs::Counter* aborted;
+  obs::Counter* system_committed;
+  obs::Gauge* active;
+  // End-to-end commit-path latency of user transactions with writes
+  // (`ivdb_txn_commit_micros`): timestamp draw + COMMIT append + group
+  // commit flush + END. The escrow-vs-X-lock story is in this tail.
+  obs::Histogram* commit_latency;
+
+  explicit TxnManagerMetrics(obs::MetricsRegistry* registry);
 };
 
 // Coordinates transaction lifecycle: timestamps, WAL records, rollback,
@@ -52,8 +62,24 @@ struct TxnManagerStats {
 // strictly before, in log order) the user commit that depends on them.
 class TransactionManager {
  public:
+  struct Options {
+    // Unified metrics registry (`ivdb_txn_*`); nullptr => private registry.
+    obs::MetricsRegistry* metrics = nullptr;
+    // Time source for commit-latency accounting and trace timestamps;
+    // nullptr => Clock::Default().
+    Clock* clock = nullptr;
+    // Per-transaction trace ring size (span events); 0 — the default
+    // outside tests/benches — disables tracing entirely.
+    size_t trace_ring_capacity = 0;
+  };
+
   TransactionManager(LockManager* lock_manager, LogManager* log_manager,
-                     VersionStore* version_store, LogApplier* applier);
+                     VersionStore* version_store, LogApplier* applier,
+                     Options options);
+  TransactionManager(LockManager* lock_manager, LogManager* log_manager,
+                     VersionStore* version_store, LogApplier* applier)
+      : TransactionManager(lock_manager, log_manager, version_store, applier,
+                           Options()) {}
 
   TransactionManager(const TransactionManager&) = delete;
   TransactionManager& operator=(const TransactionManager&) = delete;
@@ -109,7 +135,7 @@ class TransactionManager {
   void Forget(Transaction* txn);
 
   LogicalClock* clock() { return &clock_; }
-  const TxnManagerStats& stats() const { return stats_; }
+  const TxnManagerMetrics& metrics() const { return metrics_; }
 
   // Next id to be handed out (checkpoint high-water mark).
   TxnId PeekNextTxnId() const {
@@ -123,11 +149,16 @@ class TransactionManager {
   Status AppendBeginIfNeeded(Transaction* txn);
   Status AppendDataRecord(Transaction* txn, LogRecord rec);
   void FinishTxn(Transaction* txn, TxnState final_state);
+  Transaction* Register(std::unique_ptr<Transaction> txn);
 
   LockManager* const lock_manager_;
   LogManager* const log_manager_;
   VersionStore* const version_store_;
   LogApplier* const applier_;
+  Options options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  TxnManagerMetrics metrics_;
+  Clock* const wall_clock_;
 
   LogicalClock clock_;
   std::atomic<TxnId> next_txn_id_{1};
@@ -141,8 +172,6 @@ class TransactionManager {
   bool quiescing_ = false;
   std::map<TxnId, std::unique_ptr<Transaction>> active_;
   std::map<TxnId, std::unique_ptr<Transaction>> finished_;
-
-  TxnManagerStats stats_;
 };
 
 }  // namespace ivdb

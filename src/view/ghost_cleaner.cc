@@ -3,23 +3,44 @@
 #include <chrono>
 
 #include "catalog/schema.h"
+#include "obs/trace.h"
 
 namespace ivdb {
 
+GhostCleanerMetrics::GhostCleanerMetrics(obs::MetricsRegistry* registry,
+                                         const std::string& view_name)
+    : passes(registry->GetCounter(
+          obs::WithLabel("ivdb_ghost_passes_total", "view", view_name))),
+      candidates_seen(registry->GetCounter(obs::WithLabel(
+          "ivdb_ghost_candidates_seen_total", "view", view_name))),
+      reclaimed(registry->GetCounter(
+          obs::WithLabel("ivdb_ghost_reclaimed_total", "view", view_name))),
+      skipped_locked(registry->GetCounter(obs::WithLabel(
+          "ivdb_ghost_skipped_locked_total", "view", view_name))),
+      skipped_revived(registry->GetCounter(obs::WithLabel(
+          "ivdb_ghost_skipped_revived_total", "view", view_name))) {}
+
 GhostCleaner::GhostCleaner(ObjectId view_id, size_t count_column,
                            IndexResolver* resolver, LockManager* locks,
-                           TransactionManager* txns, VersionStore* versions)
+                           TransactionManager* txns, VersionStore* versions,
+                           Options options)
     : view_id_(view_id),
       count_column_(count_column),
       resolver_(resolver),
       locks_(locks),
       txns_(txns),
-      versions_(versions) {}
+      versions_(versions),
+      owned_registry_(options.metrics == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : owned_registry_.get(),
+               options.view_name) {}
 
 GhostCleaner::~GhostCleaner() { Stop(); }
 
 Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
-  stats_.passes.fetch_add(1, std::memory_order_relaxed);
+  metrics_.passes->Add();
   BTree* tree = resolver_->GetIndex(view_id_);
   if (tree == nullptr) return Status::Corruption("view index missing");
 
@@ -41,8 +62,7 @@ Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
     return true;
   });
   IVDB_RETURN_NOT_OK(scan_status);
-  stats_.candidates_seen.fetch_add(candidates.size(),
-                                   std::memory_order_relaxed);
+  metrics_.candidates_seen->Add(candidates.size());
 
   uint64_t reclaimed = 0;
   for (const std::string& key : candidates) {
@@ -53,7 +73,7 @@ Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
     if (!lock_status.ok()) {
       // Some transaction still holds E (uncommitted contributions) or is
       // reading the row; leave the ghost for a later pass.
-      stats_.skipped_locked.fetch_add(1, std::memory_order_relaxed);
+      metrics_.skipped_locked->Add();
       txns_->Abort(sys);
       txns_->Forget(sys);
       continue;
@@ -69,7 +89,7 @@ Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
       }
     }
     if (!still_ghost) {
-      stats_.skipped_revived.fetch_add(1, std::memory_order_relaxed);
+      metrics_.skipped_revived->Add();
       txns_->Commit(sys);
       txns_->Forget(sys);
       continue;
@@ -91,7 +111,8 @@ Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
     txns_->Forget(sys);
     reclaimed++;
   }
-  stats_.reclaimed.fetch_add(reclaimed, std::memory_order_relaxed);
+  metrics_.reclaimed->Add(reclaimed);
+  obs::EmitTrace(obs::TraceEventType::kGhostCleanup, view_id_, reclaimed);
   if (reclaimed_out != nullptr) *reclaimed_out = reclaimed;
   return Status::OK();
 }

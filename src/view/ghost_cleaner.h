@@ -3,21 +3,29 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <thread>
 
 #include "lock/lock_manager.h"
+#include "obs/metrics.h"
 #include "storage/version_store.h"
 #include "txn/txn_manager.h"
 #include "view/maintenance.h"
 
 namespace ivdb {
 
-struct GhostCleanerStats {
-  std::atomic<uint64_t> passes{0};
-  std::atomic<uint64_t> candidates_seen{0};
-  std::atomic<uint64_t> reclaimed{0};
-  std::atomic<uint64_t> skipped_locked{0};   // E/X holder present; try later
-  std::atomic<uint64_t> skipped_revived{0};  // count rose again before lock
+// Per-view ghost-reclamation instruments, labeled `{view="<name>"}`; see
+// docs/OBSERVABILITY.md.
+struct GhostCleanerMetrics {
+  obs::Counter* passes;
+  obs::Counter* candidates_seen;
+  obs::Counter* reclaimed;
+  obs::Counter* skipped_locked;   // E/X holder present; try later
+  obs::Counter* skipped_revived;  // count rose again before lock
+
+  GhostCleanerMetrics(obs::MetricsRegistry* registry,
+                      const std::string& view_name);
 };
 
 // Asynchronous reclamation of ghost aggregate rows (count == 0).
@@ -36,9 +44,22 @@ struct GhostCleanerStats {
 // paper's "asynchronous ghost cleanup" system transaction.
 class GhostCleaner {
  public:
+  struct Options {
+    // Unified metrics registry (`ivdb_ghost_*{view="..."}` instruments);
+    // nullptr => the cleaner owns a private registry.
+    obs::MetricsRegistry* metrics = nullptr;
+    // Label value for this cleaner's instruments (normally the view name).
+    std::string view_name;
+  };
+
   GhostCleaner(ObjectId view_id, size_t count_column, IndexResolver* resolver,
                LockManager* locks, TransactionManager* txns,
-               VersionStore* versions);
+               VersionStore* versions, Options options);
+  GhostCleaner(ObjectId view_id, size_t count_column, IndexResolver* resolver,
+               LockManager* locks, TransactionManager* txns,
+               VersionStore* versions)
+      : GhostCleaner(view_id, count_column, resolver, locks, txns, versions,
+                     Options()) {}
   ~GhostCleaner();
 
   GhostCleaner(const GhostCleaner&) = delete;
@@ -51,7 +72,7 @@ class GhostCleaner {
   void Start(uint64_t interval_micros);
   void Stop();
 
-  const GhostCleanerStats& stats() const { return stats_; }
+  const GhostCleanerMetrics& metrics() const { return metrics_; }
 
  private:
   const ObjectId view_id_;
@@ -60,10 +81,11 @@ class GhostCleaner {
   LockManager* const locks_;
   TransactionManager* const txns_;
   VersionStore* const versions_;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  GhostCleanerMetrics metrics_;
 
   std::atomic<bool> running_{false};
   std::thread thread_;
-  GhostCleanerStats stats_;
 };
 
 }  // namespace ivdb

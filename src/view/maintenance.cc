@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ivdb {
 
@@ -54,6 +55,19 @@ Status SignedContribution(const Value& v, int sign, TypeId stored_type,
 
 }  // namespace
 
+ViewMaintainerMetrics::ViewMaintainerMetrics(obs::MetricsRegistry* registry,
+                                             const std::string& view_name)
+    : increments_applied(registry->GetCounter(
+          obs::WithLabel("ivdb_view_increments_total", "view", view_name))),
+      ghosts_created(registry->GetCounter(obs::WithLabel(
+          "ivdb_view_ghosts_created_total", "view", view_name))),
+      ghost_create_races(registry->GetCounter(obs::WithLabel(
+          "ivdb_view_ghost_create_races_total", "view", view_name))),
+      deferred_batches(registry->GetCounter(obs::WithLabel(
+          "ivdb_view_deferred_batches_total", "view", view_name))),
+      deferred_changes_coalesced(registry->GetCounter(obs::WithLabel(
+          "ivdb_view_deferred_changes_coalesced_total", "view", view_name))) {}
+
 ViewMaintainer::ViewMaintainer(ViewDefinition definition, ObjectId view_id,
                                Schema fact_schema,
                                std::optional<Schema> dimension_schema,
@@ -72,7 +86,13 @@ ViewMaintainer::ViewMaintainer(ViewDefinition definition, ObjectId view_id,
       locks_(locks),
       txns_(txns),
       versions_(versions),
-      options_(options) {
+      options_(options),
+      owned_registry_(options_.metrics == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : owned_registry_.get(),
+               def_.name) {
   for (size_t i = 0; i < def_.aggregates.size(); i++) {
     if (def_.aggregates[i].min_value.has_value()) {
       escrow_bounds_.push_back(VersionStore::ColumnBound{
@@ -244,7 +264,7 @@ Status ViewMaintainer::CreateGhost(const std::string& key,
   };
   if (tree->Contains(key)) {
     // Lost the creation race; the row exists now, which is all we need.
-    stats_.ghost_create_races.fetch_add(1, std::memory_order_relaxed);
+    metrics_.ghost_create_races->Add();
     return finish(Status::OK());
   }
   Row ghost = GhostRow(group_values);
@@ -257,7 +277,8 @@ Status ViewMaintainer::CreateGhost(const std::string& key,
                                          return Status::OK();
                                        });
   if (!s.ok()) return finish(s);
-  stats_.ghosts_created.fetch_add(1, std::memory_order_relaxed);
+  metrics_.ghosts_created->Add();
+  obs::EmitTrace(obs::TraceEventType::kGhostCreate, view_id_);
   return finish(Status::OK());
 }
 
@@ -288,7 +309,7 @@ Status ViewMaintainer::ApplyAggregateDelta(Transaction* txn,
     }
     // The ghost cleaner reclaimed the row between creation and our lock
     // acquisition; go around again.
-    stats_.ghost_create_races.fetch_add(1, std::memory_order_relaxed);
+    metrics_.ghost_create_races->Add();
   }
   if (!locked_and_present) {
     return Status::Busy("could not stabilize aggregate row for maintenance");
@@ -306,6 +327,7 @@ Status ViewMaintainer::ApplyAggregateDelta(Transaction* txn,
         tree, escrow_bounds_.empty() ? nullptr : &escrow_bounds_, [&] {
           return txns_->LogIncrement(txn, view_id_, key, delta.deltas);
         }));
+    obs::EmitTrace(obs::TraceEventType::kEscrowIncrement, view_id_);
   } else {
     // Baseline path: exclusive lock, physical before/after images.
     std::string before;
@@ -330,7 +352,7 @@ Status ViewMaintainer::ApplyAggregateDelta(Transaction* txn,
           return Status::OK();
         }));
   }
-  stats_.increments_applied.fetch_add(1, std::memory_order_relaxed);
+  metrics_.increments_applied->Add();
   return Status::OK();
 }
 
@@ -438,13 +460,13 @@ Status ViewMaintainer::ApplyBatch(Transaction* txn,
   std::vector<AggregateDelta> deltas;
   IVDB_RETURN_NOT_OK(ComputeAggregateDeltasImpl(batch, txn, &deltas));
   if (batch.size() > 1) {
-    stats_.deferred_batches.fetch_add(1, std::memory_order_relaxed);
-    stats_.deferred_changes_coalesced.fetch_add(batch.size(),
-                                                std::memory_order_relaxed);
+    metrics_.deferred_batches->Add();
+    metrics_.deferred_changes_coalesced->Add(batch.size());
   }
   for (const AggregateDelta& delta : deltas) {
     IVDB_RETURN_NOT_OK(ApplyAggregateDelta(txn, delta));
   }
+  obs::EmitTrace(obs::TraceEventType::kViewMaintain, view_id_, deltas.size());
   return Status::OK();
 }
 

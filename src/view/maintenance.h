@@ -8,6 +8,7 @@
 
 #include "catalog/catalog.h"
 #include "lock/lock_manager.h"
+#include "obs/metrics.h"
 #include "storage/btree.h"
 #include "storage/increment.h"
 #include "storage/version_store.h"
@@ -29,12 +30,17 @@ struct AggregateDelta {
   std::vector<ColumnDelta> deltas;   // indexes into the stored view row
 };
 
-struct ViewMaintainerStats {
-  std::atomic<uint64_t> increments_applied{0};
-  std::atomic<uint64_t> ghosts_created{0};
-  std::atomic<uint64_t> ghost_create_races{0};  // lost creation race, retried
-  std::atomic<uint64_t> deferred_batches{0};
-  std::atomic<uint64_t> deferred_changes_coalesced{0};
+// Per-view maintenance instruments, labeled `{view="<name>"}` so several
+// maintainers can share one registry; see docs/OBSERVABILITY.md.
+struct ViewMaintainerMetrics {
+  obs::Counter* increments_applied;
+  obs::Counter* ghosts_created;
+  obs::Counter* ghost_create_races;  // lost creation race, retried
+  obs::Counter* deferred_batches;
+  obs::Counter* deferred_changes_coalesced;
+
+  ViewMaintainerMetrics(obs::MetricsRegistry* registry,
+                        const std::string& view_name);
 };
 
 // Maintains one indexed view inside user transactions.
@@ -62,6 +68,9 @@ class ViewMaintainer {
     // Attempts of the ghost-creation/lock/recheck loop before giving up
     // with Busy (forces the caller to abort and retry the transaction).
     int max_apply_attempts = 16;
+    // Unified metrics registry (`ivdb_view_*{view="..."}` instruments);
+    // nullptr => the maintainer owns a private registry.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   ViewMaintainer(ViewDefinition definition, ObjectId view_id,
@@ -75,7 +84,7 @@ class ViewMaintainer {
   const Schema& view_schema() const { return view_schema_; }
   const Schema& joined_schema() const { return joined_schema_; }
   const Options& options() const { return options_; }
-  const ViewMaintainerStats& stats() const { return stats_; }
+  const ViewMaintainerMetrics& metrics() const { return metrics_; }
 
   // Maintains the view for one base-table change inside `txn` (immediate
   // timing). The caller must already hold the base-table locks.
@@ -126,10 +135,10 @@ class ViewMaintainer {
   TransactionManager* const txns_;
   VersionStore* const versions_;
   const Options options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  mutable ViewMaintainerMetrics metrics_;
   // Escrow constraints derived from AggregateSpec::min_value.
   std::vector<VersionStore::ColumnBound> escrow_bounds_;
-
-  mutable ViewMaintainerStats stats_;
 };
 
 }  // namespace ivdb

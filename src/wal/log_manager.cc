@@ -8,12 +8,28 @@
 #include "common/invariant.h"
 #include "common/lock_order.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ivdb {
 
+LogManagerMetrics::LogManagerMetrics(obs::MetricsRegistry* registry)
+    : records_appended(
+          registry->GetCounter("ivdb_wal_records_appended_total")),
+      bytes_appended(registry->GetCounter("ivdb_wal_bytes_appended_total")),
+      flushes(registry->GetCounter("ivdb_wal_flushes_total")),
+      flushed_records(registry->GetCounter("ivdb_wal_flushed_records_total")),
+      flush_wait_latency(
+          registry->GetHistogram("ivdb_wal_flush_wait_micros")) {}
+
 LogManager::LogManager(LogManagerOptions options)
     : options_(std::move(options)),
-      env_(options_.env != nullptr ? options_.env : Env::Default()) {}
+      env_(options_.env != nullptr ? options_.env : Env::Default()),
+      owned_registry_(options_.metrics == nullptr
+                          ? std::make_unique<obs::MetricsRegistry>()
+                          : nullptr),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : owned_registry_.get()),
+      clock_(options_.clock != nullptr ? options_.clock : Clock::Default()) {}
 
 LogManager::~LogManager() {
   if (file_ != nullptr) file_->Close();
@@ -43,8 +59,9 @@ Status LogManager::Append(LogRecord* rec) {
   PutFixed32(&buffer_, Crc32(body.data(), body.size()));
   buffer_.append(body);
   buffered_upto_ = rec->lsn;
-  stats_.records_appended.fetch_add(1, std::memory_order_relaxed);
-  stats_.bytes_appended.fetch_add(body.size() + 8, std::memory_order_relaxed);
+  metrics_.records_appended->Add();
+  metrics_.bytes_appended->Add(body.size() + 8);
+  obs::EmitTrace(obs::TraceEventType::kWalAppend, rec->lsn, body.size() + 8);
   return Status::OK();
 }
 
@@ -65,6 +82,10 @@ Status LogManager::WriteBatch(const std::string& batch) {
 Status LogManager::Flush(Lsn upto) {
   IVDB_LOCK_ORDER(LockRank::kWalFlush);
   std::unique_lock<std::mutex> lock(flush_mu_);
+  if (flushed_lsn_.load(std::memory_order_acquire) >= upto) {
+    return Status::OK();  // already durable: not a flush wait
+  }
+  const uint64_t flush_start = clock_->NowMicros();
   while (flushed_lsn_.load(std::memory_order_acquire) < upto) {
     if (flusher_active_) {
       // Follower: a leader's I/O is in flight; our records (appended before
@@ -100,17 +121,19 @@ Status LogManager::Flush(Lsn upto) {
       flush_cv_.notify_all();
       return status;
     }
-    stats_.flushes.fetch_add(1, std::memory_order_relaxed);
+    metrics_.flushes->Add();
     Lsn prev = flushed_lsn_.load(std::memory_order_relaxed);
     IVDB_INVARIANT(batch_upto >= prev || batch.empty(),
                    "flushed LSN watermark may only advance");
     if (batch_upto > prev) {
-      stats_.flushed_records.fetch_add(batch_upto - prev,
-                                       std::memory_order_relaxed);
+      metrics_.flushed_records->Add(batch_upto - prev);
       flushed_lsn_.store(batch_upto, std::memory_order_release);
     }
     flush_cv_.notify_all();
   }
+  const uint64_t waited = clock_->NowMicros() - flush_start;
+  metrics_.flush_wait_latency->Record(waited);
+  obs::EmitTrace(obs::TraceEventType::kWalFlushJoin, upto, waited);
   return Status::OK();
 }
 

@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/env.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "wal/log_record.h"
 
 namespace ivdb {
@@ -39,13 +41,25 @@ struct LogManagerOptions {
   // File-system seam; nullptr => Env::Default(). Tests inject a
   // FaultInjectionEnv here to crash the log at exact write/sync boundaries.
   Env* env = nullptr;
+  // Unified metrics registry (`ivdb_wal_*` instruments); nullptr => the
+  // manager owns a private registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Time source for flush-latency accounting; nullptr => Clock::Default().
+  Clock* clock = nullptr;
 };
 
-struct LogManagerStats {
-  std::atomic<uint64_t> records_appended{0};
-  std::atomic<uint64_t> bytes_appended{0};
-  std::atomic<uint64_t> flushes{0};
-  std::atomic<uint64_t> flushed_records{0};
+// WAL instruments; see docs/OBSERVABILITY.md for the naming scheme.
+struct LogManagerMetrics {
+  obs::Counter* records_appended;
+  obs::Counter* bytes_appended;
+  obs::Counter* flushes;
+  obs::Counter* flushed_records;
+  // Time a committer spends inside Flush() waiting for its LSN to become
+  // durable (`ivdb_wal_flush_wait_micros`): group commit shows up here as a
+  // tight distribution near the device latency.
+  obs::Histogram* flush_wait_latency;
+
+  explicit LogManagerMetrics(obs::MetricsRegistry* registry);
 };
 
 // Append-only write-ahead log with group commit.
@@ -77,7 +91,7 @@ class LogManager {
   // After recovery, continue LSN allocation past everything in the log.
   void AdvancePastLsn(Lsn lsn);
 
-  const LogManagerStats& stats() const { return stats_; }
+  const LogManagerMetrics& metrics() const { return metrics_; }
 
   // Reads every well-formed record from a log file, stopping silently at the
   // first corrupt/torn record (crash tail). Returns the records in order.
@@ -92,6 +106,9 @@ class LogManager {
  private:
   LogManagerOptions options_;
   Env* env_ = nullptr;  // options_.env resolved against Env::Default()
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  LogManagerMetrics metrics_;
+  Clock* clock_ = nullptr;  // options_.clock resolved against Clock::Default()
   std::unique_ptr<WritableFile> file_;
 
   // Writes a batch to the file (plus fsync / simulated latency). Called
@@ -112,7 +129,6 @@ class LogManager {
 
   std::atomic<Lsn> next_lsn_{1};
   std::atomic<Lsn> flushed_lsn_{0};
-  LogManagerStats stats_;
 };
 
 }  // namespace ivdb

@@ -238,7 +238,7 @@ TEST(Concurrency, DeadlocksResolvedAndWorkCompletes) {
   for (auto& t : threads) t.join();
   // All transactions eventually committed (RunWithRetry loops), and any
   // deadlocks were broken by the detector rather than by timeouts.
-  EXPECT_EQ(db->lock_stats().timeouts.load(), 0u);
+  EXPECT_EQ(db->lock_metrics().timeouts->Value(), 0u);
 }
 
 TEST(Concurrency, GhostCreationRaceResolvesToOneRow) {
@@ -305,9 +305,9 @@ TEST(Concurrency, ChurnWithBackgroundGhostCleaner) {
   ASSERT_TRUE(db->CleanGhosts().ok());
   EXPECT_TRUE(db->VerifyViewConsistency("by_grp").ok())
       << db->VerifyViewConsistency("by_grp").ToString();
-  const GhostCleanerStats* stats = db->ghost_stats("by_grp");
+  const GhostCleanerMetrics* stats = db->ghost_metrics("by_grp");
   ASSERT_NE(stats, nullptr);
-  EXPECT_GT(stats->reclaimed.load(), 0u);
+  EXPECT_GT(stats->reclaimed->Value(), 0u);
 }
 
 TEST(Concurrency, MixedWorkloadManyGroupsStaysConsistent) {

@@ -248,10 +248,10 @@ TEST_F(DatabaseTest, GhostStatsTracked) {
   Commit([&](Transaction* txn) {
     ASSERT_TRUE(db_->Insert(txn, "sales", Sale(1, "eu", 10.0, 2)).ok());
   });
-  const ViewMaintainerStats* stats = db_->view_stats("sales_by_region");
+  const ViewMaintainerMetrics* stats = db_->view_metrics("sales_by_region");
   ASSERT_NE(stats, nullptr);
-  EXPECT_EQ(stats->ghosts_created.load(), 1u);
-  EXPECT_EQ(stats->increments_applied.load(), 1u);
+  EXPECT_EQ(stats->ghosts_created->Value(), 1u);
+  EXPECT_EQ(stats->increments_applied->Value(), 1u);
 }
 
 TEST_F(DatabaseTest, ProjectionView) {
@@ -365,9 +365,9 @@ TEST_F(DatabaseTest, DeferredMaintenanceCoalesces) {
   db->Commit(reader);
 
   // Ten changes coalesced into a single increment.
-  const ViewMaintainerStats* stats = db->view_stats("sales_by_region");
-  EXPECT_EQ(stats->increments_applied.load(), 1u);
-  EXPECT_EQ(stats->deferred_changes_coalesced.load(), 10u);
+  const ViewMaintainerMetrics* stats = db->view_metrics("sales_by_region");
+  EXPECT_EQ(stats->increments_applied->Value(), 1u);
+  EXPECT_EQ(stats->deferred_changes_coalesced->Value(), 10u);
   EXPECT_TRUE(db->VerifyViewConsistency("sales_by_region").ok());
 }
 
@@ -384,9 +384,9 @@ TEST_F(DatabaseTest, DeferredSelfCancelingChangeIsNoop) {
   ASSERT_TRUE(db->Commit(txn).ok());
 
   // Net delta was zero: no increment, no ghost.
-  const ViewMaintainerStats* stats = db->view_stats("sales_by_region");
-  EXPECT_EQ(stats->increments_applied.load(), 0u);
-  EXPECT_EQ(stats->ghosts_created.load(), 0u);
+  const ViewMaintainerMetrics* stats = db->view_metrics("sales_by_region");
+  EXPECT_EQ(stats->increments_applied->Value(), 0u);
+  EXPECT_EQ(stats->ghosts_created->Value(), 0u);
   EXPECT_TRUE(db->VerifyViewConsistency("sales_by_region").ok());
 }
 

@@ -59,9 +59,9 @@ TEST(GhostCleaner, ReclaimsCommittedGhosts) {
   ASSERT_TRUE(f.db->CleanGhosts(&reclaimed).ok());
   EXPECT_EQ(reclaimed, 1u);
   EXPECT_EQ(f.PhysicalRows(), 0u);
-  const GhostCleanerStats* stats = f.db->ghost_stats("by_grp");
-  EXPECT_EQ(stats->reclaimed.load(), 1u);
-  EXPECT_GE(stats->passes.load(), 1u);
+  const GhostCleanerMetrics* stats = f.db->ghost_metrics("by_grp");
+  EXPECT_EQ(stats->reclaimed->Value(), 1u);
+  EXPECT_GE(stats->passes->Value(), 1u);
 }
 
 TEST(GhostCleaner, LeavesLiveRowsAlone) {
@@ -85,8 +85,8 @@ TEST(GhostCleaner, SkipsGhostWithUncommittedDecrementer) {
   uint64_t reclaimed = 0;
   ASSERT_TRUE(f.db->CleanGhosts(&reclaimed).ok());
   EXPECT_EQ(reclaimed, 0u);
-  const GhostCleanerStats* stats = f.db->ghost_stats("by_grp");
-  EXPECT_GE(stats->skipped_locked.load(), 1u);
+  const GhostCleanerMetrics* stats = f.db->ghost_metrics("by_grp");
+  EXPECT_GE(stats->skipped_locked->Value(), 1u);
 
   ASSERT_TRUE(f.db->Abort(open_txn).ok());  // count back to 1
   ASSERT_TRUE(f.db->CleanGhosts(&reclaimed).ok());

@@ -20,7 +20,7 @@ TEST(LockEscalation, DisabledByDefault) {
   for (int i = 0; i < 100; i++) {
     ASSERT_TRUE(lm.Lock(1, K(i), LockMode::kX).ok());
   }
-  EXPECT_EQ(lm.stats().escalations.load(), 0u);
+  EXPECT_EQ(lm.metrics().escalations->Value(), 0u);
   EXPECT_EQ(lm.HeldMode(1, Obj()), LockMode::kNL);
 }
 
@@ -30,7 +30,7 @@ TEST(LockEscalation, ExclusiveKeysEscalateToObjectX) {
   for (int i = 0; i < 4; i++) {
     ASSERT_TRUE(lm.Lock(1, K(i), LockMode::kX).ok());
   }
-  EXPECT_EQ(lm.stats().escalations.load(), 1u);
+  EXPECT_EQ(lm.metrics().escalations->Value(), 1u);
   EXPECT_EQ(lm.HeldMode(1, Obj()), LockMode::kX);
   // Key locks were dropped...
   EXPECT_EQ(lm.NumHolders(K(0)), 0);
@@ -44,7 +44,7 @@ TEST(LockEscalation, SharedKeysEscalateToObjectS) {
   for (int i = 0; i < 3; i++) {
     ASSERT_TRUE(lm.Lock(1, K(i), LockMode::kS).ok());
   }
-  EXPECT_EQ(lm.stats().escalations.load(), 1u);
+  EXPECT_EQ(lm.metrics().escalations->Value(), 1u);
   EXPECT_EQ(lm.HeldMode(1, Obj()), LockMode::kS);
   // Readers coexist at object level; writers do not.
   EXPECT_TRUE(lm.TryLock(2, Obj(), LockMode::kIS).ok());
@@ -57,9 +57,9 @@ TEST(LockEscalation, FurtherKeyLocksCoveredByObjectLock) {
   for (int i = 0; i < 10; i++) {
     ASSERT_TRUE(lm.Lock(1, K(i), LockMode::kX).ok());
   }
-  EXPECT_EQ(lm.stats().escalations.load(), 1u);
+  EXPECT_EQ(lm.metrics().escalations->Value(), 1u);
   // Requests 5..10 never created key-level state.
-  EXPECT_GE(lm.stats().covered_by_object_lock.load(), 5u);
+  EXPECT_GE(lm.metrics().covered_by_object_lock->Value(), 5u);
   for (int i = 4; i < 10; i++) {
     EXPECT_EQ(lm.NumHolders(K(i)), 0);
   }
@@ -75,7 +75,7 @@ TEST(LockEscalation, SkippedWhileAnotherTxnHoldsIntentLock) {
   }
   // Txn 2's IX blocks the object-X conversion: escalation silently skipped,
   // all key locks retained, everything still correct.
-  EXPECT_EQ(lm.stats().escalations.load(), 0u);
+  EXPECT_EQ(lm.metrics().escalations->Value(), 0u);
   EXPECT_EQ(lm.HeldMode(1, Obj()), LockMode::kIX);
   EXPECT_EQ(lm.NumHolders(K(0)), 1);
   lm.ReleaseAll(1);
@@ -91,10 +91,10 @@ TEST(LockEscalation, EscrowKeysEscalateToXOnlyWhenAlone) {
     ASSERT_TRUE(lm.Lock(1, K(i), LockMode::kE).ok());
   }
   // Concurrent escrow writer prevents escalation (object X would conflict).
-  EXPECT_EQ(lm.stats().escalations.load(), 0u);
+  EXPECT_EQ(lm.metrics().escalations->Value(), 0u);
   lm.ReleaseAll(2);
   ASSERT_TRUE(lm.Lock(1, K(6), LockMode::kE).ok());
-  EXPECT_EQ(lm.stats().escalations.load(), 1u);
+  EXPECT_EQ(lm.metrics().escalations->Value(), 1u);
   EXPECT_EQ(lm.HeldMode(1, Obj()), LockMode::kX);
 }
 
@@ -108,7 +108,7 @@ TEST(LockEscalation, ReleaseAllResetsCounters) {
     }
     lm.ReleaseAll(txn);
   }
-  EXPECT_EQ(lm.stats().escalations.load(), 0u);
+  EXPECT_EQ(lm.metrics().escalations->Value(), 0u);
 }
 
 TEST(LockEscalation, EndToEndThroughDatabase) {
@@ -123,7 +123,7 @@ TEST(LockEscalation, EndToEndThroughDatabase) {
     ASSERT_TRUE(
         db->Insert(txn, "t", {Value::Int64(i), Value::Int64(i)}).ok());
   }
-  EXPECT_GE(db->lock_stats().escalations.load(), 1u);
+  EXPECT_GE(db->lock_metrics().escalations->Value(), 1u);
   ASSERT_TRUE(db->Commit(txn).ok());
 
   // Everything committed despite the key locks being dropped mid-flight.
@@ -144,7 +144,7 @@ TEST(LockEscalation, EscalatedTransactionStillRollsBack) {
     ASSERT_TRUE(
         db->Insert(txn, "t", {Value::Int64(i), Value::Int64(i)}).ok());
   }
-  EXPECT_GE(db->lock_stats().escalations.load(), 1u);
+  EXPECT_GE(db->lock_metrics().escalations->Value(), 1u);
   ASSERT_TRUE(db->Abort(txn).ok());
   Transaction* reader = db->Begin();
   EXPECT_TRUE(db->ScanTable(reader, "t")->empty());

@@ -201,7 +201,7 @@ TEST(LockManager, TwoResourceDeadlockDetected) {
   t1.join();
   t2.join();
   EXPECT_EQ(deadlocks.load(), 1);
-  EXPECT_GE(lm.stats().deadlocks.load(), 1u);
+  EXPECT_GE(lm.metrics().deadlocks->Value(), 1u);
 }
 
 TEST(LockManager, ThreeWayDeadlockDetected) {
@@ -234,7 +234,7 @@ TEST(LockManager, TimeoutWithoutDetection) {
   ASSERT_TRUE(lm.Lock(1, RowKey(), LockMode::kX).ok());
   Status s = lm.Lock(2, RowKey(), LockMode::kX);
   EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
-  EXPECT_GE(lm.stats().timeouts.load(), 1u);
+  EXPECT_GE(lm.metrics().timeouts->Value(), 1u);
   lm.ReleaseAll(1);
   EXPECT_TRUE(lm.Lock(2, RowKey(), LockMode::kX).ok());
 }
@@ -307,9 +307,9 @@ TEST(LockManager, StatsCountWaits) {
   std::this_thread::sleep_for(20ms);
   lm.ReleaseAll(1);
   waiter.join();
-  EXPECT_GE(lm.stats().waits.load(), 1u);
-  EXPECT_GE(lm.stats().acquisitions.load(), 2u);
-  EXPECT_GT(lm.stats().wait_micros.load(), 0u);
+  EXPECT_GE(lm.metrics().waits->Value(), 1u);
+  EXPECT_GE(lm.metrics().acquisitions->Value(), 2u);
+  EXPECT_GT(lm.metrics().wait_micros->Value(), 0u);
 }
 
 TEST(LockManager, StressManyThreadsManyKeys) {

@@ -215,8 +215,8 @@ TEST_F(MaintenanceTest, ApplyCreatesGhostThenIncrements) {
   ASSERT_TRUE(maintainer_.ApplyBaseChange(txn, Insert(1, 7, 5)).ok());
   ASSERT_TRUE(harness_.txns_.Commit(txn).ok());
 
-  EXPECT_EQ(maintainer_.stats().ghosts_created.load(), 1u);
-  EXPECT_EQ(maintainer_.stats().increments_applied.load(), 1u);
+  EXPECT_EQ(maintainer_.metrics().ghosts_created->Value(), 1u);
+  EXPECT_EQ(maintainer_.metrics().increments_applied->Value(), 1u);
 
   std::string key = EncodeKeyValues({Value::Int64(7)});
   std::string value;
@@ -230,7 +230,7 @@ TEST_F(MaintenanceTest, ApplyCreatesGhostThenIncrements) {
   txn = harness_.txns_.Begin();
   ASSERT_TRUE(maintainer_.ApplyBaseChange(txn, Insert(2, 7, 3)).ok());
   ASSERT_TRUE(harness_.txns_.Commit(txn).ok());
-  EXPECT_EQ(maintainer_.stats().ghosts_created.load(), 1u);
+  EXPECT_EQ(maintainer_.metrics().ghosts_created->Value(), 1u);
 }
 
 TEST_F(MaintenanceTest, AbortRestoresGhost) {

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "engine/database.h"
+#include "obs/trace.h"
+
+using namespace std::chrono_literals;
+
+namespace ivdb {
+namespace {
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  obs::TraceRecorder rec(0);
+  EXPECT_FALSE(rec.enabled());
+  rec.Record(obs::TraceEventType::kTxnBegin, 1);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, RingWrapsKeepingNewest) {
+  ManualClock clock(1000);
+  obs::TraceRecorder rec(4, &clock);
+  for (uint64_t i = 0; i < 10; i++) {
+    rec.Record(obs::TraceEventType::kWalAppend, /*lsn=*/i, /*bytes=*/32);
+    clock.Advance(5);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  std::string dump = rec.Dump();
+  EXPECT_NE(dump.find("trace: 10 event(s), 6 dropped"), std::string::npos)
+      << dump;
+  // Only the newest four survive, oldest first.
+  EXPECT_EQ(dump.find("lsn=5"), std::string::npos) << dump;
+  size_t p6 = dump.find("lsn=6");
+  size_t p9 = dump.find("lsn=9");
+  EXPECT_NE(p6, std::string::npos) << dump;
+  EXPECT_NE(p9, std::string::npos) << dump;
+  EXPECT_LT(p6, p9);
+}
+
+TEST(TraceRecorder, TimestampsRelativeToFirstEvent) {
+  ManualClock clock(500000);
+  obs::TraceRecorder rec(8, &clock);
+  rec.Record(obs::TraceEventType::kTxnBegin, 7);
+  clock.Advance(123);
+  rec.Record(obs::TraceEventType::kTxnCommit, 7, 99);
+  std::string dump = rec.Dump();
+  EXPECT_NE(dump.find("+       0us txn.begin"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("+     123us txn.commit"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("took=99us"), std::string::npos) << dump;
+}
+
+TEST(TraceScope, NestsAndRestores) {
+  EXPECT_EQ(obs::CurrentTrace(), nullptr);
+  obs::TraceRecorder outer(4), inner(4);
+  {
+    obs::TraceScope a(&outer);
+    EXPECT_EQ(obs::CurrentTrace(), &outer);
+    {
+      obs::TraceScope b(&inner);
+      EXPECT_EQ(obs::CurrentTrace(), &inner);
+      obs::EmitTrace(obs::TraceEventType::kGhostCreate, 3);
+    }
+    EXPECT_EQ(obs::CurrentTrace(), &outer);
+  }
+  EXPECT_EQ(obs::CurrentTrace(), nullptr);
+  EXPECT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer.size(), 0u);
+  // EmitTrace with no scope active must be a safe no-op.
+  obs::EmitTrace(obs::TraceEventType::kGhostCreate, 3);
+}
+
+// --- Engine-level tracing ---
+
+Schema SalesSchema() {
+  return Schema({{"id", TypeId::kInt64},
+                 {"grp", TypeId::kInt64},
+                 {"amount", TypeId::kInt64}});
+}
+
+Row Sale(int64_t id, int64_t grp, int64_t amount) {
+  return {Value::Int64(id), Value::Int64(grp), Value::Int64(amount)};
+}
+
+TEST(EngineTrace, CommitProducesReadableSpanLog) {
+  DatabaseOptions options;
+  options.trace_ring_capacity = 64;
+  auto db = std::move(Database::Open(std::move(options))).value();
+  auto table = db->CreateTable("sales", SalesSchema(), {0});
+  ASSERT_TRUE(table.ok());
+  ViewDefinition def;
+  def.name = "by_grp";
+  def.kind = ViewKind::kAggregate;
+  def.fact_table = table.value()->id;
+  def.group_by = {1};
+  def.aggregates = {{AggregateFunction::kSum, 2, "total"}};
+  ASSERT_TRUE(db->CreateIndexedView(def).ok());
+
+  Transaction* txn = db->Begin();
+  ASSERT_TRUE(db->Insert(txn, "sales", Sale(1, 0, 5)).ok());
+  ASSERT_TRUE(db->Commit(txn).ok());
+  std::string dump = txn->DumpTrace();
+  db->Forget(txn);
+
+  // One transaction's whole life, oldest first: begin, the insert's WAL
+  // append, view maintenance, commit.
+  size_t p_begin = dump.find("txn.begin");
+  size_t p_wal = dump.find("wal.append");
+  size_t p_view = dump.find("view.maintain");
+  size_t p_commit = dump.find("txn.commit");
+  EXPECT_NE(p_begin, std::string::npos) << dump;
+  EXPECT_NE(p_wal, std::string::npos) << dump;
+  EXPECT_NE(p_view, std::string::npos) << dump;
+  EXPECT_NE(p_commit, std::string::npos) << dump;
+  EXPECT_LT(p_begin, p_wal);
+  EXPECT_LT(p_view, p_commit);
+}
+
+TEST(EngineTrace, DisabledByDefault) {
+  auto db = std::move(Database::Open(DatabaseOptions())).value();
+  ASSERT_TRUE(db->CreateTable("sales", SalesSchema(), {0}).ok());
+  Transaction* txn = db->Begin();
+  ASSERT_TRUE(db->Insert(txn, "sales", Sale(1, 0, 5)).ok());
+  ASSERT_TRUE(db->Commit(txn).ok());
+  EXPECT_EQ(txn->trace(), nullptr);
+  EXPECT_EQ(txn->DumpTrace(), "trace: off\n");
+  db->Forget(txn);
+}
+
+// The diagnosis scenario the ring exists for: a deadlock victim's dump
+// shows what it held and what it was waiting on when the detector fired.
+TEST(EngineTrace, DeadlockVictimDumpShowsDeadlock) {
+  DatabaseOptions options;
+  options.trace_ring_capacity = 128;
+  options.lock_wait_timeout = 5000ms;  // detector, not timeout, must fire
+  auto db = std::move(Database::Open(std::move(options))).value();
+  ASSERT_TRUE(db->CreateTable("sales", SalesSchema(), {0}).ok());
+  Transaction* seed = db->Begin();
+  ASSERT_TRUE(db->Insert(seed, "sales", Sale(0, 0, 0)).ok());
+  ASSERT_TRUE(db->Insert(seed, "sales", Sale(1, 0, 0)).ok());
+  ASSERT_TRUE(db->Commit(seed).ok());
+  db->Forget(seed);
+
+  // Two threads update rows 0 and 1 in opposite orders, rendezvousing after
+  // the first update so both hold one row before requesting the other.
+  std::atomic<int> holding{0};
+  std::vector<std::string> victim_dumps;
+  std::mutex dumps_mu;
+  auto worker = [&](int64_t first, int64_t second) {
+    Transaction* txn = db->Begin();
+    ASSERT_TRUE(db->Update(txn, "sales", Sale(first, 0, 1)).ok());
+    holding.fetch_add(1);
+    while (holding.load() < 2) std::this_thread::yield();
+    Status s = db->Update(txn, "sales", Sale(second, 0, 2));
+    if (s.ok()) {
+      EXPECT_TRUE(db->Commit(txn).ok());
+    } else {
+      if (txn->state() == TxnState::kActive) db->Abort(txn);
+      std::lock_guard<std::mutex> guard(dumps_mu);
+      victim_dumps.push_back(txn->DumpTrace());
+    }
+    db->Forget(txn);
+  };
+  std::thread t1(worker, 0, 1);
+  std::thread t2(worker, 1, 0);
+  t1.join();
+  t2.join();
+
+  ASSERT_GE(victim_dumps.size(), 1u);
+  for (const std::string& dump : victim_dumps) {
+    EXPECT_NE(dump.find("lock.wait"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("lock.deadlock"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("txn.abort"), std::string::npos) << dump;
+  }
+  EXPECT_EQ(db->lock_metrics().timeouts->Value(), 0u);
+  EXPECT_GE(db->lock_metrics().deadlocks->Value(), 1u);
+}
+
+}  // namespace
+}  // namespace ivdb

@@ -284,10 +284,10 @@ TEST_F(TxnTest, StatsCounters) {
   Transaction* sys = txns_.BeginSystem();
   ASSERT_TRUE(Insert(sys, 1, "z", "1").ok());
   ASSERT_TRUE(txns_.Commit(sys).ok());
-  EXPECT_EQ(txns_.stats().committed.load(), 1u);
-  EXPECT_EQ(txns_.stats().aborted.load(), 1u);
-  EXPECT_EQ(txns_.stats().system_committed.load(), 1u);
-  EXPECT_EQ(txns_.stats().begun.load(), 3u);
+  EXPECT_EQ(txns_.metrics().committed->Value(), 1u);
+  EXPECT_EQ(txns_.metrics().aborted->Value(), 1u);
+  EXPECT_EQ(txns_.metrics().system_committed->Value(), 1u);
+  EXPECT_EQ(txns_.metrics().begun->Value(), 3u);
 }
 
 TEST_F(TxnTest, ForgetReclaimsDescriptor) {

@@ -266,8 +266,8 @@ TEST_F(WalTest, GroupCommitBatchesConcurrentCommitters) {
   }
   for (auto& t : threads) t.join();
 
-  uint64_t flushes = log.stats().flushes.load();
-  uint64_t records = log.stats().records_appended.load();
+  uint64_t flushes = log.metrics().flushes->Value();
+  uint64_t records = log.metrics().records_appended->Value();
   EXPECT_EQ(records, static_cast<uint64_t>(kThreads * kCommitsPerThread));
   // With 8 concurrent committers and a 2ms flush, batching must occur:
   // strictly fewer flushes than records.

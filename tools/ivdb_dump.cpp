@@ -5,6 +5,9 @@
 //   ivdb_dump <dir>            # summary: checkpoint + log statistics
 //   ivdb_dump <dir> --wal      # every WAL record, decoded
 //   ivdb_dump <dir> --catalog  # tables, views, secondary indexes
+//   ivdb_dump <dir> --metrics  # on-disk WAL/checkpoint metrics, Prometheus
+//                              # text format (offline analog of the live
+//                              # Database::DumpMetrics() endpoint)
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -108,12 +111,69 @@ int DumpWal(const std::vector<LogRecord>& records, bool verbose) {
   return 0;
 }
 
+// Offline analog of Database::DumpMetrics(): everything derivable from the
+// checkpoint image and WAL alone, in the same exposition format, so fleet
+// tooling can scrape cold directories with the scraper it already has.
+int DumpDiskMetrics(bool have_checkpoint, const SnapshotImage& image,
+                    const std::vector<LogRecord>& records,
+                    size_t wal_bytes) {
+  std::printf("# TYPE ivdb_disk_checkpoint_present gauge\n");
+  std::printf("ivdb_disk_checkpoint_present %d\n", have_checkpoint ? 1 : 0);
+  if (have_checkpoint) {
+    std::printf("# TYPE ivdb_disk_checkpoint_lsn gauge\n");
+    std::printf("ivdb_disk_checkpoint_lsn %llu\n",
+                static_cast<unsigned long long>(image.checkpoint_lsn));
+    std::printf("# TYPE ivdb_disk_tables gauge\n");
+    std::printf("ivdb_disk_tables %zu\n", image.tables.size());
+    std::printf("# TYPE ivdb_disk_views gauge\n");
+    std::printf("ivdb_disk_views %zu\n", image.views.size());
+    std::printf("# TYPE ivdb_disk_secondary_indexes gauge\n");
+    std::printf("ivdb_disk_secondary_indexes %zu\n",
+                image.secondary_indexes.size());
+    uint64_t entries = 0;
+    size_t snapshot_bytes = 0;
+    for (const auto& [id, payload] : image.indexes) {
+      BTree tree;
+      Slice input(payload);
+      if (tree.DeserializeFrom(&input).ok()) entries += tree.size();
+      snapshot_bytes += payload.size();
+    }
+    std::printf("# TYPE ivdb_disk_index_entries gauge\n");
+    std::printf("ivdb_disk_index_entries %llu\n",
+                static_cast<unsigned long long>(entries));
+    std::printf("# TYPE ivdb_disk_checkpoint_bytes gauge\n");
+    std::printf("ivdb_disk_checkpoint_bytes %zu\n", snapshot_bytes);
+  }
+  std::printf("# TYPE ivdb_disk_wal_bytes gauge\n");
+  std::printf("ivdb_disk_wal_bytes %zu\n", wal_bytes);
+  std::printf("# TYPE ivdb_disk_wal_records_total counter\n");
+  std::printf("ivdb_disk_wal_records_total %zu\n", records.size());
+  std::map<std::string, int> counts;
+  std::map<TxnId, int> per_txn;
+  Lsn max_lsn = 0;
+  for (const LogRecord& rec : records) {
+    counts[LogRecordTypeName(rec.type)]++;
+    per_txn[rec.txn_id]++;
+    if (rec.lsn > max_lsn) max_lsn = rec.lsn;
+  }
+  std::printf("# TYPE ivdb_disk_wal_records counter\n");
+  for (const auto& [type, n] : counts) {
+    std::printf("ivdb_disk_wal_records{type=\"%s\"} %d\n", type.c_str(), n);
+  }
+  std::printf("# TYPE ivdb_disk_wal_transactions gauge\n");
+  std::printf("ivdb_disk_wal_transactions %zu\n", per_txn.size());
+  std::printf("# TYPE ivdb_disk_wal_max_lsn gauge\n");
+  std::printf("ivdb_disk_wal_max_lsn %llu\n",
+              static_cast<unsigned long long>(max_lsn));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <dir> [--wal | --catalog]\n"
+                 "usage: %s <dir> [--wal | --catalog | --metrics]\n"
                  "  inspects an ivdb database directory offline\n",
                  argv[0]);
     return 2;
@@ -151,6 +211,14 @@ int main(int argc, char** argv) {
   }
   if (mode == "--wal") {
     return DumpWal(records, /*verbose=*/true);
+  }
+  if (mode == "--metrics") {
+    std::string wal_contents;
+    size_t wal_bytes = 0;
+    if (ReadFileToString(dir + "/wal.log", &wal_contents).ok()) {
+      wal_bytes = wal_contents.size();
+    }
+    return DumpDiskMetrics(have_checkpoint, image, records, wal_bytes);
   }
 
   std::printf("== %s ==\n", dir.c_str());

@@ -18,6 +18,11 @@
 //                      src/common/file_util.cc: all file access goes through
 //                      the Env seam so fault injection and crash-torture
 //                      tests see every byte. (See docs/TESTING.md.)
+//   adhoc-stats        No new per-component `struct FooStats { std::atomic
+//                      ... }` counter bundles outside src/obs/: metrics
+//                      register with the unified obs::MetricsRegistry so
+//                      every counter shows up in Database::DumpMetrics().
+//                      (See docs/OBSERVABILITY.md.)
 //
 // Usage:
 //   ivdb_lint --root <repo> [--allowlist <file>]   lint the tree
@@ -239,6 +244,43 @@ void CheckDirectIo(const std::string& path, const std::string& stripped,
   }
 }
 
+void CheckAdhocStats(const std::string& path, const std::string& stripped,
+                     std::vector<Finding>* findings) {
+  // Scattered per-component counter bundles (`struct FooStats { std::atomic
+  // ... }`) are exactly what the unified registry in src/obs/ replaced; new
+  // ones fragment observability again. Components should hold obs::Counter*
+  // / obs::Gauge* / obs::Histogram* resolved from a MetricsRegistry.
+  if (path.rfind("src/obs/", 0) == 0) return;
+  static const std::regex re_decl(
+      R"(\b(struct|class)\s+[A-Za-z0-9_]*(Stats|Counters)\b)");
+  static const std::regex re_atomic(R"(\bstd\s*::\s*atomic\s*<)");
+  const std::vector<std::string> lines = SplitLines(stripped);
+  for (size_t i = 0; i < lines.size(); i++) {
+    if (!std::regex_search(lines[i], re_decl)) continue;
+    // Scan the (brace-balanced) struct body for atomic members.
+    int depth = 0;
+    bool entered = false;
+    for (size_t j = i; j < lines.size(); j++) {
+      for (char ch : lines[j]) {
+        if (ch == '{') {
+          depth++;
+          entered = true;
+        } else if (ch == '}') {
+          depth--;
+        }
+      }
+      if (std::regex_search(lines[j], re_atomic)) {
+        findings->push_back(
+            {path, static_cast<int>(i + 1), "adhoc-stats",
+             "ad-hoc atomic counter struct; register obs::Counter/Gauge/"
+             "Histogram in the MetricsRegistry (src/obs/metrics.h) instead"});
+        break;
+      }
+      if (entered && depth <= 0) break;
+    }
+  }
+}
+
 // Runs every rule over one file's content.
 void LintContent(const std::string& path, const std::string& raw,
                  std::vector<Finding>* findings) {
@@ -253,6 +295,7 @@ void LintContent(const std::string& path, const std::string& raw,
   CheckTodoOwner(path, comments_kept, findings);
   CheckIncludeGuard(path, stripped, findings);
   CheckDirectIo(path, stripped, findings);
+  CheckAdhocStats(path, stripped, findings);
 }
 
 bool LoadAllowlist(const std::string& path, std::vector<AllowEntry>* entries) {
@@ -389,6 +432,30 @@ int SelfTest() {
       {"Env method calls are fine", "src/foo/bar.cc",
        "#include \"foo/bar.h\"\nvoid F(Env* env) { "
        "env->RemoveFileIfExists(\"x\"); file.open(\"x\"); }\n",
+       nullptr},
+      {"ad-hoc atomic stats struct fires", "src/foo/bar.h",
+       "#ifndef IVDB_FOO_BAR_H_\nstruct FooStats {\n  "
+       "std::atomic<uint64_t> hits{0};\n};\n",
+       "adhoc-stats"},
+      {"atomic counters struct fires", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nclass WaitCounters {\n  "
+       "std::atomic<int> n_;\n};\n",
+       "adhoc-stats"},
+      {"registry-backed metrics struct is fine", "src/foo/bar.h",
+       "#ifndef IVDB_FOO_BAR_H_\nstruct FooMetrics {\n  "
+       "obs::Counter* hits = nullptr;\n};\n",
+       nullptr},
+      {"atomic outside a stats struct is fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nstruct Queue {\n  "
+       "std::atomic<uint64_t> head{0};\n};\n",
+       nullptr},
+      {"stats struct without atomics is fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nstruct ScanStats {\n  uint64_t rows = 0;\n};\n"
+       "void F() { std::atomic<int> later{0}; (void)later; }\n",
+       nullptr},
+      {"obs may use atomics in stats", "src/obs/metrics.h",
+       "#ifndef IVDB_OBS_METRICS_H_\nstruct ShardStats {\n  "
+       "std::atomic<uint64_t> v{0};\n};\n",
        nullptr},
   };
 
