@@ -10,6 +10,11 @@
 // offered concurrency while X-lock throughput stays flat near
 // 1/commit-latency per group, with the gap narrowing as G grows (less
 // contention to remove).
+//
+// Each (groups, threads, mode) cell is also rerun with the body wrapped in
+// Database::RunTransaction (docs/ROBUSTNESS.md §1). On this workload most
+// cells abort rarely, so retry=on goodput must track retry=off goodput; the
+// JSON lines carry the attempts percentiles that prove retries stay cheap.
 #include "bench_util.h"
 
 using namespace ivdb;
@@ -34,31 +39,67 @@ int main() {
       double tps[2] = {0, 0};
       uint64_t xlock_waits = 0;
       for (int mode = 0; mode < 2; mode++) {
-        bool escrow = mode == 1;
-        DatabaseOptions options = InMemoryOptions();
-        options.use_escrow_locks = escrow;
-        SalesBench bench = SalesBench::Create(std::move(options), groups);
-        // Seed every group so ghost creation is out of the measured path.
-        for (int64_t g = 0; g < groups; g++) {
-          IVDB_CHECK(bench.InsertOne(g));
+        for (int retry_mode = 0; retry_mode < 2; retry_mode++) {
+          bool escrow = mode == 1;
+          bool use_retry = retry_mode == 1;
+          DatabaseOptions options = InMemoryOptions();
+          options.use_escrow_locks = escrow;
+          SalesBench bench = SalesBench::Create(std::move(options), groups);
+          // Seed every group so ghost creation is out of the measured path.
+          for (int64_t g = 0; g < groups; g++) {
+            IVDB_CHECK(bench.InsertOne(g));
+          }
+          std::atomic<uint64_t> op_seq{0};
+          obs::Histogram attempts;
+          RunResult result = RunFor(threads, duration_ms, [&](int t) {
+            int64_t grp = static_cast<int64_t>(
+                op_seq.fetch_add(1, std::memory_order_relaxed) %
+                static_cast<uint64_t>(groups));
+            if (!use_retry) return bench.InsertOne(grp);
+            int64_t id =
+                bench.next_id.fetch_add(1, std::memory_order_relaxed);
+            RunTransactionOptions ropts;
+            ropts.max_attempts = 16;
+            ropts.backoff_base_micros = 50;
+            ropts.backoff_cap_micros = 5000;
+            ropts.jitter_seed = static_cast<uint64_t>(t) * 7919 + 1;
+            RunTransactionResult rr;
+            Status s = bench.db->RunTransaction(
+                ropts,
+                [&](Transaction* txn) {
+                  return bench.db->Insert(txn, "sales",
+                                          {Value::Int64(id),
+                                           Value::Int64(grp),
+                                           Value::Int64(1)});
+                },
+                &rr);
+            attempts.Record(static_cast<uint64_t>(rr.attempts));
+            return s.ok();
+          });
+          // The headline table compares the raw (retry=off) engines; the
+          // retry=on runs report through the JSON lines only.
+          if (!use_retry) {
+            tps[mode] = result.Tps();
+            if (!escrow) {
+              xlock_waits = bench.db->lock_metrics().waits->Value();
+            }
+          }
+          Status check = bench.db->VerifyViewConsistency("by_grp");
+          IVDB_CHECK_MSG(check.ok(), check.ToString().c_str());
+          std::vector<std::pair<std::string, std::string>> config = {
+              {"groups", std::to_string(groups)},
+              {"threads", std::to_string(threads)},
+              {"mode", Jstr(escrow ? "escrow" : "xlock")},
+              {"retry", Jstr(use_retry ? "on" : "off")}};
+          if (use_retry) {
+            obs::Histogram::Snapshot asnap = attempts.Snap();
+            config.emplace_back("attempts_p50", Fmt(asnap.P50(), 1));
+            config.emplace_back("attempts_p95", Fmt(asnap.P95(), 1));
+            config.emplace_back("attempts_p99", Fmt(asnap.P99(), 1));
+          }
+          PrintResultJson("hotspot", config, result);
+          MaybeDumpMetrics(bench.db.get());
         }
-        std::atomic<uint64_t> op_seq{0};
-        RunResult result = RunFor(threads, duration_ms, [&](int) {
-          int64_t grp = static_cast<int64_t>(
-              op_seq.fetch_add(1, std::memory_order_relaxed) %
-              static_cast<uint64_t>(groups));
-          return bench.InsertOne(grp);
-        });
-        tps[mode] = result.Tps();
-        if (!escrow) xlock_waits = bench.db->lock_metrics().waits->Value();
-        Status check = bench.db->VerifyViewConsistency("by_grp");
-        IVDB_CHECK_MSG(check.ok(), check.ToString().c_str());
-        PrintResultJson("hotspot",
-                        {{"groups", std::to_string(groups)},
-                         {"threads", std::to_string(threads)},
-                         {"mode", Jstr(escrow ? "escrow" : "xlock")}},
-                        result);
-        MaybeDumpMetrics(bench.db.get());
       }
       PrintRow({std::to_string(groups), std::to_string(threads),
                 Fmt(tps[0], 0), Fmt(tps[1], 0), Fmt(tps[1] / tps[0], 2),

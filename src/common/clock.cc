@@ -1,5 +1,7 @@
 #include "common/clock.h"
 
+#include <thread>
+
 namespace ivdb {
 
 namespace {
@@ -10,6 +12,11 @@ class MonotonicClock : public Clock {
 };
 
 }  // namespace
+
+void Clock::SleepMicros(uint64_t micros) {
+  if (micros == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
 
 Clock* Clock::Default() {
   static MonotonicClock clock;

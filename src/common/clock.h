@@ -24,6 +24,13 @@ class Clock {
   virtual ~Clock() = default;
   virtual uint64_t NowMicros() const = 0;
 
+  // Blocks the calling thread for `micros` of this clock's time. The
+  // default implementation really sleeps; virtual-time clocks advance
+  // themselves instead, which is what makes retry backoff deterministic
+  // under ManualClock. All intentional waiting in the engine goes through
+  // this seam (ivdb_lint forbids ad-hoc sleeps outside it).
+  virtual void SleepMicros(uint64_t micros);
+
   // Process-wide monotonic clock; never null, never deleted.
   static Clock* Default();
 };
@@ -36,6 +43,9 @@ class ManualClock : public Clock {
   uint64_t NowMicros() const override {
     return now_.load(std::memory_order_relaxed);
   }
+  // Virtual time: "sleeping" just advances the clock, so code that backs
+  // off through the Clock seam runs instantly and deterministically.
+  void SleepMicros(uint64_t micros) override { Advance(micros); }
   void Advance(uint64_t micros) {
     now_.fetch_add(micros, std::memory_order_relaxed);
   }

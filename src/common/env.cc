@@ -315,6 +315,12 @@ Status FaultInjectionEnv::FileAppend(const std::string& path,
                                      const std::string& data) {
   std::lock_guard<std::mutex> guard(mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("append"));
+  if (appends_to_fail_ > 0) {
+    appends_to_fail_--;
+    // Torn-append outcome surfaced to the writer: no bytes reach the file,
+    // so the durable state is exactly what it was before the call.
+    return Status::IOError("injected append failure");
+  }
   IVDB_RETURN_NOT_OK(base->Append(data));
   files_[path].written += data.size();
   return Status::OK();
@@ -325,8 +331,9 @@ Status FaultInjectionEnv::FileSync(const std::string& path,
   std::lock_guard<std::mutex> guard(mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("sync"));
   FileState& state = files_[path];
-  if (syncs_to_fail_ > 0) {
-    syncs_to_fail_--;
+  int64_t sync_index = syncs_seen_++;
+  if (syncs_to_fail_ > 0 || sync_index == fail_sync_at_) {
+    if (syncs_to_fail_ > 0) syncs_to_fail_--;
     // Adversarial failed-fsync outcome: the unsynced bytes never reached
     // the device. Drop them now so the file reads back without them (the
     // real fd is in O_APPEND mode, so later appends still land at EOF).
@@ -453,14 +460,29 @@ void FaultInjectionEnv::FailNextSyncs(int count) {
   syncs_to_fail_ = count;
 }
 
+void FaultInjectionEnv::FailNextAppends(int count) {
+  std::lock_guard<std::mutex> guard(mu_);
+  appends_to_fail_ = count;
+}
+
 void FaultInjectionEnv::FailNextReads(int count) {
   std::lock_guard<std::mutex> guard(mu_);
   reads_to_fail_ = count;
 }
 
+void FaultInjectionEnv::FailSyncAt(int64_t sync_index) {
+  std::lock_guard<std::mutex> guard(mu_);
+  fail_sync_at_ = sync_index < 0 ? -1 : syncs_seen_ + sync_index;
+}
+
 int64_t FaultInjectionEnv::ops_issued() const {
   std::lock_guard<std::mutex> guard(mu_);
   return ops_;
+}
+
+int64_t FaultInjectionEnv::syncs_seen() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return syncs_seen_;
 }
 
 bool FaultInjectionEnv::crashed() const {

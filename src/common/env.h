@@ -105,8 +105,15 @@ class PosixEnv : public Env {
 //                     outcome of a failed fsync: the data never reached the
 //                     device). The process lives on — this is how
 //                     commit-time fsync failure is simulated.
+//   FailNextAppends(n) The next n file Append() calls fail with IOError
+//                     before any bytes reach the file — a torn/short append
+//                     surfaced to the writer. The process lives on.
 //   FailNextReads(n)  The next n ReadFileToString calls fail with a
 //                     transient IOError.
+//   FailSyncAt(k)     The k-th Sync() call from now (zero-based, counted by
+//                     syncs_seen()) fails exactly like FailNextSyncs. Used
+//                     by the degraded-mode torture sweep to place a single
+//                     fsync failure at every commit boundary in turn.
 //
 // Writes pass through to the real filesystem; Sync() only advances the
 // tracked watermark (real fsync is pointless under simulated power loss),
@@ -134,10 +141,14 @@ class FaultInjectionEnv : public Env {
   // --- fault scheduling ---
   void CrashAtOp(int64_t op_index);
   void FailNextSyncs(int count);
+  void FailNextAppends(int count);
   void FailNextReads(int count);
+  void FailSyncAt(int64_t sync_index);
 
   // Mutating ops successfully issued so far (== the next op's index).
   int64_t ops_issued() const;
+  // Sync() calls observed so far (failed or not); the next sync's index.
+  int64_t syncs_seen() const;
   bool crashed() const;
 
   // Implementation hooks for the WritableFile wrapper (not for callers):
@@ -166,7 +177,10 @@ class FaultInjectionEnv : public Env {
   int64_t ops_ = 0;
   int64_t crash_at_ = -1;
   int syncs_to_fail_ = 0;
+  int appends_to_fail_ = 0;
   int reads_to_fail_ = 0;
+  int64_t syncs_seen_ = 0;
+  int64_t fail_sync_at_ = -1;
   bool crashed_ = false;
   std::map<std::string, FileState> files_;
 };

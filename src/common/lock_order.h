@@ -9,6 +9,7 @@
 // a mutex whose rank is strictly greater than every rank it already holds.
 // The total order below is the one the commit path actually uses:
 //
+//   Transaction::owner_mu_      (5)    per-txn owner latch (outermost)
 //   TxnManager::active_mu_      (10)   Begin / FinishTxn / quiesce gate
 //   TxnManager::visibility_mu_  (20)   commit-ts draw + version flip
 //   LockManager::mu_            (30)   the lock table
@@ -37,6 +38,7 @@
 namespace ivdb {
 
 enum class LockRank : int {
+  kTxnOwner = 5,
   kTxnActive = 10,
   kTxnVisibility = 20,
   kLockManager = 30,

@@ -28,6 +28,8 @@ const char* CodeName(Status::Code code) {
       return "Deadlock";
     case Status::Code::kAborted:
       return "Aborted";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -25,6 +25,10 @@ class Status {
     kTimedOut,
     kDeadlock,
     kAborted,
+    // The engine (or a subsystem) is in a degraded state and cannot serve
+    // the request right now — e.g. the WAL poisoned itself after an
+    // unrecoverable I/O error and the engine is read-only until restarted.
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -60,6 +64,9 @@ class Status {
   static Status Aborted(std::string msg = "") {
     return Status(Code::kAborted, std::move(msg));
   }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -72,6 +79,7 @@ class Status {
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
   bool IsDeadlock() const { return code_ == Code::kDeadlock; }
   bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   // True for any outcome that requires the enclosing transaction to roll
   // back and (typically) retry: deadlock victim, explicit abort, lock wait
@@ -79,6 +87,18 @@ class Status {
   bool RequiresRollback() const {
     return code_ == Code::kDeadlock || code_ == Code::kAborted ||
            code_ == Code::kTimedOut;
+  }
+
+  // True for outcomes that a fresh attempt may survive: lock conflicts and
+  // escrow-bound violations (kBusy), bounded-wait expiry (kTimedOut),
+  // deadlock victimhood (kDeadlock), and degraded-engine rejections
+  // (kUnavailable — retryable only after the operator restarts the engine,
+  // but transient in the sense that the data is not wrong, merely
+  // unreachable). This is the classification `Database::RunTransaction`
+  // retries on; kAborted is retried as well via RequiresRollback().
+  bool IsTransient() const {
+    return code_ == Code::kBusy || code_ == Code::kTimedOut ||
+           code_ == Code::kDeadlock || code_ == Code::kUnavailable;
   }
 
   Code code() const { return code_; }

@@ -5,6 +5,7 @@
 
 #include "common/coding.h"
 #include "common/env.h"
+#include "common/lock_order.h"
 #include "common/logging.h"
 #include "engine/snapshot.h"
 #include "obs/trace.h"
@@ -36,6 +37,37 @@ LockManager::Options MakeLockOptions(const DatabaseOptions& options,
   return lock_options;
 }
 
+// Pins the transaction as "owner busy" for the duration of one engine entry
+// point. The stuck-transaction watchdog only reaps transactions whose owner
+// latch it can take without blocking, so a transaction is never aborted out
+// from under a running statement — only between statements, when the owner
+// has genuinely gone idle. Rank 5, outermost; see lock_order.h.
+class OwnerGuard {
+ public:
+  explicit OwnerGuard(Transaction* txn)
+      : order_(LockRank::kTxnOwner, "kTxnOwner"), guard_(txn->owner_mu()) {}
+
+  OwnerGuard(const OwnerGuard&) = delete;
+  OwnerGuard& operator=(const OwnerGuard&) = delete;
+
+ private:
+  LockOrderScope order_;
+  std::lock_guard<std::mutex> guard_;
+};
+
+// Entry-point gate, checked under the owner latch: a transaction the
+// watchdog (or a previous failure path) already finished must not run
+// further statements. kAborted carries RequiresRollback(), steering callers
+// — and RunTransaction — into the abort-and-retry path.
+Status CheckStillActive(Transaction* txn) {
+  if (txn->state() != TxnState::kActive) {
+    return Status::Aborted("transaction " + std::to_string(txn->id()) +
+                           " is no longer active (aborted by the watchdog "
+                           "or a prior failure)");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Database::Database(DatabaseOptions options)
@@ -43,6 +75,11 @@ Database::Database(DatabaseOptions options)
       env_(options_.env != nullptr ? options_.env : Env::Default()),
       version_entries_gauge_(
           registry_.GetGauge("ivdb_storage_version_entries")),
+      degraded_gauge_(registry_.GetGauge("ivdb_engine_degraded")),
+      txn_retries_(registry_.GetCounter("ivdb_txn_retries_total")),
+      txn_retry_exhausted_(
+          registry_.GetCounter("ivdb_txn_retry_exhausted_total")),
+      clock_(options_.clock != nullptr ? options_.clock : Clock::Default()),
       locks_(MakeLockOptions(options_, &registry_)) {
   LogManagerOptions log_options;
   if (!options_.dir.empty()) log_options.path = WalPath();
@@ -52,10 +89,21 @@ Database::Database(DatabaseOptions options)
   log_options.group_commit_window_micros =
       options_.group_commit_window_micros;
   log_options.metrics = &registry_;
+  // Runs once, on the thread whose I/O failure poisoned the WAL, possibly
+  // with WAL locks held — just flip the gauge and drop a span marker into
+  // whatever transaction that thread was serving.
+  log_options.on_poison = [this] {
+    degraded_gauge_->Set(1);
+    obs::EmitTrace(obs::TraceEventType::kEngineDegraded, 1, 0);
+  };
   log_ = std::make_unique<LogManager>(std::move(log_options));
   TransactionManager::Options txn_options;
   txn_options.metrics = &registry_;
+  txn_options.clock = clock_;
   txn_options.trace_ring_capacity = options_.trace_ring_capacity;
+  txn_options.max_active_txns = options_.max_active_txns;
+  txn_options.admission_timeout_micros = options_.admission_timeout_micros;
+  txn_options.max_txn_lifetime_micros = options_.max_txn_lifetime_micros;
   txns_ = std::make_unique<TransactionManager>(&locks_, log_.get(),
                                                &versions_, this, txn_options);
 }
@@ -133,6 +181,7 @@ Status Database::ApplyRedo(LogRecordType op_type, const LogRecord& rec) {
 Result<const TableInfo*> Database::CreateTable(const std::string& name,
                                                Schema schema,
                                                std::vector<int> key_columns) {
+  IVDB_RETURN_NOT_OK(CheckWritable());
   {
     std::shared_lock<std::shared_mutex> guard(views_mu_);
     if (views_.count(name) != 0) {
@@ -229,6 +278,7 @@ Status Database::RegisterView(ObjectId id, ViewDefinition def, bool populate) {
 }
 
 Result<const ViewInfo*> Database::CreateIndexedView(ViewDefinition def) {
+  IVDB_RETURN_NOT_OK(CheckWritable());
   if (catalog_.GetTable(def.name).ok()) {
     return Status::AlreadyExists("a table named '" + def.name + "' exists");
   }
@@ -279,7 +329,77 @@ Transaction* Database::Begin(ReadMode read_mode) {
   return txns_->Begin(read_mode);
 }
 
+Result<Transaction*> Database::BeginChecked(ReadMode read_mode) {
+  if (read_mode == ReadMode::kLocking && log_->poisoned()) {
+    return Status::Unavailable(
+        "engine is degraded (read-only) after a WAL I/O failure; "
+        "locking-mode transactions are not admitted");
+  }
+  Transaction* txn = txns_->Begin(read_mode);
+  if (txn == nullptr) {
+    return Status::Busy("admission control: " +
+                        std::to_string(options_.max_active_txns) +
+                        " transactions already active");
+  }
+  return txn;
+}
+
+Status Database::RunTransaction(const RunTransactionOptions& options,
+                                const std::function<Status(Transaction*)>& body,
+                                RunTransactionResult* result) {
+  Random rng(options.jitter_seed);
+  RunTransactionResult stats;
+  const int max_attempts = std::max(1, options.max_attempts);
+  Status status;
+  for (int attempt = 1;; attempt++) {
+    stats.attempts = attempt;
+    Transaction* txn = nullptr;
+    Result<Transaction*> begun = BeginChecked(options.read_mode);
+    if (begun.ok()) {
+      txn = begun.value();
+      status = body(txn);
+      if (status.ok()) status = Commit(txn);
+    } else {
+      status = begun.status();
+    }
+    if (status.ok()) {
+      Forget(txn);
+      break;
+    }
+    // kUnavailable is transient across restarts, not within this process:
+    // the engine stays read-only until it is reopened, so sleeping and
+    // retrying cannot help.
+    bool retryable = status.RequiresRollback() ||
+                     (status.IsTransient() && !status.IsUnavailable());
+    bool retrying = retryable && attempt < max_attempts;
+    uint64_t backoff =
+        retrying ? RetryBackoffMicros(options, attempt, &rng) : 0;
+    if (txn != nullptr) {
+      if (retrying && txn->trace() != nullptr) {
+        // Record the retry decision on the failing attempt's own span log,
+        // before the descriptor goes away.
+        obs::TraceScope scope(txn->trace());
+        obs::EmitTrace(obs::TraceEventType::kTxnRetry,
+                       static_cast<uint64_t>(attempt), backoff);
+      }
+      if (txn->state() == TxnState::kActive) Abort(txn);
+      Forget(txn);
+    }
+    if (!retrying) {
+      if (retryable) txn_retry_exhausted_->Add();
+      break;
+    }
+    txn_retries_->Add();
+    stats.backoff_micros_total += backoff;
+    clock_->SleepMicros(backoff);
+  }
+  if (result != nullptr) *result = stats;
+  return status;
+}
+
 Status Database::Commit(Transaction* txn) {
+  OwnerGuard latch(txn);
+  IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   // Covers deferred view maintenance below; the TxnManager re-establishes
   // the scope for the WAL commit path itself.
   obs::TraceScope trace_scope(txn->trace());
@@ -305,26 +425,63 @@ Status Database::Commit(Transaction* txn) {
     for (auto& [maintainer, batch] : work) {
       Status s = maintainer->ApplyBatch(txn, batch);
       if (!s.ok()) {
-        Abort(txn);
+        // Direct TxnManager call: the owner latch is already held and is
+        // not recursive.
+        txns_->Abort(txn);
         return s;
       }
     }
     txn->deferred_changes().clear();
   }
-  return txns_->Commit(txn);
+  Status s = txns_->Commit(txn);
+  if (!s.ok() && log_->poisoned() && txn->state() == TxnState::kActive) {
+    // The commit flush failed and degraded the engine. The COMMIT record
+    // was never acknowledged durable and the version flip never happened
+    // (commit protocol step 3 runs after the flush), so the transaction is
+    // still fully pending: roll it back logically right here, ensuring no
+    // unacknowledged write lingers in the state that degraded-mode readers
+    // keep serving. The caller sees the original commit error.
+    txns_->Abort(txn);
+  }
+  return s;
 }
 
-Status Database::Abort(Transaction* txn) { return txns_->Abort(txn); }
+Status Database::Abort(Transaction* txn) {
+  OwnerGuard latch(txn);
+  // Idempotent under the watchdog: if the sweep (or a failure path inside
+  // Commit) already finished this transaction, its effects are rolled back
+  // and there is nothing left to do.
+  if (txn->state() != TxnState::kActive) return Status::OK();
+  return txns_->Abort(txn);
+}
 
-void Database::Forget(Transaction* txn) { txns_->Forget(txn); }
+void Database::Forget(Transaction* txn) {
+  // Rendezvous with any in-flight watchdog probe: once the latch has been
+  // taken and released here, no sweeper still holds it, so the descriptor
+  // (whose mutex this is) can be destroyed safely.
+  {
+    OwnerGuard latch(txn);
+  }
+  txns_->Forget(txn);
+}
 
 // ---------------------------------------------------------------------------
 // DML
 // ---------------------------------------------------------------------------
 
+Status Database::CheckWritable() const {
+  if (log_->poisoned()) {
+    return Status::Unavailable(
+        "engine is degraded (read-only) after a WAL I/O failure; reopen "
+        "the database to recover");
+  }
+  return Status::OK();
+}
+
 Result<const SecondaryIndexInfo*> Database::CreateSecondaryIndex(
     const std::string& index_name, const std::string& table,
     const std::vector<std::string>& columns) {
+  IVDB_RETURN_NOT_OK(CheckWritable());
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   {
     std::shared_lock<std::shared_mutex> guard(views_mu_);
@@ -429,6 +586,8 @@ Status Database::MaintainSecondaryIndexes(Transaction* txn,
 Result<std::vector<Row>> Database::GetByIndex(
     Transaction* txn, const std::string& index_name,
     const std::vector<Value>& values) {
+  OwnerGuard latch(txn);
+  IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   IVDB_ASSIGN_OR_RETURN(const SecondaryIndexInfo* index,
                         catalog_.GetSecondaryIndex(index_name));
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info,
@@ -491,6 +650,9 @@ Status Database::MaintainViews(Transaction* txn, DeferredChange change) {
 
 Status Database::Insert(Transaction* txn, const std::string& table,
                         const Row& row) {
+  IVDB_RETURN_NOT_OK(CheckWritable());
+  OwnerGuard latch(txn);
+  IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   IVDB_RETURN_NOT_OK(info->schema.ValidateRow(row));
   {
@@ -537,6 +699,9 @@ Status Database::Insert(Transaction* txn, const std::string& table,
 
 Status Database::Update(Transaction* txn, const std::string& table,
                         const Row& row) {
+  IVDB_RETURN_NOT_OK(CheckWritable());
+  OwnerGuard latch(txn);
+  IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   IVDB_RETURN_NOT_OK(info->schema.ValidateRow(row));
   {
@@ -584,6 +749,9 @@ Status Database::Update(Transaction* txn, const std::string& table,
 
 Status Database::Delete(Transaction* txn, const std::string& table,
                         const std::vector<Value>& key_values) {
+  IVDB_RETURN_NOT_OK(CheckWritable());
+  OwnerGuard latch(txn);
+  IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   {
     std::shared_lock<std::shared_mutex> guard(views_mu_);
@@ -825,12 +993,16 @@ Result<std::vector<std::pair<std::string, Row>>> Database::ScanObject(
 Result<std::optional<Row>> Database::Get(Transaction* txn,
                                          const std::string& table,
                                          const std::vector<Value>& key) {
+  OwnerGuard latch(txn);
+  IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   return ReadRow(txn, info->id, EncodeKeyValues(key));
 }
 
 Result<std::vector<Row>> Database::ScanTable(Transaction* txn,
                                              const std::string& table) {
+  OwnerGuard latch(txn);
+  IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   IVDB_ASSIGN_OR_RETURN(auto entries,
                         ScanObject(txn, info->id, "", nullptr,
@@ -844,6 +1016,8 @@ Result<std::vector<Row>> Database::ScanTable(Transaction* txn,
 Result<std::vector<Row>> Database::ScanTableRange(
     Transaction* txn, const std::string& table, const std::vector<Value>& low,
     const std::vector<Value>& high) {
+  OwnerGuard latch(txn);
+  IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   std::string begin = EncodeKeyValues(low);
   std::string end;
@@ -861,6 +1035,8 @@ Result<std::vector<Row>> Database::ScanTableRange(
 Result<std::optional<Row>> Database::GetViewRow(
     Transaction* txn, const std::string& view,
     const std::vector<Value>& group) {
+  OwnerGuard latch(txn);
+  IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   IVDB_ASSIGN_OR_RETURN(const ViewInfo* info, GetView(view));
   IVDB_ASSIGN_OR_RETURN(auto row,
                         ReadRow(txn, info->id, EncodeKeyValues(group)));
@@ -893,6 +1069,8 @@ Result<std::vector<Row>> Database::FinalizeViewScan(
 
 Result<std::vector<Row>> Database::ScanView(Transaction* txn,
                                             const std::string& view) {
+  OwnerGuard latch(txn);
+  IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   IVDB_ASSIGN_OR_RETURN(const ViewInfo* info, GetView(view));
   IVDB_ASSIGN_OR_RETURN(auto entries, ScanObject(txn, info->id));
   return FinalizeViewScan(info, std::move(entries));
@@ -901,6 +1079,8 @@ Result<std::vector<Row>> Database::ScanView(Transaction* txn,
 Result<std::vector<Row>> Database::ScanViewRange(
     Transaction* txn, const std::string& view, const std::vector<Value>& low,
     const std::vector<Value>& high) {
+  OwnerGuard latch(txn);
+  IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   IVDB_ASSIGN_OR_RETURN(const ViewInfo* info, GetView(view));
   std::string begin = EncodeKeyValues(low);
   std::string end;
@@ -1008,13 +1188,24 @@ Status Database::CheckpointLocked() {
   IVDB_RETURN_NOT_OK(log_->Flush(log_->last_lsn()));
   std::string encoded;
   IVDB_RETURN_NOT_OK(EncodeSnapshot(image, &encoded));
-  IVDB_RETURN_NOT_OK(env_->WriteStringToFileAtomic(CheckpointPath(), encoded));
+  Status write_status =
+      env_->WriteStringToFileAtomic(CheckpointPath(), encoded);
+  if (!write_status.ok()) {
+    // The atomic replace failed mid-checkpoint. The old checkpoint file is
+    // intact, but continuing to run would eventually truncate or outgrow
+    // the WAL with no way to take a new snapshot — degrade now, while the
+    // on-disk pair (old checkpoint + full WAL) is still a consistent
+    // recovery point.
+    log_->Poison();
+    return write_status;
+  }
   // Everything up to checkpoint_lsn is captured in the snapshot; the log can
   // restart empty.
   return log_->TruncateAll();
 }
 
 Status Database::Checkpoint() {
+  IVDB_RETURN_NOT_OK(CheckWritable());
   // Pause cleaners: their system transactions bypass the quiesce gate by
   // design, but a checkpoint needs a still image.
   std::vector<GhostCleaner*> paused;

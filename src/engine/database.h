@@ -11,11 +11,13 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/clock.h"
 #include "common/result.h"
 #include "lock/lock_manager.h"
 #include "obs/metrics.h"
 #include "storage/btree.h"
 #include "storage/version_store.h"
+#include "txn/retry.h"
 #include "txn/txn_manager.h"
 #include "view/ghost_cleaner.h"
 #include "view/maintenance.h"
@@ -75,6 +77,27 @@ struct DatabaseOptions {
   // Transaction::DumpTrace() yields a readable span log.
   size_t trace_ring_capacity = 0;
 
+  // Admission control: maximum concurrently active user transactions
+  // (system transactions — ghost maintenance — are exempt). 0 disables the
+  // gate. When the engine is full, BeginChecked() queues up to
+  // admission_timeout_micros for a slot and then returns kBusy, so overload
+  // turns into bounded waiting instead of an unbounded pile-up in the lock
+  // table. (The unchecked Begin() also queues but returns nullptr.)
+  size_t max_active_txns = 0;
+  uint64_t admission_timeout_micros = 1000 * 1000;
+
+  // Stuck-transaction watchdog: user transactions idle for longer than this
+  // (wall-clock age since Begin, owner thread not inside an engine call)
+  // are force-aborted by a background sweep, releasing their locks. 0 — the
+  // default — disables the watchdog. See docs/ROBUSTNESS.md §3.
+  uint64_t max_txn_lifetime_micros = 0;
+
+  // Time source for retry backoff sleeps, watchdog age accounting, and
+  // commit-latency metrics; nullptr => Clock::Default() (real time). Tests
+  // inject a ManualClock to make RunTransaction backoff schedules
+  // deterministic. Must outlive the Database.
+  Clock* clock = nullptr;
+
   // File-system seam for all WAL/checkpoint/recovery I/O; nullptr =>
   // Env::Default(). Tests inject a FaultInjectionEnv to simulate torn
   // writes, fsync failures, and crashes at exact I/O boundaries. Must
@@ -101,12 +124,21 @@ struct ViewInfo {
 //   db->Insert(txn, "sales", row);            // view maintained in-txn
 //   db->Commit(txn);
 //
-// Error handling contract: any Status with RequiresRollback() (deadlock,
-// timeout, abort) leaves the transaction active-but-doomed; the caller must
-// call Abort() and may retry. All other statement failures (NotFound,
-// AlreadyExists, InvalidArgument, escrow-bound kBusy, ...) are *statement
-// atomic*: the failed statement's partial effects are rolled back via a
-// savepoint and the transaction remains usable.
+// Error handling contract (docs/ROBUSTNESS.md):
+//   - RequiresRollback() (deadlock, timeout, abort — including a watchdog
+//     abort) leaves the transaction doomed; the caller must Abort() and may
+//     retry from the top. RunTransaction() automates exactly that loop with
+//     capped exponential backoff.
+//   - IsTransient() && !RequiresRollback() (kBusy: escrow bound exceeded or
+//     admission-control overflow) is statement atomic and worth retrying.
+//   - kUnavailable means a WAL I/O failure degraded the engine to
+//     read-only. Write statements keep failing until the process restarts
+//     and recovers; snapshot reads keep serving. Not worth retrying
+//     in-process.
+//   - All other statement failures (NotFound, AlreadyExists,
+//     InvalidArgument, ...) are *statement atomic*: the failed statement's
+//     partial effects are rolled back via a savepoint and the transaction
+//     remains usable.
 class Database : public LogApplier, public IndexResolver {
  public:
   static Result<std::unique_ptr<Database>> Open(DatabaseOptions options);
@@ -148,10 +180,35 @@ class Database : public LogApplier, public IndexResolver {
   // --- Transactions ---
 
   Transaction* Begin(ReadMode read_mode = ReadMode::kLocking);
+  // Begin with admission control and degraded mode surfaced as statuses:
+  // kBusy when the engine is at max_active_txns and no slot freed within
+  // the admission timeout; kUnavailable when the engine is degraded
+  // (read-only) and a locking-mode — i.e. write-capable — transaction is
+  // requested. Snapshot and dirty readers are always admitted in degraded
+  // mode.
+  Result<Transaction*> BeginChecked(ReadMode read_mode = ReadMode::kLocking);
+
+  // Runs `body` inside a fresh transaction, committing on success and
+  // automatically retrying transient failures (deadlock, lock timeout,
+  // escrow/admission kBusy, watchdog abort) with capped exponential backoff
+  // plus jitter (docs/ROBUSTNESS.md §1). The body may run up to
+  // options.max_attempts times; every database effect of a failed attempt
+  // is rolled back before the next one starts, so the body must only be
+  // idempotent in its side effects *outside* the database. Sleeps go
+  // through DatabaseOptions::clock. Returns the final attempt's status.
+  // Never retried: non-transient statement failures returned by the body,
+  // and kUnavailable (the engine stays read-only until restart, so retrying
+  // in-process cannot succeed).
+  Status RunTransaction(const RunTransactionOptions& options,
+                        const std::function<Status(Transaction*)>& body,
+                        RunTransactionResult* result = nullptr);
+
   Status Commit(Transaction* txn);
   Status Abort(Transaction* txn);
   // Frees a finished transaction's descriptor (optional; bounds memory in
-  // long benchmark runs).
+  // long benchmark runs). Synchronizes with the stuck-transaction watchdog
+  // via the owner latch, so a descriptor is never destroyed under a
+  // concurrent sweep.
   void Forget(Transaction* txn);
 
   // --- DML (primary-key based) ---
@@ -217,6 +274,17 @@ class Database : public LogApplier, public IndexResolver {
   // Reclaims version-store entries older than the oldest active snapshot.
   uint64_t GarbageCollectVersions();
 
+  // True once a WAL I/O failure flipped the engine read-only
+  // (docs/ROBUSTNESS.md §2). Sticky: cleared only by reopening the
+  // database, whose recovery rebuilds state from the durable prefix.
+  bool degraded() const { return log_->poisoned(); }
+
+  // Runs one stuck-transaction watchdog pass right now (see
+  // DatabaseOptions::max_txn_lifetime_micros); returns the number of
+  // transactions aborted. The background sweep calls this periodically;
+  // ManualClock tests call it directly.
+  uint64_t AbortStuckTransactions() { return txns_->SweepStuckTransactions(); }
+
   // Test/benchmark oracle: recomputes the view from base tables and compares
   // with the stored index (must be called while quiescent).
   Status VerifyViewConsistency(const std::string& view) const;
@@ -260,6 +328,10 @@ class Database : public LogApplier, public IndexResolver {
   Status RestoreFromImage(const SnapshotImage& image);
   Status CheckpointLocked();  // requires quiesced state
 
+  // kUnavailable once the engine is degraded; gates every path that would
+  // append to the WAL (DML, DDL, checkpoints). Reads are never gated.
+  Status CheckWritable() const;
+
   BTree* CreateIndex(ObjectId id);
   // Runs `body` under a savepoint: on a non-doomed failure, everything the
   // statement logged is compensated before the status is returned.
@@ -299,6 +371,15 @@ class Database : public LogApplier, public IndexResolver {
   // Refreshed on DumpMetrics(); TotalEntries() walks the store, so it is
   // not kept current on the hot path.
   obs::Gauge* version_entries_gauge_ = nullptr;
+  // 1 once the engine is degraded (read-only); set by the WAL's poison
+  // callback on the thread that hit the I/O failure.
+  obs::Gauge* degraded_gauge_ = nullptr;
+  // RunTransaction outcomes: attempts beyond the first, and bodies that
+  // exhausted max_attempts on a retryable status.
+  obs::Counter* txn_retries_ = nullptr;
+  obs::Counter* txn_retry_exhausted_ = nullptr;
+  // options_.clock resolved against Clock::Default().
+  Clock* clock_ = nullptr;
   LockManager locks_;
   VersionStore versions_;
   std::unique_ptr<LogManager> log_;

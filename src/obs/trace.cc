@@ -22,6 +22,8 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kGhostCleanup: return "ghost.cleanup";
     case TraceEventType::kTxnCommit: return "txn.commit";
     case TraceEventType::kTxnAbort: return "txn.abort";
+    case TraceEventType::kTxnRetry: return "txn.retry";
+    case TraceEventType::kEngineDegraded: return "engine.degraded";
   }
   return "unknown";
 }
@@ -70,8 +72,15 @@ std::string TraceEvent::ToString(uint64_t origin_micros) const {
     case TraceEventType::kLockDeadlock:
     case TraceEventType::kEscrowIncrement:
     case TraceEventType::kGhostCreate:
+    case TraceEventType::kEngineDegraded:
       std::snprintf(buf, sizeof(buf), "+%8" PRIu64 "us %-16s obj=%" PRIu64,
                     rel, TraceEventTypeName(type), a);
+      break;
+    case TraceEventType::kTxnRetry:
+      std::snprintf(buf, sizeof(buf),
+                    "+%8" PRIu64 "us %-16s attempt=%" PRIu64
+                    " backoff=%" PRIu64 "us",
+                    rel, TraceEventTypeName(type), a, b);
       break;
   }
   return buf;

@@ -29,6 +29,8 @@ enum class TraceEventType : uint8_t {
   kGhostCleanup,       // a = view object id, b = rows reclaimed
   kTxnCommit,          // a = txn id, b = commit-path micros
   kTxnAbort,           // a = txn id
+  kTxnRetry,           // a = attempt number (1-based), b = backoff micros
+  kEngineDegraded,     // a = 1, b = 0 (one-shot transition marker)
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -1,0 +1,67 @@
+#ifndef IVDB_TXN_RETRY_H_
+#define IVDB_TXN_RETRY_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "txn/transaction.h"
+
+namespace ivdb {
+
+// Policy knobs for Database::RunTransaction (docs/ROBUSTNESS.md §1). The
+// defaults suit short OLTP bodies: first retry after ~100us, doubling to a
+// 100ms cap, with up to 25% of each backoff shaved off at random so
+// colliding retriers decorrelate instead of re-colliding in lockstep.
+struct RunTransactionOptions {
+  ReadMode read_mode = ReadMode::kLocking;
+
+  // Total tries including the first (>= 1). When the last attempt fails
+  // with a retryable status, RunTransaction returns it and bumps
+  // ivdb_txn_retry_exhausted_total.
+  int max_attempts = 8;
+
+  // Backoff before retry k (k = 1 after the first failure) is
+  //   min(backoff_cap_micros, backoff_base_micros << (k - 1))
+  // minus a uniform random jitter of up to `jitter` of itself.
+  // backoff_base_micros == 0 disables sleeping entirely (immediate retry).
+  uint64_t backoff_base_micros = 100;
+  uint64_t backoff_cap_micros = 100 * 1000;
+  double jitter = 0.25;  // fraction of the backoff randomized away, [0, 1]
+
+  // Seeds the jitter PRNG, making the whole backoff schedule deterministic
+  // (the sleeps go through the engine Clock, so under ManualClock a
+  // schedule replays exactly).
+  uint64_t jitter_seed = 0x1e77e7;
+};
+
+// Outcome details a caller can opt into (benchmarks report percentiles of
+// `attempts` to show how much work retry is re-doing).
+struct RunTransactionResult {
+  int attempts = 0;  // transaction bodies started
+  uint64_t backoff_micros_total = 0;
+};
+
+// Backoff before retry `attempt` (1-based count of failures so far),
+// separated out so tests can pin the schedule (growth, cap, jitter bounds)
+// without driving a whole database.
+inline uint64_t RetryBackoffMicros(const RunTransactionOptions& options,
+                                   int attempt, Random* rng) {
+  uint64_t backoff = options.backoff_base_micros;
+  if (backoff == 0) return 0;
+  for (int i = 1; i < attempt && backoff < options.backoff_cap_micros; i++) {
+    backoff <<= 1;
+  }
+  if (backoff > options.backoff_cap_micros) {
+    backoff = options.backoff_cap_micros;
+  }
+  if (options.jitter > 0) {
+    uint64_t span = static_cast<uint64_t>(static_cast<double>(backoff) *
+                                          options.jitter);
+    if (span > 0) backoff -= rng->Uniform(span + 1);
+  }
+  return backoff;
+}
+
+}  // namespace ivdb
+
+#endif  // IVDB_TXN_RETRY_H_

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,18 @@ class Transaction {
   void set_commit_ts(uint64_t ts) { commit_ts_ = ts; }
   void set_last_lsn(Lsn lsn) { last_lsn_ = lsn; }
 
+  // Wall-clock birth time (watchdog age accounting); set at Begin.
+  uint64_t begin_wall_micros() const { return begin_wall_micros_; }
+  void set_begin_wall_micros(uint64_t t) { begin_wall_micros_ = t; }
+
+  // Owner latch. Held (via Database's entry points) for the duration of
+  // every operation performed on behalf of this transaction, so the
+  // stuck-transaction watchdog can distinguish "idle between statements"
+  // (try_lock succeeds → safe to abort from another thread) from "owner
+  // thread is mid-operation" (try_lock fails → skip this round). Ordered
+  // before every engine-internal rank; see lock_order.h (kTxnOwner).
+  std::mutex& owner_mu() { return owner_mu_; }
+
   std::vector<LogRecord>& undo_records() { return undo_records_; }
   std::vector<DeferredChange>& deferred_changes() { return deferred_changes_; }
 
@@ -91,6 +104,8 @@ class Transaction {
   TxnState state_ = TxnState::kActive;
   uint64_t commit_ts_ = 0;
   Lsn last_lsn_ = kInvalidLsn;
+  uint64_t begin_wall_micros_ = 0;
+  std::mutex owner_mu_;
 
   // In-memory copy of this transaction's data log records, newest last;
   // rollback walks it backwards (the on-disk prev_lsn chain serves

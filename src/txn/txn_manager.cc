@@ -1,5 +1,8 @@
 #include "txn/txn_manager.h"
 
+#include <chrono>
+#include <vector>
+
 #include "common/invariant.h"
 #include "common/lock_order.h"
 #include "common/logging.h"
@@ -12,6 +15,10 @@ TxnManagerMetrics::TxnManagerMetrics(obs::MetricsRegistry* registry)
       aborted(registry->GetCounter("ivdb_txn_aborted_total")),
       system_committed(
           registry->GetCounter("ivdb_txn_system_committed_total")),
+      admission_rejected(
+          registry->GetCounter("ivdb_txn_admission_rejected_total")),
+      watchdog_aborted(
+          registry->GetCounter("ivdb_txn_watchdog_aborted_total")),
       active(registry->GetGauge("ivdb_txn_active")),
       commit_latency(registry->GetHistogram("ivdb_txn_commit_micros")) {}
 
@@ -30,7 +37,22 @@ TransactionManager::TransactionManager(LockManager* lock_manager,
       metrics_(options.metrics != nullptr ? options.metrics
                                           : owned_registry_.get()),
       wall_clock_(options.clock != nullptr ? options.clock
-                                           : Clock::Default()) {}
+                                           : Clock::Default()) {
+  if (options_.max_txn_lifetime_micros > 0) {
+    watchdog_ = std::thread(&TransactionManager::WatchdogLoop, this);
+  }
+}
+
+TransactionManager::~TransactionManager() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> guard(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+}
 
 // Attaches a trace recorder when enabled and publishes the descriptor.
 // Caller holds active_mu_.
@@ -40,7 +62,9 @@ Transaction* TransactionManager::Register(std::unique_ptr<Transaction> txn) {
         options_.trace_ring_capacity, wall_clock_));
     txn->trace()->Record(obs::TraceEventType::kTxnBegin, txn->id());
   }
+  txn->set_begin_wall_micros(wall_clock_->NowMicros());
   Transaction* out = txn.get();
+  if (!out->is_system()) user_active_++;
   active_[out->id()] = std::move(txn);
   metrics_.begun->Add();
   metrics_.active->Add(1);
@@ -50,7 +74,23 @@ Transaction* TransactionManager::Register(std::unique_ptr<Transaction> txn) {
 Transaction* TransactionManager::Begin(ReadMode read_mode) {
   IVDB_LOCK_ORDER(LockRank::kTxnActive);
   std::unique_lock<std::mutex> active_guard(active_mu_);
-  active_cv_.wait(active_guard, [this] { return !quiescing_; });
+  if (options_.max_active_txns == 0) {
+    active_cv_.wait(active_guard, [this] { return !quiescing_; });
+  } else {
+    // Admission gate: queue for a slot with a deadline, so overload turns
+    // into bounded waiting plus kBusy instead of an unbounded pile-up in
+    // the lock table.
+    auto admissible = [this] {
+      return !quiescing_ && user_active_ < options_.max_active_txns;
+    };
+    if (!active_cv_.wait_for(
+            active_guard,
+            std::chrono::microseconds(options_.admission_timeout_micros),
+            admissible)) {
+      metrics_.admission_rejected->Add();
+      return nullptr;
+    }
+  }
   TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   uint64_t begin_ts;
   {
@@ -179,23 +219,35 @@ Status TransactionManager::Commit(Transaction* txn) {
     commit.timestamp = commit_ts;
     IVDB_RETURN_NOT_OK(log_manager_->Append(&commit));
     txn->set_last_lsn(commit.lsn);
-    version_store_->Commit(txn->id(), commit_ts);
   }
 
   if (!txn->is_system()) {
     // Group commit: blocks until the COMMIT record is on stable storage.
     // System transactions skip the forced flush — log order alone
     // guarantees their records become durable before any dependent user
-    // commit is acknowledged.
+    // commit is acknowledged. On flush failure the WAL poisons itself and
+    // we return with the transaction still active and all of its versions
+    // still pending, so the engine can roll it back logically — nothing
+    // unacknowledged ever became visible.
     IVDB_RETURN_NOT_OK(log_manager_->Flush(commit.lsn));
   }
+
+  // Durability point passed: flip this transaction's versions to committed.
+  // Transactions that begin after Commit() returns draw a later begin_ts
+  // and are guaranteed to see them (see the class comment).
+  version_store_->Commit(txn->id(), txn->commit_ts());
 
   LogRecord end;
   end.type = LogRecordType::kEnd;
   end.txn_id = txn->id();
   end.system_txn = txn->is_system();
   end.prev_lsn = txn->last_lsn();
-  IVDB_RETURN_NOT_OK(log_manager_->Append(&end));
+  if (!log_manager_->Append(&end).ok()) {
+    // Only reachable when a concurrent committer poisoned the WAL between
+    // our successful flush and this append. Our COMMIT record is durable
+    // and the versions are flipped: the transaction IS committed, and
+    // recovery tolerates a missing END, so this failure is not surfaced.
+  }
 
   FinishTxn(txn, TxnState::kCommitted);
   const uint64_t commit_micros = wall_clock_->NowMicros() - commit_start;
@@ -217,13 +269,26 @@ Status TransactionManager::Abort(Transaction* txn) {
   }
   obs::TraceScope trace_scope(txn->trace());
   if (txn->has_writes()) {
+    // When the WAL is poisoned (engine degraded), CLR appends fail with
+    // kUnavailable. The rollback degrades to logical undo in memory only:
+    // the durable log has no COMMIT for this transaction, so restart
+    // recovery will roll it back again from the on-disk record chain, and
+    // what matters now is that the in-memory state readers keep serving
+    // reflects only acknowledged commits.
+    bool wal_alive = true;
     LogRecord abort_rec;
     abort_rec.type = LogRecordType::kAbort;
     abort_rec.txn_id = txn->id();
     abort_rec.system_txn = txn->is_system();
     abort_rec.prev_lsn = txn->last_lsn();
-    IVDB_RETURN_NOT_OK(log_manager_->Append(&abort_rec));
-    txn->set_last_lsn(abort_rec.lsn);
+    Status append_status = log_manager_->Append(&abort_rec);
+    if (append_status.ok()) {
+      txn->set_last_lsn(abort_rec.lsn);
+    } else if (append_status.IsUnavailable()) {
+      wal_alive = false;
+    } else {
+      return append_status;
+    }
 
     // Undo newest-first, writing a compensation record (CLR) before each
     // physical undo step. Increments are undone *logically* (inverse
@@ -232,20 +297,31 @@ Status TransactionManager::Abort(Transaction* txn) {
     auto& records = txn->undo_records();
     for (auto it = records.rbegin(); it != records.rend(); ++it) {
       LogRecord clr = MakeCompensation(*it);
-      clr.prev_lsn = txn->last_lsn();
-      IVDB_RETURN_NOT_OK(log_manager_->Append(&clr));
-      txn->set_last_lsn(clr.lsn);
+      if (wal_alive) {
+        clr.prev_lsn = txn->last_lsn();
+        append_status = log_manager_->Append(&clr);
+        if (append_status.ok()) {
+          txn->set_last_lsn(clr.lsn);
+        } else if (append_status.IsUnavailable()) {
+          wal_alive = false;
+        } else {
+          return append_status;
+        }
+      }
       IVDB_RETURN_NOT_OK(applier_->ApplyRedo(clr.clr_op, clr));
     }
 
     version_store_->Abort(txn->id());
 
-    LogRecord end;
-    end.type = LogRecordType::kEnd;
-    end.txn_id = txn->id();
-    end.system_txn = txn->is_system();
-    end.prev_lsn = txn->last_lsn();
-    IVDB_RETURN_NOT_OK(log_manager_->Append(&end));
+    if (wal_alive) {
+      LogRecord end;
+      end.type = LogRecordType::kEnd;
+      end.txn_id = txn->id();
+      end.system_txn = txn->is_system();
+      end.prev_lsn = txn->last_lsn();
+      // A poison race here only loses the optional END record.
+      (void)log_manager_->Append(&end);
+    }
   } else {
     version_store_->Abort(txn->id());
   }
@@ -264,11 +340,23 @@ Status TransactionManager::RollbackToSavepoint(Transaction* txn,
   if (savepoint > records.size()) {
     return Status::InvalidArgument("savepoint beyond current undo log");
   }
+  // As in Abort(): a poisoned WAL downgrades the partial rollback to
+  // logical undo in memory — restart recovery re-derives the same rollback
+  // from the durable prefix of the chain.
+  bool wal_alive = true;
   while (records.size() > savepoint) {
     LogRecord clr = MakeCompensation(records.back());
-    clr.prev_lsn = txn->last_lsn();
-    IVDB_RETURN_NOT_OK(log_manager_->Append(&clr));
-    txn->set_last_lsn(clr.lsn);
+    if (wal_alive) {
+      clr.prev_lsn = txn->last_lsn();
+      Status append_status = log_manager_->Append(&clr);
+      if (append_status.ok()) {
+        txn->set_last_lsn(clr.lsn);
+      } else if (append_status.IsUnavailable()) {
+        wal_alive = false;
+      } else {
+        return append_status;
+      }
+    }
     IVDB_RETURN_NOT_OK(applier_->ApplyRedo(clr.clr_op, clr));
     // Undone records must not be undone again by a later full abort; the
     // on-disk chain stays correct through the CLR's undo_next_lsn.
@@ -287,8 +375,77 @@ void TransactionManager::FinishTxn(Transaction* txn, TxnState final_state) {
     finished_[txn->id()] = std::move(it->second);
     active_.erase(it);
     metrics_.active->Add(-1);
+    if (!txn->is_system()) user_active_--;
   }
   active_cv_.notify_all();
+}
+
+uint64_t TransactionManager::SweepStuckTransactions() {
+  if (options_.max_txn_lifetime_micros == 0) return 0;
+  const uint64_t now = wall_clock_->NowMicros();
+  std::vector<TxnId> expired;
+  {
+    IVDB_LOCK_ORDER(LockRank::kTxnActive);
+    std::lock_guard<std::mutex> guard(active_mu_);
+    for (const auto& [id, txn] : active_) {
+      if (txn->is_system()) continue;
+      if (now - txn->begin_wall_micros() >=
+          options_.max_txn_lifetime_micros) {
+        expired.push_back(id);
+      }
+    }
+  }
+  uint64_t reaped = 0;
+  for (TxnId id : expired) {
+    Transaction* txn = nullptr;
+    std::unique_lock<std::mutex> owner_latch;
+    {
+      IVDB_LOCK_ORDER(LockRank::kTxnActive);
+      std::lock_guard<std::mutex> guard(active_mu_);
+      auto it = active_.find(id);
+      if (it == active_.end()) continue;  // finished meanwhile
+      // Non-blocking probe of the owner latch while active_mu_ pins the
+      // descriptor. Success means the owner thread is idle between
+      // statements: it cannot start an operation (every engine entry point
+      // takes the latch first) or destroy the descriptor until we release
+      // it, so the abort below runs with exclusive ownership. Failure
+      // means the owner is mid-operation — skip, a later pass will catch
+      // it. Deliberately not a ranked IVDB_LOCK_ORDER acquisition: a
+      // try_lock can never block, so it cannot participate in a deadlock
+      // cycle, and declaring it would invert the owner-before-active order
+      // the entry points establish.
+      std::unique_lock<std::mutex> probe(it->second->owner_mu(),
+                                         std::try_to_lock);
+      if (!probe.owns_lock()) continue;
+      txn = it->second.get();
+      owner_latch = std::move(probe);
+    }
+    // Holding the owner latch of a transaction found active implies no
+    // state transition is in flight; Abort moves it to finished_ and
+    // releases its locks, unblocking anything queued behind them.
+    if (Abort(txn).ok()) {
+      reaped++;
+      metrics_.watchdog_aborted->Add();
+    }
+  }
+  return reaped;
+}
+
+void TransactionManager::WatchdogLoop() {
+  const uint64_t lifetime = options_.max_txn_lifetime_micros;
+  // Sweep at a quarter of the lifetime, clamped to [1ms, 1s]: prompt
+  // enough to catch stalls without busy-polling tiny lifetimes.
+  uint64_t period = lifetime / 4;
+  if (period < 1000) period = 1000;
+  if (period > 1000 * 1000) period = 1000 * 1000;
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, std::chrono::microseconds(period));
+    if (watchdog_stop_) break;
+    lock.unlock();
+    SweepStuckTransactions();
+    lock.lock();
+  }
 }
 
 uint64_t TransactionManager::OldestActiveTs() const {

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "common/clock.h"
 #include "common/status.h"
@@ -37,6 +38,10 @@ struct TxnManagerMetrics {
   obs::Counter* committed;
   obs::Counter* aborted;
   obs::Counter* system_committed;
+  // Admission-gate overflows (Begin gave up after admission_timeout) and
+  // transactions force-aborted by the stuck-transaction watchdog.
+  obs::Counter* admission_rejected;
+  obs::Counter* watchdog_aborted;
   obs::Gauge* active;
   // End-to-end commit-path latency of user transactions with writes
   // (`ivdb_txn_commit_micros`): timestamp draw + COMMIT append + group
@@ -50,12 +55,19 @@ struct TxnManagerMetrics {
 // lock release, and multiversion visibility.
 //
 // Commit protocol (user transactions with writes):
-//   1. under the visibility mutex: draw commit_ts, append COMMIT record,
-//      flip this txn's version-store entries to committed — so any
-//      transaction that *begins* after the commit timestamp exists is
-//      guaranteed to see the converted versions;
+//   1. under the visibility mutex: draw commit_ts, append COMMIT record;
 //   2. group-commit flush of the WAL up to the COMMIT record;
-//   3. append END, release all locks.
+//   3. flip this txn's version-store entries to committed;
+//   4. append END, release all locks.
+//
+// The flip happens only after the COMMIT record is durable, so an
+// unacknowledged commit is never visible to other transactions: if the
+// flush fails (WAL poisoned, engine degraded) the transaction is still
+// fully pending and a plain Abort rolls it back logically. Any transaction
+// that begins after Commit() returns sees the converted versions (its
+// begin_ts is drawn after the flip); a snapshot drawn between steps 1 and 3
+// simply does not see the not-yet-acknowledged commit, which is
+// indistinguishable from the committer being scheduled a moment later.
 //
 // System transactions (ghost creation/cleanup) follow the same protocol but
 // skip step 2: their effects are structural and become durable with (and
@@ -71,6 +83,18 @@ class TransactionManager {
     // Per-transaction trace ring size (span events); 0 — the default
     // outside tests/benches — disables tracing entirely.
     size_t trace_ring_capacity = 0;
+    // Admission control: maximum concurrently active *user* transactions
+    // (system transactions bypass the gate, like the quiesce gate). 0
+    // disables the gate. When the engine is full, Begin() queues up to
+    // admission_timeout_micros for a slot, then gives up (returns nullptr;
+    // the engine surfaces kBusy).
+    size_t max_active_txns = 0;
+    uint64_t admission_timeout_micros = 1000 * 1000;
+    // Stuck-transaction watchdog: user transactions older than this are
+    // force-aborted when their owner latch can be taken (i.e. the owner is
+    // idle between statements — a stalled client, not a running one). 0
+    // disables the watchdog; > 0 also starts the background sweep thread.
+    uint64_t max_txn_lifetime_micros = 0;
   };
 
   TransactionManager(LockManager* lock_manager, LogManager* log_manager,
@@ -84,6 +108,11 @@ class TransactionManager {
   TransactionManager(const TransactionManager&) = delete;
   TransactionManager& operator=(const TransactionManager&) = delete;
 
+  ~TransactionManager();
+
+  // Returns nullptr only when the admission gate is enabled and no slot
+  // freed up within admission_timeout_micros (the engine maps that to
+  // kBusy). With admission disabled (the default) it never returns null.
   Transaction* Begin(ReadMode read_mode = ReadMode::kLocking);
   Transaction* BeginSystem();
 
@@ -129,6 +158,15 @@ class TransactionManager {
   void BeginQuiesce();
   void EndQuiesce();
 
+  // One watchdog pass: aborts every *idle* user transaction whose age
+  // exceeds max_txn_lifetime_micros (no-op when the watchdog is disabled).
+  // "Idle" means the owner latch could be taken without blocking — a
+  // transaction whose owner thread is mid-operation is skipped and caught
+  // on a later pass. Returns the number of transactions aborted. The
+  // background thread calls this periodically; tests with a ManualClock
+  // call it directly for a deterministic sweep.
+  uint64_t SweepStuckTransactions();
+
   // Releases the descriptor of a finished transaction. Optional — finished
   // descriptors are also reclaimed lazily — but long-running benchmarks
   // should call it to bound memory.
@@ -150,6 +188,7 @@ class TransactionManager {
   Status AppendDataRecord(Transaction* txn, LogRecord rec);
   void FinishTxn(Transaction* txn, TxnState final_state);
   Transaction* Register(std::unique_ptr<Transaction> txn);
+  void WatchdogLoop();
 
   LockManager* const lock_manager_;
   LogManager* const log_manager_;
@@ -170,8 +209,18 @@ class TransactionManager {
   mutable std::mutex active_mu_;
   std::condition_variable active_cv_;
   bool quiescing_ = false;
+  size_t user_active_ = 0;  // admission-gate population (excludes system)
   std::map<TxnId, std::unique_ptr<Transaction>> active_;
   std::map<TxnId, std::unique_ptr<Transaction>> finished_;
+
+  // Stuck-transaction watchdog (only when max_txn_lifetime_micros > 0).
+  // The thread paces itself on real time; transaction ages come from
+  // wall_clock_, so under a ManualClock the thread is inert and tests
+  // drive SweepStuckTransactions() directly.
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 };
 
 }  // namespace ivdb

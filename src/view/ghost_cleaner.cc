@@ -18,7 +18,9 @@ GhostCleanerMetrics::GhostCleanerMetrics(obs::MetricsRegistry* registry,
       skipped_locked(registry->GetCounter(obs::WithLabel(
           "ivdb_ghost_skipped_locked_total", "view", view_name))),
       skipped_revived(registry->GetCounter(obs::WithLabel(
-          "ivdb_ghost_skipped_revived_total", "view", view_name))) {}
+          "ivdb_ghost_skipped_revived_total", "view", view_name))),
+      errors(registry->GetCounter(
+          obs::WithLabel("ivdb_ghost_errors_total", "view", view_name))) {}
 
 GhostCleaner::GhostCleaner(ObjectId view_id, size_t count_column,
                            IndexResolver* resolver, LockManager* locks,
@@ -65,6 +67,8 @@ Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
   metrics_.candidates_seen->Add(candidates.size());
 
   uint64_t reclaimed = 0;
+  uint64_t errors = 0;
+  Status pass_status;
   for (const std::string& key : candidates) {
     Transaction* sys = txns_->BeginSystem();
     Status lock_status =
@@ -102,32 +106,53 @@ Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
                                              return Status::OK();
                                            });
     }
-    if (!s.ok()) {
-      txns_->Abort(sys);
-      txns_->Forget(sys);
-      return s;
+    if (s.ok()) {
+      s = txns_->Commit(sys);
     }
-    IVDB_RETURN_NOT_OK(txns_->Commit(sys));
+    if (sys->state() == TxnState::kActive) txns_->Abort(sys);
     txns_->Forget(sys);
+    if (!s.ok()) {
+      // A ghost is logically absent either way, so a failed reclamation
+      // costs space, not correctness: count it and keep sweeping. Only a
+      // degraded engine (kUnavailable is sticky — every further row would
+      // fail the same way) or a non-transient error (corruption) stops the
+      // pass.
+      errors++;
+      metrics_.errors->Add();
+      if (s.IsUnavailable() || (!s.IsTransient() && !s.IsIOError())) {
+        pass_status = s;
+        break;
+      }
+      continue;
+    }
     reclaimed++;
   }
+  last_pass_errors_.store(errors, std::memory_order_release);
   metrics_.reclaimed->Add(reclaimed);
   obs::EmitTrace(obs::TraceEventType::kGhostCleanup, view_id_, reclaimed);
   if (reclaimed_out != nullptr) *reclaimed_out = reclaimed;
-  return Status::OK();
+  return pass_status;
 }
 
 void GhostCleaner::Start(uint64_t interval_micros) {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
   thread_ = std::thread([this, interval_micros] {
+    uint64_t interval = interval_micros;
     while (running_.load(std::memory_order_acquire)) {
-      RunOnce();
+      Status s = RunOnce();
+      if (!s.ok() || last_pass_errors_.load(std::memory_order_acquire) > 0) {
+        // Erroring pass: the engine is degraded or flaky. Back off
+        // (doubling, capped at 16x) so a struggling engine is probed
+        // gently instead of hammered.
+        interval = std::min(interval * 2, interval_micros * 16);
+      } else {
+        interval = interval_micros;
+      }
       // Sleep in small slices so Stop() is responsive.
       uint64_t slept = 0;
-      while (slept < interval_micros &&
-             running_.load(std::memory_order_acquire)) {
-        uint64_t slice = std::min<uint64_t>(interval_micros - slept, 2000);
+      while (slept < interval && running_.load(std::memory_order_acquire)) {
+        uint64_t slice = std::min<uint64_t>(interval - slept, 2000);
         std::this_thread::sleep_for(std::chrono::microseconds(slice));
         slept += slice;
       }

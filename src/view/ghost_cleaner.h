@@ -23,6 +23,10 @@ struct GhostCleanerMetrics {
   obs::Counter* reclaimed;
   obs::Counter* skipped_locked;   // E/X holder present; try later
   obs::Counter* skipped_revived;  // count rose again before lock
+  // Reclamation attempts that failed on an error (I/O failure, engine
+  // degraded, ...) rather than a busy row. The cleaner presses on — ghosts
+  // are logically absent, so a failed cleanup costs space, not correctness.
+  obs::Counter* errors;
 
   GhostCleanerMetrics(obs::MetricsRegistry* registry,
                       const std::string& view_name);
@@ -66,9 +70,17 @@ class GhostCleaner {
   GhostCleaner& operator=(const GhostCleaner&) = delete;
 
   // One full pass; *reclaimed (optional) receives the rows removed.
+  // Per-row failures are absorbed (counted in `errors`, row skipped) when
+  // transient — a busy lock, an I/O hiccup — so one bad row never strands
+  // the rest of the pass. The pass itself fails only on non-transient
+  // errors (corruption) or a degraded engine (kUnavailable — every further
+  // row would fail identically, so the pass stops early).
   Status RunOnce(uint64_t* reclaimed = nullptr);
 
-  // Background mode: a pass every `interval_micros` until Stop().
+  // Background mode: a pass every `interval_micros` until Stop(). A pass
+  // that errors (or absorbs per-row errors) doubles the interval, up to
+  // 16x, so a degraded or faulting engine is probed gently instead of
+  // hammered; a clean pass resets the interval.
   void Start(uint64_t interval_micros);
   void Stop();
 
@@ -86,6 +98,8 @@ class GhostCleaner {
 
   std::atomic<bool> running_{false};
   std::thread thread_;
+  // Errors absorbed by the most recent pass (background backoff signal).
+  std::atomic<uint64_t> last_pass_errors_{0};
 };
 
 }  // namespace ivdb

@@ -43,6 +43,9 @@ Status LogManager::Open() {
 }
 
 Status LogManager::Append(LogRecord* rec) {
+  if (poisoned()) {
+    return Status::Unavailable("WAL is poisoned; engine is read-only");
+  }
   std::string body;
   // LSN must be assigned while holding buf_mu_ so buffer order == LSN order.
   IVDB_LOCK_ORDER(LockRank::kWalBuffer);
@@ -87,6 +90,11 @@ Status LogManager::Flush(Lsn upto) {
   }
   const uint64_t flush_start = clock_->NowMicros();
   while (flushed_lsn_.load(std::memory_order_acquire) < upto) {
+    if (poisoned()) {
+      // A previous flush failed and dropped buffered records; writing more
+      // would put a gap in the durable record stream.
+      return Status::Unavailable("WAL is poisoned; engine is read-only");
+    }
     if (flusher_active_) {
       // Follower: a leader's I/O is in flight; our records (appended before
       // this call) will ride this batch or the immediately following one.
@@ -118,6 +126,12 @@ Status LogManager::Flush(Lsn upto) {
     lock.lock();
     flusher_active_ = false;
     if (!status.ok()) {
+      // Unrecoverable: the batch we swapped out never became durable (and a
+      // failed fsync dropped it from the file). Subsequent appends would be
+      // separated from the durable prefix by a hole, so the log goes sticky
+      // read-only; the original I/O error is surfaced to this committer and
+      // everyone else sees kUnavailable.
+      Poison();
       flush_cv_.notify_all();
       return status;
     }
@@ -180,11 +194,27 @@ Status LogManager::TruncateAll() {
   std::lock_guard<std::mutex> flush_guard(flush_mu_);
   IVDB_LOCK_ORDER(LockRank::kWalBuffer);
   std::lock_guard<std::mutex> buf_guard(buf_mu_);
+  if (poisoned()) {
+    return Status::Unavailable("WAL is poisoned; engine is read-only");
+  }
   buffer_.clear();
   if (file_ != nullptr) {
-    IVDB_RETURN_NOT_OK(file_->Truncate(0));
+    Status s = file_->Truncate(0);
+    if (!s.ok()) {
+      Poison();
+      return s;
+    }
   }
   return Status::OK();
+}
+
+void LogManager::Poison() {
+  if (!poisoned_.exchange(true, std::memory_order_acq_rel)) {
+    // Wake flush followers parked on flush_cv_ so they observe the poison
+    // instead of waiting for a durability that will never come.
+    flush_cv_.notify_all();
+    if (options_.on_poison) options_.on_poison();
+  }
 }
 
 }  // namespace ivdb

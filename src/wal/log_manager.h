@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,6 +47,12 @@ struct LogManagerOptions {
   obs::MetricsRegistry* metrics = nullptr;
   // Time source for flush-latency accounting; nullptr => Clock::Default().
   Clock* clock = nullptr;
+  // Invoked exactly once, on the transition into the poisoned (degraded)
+  // state — see Poison(). The engine hooks this to flip its degraded gauge
+  // and emit the `engine.degraded` trace event. May be invoked from any
+  // thread, possibly while WAL-internal locks are held; keep it cheap and
+  // do not call back into the log manager.
+  std::function<void()> on_poison = nullptr;
 };
 
 // WAL instruments; see docs/OBSERVABILITY.md for the naming scheme.
@@ -103,6 +110,18 @@ class LogManager {
   // records unnecessary). Callers must guarantee no concurrent appends.
   Status TruncateAll();
 
+  // Sticky degraded state. After an unrecoverable I/O error (failed flush
+  // append/sync, failed truncate) the log poisons itself: the durable
+  // prefix of the file may be missing records that are still buffered (or
+  // were dropped by a failed fsync), so writing anything more would leave a
+  // gap that recovery could silently replay across. Once poisoned, every
+  // Append/Flush/TruncateAll returns kUnavailable and no further bytes
+  // reach the file; only a restart (a fresh LogManager over the durable
+  // prefix) clears the condition. Poison() is idempotent and may also be
+  // called by the engine when a checkpoint write fails.
+  void Poison();
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
  private:
   LogManagerOptions options_;
   Env* env_ = nullptr;  // options_.env resolved against Env::Default()
@@ -129,6 +148,7 @@ class LogManager {
 
   std::atomic<Lsn> next_lsn_{1};
   std::atomic<Lsn> flushed_lsn_{0};
+  std::atomic<bool> poisoned_{false};
 };
 
 }  // namespace ivdb

@@ -279,6 +279,79 @@ TEST(CrashTorture, SweepIsSeedReproducible) {
   EXPECT_EQ(counts[0], counts[1]) << "seed=" << seed;
 }
 
+// Degraded-mode torture: instead of a hard crash, place a single fsync
+// failure at every sync boundary in turn. The engine must flip read-only at
+// the failure (no write acknowledged afterwards), keep the process alive,
+// and a plain restart must recover exactly the acknowledged state (or the
+// acknowledged state plus the one in-flight commit) with consistent views —
+// i.e. a live I/O failure is never worse than a power loss at the same
+// boundary.
+TEST(CrashTorture, DegradedModeEverySyncBoundarySweep) {
+  const uint64_t seed = TortureSeed();
+
+  // Dry run: count the sync boundaries of the uninterrupted workload.
+  int64_t total_syncs = 0;
+  {
+    ScopedTempDir dir("degraded_torture_dry");
+    FaultInjectionEnv env(seed);
+    DatabaseOptions options;
+    options.dir = dir.path();
+    options.sync = SyncMode::kFsync;
+    options.env = &env;
+    auto opened = Database::Open(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto db = std::move(opened).value();
+    TortureOutcome out;
+    ASSERT_TRUE(RunTortureWorkload(db.get(), seed, &out).ok());
+    ASSERT_TRUE(out.finished);
+    db.reset();
+    total_syncs = env.syncs_seen();
+  }
+  ASSERT_GE(total_syncs, 20) << "seed=" << seed
+                             << ": workload exposes too few sync boundaries";
+
+  for (int64_t k = 0; k < total_syncs; k++) {
+    SCOPED_TRACE("IVDB_TORTURE_SEED=" + std::to_string(seed) +
+                 ", failing sync index " + std::to_string(k));
+    ScopedTempDir dir("degraded_torture");
+    FaultInjectionEnv env(seed * 1000003 + k);
+    env.FailSyncAt(k);
+    TortureOutcome out;
+    {
+      DatabaseOptions options;
+      options.dir = dir.path();
+      options.sync = SyncMode::kFsync;
+      options.env = &env;
+      auto opened = Database::Open(options);
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      auto db = std::move(opened).value();
+      ASSERT_TRUE(RunTortureWorkload(db.get(), seed, &out).ok());
+      ASSERT_FALSE(out.finished)
+          << "sync index inside the dry-run range was never hit";
+
+      // The injected failure must have degraded the engine, and nothing is
+      // acknowledged after the degrade: write statements and new
+      // locking-mode transactions are rejected without touching the WAL.
+      EXPECT_TRUE(db->degraded());
+      Transaction* writer = db->Begin();
+      Status s = db->Insert(writer, "sales", Sale(999999, "eu", 1.0));
+      EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+      auto checked = db->BeginChecked(ReadMode::kLocking);
+      EXPECT_TRUE(checked.status().IsUnavailable())
+          << checked.status().ToString();
+      // No crash was simulated: the process survived the failure.
+      EXPECT_FALSE(env.crashed());
+    }
+
+    DatabaseOptions recovered;
+    recovered.dir = dir.path();
+    auto reopened = Database::Open(recovered);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_FALSE(reopened.value()->degraded());
+    VerifyRecovered(reopened.value().get(), out, seed, k);
+  }
+}
+
 using FaultRecoveryTest = DurableDbTest;
 
 TEST_F(FaultRecoveryTest, FsyncFailureAtCommitRollsBackEscrowDeltas) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <thread>
 
+#include "common/env.h"
 #include "engine/database.h"
 
 namespace ivdb {
@@ -164,6 +166,62 @@ TEST(GhostCleaner, BackgroundModeStartStop) {
   }
   EXPECT_EQ(f.PhysicalRows(), 0u);
   // Destruction (Fixture going out of scope) stops the thread cleanly.
+}
+
+TEST(GhostCleaner, DegradedEngineStopsPassAndCountsErrors) {
+  // Ghost reclamation appends to the WAL (system-transaction DELETEs), so a
+  // degraded engine fails every reclamation identically: the pass must stop
+  // early with kUnavailable, count the error, and leave the ghosts parked —
+  // they are logically absent either way, so this costs space, not
+  // correctness.
+  std::string dir = ::testing::TempDir() + "ghost_cleaner_degraded";
+  std::filesystem::remove_all(dir);
+  {
+    FaultInjectionEnv env(123);
+    DatabaseOptions options;
+    options.dir = dir;
+    options.sync = SyncMode::kFsync;
+    options.env = &env;
+    Fixture f(std::move(options));
+    for (int64_t g = 0; g < 3; g++) {
+      f.CommitOp(
+          [&](Transaction* t) { return f.db->Insert(t, "sales", Sale(g, g)); });
+      f.CommitOp([&](Transaction* t) {
+        return f.db->Delete(t, "sales", {Value::Int64(g)});
+      });
+    }
+    ASSERT_EQ(f.PhysicalRows(), 3u);
+
+    // Degrade the engine: a commit-time fsync failure poisons the WAL.
+    env.FailNextSyncs(1);
+    Transaction* txn = f.db->Begin();
+    ASSERT_TRUE(f.db->Insert(txn, "sales", Sale(100, 50)).ok());
+    ASSERT_FALSE(f.db->Commit(txn).ok());
+    ASSERT_TRUE(f.db->degraded());
+    // The rolled-back insert left one more ghost behind (group 50's row,
+    // escrow-decremented back to count 0).
+    const uint64_t parked = f.PhysicalRows();
+    ASSERT_GE(parked, 3u);
+
+    Status s = f.db->CleanGhosts();
+    EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+    EXPECT_EQ(f.PhysicalRows(), parked);  // nothing reclaimed, nothing lost
+    const GhostCleanerMetrics* stats = f.db->ghost_metrics("by_grp");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_GE(stats->errors->Value(), 1u);
+
+    // Sticky: a later pass fails the same way (and counts again) instead of
+    // crashing or silently claiming success.
+    EXPECT_TRUE(f.db->CleanGhosts().IsUnavailable());
+
+    // The ghosts stay invisible to readers while parked.
+    Transaction* reader = f.db->Begin(ReadMode::kSnapshot);
+    auto rows = f.db->ScanView(reader, "by_grp");
+    ASSERT_TRUE(rows.ok());
+    EXPECT_TRUE(rows->empty());
+    f.db->Commit(reader);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(GhostCleaner, GhostInvisibleInAllReadModes) {

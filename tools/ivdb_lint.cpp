@@ -23,6 +23,14 @@
 //                      register with the unified obs::MetricsRegistry so
 //                      every counter shows up in Database::DumpMetrics().
 //                      (See docs/OBSERVABILITY.md.)
+//   adhoc-retry        No sleeping (std::this_thread::sleep_for/sleep_until,
+//                      usleep, nanosleep) in src/** outside the allowlisted
+//                      waiting primitives: sleep-in-a-loop is how ad-hoc
+//                      retry/backoff sneaks in. Retry goes through
+//                      Database::RunTransaction (src/txn/retry.h); waiting
+//                      goes through Clock::SleepMicros or a condition
+//                      variable, keeping ManualClock tests deterministic.
+//                      (See docs/ROBUSTNESS.md.)
 //
 // Usage:
 //   ivdb_lint --root <repo> [--allowlist <file>]   lint the tree
@@ -281,6 +289,28 @@ void CheckAdhocStats(const std::string& path, const std::string& stripped,
   }
 }
 
+void CheckAdhocRetry(const std::string& path, const std::string& stripped,
+                     std::vector<Finding>* findings) {
+  // Sleeping inside engine code is how ad-hoc retry loops sneak in (sleep,
+  // re-check, repeat) — invisible to ManualClock tests and uncoordinated
+  // with the engine-wide retry policy. Only the designated waiting
+  // primitives (allowlisted: the Clock seam itself, the WAL's simulated
+  // flush latency, the ghost cleaner's interval pacing) may sleep.
+  if (path.rfind("src/", 0) != 0) return;
+  static const std::regex re(
+      R"((\bstd\s*::\s*this_thread\s*::\s*sleep_(for|until)\b|\b(usleep|nanosleep)\s*\())");
+  const std::vector<std::string> lines = SplitLines(stripped);
+  for (size_t i = 0; i < lines.size(); i++) {
+    if (std::regex_search(lines[i], re)) {
+      findings->push_back(
+          {path, static_cast<int>(i + 1), "adhoc-retry",
+           "sleeping in engine code; retry via Database::RunTransaction "
+           "(src/txn/retry.h), wait via Clock::SleepMicros or a condition "
+           "variable"});
+    }
+  }
+}
+
 // Runs every rule over one file's content.
 void LintContent(const std::string& path, const std::string& raw,
                  std::vector<Finding>* findings) {
@@ -296,6 +326,7 @@ void LintContent(const std::string& path, const std::string& raw,
   CheckIncludeGuard(path, stripped, findings);
   CheckDirectIo(path, stripped, findings);
   CheckAdhocStats(path, stripped, findings);
+  CheckAdhocRetry(path, stripped, findings);
 }
 
 bool LoadAllowlist(const std::string& path, std::vector<AllowEntry>* entries) {
@@ -456,6 +487,19 @@ int SelfTest() {
       {"obs may use atomics in stats", "src/obs/metrics.h",
        "#ifndef IVDB_OBS_METRICS_H_\nstruct ShardStats {\n  "
        "std::atomic<uint64_t> v{0};\n};\n",
+       nullptr},
+      {"sleep_for in engine code fires", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F() { while (true) "
+       "std::this_thread::sleep_for(std::chrono::milliseconds(5)); }\n",
+       "adhoc-retry"},
+      {"usleep in engine code fires", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F() { usleep(100); }\n", "adhoc-retry"},
+      {"sleep in tests is fine", "tests/foo_test.cc",
+       "void F() { std::this_thread::sleep_for("
+       "std::chrono::milliseconds(5)); }\n",
+       nullptr},
+      {"Clock::SleepMicros is fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F(Clock* c) { c->SleepMicros(100); }\n",
        nullptr},
   };
 
