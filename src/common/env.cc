@@ -326,8 +326,21 @@ Status FaultInjectionEnv::FileAppend(const std::string& path,
   return Status::OK();
 }
 
+void FaultInjectionEnv::SetSyncObserver(std::function<void()> observer) {
+  std::lock_guard<std::mutex> guard(mu_);
+  sync_observer_ = std::move(observer);
+}
+
 Status FaultInjectionEnv::FileSync(const std::string& path,
                                    WritableFile* base) {
+  std::function<void()> observer;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    observer = sync_observer_;
+  }
+  // Outside mu_: the observer may call back into the env's setters (e.g. to
+  // clear itself) or drive engine work on another thread.
+  if (observer) observer();
   std::lock_guard<std::mutex> guard(mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("sync"));
   FileState& state = files_[path];

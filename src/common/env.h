@@ -2,6 +2,7 @@
 #define IVDB_COMMON_ENV_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -145,6 +146,16 @@ class FaultInjectionEnv : public Env {
   void FailNextReads(int count);
   void FailSyncAt(int64_t sync_index);
 
+  // Test seam: `observer` runs at the top of every Sync() call, on the
+  // syncing thread, outside the env's mutex, before the sync is counted or
+  // faulted. It turns the commit flush into a deterministic interleaving
+  // point — e.g. begin a snapshot reader while a committer sits between
+  // its COMMIT append and its visibility flip. The observer must not
+  // perform env I/O; engine calls that take ranked locks must run on a
+  // separate (joined) thread, since the syncing thread already holds the
+  // WAL flush mutex. nullptr clears it.
+  void SetSyncObserver(std::function<void()> observer);
+
   // Mutating ops successfully issued so far (== the next op's index).
   int64_t ops_issued() const;
   // Sync() calls observed so far (failed or not); the next sync's index.
@@ -182,6 +193,7 @@ class FaultInjectionEnv : public Env {
   int64_t syncs_seen_ = 0;
   int64_t fail_sync_at_ = -1;
   bool crashed_ = false;
+  std::function<void()> sync_observer_;
   std::map<std::string, FileState> files_;
 };
 

@@ -335,7 +335,7 @@ Result<Transaction*> Database::BeginChecked(ReadMode read_mode) {
         "engine is degraded (read-only) after a WAL I/O failure; "
         "locking-mode transactions are not admitted");
   }
-  Transaction* txn = txns_->Begin(read_mode);
+  Transaction* txn = txns_->Begin(read_mode, /*gated=*/true);
   if (txn == nullptr) {
     return Status::Busy("admission control: " +
                         std::to_string(options_.max_active_txns) +
@@ -347,7 +347,8 @@ Result<Transaction*> Database::BeginChecked(ReadMode read_mode) {
 Status Database::RunTransaction(const RunTransactionOptions& options,
                                 const std::function<Status(Transaction*)>& body,
                                 RunTransactionResult* result) {
-  Random rng(options.jitter_seed);
+  Random rng(options.jitter_seed.has_value() ? *options.jitter_seed
+                                             : UniqueJitterSeed());
   RunTransactionResult stats;
   const int max_attempts = std::max(1, options.max_attempts);
   Status status;
@@ -440,7 +441,11 @@ Status Database::Commit(Transaction* txn) {
     // (commit protocol step 3 runs after the flush), so the transaction is
     // still fully pending: roll it back logically right here, ensuring no
     // unacknowledged write lingers in the state that degraded-mode readers
-    // keep serving. The caller sees the original commit error.
+    // keep serving. The caller sees the original commit error. Note the
+    // failed fsync does not prove the COMMIT record missed the disk —
+    // restart recovery may still find it durable and replay the
+    // transaction as committed (docs/ROBUSTNESS.md §2, "the failed-fsync
+    // ambiguity"); the rollback here governs this process's state only.
     txns_->Abort(txn);
   }
   return s;

@@ -82,7 +82,9 @@ struct DatabaseOptions {
   // gate. When the engine is full, BeginChecked() queues up to
   // admission_timeout_micros for a slot and then returns kBusy, so overload
   // turns into bounded waiting instead of an unbounded pile-up in the lock
-  // table. (The unchecked Begin() also queues but returns nullptr.)
+  // table. (The unchecked Begin() bypasses the gate — it has no way to
+  // report rejection and its callers rely on it never returning null — but
+  // the transactions it admits still count against the cap.)
   size_t max_active_txns = 0;
   uint64_t admission_timeout_micros = 1000 * 1000;
 
@@ -179,6 +181,8 @@ class Database : public LogApplier, public IndexResolver {
 
   // --- Transactions ---
 
+  // Never returns null; bypasses admission control and the degraded-mode
+  // write gate (those need a status channel — use BeginChecked).
   Transaction* Begin(ReadMode read_mode = ReadMode::kLocking);
   // Begin with admission control and degraded mode surfaced as statuses:
   // kBusy when the engine is at max_active_txns and no slot freed within

@@ -1,7 +1,9 @@
 #ifndef IVDB_TXN_RETRY_H_
 #define IVDB_TXN_RETRY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <optional>
 
 #include "common/random.h"
 #include "txn/transaction.h"
@@ -28,11 +30,28 @@ struct RunTransactionOptions {
   uint64_t backoff_cap_micros = 100 * 1000;
   double jitter = 0.25;  // fraction of the backoff randomized away, [0, 1]
 
-  // Seeds the jitter PRNG, making the whole backoff schedule deterministic
-  // (the sleeps go through the engine Clock, so under ManualClock a
-  // schedule replays exactly).
-  uint64_t jitter_seed = 0x1e77e7;
+  // Seeds the jitter PRNG. Disengaged — the default — means RunTransaction
+  // derives a process-unique seed per call (UniqueJitterSeed), so
+  // concurrent retriers draw independent jitter streams; a shared fixed
+  // seed would have colliding transactions back off in lockstep and
+  // re-collide forever. Set it only when a test needs the whole backoff
+  // schedule to be deterministic (the sleeps go through the engine Clock,
+  // so under ManualClock a seeded schedule replays exactly).
+  std::optional<uint64_t> jitter_seed;
 };
+
+// Process-unique jitter seed for one RunTransaction call when the caller
+// did not pin one: splitmix64 over a process-wide counter, so simultaneous
+// calls (the colliding-retriers case jitter exists for) get distinct
+// streams.
+inline uint64_t UniqueJitterSeed() {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t z = (counter.fetch_add(1, std::memory_order_relaxed) + 1) *
+               0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 // Outcome details a caller can opt into (benchmarks report percentiles of
 // `attempts` to show how much work retry is re-doing).

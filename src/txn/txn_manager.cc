@@ -71,10 +71,14 @@ Transaction* TransactionManager::Register(std::unique_ptr<Transaction> txn) {
   return out;
 }
 
-Transaction* TransactionManager::Begin(ReadMode read_mode) {
+Transaction* TransactionManager::Begin(ReadMode read_mode, bool gated) {
   IVDB_LOCK_ORDER(LockRank::kTxnActive);
   std::unique_lock<std::mutex> active_guard(active_mu_);
-  if (options_.max_active_txns == 0) {
+  if (!gated || options_.max_active_txns == 0) {
+    // Ungated (or gate disabled): wait only on the quiesce gate. The
+    // unchecked Database::Begin() takes this path so it keeps its original
+    // never-null contract — callers written before admission control exist
+    // and do not null-check.
     active_cv_.wait(active_guard, [this] { return !quiescing_; });
   } else {
     // Admission gate: queue for a slot with a deadline, so overload turns
@@ -208,15 +212,20 @@ Status TransactionManager::Commit(Transaction* txn) {
   {
     IVDB_LOCK_ORDER(LockRank::kTxnVisibility);
     std::lock_guard<std::mutex> vis_guard(visibility_mu_);
-    uint64_t commit_ts = clock_.Tick();
-    IVDB_INVARIANT(commit_ts > txn->begin_ts(),
+    uint64_t durable_ts = clock_.Tick();
+    IVDB_INVARIANT(durable_ts > txn->begin_ts(),
                    "commit timestamp must follow the begin timestamp");
-    txn->set_commit_ts(commit_ts);
+    // The transaction's public commit_ts is the LOGGED timestamp: recovery
+    // advances the clock past the log's high-water mark, so durable
+    // timestamps stay strictly monotone across restarts. The flip below
+    // stamps the version store with a later, unlogged timestamp that never
+    // leaves this process (visibility state is rebuilt empty at restart).
+    txn->set_commit_ts(durable_ts);
     commit.type = LogRecordType::kCommit;
     commit.txn_id = txn->id();
     commit.system_txn = txn->is_system();
     commit.prev_lsn = txn->last_lsn();
-    commit.timestamp = commit_ts;
+    commit.timestamp = durable_ts;
     IVDB_RETURN_NOT_OK(log_manager_->Append(&commit));
     txn->set_last_lsn(commit.lsn);
   }
@@ -227,15 +236,31 @@ Status TransactionManager::Commit(Transaction* txn) {
     // guarantees their records become durable before any dependent user
     // commit is acknowledged. On flush failure the WAL poisons itself and
     // we return with the transaction still active and all of its versions
-    // still pending, so the engine can roll it back logically — nothing
-    // unacknowledged ever became visible.
+    // still pending, so the engine can roll it back logically — no other
+    // transaction in this process ever observes the unacknowledged write
+    // (restart recovery may still find the COMMIT record durable; see
+    // docs/ROBUSTNESS.md §2).
     IVDB_RETURN_NOT_OK(log_manager_->Flush(commit.lsn));
   }
 
   // Durability point passed: flip this transaction's versions to committed.
-  // Transactions that begin after Commit() returns draw a later begin_ts
-  // and are guaranteed to see them (see the class comment).
-  version_store_->Commit(txn->id(), txn->commit_ts());
+  // The flip runs under visibility_mu_ and stamps the versions with a FRESH
+  // timestamp drawn at flip time, not the one logged with the COMMIT
+  // record. Begin timestamps issued during the flush window fall strictly
+  // between the two draws, so for every snapshot the flip is invisible:
+  //   begin_ts < visible_ts  =>  pre-image before the flip (pending entry)
+  //                              and after it (superseded_ts > begin_ts);
+  //   begin_ts > visible_ts  =>  only possible after the flip completes,
+  //                              so the new value, repeatably.
+  // Stamping with the logged timestamp instead would make the new value
+  // visible to flush-window snapshots the moment the flip lands — a
+  // non-repeatable read within one snapshot transaction.
+  {
+    IVDB_LOCK_ORDER(LockRank::kTxnVisibility);
+    std::lock_guard<std::mutex> vis_guard(visibility_mu_);
+    uint64_t visible_ts = clock_.Tick();
+    version_store_->Commit(txn->id(), visible_ts);
+  }
 
   LogRecord end;
   end.type = LogRecordType::kEnd;

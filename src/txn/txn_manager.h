@@ -55,19 +55,29 @@ struct TxnManagerMetrics {
 // lock release, and multiversion visibility.
 //
 // Commit protocol (user transactions with writes):
-//   1. under the visibility mutex: draw commit_ts, append COMMIT record;
+//   1. under the visibility mutex: draw the durable commit timestamp,
+//      append the COMMIT record carrying it;
 //   2. group-commit flush of the WAL up to the COMMIT record;
-//   3. flip this txn's version-store entries to committed;
+//   3. under the visibility mutex again: draw visible_ts and flip this
+//      txn's version-store entries to committed, stamped with visible_ts;
 //   4. append END, release all locks.
 //
 // The flip happens only after the COMMIT record is durable, so an
-// unacknowledged commit is never visible to other transactions: if the
-// flush fails (WAL poisoned, engine degraded) the transaction is still
-// fully pending and a plain Abort rolls it back logically. Any transaction
-// that begins after Commit() returns sees the converted versions (its
-// begin_ts is drawn after the flip); a snapshot drawn between steps 1 and 3
-// simply does not see the not-yet-acknowledged commit, which is
-// indistinguishable from the committer being scheduled a moment later.
+// unacknowledged commit is never visible to other transactions in this
+// process: if the flush fails (WAL poisoned, engine degraded) the
+// transaction is still fully pending and a plain Abort rolls it back
+// logically. Both timestamp draws share the visibility mutex with Begin's
+// snapshot draw, which makes the flip atomic w.r.t. snapshots: a reader
+// that begins during the flush window draws begin_ts < visible_ts and
+// keeps resolving to the pre-image after the flip (superseded_ts =
+// visible_ts > begin_ts), while any transaction that begins after Commit()
+// returns draws begin_ts > visible_ts and sees the converted versions.
+// No snapshot ever observes the flip mid-transaction. The WAL record and
+// Transaction::commit_ts() carry the step-1 timestamp — the durable one,
+// which recovery's clock high-water mark keeps strictly monotone across
+// restarts — while visible_ts is unlogged and never leaves the process:
+// visibility state restarts empty, so only in-memory begin_ts draws are
+// ever compared against it.
 //
 // System transactions (ghost creation/cleanup) follow the same protocol but
 // skip step 2: their effects are structural and become durable with (and
@@ -85,9 +95,11 @@ class TransactionManager {
     size_t trace_ring_capacity = 0;
     // Admission control: maximum concurrently active *user* transactions
     // (system transactions bypass the gate, like the quiesce gate). 0
-    // disables the gate. When the engine is full, Begin() queues up to
-    // admission_timeout_micros for a slot, then gives up (returns nullptr;
-    // the engine surfaces kBusy).
+    // disables the gate. The gate applies only to gated Begins (the
+    // engine's BeginChecked): when the engine is full, a gated Begin
+    // queues up to admission_timeout_micros for a slot, then gives up
+    // (returns nullptr; the engine surfaces kBusy). Ungated Begins bypass
+    // the gate entirely but still count against it.
     size_t max_active_txns = 0;
     uint64_t admission_timeout_micros = 1000 * 1000;
     // Stuck-transaction watchdog: user transactions older than this are
@@ -110,10 +122,14 @@ class TransactionManager {
 
   ~TransactionManager();
 
-  // Returns nullptr only when the admission gate is enabled and no slot
-  // freed up within admission_timeout_micros (the engine maps that to
-  // kBusy). With admission disabled (the default) it never returns null.
-  Transaction* Begin(ReadMode read_mode = ReadMode::kLocking);
+  // Ungated (the default) Begin only waits on the quiesce gate and NEVER
+  // returns null — the contract every pre-admission-control call site was
+  // written against. With gated = true and max_active_txns > 0, Begin
+  // additionally queues for an admission slot and returns nullptr when
+  // none frees up within admission_timeout_micros (the engine's
+  // BeginChecked maps that to kBusy).
+  Transaction* Begin(ReadMode read_mode = ReadMode::kLocking,
+                     bool gated = false);
   Transaction* BeginSystem();
 
   Status Commit(Transaction* txn);

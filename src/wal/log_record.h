@@ -70,8 +70,11 @@ struct LogRecord {
   LogRecordType clr_op = LogRecordType::kInsert;
   Lsn undo_next_lsn = kInvalidLsn;
 
-  // kCommit: commit timestamp (drives multiversion visibility after
-  // recovery). kEndCheckpoint: the checkpoint's stable LSN.
+  // kCommit: the durable commit timestamp — recovery's clock high-water
+  // mark, keeping post-restart timestamps strictly above everything
+  // logged. (In-process multiversion visibility is driven by a later,
+  // unlogged flip timestamp; see TransactionManager's commit protocol.)
+  // kEndCheckpoint: the checkpoint's stable LSN.
   uint64_t timestamp = 0;
 
   // Serializes the record body (no framing; the log manager frames with

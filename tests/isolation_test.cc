@@ -7,7 +7,9 @@
 #include <atomic>
 #include <thread>
 
+#include "common/env.h"
 #include "engine/database.h"
+#include "test_util.h"
 
 namespace ivdb {
 namespace {
@@ -239,6 +241,60 @@ TEST(Isolation, EscrowPreservesSerializableAggregates) {
   }
   for (auto& t : threads) t.join();
   EXPECT_TRUE(db->VerifyViewConsistency("total").ok());
+}
+
+// Regression: the commit-time version flip must be atomic w.r.t. snapshot
+// begin-timestamp draws. A snapshot transaction that begins while a
+// committer is inside its group-commit flush — after the COMMIT record was
+// appended (and its durable timestamp drawn), before the version flip —
+// must keep seeing the pre-image after the flip lands. Stamping the flip
+// with the append-time timestamp used to make the new value pop into such
+// a snapshot mid-transaction: a non-repeatable read lasting the whole
+// flush window. The FaultInjectionEnv sync observer pins a reader inside
+// that window deterministically.
+class FlushWindowTest : public DurableDbTest {};
+
+TEST_F(FlushWindowTest, SnapshotBegunDuringCommitFlushIsRepeatable) {
+  FaultInjectionEnv env(1);
+  auto db = OpenDb(&env, SyncMode::kFsync);
+  ASSERT_TRUE(db->CreateTable("acct", AccountSchema(), {0}).ok());
+  Transaction* seed = db->Begin();
+  ASSERT_TRUE(db->Insert(seed, "acct", Account(1, 100)).ok());
+  ASSERT_TRUE(db->Commit(seed).ok());
+
+  Transaction* window_reader = nullptr;
+  int64_t read_inside_window = -1;
+  std::atomic<bool> fired{false};
+  env.SetSyncObserver([&] {
+    if (fired.exchange(true)) return;
+    // The syncing thread holds the WAL flush mutex; Begin/Get take
+    // lower-ranked locks, so they must run on their own (joined) thread.
+    std::thread side([&] {
+      window_reader = db->Begin(ReadMode::kSnapshot);
+      read_inside_window = Balance(db.get(), window_reader, 1);
+    });
+    side.join();
+  });
+
+  Transaction* writer = db->Begin();
+  ASSERT_TRUE(db->Update(writer, "acct", Account(1, 200)).ok());
+  ASSERT_TRUE(db->Commit(writer).ok());
+  env.SetSyncObserver(nullptr);
+
+  ASSERT_TRUE(fired.load());
+  ASSERT_NE(window_reader, nullptr);
+  // Inside the window the commit was not yet acknowledged: pre-image.
+  EXPECT_EQ(read_inside_window, 100);
+  // The SAME snapshot re-reads the same value after the writer's flip —
+  // its begin_ts precedes the flip's visible_ts, so the superseded version
+  // keeps resolving for it.
+  EXPECT_EQ(Balance(db.get(), window_reader, 1), 100);
+  ASSERT_TRUE(db->Commit(window_reader).ok());
+
+  // Snapshots begun after Commit() returned see the new value.
+  Transaction* after = db->Begin(ReadMode::kSnapshot);
+  EXPECT_EQ(Balance(db.get(), after, 1), 200);
+  ASSERT_TRUE(db->Commit(after).ok());
 }
 
 }  // namespace

@@ -37,6 +37,20 @@ TEST(RetryBackoff, GrowsGeometricallyThenCaps) {
   EXPECT_EQ(RetryBackoffMicros(options, 40, &rng), 100000u);  // stays capped
 }
 
+TEST(RetryBackoff, DefaultJitterSeedIsUniquePerCall) {
+  // The default leaves the seed disengaged: RunTransaction then derives a
+  // process-unique seed per call, so two concurrent retriers draw
+  // different jitter streams instead of backing off in lockstep.
+  RunTransactionOptions options;
+  EXPECT_FALSE(options.jitter_seed.has_value());
+  EXPECT_NE(UniqueJitterSeed(), UniqueJitterSeed());
+  Random a(UniqueJitterSeed());
+  Random b(UniqueJitterSeed());
+  bool diverged = false;
+  for (int i = 0; i < 8 && !diverged; i++) diverged = a.Next() != b.Next();
+  EXPECT_TRUE(diverged);
+}
+
 TEST(RetryBackoff, ZeroBaseMeansImmediateRetry) {
   RunTransactionOptions options;
   options.backoff_base_micros = 0;
@@ -182,7 +196,7 @@ TEST(RunTransactionClock, ManualClockPinsBackoffSchedule) {
   EXPECT_EQ(result.attempts, 5);
 
   // Replay the schedule: same seed, same consumption order, same sleeps.
-  Random rng(options.jitter_seed);
+  Random rng(*options.jitter_seed);
   uint64_t expected = 0;
   for (int attempt = 1; attempt <= 4; attempt++) {
     uint64_t backoff = RetryBackoffMicros(options, attempt, &rng);
