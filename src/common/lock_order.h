@@ -9,12 +9,14 @@
 // a mutex whose rank is strictly greater than every rank it already holds.
 // The total order below is the one the commit path actually uses:
 //
-//   Transaction::owner_mu_      (5)    per-txn owner latch (outermost)
+//   Database::checkpoint_mu_    (2)    checkpoint serialization (outermost)
+//   Transaction::owner_mu_      (5)    per-txn owner latch
 //   TxnManager::active_mu_      (10)   Begin / FinishTxn / quiesce gate
 //   TxnManager::visibility_mu_  (20)   commit-ts draw + version flip
 //   LockManager::mu_            (30)   the lock table
 //   VersionStore::mu_           (40)   version chains (+ atomic note+apply)
 //   LogManager::flush_mu_       (50)   group-commit leader election
+//   LogManager::seg_mu_         (55)   WAL segment manifest (rotation/retire)
 //   LogManager::buf_mu_         (60)   WAL append buffer (innermost)
 //   Catalog::mu_                (70)   leaf: never held across calls out
 //
@@ -38,12 +40,14 @@
 namespace ivdb {
 
 enum class LockRank : int {
+  kCheckpointSerial = 2,
   kTxnOwner = 5,
   kTxnActive = 10,
   kTxnVisibility = 20,
   kLockManager = 30,
   kVersionStore = 40,
   kWalFlush = 50,
+  kWalSegments = 55,
   kWalBuffer = 60,
   kCatalog = 70,
 };

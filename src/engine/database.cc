@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/coding.h"
@@ -81,8 +82,13 @@ Database::Database(DatabaseOptions options)
           registry_.GetCounter("ivdb_txn_retry_exhausted_total")),
       clock_(options_.clock != nullptr ? options_.clock : Clock::Default()),
       locks_(MakeLockOptions(options_, &registry_)) {
+  ckpt_total_ = registry_.GetCounter("ivdb_ckpt_total");
+  ckpt_duration_ = registry_.GetHistogram("ivdb_ckpt_duration_micros");
+  ckpt_capture_stall_ =
+      registry_.GetHistogram("ivdb_ckpt_capture_stall_micros");
   LogManagerOptions log_options;
-  if (!options_.dir.empty()) log_options.path = WalPath();
+  log_options.dir = options_.dir;
+  log_options.segment_bytes = options_.wal_segment_bytes;
   log_options.env = env_;
   log_options.sync = options_.sync;
   log_options.flush_delay_micros = options_.flush_delay_micros;
@@ -111,6 +117,14 @@ Database::Database(DatabaseOptions options)
 Database::~Database() {
   // Simulated crash semantics: no implicit checkpoint, no implicit aborts.
   // Whatever the WAL says is what a reopened database will reconstruct.
+  if (ckpt_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> guard(ckpt_thread_mu_);
+      ckpt_stop_ = true;
+    }
+    ckpt_thread_cv_.notify_all();
+    ckpt_thread_.join();
+  }
   std::shared_lock<std::shared_mutex> views_guard(views_mu_);
   for (auto& [name, entry] : views_) {
     if (entry->cleaner != nullptr) entry->cleaner->Stop();
@@ -125,6 +139,11 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   std::unique_ptr<Database> db(new Database(std::move(options)));
   IVDB_RETURN_NOT_OK(db->log_->Open());
   IVDB_RETURN_NOT_OK(db->Recover());
+  if (!db->options_.dir.empty() && db->options_.checkpoint_wal_bytes > 0) {
+    db->ckpt_thread_ = std::thread([raw = db.get()] {
+      raw->CheckpointThreadLoop();
+    });
+  }
   return db;
 }
 
@@ -1153,85 +1172,165 @@ Result<Database::ViewRowBounds> Database::GetViewRowBounds(
 
 Status Database::FlushWal() { return log_->Flush(log_->last_lsn()); }
 
-Status Database::CheckpointLocked() {
-  if (options_.dir.empty()) return Status::OK();
-
-  SnapshotImage image;
-  image.checkpoint_lsn = log_->last_lsn();
-  image.clock_ts = txns_->clock()->Peek();
-  image.next_txn_id = txns_->PeekNextTxnId();
-
-  for (const TableInfo* t : catalog_.ListTables()) {
-    SnapshotImage::TableImage ti;
-    ti.id = t->id;
-    ti.name = t->name;
-    ti.schema = t->schema;
-    ti.key_columns = t->key_columns;
-    image.tables.push_back(std::move(ti));
+// One index's contents as of `as_of_ts`, via the same MVCC resolution the
+// kSnapshot scan path uses: candidate keys from the physical tree plus keys
+// only the version store still knows about, each resolved with
+// GetAsOfConsistent and stripped of unflipped transactions' pending deltas.
+// No ghost filtering — increment redo is not idempotent and replays against
+// these base rows. Rows without pending deltas are copied without a
+// decode/re-encode round trip, so non-Row payloads (secondary-index
+// entries) pass through byte-identical.
+Status Database::BuildIndexImage(ObjectId object_id, uint64_t as_of_ts,
+                                 std::string* payload) {
+  BTree* tree = GetIndex(object_id);
+  if (tree == nullptr) return Status::OK();
+  std::set<std::string> keys;
+  tree->Scan("", nullptr, [&keys](const Slice& key, const Slice&) {
+    keys.insert(key.ToString());
+    return true;
+  });
+  for (std::string& key : versions_.ListChainKeys(object_id)) {
+    keys.insert(std::move(key));
   }
-  {
-    std::shared_lock<std::shared_mutex> guard(views_mu_);
-    for (const auto& [name, entry] : views_) {
-      SnapshotImage::ViewImage vi;
-      vi.id = entry->info.id;
-      vi.def = entry->info.definition;
-      image.views.push_back(std::move(vi));
+  BTree image_tree;
+  for (const std::string& key : keys) {
+    std::optional<std::string> physical;
+    VersionStore::SnapshotView view = versions_.GetAsOfConsistent(
+        object_id, key, as_of_ts, tree, &physical);
+    std::optional<std::string> value =
+        view.use_chain_value ? view.chain_value : std::move(physical);
+    if (!value.has_value()) continue;
+    if (!view.subtract.empty()) {
+      Row row;
+      IVDB_RETURN_NOT_OK(DecodeRow(*value, &row));
+      for (const auto& deltas : view.subtract) {
+        for (const ColumnDelta& d : deltas) {
+          IVDB_RETURN_NOT_OK(row[d.column].AccumulateAdd(d.delta.Negated()));
+        }
+      }
+      value = EncodeRow(row);
     }
+    image_tree.Put(key, *value);
   }
-  for (const SecondaryIndexInfo* idx : catalog_.ListAllSecondaryIndexes()) {
-    image.secondary_indexes.push_back(*idx);
-  }
-  {
-    std::shared_lock<std::shared_mutex> guard(indexes_mu_);
-    for (const auto& [id, tree] : indexes_) {
-      std::string payload;
-      tree->SerializeTo(&payload);
-      image.indexes.emplace_back(id, std::move(payload));
-    }
-  }
-
-  IVDB_RETURN_NOT_OK(log_->Flush(log_->last_lsn()));
-  std::string encoded;
-  IVDB_RETURN_NOT_OK(EncodeSnapshot(image, &encoded));
-  Status write_status =
-      env_->WriteStringToFileAtomic(CheckpointPath(), encoded);
-  if (!write_status.ok()) {
-    // The atomic replace failed mid-checkpoint. The old checkpoint file is
-    // intact, but continuing to run would eventually truncate or outgrow
-    // the WAL with no way to take a new snapshot — degrade now, while the
-    // on-disk pair (old checkpoint + full WAL) is still a consistent
-    // recovery point.
-    log_->Poison();
-    return write_status;
-  }
-  // Everything up to checkpoint_lsn is captured in the snapshot; the log can
-  // restart empty.
-  return log_->TruncateAll();
+  image_tree.SerializeTo(payload);
+  return Status::OK();
 }
 
 Status Database::Checkpoint() {
   IVDB_RETURN_NOT_OK(CheckWritable());
-  // Pause cleaners: their system transactions bypass the quiesce gate by
-  // design, but a checkpoint needs a still image.
-  std::vector<GhostCleaner*> paused;
-  {
-    std::shared_lock<std::shared_mutex> guard(views_mu_);
-    for (const auto& [name, entry] : views_) {
-      if (entry->cleaner != nullptr) {
-        entry->cleaner->Stop();
-        paused.push_back(entry->cleaner.get());
+  if (options_.dir.empty()) return Status::OK();
+  IVDB_LOCK_ORDER(LockRank::kCheckpointSerial);
+  std::lock_guard<std::mutex> serial(checkpoint_mu_);
+  const uint64_t start_micros = clock_->NowMicros();
+
+  // Seal the open segment first: every segment sealed before the capture
+  // then ends at or below the capture's WAL high-water mark, so once the
+  // image publishes the whole prefix below the redo horizon can retire.
+  IVDB_RETURN_NOT_OK(log_->RotateNow());
+
+  // Short snapshot-acquire critical section — the only window this
+  // checkpoint can stall committers for.
+  const uint64_t capture_start = clock_->NowMicros();
+  TransactionManager::CheckpointCapture cap = txns_->CaptureCheckpoint();
+  ckpt_capture_stall_->Record(clock_->NowMicros() - capture_start);
+
+  Status s = [&]() -> Status {
+    obs::TraceScope scope(cap.reader->trace());
+    SnapshotImage image;
+    image.checkpoint_lsn = cap.checkpoint_lsn;
+    image.capture_ts = cap.capture_ts;
+    image.redo_start_lsn = cap.redo_start_lsn;
+    image.active_txns = cap.active_txns;
+    // capture_ts dominates every timestamp a skipped (flipped-before-
+    // capture) record can carry; recovery re-raises the clock past the
+    // timestamps of everything it replays.
+    image.clock_ts = cap.capture_ts;
+    image.next_txn_id = txns_->PeekNextTxnId();
+
+    for (const TableInfo* t : catalog_.ListTables()) {
+      SnapshotImage::TableImage ti;
+      ti.id = t->id;
+      ti.name = t->name;
+      ti.schema = t->schema;
+      ti.key_columns = t->key_columns;
+      image.tables.push_back(std::move(ti));
+    }
+    {
+      std::shared_lock<std::shared_mutex> guard(views_mu_);
+      for (const auto& [name, entry] : views_) {
+        SnapshotImage::ViewImage vi;
+        vi.id = entry->info.id;
+        vi.def = entry->info.definition;
+        image.views.push_back(std::move(vi));
       }
     }
-  }
-  txns_->BeginQuiesce();
-  Status s = CheckpointLocked();
-  txns_->EndQuiesce();
-  if (options_.start_ghost_cleaner) {
-    for (GhostCleaner* cleaner : paused) {
-      cleaner->Start(options_.ghost_cleaner_interval_micros);
+    for (const SecondaryIndexInfo* idx :
+         catalog_.ListAllSecondaryIndexes()) {
+      image.secondary_indexes.push_back(*idx);
     }
-  }
+    // Index contents: MVCC snapshot reads as-of capture_ts, taken while
+    // commits keep flowing. cap.reader pins the version-store GC horizon
+    // at capture_ts for the duration of the build.
+    std::vector<ObjectId> object_ids;
+    {
+      std::shared_lock<std::shared_mutex> guard(indexes_mu_);
+      object_ids.reserve(indexes_.size());
+      for (const auto& [id, tree] : indexes_) object_ids.push_back(id);
+    }
+    for (ObjectId id : object_ids) {
+      std::string tree_payload;
+      IVDB_RETURN_NOT_OK(
+          BuildIndexImage(id, cap.capture_ts, &tree_payload));
+      image.indexes.emplace_back(id, std::move(tree_payload));
+    }
+
+    IVDB_RETURN_NOT_OK(log_->Flush(cap.checkpoint_lsn));
+    std::string encoded;
+    IVDB_RETURN_NOT_OK(EncodeSnapshot(image, &encoded));
+    Status write_status =
+        env_->WriteStringToFileAtomic(CheckpointPath(), encoded);
+    if (!write_status.ok()) {
+      // The atomic replace failed mid-checkpoint. The old checkpoint file
+      // is intact, but continuing to run would eventually retire or
+      // outgrow the WAL with no way to take a new snapshot — degrade now,
+      // while the on-disk pair (old checkpoint + full WAL) is still a
+      // consistent recovery point.
+      log_->Poison();
+      return write_status;
+    }
+    // Published. Segments wholly below the redo horizon are dead; a failed
+    // retirement is not poisonous — recovery filters everything below the
+    // horizon, so a lingering segment is only disk waste until the next
+    // checkpoint retries.
+    (void)log_->RetireSegmentsBelow(cap.redo_start_lsn);
+    ckpt_total_->Add(1);
+    const uint64_t took_micros = clock_->NowMicros() - start_micros;
+    ckpt_duration_->Record(took_micros);
+    obs::EmitTrace(obs::TraceEventType::kCheckpoint, cap.checkpoint_lsn,
+                   took_micros);
+    return Status::OK();
+  }();
+  txns_->ReleaseCheckpointReader(cap.reader);
   return s;
+}
+
+void Database::CheckpointThreadLoop() {
+  std::unique_lock<std::mutex> lock(ckpt_thread_mu_);
+  while (!ckpt_stop_) {
+    ckpt_thread_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    if (ckpt_stop_) break;
+    const uint64_t appended = log_->appended_bytes();
+    if (appended - ckpt_last_bytes_ < options_.checkpoint_wal_bytes) {
+      continue;
+    }
+    lock.unlock();
+    // Bytes appended while this checkpoint runs count toward the next one.
+    Status s = Checkpoint();
+    lock.lock();
+    if (s.ok()) ckpt_last_bytes_ = appended;
+    // Degraded/unavailable: stay parked until the next wakeup; the gate in
+    // Checkpoint() keeps this loop harmless once the engine is read-only.
+  }
 }
 
 Status Database::RestoreFromImage(const SnapshotImage& image) {
@@ -1276,6 +1375,7 @@ Status Database::Recover() {
   }
 
   Lsn checkpoint_lsn = kInvalidLsn;
+  std::set<TxnId> image_excluded;
   if (env_->FileExists(CheckpointPath())) {
     std::string contents;
     IVDB_RETURN_NOT_OK(env_->ReadFileToString(CheckpointPath(), &contents));
@@ -1283,10 +1383,23 @@ Status Database::Recover() {
     IVDB_RETURN_NOT_OK(DecodeSnapshot(contents, &image));
     IVDB_RETURN_NOT_OK(RestoreFromImage(image));
     checkpoint_lsn = image.checkpoint_lsn;
+    image_excluded.insert(image.active_txns.begin(),
+                          image.active_txns.end());
   }
 
+  // Parallel redo pipeline: segments are decoded and CRC-checked
+  // concurrently, then applied below in strict LSN order.
   std::vector<LogRecord> records;
-  IVDB_RETURN_NOT_OK(LogManager::ReadAll(WalPath(), &records, env_));
+  IVDB_RETURN_NOT_OK(LogManager::ReadLog(options_.dir, &records, env_,
+                                         options_.recovery_threads));
+
+  // A fuzzy image holds every flipped transaction's effects up to
+  // checkpoint_lsn; transactions in flight at capture are excluded from it
+  // and their records must replay even at or below the checkpoint LSN.
+  auto skip_record = [&](const LogRecord& rec) {
+    return rec.lsn <= checkpoint_lsn &&
+           image_excluded.count(rec.txn_id) == 0;
+  };
 
   // --- Analysis: transaction outcomes + chain index. ---
   struct TxnEntry {
@@ -1302,7 +1415,7 @@ Status Database::Recover() {
   uint64_t max_ts = 0;
 
   for (const LogRecord& rec : records) {
-    if (rec.lsn <= checkpoint_lsn) continue;
+    if (skip_record(rec)) continue;
     max_lsn = std::max(max_lsn, rec.lsn);
     max_txn = std::max(max_txn, rec.txn_id);
     max_ts = std::max(max_ts, rec.timestamp);
@@ -1317,10 +1430,12 @@ Status Database::Recover() {
   txns_->AdvancePast(max_txn, max_ts);
 
   // --- Redo: replay history (including compensations) from the snapshot
-  //     base. Logical redo is deterministic and exact from a quiescent
-  //     checkpoint image. ---
+  //     base. Logical redo is deterministic and exact from the image:
+  //     flipped transactions' effects are already in it (their records are
+  //     skipped), in-flight transactions' effects are excluded from it
+  //     (their records replay from the begin floor up). ---
   for (const LogRecord& rec : records) {
-    if (rec.lsn <= checkpoint_lsn) continue;
+    if (skip_record(rec)) continue;
     switch (rec.type) {
       case LogRecordType::kInsert:
       case LogRecordType::kDelete:

@@ -1,8 +1,11 @@
 #ifndef IVDB_ENGINE_DATABASE_H_
 #define IVDB_ENGINE_DATABASE_H_
 
+#include <condition_variable>
 #include <functional>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <memory>
 #include <optional>
 #include <set>
@@ -52,6 +55,20 @@ struct DatabaseOptions {
   uint64_t flush_delay_micros = 0;
   // Group-commit leader batching window (see LogManagerOptions).
   uint64_t group_commit_window_micros = 0;
+
+  // WAL segment rotation threshold (see LogManagerOptions::segment_bytes);
+  // 0 keeps one ever-growing segment.
+  uint64_t wal_segment_bytes = 8ull << 20;
+  // Background fuzzy-checkpoint trigger: once this many WAL bytes have been
+  // appended since the last checkpoint, the checkpointer thread takes a new
+  // one (which then retires dead segments). 0 — the default — disables the
+  // background checkpointer; checkpoints still happen on DDL and on
+  // explicit Checkpoint() calls.
+  uint64_t checkpoint_wal_bytes = 0;
+  // Parallelism of the restart redo pipeline (segment decode/CRC fan-out;
+  // application is always in LSN order). 0 = auto (min(4, hardware));
+  // 1 = fully serial.
+  unsigned recovery_threads = 0;
 
   // View maintenance configuration (sweepable by the benchmarks).
   MaintenanceTiming maintenance_timing = MaintenanceTiming::kImmediate;
@@ -265,8 +282,13 @@ class Database : public LogApplier, public IndexResolver {
 
   // --- Durability ---
 
-  // Quiescent checkpoint: waits out active transactions, snapshots all
-  // state, truncates the WAL.
+  // Fuzzy (non-blocking) checkpoint: seals the current WAL segment, takes a
+  // short snapshot-acquire critical section (a timestamp, the WAL
+  // high-water mark, and the set of in-flight transactions), then builds
+  // and atomically publishes a transactionally-consistent as-of-capture
+  // image while commits keep flowing — no quiesce, no pause of the ghost
+  // cleaners. After publishing it retires every WAL segment below the new
+  // redo horizon. Concurrent calls serialize. See docs/INTERNALS.md §4.
   Status Checkpoint();
   // Forces the WAL to stable storage (commits already do this).
   Status FlushWal();
@@ -325,12 +347,17 @@ class Database : public LogApplier, public IndexResolver {
     std::unique_ptr<GhostCleaner> cleaner;
   };
 
-  std::string WalPath() const { return options_.dir + "/wal.log"; }
   std::string CheckpointPath() const { return options_.dir + "/checkpoint.db"; }
 
   Status Recover();
   Status RestoreFromImage(const SnapshotImage& image);
-  Status CheckpointLocked();  // requires quiesced state
+  // Serializes one index's contents as of `as_of_ts` (MVCC snapshot read:
+  // physical state minus pending/unflipped deltas — ghosts included, since
+  // increment redo is not idempotent and needs its base rows).
+  Status BuildIndexImage(ObjectId object_id, uint64_t as_of_ts,
+                         std::string* payload);
+  // The checkpointer thread body (only when checkpoint_wal_bytes > 0).
+  void CheckpointThreadLoop();
 
   // kUnavailable once the engine is degraded; gates every path that would
   // append to the WAL (DML, DDL, checkpoints). Reads are never gated.
@@ -395,6 +422,25 @@ class Database : public LogApplier, public IndexResolver {
   mutable std::shared_mutex views_mu_;
   std::map<std::string, std::unique_ptr<ViewEntry>> views_;
   std::set<ObjectId> dimension_tables_;
+
+  // Serializes checkpoints (DDL, explicit calls, the background
+  // checkpointer). Rank kCheckpointSerial: held across the whole fuzzy
+  // checkpoint, below every other rank.
+  std::mutex checkpoint_mu_;
+  // Checkpoint instruments (`ivdb_ckpt_*`).
+  obs::Counter* ckpt_total_ = nullptr;
+  obs::Histogram* ckpt_duration_ = nullptr;
+  // Length of the snapshot-acquire critical section — the only window a
+  // fuzzy checkpoint can stall committers for.
+  obs::Histogram* ckpt_capture_stall_ = nullptr;
+
+  // Background checkpointer (only when dir set and checkpoint_wal_bytes >
+  // 0): wakes periodically and checkpoints when enough WAL has accumulated.
+  std::thread ckpt_thread_;
+  std::mutex ckpt_thread_mu_;
+  std::condition_variable ckpt_thread_cv_;
+  bool ckpt_stop_ = false;
+  uint64_t ckpt_last_bytes_ = 0;  // checkpointer-thread-only
 };
 
 }  // namespace ivdb

@@ -7,7 +7,7 @@ namespace ivdb {
 
 namespace {
 
-constexpr char kMagic[] = "IVCKPT02";
+constexpr char kMagic[] = "IVCKPT03";
 constexpr size_t kMagicLen = 8;
 
 void EncodeSchema(const Schema& schema, std::string* dst) {
@@ -47,6 +47,10 @@ Status EncodeSnapshot(const SnapshotImage& image, std::string* out) {
   PutVarint64(&body, image.checkpoint_lsn);
   PutVarint64(&body, image.clock_ts);
   PutVarint64(&body, image.next_txn_id);
+  PutVarint64(&body, image.capture_ts);
+  PutVarint64(&body, image.redo_start_lsn);
+  PutVarint64(&body, image.active_txns.size());
+  for (TxnId id : image.active_txns) PutVarint64(&body, id);
 
   PutVarint64(&body, image.tables.size());
   for (const auto& t : image.tables) {
@@ -106,8 +110,21 @@ Status DecodeSnapshot(const Slice& data, SnapshotImage* out) {
 
   if (!GetVarint64(&body, &out->checkpoint_lsn) ||
       !GetVarint64(&body, &out->clock_ts) ||
-      !GetVarint64(&body, &out->next_txn_id)) {
+      !GetVarint64(&body, &out->next_txn_id) ||
+      !GetVarint64(&body, &out->capture_ts) ||
+      !GetVarint64(&body, &out->redo_start_lsn)) {
     return Status::Corruption("snapshot preamble");
+  }
+  uint64_t n_active = 0;
+  if (!GetVarint64(&body, &n_active) || n_active > body.size()) {
+    return Status::Corruption("snapshot active-txn count");
+  }
+  for (uint64_t i = 0; i < n_active; i++) {
+    uint64_t id = 0;
+    if (!GetVarint64(&body, &id)) {
+      return Status::Corruption("snapshot active txn");
+    }
+    out->active_txns.push_back(id);
   }
 
   uint64_t n = 0;

@@ -12,13 +12,31 @@
 namespace ivdb {
 
 // A full, transactionally-consistent image of the database taken by a
-// quiescent checkpoint: catalog, view definitions, id/timestamp high-water
-// marks, and every index's contents. Restart loads the newest image and
-// replays the WAL past `checkpoint_lsn`.
+// fuzzy checkpoint: catalog, view definitions, id/timestamp high-water
+// marks, and every index's contents as of the capture timestamp. Restart
+// loads the newest image and replays the WAL from `redo_start_lsn`,
+// skipping records at or below `checkpoint_lsn` unless their transaction
+// is listed in `active_txns` (a transaction still in flight — or committed
+// but not yet version-flipped — at capture time: none of its effects are
+// in the image, so all of its records must replay).
 struct SnapshotImage {
   Lsn checkpoint_lsn = kInvalidLsn;
   uint64_t clock_ts = 0;
   TxnId next_txn_id = 1;
+
+  // MVCC timestamp the index images were captured at. Zero in images
+  // written by pre-fuzzy builds (informational; recovery keys off
+  // checkpoint_lsn + active_txns).
+  uint64_t capture_ts = 0;
+
+  // Lowest LSN recovery must read: min over active_txns' first LSNs, or
+  // checkpoint_lsn + 1 when none were active. Segments entirely below this
+  // are dead and retired after the checkpoint publishes.
+  Lsn redo_start_lsn = kInvalidLsn;
+
+  // Write-transactions whose effects are excluded from the image (see
+  // above). Empty for a quiesced (DDL) checkpoint.
+  std::vector<TxnId> active_txns;
 
   struct TableImage {
     ObjectId id = kInvalidObjectId;

@@ -24,6 +24,7 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kTxnAbort: return "txn.abort";
     case TraceEventType::kTxnRetry: return "txn.retry";
     case TraceEventType::kEngineDegraded: return "engine.degraded";
+    case TraceEventType::kCheckpoint: return "engine.checkpoint";
   }
   return "unknown";
 }
@@ -80,6 +81,12 @@ std::string TraceEvent::ToString(uint64_t origin_micros) const {
       std::snprintf(buf, sizeof(buf),
                     "+%8" PRIu64 "us %-16s attempt=%" PRIu64
                     " backoff=%" PRIu64 "us",
+                    rel, TraceEventTypeName(type), a, b);
+      break;
+    case TraceEventType::kCheckpoint:
+      std::snprintf(buf, sizeof(buf),
+                    "+%8" PRIu64 "us %-16s lsn=%" PRIu64 " took=%" PRIu64
+                    "us",
                     rel, TraceEventTypeName(type), a, b);
       break;
   }

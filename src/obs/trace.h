@@ -31,6 +31,7 @@ enum class TraceEventType : uint8_t {
   kTxnAbort,           // a = txn id
   kTxnRetry,           // a = attempt number (1-based), b = backoff micros
   kEngineDegraded,     // a = 1, b = 0 (one-shot transition marker)
+  kCheckpoint,         // a = checkpoint lsn, b = checkpoint micros
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -68,6 +68,24 @@ class Transaction {
   void set_commit_ts(uint64_t ts) { commit_ts_ = ts; }
   void set_last_lsn(Lsn lsn) { last_lsn_ = lsn; }
 
+  // WAL position when this transaction began: every record it ever logs has
+  // a strictly greater LSN. Fuzzy checkpoints use it as a safe (slightly
+  // conservative) redo-horizon floor for in-flight transactions — unlike a
+  // "first LSN" tracked at first append, it is fixed before the transaction
+  // can write, so the checkpoint capture can never read it mid-update.
+  // Written inside Begin (before the descriptor is published) and read by
+  // CaptureCheckpoint under active_mu_.
+  Lsn begin_floor_lsn() const { return begin_floor_lsn_; }
+  void set_begin_floor_lsn(Lsn lsn) { begin_floor_lsn_ = lsn; }
+
+  // True once the commit path has converted this transaction's versions to
+  // committed (the step-3 visibility flip). Set and read only under the
+  // TransactionManager's visibility mutex: a checkpoint capture holding it
+  // sees either "not flipped" (effects excluded from the image, so the
+  // transaction's records must replay) or "flipped" (effects captured).
+  bool flipped() const { return flipped_; }
+  void set_flipped() { flipped_ = true; }
+
   // Wall-clock birth time (watchdog age accounting); set at Begin.
   uint64_t begin_wall_micros() const { return begin_wall_micros_; }
   void set_begin_wall_micros(uint64_t t) { begin_wall_micros_ = t; }
@@ -104,6 +122,8 @@ class Transaction {
   TxnState state_ = TxnState::kActive;
   uint64_t commit_ts_ = 0;
   Lsn last_lsn_ = kInvalidLsn;
+  Lsn begin_floor_lsn_ = kInvalidLsn;
+  bool flipped_ = false;
   uint64_t begin_wall_micros_ = 0;
   std::mutex owner_mu_;
 

@@ -104,8 +104,13 @@ Transaction* TransactionManager::Begin(ReadMode read_mode, bool gated) {
     std::lock_guard<std::mutex> vis_guard(visibility_mu_);
     begin_ts = clock_.Tick();
   }
-  return Register(std::make_unique<Transaction>(id, begin_ts, read_mode,
-                                                /*system=*/false));
+  auto txn = std::make_unique<Transaction>(id, begin_ts, read_mode,
+                                           /*system=*/false);
+  // Every record this transaction will ever log gets an LSN above the
+  // current high-water mark (it has not written yet); checkpoints use this
+  // floor to bound their redo horizon.
+  txn->set_begin_floor_lsn(log_manager_->last_lsn());
+  return Register(std::move(txn));
 }
 
 Transaction* TransactionManager::BeginSystem() {
@@ -121,9 +126,10 @@ Transaction* TransactionManager::BeginSystem() {
     std::lock_guard<std::mutex> vis_guard(visibility_mu_);
     begin_ts = clock_.Tick();
   }
-  return Register(std::make_unique<Transaction>(id, begin_ts,
-                                                ReadMode::kLocking,
-                                                /*system=*/true));
+  auto txn = std::make_unique<Transaction>(id, begin_ts, ReadMode::kLocking,
+                                           /*system=*/true);
+  txn->set_begin_floor_lsn(log_manager_->last_lsn());
+  return Register(std::move(txn));
 }
 
 Status TransactionManager::AppendBeginIfNeeded(Transaction* txn) {
@@ -260,6 +266,9 @@ Status TransactionManager::Commit(Transaction* txn) {
     std::lock_guard<std::mutex> vis_guard(visibility_mu_);
     uint64_t visible_ts = clock_.Tick();
     version_store_->Commit(txn->id(), visible_ts);
+    // From here on a checkpoint capture sees this transaction's effects in
+    // its as-of-capture_ts image and must not replay its records.
+    txn->set_flipped();
   }
 
   LogRecord end;
@@ -502,6 +511,47 @@ void TransactionManager::EndQuiesce() {
   std::lock_guard<std::mutex> guard(active_mu_);
   quiescing_ = false;
   active_cv_.notify_all();
+}
+
+TransactionManager::CheckpointCapture TransactionManager::CaptureCheckpoint() {
+  IVDB_LOCK_ORDER(LockRank::kTxnActive);
+  std::unique_lock<std::mutex> active_guard(active_mu_);
+  CheckpointCapture cap;
+  const TxnId reader_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    IVDB_LOCK_ORDER(LockRank::kTxnVisibility);
+    std::lock_guard<std::mutex> vis_guard(visibility_mu_);
+    cap.capture_ts = clock_.Tick();
+    cap.checkpoint_lsn = log_manager_->last_lsn();
+    cap.redo_start_lsn = cap.checkpoint_lsn + 1;
+    // Every unflipped active transaction — whether mid-statement, waiting
+    // on its commit flush, or purely a reader — goes into the replay set.
+    // Over-inclusion is harmless (a transaction with no records at or
+    // below checkpoint_lsn just has nothing extra to replay); exclusion is
+    // only safe for flipped transactions, whose effects the image holds.
+    for (const auto& [id, txn] : active_) {
+      if (txn->flipped()) continue;
+      cap.active_txns.push_back(id);
+      const Lsn floor = txn->begin_floor_lsn();
+      if (floor + 1 < cap.redo_start_lsn) cap.redo_start_lsn = floor + 1;
+    }
+  }
+  // The reader is a system transaction (bypasses the quiesce gate — a
+  // quiesced DDL checkpoint captures through this same path) whose begin_ts
+  // is the capture timestamp: while it lives, version GC cannot reclaim
+  // anything the as-of-capture_ts image build still needs.
+  auto reader = std::make_unique<Transaction>(
+      reader_id, cap.capture_ts, ReadMode::kSnapshot, /*system=*/true);
+  reader->set_begin_floor_lsn(cap.checkpoint_lsn);
+  cap.reader = Register(std::move(reader));
+  return cap;
+}
+
+void TransactionManager::ReleaseCheckpointReader(Transaction* reader) {
+  // The reader never writes and holds no locks; retiring it is just
+  // dropping it from the active set (unpinning the GC horizon).
+  FinishTxn(reader, TxnState::kCommitted);
+  Forget(reader);
 }
 
 void TransactionManager::Forget(Transaction* txn) {

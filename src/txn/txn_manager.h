@@ -174,6 +174,38 @@ class TransactionManager {
   void BeginQuiesce();
   void EndQuiesce();
 
+  // --- Fuzzy-checkpoint capture. ---
+  //
+  // The short critical section at the start of a fuzzy checkpoint: under
+  // active_mu_ + visibility_mu_ (the same order Begin uses) it draws the
+  // capture timestamp, reads the WAL high-water mark, and snapshots the set
+  // of transactions whose effects will NOT be in the image — every active
+  // transaction that has not yet performed its visibility flip. Because
+  // flips are serialized by visibility_mu_ and FinishTxn by active_mu_,
+  // this set is exact w.r.t. the capture timestamp: a transaction outside
+  // it either flipped before capture_ts (its effects are captured) or
+  // finished an abort (its effects net to zero). The snapshot-reader
+  // transaction registered here pins the version-store GC horizon at
+  // capture_ts so the image builder can read as-of capture_ts while
+  // commits keep flowing; release it with ReleaseCheckpointReader.
+  struct CheckpointCapture {
+    uint64_t capture_ts = 0;
+    // WAL high-water mark at capture: the image reflects every flipped
+    // transaction's records up to here; records above it always replay.
+    Lsn checkpoint_lsn = kInvalidLsn;
+    // Replay must start here: min over active transactions' begin-floor
+    // LSNs (+1), or checkpoint_lsn + 1 when nothing was in flight.
+    // Segments entirely below are dead once the image publishes.
+    Lsn redo_start_lsn = kInvalidLsn;
+    // Transactions whose records must replay even at or below
+    // checkpoint_lsn (their effects are excluded from the image).
+    std::vector<TxnId> active_txns;
+    // System snapshot reader pinning the GC horizon at capture_ts.
+    Transaction* reader = nullptr;
+  };
+  CheckpointCapture CaptureCheckpoint();
+  void ReleaseCheckpointReader(Transaction* reader);
+
   // One watchdog pass: aborts every *idle* user transaction whose age
   // exceeds max_txn_lifetime_micros (no-op when the watchdog is disabled).
   // "Idle" means the owner latch could be taken without blocking — a

@@ -1,7 +1,10 @@
 #include "wal/log_manager.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
+#include <utility>
 
 #include "common/coding.h"
 #include "common/crc32.h"
@@ -12,12 +15,79 @@
 
 namespace ivdb {
 
+namespace {
+
+// Recognizes `wal-<digits>.log` and extracts the sequence number.
+bool ParseSegmentSeqno(const std::string& name, uint64_t* seqno) {
+  constexpr size_t kPrefixLen = 4;  // "wal-"
+  constexpr size_t kSuffixLen = 4;  // ".log"
+  if (name.size() <= kPrefixLen + kSuffixLen) return false;
+  if (name.compare(0, kPrefixLen, "wal-") != 0) return false;
+  if (name.compare(name.size() - kSuffixLen, kSuffixLen, ".log") != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = kPrefixLen; i < name.size() - kSuffixLen; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seqno = value;
+  return true;
+}
+
+// Walks the frames of one segment. In strict mode (sealed segments) any
+// torn frame, checksum mismatch, undecodable body, or trailing garbage is
+// Corruption — rotation fsyncs before sealing, so nothing short of real
+// damage explains it. In tolerant mode (the newest segment) decoding stops
+// at the first bad frame: that is the crash tail. `valid_bytes` receives
+// the length of the well-formed prefix either way.
+Status DecodeSegment(const std::string& contents, bool strict,
+                     std::vector<LogRecord>* out, uint64_t* valid_bytes) {
+  out->clear();
+  *valid_bytes = 0;
+  Slice input(contents);
+  while (input.size() >= 8) {
+    Slice frame = input;
+    uint32_t len = 0, crc = 0;
+    GetFixed32(&frame, &len);
+    GetFixed32(&frame, &crc);
+    if (frame.size() < len) {
+      if (strict) return Status::Corruption("torn record");
+      return Status::OK();
+    }
+    Slice body(frame.data(), len);
+    if (Crc32(body.data(), body.size()) != crc) {
+      if (strict) return Status::Corruption("record checksum mismatch");
+      return Status::OK();
+    }
+    LogRecord rec;
+    if (!LogRecord::DecodeFrom(body, &rec).ok()) {
+      if (strict) return Status::Corruption("undecodable record");
+      return Status::OK();
+    }
+    out->push_back(std::move(rec));
+    input.RemovePrefix(8 + len);
+    *valid_bytes += 8 + len;
+  }
+  if (strict && input.size() != 0) {
+    return Status::Corruption("trailing bytes after last record");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 LogManagerMetrics::LogManagerMetrics(obs::MetricsRegistry* registry)
     : records_appended(
           registry->GetCounter("ivdb_wal_records_appended_total")),
       bytes_appended(registry->GetCounter("ivdb_wal_bytes_appended_total")),
       flushes(registry->GetCounter("ivdb_wal_flushes_total")),
       flushed_records(registry->GetCounter("ivdb_wal_flushed_records_total")),
+      rotations(registry->GetCounter("ivdb_wal_rotations_total")),
+      segments_retired(
+          registry->GetCounter("ivdb_wal_segments_retired_total")),
+      segments(registry->GetGauge("ivdb_wal_segments")),
       flush_wait_latency(
           registry->GetHistogram("ivdb_wal_flush_wait_micros")) {}
 
@@ -35,10 +105,120 @@ LogManager::~LogManager() {
   if (file_ != nullptr) file_->Close();
 }
 
+std::string LogManager::SegmentFileName(uint64_t seqno) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(seqno));
+  return buf;
+}
+
+std::string LogManager::SegmentPath(uint64_t seqno) const {
+  return options_.dir + "/" + SegmentFileName(seqno);
+}
+
+Result<std::vector<std::string>> LogManager::ListSegmentFiles(
+    const std::string& dir, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  std::vector<std::string> entries;
+  IVDB_ASSIGN_OR_RETURN(entries, env->ListDirectory(dir));
+  std::vector<std::pair<uint64_t, std::string>> found;
+  for (auto& name : entries) {
+    uint64_t seqno = 0;
+    if (ParseSegmentSeqno(name, &seqno)) {
+      found.emplace_back(seqno, std::move(name));
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> names;
+  names.reserve(found.size());
+  for (size_t i = 0; i < found.size(); ++i) {
+    // Retirement deletes oldest-first and rotation appends at the end, so
+    // live seqnos are always dense; a hole means a segment was lost.
+    if (i > 0 && found[i].first != found[i - 1].first + 1) {
+      return Status::Corruption("gap in WAL segment sequence at " +
+                                found[i].second);
+    }
+    names.push_back(std::move(found[i].second));
+  }
+  return names;
+}
+
 Status LogManager::Open() {
-  if (options_.path.empty()) return Status::OK();  // in-memory log
-  IVDB_ASSIGN_OR_RETURN(
-      file_, env_->NewWritableFile(options_.path, /*truncate_existing=*/false));
+  if (options_.dir.empty()) return Status::OK();  // in-memory log
+  IVDB_RETURN_NOT_OK(env_->EnsureDirectory(options_.dir));
+  std::vector<std::string> names;
+  IVDB_ASSIGN_OR_RETURN(names, ListSegmentFiles(options_.dir, env_));
+
+  std::vector<Segment> segments;
+  Lsn last_lsn_on_disk = 0;
+  Lsn expected_first = kInvalidLsn;
+  for (size_t i = 0; i < names.size(); ++i) {
+    const bool newest = (i + 1 == names.size());
+    const std::string path = options_.dir + "/" + names[i];
+    std::string contents;
+    IVDB_RETURN_NOT_OK(env_->ReadFileToString(path, &contents));
+    std::vector<LogRecord> recs;
+    uint64_t valid_bytes = 0;
+    // Tolerant decode in every position: Open's job is to find the append
+    // resumption point; ReadLog is the strict authority during recovery.
+    // Damage in a sealed segment still surfaces here as an LSN
+    // discontinuity against the following segment.
+    (void)DecodeSegment(contents, /*strict=*/false, &recs, &valid_bytes);
+    if (!recs.empty()) {
+      if (expected_first != kInvalidLsn &&
+          recs.front().lsn != expected_first) {
+        return Status::Corruption("WAL segment " + names[i] +
+                                  " does not continue the LSN stream");
+      }
+      last_lsn_on_disk = recs.back().lsn;
+      expected_first = last_lsn_on_disk + 1;
+    }
+    Segment seg;
+    seg.seqno = 0;
+    (void)ParseSegmentSeqno(names[i], &seg.seqno);
+    if (newest) {
+      // Crash-tail repair: drop any bytes past the last whole record so
+      // appends resume exactly where the durable prefix ends. Without this
+      // an append-mode reopen would write *after* the torn bytes, and every
+      // record from here on would be unreachable to the next recovery.
+      if (contents.size() > valid_bytes) {
+        IVDB_RETURN_NOT_OK(env_->TruncateFile(path, valid_bytes));
+      }
+      seg.bytes = valid_bytes;
+      seg.end_lsn = kInvalidLsn;
+    } else {
+      seg.bytes = contents.size();
+      seg.end_lsn = last_lsn_on_disk;
+    }
+    segments.push_back(seg);
+  }
+
+  if (segments.empty()) {
+    IVDB_ASSIGN_OR_RETURN(file_, env_->NewWritableFile(
+                                     SegmentPath(1),
+                                     /*truncate_existing=*/true));
+    Segment seg;
+    seg.seqno = 1;
+    segments.push_back(seg);
+  } else {
+    IVDB_ASSIGN_OR_RETURN(
+        file_, env_->NewWritableFile(options_.dir + "/" + names.back(),
+                                     /*truncate_existing=*/false));
+  }
+
+  {
+    IVDB_LOCK_ORDER(LockRank::kWalSegments);
+    std::lock_guard<std::mutex> seg_guard(seg_mu_);
+    segments_ = std::move(segments);
+    metrics_.segments->Set(static_cast<int64_t>(segments_.size()));
+  }
+  next_lsn_.store(last_lsn_on_disk + 1, std::memory_order_relaxed);
+  flushed_lsn_.store(last_lsn_on_disk, std::memory_order_relaxed);
+  {
+    IVDB_LOCK_ORDER(LockRank::kWalBuffer);
+    std::lock_guard<std::mutex> buf_guard(buf_mu_);
+    buffered_upto_ = last_lsn_on_disk;
+  }
   return Status::OK();
 }
 
@@ -64,6 +244,7 @@ Status LogManager::Append(LogRecord* rec) {
   buffered_upto_ = rec->lsn;
   metrics_.records_appended->Add();
   metrics_.bytes_appended->Add(body.size() + 8);
+  appended_bytes_.fetch_add(body.size() + 8, std::memory_order_relaxed);
   obs::EmitTrace(obs::TraceEventType::kWalAppend, rec->lsn, body.size() + 8);
   return Status::OK();
 }
@@ -79,6 +260,108 @@ Status LogManager::WriteBatch(const std::string& batch) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.flush_delay_micros));
   }
+  return Status::OK();
+}
+
+Status LogManager::RotateLocked(Lsn seal_end_lsn) {
+  // Seal the outgoing segment with an unconditional fsync — even under
+  // SyncMode::kNone. From here on the segment is immutable, and recovery
+  // is entitled to treat any damage in it as hard corruption rather than
+  // a crash tail (only the newest segment can be torn).
+  IVDB_RETURN_NOT_OK(file_->Sync());
+  IVDB_RETURN_NOT_OK(file_->Close());
+  uint64_t next_seqno;
+  {
+    IVDB_LOCK_ORDER(LockRank::kWalSegments);
+    std::lock_guard<std::mutex> seg_guard(seg_mu_);
+    next_seqno = segments_.back().seqno + 1;
+  }
+  // Creating the file durably adds its directory entry (Env contract), so
+  // the directory listing stays an accurate manifest across a crash here.
+  IVDB_ASSIGN_OR_RETURN(file_,
+                        env_->NewWritableFile(SegmentPath(next_seqno),
+                                              /*truncate_existing=*/true));
+  {
+    IVDB_LOCK_ORDER(LockRank::kWalSegments);
+    std::lock_guard<std::mutex> seg_guard(seg_mu_);
+    segments_.back().end_lsn = seal_end_lsn;
+    Segment fresh;
+    fresh.seqno = next_seqno;
+    segments_.push_back(fresh);
+    metrics_.segments->Set(static_cast<int64_t>(segments_.size()));
+  }
+  metrics_.rotations->Add();
+  return Status::OK();
+}
+
+Status LogManager::LeaderFlushOnce(std::unique_lock<std::mutex>& lock,
+                                   bool force_rotate) {
+  flusher_active_ = true;
+  if (options_.group_commit_window_micros > 0 && !force_rotate) {
+    // Batching window: let committers that are a few microseconds behind
+    // us join this batch instead of waiting a full device latency.
+    lock.unlock();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.group_commit_window_micros));
+    lock.lock();
+  }
+  std::string batch;
+  Lsn batch_upto;
+  {
+    IVDB_LOCK_ORDER(LockRank::kWalBuffer);
+    std::lock_guard<std::mutex> buf_guard(buf_mu_);
+    batch.swap(buffer_);
+    batch_upto = buffered_upto_;
+  }
+  lock.unlock();
+  Status status = WriteBatch(batch);
+  lock.lock();
+  if (!status.ok()) {
+    // Unrecoverable: the batch we swapped out never became durable (and a
+    // failed fsync dropped it from the file). Subsequent appends would be
+    // separated from the durable prefix by a hole, so the log goes sticky
+    // read-only; the original I/O error is surfaced to this committer and
+    // everyone else sees kUnavailable.
+    flusher_active_ = false;
+    Poison();
+    flush_cv_.notify_all();
+    return status;
+  }
+  metrics_.flushes->Add();
+  Lsn prev = flushed_lsn_.load(std::memory_order_relaxed);
+  IVDB_INVARIANT(batch_upto >= prev || batch.empty(),
+                 "flushed LSN watermark may only advance");
+  if (batch_upto > prev) {
+    metrics_.flushed_records->Add(batch_upto - prev);
+    flushed_lsn_.store(batch_upto, std::memory_order_release);
+  }
+  if (file_ != nullptr) {
+    uint64_t open_bytes;
+    {
+      IVDB_LOCK_ORDER(LockRank::kWalSegments);
+      std::lock_guard<std::mutex> seg_guard(seg_mu_);
+      segments_.back().bytes += batch.size();
+      open_bytes = segments_.back().bytes;
+    }
+    const bool over_threshold =
+        options_.segment_bytes > 0 && open_bytes >= options_.segment_bytes;
+    if ((over_threshold || force_rotate) && open_bytes > 0) {
+      // Every batch lands wholly in the open segment, so the segment's
+      // highest LSN is exactly the flushed watermark.
+      status = RotateLocked(flushed_lsn_.load(std::memory_order_relaxed));
+      if (!status.ok()) {
+        // A half-rotated log (sealed but no successor, or an unusable
+        // successor) cannot accept appends; same poison rules as a failed
+        // batch.
+        flusher_active_ = false;
+        Poison();
+        flush_cv_.notify_all();
+        return status;
+      }
+    }
+  }
+  flusher_active_ = false;
+  flush_cv_.notify_all();
   return Status::OK();
 }
 
@@ -104,51 +387,59 @@ Status LogManager::Flush(Lsn upto) {
     // Become the leader: claim everything buffered so far and write it as
     // one batch with the state lock released, so concurrent committers keep
     // appending into the next batch meanwhile.
-    flusher_active_ = true;
-    if (options_.group_commit_window_micros > 0) {
-      // Batching window: let committers that are a few microseconds behind
-      // us join this batch instead of waiting a full device latency.
-      lock.unlock();
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(options_.group_commit_window_micros));
-      lock.lock();
-    }
-    std::string batch;
-    Lsn batch_upto;
-    {
-      IVDB_LOCK_ORDER(LockRank::kWalBuffer);
-      std::lock_guard<std::mutex> buf_guard(buf_mu_);
-      batch.swap(buffer_);
-      batch_upto = buffered_upto_;
-    }
-    lock.unlock();
-    Status status = WriteBatch(batch);
-    lock.lock();
-    flusher_active_ = false;
-    if (!status.ok()) {
-      // Unrecoverable: the batch we swapped out never became durable (and a
-      // failed fsync dropped it from the file). Subsequent appends would be
-      // separated from the durable prefix by a hole, so the log goes sticky
-      // read-only; the original I/O error is surfaced to this committer and
-      // everyone else sees kUnavailable.
-      Poison();
-      flush_cv_.notify_all();
-      return status;
-    }
-    metrics_.flushes->Add();
-    Lsn prev = flushed_lsn_.load(std::memory_order_relaxed);
-    IVDB_INVARIANT(batch_upto >= prev || batch.empty(),
-                   "flushed LSN watermark may only advance");
-    if (batch_upto > prev) {
-      metrics_.flushed_records->Add(batch_upto - prev);
-      flushed_lsn_.store(batch_upto, std::memory_order_release);
-    }
-    flush_cv_.notify_all();
+    IVDB_RETURN_NOT_OK(LeaderFlushOnce(lock, /*force_rotate=*/false));
   }
   const uint64_t waited = clock_->NowMicros() - flush_start;
   metrics_.flush_wait_latency->Record(waited);
   obs::EmitTrace(obs::TraceEventType::kWalFlushJoin, upto, waited);
   return Status::OK();
+}
+
+Status LogManager::RotateNow() {
+  if (options_.dir.empty()) return Status::OK();  // in-memory log
+  IVDB_LOCK_ORDER(LockRank::kWalFlush);
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  while (flusher_active_) {
+    if (poisoned()) {
+      return Status::Unavailable("WAL is poisoned; engine is read-only");
+    }
+    flush_cv_.wait(lock);
+  }
+  if (poisoned()) {
+    return Status::Unavailable("WAL is poisoned; engine is read-only");
+  }
+  // A leader pass with forced rotation: drains the buffer into the open
+  // segment, then seals it (no-op when it holds no records).
+  return LeaderFlushOnce(lock, /*force_rotate=*/true);
+}
+
+Status LogManager::RetireSegmentsBelow(Lsn lsn) {
+  if (options_.dir.empty()) return Status::OK();  // in-memory log
+  IVDB_LOCK_ORDER(LockRank::kWalSegments);
+  std::lock_guard<std::mutex> guard(seg_mu_);
+  Status result = Status::OK();
+  while (segments_.size() > 1) {
+    const Segment& oldest = segments_.front();
+    if (oldest.end_lsn == kInvalidLsn || oldest.end_lsn >= lsn) break;
+    Status s = env_->RemoveFileIfExists(SegmentPath(oldest.seqno));
+    if (!s.ok()) {
+      // Not poisonous: an undeleted dead segment costs disk space only —
+      // its records sit below the redo horizon and recovery filters them.
+      // The next checkpoint retries.
+      result = s;
+      break;
+    }
+    segments_.erase(segments_.begin());
+    metrics_.segments_retired->Add();
+  }
+  metrics_.segments->Set(static_cast<int64_t>(segments_.size()));
+  return result;
+}
+
+size_t LogManager::SegmentCount() const {
+  IVDB_LOCK_ORDER(LockRank::kWalSegments);
+  std::lock_guard<std::mutex> guard(seg_mu_);
+  return segments_.size();
 }
 
 void LogManager::AdvancePastLsn(Lsn lsn) {
@@ -163,47 +454,86 @@ void LogManager::AdvancePastLsn(Lsn lsn) {
   if (buffered_upto_ < lsn) buffered_upto_ = lsn;
 }
 
-Status LogManager::ReadAll(const std::string& path,
-                           std::vector<LogRecord>* records, Env* env) {
+Status LogManager::ReadLog(const std::string& dir,
+                           std::vector<LogRecord>* records, Env* env,
+                           unsigned threads) {
   records->clear();
   if (env == nullptr) env = Env::Default();
-  std::string contents;
-  Status s = env->ReadFileToString(path, &contents);
-  if (s.IsNotFound()) return Status::OK();  // no log yet
-  IVDB_RETURN_NOT_OK(s);
+  if (!env->FileExists(dir)) return Status::OK();  // no log yet
+  std::vector<std::string> names;
+  IVDB_ASSIGN_OR_RETURN(names, ListSegmentFiles(dir, env));
+  if (names.empty()) return Status::OK();
 
-  Slice input(contents);
-  while (input.size() >= 8) {
-    Slice frame = input;
-    uint32_t len = 0, crc = 0;
-    GetFixed32(&frame, &len);
-    GetFixed32(&frame, &crc);
-    if (frame.size() < len) break;  // torn tail
-    Slice body(frame.data(), len);
-    if (Crc32(body.data(), body.size()) != crc) break;  // corrupt tail
-    LogRecord rec;
-    if (!LogRecord::DecodeFrom(body, &rec).ok()) break;
-    records->push_back(std::move(rec));
-    input.RemovePrefix(8 + len);
+  const size_t n = names.size();
+  unsigned workers = threads;
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = std::min<unsigned>(4, hw == 0 ? 1 : hw);
   }
-  return Status::OK();
-}
+  workers = static_cast<unsigned>(
+      std::min<size_t>(workers, n));
+  if (workers < 1) workers = 1;
 
-Status LogManager::TruncateAll() {
-  IVDB_LOCK_ORDER(LockRank::kWalFlush);
-  std::lock_guard<std::mutex> flush_guard(flush_mu_);
-  IVDB_LOCK_ORDER(LockRank::kWalBuffer);
-  std::lock_guard<std::mutex> buf_guard(buf_mu_);
-  if (poisoned()) {
-    return Status::Unavailable("WAL is poisoned; engine is read-only");
-  }
-  buffer_.clear();
-  if (file_ != nullptr) {
-    Status s = file_->Truncate(0);
+  // Decode + CRC-check segments concurrently; each worker owns a disjoint
+  // round-robin slice, writing into its own slots, so no synchronization
+  // is needed beyond the join.
+  std::vector<std::vector<LogRecord>> per_segment(n);
+  std::vector<Status> statuses(n, Status::OK());
+  auto decode_one = [&](size_t i) {
+    const bool newest = (i + 1 == n);
+    std::string contents;
+    Status s = env->ReadFileToString(dir + "/" + names[i], &contents);
     if (!s.ok()) {
-      Poison();
-      return s;
+      statuses[i] = s;
+      return;
     }
+    uint64_t valid_bytes = 0;
+    s = DecodeSegment(contents, /*strict=*/!newest, &per_segment[i],
+                      &valid_bytes);
+    if (!s.ok()) {
+      statuses[i] =
+          Status::Corruption("WAL segment " + names[i] + ": " + s.message());
+    }
+  };
+  if (workers == 1) {
+    for (size_t i = 0; i < n; ++i) decode_one(i);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        for (size_t i = w; i < n; i += workers) decode_one(i);
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  for (size_t i = 0; i < n; ++i) IVDB_RETURN_NOT_OK(statuses[i]);
+
+  // Merge in seqno order. Records are never split across segments and LSNs
+  // are assigned contiguously, so the stream must be dense across segment
+  // boundaries; a gap means a lost or reordered segment.
+  Lsn expected_first = kInvalidLsn;
+  size_t total = 0;
+  for (const auto& recs : per_segment) total += recs.size();
+  records->reserve(total);
+  for (size_t i = 0; i < n; ++i) {
+    if (per_segment[i].empty()) {
+      // Only the newest segment may be empty (created by rotation or Open
+      // just before the crash). Rotation never seals an empty segment, so
+      // an empty sealed one means its contents were lost.
+      if (i + 1 != n) {
+        return Status::Corruption("WAL segment " + names[i] +
+                                  " is empty but sealed");
+      }
+      continue;
+    }
+    if (expected_first != kInvalidLsn &&
+        per_segment[i].front().lsn != expected_first) {
+      return Status::Corruption("WAL segment " + names[i] +
+                                " does not continue the LSN stream");
+    }
+    expected_first = per_segment[i].back().lsn + 1;
+    for (auto& rec : per_segment[i]) records->push_back(std::move(rec));
   }
   return Status::OK();
 }

@@ -12,6 +12,7 @@
 
 #include "common/clock.h"
 #include "common/env.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "wal/log_record.h"
@@ -25,8 +26,14 @@ enum class SyncMode : uint8_t {
 };
 
 struct LogManagerOptions {
-  // Empty path => in-memory log (unit tests, lock-only benchmarks).
-  std::string path;
+  // Directory holding the WAL segments (`wal-<seqno>.log`). Empty =>
+  // in-memory log (unit tests, lock-only benchmarks).
+  std::string dir;
+  // Rotation threshold: once the open segment reaches this many bytes the
+  // group-commit leader seals it (fsync) and switches appends to a fresh
+  // segment. 0 disables size-based rotation (one segment grows forever,
+  // matching the old single-file behaviour).
+  uint64_t segment_bytes = 0;
   SyncMode sync = SyncMode::kNone;
   // Artificial per-flush latency in microseconds, modelling commit-time
   // stable-storage latency. Group commit amortizes this across all
@@ -61,6 +68,11 @@ struct LogManagerMetrics {
   obs::Counter* bytes_appended;
   obs::Counter* flushes;
   obs::Counter* flushed_records;
+  // Segment lifecycle: rotations performed, segments deleted by
+  // checkpoint retirement, and the current live-segment count.
+  obs::Counter* rotations;
+  obs::Counter* segments_retired;
+  obs::Gauge* segments;
   // Time a committer spends inside Flush() waiting for its LSN to become
   // durable (`ivdb_wal_flush_wait_micros`): group commit shows up here as a
   // tight distribution near the device latency.
@@ -69,13 +81,27 @@ struct LogManagerMetrics {
   explicit LogManagerMetrics(obs::MetricsRegistry* registry);
 };
 
-// Append-only write-ahead log with group commit.
+// Append-only write-ahead log with group commit, stored as a sequence of
+// rotating segments.
 //
 // Append() assigns the LSN and buffers the framed record; Flush(lsn) returns
 // once every record up to `lsn` is on stable storage. Concurrent committers
 // batch naturally: the first caller into the flush path writes everything
 // buffered so far (including records appended by transactions that are about
 // to call Flush), and later callers find their LSN already durable.
+//
+// Segmented layout: records live in `wal-<seqno>.log` files; only the
+// highest-seqno segment is open for appends. A flush batch is always written
+// wholly to the open segment, and LSNs are assigned contiguously, so every
+// segment covers a dense LSN range and the global record stream is the
+// segment files concatenated in seqno order. When the open segment crosses
+// the size threshold the leader *seals* it — an unconditional fsync (even
+// under SyncMode::kNone), so a sealed segment can never have a torn tail —
+// and creates the next one. Checkpoints retire sealed segments whose entire
+// LSN range is below the redo horizon (RetireSegmentsBelow) instead of
+// truncating the log. The set of live segments is exactly the directory
+// listing: the Env guarantees file creation durably updates the directory,
+// so no separate manifest file is needed.
 class LogManager {
  public:
   explicit LogManager(LogManagerOptions options);
@@ -84,6 +110,11 @@ class LogManager {
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
+  // Enumerates segments in the directory, repairs a torn tail on the newest
+  // segment (crash recovery: truncate to the last whole record so appends
+  // resume exactly where the durable prefix ends), opens the newest segment
+  // for appends (creating `wal-000001.log` in an empty directory), and
+  // resumes LSN allocation after the last record on disk.
   Status Open();
 
   // Assigns rec->lsn and buffers the record. Thread-safe.
@@ -100,22 +131,54 @@ class LogManager {
 
   const LogManagerMetrics& metrics() const { return metrics_; }
 
-  // Reads every well-formed record from a log file, stopping silently at the
-  // first corrupt/torn record (crash tail). Returns the records in order.
-  // `env` defaults to Env::Default().
-  static Status ReadAll(const std::string& path,
-                        std::vector<LogRecord>* records, Env* env = nullptr);
+  // Flushes everything buffered and seals the open segment (no-op when it
+  // is empty), so the checkpoint that follows starts a fresh segment and
+  // can retire everything before its redo horizon. Blocks behind any
+  // in-flight group-commit leader.
+  Status RotateNow();
 
-  // Truncates the on-disk log (used right after a checkpoint made earlier
-  // records unnecessary). Callers must guarantee no concurrent appends.
-  Status TruncateAll();
+  // Deletes sealed segments whose highest LSN is below `lsn` (the
+  // checkpoint's redo horizon), oldest first. The open segment is never
+  // deleted. Failure is not poisonous: an undeleted dead segment only
+  // costs disk space — recovery filters its records.
+  Status RetireSegmentsBelow(Lsn lsn);
+
+  // Total bytes ever appended (records + framing) — the engine's
+  // WAL-bytes-since-checkpoint trigger reads this.
+  uint64_t appended_bytes() const {
+    return appended_bytes_.load(std::memory_order_relaxed);
+  }
+
+  // Live segment count (tools/tests; also exported as `ivdb_wal_segments`).
+  size_t SegmentCount() const;
+
+  // Reads the full record stream of the segmented log in `dir`, in LSN
+  // order. Segment decode + CRC checking runs on `threads` workers
+  // (0 = auto, 1 = serial); records are merged in seqno order, so the
+  // result is identical for every thread count. Strictness depends on
+  // position: in a *sealed* (non-newest) segment every frame must be whole
+  // and valid and no trailing bytes may remain — rotation fsyncs before
+  // sealing, so any damage there is real corruption and a hard error. The
+  // *newest* segment tolerates a torn or corrupt tail (the crash case) by
+  // stopping at the last whole record. `env` defaults to Env::Default().
+  static Status ReadLog(const std::string& dir,
+                        std::vector<LogRecord>* records, Env* env = nullptr,
+                        unsigned threads = 1);
+
+  // Names (not paths) of the WAL segment files in `dir`, sorted by seqno.
+  // The only supported way to enumerate segments outside src/wal/.
+  static Result<std::vector<std::string>> ListSegmentFiles(
+      const std::string& dir, Env* env = nullptr);
+
+  // `wal-<seqno>.log`, zero-padded to 6 digits.
+  static std::string SegmentFileName(uint64_t seqno);
 
   // Sticky degraded state. After an unrecoverable I/O error (failed flush
-  // append/sync, failed truncate) the log poisons itself: the durable
+  // append/sync, failed rotation) the log poisons itself: the durable
   // prefix of the file may be missing records that are still buffered (or
   // were dropped by a failed fsync), so writing anything more would leave a
   // gap that recovery could silently replay across. Once poisoned, every
-  // Append/Flush/TruncateAll returns kUnavailable and no further bytes
+  // Append/Flush/RotateNow returns kUnavailable and no further bytes
   // reach the file; only a restart (a fresh LogManager over the durable
   // prefix) clears the condition. Poison() is idempotent and may also be
   // called by the engine when a checkpoint write fails.
@@ -123,16 +186,38 @@ class LogManager {
   bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
 
  private:
+  // One live segment file. `end_lsn` is the highest LSN stored in the
+  // segment once sealed; kInvalidLsn while it is the open (appendable) one.
+  struct Segment {
+    uint64_t seqno = 0;
+    uint64_t bytes = 0;
+    Lsn end_lsn = kInvalidLsn;
+  };
+
+  std::string SegmentPath(uint64_t seqno) const;
+
+  // Writes a batch to the open segment (plus fsync / simulated latency).
+  // Called by the leader with no locks held.
+  Status WriteBatch(const std::string& batch);
+
+  // One leader pass: claim the buffer, write it, advance the durable
+  // watermark, and rotate if the open segment crossed the threshold (or
+  // `force_rotate`). Requires flush_mu_ held and flusher_active_ false on
+  // entry; on return flusher_active_ is false again and waiters have been
+  // notified. Poisons the log on I/O failure.
+  Status LeaderFlushOnce(std::unique_lock<std::mutex>& lock,
+                         bool force_rotate);
+
+  // Seals the open segment (fsync + close), creates the next one, and
+  // updates the manifest. Leader-exclusive (flusher_active_ true or Open).
+  Status RotateLocked(Lsn seal_end_lsn);
+
   LogManagerOptions options_;
   Env* env_ = nullptr;  // options_.env resolved against Env::Default()
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
   LogManagerMetrics metrics_;
   Clock* clock_ = nullptr;  // options_.clock resolved against Clock::Default()
-  std::unique_ptr<WritableFile> file_;
-
-  // Writes a batch to the file (plus fsync / simulated latency). Called
-  // with no locks held.
-  Status WriteBatch(const std::string& batch);
+  std::unique_ptr<WritableFile> file_;  // the open (newest) segment
 
   std::mutex buf_mu_;          // guards buffer_ and buffered_upto_
   std::string buffer_;
@@ -146,8 +231,15 @@ class LogManager {
   std::condition_variable flush_cv_;
   bool flusher_active_ = false;
 
+  // Live-segment manifest, ascending seqno; back() is the open segment.
+  // Only its *bookkeeping* is guarded by seg_mu_ — the file handle and the
+  // bytes of the open segment are leader-exclusive.
+  mutable std::mutex seg_mu_;
+  std::vector<Segment> segments_;
+
   std::atomic<Lsn> next_lsn_{1};
   std::atomic<Lsn> flushed_lsn_{0};
+  std::atomic<uint64_t> appended_bytes_{0};
   std::atomic<bool> poisoned_{false};
 };
 

@@ -33,6 +33,18 @@ uint64_t TortureSeed() {
   return std::strtoull(s, nullptr, 10);
 }
 
+// Segment size for the sweeps. Kept tiny by default so the scripted
+// workload crosses many rotation boundaries and the mid-stream checkpoints
+// actually retire sealed segments — the crash sweep then lands on every
+// segment-lifecycle edge (mid-rotation, after create-before-append, between
+// checkpoint publish and retirement). Override with
+// IVDB_TORTURE_SEGMENT_BYTES to sweep other geometries (0 = no rotation).
+uint64_t TortureSegmentBytes() {
+  const char* s = std::getenv("IVDB_TORTURE_SEGMENT_BYTES");
+  if (s == nullptr || *s == '\0') return 1024;
+  return std::strtoull(s, nullptr, 10);
+}
+
 using RowMap = std::map<int64_t, Row>;
 
 // What the scripted workload managed to do before the injected crash.
@@ -66,7 +78,20 @@ Status RunTortureWorkload(Database* db, uint64_t seed, TortureOutcome* out) {
 
   for (int i = 0; i < 40; i++) {
     if (i == 14 || i == 29) {
+      // A transaction held open across the fuzzy checkpoint: the image
+      // excludes it, so its effects must come back from the log whatever
+      // side of the checkpoint the crash lands on.
+      Transaction* straddler = db->Begin();
+      int64_t sid = next_id++;
+      Row srow = make_row(sid, kRegions[rng.Uniform(3)]);
+      IVDB_RETURN_NOT_OK(db->Insert(straddler, "sales", srow));
       if (!db->Checkpoint().ok()) return Status::OK();
+      if (!db->Commit(straddler).ok()) {
+        out->pending = out->acked;
+        (*out->pending)[sid] = srow;
+        return Status::OK();
+      }
+      out->acked[sid] = srow;
     }
     if (i % 8 == 3) {
       // Two transactions incrementing the same aggregate group, committed
@@ -208,6 +233,7 @@ TEST(CrashTorture, EveryIoBoundarySweep) {
     DatabaseOptions options;
     options.dir = dir.path();
     options.sync = SyncMode::kFsync;
+    options.wal_segment_bytes = TortureSegmentBytes();
     options.env = &env;
     auto opened = Database::Open(options);
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
@@ -215,6 +241,18 @@ TEST(CrashTorture, EveryIoBoundarySweep) {
     TortureOutcome out;
     ASSERT_TRUE(RunTortureWorkload(db.get(), seed, &out).ok());
     ASSERT_TRUE(out.finished);
+    // The sweep is only as good as the boundaries the workload crosses:
+    // at the default tiny geometry, prove the dry run rotated segments and
+    // retired some at checkpoints, or the per-op crashes below never
+    // exercise those edges. (Coarser IVDB_TORTURE_SEGMENT_BYTES overrides
+    // legitimately rotate less or not at all.)
+    if (uint64_t bytes = TortureSegmentBytes(); bytes > 0 && bytes <= 2048) {
+      EXPECT_GT(db->log_metrics().rotations->Value(), 0)
+          << "segment_bytes=" << bytes << ": workload never rotates";
+      EXPECT_GT(db->log_metrics().segments_retired->Value(), 0)
+          << "segment_bytes=" << bytes
+          << ": checkpoints never retire a segment";
+    }
     db.reset();
     total_ops = env.ops_issued();
   }
@@ -232,6 +270,7 @@ TEST(CrashTorture, EveryIoBoundarySweep) {
       DatabaseOptions options;
       options.dir = dir.path();
       options.sync = SyncMode::kFsync;
+      options.wal_segment_bytes = TortureSegmentBytes();
       options.env = &env;
       auto opened = Database::Open(options);
       if (opened.ok()) {
@@ -269,6 +308,7 @@ TEST(CrashTorture, SweepIsSeedReproducible) {
     DatabaseOptions options;
     options.dir = dir.path();
     options.sync = SyncMode::kFsync;
+    options.wal_segment_bytes = TortureSegmentBytes();
     options.env = &env;
     auto db = std::move(Database::Open(options)).value();
     TortureOutcome out;
@@ -297,6 +337,7 @@ TEST(CrashTorture, DegradedModeEverySyncBoundarySweep) {
     DatabaseOptions options;
     options.dir = dir.path();
     options.sync = SyncMode::kFsync;
+    options.wal_segment_bytes = TortureSegmentBytes();
     options.env = &env;
     auto opened = Database::Open(options);
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
@@ -321,6 +362,7 @@ TEST(CrashTorture, DegradedModeEverySyncBoundarySweep) {
       DatabaseOptions options;
       options.dir = dir.path();
       options.sync = SyncMode::kFsync;
+      options.wal_segment_bytes = TortureSegmentBytes();
       options.env = &env;
       auto opened = Database::Open(options);
       ASSERT_TRUE(opened.ok()) << opened.status().ToString();
@@ -397,7 +439,7 @@ TEST_F(FaultRecoveryTest, LeftoverTmpFilesSweptAtRecovery) {
   }
   // Plant the debris a crash mid-atomic-replace leaves behind.
   Env* env = Env::Default();
-  for (const char* name : {"/checkpoint.db.tmp", "/wal.log.tmp"}) {
+  for (const char* name : {"/checkpoint.db.tmp", "/junk.tmp"}) {
     auto file = env->NewWritableFile(dir_ + name, /*truncate_existing=*/true);
     ASSERT_TRUE(file.ok());
     ASSERT_TRUE(file.value()->Append("half-written garbage").ok());
@@ -406,7 +448,7 @@ TEST_F(FaultRecoveryTest, LeftoverTmpFilesSweptAtRecovery) {
 
   auto db = OpenDb();
   EXPECT_FALSE(env->FileExists(dir_ + "/checkpoint.db.tmp"));
-  EXPECT_FALSE(env->FileExists(dir_ + "/wal.log.tmp"));
+  EXPECT_FALSE(env->FileExists(dir_ + "/junk.tmp"));
   Transaction* reader = db->Begin();
   EXPECT_TRUE(db->Get(reader, "sales", {Value::Int64(1)})->has_value());
   db->Commit(reader);

@@ -13,7 +13,7 @@ namespace {
 class Harness : public IndexResolver, public LogApplier {
  public:
   Harness()
-      : log_({"", SyncMode::kNone, 0}),
+      : log_(LogManagerOptions{}),  // empty dir => in-memory log
         txns_(&locks_, &log_, &versions_, this) {
     EXPECT_TRUE(log_.Open().ok());
   }

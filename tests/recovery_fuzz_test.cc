@@ -1,9 +1,11 @@
 // Crash-point sweep: run a maintained workload against a durable database,
 // then simulate a crash at EVERY sampled byte offset of the resulting WAL
-// (prefix truncation = everything the OS had persisted when power failed).
-// For each crash point, reopening must succeed and leave base tables and
-// views exactly consistent — the recovered state must equal the state
-// reachable by some prefix of committed transactions.
+// stream (prefix truncation = everything the OS had persisted when power
+// failed). The WAL is segmented: a crash keeps every segment fully below
+// the cut, tears the segment containing it, and never created the ones
+// after it. For each crash point, reopening must succeed and leave base
+// tables and views exactly consistent — the recovered state must equal the
+// state reachable by some prefix of committed transactions.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -25,6 +27,52 @@ Schema SalesSchema() {
                  {"amount", TypeId::kInt64}});
 }
 
+// One WAL segment's raw bytes plus its frame boundaries.
+struct SegmentBytes {
+  std::string name;
+  std::string contents;
+  std::vector<size_t> record_starts;
+};
+
+// Reads every segment of `dir` and walks the [len:4][crc:4][body] framing
+// to find record boundaries. Fails the test if the seed WAL is itself torn.
+std::vector<SegmentBytes> ReadSegments(const std::string& dir) {
+  std::vector<SegmentBytes> out;
+  auto listed = LogManager::ListSegmentFiles(dir);
+  EXPECT_TRUE(listed.ok()) << listed.status().ToString();
+  if (!listed.ok()) return out;
+  for (const std::string& name : *listed) {
+    SegmentBytes seg;
+    seg.name = name;
+    EXPECT_TRUE(ReadFileToString(dir + "/" + name, &seg.contents).ok());
+    Slice input(seg.contents);
+    size_t off = 0;
+    while (input.size() >= 8) {
+      Slice frame = input;
+      uint32_t len = 0, crc = 0;
+      EXPECT_TRUE(GetFixed32(&frame, &len));
+      EXPECT_TRUE(GetFixed32(&frame, &crc));
+      EXPECT_LE(static_cast<size_t>(len), frame.size())
+          << "seed WAL segment " << name << " is itself torn";
+      seg.record_starts.push_back(off);
+      input.RemovePrefix(8 + len);
+      off += 8 + len;
+    }
+    EXPECT_EQ(off, seg.contents.size())
+        << "trailing garbage in seed segment " << name;
+    out.push_back(std::move(seg));
+  }
+  return out;
+}
+
+void CopyCheckpointIfAny(const std::string& from, const std::string& to) {
+  if (!FileExists(from + "/checkpoint.db")) return;
+  std::string checkpoint;
+  ASSERT_TRUE(ReadFileToString(from + "/checkpoint.db", &checkpoint).ok());
+  ASSERT_TRUE(
+      WriteStringToFileAtomic(to + "/checkpoint.db", checkpoint).ok());
+}
+
 class RecoveryFuzz : public ::testing::TestWithParam<int> {
  protected:
   static constexpr int kCrashPoints = 24;
@@ -33,17 +81,13 @@ class RecoveryFuzz : public ::testing::TestWithParam<int> {
     return ::testing::TempDir() + "recovery_fuzz_" +
            std::to_string(GetParam());
   }
-};
 
-TEST_P(RecoveryFuzz, EveryLogPrefixRecoversConsistently) {
-  const std::string dir = BaseDir();
-  std::filesystem::remove_all(dir);
-
-  // Phase 1: produce a WAL with interesting structure — commits, aborts,
-  // system transactions (ghost creation), CLRs, multi-statement txns.
-  {
+  // Runs the seed workload into `dir` with the given rotation threshold.
+  void SeedWorkload(const std::string& dir, uint64_t segment_bytes,
+                    int txns) {
     DatabaseOptions options;
     options.dir = dir;
+    options.wal_segment_bytes = segment_bytes;
     auto db = std::move(Database::Open(options)).value();
     ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
     ViewDefinition def;
@@ -55,7 +99,7 @@ TEST_P(RecoveryFuzz, EveryLogPrefixRecoversConsistently) {
     ASSERT_TRUE(db->CreateIndexedView(def).ok());
 
     Random rng(GetParam() * 7919 + 11);
-    for (int i = 0; i < 40; i++) {
+    for (int i = 0; i < txns; i++) {
       Transaction* txn = db->Begin();
       int statements = 1 + static_cast<int>(rng.Uniform(3));
       Status s;
@@ -98,36 +142,53 @@ TEST_P(RecoveryFuzz, EveryLogPrefixRecoversConsistently) {
     }
     ASSERT_TRUE(db->FlushWal().ok());
   }
+};
 
-  std::string full_wal;
-  ASSERT_TRUE(ReadFileToString(dir + "/wal.log", &full_wal).ok());
-  ASSERT_GT(full_wal.size(), 100u);
+TEST_P(RecoveryFuzz, EveryLogPrefixRecoversConsistently) {
+  const std::string dir = BaseDir();
+  std::filesystem::remove_all(dir);
 
-  // Phase 2: crash at sampled prefixes (including mid-record tears) and a
-  // few bit-flip corruptions of the tail.
+  // Phase 1: produce a segmented WAL with interesting structure — commits,
+  // aborts, system transactions (ghost creation), CLRs, multi-statement
+  // txns — spread over several segments by a tiny rotation threshold.
+  SeedWorkload(dir, /*segment_bytes=*/2048, /*txns=*/40);
+  if (HasFatalFailure()) return;
+
+  std::vector<SegmentBytes> segments = ReadSegments(dir);
+  ASSERT_FALSE(segments.empty());
+  size_t total_bytes = 0;
+  for (const SegmentBytes& seg : segments) total_bytes += seg.contents.size();
+  ASSERT_GT(total_bytes, 100u);
+
+  // Phase 2: crash at sampled byte offsets of the concatenated stream.
+  // Segments fully below the cut survive whole (they were sealed with an
+  // fsync), the segment containing the cut is torn mid-byte, and segments
+  // past the cut were never created.
   Random rng(GetParam());
   for (int point = 0; point <= kCrashPoints; point++) {
-    size_t cut = full_wal.size() * point / kCrashPoints;
+    size_t cut = total_bytes * point / kCrashPoints;
     // Nudge to a random nearby offset so cuts land mid-record too.
-    if (cut > 8 && cut < full_wal.size()) {
+    if (cut > 8 && cut < total_bytes) {
       cut -= rng.Uniform(std::min<size_t>(cut, 16));
     }
     std::string crash_dir = dir + "_cut";
     std::filesystem::remove_all(crash_dir);
     std::filesystem::create_directories(crash_dir);
-    if (FileExists(dir + "/checkpoint.db")) {
-      std::string checkpoint;
-      ASSERT_TRUE(ReadFileToString(dir + "/checkpoint.db", &checkpoint).ok());
-      ASSERT_TRUE(
-          WriteStringToFileAtomic(crash_dir + "/checkpoint.db", checkpoint)
-              .ok());
+    CopyCheckpointIfAny(dir, crash_dir);
+    size_t offset = 0;
+    for (const SegmentBytes& seg : segments) {
+      if (offset >= cut) break;  // never created
+      const size_t take = std::min(seg.contents.size(), cut - offset);
+      ASSERT_TRUE(WriteStringToFileAtomic(crash_dir + "/" + seg.name,
+                                          seg.contents.substr(0, take))
+                      .ok());
+      offset += seg.contents.size();
     }
-    ASSERT_TRUE(WriteStringToFileAtomic(crash_dir + "/wal.log",
-                                        full_wal.substr(0, cut))
-                    .ok());
 
     DatabaseOptions options;
     options.dir = crash_dir;
+    // Alternate serial and parallel replay across crash points.
+    options.recovery_threads = (point % 2 == 0) ? 1 : 4;
     auto reopened = Database::Open(options);
     ASSERT_TRUE(reopened.ok())
         << "crash point " << cut << ": " << reopened.status().ToString();
@@ -147,90 +208,64 @@ TEST_P(RecoveryFuzz, EveryLogPrefixRecoversConsistently) {
   std::filesystem::remove_all(dir);
 }
 
-// Torn-tail sweep: damage the FINAL WAL record at every single byte offset
-// — both prefix truncation (torn write) and single-bit corruption (media
-// error). ReadAll must drop exactly that record (never half of it, never a
-// spurious extra), and recovery must reach a consistent state without it.
-TEST_P(RecoveryFuzz, TornFinalRecordEveryByteOffset) {
+// Torn-tail sweep over EVERY segment: damage the FINAL record of each WAL
+// segment at every single byte offset — both prefix truncation (torn
+// write) and single-bit corruption (media error).
+//
+// The expected outcome depends on which segment is damaged:
+//  - newest segment: a crash can legitimately tear it, so the damaged
+//    record is dropped whole (never half of it, never a spurious extra)
+//    and recovery reaches a consistent state without it;
+//  - any sealed segment: rotation fsynced it before sealing, so damage is
+//    real corruption — ReadLog and Database::Open must refuse loudly
+//    rather than silently dropping committed history.
+TEST_P(RecoveryFuzz, TornFinalRecordOfEverySegment) {
   const std::string dir = BaseDir() + "_tail";
   std::filesystem::remove_all(dir);
 
-  // Phase 1: a small committed workload keeps the final record's byte range
-  // sweepable in reasonable time while still ending mid-history.
-  {
-    DatabaseOptions options;
-    options.dir = dir;
-    auto db = std::move(Database::Open(options)).value();
-    ObjectId fact = db->CreateTable("sales", SalesSchema(), {0}).value()->id;
-    ViewDefinition def;
-    def.name = "by_grp";
-    def.kind = ViewKind::kAggregate;
-    def.fact_table = fact;
-    def.group_by = {1};
-    def.aggregates = {{AggregateFunction::kSum, 2, "total"}};
-    ASSERT_TRUE(db->CreateIndexedView(def).ok());
+  // Small workload over a tiny rotation threshold: several segments, each
+  // with a sweepable final record.
+  SeedWorkload(dir, /*segment_bytes=*/700, /*txns=*/8);
+  if (HasFatalFailure()) return;
 
-    Random rng(GetParam() * 104729 + 3);
-    for (int64_t i = 0; i < 8; i++) {
-      Transaction* txn = db->Begin();
-      ASSERT_TRUE(db->Insert(txn, "sales",
-                             {Value::Int64(i),
-                              Value::Int64(static_cast<int64_t>(
-                                  rng.Uniform(4))),
-                              Value::Int64(static_cast<int64_t>(
-                                  rng.Uniform(20)))})
-                      .ok());
-      ASSERT_TRUE(db->Commit(txn).ok());
-      db->Forget(txn);
-    }
-    ASSERT_TRUE(db->FlushWal().ok());
+  std::vector<SegmentBytes> segments = ReadSegments(dir);
+  // Rotation can leave the newest segment freshly created and still empty;
+  // it then has no final record to damage. Dropping it models a crash just
+  // before the rotation created it, which promotes the previous (sealed)
+  // segment to newest — and the sweep below duly treats damage to it as
+  // tolerable, matching what recovery will see on disk.
+  if (!segments.empty() && segments.back().record_starts.empty()) {
+    segments.pop_back();
   }
-
-  std::string full_wal;
-  ASSERT_TRUE(ReadFileToString(dir + "/wal.log", &full_wal).ok());
-
-  // Walk the [len:4][crc:4][body] framing to find every record boundary.
-  std::vector<size_t> starts;
-  {
-    Slice input(full_wal);
-    size_t off = 0;
-    while (input.size() >= 8) {
-      Slice frame = input;
-      uint32_t len = 0, crc = 0;
-      ASSERT_TRUE(GetFixed32(&frame, &len));
-      ASSERT_TRUE(GetFixed32(&frame, &crc));
-      ASSERT_LE(static_cast<size_t>(len), frame.size())
-          << "seed WAL is itself torn";
-      starts.push_back(off);
-      input.RemovePrefix(8 + len);
-      off += 8 + len;
-    }
-    ASSERT_EQ(off, full_wal.size()) << "trailing garbage in seed WAL";
-  }
-  ASSERT_GE(starts.size(), 2u);
-  const size_t last_start = starts.back();
-  const size_t n_records = starts.size();
-
-  std::string checkpoint;
-  const bool have_checkpoint = FileExists(dir + "/checkpoint.db");
-  if (have_checkpoint) {
-    ASSERT_TRUE(ReadFileToString(dir + "/checkpoint.db", &checkpoint).ok());
+  ASSERT_GE(segments.size(), 2u) << "workload did not span segments";
+  size_t n_records = 0;
+  for (const SegmentBytes& seg : segments) {
+    ASSERT_FALSE(seg.record_starts.empty())
+        << "empty sealed seed segment " << seg.name;
+    n_records += seg.record_starts.size();
   }
 
   const std::string crash_dir = dir + "_cut";
-  auto expect_recovers_without_tail = [&](const std::string& wal,
-                                          const std::string& what) {
+  auto write_crash_dir = [&](size_t damaged_idx,
+                             const std::string& damaged_contents) {
     std::filesystem::remove_all(crash_dir);
     std::filesystem::create_directories(crash_dir);
-    ASSERT_TRUE(WriteStringToFileAtomic(crash_dir + "/wal.log", wal).ok());
-    if (have_checkpoint) {
-      ASSERT_TRUE(
-          WriteStringToFileAtomic(crash_dir + "/checkpoint.db", checkpoint)
-              .ok());
+    CopyCheckpointIfAny(dir, crash_dir);
+    for (size_t i = 0; i < segments.size(); i++) {
+      const std::string& contents =
+          i == damaged_idx ? damaged_contents : segments[i].contents;
+      ASSERT_TRUE(WriteStringToFileAtomic(crash_dir + "/" + segments[i].name,
+                                          contents)
+                      .ok());
     }
-    // The damaged record must be dropped whole — exactly n-1 survive.
+  };
+
+  // Newest-segment damage: tolerated, exactly one record dropped.
+  auto expect_recovers_without_tail = [&](const std::string& wal,
+                                          const std::string& what) {
+    write_crash_dir(segments.size() - 1, wal);
     std::vector<LogRecord> records;
-    ASSERT_TRUE(LogManager::ReadAll(crash_dir + "/wal.log", &records).ok());
+    ASSERT_TRUE(LogManager::ReadLog(crash_dir, &records).ok()) << what;
     ASSERT_EQ(records.size(), n_records - 1) << what;
 
     DatabaseOptions options;
@@ -243,21 +278,50 @@ TEST_P(RecoveryFuzz, TornFinalRecordEveryByteOffset) {
     ASSERT_TRUE(check.ok()) << what << ": " << check.ToString();
   };
 
-  // Truncate at every byte offset inside the final record.
-  for (size_t cut = last_start; cut < full_wal.size(); cut++) {
-    expect_recovers_without_tail(full_wal.substr(0, cut),
-                                 "truncate at byte " + std::to_string(cut));
-    if (HasFatalFailure()) return;
-  }
-  // Flip one bit at every byte offset of the final record. CRC32 catches
-  // any single-bit error in the body; a flipped length either overruns the
-  // file or shifts the CRC window — both stop the reader cleanly.
-  for (size_t off = last_start; off < full_wal.size(); off++) {
-    std::string wal = full_wal;
-    wal[off] = static_cast<char>(wal[off] ^ 0x20);
-    expect_recovers_without_tail(wal,
-                                 "bit flip at byte " + std::to_string(off));
-    if (HasFatalFailure()) return;
+  // Sealed-segment damage: hard error, from both the reader and Open.
+  auto expect_hard_corruption = [&](size_t idx, const std::string& wal,
+                                    const std::string& what) {
+    write_crash_dir(idx, wal);
+    std::vector<LogRecord> records;
+    Status read = LogManager::ReadLog(crash_dir, &records);
+    ASSERT_TRUE(read.IsCorruption()) << what << ": " << read.ToString();
+
+    DatabaseOptions options;
+    options.dir = crash_dir;
+    auto reopened = Database::Open(options);
+    ASSERT_FALSE(reopened.ok()) << what << " silently opened";
+  };
+
+  for (size_t idx = 0; idx < segments.size(); idx++) {
+    const SegmentBytes& seg = segments[idx];
+    const bool newest = idx == segments.size() - 1;
+    const size_t last_start = seg.record_starts.back();
+    const std::string tag =
+        seg.name + (newest ? " (newest)" : " (sealed)");
+    // Truncate at every byte offset inside the final record.
+    for (size_t cut = last_start; cut < seg.contents.size(); cut++) {
+      const std::string what = tag + " truncate at " + std::to_string(cut);
+      if (newest) {
+        expect_recovers_without_tail(seg.contents.substr(0, cut), what);
+      } else {
+        expect_hard_corruption(idx, seg.contents.substr(0, cut), what);
+      }
+      if (HasFatalFailure()) return;
+    }
+    // Flip one bit at every byte offset of the final record. CRC32 catches
+    // any single-bit error in the body; a flipped length either overruns
+    // the segment or shifts the CRC window — both are detected.
+    for (size_t off = last_start; off < seg.contents.size(); off++) {
+      std::string wal = seg.contents;
+      wal[off] = static_cast<char>(wal[off] ^ 0x20);
+      const std::string what = tag + " bit flip at " + std::to_string(off);
+      if (newest) {
+        expect_recovers_without_tail(wal, what);
+      } else {
+        expect_hard_corruption(idx, wal, what);
+      }
+      if (HasFatalFailure()) return;
+    }
   }
   std::filesystem::remove_all(crash_dir);
   std::filesystem::remove_all(dir);

@@ -131,7 +131,7 @@ TEST_F(RecoveryTest, SystemTransactionGhostSurvivesUserRollback) {
   EXPECT_EQ(reclaimed, 1u);
 }
 
-TEST_F(RecoveryTest, CheckpointTruncatesLogAndRestores) {
+TEST_F(RecoveryTest, CheckpointRetiresDeadSegmentsAndRestores) {
   {
     auto db = OpenDb();
     ASSERT_TRUE(db->CreateTable("sales", SalesSchema(), {0}).ok());
@@ -146,9 +146,10 @@ TEST_F(RecoveryTest, CheckpointTruncatesLogAndRestores) {
     ASSERT_TRUE(db->Insert(txn2, "sales", Sale(100, "us", 2.0)).ok());
     ASSERT_TRUE(db->Commit(txn2).ok());
   }
-  // Log only holds post-checkpoint records.
+  // The checkpoint sealed the pre-checkpoint segments and retired them, so
+  // the log only holds post-checkpoint records.
   std::vector<LogRecord> records;
-  ASSERT_TRUE(LogManager::ReadAll(dir_ + "/wal.log", &records).ok());
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &records).ok());
   EXPECT_LT(records.size(), 10u);
 
   auto db = OpenDb();
@@ -208,11 +209,15 @@ TEST_F(RecoveryTest, TornLogTailIgnored) {
     ASSERT_TRUE(db->Insert(txn, "sales", Sale(1, "eu", 10.0)).ok());
     ASSERT_TRUE(db->Commit(txn).ok());
   }
-  // Simulate a torn final write.
+  // Simulate a torn final write on the newest (open) segment.
+  auto segments = LogManager::ListSegmentFiles(dir_);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_FALSE(segments->empty());
+  const std::string newest = dir_ + "/" + segments->back();
   std::string contents;
-  ASSERT_TRUE(ReadFileToString(dir_ + "/wal.log", &contents).ok());
+  ASSERT_TRUE(ReadFileToString(newest, &contents).ok());
   contents.resize(contents.size() - 3);
-  ASSERT_TRUE(WriteStringToFileAtomic(dir_ + "/wal.log", contents).ok());
+  ASSERT_TRUE(WriteStringToFileAtomic(newest, contents).ok());
 
   auto db = OpenDb();
   Transaction* reader = db->Begin();

@@ -43,7 +43,7 @@ class FakeStorage : public LogApplier {
 class TxnTest : public ::testing::Test {
  protected:
   TxnTest()
-      : log_({"", SyncMode::kNone, 0}),
+      : log_(LogManagerOptions{}),  // empty dir => in-memory log
         txns_(&locks_, &log_, &versions_, &storage_) {
     EXPECT_TRUE(log_.Open().ok());
   }

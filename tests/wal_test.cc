@@ -17,12 +17,16 @@ class WalTest : public ::testing::Test {
     dir_ = ::testing::TempDir() + "wal_test_" +
            std::to_string(reinterpret_cast<uintptr_t>(this));
     std::filesystem::create_directories(dir_);
-    path_ = dir_ + "/wal.log";
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
+  // Path of segment `seqno` (tests may poke segment files directly; engine
+  // code outside src/wal/ must not).
+  std::string SegPath(uint64_t seqno) const {
+    return dir_ + "/" + LogManager::SegmentFileName(seqno);
+  }
+
   std::string dir_;
-  std::string path_;
 };
 
 LogRecord DataRecord(TxnId txn, LogRecordType type, const std::string& key) {
@@ -129,8 +133,14 @@ TEST(MakeCompensationTest, InverseOps) {
   EXPECT_EQ(clr.deltas[1].delta.AsDouble(), -1.5);
 }
 
+TEST(SegmentNaming, FileNameFormat) {
+  EXPECT_EQ(LogManager::SegmentFileName(1), "wal-000001.log");
+  EXPECT_EQ(LogManager::SegmentFileName(123456), "wal-123456.log");
+  EXPECT_EQ(LogManager::SegmentFileName(10000000), "wal-10000000.log");
+}
+
 TEST_F(WalTest, AppendAssignsMonotonicLsns) {
-  LogManager log({path_, SyncMode::kNone, 0});
+  LogManager log({dir_});
   ASSERT_TRUE(log.Open().ok());
   Lsn prev = 0;
   for (int i = 0; i < 100; i++) {
@@ -143,7 +153,7 @@ TEST_F(WalTest, AppendAssignsMonotonicLsns) {
 }
 
 TEST_F(WalTest, FlushMakesRecordsReadable) {
-  LogManager log({path_, SyncMode::kNone, 0});
+  LogManager log({dir_});
   ASSERT_TRUE(log.Open().ok());
   for (int i = 0; i < 10; i++) {
     LogRecord rec = DataRecord(1, LogRecordType::kInsert,
@@ -154,7 +164,7 @@ TEST_F(WalTest, FlushMakesRecordsReadable) {
   EXPECT_EQ(log.flushed_lsn(), log.last_lsn());
 
   std::vector<LogRecord> records;
-  ASSERT_TRUE(LogManager::ReadAll(path_, &records).ok());
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &records).ok());
   ASSERT_EQ(records.size(), 10u);
   for (int i = 0; i < 10; i++) {
     EXPECT_EQ(records[i].key, "k" + std::to_string(i));
@@ -164,7 +174,7 @@ TEST_F(WalTest, FlushMakesRecordsReadable) {
 
 TEST_F(WalTest, UnflushedRecordsAreLostAcrossReopen) {
   {
-    LogManager log({path_, SyncMode::kNone, 0});
+    LogManager log({dir_});
     ASSERT_TRUE(log.Open().ok());
     LogRecord a = DataRecord(1, LogRecordType::kInsert, "durable");
     ASSERT_TRUE(log.Append(&a).ok());
@@ -174,14 +184,14 @@ TEST_F(WalTest, UnflushedRecordsAreLostAcrossReopen) {
     // Destroyed without flushing b — simulated crash.
   }
   std::vector<LogRecord> records;
-  ASSERT_TRUE(LogManager::ReadAll(path_, &records).ok());
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &records).ok());
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].key, "durable");
 }
 
-TEST_F(WalTest, ReadAllToleratesTornTail) {
+TEST_F(WalTest, ReadLogToleratesTornTailOnNewestSegment) {
   {
-    LogManager log({path_, SyncMode::kNone, 0});
+    LogManager log({dir_});
     ASSERT_TRUE(log.Open().ok());
     for (int i = 0; i < 5; i++) {
       LogRecord rec = DataRecord(1, LogRecordType::kInsert,
@@ -190,20 +200,20 @@ TEST_F(WalTest, ReadAllToleratesTornTail) {
     }
     ASSERT_TRUE(log.Flush(log.last_lsn()).ok());
   }
-  // Tear the file mid-record.
+  // Tear the (only, hence newest) segment mid-record.
   std::string contents;
-  ASSERT_TRUE(ReadFileToString(path_, &contents).ok());
+  ASSERT_TRUE(ReadFileToString(SegPath(1), &contents).ok());
   std::string torn = contents.substr(0, contents.size() - 7);
-  ASSERT_TRUE(WriteStringToFileAtomic(path_, torn).ok());
+  ASSERT_TRUE(WriteStringToFileAtomic(SegPath(1), torn).ok());
 
   std::vector<LogRecord> records;
-  ASSERT_TRUE(LogManager::ReadAll(path_, &records).ok());
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &records).ok());
   EXPECT_EQ(records.size(), 4u);  // last record dropped, rest intact
 }
 
-TEST_F(WalTest, ReadAllToleratesCorruptTail) {
+TEST_F(WalTest, ReadLogToleratesCorruptTailOnNewestSegment) {
   {
-    LogManager log({path_, SyncMode::kNone, 0});
+    LogManager log({dir_});
     ASSERT_TRUE(log.Open().ok());
     for (int i = 0; i < 3; i++) {
       LogRecord rec = DataRecord(1, LogRecordType::kInsert,
@@ -213,40 +223,200 @@ TEST_F(WalTest, ReadAllToleratesCorruptTail) {
     ASSERT_TRUE(log.Flush(log.last_lsn()).ok());
   }
   std::string contents;
-  ASSERT_TRUE(ReadFileToString(path_, &contents).ok());
+  ASSERT_TRUE(ReadFileToString(SegPath(1), &contents).ok());
   contents[contents.size() - 3] ^= 0x5a;  // corrupt last record's payload
-  ASSERT_TRUE(WriteStringToFileAtomic(path_, contents).ok());
+  ASSERT_TRUE(WriteStringToFileAtomic(SegPath(1), contents).ok());
 
   std::vector<LogRecord> records;
-  ASSERT_TRUE(LogManager::ReadAll(path_, &records).ok());
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &records).ok());
   EXPECT_EQ(records.size(), 2u);
 }
 
-TEST_F(WalTest, ReadAllOnMissingFileIsEmpty) {
+TEST_F(WalTest, ReadLogOnMissingDirIsEmpty) {
   std::vector<LogRecord> records;
-  ASSERT_TRUE(LogManager::ReadAll(dir_ + "/nope.log", &records).ok());
+  ASSERT_TRUE(LogManager::ReadLog(dir_ + "/nope", &records).ok());
   EXPECT_TRUE(records.empty());
 }
 
-TEST_F(WalTest, TruncateAll) {
-  LogManager log({path_, SyncMode::kNone, 0});
+TEST_F(WalTest, OpenRepairsTornTailSoAppendsResumeCleanly) {
+  Lsn durable;
+  {
+    LogManager log({dir_});
+    ASSERT_TRUE(log.Open().ok());
+    for (int i = 0; i < 4; i++) {
+      LogRecord rec = DataRecord(1, LogRecordType::kInsert,
+                                 "k" + std::to_string(i));
+      ASSERT_TRUE(log.Append(&rec).ok());
+    }
+    ASSERT_TRUE(log.Flush(log.last_lsn()).ok());
+    durable = log.last_lsn();
+  }
+  // Tear the newest segment mid-record, then reopen and append more. The
+  // torn bytes must be cut away, not appended after (which would hide the
+  // new records behind an undecodable frame).
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(SegPath(1), &contents).ok());
+  ASSERT_TRUE(WriteStringToFileAtomic(
+                  SegPath(1), contents.substr(0, contents.size() - 5))
+                  .ok());
+  {
+    LogManager log({dir_});
+    ASSERT_TRUE(log.Open().ok());
+    EXPECT_EQ(log.last_lsn(), durable - 1);  // torn record excluded
+    LogRecord rec = DataRecord(2, LogRecordType::kInsert, "resumed");
+    ASSERT_TRUE(log.Append(&rec).ok());
+    ASSERT_TRUE(log.Flush(rec.lsn).ok());
+  }
+  std::vector<LogRecord> records;
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &records).ok());
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.back().key, "resumed");
+}
+
+TEST_F(WalTest, RotationProducesDenseSegmentsAndReadLogMergesThem) {
+  LogManagerOptions options;
+  options.dir = dir_;
+  options.segment_bytes = 256;  // tiny: force frequent rotation
+  LogManager log(options);
   ASSERT_TRUE(log.Open().ok());
-  LogRecord rec = DataRecord(1, LogRecordType::kInsert, "k");
+  constexpr int kRecords = 100;
+  for (int i = 0; i < kRecords; i++) {
+    LogRecord rec = DataRecord(1, LogRecordType::kInsert,
+                               "key-" + std::to_string(i));
+    ASSERT_TRUE(log.Append(&rec).ok());
+    ASSERT_TRUE(log.Flush(rec.lsn).ok());
+  }
+  EXPECT_GT(log.SegmentCount(), 1u);
+  EXPECT_GT(log.metrics().rotations->Value(), 0u);
+  EXPECT_EQ(log.metrics().segments->Value(),
+            static_cast<int64_t>(log.SegmentCount()));
+
+  std::vector<LogRecord> records;
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &records).ok());
+  ASSERT_EQ(records.size(), static_cast<size_t>(kRecords));
+  for (int i = 0; i < kRecords; i++) {
+    EXPECT_EQ(records[i].lsn, static_cast<Lsn>(i + 1));
+    EXPECT_EQ(records[i].key, "key-" + std::to_string(i));
+  }
+}
+
+TEST_F(WalTest, ParallelReadLogMatchesSerial) {
+  LogManagerOptions options;
+  options.dir = dir_;
+  options.segment_bytes = 200;
+  LogManager log(options);
+  ASSERT_TRUE(log.Open().ok());
+  for (int i = 0; i < 200; i++) {
+    LogRecord rec = DataRecord(1, LogRecordType::kInsert,
+                               "key-" + std::to_string(i));
+    ASSERT_TRUE(log.Append(&rec).ok());
+    ASSERT_TRUE(log.Flush(rec.lsn).ok());
+  }
+  ASSERT_GT(log.SegmentCount(), 2u);
+
+  std::vector<LogRecord> serial, parallel;
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &serial, nullptr, 1).ok());
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &parallel, nullptr, 4).ok());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); i++) {
+    EXPECT_EQ(serial[i].lsn, parallel[i].lsn);
+    EXPECT_EQ(serial[i].key, parallel[i].key);
+  }
+}
+
+TEST_F(WalTest, RetireSegmentsBelowDeletesOnlyDeadSealedSegments) {
+  LogManagerOptions options;
+  options.dir = dir_;
+  options.segment_bytes = 200;
+  LogManager log(options);
+  ASSERT_TRUE(log.Open().ok());
+  for (int i = 0; i < 100; i++) {
+    LogRecord rec = DataRecord(1, LogRecordType::kInsert,
+                               "key-" + std::to_string(i));
+    ASSERT_TRUE(log.Append(&rec).ok());
+    ASSERT_TRUE(log.Flush(rec.lsn).ok());
+  }
+  const size_t before = log.SegmentCount();
+  ASSERT_GT(before, 2u);
+
+  // Horizon in the middle of the stream: only segments entirely below it go.
+  ASSERT_TRUE(log.RetireSegmentsBelow(50).ok());
+  const size_t after_mid = log.SegmentCount();
+  EXPECT_LT(after_mid, before);
+  EXPECT_GT(log.metrics().segments_retired->Value(), 0u);
+  std::vector<LogRecord> records;
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &records).ok());
+  ASSERT_FALSE(records.empty());
+  // Every record at or above the horizon survived.
+  EXPECT_LE(records.front().lsn, 50u);
+  EXPECT_EQ(records.back().lsn, 100u);
+  Lsn prev = records.front().lsn;
+  for (size_t i = 1; i < records.size(); i++) {
+    EXPECT_EQ(records[i].lsn, prev + 1);
+    prev = records[i].lsn;
+  }
+
+  // A horizon above everything keeps the open segment alive.
+  ASSERT_TRUE(log.RetireSegmentsBelow(10'000).ok());
+  EXPECT_EQ(log.SegmentCount(), 1u);
+  LogRecord rec = DataRecord(2, LogRecordType::kInsert, "after-retire");
   ASSERT_TRUE(log.Append(&rec).ok());
   ASSERT_TRUE(log.Flush(rec.lsn).ok());
-  ASSERT_TRUE(log.TruncateAll().ok());
+  EXPECT_EQ(rec.lsn, 101u);
+}
+
+TEST_F(WalTest, CorruptionInSealedSegmentIsHardError) {
+  LogManagerOptions options;
+  options.dir = dir_;
+  options.segment_bytes = 200;
+  LogManager log(options);
+  ASSERT_TRUE(log.Open().ok());
+  for (int i = 0; i < 100; i++) {
+    LogRecord rec = DataRecord(1, LogRecordType::kInsert,
+                               "key-" + std::to_string(i));
+    ASSERT_TRUE(log.Append(&rec).ok());
+    ASSERT_TRUE(log.Flush(rec.lsn).ok());
+  }
+  ASSERT_GT(log.SegmentCount(), 2u);
+
+  // Flip one byte in the *first* (sealed) segment. Rotation fsyncs before
+  // sealing, so damage here cannot be a crash artifact — ReadLog must
+  // refuse rather than silently drop the tail of the segment.
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(SegPath(1), &contents).ok());
+  contents[contents.size() - 3] ^= 0x5a;
+  ASSERT_TRUE(WriteStringToFileAtomic(SegPath(1), contents).ok());
+
   std::vector<LogRecord> records;
-  ASSERT_TRUE(LogManager::ReadAll(path_, &records).ok());
-  EXPECT_TRUE(records.empty());
-  // LSNs keep increasing after truncation.
-  LogRecord rec2 = DataRecord(1, LogRecordType::kInsert, "k2");
-  ASSERT_TRUE(log.Append(&rec2).ok());
-  EXPECT_GT(rec2.lsn, rec.lsn);
+  Status s = LogManager::ReadLog(dir_, &records);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(WalTest, MissingSegmentInSequenceIsCorruption) {
+  LogManagerOptions options;
+  options.dir = dir_;
+  options.segment_bytes = 200;
+  LogManager log(options);
+  ASSERT_TRUE(log.Open().ok());
+  for (int i = 0; i < 100; i++) {
+    LogRecord rec = DataRecord(1, LogRecordType::kInsert,
+                               "key-" + std::to_string(i));
+    ASSERT_TRUE(log.Append(&rec).ok());
+    ASSERT_TRUE(log.Flush(rec.lsn).ok());
+  }
+  ASSERT_GT(log.SegmentCount(), 2u);
+  // Delete a middle segment out from under the log.
+  std::filesystem::remove(SegPath(2));
+
+  std::vector<LogRecord> records;
+  Status s = LogManager::ReadLog(dir_, &records);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.ToString().find("gap"), std::string::npos) << s.ToString();
 }
 
 TEST_F(WalTest, GroupCommitBatchesConcurrentCommitters) {
   LogManagerOptions options;
-  options.path = path_;
+  options.dir = dir_;
   options.flush_delay_micros = 2000;  // make flushes slow enough to batch
   LogManager log(options);
   ASSERT_TRUE(log.Open().ok());
@@ -274,21 +444,100 @@ TEST_F(WalTest, GroupCommitBatchesConcurrentCommitters) {
   EXPECT_LT(flushes, records);
 
   std::vector<LogRecord> read_back;
-  ASSERT_TRUE(LogManager::ReadAll(path_, &read_back).ok());
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &read_back).ok());
   EXPECT_EQ(read_back.size(), records);
 }
 
+TEST_F(WalTest, ConcurrentCommittersWithRotation) {
+  LogManagerOptions options;
+  options.dir = dir_;
+  options.segment_bytes = 512;
+  LogManager log(options);
+  ASSERT_TRUE(log.Open().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kCommitsPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCommitsPerThread; i++) {
+        LogRecord rec = DataRecord(static_cast<TxnId>(t + 1),
+                                   LogRecordType::kInsert,
+                                   "t" + std::to_string(t) + "-" +
+                                       std::to_string(i));
+        ASSERT_TRUE(log.Append(&rec).ok());
+        ASSERT_TRUE(log.Flush(rec.lsn).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_GT(log.SegmentCount(), 1u);
+
+  // The merged stream is dense regardless of how batches hit segments.
+  std::vector<LogRecord> records;
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &records, nullptr, 4).ok());
+  ASSERT_EQ(records.size(),
+            static_cast<size_t>(kThreads * kCommitsPerThread));
+  for (size_t i = 0; i < records.size(); i++) {
+    EXPECT_EQ(records[i].lsn, static_cast<Lsn>(i + 1));
+  }
+}
+
+TEST_F(WalTest, RotateNowSealsAndSkipsEmptySegment) {
+  LogManager log({dir_});
+  ASSERT_TRUE(log.Open().ok());
+  // Rotating an empty open segment is a no-op: no empty-file litter.
+  ASSERT_TRUE(log.RotateNow().ok());
+  EXPECT_EQ(log.SegmentCount(), 1u);
+
+  LogRecord rec = DataRecord(1, LogRecordType::kInsert, "k");
+  ASSERT_TRUE(log.Append(&rec).ok());
+  ASSERT_TRUE(log.RotateNow().ok());  // flushes, seals, opens segment 2
+  EXPECT_EQ(log.SegmentCount(), 2u);
+  EXPECT_EQ(log.flushed_lsn(), rec.lsn);
+
+  LogRecord rec2 = DataRecord(1, LogRecordType::kInsert, "k2");
+  ASSERT_TRUE(log.Append(&rec2).ok());
+  ASSERT_TRUE(log.Flush(rec2.lsn).ok());
+  std::vector<LogRecord> records;
+  ASSERT_TRUE(LogManager::ReadLog(dir_, &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].key, "k2");
+}
+
+TEST_F(WalTest, ListSegmentFilesSortedBySeqno) {
+  LogManagerOptions options;
+  options.dir = dir_;
+  options.segment_bytes = 200;
+  LogManager log(options);
+  ASSERT_TRUE(log.Open().ok());
+  for (int i = 0; i < 60; i++) {
+    LogRecord rec = DataRecord(1, LogRecordType::kInsert,
+                               "key-" + std::to_string(i));
+    ASSERT_TRUE(log.Append(&rec).ok());
+    ASSERT_TRUE(log.Flush(rec.lsn).ok());
+  }
+  auto listed = LogManager::ListSegmentFiles(dir_);
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), log.SegmentCount());
+  for (size_t i = 1; i < listed->size(); i++) {
+    EXPECT_LT((*listed)[i - 1], (*listed)[i]);
+  }
+}
+
 TEST_F(WalTest, InMemoryLogNeedsNoFile) {
-  LogManager log({"", SyncMode::kNone, 0});
+  LogManager log({""});
   ASSERT_TRUE(log.Open().ok());
   LogRecord rec = DataRecord(1, LogRecordType::kInsert, "k");
   ASSERT_TRUE(log.Append(&rec).ok());
   ASSERT_TRUE(log.Flush(rec.lsn).ok());
   EXPECT_EQ(log.flushed_lsn(), rec.lsn);
+  ASSERT_TRUE(log.RotateNow().ok());  // no-op without a directory
+  EXPECT_EQ(log.SegmentCount(), 0u);
 }
 
 TEST_F(WalTest, AdvancePastLsn) {
-  LogManager log({path_, SyncMode::kNone, 0});
+  LogManager log({dir_});
   ASSERT_TRUE(log.Open().ok());
   log.AdvancePastLsn(100);
   LogRecord rec = DataRecord(1, LogRecordType::kInsert, "k");

@@ -23,10 +23,15 @@ using namespace ivdb;
 namespace {
 
 int DumpCatalog(const SnapshotImage& image) {
-  std::printf("checkpoint LSN: %llu, clock: %llu, next txn id: %llu\n\n",
+  std::printf("checkpoint LSN: %llu, clock: %llu, next txn id: %llu\n",
               static_cast<unsigned long long>(image.checkpoint_lsn),
               static_cast<unsigned long long>(image.clock_ts),
               static_cast<unsigned long long>(image.next_txn_id));
+  std::printf(
+      "fuzzy capture ts: %llu, redo start LSN: %llu, active txns: %zu\n\n",
+      static_cast<unsigned long long>(image.capture_ts),
+      static_cast<unsigned long long>(image.redo_start_lsn),
+      image.active_txns.size());
   std::printf("tables (%zu):\n", image.tables.size());
   for (const auto& t : image.tables) {
     std::printf("  [%u] %s %s  pk(", t.id, t.name.c_str(),
@@ -115,14 +120,23 @@ int DumpWal(const std::vector<LogRecord>& records, bool verbose) {
 // checkpoint image and WAL alone, in the same exposition format, so fleet
 // tooling can scrape cold directories with the scraper it already has.
 int DumpDiskMetrics(bool have_checkpoint, const SnapshotImage& image,
-                    const std::vector<LogRecord>& records,
-                    size_t wal_bytes) {
+                    const std::vector<LogRecord>& records, size_t wal_bytes,
+                    size_t wal_segments) {
   std::printf("# TYPE ivdb_disk_checkpoint_present gauge\n");
   std::printf("ivdb_disk_checkpoint_present %d\n", have_checkpoint ? 1 : 0);
   if (have_checkpoint) {
     std::printf("# TYPE ivdb_disk_checkpoint_lsn gauge\n");
     std::printf("ivdb_disk_checkpoint_lsn %llu\n",
                 static_cast<unsigned long long>(image.checkpoint_lsn));
+    std::printf("# TYPE ivdb_disk_checkpoint_capture_ts gauge\n");
+    std::printf("ivdb_disk_checkpoint_capture_ts %llu\n",
+                static_cast<unsigned long long>(image.capture_ts));
+    std::printf("# TYPE ivdb_disk_checkpoint_redo_start_lsn gauge\n");
+    std::printf("ivdb_disk_checkpoint_redo_start_lsn %llu\n",
+                static_cast<unsigned long long>(image.redo_start_lsn));
+    std::printf("# TYPE ivdb_disk_checkpoint_active_txns gauge\n");
+    std::printf("ivdb_disk_checkpoint_active_txns %zu\n",
+                image.active_txns.size());
     std::printf("# TYPE ivdb_disk_tables gauge\n");
     std::printf("ivdb_disk_tables %zu\n", image.tables.size());
     std::printf("# TYPE ivdb_disk_views gauge\n");
@@ -146,6 +160,8 @@ int DumpDiskMetrics(bool have_checkpoint, const SnapshotImage& image,
   }
   std::printf("# TYPE ivdb_disk_wal_bytes gauge\n");
   std::printf("ivdb_disk_wal_bytes %zu\n", wal_bytes);
+  std::printf("# TYPE ivdb_disk_wal_segments gauge\n");
+  std::printf("ivdb_disk_wal_segments %zu\n", wal_segments);
   std::printf("# TYPE ivdb_disk_wal_records_total counter\n");
   std::printf("ivdb_disk_wal_records_total %zu\n", records.size());
   std::map<std::string, int> counts;
@@ -196,10 +212,23 @@ int main(int argc, char** argv) {
     have_checkpoint = true;
   }
   std::vector<LogRecord> records;
-  Status s = LogManager::ReadAll(dir + "/wal.log", &records);
+  Status s = LogManager::ReadLog(dir, &records);
   if (!s.ok()) {
     std::fprintf(stderr, "wal unreadable: %s\n", s.ToString().c_str());
     return 1;
+  }
+  // Segment manifest (names come from the WAL layer; nothing here spells
+  // out the on-disk naming scheme).
+  size_t wal_bytes = 0;
+  std::vector<std::string> segment_names;
+  if (auto segments = LogManager::ListSegmentFiles(dir); segments.ok()) {
+    segment_names = std::move(segments).value();
+    for (const std::string& name : segment_names) {
+      std::string contents;
+      if (ReadFileToString(dir + "/" + name, &contents).ok()) {
+        wal_bytes += contents.size();
+      }
+    }
   }
 
   if (mode == "--catalog") {
@@ -213,12 +242,8 @@ int main(int argc, char** argv) {
     return DumpWal(records, /*verbose=*/true);
   }
   if (mode == "--metrics") {
-    std::string wal_contents;
-    size_t wal_bytes = 0;
-    if (ReadFileToString(dir + "/wal.log", &wal_contents).ok()) {
-      wal_bytes = wal_contents.size();
-    }
-    return DumpDiskMetrics(have_checkpoint, image, records, wal_bytes);
+    return DumpDiskMetrics(have_checkpoint, image, records, wal_bytes,
+                           segment_names.size());
   }
 
   std::printf("== %s ==\n", dir.c_str());
@@ -227,9 +252,13 @@ int main(int argc, char** argv) {
                   ? ("present (LSN " + std::to_string(image.checkpoint_lsn) +
                      ", " + std::to_string(image.tables.size()) + " tables, " +
                      std::to_string(image.views.size()) + " views, " +
-                     std::to_string(image.indexes.size()) + " indexes)")
+                     std::to_string(image.indexes.size()) + " indexes, " +
+                     std::to_string(image.active_txns.size()) +
+                     " active txns at capture)")
                         .c_str()
                   : "absent");
+  std::printf("wal: %zu segments, %zu bytes\n", segment_names.size(),
+              wal_bytes);
   DumpWal(records, /*verbose=*/false);
   return 0;
 }

@@ -23,6 +23,12 @@
 //                      register with the unified obs::MetricsRegistry so
 //                      every counter shows up in Database::DumpMetrics().
 //                      (See docs/OBSERVABILITY.md.)
+//   wal-naming         No string literal outside src/wal/ spells out WAL
+//                      file names (`wal-<seqno>.log` segments or the legacy
+//                      `wal.log`): the segment layout is private to the log
+//                      manager. Enumerate segments via
+//                      LogManager::ListSegmentFiles / SegmentFileName so a
+//                      layout change stays a one-module edit.
 //   adhoc-retry        No sleeping (std::this_thread::sleep_for/sleep_until,
 //                      usleep, nanosleep) in src/** outside the allowlisted
 //                      waiting primitives: sleep-in-a-loop is how ad-hoc
@@ -289,6 +295,28 @@ void CheckAdhocStats(const std::string& path, const std::string& stripped,
   }
 }
 
+void CheckWalNaming(const std::string& path,
+                    const std::string& literals_kept,
+                    std::vector<Finding>* findings) {
+  // The segment naming scheme (`wal-%06llu.log`) and the legacy single-file
+  // name are implementation details of src/wal/. Anything else hard-coding
+  // them (a test peeking at the directory, a tool globbing segments) breaks
+  // silently when the layout changes; the supported seams are
+  // LogManager::ListSegmentFiles and LogManager::SegmentFileName.
+  if (path.rfind("src/wal/", 0) == 0) return;
+  // Literal content only: comments stripped, string literals kept.
+  static const std::regex re(R"(\bwal-[0-9%]|\bwal\.log\b)");
+  const std::vector<std::string> lines = SplitLines(literals_kept);
+  for (size_t i = 0; i < lines.size(); i++) {
+    if (std::regex_search(lines[i], re)) {
+      findings->push_back(
+          {path, static_cast<int>(i + 1), "wal-naming",
+           "WAL file name spelled outside src/wal/; use "
+           "LogManager::ListSegmentFiles / SegmentFileName instead"});
+    }
+  }
+}
+
 void CheckAdhocRetry(const std::string& path, const std::string& stripped,
                      std::vector<Finding>* findings) {
   // Sleeping inside engine code is how ad-hoc retry loops sneak in (sleep,
@@ -326,6 +354,7 @@ void LintContent(const std::string& path, const std::string& raw,
   CheckIncludeGuard(path, stripped, findings);
   CheckDirectIo(path, stripped, findings);
   CheckAdhocStats(path, stripped, findings);
+  CheckWalNaming(path, literals_kept, findings);
   CheckAdhocRetry(path, stripped, findings);
 }
 
@@ -487,6 +516,27 @@ int SelfTest() {
       {"obs may use atomics in stats", "src/obs/metrics.h",
        "#ifndef IVDB_OBS_METRICS_H_\nstruct ShardStats {\n  "
        "std::atomic<uint64_t> v{0};\n};\n",
+       nullptr},
+      {"segment name literal fires", "tests/foo_test.cc",
+       "void F() { std::string p = dir + \"/wal-000001.log\"; }\n",
+       "wal-naming"},
+      {"segment printf format fires", "tools/foo.cpp",
+       "void F() { std::printf(\"wal-%06llu.log\", 1ull); }\n",
+       "wal-naming"},
+      {"legacy wal.log literal fires", "src/engine/database.cc",
+       "#include \"engine/database.h\"\nstd::string P(const std::string& d) "
+       "{ return d + \"/wal.log\"; }\n",
+       "wal-naming"},
+      {"src/wal may name its own segments", "src/wal/log_manager.cc",
+       "#include \"wal/log_manager.h\"\nconst char* N() { return "
+       "\"wal-%06llu.log\"; }\n",
+       nullptr},
+      {"walrus strings are fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nconst char* N() { return \"narwal-9\"; }\n",
+       nullptr},
+      {"ListSegmentFiles call is fine", "tests/foo_test.cc",
+       "void F(const std::string& d) { auto s = "
+       "LogManager::ListSegmentFiles(d); }\n",
        nullptr},
       {"sleep_for in engine code fires", "src/foo/bar.cc",
        "#include \"foo/bar.h\"\nvoid F() { while (true) "

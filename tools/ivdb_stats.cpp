@@ -6,7 +6,12 @@
 //
 //   ivdb_stats <dir>             # recover, print all metrics
 //   ivdb_stats <dir> <prefix>    # only metrics whose name starts with prefix
+//
+// IVDB_RECOVERY_THREADS=<n> selects the replay pipeline width (0 = auto,
+// 1 = serial), e.g. to compare serial vs parallel segment replay cost on
+// the same directory.
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 
@@ -25,6 +30,11 @@ int main(int argc, char** argv) {
   }
   DatabaseOptions options;
   options.dir = argv[1];
+  if (const char* threads = std::getenv("IVDB_RECOVERY_THREADS");
+      threads != nullptr && *threads != '\0') {
+    options.recovery_threads =
+        static_cast<unsigned>(std::strtoul(threads, nullptr, 10));
+  }
   auto opened = Database::Open(std::move(options));
   if (!opened.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
