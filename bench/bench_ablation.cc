@@ -93,7 +93,7 @@ void RunBoundCheckAblation() {
                              Value::Int64(1)});
       if (s.ok()) s = db->Commit(txn);
       bool ok = s.ok();
-      if (!ok && txn->state() == TxnState::kActive) db->Abort(txn);
+      if (!ok && txn->state() == TxnState::kActive) (void)db->Abort(txn);
       db->Forget(txn);
       return ok;
     });
@@ -143,7 +143,7 @@ void RunDeadlockAblation() {
       }
       if (s.ok()) s = bench.db->Commit(txn);
       bool ok = s.ok();
-      if (!ok && txn->state() == TxnState::kActive) bench.db->Abort(txn);
+      if (!ok && txn->state() == TxnState::kActive) (void)bench.db->Abort(txn);
       bench.db->Forget(txn);
       return ok;
     });

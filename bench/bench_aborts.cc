@@ -78,7 +78,7 @@ int main() {
             if (s.ok()) s = bench.db->Commit(txn);
             bool ok = s.ok();
             if (!ok && txn->state() == TxnState::kActive) {
-              bench.db->Abort(txn);
+              (void)bench.db->Abort(txn);
             }
             bench.db->Forget(txn);
             return ok;

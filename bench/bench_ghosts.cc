@@ -40,7 +40,7 @@ ChurnResult RunChurn(bool cleaner_on, int duration_ms) {
     if (s.ok()) s = bench.db->Delete(txn, "sales", {Value::Int64(id)});
     if (s.ok()) s = bench.db->Commit(txn);
     bool ok = s.ok();
-    if (!ok && txn->state() == TxnState::kActive) bench.db->Abort(txn);
+    if (!ok && txn->state() == TxnState::kActive) (void)bench.db->Abort(txn);
     bench.db->Forget(txn);
     return ok;
   });
@@ -56,7 +56,7 @@ ChurnResult RunChurn(bool cleaner_on, int duration_ms) {
   auto rows = bench.db->ScanView(reader, "by_grp");
   IVDB_CHECK(rows.ok());
   out.view_rows_visible = rows->size();
-  bench.db->Commit(reader);
+  (void)bench.db->Commit(reader);
   out.scan_micros = static_cast<double>(NowMicros() - start);
 
   const GhostCleanerMetrics* metrics = bench.db->ghost_metrics("by_grp");

@@ -71,7 +71,7 @@ int main() {
       Status s = db->Insert(txn, "facts", row);
       if (s.ok()) s = db->Commit(txn);
       bool ok = s.ok();
-      if (!ok && txn->state() == TxnState::kActive) db->Abort(txn);
+      if (!ok && txn->state() == TxnState::kActive) (void)db->Abort(txn);
       db->Forget(txn);
       return ok;
     });

@@ -53,7 +53,7 @@ ReaderResult RunMix(ReadMode reader_mode, int writers, int readers,
     uint64_t elapsed = NowMicros() - start;
     bool ok = row.ok();
     if (ok) {
-      bench.db->Commit(txn);
+      (void)bench.db->Commit(txn);
       reads.fetch_add(1, std::memory_order_relaxed);
       read_micros_total.fetch_add(elapsed, std::memory_order_relaxed);
       uint64_t prev = read_micros_max.load(std::memory_order_relaxed);
@@ -61,7 +61,7 @@ ReaderResult RunMix(ReadMode reader_mode, int writers, int readers,
              !read_micros_max.compare_exchange_weak(prev, elapsed)) {
       }
     } else {
-      bench.db->Abort(txn);
+      (void)bench.db->Abort(txn);
       read_timeouts.fetch_add(1, std::memory_order_relaxed);
     }
     bench.db->Forget(txn);

@@ -90,7 +90,7 @@ int main() {
           IVDB_CHECK(some.ok());
         },
         200);
-    db->Commit(txn);
+    (void)db->Commit(txn);
 
     PrintRow({std::to_string(rows), Fmt(pk, 2), Fmt(idx, 1), Fmt(scan, 0),
               Fmt(range, 1)},
@@ -114,7 +114,7 @@ int main() {
           Transaction* txn = db->Begin(mode);
           auto all = db->ScanTable(txn, "t");
           IVDB_CHECK(all.ok() && all->size() == 10000u);
-          db->Commit(txn);
+          (void)db->Commit(txn);
           db->Forget(txn);
         },
         10);

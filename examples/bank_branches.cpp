@@ -27,6 +27,13 @@ constexpr int64_t kAccountsPerBranch = 25;
 constexpr int64_t kOpeningBalance = 1000;
 constexpr int kTellers = 4;
 constexpr int kTransfersPerTeller = 300;
+
+void Must(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
 }  // namespace
 
 int main() {
@@ -53,9 +60,9 @@ int main() {
   {
     Transaction* txn = db->Begin();
     for (int64_t a = 0; a < kBranches * kAccountsPerBranch; a++) {
-      db->Insert(txn, "accounts",
-                 {Value::Int64(a), Value::Int64(a % kBranches),
-                  Value::Int64(kOpeningBalance)});
+      Must(db->Insert(txn, "accounts",
+                      {Value::Int64(a), Value::Int64(a % kBranches),
+                       Value::Int64(kOpeningBalance)}));
     }
     if (!db->Commit(txn).ok()) return 1;
   }
@@ -100,7 +107,8 @@ int main() {
             db->Forget(txn);
             break;
           }
-          if (txn->state() == TxnState::kActive) db->Abort(txn);
+          // Cleanup before the retry; `s` told us why the attempt failed.
+          if (txn->state() == TxnState::kActive) (void)db->Abort(txn);
           db->Forget(txn);
           retries.fetch_add(1);
         }
@@ -120,7 +128,7 @@ int main() {
                 static_cast<long long>(row[2].AsInt64()));
     grand_total += row[2].AsInt64();
   }
-  db->Commit(reader);
+  Must(db->Commit(reader));
 
   std::printf("\ntransfers committed: %llu (retries: %llu)\n",
               static_cast<unsigned long long>(transfers.load()),

@@ -16,6 +16,17 @@
 
 using namespace ivdb;
 
+namespace {
+
+void Must(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string dir = argc > 1 ? argv[1] : "/tmp/ivdb_crash_recovery_example";
   std::filesystem::remove_all(dir);
@@ -37,23 +48,26 @@ int main(int argc, char** argv) {
     def.fact_table = fact;
     def.group_by = {1};
     def.aggregates = {{AggregateFunction::kSum, 2, "total"}};
-    db->CreateIndexedView(def);
+    Must(db->CreateIndexedView(def).status());
 
     // Committed work: survives the crash.
     Transaction* t1 = db->Begin();
-    db->Insert(t1, "sales",
-               {Value::Int64(1), Value::String("eu"), Value::Double(10.0)});
-    db->Insert(t1, "sales",
-               {Value::Int64(2), Value::String("us"), Value::Double(4.0)});
-    db->Commit(t1);
+    Must(db->Insert(
+        t1, "sales",
+        {Value::Int64(1), Value::String("eu"), Value::Double(10.0)}));
+    Must(db->Insert(
+        t1, "sales",
+        {Value::Int64(2), Value::String("us"), Value::Double(4.0)}));
+    Must(db->Commit(t1));
     std::printf("committed: sales 1 (eu, 10.0), 2 (us, 4.0)\n");
 
     // In-flight work on the SAME aggregate row as committed work: must be
     // stripped at restart without disturbing the committed increment.
     Transaction* t2 = db->Begin();
-    db->Insert(t2, "sales",
-               {Value::Int64(3), Value::String("eu"), Value::Double(500.0)});
-    db->FlushWal();  // the uncommitted records do reach the disk
+    Must(db->Insert(
+        t2, "sales",
+        {Value::Int64(3), Value::String("eu"), Value::Double(500.0)}));
+    Must(db->FlushWal());  // the uncommitted records do reach the disk
     std::printf("in flight: sale 3 (eu, 500.0) — never committed\n");
     std::printf("CRASH (no checkpoint, no shutdown)\n");
     // db destroyed here: nothing is saved beyond the WAL.
@@ -80,7 +94,7 @@ int main(int argc, char** argv) {
                 "(expected 1, 10.0)\n",
                 static_cast<long long>((**eu)[1].AsInt64()),
                 (**eu)[2].AsDouble());
-    db->Commit(reader);
+    Must(db->Commit(reader));
 
     Status check = db->VerifyViewConsistency("by_region");
     std::printf("view == recompute-from-base: %s\n",
@@ -88,10 +102,11 @@ int main(int argc, char** argv) {
 
     // Recovered databases keep working: commit, checkpoint, reopen again.
     Transaction* txn = db->Begin();
-    db->Insert(txn, "sales",
-               {Value::Int64(4), Value::String("eu"), Value::Double(2.0)});
-    db->Commit(txn);
-    db->Checkpoint();
+    Must(db->Insert(
+        txn, "sales",
+        {Value::Int64(4), Value::String("eu"), Value::Double(2.0)}));
+    Must(db->Commit(txn));
+    Must(db->Checkpoint());
     std::printf("post-recovery commit + checkpoint: ok\n");
     if (!check.ok()) return 1;
   }
@@ -107,7 +122,7 @@ int main(int argc, char** argv) {
                 "(expected 2, 12.0)\n",
                 static_cast<long long>((**eu)[1].AsInt64()),
                 (**eu)[2].AsDouble());
-    db->Commit(reader);
+    Must(db->Commit(reader));
     Status check = db->VerifyViewConsistency("by_region");
     std::printf("consistency: %s\n", check.ToString().c_str());
     std::filesystem::remove_all(dir);

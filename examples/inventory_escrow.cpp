@@ -26,6 +26,17 @@
 
 using namespace ivdb;
 
+namespace {
+
+void Must(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
 int main() {
   auto db = std::move(Database::Open(DatabaseOptions{})).value();
 
@@ -53,13 +64,14 @@ int main() {
                           {Value::Int64(id_seq.fetch_add(1)),
                            Value::Int64(item), Value::Int64(qty)});
     if (s.ok()) s = db->Commit(txn);
-    if (!s.ok() && txn->state() == TxnState::kActive) db->Abort(txn);
+    // Cleanup on the failure path; `s` is the status callers look at.
+    if (!s.ok() && txn->state() == TxnState::kActive) (void)db->Abort(txn);
     db->Forget(txn);
     return s;
   };
 
   // Receive 100 units of item 1.
-  move_stock(1, 100);
+  Must(move_stock(1, 100));
   std::printf("received 100 units of item 1\n");
 
   // Demonstrate the bound: a single oversized reservation is refused.
@@ -69,9 +81,9 @@ int main() {
 
   // Demonstrate pessimism: an uncommitted receipt is not yet spendable.
   Transaction* receipt = db->Begin();
-  db->Insert(receipt, "movements",
-             {Value::Int64(id_seq.fetch_add(1)), Value::Int64(1),
-              Value::Int64(50)});
+  Must(db->Insert(receipt, "movements",
+                  {Value::Int64(id_seq.fetch_add(1)), Value::Int64(1),
+                   Value::Int64(50)}));
   s = move_stock(1, -120);
   std::printf("reserve 120 while +50 receipt uncommitted -> %s\n",
               s.ToString().c_str());
@@ -79,7 +91,7 @@ int main() {
   std::printf("lock-free bounds while receipt pending: on_hand in [%lld, %lld]\n",
               static_cast<long long>(bounds->low[2].AsInt64()),
               static_cast<long long>(bounds->high[2].AsInt64()));
-  db->Commit(receipt);
+  Must(db->Commit(receipt));
   s = move_stock(1, -120);
   std::printf("same reservation after receipt committed -> %s\n",
               s.ToString().c_str());
@@ -89,7 +101,7 @@ int main() {
   Transaction* reader = db->Begin(ReadMode::kDirty);
   auto row = db->GetViewRow(reader, "on_hand", {Value::Int64(1)});
   int64_t available = (**row)[2].AsInt64();
-  db->Commit(reader);
+  Must(db->Commit(reader));
   std::printf("\nconcurrent drain: %lld units available, 400 requests...\n",
               static_cast<long long>(available));
 
@@ -113,7 +125,7 @@ int main() {
   reader = db->Begin(ReadMode::kDirty);
   row = db->GetViewRow(reader, "on_hand", {Value::Int64(1)});
   int64_t final_qty = (**row)[2].AsInt64();
-  db->Commit(reader);
+  Must(db->Commit(reader));
 
   std::printf("granted %lld, refused %lld, final on_hand %lld\n",
               static_cast<long long>(granted.load()),

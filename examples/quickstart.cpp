@@ -13,6 +13,13 @@ using namespace ivdb;
 
 namespace {
 
+void Must(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
 void PrintView(Database* db, const char* title) {
   Transaction* reader = db->Begin();
   auto rows = db->ScanView(reader, "sales_by_region");
@@ -23,7 +30,7 @@ void PrintView(Database* db, const char* title) {
                 static_cast<long long>(row[1].AsInt64()),
                 row[2].AsDouble());
   }
-  db->Commit(reader);
+  Must(db->Commit(reader));
 }
 
 }  // namespace
@@ -62,34 +69,35 @@ int main() {
   // 4. DML inside a transaction; the view is maintained inside the same
   //    transaction (immediate maintenance, escrow-locked).
   Transaction* txn = db->Begin();
-  db->Insert(txn, "sales",
-             {Value::Int64(1), Value::String("eu"), Value::Double(10.0)});
-  db->Insert(txn, "sales",
-             {Value::Int64(2), Value::String("eu"), Value::Double(5.0)});
-  db->Insert(txn, "sales",
-             {Value::Int64(3), Value::String("us"), Value::Double(8.0)});
-  db->Commit(txn);
+  Must(db->Insert(txn, "sales",
+                  {Value::Int64(1), Value::String("eu"), Value::Double(10.0)}));
+  Must(db->Insert(txn, "sales",
+                  {Value::Int64(2), Value::String("eu"), Value::Double(5.0)}));
+  Must(db->Insert(txn, "sales",
+                  {Value::Int64(3), Value::String("us"), Value::Double(8.0)}));
+  Must(db->Commit(txn));
   PrintView(db.get(), "after first commit:");
 
   // 5. Rollback undoes base rows AND view increments (logically).
   txn = db->Begin();
-  db->Insert(txn, "sales",
-             {Value::Int64(4), Value::String("eu"), Value::Double(1000.0)});
-  db->Abort(txn);
+  Must(db->Insert(txn, "sales",
+                  {Value::Int64(4), Value::String("eu"),
+                   Value::Double(1000.0)}));
+  Must(db->Abort(txn));
   PrintView(db.get(), "after a rolled-back insert of eu +1000:");
 
   // 6. Updates propagate deltas; moving a row between groups decrements one
   //    aggregate row and increments another.
   txn = db->Begin();
-  db->Update(txn, "sales",
-             {Value::Int64(3), Value::String("eu"), Value::Double(8.0)});
-  db->Commit(txn);
+  Must(db->Update(txn, "sales",
+                  {Value::Int64(3), Value::String("eu"), Value::Double(8.0)}));
+  Must(db->Commit(txn));
   PrintView(db.get(), "after moving sale 3 from us to eu:");
 
   // 7. The 'us' group is now a ghost (count 0): invisible to queries, and
   //    reclaimed asynchronously.
   uint64_t reclaimed = 0;
-  db->CleanGhosts(&reclaimed);
+  Must(db->CleanGhosts(&reclaimed));
   std::printf("ghost rows reclaimed: %llu\n",
               static_cast<unsigned long long>(reclaimed));
 

@@ -1,6 +1,6 @@
 #include "catalog/catalog.h"
 
-#include "common/lock_order.h"
+#include "common/mutex.h"
 
 namespace ivdb {
 
@@ -16,8 +16,7 @@ Result<const TableInfo*> Catalog::CreateTable(const std::string& name,
       return Status::InvalidArgument("key column index out of range");
     }
   }
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   if (by_name_.count(name) != 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -33,8 +32,7 @@ Result<const TableInfo*> Catalog::CreateTable(const std::string& name,
 }
 
 Result<const TableInfo*> Catalog::GetTable(const std::string& name) const {
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("table '" + name + "' not found");
@@ -43,8 +41,7 @@ Result<const TableInfo*> Catalog::GetTable(const std::string& name) const {
 }
 
 Result<const TableInfo*> Catalog::GetTable(ObjectId id) const {
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   auto it = tables_.find(id);
   if (it == tables_.end()) {
     return Status::NotFound("table id " + std::to_string(id) + " not found");
@@ -53,8 +50,7 @@ Result<const TableInfo*> Catalog::GetTable(ObjectId id) const {
 }
 
 std::vector<const TableInfo*> Catalog::ListTables() const {
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   std::vector<const TableInfo*> out;
   out.reserve(tables_.size());
   for (const auto& [id, info] : tables_) {
@@ -64,14 +60,12 @@ std::vector<const TableInfo*> Catalog::ListTables() const {
 }
 
 ObjectId Catalog::AllocateId() {
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   return next_id_++;
 }
 
 Status Catalog::RestoreTable(TableInfo info) {
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   if (by_name_.count(info.name) != 0 || tables_.count(info.id) != 0) {
     return Status::AlreadyExists("restore collision for '" + info.name + "'");
   }
@@ -83,8 +77,7 @@ Status Catalog::RestoreTable(TableInfo info) {
 }
 
 void Catalog::AdvancePastId(ObjectId id) {
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   if (next_id_ <= id) next_id_ = id + 1;
 }
 
@@ -94,8 +87,7 @@ Result<const SecondaryIndexInfo*> Catalog::CreateSecondaryIndex(
   if (columns.empty()) {
     return Status::InvalidArgument("index requires at least one column");
   }
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   auto table_it = tables_.find(table_id);
   if (table_it == tables_.end()) {
     return Status::NotFound("index target table not found");
@@ -121,8 +113,7 @@ Result<const SecondaryIndexInfo*> Catalog::CreateSecondaryIndex(
 }
 
 Status Catalog::RestoreSecondaryIndex(SecondaryIndexInfo info) {
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   if (indexes_by_name_.count(info.name) != 0 ||
       indexes_.count(info.id) != 0) {
     return Status::AlreadyExists("index restore collision");
@@ -136,8 +127,7 @@ Status Catalog::RestoreSecondaryIndex(SecondaryIndexInfo info) {
 
 Result<const SecondaryIndexInfo*> Catalog::GetSecondaryIndex(
     const std::string& name) const {
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   auto it = indexes_by_name_.find(name);
   if (it == indexes_by_name_.end()) {
     return Status::NotFound("index '" + name + "' not found");
@@ -147,8 +137,7 @@ Result<const SecondaryIndexInfo*> Catalog::GetSecondaryIndex(
 
 std::vector<const SecondaryIndexInfo*> Catalog::ListSecondaryIndexes(
     ObjectId table_id) const {
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   std::vector<const SecondaryIndexInfo*> out;
   for (const auto& [id, info] : indexes_) {
     if (info->table_id == table_id) out.push_back(info.get());
@@ -158,8 +147,7 @@ std::vector<const SecondaryIndexInfo*> Catalog::ListSecondaryIndexes(
 
 std::vector<const SecondaryIndexInfo*> Catalog::ListAllSecondaryIndexes()
     const {
-  IVDB_LOCK_ORDER(LockRank::kCatalog);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&catalog_mu_);
   std::vector<const SecondaryIndexInfo*> out;
   out.reserve(indexes_.size());
   for (const auto& [id, info] : indexes_) {

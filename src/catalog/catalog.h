@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/schema.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace ivdb {
 
@@ -86,12 +87,15 @@ class Catalog {
   std::vector<const SecondaryIndexInfo*> ListAllSecondaryIndexes() const;
 
  private:
-  mutable std::mutex mu_;
-  ObjectId next_id_ = 1;
-  std::map<std::string, ObjectId> by_name_;
-  std::map<ObjectId, std::unique_ptr<TableInfo>> tables_;
-  std::map<std::string, ObjectId> indexes_by_name_;
-  std::map<ObjectId, std::unique_ptr<SecondaryIndexInfo>> indexes_;
+  mutable RankedMutex catalog_mu_{LockRank::kCatalog, "catalog_mu_"};
+  ObjectId next_id_ IVDB_GUARDED_BY(catalog_mu_) = 1;
+  std::map<std::string, ObjectId> by_name_ IVDB_GUARDED_BY(catalog_mu_);
+  std::map<ObjectId, std::unique_ptr<TableInfo>> tables_
+      IVDB_GUARDED_BY(catalog_mu_);
+  std::map<std::string, ObjectId> indexes_by_name_
+      IVDB_GUARDED_BY(catalog_mu_);
+  std::map<ObjectId, std::unique_ptr<SecondaryIndexInfo>> indexes_
+      IVDB_GUARDED_BY(catalog_mu_);
 };
 
 }  // namespace ivdb

@@ -111,7 +111,7 @@ Status Env::WriteStringToFileAtomic(const std::string& path,
     // Never strand the temp file on a failure path. (A hard crash still
     // can, which is why recovery sweeps leftover *.tmp files.) The removal
     // is best-effort: the original error is the one worth reporting.
-    RemoveFileIfExists(tmp);
+    (void)RemoveFileIfExists(tmp);
   }
   return s;
 }
@@ -304,7 +304,9 @@ void FaultInjectionEnv::FreezeLocked() {
     if (state.written > state.synced) {
       keep += rng_.Uniform(state.written - state.synced + 1);
     }
-    base_->TruncateFile(path, keep);
+    // Best-effort by construction: this IS the simulated power loss, so
+    // there is no caller to surface a truncation error to.
+    (void)base_->TruncateFile(path, keep);
     state.written = keep;
     state.synced = keep;
   }
@@ -313,7 +315,7 @@ void FaultInjectionEnv::FreezeLocked() {
 Status FaultInjectionEnv::FileAppend(const std::string& path,
                                      WritableFile* base,
                                      const std::string& data) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("append"));
   if (appends_to_fail_ > 0) {
     appends_to_fail_--;
@@ -327,21 +329,21 @@ Status FaultInjectionEnv::FileAppend(const std::string& path,
 }
 
 void FaultInjectionEnv::SetSyncObserver(std::function<void()> observer) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   sync_observer_ = std::move(observer);
 }
 
 Status FaultInjectionEnv::FileSync(const std::string& path,
-                                   WritableFile* base) {
+                                   WritableFile* /*base*/) {
   std::function<void()> observer;
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(&env_mu_);
     observer = sync_observer_;
   }
   // Outside mu_: the observer may call back into the env's setters (e.g. to
   // clear itself) or drive engine work on another thread.
   if (observer) observer();
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("sync"));
   FileState& state = files_[path];
   int64_t sync_index = syncs_seen_++;
@@ -350,7 +352,9 @@ Status FaultInjectionEnv::FileSync(const std::string& path,
     // Adversarial failed-fsync outcome: the unsynced bytes never reached
     // the device. Drop them now so the file reads back without them (the
     // real fd is in O_APPEND mode, so later appends still land at EOF).
-    base_->TruncateFile(path, state.synced);
+    // The injected IOError below is the outcome under test; the drop of
+    // unsynced bytes is the fault model itself, not a failable operation.
+    (void)base_->TruncateFile(path, state.synced);
     state.written = state.synced;
     return Status::IOError("injected fsync failure");
   }
@@ -362,7 +366,7 @@ Status FaultInjectionEnv::FileSync(const std::string& path,
 
 Status FaultInjectionEnv::FileTruncate(const std::string& path,
                                        WritableFile* base, uint64_t size) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("truncate"));
   IVDB_RETURN_NOT_OK(base->Truncate(size));
   FileState& state = files_[path];
@@ -373,7 +377,7 @@ Status FaultInjectionEnv::FileTruncate(const std::string& path,
 
 Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path, bool truncate_existing) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("create"));
   std::unique_ptr<WritableFile> base;
   IVDB_ASSIGN_OR_RETURN(base, base_->NewWritableFile(path, truncate_existing));
@@ -393,7 +397,7 @@ Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
 Status FaultInjectionEnv::ReadFileToString(const std::string& path,
                                            std::string* out) {
   {
-    std::lock_guard<std::mutex> guard(mu_);
+    MutexLock guard(&env_mu_);
     if (reads_to_fail_ > 0) {
       reads_to_fail_--;
       return Status::IOError("injected transient read failure");
@@ -403,7 +407,7 @@ Status FaultInjectionEnv::ReadFileToString(const std::string& path,
 }
 
 Status FaultInjectionEnv::RemoveFileIfExists(const std::string& path) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("remove"));
   IVDB_RETURN_NOT_OK(base_->RemoveFileIfExists(path));
   files_.erase(path);
@@ -415,14 +419,14 @@ bool FaultInjectionEnv::FileExists(const std::string& path) {
 }
 
 Status FaultInjectionEnv::EnsureDirectory(const std::string& path) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("mkdir"));
   return base_->EnsureDirectory(path);
 }
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("rename"));
   IVDB_RETURN_NOT_OK(base_->RenameFile(from, to));
   auto it = files_.find(from);
@@ -433,8 +437,8 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
   return Status::OK();
 }
 
-Status FaultInjectionEnv::SyncDirectory(const std::string& path) {
-  std::lock_guard<std::mutex> guard(mu_);
+Status FaultInjectionEnv::SyncDirectory(const std::string& /*path*/) {
+  MutexLock guard(&env_mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("syncdir"));
   // Watermark-only, like file syncs: directory mutations (create/rename)
   // are modelled as immediately durable, so there is nothing to advance.
@@ -448,7 +452,7 @@ Result<std::vector<std::string>> FaultInjectionEnv::ListDirectory(
 
 Status FaultInjectionEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   IVDB_RETURN_NOT_OK(BeforeMutationLocked("truncate"));
   IVDB_RETURN_NOT_OK(base_->TruncateFile(path, size));
   auto it = files_.find(path);
@@ -464,42 +468,42 @@ Result<uint64_t> FaultInjectionEnv::GetFileSize(const std::string& path) {
 }
 
 void FaultInjectionEnv::CrashAtOp(int64_t op_index) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   crash_at_ = op_index;
 }
 
 void FaultInjectionEnv::FailNextSyncs(int count) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   syncs_to_fail_ = count;
 }
 
 void FaultInjectionEnv::FailNextAppends(int count) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   appends_to_fail_ = count;
 }
 
 void FaultInjectionEnv::FailNextReads(int count) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   reads_to_fail_ = count;
 }
 
 void FaultInjectionEnv::FailSyncAt(int64_t sync_index) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   fail_sync_at_ = sync_index < 0 ? -1 : syncs_seen_ + sync_index;
 }
 
 int64_t FaultInjectionEnv::ops_issued() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   return ops_;
 }
 
 int64_t FaultInjectionEnv::syncs_seen() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   return syncs_seen_;
 }
 
 bool FaultInjectionEnv::crashed() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&env_mu_);
   return crashed_;
 }
 

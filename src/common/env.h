@@ -5,12 +5,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace ivdb {
 
@@ -177,24 +178,24 @@ class FaultInjectionEnv : public Env {
   };
 
   // Counts one mutating op; triggers the scheduled crash. Returns non-OK
-  // when the env is (or just became) crashed. Caller holds mu_.
-  Status BeforeMutationLocked(const char* what);
-  // Freezes every tracked file at its power-loss byte state. Holds mu_.
-  void FreezeLocked();
+  // when the env is (or just became) crashed.
+  Status BeforeMutationLocked(const char* what) IVDB_REQUIRES(env_mu_);
+  // Freezes every tracked file at its power-loss byte state.
+  void FreezeLocked() IVDB_REQUIRES(env_mu_);
 
   Env* base_;
-  mutable std::mutex mu_;
-  Random rng_;
-  int64_t ops_ = 0;
-  int64_t crash_at_ = -1;
-  int syncs_to_fail_ = 0;
-  int appends_to_fail_ = 0;
-  int reads_to_fail_ = 0;
-  int64_t syncs_seen_ = 0;
-  int64_t fail_sync_at_ = -1;
-  bool crashed_ = false;
-  std::function<void()> sync_observer_;
-  std::map<std::string, FileState> files_;
+  mutable RankedMutex env_mu_{LockRank::kFaultEnv, "env_mu_"};
+  Random rng_ IVDB_GUARDED_BY(env_mu_);
+  int64_t ops_ IVDB_GUARDED_BY(env_mu_) = 0;
+  int64_t crash_at_ IVDB_GUARDED_BY(env_mu_) = -1;
+  int syncs_to_fail_ IVDB_GUARDED_BY(env_mu_) = 0;
+  int appends_to_fail_ IVDB_GUARDED_BY(env_mu_) = 0;
+  int reads_to_fail_ IVDB_GUARDED_BY(env_mu_) = 0;
+  int64_t syncs_seen_ IVDB_GUARDED_BY(env_mu_) = 0;
+  int64_t fail_sync_at_ IVDB_GUARDED_BY(env_mu_) = -1;
+  bool crashed_ IVDB_GUARDED_BY(env_mu_) = false;
+  std::function<void()> sync_observer_ IVDB_GUARDED_BY(env_mu_);
+  std::map<std::string, FileState> files_ IVDB_GUARDED_BY(env_mu_);
 };
 
 }  // namespace ivdb

@@ -10,8 +10,8 @@ namespace ivdb {
 namespace {
 
 constexpr int kMaxHeld = 16;
-// Ranks are multiples of 10 in [10, 70]; index = rank / 10.
-constexpr int kMaxRankIndex = 8;
+// Ranks index the edge/name tables directly; the enum tops out at 90.
+constexpr int kMaxRank = 100;
 
 struct HeldLock {
   LockRank rank;
@@ -24,13 +24,13 @@ thread_local int t_depth = 0;
 // Global (cross-thread) record of every acquisition-order edge ever
 // observed: edge[a][b] is set when some thread acquired rank b while
 // holding rank a. Used only to print the cycle in the violation report.
-std::atomic<bool> g_edges[kMaxRankIndex + 1][kMaxRankIndex + 1];
-// First name seen for each rank index, for readable reports.
-std::atomic<const char*> g_rank_names[kMaxRankIndex + 1];
+std::atomic<bool> g_edges[kMaxRank + 1][kMaxRank + 1];
+// First name seen for each rank, for readable reports.
+std::atomic<const char*> g_rank_names[kMaxRank + 1];
 
 int RankIndex(LockRank rank) {
-  int idx = static_cast<int>(rank) / 10;
-  return (idx >= 0 && idx <= kMaxRankIndex) ? idx : 0;
+  int idx = static_cast<int>(rank);
+  return (idx >= 0 && idx <= kMaxRank) ? idx : 0;
 }
 
 const char* RankName(int idx) {
@@ -65,16 +65,11 @@ const char* RankName(int idx) {
   std::abort();
 }
 
-}  // namespace
-
-void LockOrderAcquire(LockRank rank, const char* name) {
+void RecordHeld(LockRank rank, const char* name) {
   int idx = RankIndex(rank);
   const char* expected = nullptr;
   g_rank_names[idx].compare_exchange_strong(expected, name,
                                             std::memory_order_relaxed);
-  for (int i = 0; i < t_depth; i++) {
-    if (t_held[i].rank >= rank) ReportViolation(rank, name, t_held[i]);
-  }
   if (t_depth > 0) {
     g_edges[RankIndex(t_held[t_depth - 1].rank)][idx].store(
         true, std::memory_order_relaxed);
@@ -83,6 +78,22 @@ void LockOrderAcquire(LockRank rank, const char* name) {
     t_held[t_depth] = HeldLock{rank, name};
   }
   t_depth++;
+}
+
+}  // namespace
+
+void LockOrderAcquire(LockRank rank, const char* name) {
+  for (int i = 0; i < t_depth; i++) {
+    if (t_held[i].rank >= rank) ReportViolation(rank, name, t_held[i]);
+  }
+  RecordHeld(rank, name);
+}
+
+void LockOrderAcquireTry(LockRank rank, const char* name) {
+  // No order check: a successful non-blocking probe cannot close a wait
+  // cycle. The rank still goes on the stack so everything acquired while
+  // the probe's lock is held is ordered against it.
+  RecordHeld(rank, name);
 }
 
 void LockOrderRelease(LockRank rank) {

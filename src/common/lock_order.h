@@ -3,53 +3,80 @@
 
 #include "common/invariant.h"
 
-// Runtime lock-acquisition-order checker.
+// Runtime lock-acquisition-order checker — layer 3 of the concurrency
+// discipline (see docs/INTERNALS.md §8; layers 1 and 2 are the Clang
+// thread-safety annotations in common/thread_annotations.h and the static
+// rank graph built by tools/ivdb_lint).
 //
 // Every long-lived mutex in the engine has a rank; a thread may only acquire
 // a mutex whose rank is strictly greater than every rank it already holds.
 // The total order below is the one the commit path actually uses:
 //
-//   Database::checkpoint_mu_    (2)    checkpoint serialization (outermost)
+//   Database::ckpt_thread_mu_   (1)    checkpoint-thread parking (outermost)
+//   Database::checkpoint_mu_    (2)    checkpoint serialization
+//   TxnManager::watchdog_mu_    (3)    watchdog parking / stop flag
 //   Transaction::owner_mu_      (5)    per-txn owner latch
+//   Database::indexes_mu_       (6)    object-id -> BTree map (shared)
+//   Database::views_mu_         (7)    view registry (shared)
 //   TxnManager::active_mu_      (10)   Begin / FinishTxn / quiesce gate
 //   TxnManager::visibility_mu_  (20)   commit-ts draw + version flip
-//   LockManager::mu_            (30)   the lock table
-//   VersionStore::mu_           (40)   version chains (+ atomic note+apply)
+//   LockManager::table_mu_      (30)   the lock table
+//   VersionStore::store_mu_     (40)   version chains (+ atomic note+apply)
+//   BTree::latch_               (45)   per-tree structural latch
 //   LogManager::flush_mu_       (50)   group-commit leader election
 //   LogManager::seg_mu_         (55)   WAL segment manifest (rotation/retire)
-//   LogManager::buf_mu_         (60)   WAL append buffer (innermost)
-//   Catalog::mu_                (70)   leaf: never held across calls out
+//   LogManager::buf_mu_         (60)   WAL append buffer
+//   Catalog::catalog_mu_        (70)   name/schema maps: never calls out
+//   MetricsRegistry::registry_mu_ (80) instrument interning (leaf)
+//   TraceRecorder::ring_mu_     (85)   trace ring (EmitTrace under WAL locks)
+//   FaultInjectionEnv::env_mu_  (90)   fault schedule (env ops under seg_mu_)
 //
 // e.g. Commit holds visibility_mu_ (20) while appending the COMMIT record
 // (60) and flipping versions (40); ApplyIncrement holds the version-store
 // mutex (40) while appending the INCREMENT record (60); the group-commit
-// leader holds flush_mu_ (50) while swapping the buffer (60).
+// leader holds flush_mu_ (50) while swapping the buffer (60); snapshot reads
+// hold store_mu_ (40) while probing the physical tree (45).
 //
-// Each locking site declares itself with IVDB_LOCK_ORDER(rank) immediately
-// before taking the mutex. The tracker keeps a per-thread stack of held
-// ranks; an out-of-order acquisition prints the thread's held-lock stack
-// plus the ordering cycle it would create, then aborts. Everything compiles
-// to nothing when the checkers are off (NDEBUG without IVDB_ENABLE_CHECKS),
-// so release builds carry zero overhead.
+// Ranked mutexes (common/mutex.h) feed the tracker from their own
+// Lock/Unlock paths, so a locking site needs no separate declaration. The
+// tracker keeps a per-thread stack of held ranks; an out-of-order
+// acquisition prints the thread's held-lock stack plus the ordering cycle
+// it would create, then aborts. Everything compiles to nothing when the
+// checkers are off (NDEBUG without IVDB_ENABLE_CHECKS), so release builds
+// carry zero overhead.
 //
 // Condition-variable waits release and reacquire the mutex inside one
 // guard scope; the tracker intentionally keeps the rank on the stack for
 // the whole scope (conservative: the wait itself never acquires further
 // locks on this thread).
+//
+// TryLock is exempt from the order check (a non-blocking probe cannot
+// participate in a deadlock cycle); a successful try-acquire is still
+// pushed on the held stack so locks taken while it is held are ordered
+// against it. The watchdog relies on this: it try-probes owner_mu_ (5)
+// while holding active_mu_ (10).
 
 namespace ivdb {
 
 enum class LockRank : int {
+  kCkptThread = 1,
   kCheckpointSerial = 2,
+  kTxnWatchdog = 3,
   kTxnOwner = 5,
+  kEngineIndexes = 6,
+  kEngineViews = 7,
   kTxnActive = 10,
   kTxnVisibility = 20,
   kLockManager = 30,
   kVersionStore = 40,
+  kBtreeLatch = 45,
   kWalFlush = 50,
   kWalSegments = 55,
   kWalBuffer = 60,
   kCatalog = 70,
+  kMetricsRegistry = 80,
+  kTraceRing = 85,
+  kFaultEnv = 90,
 };
 
 #if IVDB_CHECKS_ENABLED
@@ -58,7 +85,12 @@ enum class LockRank : int {
 // Aborts with a report if a held rank is >= `rank`.
 void LockOrderAcquire(LockRank rank, const char* name);
 
-// Records release. Tolerates non-LIFO release (unique_lock::unlock()).
+// Records a *successful* try-acquire: pushes the rank with no order check.
+// Only RankedMutex::TryLock may call this — a blocking acquisition that
+// skipped the check would defeat the tracker.
+void LockOrderAcquireTry(LockRank rank, const char* name);
+
+// Records release. Tolerates non-LIFO release (UniqueMutexLock::Unlock()).
 void LockOrderRelease(LockRank rank);
 
 // Number of ranks the calling thread currently holds (tests).
@@ -78,17 +110,10 @@ class LockOrderScope {
   LockRank rank_;
 };
 
-#define IVDB_LOCK_ORDER_CAT2(a, b) a##b
-#define IVDB_LOCK_ORDER_CAT(a, b) IVDB_LOCK_ORDER_CAT2(a, b)
-// Declare immediately BEFORE constructing the guard for the ranked mutex;
-// the scope must enclose the guard so release tracking matches.
-#define IVDB_LOCK_ORDER(rank)                                        \
-  ::ivdb::LockOrderScope IVDB_LOCK_ORDER_CAT(ivdb_lock_order_scope_, \
-                                             __LINE__)((rank), #rank)
-
 #else
 
 inline void LockOrderAcquire(LockRank, const char*) {}
+inline void LockOrderAcquireTry(LockRank, const char*) {}
 inline void LockOrderRelease(LockRank) {}
 inline int LockOrderDepth() { return 0; }
 
@@ -99,8 +124,6 @@ class LockOrderScope {
   LockOrderScope(const LockOrderScope&) = delete;
   LockOrderScope& operator=(const LockOrderScope&) = delete;
 };
-
-#define IVDB_LOCK_ORDER(rank) ((void)0)
 
 #endif  // IVDB_CHECKS_ENABLED
 

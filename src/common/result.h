@@ -10,9 +10,10 @@
 namespace ivdb {
 
 // Status-or-value, in the style of arrow::Result. A Result either holds a
-// value of type T (status is OK) or a non-OK Status.
+// value of type T (status is OK) or a non-OK Status. [[nodiscard]] for the
+// same reason as Status: an ignored Result is an ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : value_(std::move(value)) {}   // NOLINT(runtime/explicit)

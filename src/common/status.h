@@ -7,8 +7,10 @@
 namespace ivdb {
 
 // Error-code-based result type used throughout the engine (no exceptions),
-// in the style of RocksDB/Arrow Status.
-class Status {
+// in the style of RocksDB/Arrow Status. [[nodiscard]]: silently dropping a
+// Status is how I/O and corruption errors get lost; callers must check it or
+// explicitly (void)-cast at the few sites where failure is genuinely moot.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,

@@ -1,0 +1,104 @@
+#ifndef IVDB_COMMON_THREAD_ANNOTATIONS_H_
+#define IVDB_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety annotations, compiled away on every other compiler.
+//
+// These macros are the first layer of the engine's three-layer concurrency
+// discipline (see docs/INTERNALS.md §8):
+//
+//   1. annotations (this header)  — Clang proves at compile time that every
+//      access to a GUARDED_BY field happens under its mutex and that every
+//      REQUIRES function is called with the capability held;
+//   2. static rank graph          — tools/ivdb_lint builds the whole-program
+//      acquires-while-holding graph from these annotations plus the
+//      RankedMutex declarations and cross-checks it against the LockRank
+//      hierarchy in common/lock_order.h;
+//   3. runtime tracker            — common/lock_order.cc keeps a per-thread
+//      held-rank stack in checked builds and aborts on the first
+//      out-of-order acquisition a test actually executes.
+//
+// Usage: annotate the *declaration*, never the definition-only cc file.
+//
+//   class Cache {
+//     void EvictLocked() IVDB_REQUIRES(cache_mu_);
+//     RankedMutex cache_mu_{LockRank::kCatalog, "cache_mu_"};
+//     std::map<Key, Entry> entries_ IVDB_GUARDED_BY(cache_mu_);
+//   };
+//
+// The build stays warning-free under GCC because every macro expands to
+// nothing there; the clang-tsa CMake preset turns the analysis into a hard
+// error with -Werror=thread-safety.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define IVDB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IVDB_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Type declarations ---------------------------------------------------------
+
+// Marks a type as a capability (lockable). RankedMutex and
+// RankedSharedMutex carry this.
+#define IVDB_CAPABILITY(name) IVDB_THREAD_ANNOTATION(capability(name))
+
+// Marks an RAII type whose constructor acquires and destructor releases a
+// capability (MutexLock and friends).
+#define IVDB_SCOPED_CAPABILITY IVDB_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members --------------------------------------------------------------
+
+// The member may only be read or written while holding `x`.
+#define IVDB_GUARDED_BY(x) IVDB_THREAD_ANNOTATION(guarded_by(x))
+
+// The *pointee* of a pointer member may only be touched while holding `x`.
+#define IVDB_PT_GUARDED_BY(x) IVDB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions -----------------------------------------------------------------
+
+// Caller must hold the capability (exclusively / shared) on entry and still
+// holds it on exit. This is the annotation for `*Locked()` helpers.
+#define IVDB_REQUIRES(...) \
+  IVDB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IVDB_REQUIRES_SHARED(...) \
+  IVDB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability and does not release it before
+// returning (e.g. RankedMutex::lock, a scoped guard's constructor).
+#define IVDB_ACQUIRE(...) IVDB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IVDB_ACQUIRE_SHARED(...) \
+  IVDB_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases a capability the caller held on entry.
+#define IVDB_RELEASE(...) IVDB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IVDB_RELEASE_SHARED(...) \
+  IVDB_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define IVDB_RELEASE_GENERIC(...) \
+  IVDB_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+// The function attempts the acquisition; the first argument is the return
+// value that means success.
+#define IVDB_TRY_ACQUIRE(...) \
+  IVDB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define IVDB_TRY_ACQUIRE_SHARED(...) \
+  IVDB_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (deadlock-by-self documentation; the
+// analysis enforces it where it can see the call).
+#define IVDB_EXCLUDES(...) IVDB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (teaches the analysis about
+// externally-guaranteed locking it cannot see).
+#define IVDB_ASSERT_CAPABILITY(x) \
+  IVDB_THREAD_ANNOTATION(assert_capability(x))
+
+// The function returns a reference to the named capability (accessors like
+// Transaction::owner_mu()).
+#define IVDB_RETURN_CAPABILITY(x) IVDB_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for code whose locking is deliberately invisible to the
+// analysis (try-probe patterns, tests that exercise misuse). Use sparingly
+// and always with a comment saying why.
+#define IVDB_NO_THREAD_SAFETY_ANALYSIS \
+  IVDB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // IVDB_COMMON_THREAD_ANNOTATIONS_H_

@@ -45,15 +45,13 @@ LockManager::Options MakeLockOptions(const DatabaseOptions& options,
 // has genuinely gone idle. Rank 5, outermost; see lock_order.h.
 class OwnerGuard {
  public:
-  explicit OwnerGuard(Transaction* txn)
-      : order_(LockRank::kTxnOwner, "kTxnOwner"), guard_(txn->owner_mu()) {}
+  explicit OwnerGuard(Transaction* txn) : guard_(&txn->owner_mu()) {}
 
   OwnerGuard(const OwnerGuard&) = delete;
   OwnerGuard& operator=(const OwnerGuard&) = delete;
 
  private:
-  LockOrderScope order_;
-  std::lock_guard<std::mutex> guard_;
+  MutexLock guard_;
 };
 
 // Entry-point gate, checked under the owner latch: a transaction the
@@ -119,13 +117,13 @@ Database::~Database() {
   // Whatever the WAL says is what a reopened database will reconstruct.
   if (ckpt_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> guard(ckpt_thread_mu_);
+      MutexLock guard(&ckpt_thread_mu_);
       ckpt_stop_ = true;
     }
-    ckpt_thread_cv_.notify_all();
+    ckpt_thread_cv_.NotifyAll();
     ckpt_thread_.join();
   }
-  std::shared_lock<std::shared_mutex> views_guard(views_mu_);
+  ReaderMutexLock views_guard(&views_mu_);
   for (auto& [name, entry] : views_) {
     if (entry->cleaner != nullptr) entry->cleaner->Stop();
   }
@@ -152,14 +150,14 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
 // ---------------------------------------------------------------------------
 
 BTree* Database::CreateIndex(ObjectId id) {
-  std::unique_lock<std::shared_mutex> guard(indexes_mu_);
+  WriterMutexLock guard(&indexes_mu_);
   auto& slot = indexes_[id];
   if (slot == nullptr) slot = std::make_unique<BTree>();
   return slot.get();
 }
 
 BTree* Database::GetIndex(ObjectId id) {
-  std::shared_lock<std::shared_mutex> guard(indexes_mu_);
+  ReaderMutexLock guard(&indexes_mu_);
   auto it = indexes_.find(id);
   return it == indexes_.end() ? nullptr : it->second.get();
 }
@@ -202,7 +200,7 @@ Result<const TableInfo*> Database::CreateTable(const std::string& name,
                                                std::vector<int> key_columns) {
   IVDB_RETURN_NOT_OK(CheckWritable());
   {
-    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    ReaderMutexLock guard(&views_mu_);
     if (views_.count(name) != 0) {
       return Status::AlreadyExists("a view named '" + name + "' exists");
     }
@@ -267,7 +265,7 @@ Status Database::RegisterView(ObjectId id, ViewDefinition def, bool populate) {
   std::string view_name = def.name;
   ViewEntry* raw = entry.get();
   {
-    std::unique_lock<std::shared_mutex> guard(views_mu_);
+    WriterMutexLock guard(&views_mu_);
     if (views_.count(view_name) != 0) {
       return Status::AlreadyExists("view '" + view_name + "' exists");
     }
@@ -281,7 +279,7 @@ Status Database::RegisterView(ObjectId id, ViewDefinition def, bool populate) {
     std::map<std::string, Row> contents;
     Status s = raw->maintainer->Recompute(&contents);
     if (!s.ok()) {
-      std::unique_lock<std::shared_mutex> guard(views_mu_);
+      WriterMutexLock guard(&views_mu_);
       views_.erase(view_name);
       return s;
     }
@@ -313,7 +311,7 @@ Result<const ViewInfo*> Database::CreateIndexedView(ViewDefinition def) {
   if (!options_.dir.empty()) {
     IVDB_RETURN_NOT_OK(Checkpoint());
   }
-  std::shared_lock<std::shared_mutex> guard(views_mu_);
+  ReaderMutexLock guard(&views_mu_);
   // Name lookup again: RegisterView moved `def`.
   for (const auto& [name, entry] : views_) {
     if (entry->info.id == id) return const_cast<const ViewInfo*>(&entry->info);
@@ -322,7 +320,7 @@ Result<const ViewInfo*> Database::CreateIndexedView(ViewDefinition def) {
 }
 
 Result<const ViewInfo*> Database::GetView(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> guard(views_mu_);
+  ReaderMutexLock guard(&views_mu_);
   auto it = views_.find(name);
   if (it == views_.end()) {
     return Status::NotFound("view '" + name + "' not found");
@@ -331,7 +329,7 @@ Result<const ViewInfo*> Database::GetView(const std::string& name) const {
 }
 
 std::vector<const ViewInfo*> Database::ListViews() const {
-  std::shared_lock<std::shared_mutex> guard(views_mu_);
+  ReaderMutexLock guard(&views_mu_);
   std::vector<const ViewInfo*> out;
   out.reserve(views_.size());
   for (const auto& [name, entry] : views_) {
@@ -402,7 +400,8 @@ Status Database::RunTransaction(const RunTransactionOptions& options,
         obs::EmitTrace(obs::TraceEventType::kTxnRetry,
                        static_cast<uint64_t>(attempt), backoff);
       }
-      if (txn->state() == TxnState::kActive) Abort(txn);
+      // Cleanup between attempts; `status` is the error the loop reacts to.
+      if (txn->state() == TxnState::kActive) (void)Abort(txn);
       Forget(txn);
     }
     if (!retrying) {
@@ -429,7 +428,7 @@ Status Database::Commit(Transaction* txn) {
     // transaction — partial maintenance must not commit.
     std::vector<std::pair<ViewMaintainer*, std::vector<DeferredChange>>> work;
     {
-      std::shared_lock<std::shared_mutex> guard(views_mu_);
+      ReaderMutexLock guard(&views_mu_);
       for (const auto& [name, entry] : views_) {
         std::vector<DeferredChange> batch;
         for (const DeferredChange& change : txn->deferred_changes()) {
@@ -446,8 +445,9 @@ Status Database::Commit(Transaction* txn) {
       Status s = maintainer->ApplyBatch(txn, batch);
       if (!s.ok()) {
         // Direct TxnManager call: the owner latch is already held and is
-        // not recursive.
-        txns_->Abort(txn);
+        // not recursive. The maintenance failure `s` is what dooms the
+        // transaction; the abort is its cleanup.
+        (void)txns_->Abort(txn);
         return s;
       }
     }
@@ -464,8 +464,9 @@ Status Database::Commit(Transaction* txn) {
     // failed fsync does not prove the COMMIT record missed the disk —
     // restart recovery may still find it durable and replay the
     // transaction as committed (docs/ROBUSTNESS.md §2, "the failed-fsync
-    // ambiguity"); the rollback here governs this process's state only.
-    txns_->Abort(txn);
+    // ambiguity"); the rollback here governs this process's state only,
+    // and the caller must see the original commit error, not the abort's.
+    (void)txns_->Abort(txn);
   }
   return s;
 }
@@ -508,7 +509,7 @@ Result<const SecondaryIndexInfo*> Database::CreateSecondaryIndex(
   IVDB_RETURN_NOT_OK(CheckWritable());
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   {
-    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    ReaderMutexLock guard(&views_mu_);
     if (views_.count(index_name) != 0) {
       return Status::AlreadyExists("a view named '" + index_name +
                                    "' exists");
@@ -530,14 +531,18 @@ Result<const SecondaryIndexInfo*> Database::CreateSecondaryIndex(
                                     std::move(column_indexes)));
   BTree* tree = CreateIndex(index->id);
 
-  // Backfill under a quiescent section, mirroring view population.
+  // Backfill under a quiescent section, mirroring view population. Copy the
+  // base rows out first: a Scan callback runs under the base tree's shared
+  // latch, and putting into the index tree from inside it would nest two
+  // same-rank latches (the one shape the lock-rank order cannot admit).
   txns_->BeginQuiesce();
   BTree* base = GetIndex(info->id);
+  auto base_rows = base->ScanRange("", nullptr);
   Status status;
-  base->Scan("", nullptr, [&](const Slice&, const Slice& value) {
+  for (const auto& [base_key, value] : base_rows) {
     Row row;
     status = DecodeRow(value, &row);
-    if (!status.ok()) return false;
+    if (!status.ok()) break;
     std::string entry_key =
         EncodeKey(row, index->columns) + EncodeKey(row, info->key_columns);
     Row pk_values;
@@ -545,8 +550,7 @@ Result<const SecondaryIndexInfo*> Database::CreateSecondaryIndex(
       pk_values.push_back(row[static_cast<size_t>(c)]);
     }
     tree->Put(entry_key, EncodeRow(pk_values));
-    return true;
-  });
+  }
   txns_->EndQuiesce();
   IVDB_RETURN_NOT_OK(status);
 
@@ -659,7 +663,7 @@ Status Database::MaintainViews(Transaction* txn, DeferredChange change) {
   }
   std::vector<ViewMaintainer*> maintainers;
   {
-    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    ReaderMutexLock guard(&views_mu_);
     for (const auto& [name, entry] : views_) {
       if (entry->info.definition.fact_table == change.table_id) {
         maintainers.push_back(entry->maintainer.get());
@@ -680,7 +684,7 @@ Status Database::Insert(Transaction* txn, const std::string& table,
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   IVDB_RETURN_NOT_OK(info->schema.ValidateRow(row));
   {
-    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    ReaderMutexLock guard(&views_mu_);
     if (dimension_tables_.count(info->id) != 0) {
       return Status::NotSupported(
           "DML on a dimension table referenced by an indexed view");
@@ -729,7 +733,7 @@ Status Database::Update(Transaction* txn, const std::string& table,
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   IVDB_RETURN_NOT_OK(info->schema.ValidateRow(row));
   {
-    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    ReaderMutexLock guard(&views_mu_);
     if (dimension_tables_.count(info->id) != 0) {
       return Status::NotSupported(
           "DML on a dimension table referenced by an indexed view");
@@ -778,7 +782,7 @@ Status Database::Delete(Transaction* txn, const std::string& table,
   IVDB_RETURN_NOT_OK(CheckStillActive(txn));
   IVDB_ASSIGN_OR_RETURN(const TableInfo* info, catalog_.GetTable(table));
   {
-    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    ReaderMutexLock guard(&views_mu_);
     if (dimension_tables_.count(info->id) != 0) {
       return Status::NotSupported(
           "DML on a dimension table referenced by an indexed view");
@@ -1219,8 +1223,7 @@ Status Database::BuildIndexImage(ObjectId object_id, uint64_t as_of_ts,
 Status Database::Checkpoint() {
   IVDB_RETURN_NOT_OK(CheckWritable());
   if (options_.dir.empty()) return Status::OK();
-  IVDB_LOCK_ORDER(LockRank::kCheckpointSerial);
-  std::lock_guard<std::mutex> serial(checkpoint_mu_);
+  MutexLock serial(&checkpoint_mu_);
   const uint64_t start_micros = clock_->NowMicros();
 
   // Seal the open segment first: every segment sealed before the capture
@@ -1256,7 +1259,7 @@ Status Database::Checkpoint() {
       image.tables.push_back(std::move(ti));
     }
     {
-      std::shared_lock<std::shared_mutex> guard(views_mu_);
+      ReaderMutexLock guard(&views_mu_);
       for (const auto& [name, entry] : views_) {
         SnapshotImage::ViewImage vi;
         vi.id = entry->info.id;
@@ -1273,7 +1276,7 @@ Status Database::Checkpoint() {
     // at capture_ts for the duration of the build.
     std::vector<ObjectId> object_ids;
     {
-      std::shared_lock<std::shared_mutex> guard(indexes_mu_);
+      ReaderMutexLock guard(&indexes_mu_);
       object_ids.reserve(indexes_.size());
       for (const auto& [id, tree] : indexes_) object_ids.push_back(id);
     }
@@ -1315,18 +1318,18 @@ Status Database::Checkpoint() {
 }
 
 void Database::CheckpointThreadLoop() {
-  std::unique_lock<std::mutex> lock(ckpt_thread_mu_);
+  UniqueMutexLock lock(&ckpt_thread_mu_);
   while (!ckpt_stop_) {
-    ckpt_thread_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    ckpt_thread_cv_.WaitFor(&lock, std::chrono::milliseconds(10));
     if (ckpt_stop_) break;
     const uint64_t appended = log_->appended_bytes();
     if (appended - ckpt_last_bytes_ < options_.checkpoint_wal_bytes) {
       continue;
     }
-    lock.unlock();
+    lock.Unlock();
     // Bytes appended while this checkpoint runs count toward the next one.
     Status s = Checkpoint();
-    lock.lock();
+    lock.Lock();
     if (s.ok()) ckpt_last_bytes_ = appended;
     // Degraded/unavailable: stay parked until the next wakeup; the gate in
     // Checkpoint() keeps this loop harmless once the engine is read-only.
@@ -1510,7 +1513,7 @@ Status Database::CleanGhosts(uint64_t* reclaimed_out) {
   uint64_t total = 0;
   std::vector<GhostCleaner*> cleaners;
   {
-    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    ReaderMutexLock guard(&views_mu_);
     for (const auto& [name, entry] : views_) {
       if (entry->cleaner != nullptr) cleaners.push_back(entry->cleaner.get());
     }
@@ -1531,7 +1534,7 @@ uint64_t Database::GarbageCollectVersions() {
 Status Database::VerifyViewConsistency(const std::string& view) const {
   const ViewEntry* entry = nullptr;
   {
-    std::shared_lock<std::shared_mutex> guard(views_mu_);
+    ReaderMutexLock guard(&views_mu_);
     auto it = views_.find(view);
     if (it == views_.end()) return Status::NotFound("view not found");
     entry = it->second.get();
@@ -1539,7 +1542,7 @@ Status Database::VerifyViewConsistency(const std::string& view) const {
   std::map<std::string, Row> expected;
   IVDB_RETURN_NOT_OK(entry->maintainer->Recompute(&expected));
 
-  std::shared_lock<std::shared_mutex> guard(indexes_mu_);
+  ReaderMutexLock guard(&indexes_mu_);
   auto it = indexes_.find(entry->info.id);
   if (it == indexes_.end()) return Status::Corruption("view index missing");
   std::map<std::string, Row> stored;
@@ -1600,14 +1603,14 @@ Status Database::VerifyViewConsistency(const std::string& view) const {
 
 const ViewMaintainerMetrics* Database::view_metrics(
     const std::string& view) const {
-  std::shared_lock<std::shared_mutex> guard(views_mu_);
+  ReaderMutexLock guard(&views_mu_);
   auto it = views_.find(view);
   return it == views_.end() ? nullptr : &it->second->maintainer->metrics();
 }
 
 const GhostCleanerMetrics* Database::ghost_metrics(
     const std::string& view) const {
-  std::shared_lock<std::shared_mutex> guard(views_mu_);
+  ReaderMutexLock guard(&views_mu_);
   auto it = views_.find(view);
   if (it == views_.end() || it->second->cleaner == nullptr) return nullptr;
   return &it->second->cleaner->metrics();

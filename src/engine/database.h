@@ -1,21 +1,20 @@
 #ifndef IVDB_ENGINE_DATABASE_H_
 #define IVDB_ENGINE_DATABASE_H_
 
-#include <condition_variable>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <memory>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "lock/lock_manager.h"
 #include "obs/metrics.h"
 #include "storage/btree.h"
@@ -416,17 +415,20 @@ class Database : public LogApplier, public IndexResolver {
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<TransactionManager> txns_;
 
-  mutable std::shared_mutex indexes_mu_;
-  std::map<ObjectId, std::unique_ptr<BTree>> indexes_;
+  mutable RankedSharedMutex indexes_mu_{LockRank::kEngineIndexes,
+                                        "indexes_mu_"};
+  std::map<ObjectId, std::unique_ptr<BTree>> indexes_
+      IVDB_GUARDED_BY(indexes_mu_);
 
-  mutable std::shared_mutex views_mu_;
-  std::map<std::string, std::unique_ptr<ViewEntry>> views_;
-  std::set<ObjectId> dimension_tables_;
+  mutable RankedSharedMutex views_mu_{LockRank::kEngineViews, "views_mu_"};
+  std::map<std::string, std::unique_ptr<ViewEntry>> views_
+      IVDB_GUARDED_BY(views_mu_);
+  std::set<ObjectId> dimension_tables_ IVDB_GUARDED_BY(views_mu_);
 
   // Serializes checkpoints (DDL, explicit calls, the background
   // checkpointer). Rank kCheckpointSerial: held across the whole fuzzy
   // checkpoint, below every other rank.
-  std::mutex checkpoint_mu_;
+  RankedMutex checkpoint_mu_{LockRank::kCheckpointSerial, "checkpoint_mu_"};
   // Checkpoint instruments (`ivdb_ckpt_*`).
   obs::Counter* ckpt_total_ = nullptr;
   obs::Histogram* ckpt_duration_ = nullptr;
@@ -437,9 +439,9 @@ class Database : public LogApplier, public IndexResolver {
   // Background checkpointer (only when dir set and checkpoint_wal_bytes >
   // 0): wakes periodically and checkpoints when enough WAL has accumulated.
   std::thread ckpt_thread_;
-  std::mutex ckpt_thread_mu_;
-  std::condition_variable ckpt_thread_cv_;
-  bool ckpt_stop_ = false;
+  RankedMutex ckpt_thread_mu_{LockRank::kCkptThread, "ckpt_thread_mu_"};
+  CondVar ckpt_thread_cv_;
+  bool ckpt_stop_ IVDB_GUARDED_BY(ckpt_thread_mu_) = false;
   uint64_t ckpt_last_bytes_ = 0;  // checkpointer-thread-only
 };
 

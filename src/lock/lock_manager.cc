@@ -46,14 +46,12 @@ std::string ResourceId::ToString() const {
 }
 
 Status LockManager::Lock(TxnId txn, const ResourceId& res, LockMode mode) {
-  IVDB_LOCK_ORDER(LockRank::kLockManager);
-  std::unique_lock<std::mutex> guard(mu_);
+  UniqueMutexLock guard(&table_mu_);
   return LockInternal(txn, res, mode, /*wait=*/true, &guard);
 }
 
 Status LockManager::TryLock(TxnId txn, const ResourceId& res, LockMode mode) {
-  IVDB_LOCK_ORDER(LockRank::kLockManager);
-  std::unique_lock<std::mutex> guard(mu_);
+  UniqueMutexLock guard(&table_mu_);
   return LockInternal(txn, res, mode, /*wait=*/false, &guard);
 }
 
@@ -88,7 +86,7 @@ bool LockManager::CanGrant(const LockQueue& queue,
 
 Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
                                  LockMode mode, bool wait,
-                                 std::unique_lock<std::mutex>* guard) {
+                                 UniqueMutexLock* guard) {
   metrics_.acquisitions->Add();
 
   // Coarse-lock coverage: a key request already implied by a held
@@ -193,7 +191,7 @@ Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
       std::chrono::steady_clock::now() + options_.wait_timeout;
   bool granted = false;
   while (true) {
-    if (queue->cv.wait_until(*guard, deadline) == std::cv_status::timeout) {
+    if (queue->cv.WaitUntil(guard, deadline) == std::cv_status::timeout) {
       // Re-check once under the lock: the grant may have raced the timeout.
       granted = it->granted;
       break;
@@ -234,7 +232,7 @@ void LockManager::GrantWaiters(const ResourceId& res, LockQueue* queue) {
       fresh_blocked = true;
     }
   }
-  if (any_granted) queue->cv.notify_all();
+  if (any_granted) queue->cv.NotifyAll();
 }
 
 std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
@@ -289,8 +287,7 @@ void LockManager::EraseRequest(TxnId txn, const ResourceId& res,
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  IVDB_LOCK_ORDER(LockRank::kLockManager);
-  std::unique_lock<std::mutex> guard(mu_);
+  UniqueMutexLock guard(&table_mu_);
   auto it = txn_locks_.find(txn);
   if (it != txn_locks_.end()) {
     for (const ResourceId& res : it->second) {
@@ -306,8 +303,7 @@ void LockManager::ReleaseAll(TxnId txn) {
 }
 
 void LockManager::Unlock(TxnId txn, const ResourceId& res) {
-  IVDB_LOCK_ORDER(LockRank::kLockManager);
-  std::unique_lock<std::mutex> guard(mu_);
+  UniqueMutexLock guard(&table_mu_);
   auto queue_it = queues_.find(res);
   if (queue_it == queues_.end()) return;
   EraseRequest(txn, res, queue_it->second.get());
@@ -338,8 +334,7 @@ LockMode LockManager::HeldModeLocked(TxnId txn, const ResourceId& res) const {
 }
 
 LockMode LockManager::HeldMode(TxnId txn, const ResourceId& res) const {
-  IVDB_LOCK_ORDER(LockRank::kLockManager);
-  std::unique_lock<std::mutex> guard(mu_);
+  UniqueMutexLock guard(&table_mu_);
   return HeldModeLocked(txn, res);
 }
 
@@ -417,8 +412,7 @@ void LockManager::TryEscalateLocked(TxnId txn, uint32_t object_id) {
 }
 
 int LockManager::NumHolders(const ResourceId& res) const {
-  IVDB_LOCK_ORDER(LockRank::kLockManager);
-  std::unique_lock<std::mutex> guard(mu_);
+  UniqueMutexLock guard(&table_mu_);
   auto queue_it = queues_.find(res);
   if (queue_it == queues_.end()) return 0;
   int n = 0;

@@ -3,18 +3,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "lock/lock_mode.h"
 #include "obs/metrics.h"
 
@@ -142,23 +142,29 @@ class LockManager {
 
   struct LockQueue {
     std::list<LockRequest> requests;  // granted prefix, then waiters in order
-    std::condition_variable cv;
+    CondVar cv;
   };
 
-  // All private helpers require mu_ held.
+  // All private helpers require table_mu_ held.
   Status LockInternal(TxnId txn, const ResourceId& res, LockMode mode,
-                      bool wait, std::unique_lock<std::mutex>* guard);
-  bool CanGrant(const LockQueue& queue, const LockRequest& req) const;
-  void GrantWaiters(const ResourceId& res, LockQueue* queue);
-  bool WouldDeadlock(TxnId requester) const;
-  std::vector<TxnId> BlockersOf(TxnId txn) const;
-  void EraseRequest(TxnId txn, const ResourceId& res, LockQueue* queue);
+                      bool wait, UniqueMutexLock* guard)
+      IVDB_REQUIRES(table_mu_);
+  bool CanGrant(const LockQueue& queue, const LockRequest& req) const
+      IVDB_REQUIRES(table_mu_);
+  void GrantWaiters(const ResourceId& res, LockQueue* queue)
+      IVDB_REQUIRES(table_mu_);
+  bool WouldDeadlock(TxnId requester) const IVDB_REQUIRES(table_mu_);
+  std::vector<TxnId> BlockersOf(TxnId txn) const IVDB_REQUIRES(table_mu_);
+  void EraseRequest(TxnId txn, const ResourceId& res, LockQueue* queue)
+      IVDB_REQUIRES(table_mu_);
   // Mode the txn holds on `res` via a granted request, kNL if none.
-  LockMode HeldModeLocked(TxnId txn, const ResourceId& res) const;
+  LockMode HeldModeLocked(TxnId txn, const ResourceId& res) const
+      IVDB_REQUIRES(table_mu_);
   // Attempts to replace the txn's key locks on `object_id` with one
   // object-level lock; silently does nothing if that lock cannot be
   // granted immediately.
-  void TryEscalateLocked(TxnId txn, uint32_t object_id);
+  void TryEscalateLocked(TxnId txn, uint32_t object_id)
+      IVDB_REQUIRES(table_mu_);
 
   Options options_;
   // Private fallback registry (standalone use); the handles in metrics_
@@ -166,14 +172,17 @@ class LockManager {
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
   LockManagerMetrics metrics_;
   Clock* const clock_;
-  mutable std::mutex mu_;
-  std::map<ResourceId, std::unique_ptr<LockQueue>> queues_;
+  mutable RankedMutex table_mu_{LockRank::kLockManager, "table_mu_"};
+  std::map<ResourceId, std::unique_ptr<LockQueue>> queues_
+      IVDB_GUARDED_BY(table_mu_);
   // Resources each txn has requests (granted or waiting) in.
-  std::map<TxnId, std::set<ResourceId>> txn_locks_;
+  std::map<TxnId, std::set<ResourceId>> txn_locks_
+      IVDB_GUARDED_BY(table_mu_);
   // Resource each txn is currently waiting on (at most one).
-  std::map<TxnId, ResourceId> waiting_on_;
+  std::map<TxnId, ResourceId> waiting_on_ IVDB_GUARDED_BY(table_mu_);
   // Granted key-lock counts per (txn, object): escalation trigger.
-  std::map<std::pair<TxnId, uint32_t>, size_t> key_counts_;
+  std::map<std::pair<TxnId, uint32_t>, size_t> key_counts_
+      IVDB_GUARDED_BY(table_mu_);
 };
 
 }  // namespace ivdb

@@ -154,28 +154,28 @@ double Histogram::Snapshot::Percentile(double q) const {
 // --- MetricsRegistry ---
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&registry_mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&registry_mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&registry_mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&registry_mu_);
   std::string out;
   std::string base, labels;
   std::string last_typed;  // emit one # TYPE per base name

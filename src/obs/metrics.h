@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ivdb {
 namespace obs {
@@ -131,10 +133,14 @@ class MetricsRegistry {
   std::string RenderPrometheus() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable RankedMutex registry_mu_{LockRank::kMetricsRegistry,
+                                   "registry_mu_"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      IVDB_GUARDED_BY(registry_mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      IVDB_GUARDED_BY(registry_mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      IVDB_GUARDED_BY(registry_mu_);
 };
 
 }  // namespace obs

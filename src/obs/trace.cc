@@ -106,7 +106,7 @@ void TraceRecorder::Record(TraceEventType type, uint64_t a, uint64_t b) {
   event.type = type;
   event.a = a;
   event.b = b;
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&ring_mu_);
   if (recorded_ == 0) origin_micros_ = event.at_micros;
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
@@ -118,17 +118,17 @@ void TraceRecorder::Record(TraceEventType type, uint64_t a, uint64_t b) {
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&ring_mu_);
   return ring_.size();
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&ring_mu_);
   return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
 }
 
 std::string TraceRecorder::Dump() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&ring_mu_);
   char header[96];
   std::snprintf(header, sizeof(header),
                 "trace: %" PRIu64 " event(s), %" PRIu64 " dropped\n",

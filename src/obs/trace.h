@@ -2,11 +2,12 @@
 #define IVDB_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ivdb {
 namespace obs {
@@ -79,11 +80,15 @@ class TraceRecorder {
   const size_t capacity_;
   Clock* const clock_;
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  // capacity_ slots once full
-  size_t next_ = 0;               // ring slot for the next event
-  uint64_t recorded_ = 0;         // total events ever recorded
-  uint64_t origin_micros_ = 0;    // timestamp of the first event
+  mutable RankedMutex ring_mu_{LockRank::kTraceRing, "ring_mu_"};
+  // capacity_ slots once full.
+  std::vector<TraceEvent> ring_ IVDB_GUARDED_BY(ring_mu_);
+  // Ring slot for the next event.
+  size_t next_ IVDB_GUARDED_BY(ring_mu_) = 0;
+  // Total events ever recorded.
+  uint64_t recorded_ IVDB_GUARDED_BY(ring_mu_) = 0;
+  // Timestamp of the first event.
+  uint64_t origin_micros_ IVDB_GUARDED_BY(ring_mu_) = 0;
 };
 
 // Thread-local trace sink. The engine scopes each operation it performs on

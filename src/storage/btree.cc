@@ -120,7 +120,7 @@ std::optional<BTree::SplitResult> BTree::InsertRec(Node* node,
 }
 
 bool BTree::Put(const Slice& key, const Slice& value) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   bool inserted = false, updated = false;
   auto split = InsertRec(root_.get(), key, value, /*overwrite=*/true,
                          &inserted, &updated);
@@ -136,7 +136,7 @@ bool BTree::Put(const Slice& key, const Slice& value) {
 }
 
 bool BTree::Insert(const Slice& key, const Slice& value) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   bool inserted = false, updated = false;
   auto split = InsertRec(root_.get(), key, value, /*overwrite=*/false,
                          &inserted, &updated);
@@ -152,7 +152,7 @@ bool BTree::Insert(const Slice& key, const Slice& value) {
 }
 
 bool BTree::Update(const Slice& key, const Slice& value) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   Node* leaf = FindLeaf(key);
   size_t pos = LeafLowerBound(leaf->keys, key);
   if (pos >= leaf->keys.size() || leaf->keys[pos] != key.view()) return false;
@@ -255,7 +255,7 @@ bool BTree::DeleteRec(Node* node, const Slice& key, bool* deleted) {
 }
 
 bool BTree::Delete(const Slice& key) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   bool deleted = false;
   DeleteRec(root_.get(), key, &deleted);
   // Collapse degenerate roots: an internal root with a single child (and no
@@ -278,7 +278,7 @@ bool BTree::Delete(const Slice& key) {
 
 bool BTree::ModifyInPlace(const Slice& key,
                           const std::function<void(std::string*)>& fn) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   Node* leaf = FindLeaf(key);
   size_t pos = LeafLowerBound(leaf->keys, key);
   if (pos >= leaf->keys.size() || leaf->keys[pos] != key.view()) return false;
@@ -287,7 +287,7 @@ bool BTree::ModifyInPlace(const Slice& key,
 }
 
 bool BTree::Get(const Slice& key, std::string* value) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(&latch_);
   Node* leaf = FindLeaf(key);
   size_t pos = LeafLowerBound(leaf->keys, key);
   if (pos >= leaf->keys.size() || leaf->keys[pos] != key.view()) return false;
@@ -298,7 +298,7 @@ bool BTree::Get(const Slice& key, std::string* value) const {
 bool BTree::Contains(const Slice& key) const { return Get(key, nullptr); }
 
 std::optional<std::string> BTree::Successor(const Slice& key) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(&latch_);
   const Node* leaf = FindLeaf(key);
   size_t pos = LeafLowerBound(leaf->keys, key);
   if (pos < leaf->keys.size() && leaf->keys[pos] == key.view()) pos++;
@@ -313,7 +313,7 @@ std::optional<std::string> BTree::Successor(const Slice& key) const {
 void BTree::Scan(const Slice& begin, const Slice* end,
                  const std::function<bool(const Slice&, const Slice&)>&
                      callback) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(&latch_);
   const Node* leaf = FindLeaf(begin);
   size_t pos = LeafLowerBound(leaf->keys, begin);
   while (leaf != nullptr) {
@@ -338,14 +338,14 @@ std::vector<std::pair<std::string, std::string>> BTree::ScanRange(
 }
 
 void BTree::Clear() {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  WriterMutexLock latch(&latch_);
   root_ = std::make_unique<Node>(/*is_leaf=*/true);
   first_leaf_ = root_.get();
   size_.store(0, std::memory_order_relaxed);
 }
 
 void BTree::SerializeTo(std::string* dst) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(&latch_);
   PutVarint64(dst, size_.load(std::memory_order_relaxed));
   for (const Node* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
     for (size_t i = 0; i < leaf->keys.size(); i++) {
@@ -372,7 +372,7 @@ Status BTree::DeserializeFrom(Slice* input) {
 }
 
 int BTree::Depth() const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(&latch_);
   int depth = 1;
   const Node* node = root_.get();
   while (!node->leaf) {
@@ -431,7 +431,7 @@ Status BTree::ValidateRec(const Node* node, int depth, int leaf_depth,
 }
 
 Status BTree::Validate() const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+  ReaderMutexLock latch(&latch_);
   int leaf_depth = 1;
   const Node* node = root_.get();
   while (!node->leaf) {

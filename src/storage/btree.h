@@ -6,12 +6,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace ivdb {
 
@@ -97,7 +98,7 @@ class BTree {
  private:
   struct Node;
 
-  Node* FindLeaf(const Slice& key) const;
+  Node* FindLeaf(const Slice& key) const IVDB_REQUIRES_SHARED(latch_);
   // Returns (separator, new right sibling) when the child split.
   struct SplitResult {
     std::string separator;
@@ -105,17 +106,23 @@ class BTree {
   };
   std::optional<SplitResult> InsertRec(Node* node, const Slice& key,
                                        const Slice& value, bool overwrite,
-                                       bool* inserted, bool* updated);
+                                       bool* inserted, bool* updated)
+      IVDB_REQUIRES(latch_);
   // Returns true if `node` is underfull after the delete; the parent then
   // rebalances it against a sibling (borrow or merge).
-  bool DeleteRec(Node* node, const Slice& key, bool* deleted);
-  void RebalanceChild(Node* parent, size_t idx);
+  bool DeleteRec(Node* node, const Slice& key, bool* deleted)
+      IVDB_REQUIRES(latch_);
+  void RebalanceChild(Node* parent, size_t idx) IVDB_REQUIRES(latch_);
   Status ValidateRec(const Node* node, int depth, int leaf_depth,
-                     const std::string* lower, const std::string* upper) const;
+                     const std::string* lower, const std::string* upper) const
+      IVDB_REQUIRES_SHARED(latch_);
 
-  mutable std::shared_mutex latch_;
-  std::unique_ptr<Node> root_;
-  Node* first_leaf_ = nullptr;
+  // Physical-structure latch, rank 45: snapshot reads probe the tree while
+  // holding the version-store mutex (40); the latch itself never wraps a
+  // call out of the tree.
+  mutable RankedSharedMutex latch_{LockRank::kBtreeLatch, "latch_"};
+  std::unique_ptr<Node> root_ IVDB_GUARDED_BY(latch_);
+  Node* first_leaf_ IVDB_GUARDED_BY(latch_) = nullptr;
   std::atomic<uint64_t> size_{0};
 };
 

@@ -3,7 +3,8 @@
 #include <algorithm>
 
 #include "common/invariant.h"
-#include "common/lock_order.h"
+#include "common/logging.h"
+#include "common/mutex.h"
 
 namespace ivdb {
 
@@ -68,8 +69,7 @@ void VersionStore::NotePendingWriteLocked(uint32_t object_id, const Slice& key,
 void VersionStore::NotePendingWrite(uint32_t object_id, const Slice& key,
                                     std::optional<std::string> old_value,
                                     TxnId txn) {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
   NotePendingWriteLocked(object_id, key, std::move(old_value), txn);
 }
 
@@ -90,7 +90,11 @@ void VersionStore::NotePendingIncrementLocked(
         bool merged = false;
         for (ColumnDelta& od : d.deltas) {
           if (od.column == nd.column) {
-            od.delta.AccumulateAdd(nd.delta);
+            // Both deltas already passed increment validation (same column,
+            // same chain ⇒ same type, non-null), so a failure here would be
+            // silent lost-update corruption, not a recoverable error.
+            IVDB_CHECK_MSG(od.delta.AccumulateAdd(nd.delta).ok(),
+                           "pending delta coalesce must be type-compatible");
             merged = true;
             break;
           }
@@ -112,8 +116,7 @@ void VersionStore::NotePendingIncrementLocked(
 void VersionStore::NotePendingIncrement(uint32_t object_id, const Slice& key,
                                         const std::vector<ColumnDelta>& deltas,
                                         TxnId txn) {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
   NotePendingIncrementLocked(object_id, key, deltas, txn,
                              /*create_pending=*/true);
 }
@@ -124,8 +127,7 @@ Status VersionStore::ApplyIncrement(uint32_t object_id, const Slice& key,
                                     BTree* tree,
                                     const std::vector<ColumnBound>* bounds,
                                     const std::function<Status()>& pre_apply) {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
 
   if (bounds != nullptr && !bounds->empty()) {
     // Escrow-bound admission: candidate = physical + my deltas (= the value
@@ -181,8 +183,7 @@ Status VersionStore::ApplyIncrement(uint32_t object_id, const Slice& key,
 
 std::vector<std::vector<ColumnDelta>> VersionStore::PendingDeltas(
     uint32_t object_id, const Slice& key, TxnId exclude_txn) const {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
   std::vector<std::vector<ColumnDelta>> out;
   auto it = chains_.find(ChainKey{object_id, key.ToString()});
   if (it == chains_.end()) return out;
@@ -198,16 +199,14 @@ Status VersionStore::ApplyWithPendingWrite(
     uint32_t object_id, const Slice& key,
     std::optional<std::string> old_value, TxnId txn,
     const std::function<Status()>& apply) {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
   IVDB_RETURN_NOT_OK(apply());
   NotePendingWriteLocked(object_id, key, std::move(old_value), txn);
   return Status::OK();
 }
 
 void VersionStore::Commit(TxnId txn, uint64_t commit_ts) {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
   auto it = pending_.find(txn);
   if (it == pending_.end()) return;
   for (const ChainKey& ck : it->second) {
@@ -244,8 +243,7 @@ void VersionStore::Commit(TxnId txn, uint64_t commit_ts) {
 }
 
 void VersionStore::Abort(TxnId txn) {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
   auto it = pending_.find(txn);
   if (it == pending_.end()) return;
   for (const ChainKey& ck : it->second) {
@@ -330,16 +328,14 @@ VersionStore::SnapshotView VersionStore::GetAsOfLocked(
 VersionStore::SnapshotView VersionStore::GetAsOf(uint32_t object_id,
                                                  const Slice& key,
                                                  uint64_t snapshot_ts) const {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
   return GetAsOfLocked(object_id, key, snapshot_ts);
 }
 
 VersionStore::SnapshotView VersionStore::GetAsOfConsistent(
     uint32_t object_id, const Slice& key, uint64_t snapshot_ts,
     const BTree* tree, std::optional<std::string>* physical) const {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
   SnapshotView view = GetAsOfLocked(object_id, key, snapshot_ts);
   physical->reset();
   if (!view.use_chain_value) {
@@ -351,8 +347,7 @@ VersionStore::SnapshotView VersionStore::GetAsOfConsistent(
 
 std::vector<std::string> VersionStore::ListChainKeys(
     uint32_t object_id) const {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
   std::vector<std::string> keys;
   for (auto it = chains_.lower_bound(ChainKey{object_id, ""});
        it != chains_.end() && it->first.first == object_id; ++it) {
@@ -362,8 +357,7 @@ std::vector<std::string> VersionStore::ListChainKeys(
 }
 
 uint64_t VersionStore::GarbageCollect(uint64_t oldest_active_ts) {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
   uint64_t reclaimed = 0;
   for (auto it = chains_.begin(); it != chains_.end();) {
     Chain& chain = it->second;
@@ -391,8 +385,7 @@ uint64_t VersionStore::GarbageCollect(uint64_t oldest_active_ts) {
 }
 
 uint64_t VersionStore::TotalEntries() const {
-  IVDB_LOCK_ORDER(LockRank::kVersionStore);
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(&store_mu_);
   uint64_t n = 0;
   for (const auto& [ck, chain] : chains_) {
     n += chain.values.size() + chain.deltas.size();

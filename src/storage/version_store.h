@@ -3,14 +3,15 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include <functional>
 
+#include "common/mutex.h"
 #include "common/slice.h"
+#include "common/thread_annotations.h"
 #include "storage/btree.h"
 #include "storage/increment.h"
 #include "wal/log_record.h"
@@ -170,19 +171,22 @@ class VersionStore {
 
   using ChainKey = std::pair<uint32_t, std::string>;
 
-  // Unlocked internals (mu_ held by caller).
+  // Unlocked internals (store_mu_ held by caller).
   void NotePendingWriteLocked(uint32_t object_id, const Slice& key,
-                              std::optional<std::string> old_value, TxnId txn);
+                              std::optional<std::string> old_value, TxnId txn)
+      IVDB_REQUIRES(store_mu_);
   void NotePendingIncrementLocked(uint32_t object_id, const Slice& key,
                                   const std::vector<ColumnDelta>& deltas,
-                                  TxnId txn, bool create_pending);
+                                  TxnId txn, bool create_pending)
+      IVDB_REQUIRES(store_mu_);
   SnapshotView GetAsOfLocked(uint32_t object_id, const Slice& key,
-                             uint64_t snapshot_ts) const;
+                             uint64_t snapshot_ts) const
+      IVDB_REQUIRES(store_mu_);
 
-  mutable std::mutex mu_;
-  std::map<ChainKey, Chain> chains_;
+  mutable RankedMutex store_mu_{LockRank::kVersionStore, "store_mu_"};
+  std::map<ChainKey, Chain> chains_ IVDB_GUARDED_BY(store_mu_);
   // txn -> keys it has pending entries in (for O(changes) commit/abort).
-  std::map<TxnId, std::vector<ChainKey>> pending_;
+  std::map<TxnId, std::vector<ChainKey>> pending_ IVDB_GUARDED_BY(store_mu_);
 };
 
 }  // namespace ivdb

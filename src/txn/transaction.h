@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/mutex.h"
 #include "catalog/schema.h"
 #include "obs/trace.h"
 #include "wal/log_record.h"
@@ -96,7 +96,7 @@ class Transaction {
   // (try_lock succeeds → safe to abort from another thread) from "owner
   // thread is mid-operation" (try_lock fails → skip this round). Ordered
   // before every engine-internal rank; see lock_order.h (kTxnOwner).
-  std::mutex& owner_mu() { return owner_mu_; }
+  RankedMutex& owner_mu() { return owner_mu_; }
 
   std::vector<LogRecord>& undo_records() { return undo_records_; }
   std::vector<DeferredChange>& deferred_changes() { return deferred_changes_; }
@@ -125,7 +125,7 @@ class Transaction {
   Lsn begin_floor_lsn_ = kInvalidLsn;
   bool flipped_ = false;
   uint64_t begin_wall_micros_ = 0;
-  std::mutex owner_mu_;
+  RankedMutex owner_mu_{LockRank::kTxnOwner, "owner_mu_"};
 
   // In-memory copy of this transaction's data log records, newest last;
   // rollback walks it backwards (the on-disk prev_lsn chain serves

@@ -46,10 +46,10 @@ TransactionManager::TransactionManager(LockManager* lock_manager,
 TransactionManager::~TransactionManager() {
   if (watchdog_.joinable()) {
     {
-      std::lock_guard<std::mutex> guard(watchdog_mu_);
+      MutexLock guard(&watchdog_mu_);
       watchdog_stop_ = true;
     }
-    watchdog_cv_.notify_all();
+    watchdog_cv_.NotifyAll();
     watchdog_.join();
   }
 }
@@ -72,14 +72,13 @@ Transaction* TransactionManager::Register(std::unique_ptr<Transaction> txn) {
 }
 
 Transaction* TransactionManager::Begin(ReadMode read_mode, bool gated) {
-  IVDB_LOCK_ORDER(LockRank::kTxnActive);
-  std::unique_lock<std::mutex> active_guard(active_mu_);
+  UniqueMutexLock active_guard(&active_mu_);
   if (!gated || options_.max_active_txns == 0) {
     // Ungated (or gate disabled): wait only on the quiesce gate. The
     // unchecked Database::Begin() takes this path so it keeps its original
     // never-null contract — callers written before admission control exist
     // and do not null-check.
-    active_cv_.wait(active_guard, [this] { return !quiescing_; });
+    active_cv_.Wait(&active_guard, [this] { return !quiescing_; });
   } else {
     // Admission gate: queue for a slot with a deadline, so overload turns
     // into bounded waiting plus kBusy instead of an unbounded pile-up in
@@ -87,8 +86,8 @@ Transaction* TransactionManager::Begin(ReadMode read_mode, bool gated) {
     auto admissible = [this] {
       return !quiescing_ && user_active_ < options_.max_active_txns;
     };
-    if (!active_cv_.wait_for(
-            active_guard,
+    if (!active_cv_.WaitFor(
+            &active_guard,
             std::chrono::microseconds(options_.admission_timeout_micros),
             admissible)) {
       metrics_.admission_rejected->Add();
@@ -100,8 +99,7 @@ Transaction* TransactionManager::Begin(ReadMode read_mode, bool gated) {
   {
     // Serialized against commit-visibility conversion: a begin timestamp
     // drawn here is strictly ordered w.r.t. every commit timestamp.
-    IVDB_LOCK_ORDER(LockRank::kTxnVisibility);
-    std::lock_guard<std::mutex> vis_guard(visibility_mu_);
+    MutexLock vis_guard(&visibility_mu_);
     begin_ts = clock_.Tick();
   }
   auto txn = std::make_unique<Transaction>(id, begin_ts, read_mode,
@@ -117,13 +115,11 @@ Transaction* TransactionManager::BeginSystem() {
   // System transactions bypass the quiesce gate deliberately: they are
   // spawned by in-flight user transactions, and making them wait on a
   // checkpoint that itself waits for those user transactions would deadlock.
-  IVDB_LOCK_ORDER(LockRank::kTxnActive);
-  std::unique_lock<std::mutex> active_guard(active_mu_);
+  UniqueMutexLock active_guard(&active_mu_);
   TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   uint64_t begin_ts;
   {
-    IVDB_LOCK_ORDER(LockRank::kTxnVisibility);
-    std::lock_guard<std::mutex> vis_guard(visibility_mu_);
+    MutexLock vis_guard(&visibility_mu_);
     begin_ts = clock_.Tick();
   }
   auto txn = std::make_unique<Transaction>(id, begin_ts, ReadMode::kLocking,
@@ -216,8 +212,7 @@ Status TransactionManager::Commit(Transaction* txn) {
 
   LogRecord commit;
   {
-    IVDB_LOCK_ORDER(LockRank::kTxnVisibility);
-    std::lock_guard<std::mutex> vis_guard(visibility_mu_);
+    MutexLock vis_guard(&visibility_mu_);
     uint64_t durable_ts = clock_.Tick();
     IVDB_INVARIANT(durable_ts > txn->begin_ts(),
                    "commit timestamp must follow the begin timestamp");
@@ -262,8 +257,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   // visible to flush-window snapshots the moment the flip lands — a
   // non-repeatable read within one snapshot transaction.
   {
-    IVDB_LOCK_ORDER(LockRank::kTxnVisibility);
-    std::lock_guard<std::mutex> vis_guard(visibility_mu_);
+    MutexLock vis_guard(&visibility_mu_);
     uint64_t visible_ts = clock_.Tick();
     version_store_->Commit(txn->id(), visible_ts);
     // From here on a checkpoint capture sees this transaction's effects in
@@ -402,8 +396,7 @@ Status TransactionManager::RollbackToSavepoint(Transaction* txn,
 void TransactionManager::FinishTxn(Transaction* txn, TxnState final_state) {
   lock_manager_->ReleaseAll(txn->id());
   txn->set_state(final_state);
-  IVDB_LOCK_ORDER(LockRank::kTxnActive);
-  std::lock_guard<std::mutex> guard(active_mu_);
+  MutexLock guard(&active_mu_);
   auto it = active_.find(txn->id());
   if (it != active_.end()) {
     finished_[txn->id()] = std::move(it->second);
@@ -411,7 +404,7 @@ void TransactionManager::FinishTxn(Transaction* txn, TxnState final_state) {
     metrics_.active->Add(-1);
     if (!txn->is_system()) user_active_--;
   }
-  active_cv_.notify_all();
+  active_cv_.NotifyAll();
 }
 
 uint64_t TransactionManager::SweepStuckTransactions() {
@@ -419,8 +412,7 @@ uint64_t TransactionManager::SweepStuckTransactions() {
   const uint64_t now = wall_clock_->NowMicros();
   std::vector<TxnId> expired;
   {
-    IVDB_LOCK_ORDER(LockRank::kTxnActive);
-    std::lock_guard<std::mutex> guard(active_mu_);
+    MutexLock guard(&active_mu_);
     for (const auto& [id, txn] : active_) {
       if (txn->is_system()) continue;
       if (now - txn->begin_wall_micros() >=
@@ -432,10 +424,8 @@ uint64_t TransactionManager::SweepStuckTransactions() {
   uint64_t reaped = 0;
   for (TxnId id : expired) {
     Transaction* txn = nullptr;
-    std::unique_lock<std::mutex> owner_latch;
     {
-      IVDB_LOCK_ORDER(LockRank::kTxnActive);
-      std::lock_guard<std::mutex> guard(active_mu_);
+      MutexLock guard(&active_mu_);
       auto it = active_.find(id);
       if (it == active_.end()) continue;  // finished meanwhile
       // Non-blocking probe of the owner latch while active_mu_ pins the
@@ -444,15 +434,13 @@ uint64_t TransactionManager::SweepStuckTransactions() {
       // takes the latch first) or destroy the descriptor until we release
       // it, so the abort below runs with exclusive ownership. Failure
       // means the owner is mid-operation — skip, a later pass will catch
-      // it. Deliberately not a ranked IVDB_LOCK_ORDER acquisition: a
-      // try_lock can never block, so it cannot participate in a deadlock
-      // cycle, and declaring it would invert the owner-before-active order
-      // the entry points establish.
-      std::unique_lock<std::mutex> probe(it->second->owner_mu(),
-                                         std::try_to_lock);
-      if (!probe.owns_lock()) continue;
+      // it. TryLock is deliberately exempt from the rank-order check (see
+      // lock_order.h): a try-probe can never block, so it cannot
+      // participate in a deadlock cycle, and an ordered acquisition here
+      // would invert the owner-before-active order the entry points
+      // establish.
+      if (!it->second->owner_mu().TryLock()) continue;
       txn = it->second.get();
-      owner_latch = std::move(probe);
     }
     // Holding the owner latch of a transaction found active implies no
     // state transition is in flight; Abort moves it to finished_ and
@@ -461,6 +449,7 @@ uint64_t TransactionManager::SweepStuckTransactions() {
       reaped++;
       metrics_.watchdog_aborted->Add();
     }
+    txn->owner_mu().Unlock();
   }
   return reaped;
 }
@@ -472,19 +461,18 @@ void TransactionManager::WatchdogLoop() {
   uint64_t period = lifetime / 4;
   if (period < 1000) period = 1000;
   if (period > 1000 * 1000) period = 1000 * 1000;
-  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  UniqueMutexLock lock(&watchdog_mu_);
   while (!watchdog_stop_) {
-    watchdog_cv_.wait_for(lock, std::chrono::microseconds(period));
+    watchdog_cv_.WaitFor(&lock, std::chrono::microseconds(period));
     if (watchdog_stop_) break;
-    lock.unlock();
+    lock.Unlock();
     SweepStuckTransactions();
-    lock.lock();
+    lock.Lock();
   }
 }
 
 uint64_t TransactionManager::OldestActiveTs() const {
-  IVDB_LOCK_ORDER(LockRank::kTxnActive);
-  std::lock_guard<std::mutex> guard(active_mu_);
+  MutexLock guard(&active_mu_);
   if (active_.empty()) return clock_.Peek();
   uint64_t oldest = UINT64_MAX;
   for (const auto& [id, txn] : active_) {
@@ -494,33 +482,28 @@ uint64_t TransactionManager::OldestActiveTs() const {
 }
 
 int TransactionManager::ActiveCount() const {
-  IVDB_LOCK_ORDER(LockRank::kTxnActive);
-  std::lock_guard<std::mutex> guard(active_mu_);
+  MutexLock guard(&active_mu_);
   return static_cast<int>(active_.size());
 }
 
 void TransactionManager::BeginQuiesce() {
-  IVDB_LOCK_ORDER(LockRank::kTxnActive);
-  std::unique_lock<std::mutex> guard(active_mu_);
+  UniqueMutexLock guard(&active_mu_);
   quiescing_ = true;
-  active_cv_.wait(guard, [this] { return active_.empty(); });
+  active_cv_.Wait(&guard, [this] { return active_.empty(); });
 }
 
 void TransactionManager::EndQuiesce() {
-  IVDB_LOCK_ORDER(LockRank::kTxnActive);
-  std::lock_guard<std::mutex> guard(active_mu_);
+  MutexLock guard(&active_mu_);
   quiescing_ = false;
-  active_cv_.notify_all();
+  active_cv_.NotifyAll();
 }
 
 TransactionManager::CheckpointCapture TransactionManager::CaptureCheckpoint() {
-  IVDB_LOCK_ORDER(LockRank::kTxnActive);
-  std::unique_lock<std::mutex> active_guard(active_mu_);
+  UniqueMutexLock active_guard(&active_mu_);
   CheckpointCapture cap;
   const TxnId reader_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   {
-    IVDB_LOCK_ORDER(LockRank::kTxnVisibility);
-    std::lock_guard<std::mutex> vis_guard(visibility_mu_);
+    MutexLock vis_guard(&visibility_mu_);
     cap.capture_ts = clock_.Tick();
     cap.checkpoint_lsn = log_manager_->last_lsn();
     cap.redo_start_lsn = cap.checkpoint_lsn + 1;
@@ -555,8 +538,7 @@ void TransactionManager::ReleaseCheckpointReader(Transaction* reader) {
 }
 
 void TransactionManager::Forget(Transaction* txn) {
-  IVDB_LOCK_ORDER(LockRank::kTxnActive);
-  std::lock_guard<std::mutex> guard(active_mu_);
+  MutexLock guard(&active_mu_);
   finished_.erase(txn->id());
 }
 

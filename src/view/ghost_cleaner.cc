@@ -78,7 +78,8 @@ Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
       // Some transaction still holds E (uncommitted contributions) or is
       // reading the row; leave the ghost for a later pass.
       metrics_.skipped_locked->Add();
-      txns_->Abort(sys);
+      // Nothing was written under `sys`; the skip itself is the outcome.
+      (void)txns_->Abort(sys);
       txns_->Forget(sys);
       continue;
     }
@@ -94,7 +95,9 @@ Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
     }
     if (!still_ghost) {
       metrics_.skipped_revived->Add();
-      txns_->Commit(sys);
+      // Empty read-only txn: commit releases the lock; there is no write
+      // whose durability could fail.
+      (void)txns_->Commit(sys);
       txns_->Forget(sys);
       continue;
     }
@@ -109,7 +112,8 @@ Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
     if (s.ok()) {
       s = txns_->Commit(sys);
     }
-    if (sys->state() == TxnState::kActive) txns_->Abort(sys);
+    // Cleanup abort on the failure path; `s` is the error we account below.
+    if (sys->state() == TxnState::kActive) (void)txns_->Abort(sys);
     txns_->Forget(sys);
     if (!s.ok()) {
       // A ghost is logically absent either way, so a failed reclamation

@@ -249,7 +249,8 @@ Status ViewMaintainer::CreateGhost(const std::string& key,
   Status status =
       locks_->TryLock(sys->id(), ResourceId::Key(view_id_, key), LockMode::kX);
   if (!status.ok()) {
-    txns_->Abort(sys);
+    // The system txn wrote nothing yet; Busy is the error worth reporting.
+    (void)txns_->Abort(sys);
     txns_->Forget(sys);
     return Status::Busy("ghost creation lock busy");
   }
@@ -257,7 +258,9 @@ Status ViewMaintainer::CreateGhost(const std::string& key,
     if (s.ok()) {
       s = txns_->Commit(sys);
     } else {
-      txns_->Abort(sys);
+      // Abort is the cleanup of an already-failed path: `s` carries the
+      // error the caller acts on.
+      (void)txns_->Abort(sys);
     }
     txns_->Forget(sys);
     return s;

@@ -102,7 +102,9 @@ LogManager::LogManager(LogManagerOptions options)
       clock_(options_.clock != nullptr ? options_.clock : Clock::Default()) {}
 
 LogManager::~LogManager() {
-  if (file_ != nullptr) file_->Close();
+  // Destructor: nowhere to surface a close error, and everything acked was
+  // already fsynced — an error here cannot lose acknowledged data.
+  if (file_ != nullptr) (void)file_->Close();
 }
 
 std::string LogManager::SegmentFileName(uint64_t seqno) {
@@ -207,16 +209,14 @@ Status LogManager::Open() {
   }
 
   {
-    IVDB_LOCK_ORDER(LockRank::kWalSegments);
-    std::lock_guard<std::mutex> seg_guard(seg_mu_);
+    MutexLock seg_guard(&seg_mu_);
     segments_ = std::move(segments);
     metrics_.segments->Set(static_cast<int64_t>(segments_.size()));
   }
   next_lsn_.store(last_lsn_on_disk + 1, std::memory_order_relaxed);
   flushed_lsn_.store(last_lsn_on_disk, std::memory_order_relaxed);
   {
-    IVDB_LOCK_ORDER(LockRank::kWalBuffer);
-    std::lock_guard<std::mutex> buf_guard(buf_mu_);
+    MutexLock buf_guard(&buf_mu_);
     buffered_upto_ = last_lsn_on_disk;
   }
   return Status::OK();
@@ -228,8 +228,7 @@ Status LogManager::Append(LogRecord* rec) {
   }
   std::string body;
   // LSN must be assigned while holding buf_mu_ so buffer order == LSN order.
-  IVDB_LOCK_ORDER(LockRank::kWalBuffer);
-  std::lock_guard<std::mutex> guard(buf_mu_);
+  MutexLock guard(&buf_mu_);
   rec->lsn = next_lsn_.fetch_add(1, std::memory_order_relaxed);
   // WAL LSN monotonicity: every record appended must extend the buffered
   // prefix — a regression here silently reorders recovery.
@@ -272,8 +271,7 @@ Status LogManager::RotateLocked(Lsn seal_end_lsn) {
   IVDB_RETURN_NOT_OK(file_->Close());
   uint64_t next_seqno;
   {
-    IVDB_LOCK_ORDER(LockRank::kWalSegments);
-    std::lock_guard<std::mutex> seg_guard(seg_mu_);
+    MutexLock seg_guard(&seg_mu_);
     next_seqno = segments_.back().seqno + 1;
   }
   // Creating the file durably adds its directory entry (Env contract), so
@@ -282,8 +280,7 @@ Status LogManager::RotateLocked(Lsn seal_end_lsn) {
                         env_->NewWritableFile(SegmentPath(next_seqno),
                                               /*truncate_existing=*/true));
   {
-    IVDB_LOCK_ORDER(LockRank::kWalSegments);
-    std::lock_guard<std::mutex> seg_guard(seg_mu_);
+    MutexLock seg_guard(&seg_mu_);
     segments_.back().end_lsn = seal_end_lsn;
     Segment fresh;
     fresh.seqno = next_seqno;
@@ -294,28 +291,26 @@ Status LogManager::RotateLocked(Lsn seal_end_lsn) {
   return Status::OK();
 }
 
-Status LogManager::LeaderFlushOnce(std::unique_lock<std::mutex>& lock,
-                                   bool force_rotate) {
+Status LogManager::LeaderFlushOnce(UniqueMutexLock& lock, bool force_rotate) {
   flusher_active_ = true;
   if (options_.group_commit_window_micros > 0 && !force_rotate) {
     // Batching window: let committers that are a few microseconds behind
     // us join this batch instead of waiting a full device latency.
-    lock.unlock();
+    lock.Unlock();
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.group_commit_window_micros));
-    lock.lock();
+    lock.Lock();
   }
   std::string batch;
   Lsn batch_upto;
   {
-    IVDB_LOCK_ORDER(LockRank::kWalBuffer);
-    std::lock_guard<std::mutex> buf_guard(buf_mu_);
+    MutexLock buf_guard(&buf_mu_);
     batch.swap(buffer_);
     batch_upto = buffered_upto_;
   }
-  lock.unlock();
+  lock.Unlock();
   Status status = WriteBatch(batch);
-  lock.lock();
+  lock.Lock();
   if (!status.ok()) {
     // Unrecoverable: the batch we swapped out never became durable (and a
     // failed fsync dropped it from the file). Subsequent appends would be
@@ -324,7 +319,7 @@ Status LogManager::LeaderFlushOnce(std::unique_lock<std::mutex>& lock,
     // everyone else sees kUnavailable.
     flusher_active_ = false;
     Poison();
-    flush_cv_.notify_all();
+    flush_cv_.NotifyAll();
     return status;
   }
   metrics_.flushes->Add();
@@ -338,8 +333,7 @@ Status LogManager::LeaderFlushOnce(std::unique_lock<std::mutex>& lock,
   if (file_ != nullptr) {
     uint64_t open_bytes;
     {
-      IVDB_LOCK_ORDER(LockRank::kWalSegments);
-      std::lock_guard<std::mutex> seg_guard(seg_mu_);
+      MutexLock seg_guard(&seg_mu_);
       segments_.back().bytes += batch.size();
       open_bytes = segments_.back().bytes;
     }
@@ -355,19 +349,18 @@ Status LogManager::LeaderFlushOnce(std::unique_lock<std::mutex>& lock,
         // batch.
         flusher_active_ = false;
         Poison();
-        flush_cv_.notify_all();
+        flush_cv_.NotifyAll();
         return status;
       }
     }
   }
   flusher_active_ = false;
-  flush_cv_.notify_all();
+  flush_cv_.NotifyAll();
   return Status::OK();
 }
 
 Status LogManager::Flush(Lsn upto) {
-  IVDB_LOCK_ORDER(LockRank::kWalFlush);
-  std::unique_lock<std::mutex> lock(flush_mu_);
+  UniqueMutexLock lock(&flush_mu_);
   if (flushed_lsn_.load(std::memory_order_acquire) >= upto) {
     return Status::OK();  // already durable: not a flush wait
   }
@@ -381,7 +374,7 @@ Status LogManager::Flush(Lsn upto) {
     if (flusher_active_) {
       // Follower: a leader's I/O is in flight; our records (appended before
       // this call) will ride this batch or the immediately following one.
-      flush_cv_.wait(lock);
+      flush_cv_.Wait(&lock);
       continue;
     }
     // Become the leader: claim everything buffered so far and write it as
@@ -397,13 +390,12 @@ Status LogManager::Flush(Lsn upto) {
 
 Status LogManager::RotateNow() {
   if (options_.dir.empty()) return Status::OK();  // in-memory log
-  IVDB_LOCK_ORDER(LockRank::kWalFlush);
-  std::unique_lock<std::mutex> lock(flush_mu_);
+  UniqueMutexLock lock(&flush_mu_);
   while (flusher_active_) {
     if (poisoned()) {
       return Status::Unavailable("WAL is poisoned; engine is read-only");
     }
-    flush_cv_.wait(lock);
+    flush_cv_.Wait(&lock);
   }
   if (poisoned()) {
     return Status::Unavailable("WAL is poisoned; engine is read-only");
@@ -415,8 +407,7 @@ Status LogManager::RotateNow() {
 
 Status LogManager::RetireSegmentsBelow(Lsn lsn) {
   if (options_.dir.empty()) return Status::OK();  // in-memory log
-  IVDB_LOCK_ORDER(LockRank::kWalSegments);
-  std::lock_guard<std::mutex> guard(seg_mu_);
+  MutexLock guard(&seg_mu_);
   Status result = Status::OK();
   while (segments_.size() > 1) {
     const Segment& oldest = segments_.front();
@@ -437,8 +428,7 @@ Status LogManager::RetireSegmentsBelow(Lsn lsn) {
 }
 
 size_t LogManager::SegmentCount() const {
-  IVDB_LOCK_ORDER(LockRank::kWalSegments);
-  std::lock_guard<std::mutex> guard(seg_mu_);
+  MutexLock guard(&seg_mu_);
   return segments_.size();
 }
 
@@ -449,8 +439,7 @@ void LogManager::AdvancePastLsn(Lsn lsn) {
   Lsn f = flushed_lsn_.load(std::memory_order_relaxed);
   while (f < lsn && !flushed_lsn_.compare_exchange_weak(f, lsn)) {
   }
-  IVDB_LOCK_ORDER(LockRank::kWalBuffer);
-  std::lock_guard<std::mutex> guard(buf_mu_);
+  MutexLock guard(&buf_mu_);
   if (buffered_upto_ < lsn) buffered_upto_ = lsn;
 }
 
@@ -542,7 +531,7 @@ void LogManager::Poison() {
   if (!poisoned_.exchange(true, std::memory_order_acq_rel)) {
     // Wake flush followers parked on flush_cv_ so they observe the poison
     // instead of waiting for a durability that will never come.
-    flush_cv_.notify_all();
+    flush_cv_.NotifyAll();
     if (options_.on_poison) options_.on_poison();
   }
 }

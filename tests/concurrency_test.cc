@@ -50,7 +50,7 @@ int RunWithRetry(Database* db, const std::function<Status(Transaction*)>& fn) {
       return aborts;
     }
     aborts++;
-    if (txn->state() == TxnState::kActive) db->Abort(txn);
+    if (txn->state() == TxnState::kActive) (void)db->Abort(txn);
     db->Forget(txn);
     EXPECT_TRUE(s.RequiresRollback() || s.IsBusy()) << s.ToString();
   }
@@ -83,7 +83,7 @@ TEST(Concurrency, ConcurrentEscrowIncrementsOnOneGroup) {
   ASSERT_TRUE(row->has_value());
   EXPECT_EQ((**row)[1].AsInt64(), kThreads * kTxnsPerThread);
   EXPECT_EQ((**row)[2].AsInt64(), kThreads * kTxnsPerThread);
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
   EXPECT_TRUE(db->VerifyViewConsistency("by_grp").ok());
 }
 
@@ -137,7 +137,7 @@ TEST(Concurrency, LockingReaderBlocksBehindEscrowWriter) {
   Transaction* reader = db->Begin(ReadMode::kLocking);
   auto blocked = db->GetViewRow(reader, "by_grp", {Value::Int64(7)});
   EXPECT_TRUE(blocked.status().IsTimedOut()) << blocked.status().ToString();
-  db->Abort(reader);
+  EXPECT_TRUE(db->Abort(reader).ok());
   ASSERT_TRUE(db->Commit(writer).ok());
 }
 
@@ -165,12 +165,12 @@ TEST(Concurrency, SnapshotReaderNeverBlocksAndSeesConsistentState) {
   auto again = db->GetViewRow(reader, "by_grp", {Value::Int64(7)});
   ASSERT_TRUE(again->has_value());
   EXPECT_EQ((**again)[2].AsInt64(), 10);
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 
   Transaction* later = db->Begin(ReadMode::kSnapshot);
   auto fresh = db->GetViewRow(later, "by_grp", {Value::Int64(7)});
   EXPECT_EQ((**fresh)[2].AsInt64(), 110);
-  db->Commit(later);
+  EXPECT_TRUE(db->Commit(later).ok());
 }
 
 TEST(Concurrency, SnapshotReaderDuringManyWritersGetsCommittedPrefix) {
@@ -199,7 +199,7 @@ TEST(Concurrency, SnapshotReaderDuringManyWritersGetsCommittedPrefix) {
     if (row->has_value()) {
       EXPECT_EQ((**row)[1].AsInt64(), (**row)[2].AsInt64());
     }
-    db->Commit(reader);
+    EXPECT_TRUE(db->Commit(reader).ok());
     db->Forget(reader);
   }
   stop = true;
@@ -268,7 +268,7 @@ TEST(Concurrency, GhostCreationRaceResolvesToOneRow) {
   auto row = db->GetViewRow(reader, "by_grp", {Value::Int64(42)});
   ASSERT_TRUE(row->has_value());
   EXPECT_EQ((**row)[1].AsInt64(), kThreads * 20);
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
   EXPECT_TRUE(db->VerifyViewConsistency("by_grp").ok());
 }
 
@@ -371,7 +371,7 @@ TEST(Concurrency, AbortStormLeavesViewExact) {
         Transaction* txn = db->Begin();
         Status s = db->Insert(txn, "sales", Sale(id, 3, amount));
         if (!s.ok()) {
-          db->Abort(txn);
+          (void)db->Abort(txn);
           db->Forget(txn);
           continue;
         }
@@ -396,7 +396,7 @@ TEST(Concurrency, AbortStormLeavesViewExact) {
     EXPECT_EQ((**row)[1].AsInt64(), committed_count.load());
     EXPECT_EQ((**row)[2].AsInt64(), committed_sum.load());
   }
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
   EXPECT_TRUE(db->VerifyViewConsistency("by_grp").ok());
 }
 

@@ -205,7 +205,7 @@ void VerifyRecovered(Database* db, const TortureOutcome& out, uint64_t seed,
     ASSERT_TRUE(scan.status().IsNotFound()) << scan.status().ToString();
     ASSERT_TRUE(out.acked.empty());
   }
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 
   bool matches_acked = RowMapsEqual(recovered, out.acked);
   bool matches_pending =
@@ -425,7 +425,7 @@ TEST_F(FaultRecoveryTest, FsyncFailureAtCommitRollsBackEscrowDeltas) {
   EXPECT_EQ((**eu)[1].AsInt64(), 1);       // T1's row only
   EXPECT_EQ((**eu)[2].AsDouble(), 10.0);   // T2's +100 stripped
   EXPECT_FALSE(db->Get(reader, "sales", {Value::Int64(2)})->has_value());
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST_F(FaultRecoveryTest, LeftoverTmpFilesSweptAtRecovery) {
@@ -451,7 +451,7 @@ TEST_F(FaultRecoveryTest, LeftoverTmpFilesSweptAtRecovery) {
   EXPECT_FALSE(env->FileExists(dir_ + "/junk.tmp"));
   Transaction* reader = db->Begin();
   EXPECT_TRUE(db->Get(reader, "sales", {Value::Int64(1)})->has_value());
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST_F(FaultRecoveryTest, TransientReadFailureSurfacesAsIoError) {
@@ -476,7 +476,7 @@ TEST_F(FaultRecoveryTest, TransientReadFailureSurfacesAsIoError) {
   auto db = OpenDb(&env);
   Transaction* reader = db->Begin();
   EXPECT_TRUE(db->Get(reader, "sales", {Value::Int64(1)})->has_value());
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 }  // namespace

@@ -59,28 +59,28 @@ TEST_F(DatabaseTest, UpdateAndDelete) {
   Transaction* reader = db_->Begin();
   auto row = db_->Get(reader, "sales", {Value::Int64(1)});
   EXPECT_EQ((**row)[2].AsDouble(), 99.0);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 
   Commit([&](Transaction* txn) {
     ASSERT_TRUE(db_->Delete(txn, "sales", {Value::Int64(1)}).ok());
   });
   reader = db_->Begin();
   EXPECT_FALSE(db_->Get(reader, "sales", {Value::Int64(1)})->has_value());
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 }
 
 TEST_F(DatabaseTest, UpdateMissingRowFails) {
   Transaction* txn = db_->Begin();
   EXPECT_TRUE(db_->Update(txn, "sales", Sale(5, "eu", 1.0, 1)).IsNotFound());
   EXPECT_TRUE(db_->Delete(txn, "sales", {Value::Int64(5)}).IsNotFound());
-  db_->Abort(txn);
+  EXPECT_TRUE(db_->Abort(txn).ok());
 }
 
 TEST_F(DatabaseTest, SchemaValidatedOnDml) {
   Transaction* txn = db_->Begin();
   Row bad = {Value::Int64(1), Value::Int64(2)};
   EXPECT_TRUE(db_->Insert(txn, "sales", bad).IsInvalidArgument());
-  db_->Abort(txn);
+  EXPECT_TRUE(db_->Abort(txn).ok());
 }
 
 TEST_F(DatabaseTest, AbortRollsBackBaseTable) {
@@ -89,7 +89,7 @@ TEST_F(DatabaseTest, AbortRollsBackBaseTable) {
   ASSERT_TRUE(db_->Abort(txn).ok());
   Transaction* reader = db_->Begin();
   EXPECT_FALSE(db_->Get(reader, "sales", {Value::Int64(1)})->has_value());
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 }
 
 TEST_F(DatabaseTest, AggregateViewMaintainedOnInsert) {
@@ -110,7 +110,7 @@ TEST_F(DatabaseTest, AggregateViewMaintainedOnInsert) {
   auto us = db_->GetViewRow(reader, "sales_by_region",
                             {Value::String("us")});
   EXPECT_EQ((**us)[1].AsInt64(), 1);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
   EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_region").ok());
 }
 
@@ -136,7 +136,7 @@ TEST_F(DatabaseTest, AggregateViewMaintainedOnDeleteAndUpdate) {
   ASSERT_TRUE(us->has_value());
   EXPECT_EQ((**us)[1].AsInt64(), 1);
   EXPECT_EQ((**us)[2].AsDouble(), 3.0);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
   EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_region").ok());
 }
 
@@ -150,7 +150,7 @@ TEST_F(DatabaseTest, ViewPopulatedFromExistingData) {
   auto rows = db_->ScanView(reader, "sales_by_region");
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 2u);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
   EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_region").ok());
 }
 
@@ -167,7 +167,7 @@ TEST_F(DatabaseTest, ViewWithFilter) {
   auto eu = db_->GetViewRow(reader, "big_sales", {Value::String("eu")});
   ASSERT_TRUE(eu->has_value());
   EXPECT_EQ((**eu)[1].AsInt64(), 1);  // only the >= 10 row counts
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 
   // An update that moves a row across the filter boundary.
   Commit([&](Transaction* txn) {
@@ -176,7 +176,7 @@ TEST_F(DatabaseTest, ViewWithFilter) {
   reader = db_->Begin();
   eu = db_->GetViewRow(reader, "big_sales", {Value::String("eu")});
   EXPECT_EQ((**eu)[1].AsInt64(), 2);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
   EXPECT_TRUE(db_->VerifyViewConsistency("big_sales").ok());
 }
 
@@ -196,7 +196,7 @@ TEST_F(DatabaseTest, AvgViewFinalization) {
   auto eu = db_->GetViewRow(reader, "avg_by_region", {Value::String("eu")});
   ASSERT_TRUE(eu->has_value());
   EXPECT_EQ((**eu)[2].AsDouble(), 15.0);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 }
 
 TEST_F(DatabaseTest, AbortRollsBackViewMaintenance) {
@@ -214,7 +214,7 @@ TEST_F(DatabaseTest, AbortRollsBackViewMaintenance) {
   ASSERT_TRUE(eu->has_value());
   EXPECT_EQ((**eu)[1].AsInt64(), 1);
   EXPECT_EQ((**eu)[2].AsDouble(), 10.0);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
   EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_region").ok());
 }
 
@@ -232,7 +232,7 @@ TEST_F(DatabaseTest, GhostRowsStayPhysicallyUntilCleaned) {
                                {Value::String("eu")})
                    ->has_value());
   EXPECT_TRUE(db_->ScanView(reader, "sales_by_region")->empty());
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
   // ...but physically present until the cleaner runs.
   const ViewInfo* info = db_->GetView("sales_by_region").value();
   EXPECT_EQ(db_->GetIndex(info->id)->size(), 1u);
@@ -273,7 +273,7 @@ TEST_F(DatabaseTest, ProjectionView) {
   ASSERT_EQ(rows->size(), 1u);
   EXPECT_EQ((*rows)[0][0].AsInt64(), 1);
   EXPECT_EQ((*rows)[0][1].AsDouble(), 10.0);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 
   // Update within the filter changes the projected row; moving out of the
   // filter removes it.
@@ -285,7 +285,7 @@ TEST_F(DatabaseTest, ProjectionView) {
   });
   reader = db_->Begin();
   EXPECT_TRUE(db_->ScanView(reader, "eu_sales")->empty());
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
   EXPECT_TRUE(db_->VerifyViewConsistency("eu_sales").ok());
 }
 
@@ -326,7 +326,7 @@ TEST_F(DatabaseTest, JoinViewMaintainedThroughFactChanges) {
   EXPECT_EQ((**emea)[2].AsDouble(), 10.0);
   auto rows = db_->ScanView(reader, "sales_by_zone");
   EXPECT_EQ(rows->size(), 2u);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
   EXPECT_TRUE(db_->VerifyViewConsistency("sales_by_zone").ok());
 
   // Dimension DML is rejected while referenced.
@@ -334,7 +334,7 @@ TEST_F(DatabaseTest, JoinViewMaintainedThroughFactChanges) {
   EXPECT_TRUE(db_->Insert(txn, "regions",
                           {Value::String("cn"), Value::String("apac")})
                   .IsNotSupported());
-  db_->Abort(txn);
+  EXPECT_TRUE(db_->Abort(txn).ok());
 }
 
 TEST_F(DatabaseTest, DeferredMaintenanceCoalesces) {
@@ -354,7 +354,7 @@ TEST_F(DatabaseTest, DeferredMaintenanceCoalesces) {
   {
     Transaction* peek = db->Begin(ReadMode::kDirty);
     EXPECT_TRUE(db->ScanView(peek, "sales_by_region")->empty());
-    db->Commit(peek);
+    EXPECT_TRUE(db->Commit(peek).ok());
   }
   ASSERT_TRUE(db->Commit(txn).ok());
 
@@ -362,7 +362,7 @@ TEST_F(DatabaseTest, DeferredMaintenanceCoalesces) {
   auto eu = db->GetViewRow(reader, "sales_by_region", {Value::String("eu")});
   ASSERT_TRUE(eu->has_value());
   EXPECT_EQ((**eu)[1].AsInt64(), 10);
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 
   // Ten changes coalesced into a single increment.
   const ViewMaintainerMetrics* stats = db->view_metrics("sales_by_region");
@@ -411,7 +411,7 @@ TEST_F(DatabaseTest, XLockBaselineModeProducesSameResults) {
   ASSERT_TRUE(eu->has_value());
   EXPECT_EQ((**eu)[1].AsInt64(), 2);
   EXPECT_EQ((**eu)[2].AsDouble(), 15.0);
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
   EXPECT_TRUE(db->VerifyViewConsistency("sales_by_region").ok());
 }
 
@@ -437,7 +437,7 @@ TEST_F(DatabaseTest, MultipleViewsOverOneTable) {
   ASSERT_TRUE(q2->has_value());
   EXPECT_EQ((**q2)[1].AsInt64(), 2);
   EXPECT_EQ((**q2)[2].AsDouble(), 14.0);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 }
 
 TEST_F(DatabaseTest, ViewNameCollisions) {
@@ -466,7 +466,7 @@ TEST_F(DatabaseTest, ScanTable) {
   for (int i = 0; i < 5; i++) {
     EXPECT_EQ((*rows)[i][0].AsInt64(), i);  // PK order
   }
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 }
 
 TEST_F(DatabaseTest, SnapshotReadSeesBeginState) {
@@ -486,13 +486,13 @@ TEST_F(DatabaseTest, SnapshotReadSeesBeginState) {
   EXPECT_EQ((**eu)[2].AsDouble(), 10.0);
   auto base = db_->Get(snapshot, "sales", {Value::Int64(2)});
   EXPECT_FALSE(base->has_value());
-  db_->Commit(snapshot);
+  EXPECT_TRUE(db_->Commit(snapshot).ok());
 
   // A fresh reader sees both.
   Transaction* later = db_->Begin(ReadMode::kSnapshot);
   eu = db_->GetViewRow(later, "sales_by_region", {Value::String("eu")});
   EXPECT_EQ((**eu)[1].AsInt64(), 2);
-  db_->Commit(later);
+  EXPECT_TRUE(db_->Commit(later).ok());
 }
 
 TEST_F(DatabaseTest, SnapshotScanSeesDeletedRows) {
@@ -507,11 +507,11 @@ TEST_F(DatabaseTest, SnapshotScanSeesDeletedRows) {
   auto rows = db_->ScanTable(snapshot, "sales");
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 2u);  // deletion happened after our snapshot
-  db_->Commit(snapshot);
+  EXPECT_TRUE(db_->Commit(snapshot).ok());
 
   Transaction* later = db_->Begin(ReadMode::kSnapshot);
   EXPECT_EQ(db_->ScanTable(later, "sales")->size(), 1u);
-  db_->Commit(later);
+  EXPECT_TRUE(db_->Commit(later).ok());
 }
 
 TEST_F(DatabaseTest, VersionGarbageCollection) {
@@ -547,7 +547,7 @@ TEST_F(DatabaseTest, CountColumnAggregateSkipsNulls) {
   ASSERT_TRUE(eu->has_value());
   EXPECT_EQ((**eu)[1].AsInt64(), 3);  // COUNT(*) sees all rows
   EXPECT_EQ((**eu)[2].AsInt64(), 2);  // COUNT(qty) skips the NULL
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 
   // Deleting the NULL row changes COUNT(*) but not COUNT(qty).
   Commit([&](Transaction* txn) {
@@ -557,7 +557,7 @@ TEST_F(DatabaseTest, CountColumnAggregateSkipsNulls) {
   eu = db_->GetViewRow(reader, "region_stats", {Value::String("eu")});
   EXPECT_EQ((**eu)[1].AsInt64(), 2);
   EXPECT_EQ((**eu)[2].AsInt64(), 2);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
   EXPECT_TRUE(db_->VerifyViewConsistency("region_stats").ok());
 }
 
@@ -592,7 +592,7 @@ TEST_F(DatabaseTest, RangeScans) {
   ASSERT_EQ(groups->size(), 1u);
   EXPECT_EQ((*groups)[0][0].AsString(), "eu");
   EXPECT_EQ((*groups)[0][1].AsInt64(), 10);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 }
 
 TEST_F(DatabaseTest, SnapshotRangeScanRespectsVisibility) {
@@ -610,13 +610,13 @@ TEST_F(DatabaseTest, SnapshotRangeScanRespectsVisibility) {
                                   {Value::Int64(7)});
   ASSERT_TRUE(rows.ok());
   ASSERT_EQ(rows->size(), 5u);  // 2,3,4,5,6 — the delete is invisible
-  db_->Commit(snapshot);
+  EXPECT_TRUE(db_->Commit(snapshot).ok());
 
   Transaction* later = db_->Begin(ReadMode::kSnapshot);
   rows = db_->ScanTableRange(later, "sales", {Value::Int64(2)},
                              {Value::Int64(7)});
   EXPECT_EQ(rows->size(), 4u);
-  db_->Commit(later);
+  EXPECT_TRUE(db_->Commit(later).ok());
 }
 
 TEST_F(DatabaseTest, FailedStatementIsAtomic) {
@@ -642,7 +642,7 @@ TEST_F(DatabaseTest, FailedStatementIsAtomic) {
   Transaction* reader = db_->Begin();
   EXPECT_FALSE(db_->Get(reader, "sales", {Value::Int64(2)})->has_value());
   EXPECT_TRUE(db_->Get(reader, "sales", {Value::Int64(3)})->has_value());
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
   EXPECT_TRUE(db_->VerifyViewConsistency("by_amount").ok());
 }
 
@@ -651,8 +651,8 @@ TEST_F(DatabaseTest, DirtyReadSeesUncommitted) {
   ASSERT_TRUE(db_->Insert(writer, "sales", Sale(1, "eu", 10.0, 1)).ok());
   Transaction* dirty = db_->Begin(ReadMode::kDirty);
   EXPECT_TRUE(db_->Get(dirty, "sales", {Value::Int64(1)})->has_value());
-  db_->Commit(dirty);
-  db_->Abort(writer);
+  EXPECT_TRUE(db_->Commit(dirty).ok());
+  EXPECT_TRUE(db_->Abort(writer).ok());
 }
 
 }  // namespace

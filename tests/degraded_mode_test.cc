@@ -57,7 +57,7 @@ TEST_F(DegradedModeTest, FsyncFailureAtCommitFlipsEngineReadOnly) {
   EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
   EXPECT_TRUE(s.IsTransient());
   EXPECT_FALSE(s.RequiresRollback());
-  db->Abort(writer);
+  (void)db->Abort(writer);
   db->Forget(writer);
 
   // New write-capable (locking) transactions: not admitted.

@@ -53,7 +53,7 @@ struct Fixture {
       Status c = db->Commit(txn);
       if (!c.ok()) s = c;
     } else {
-      db->Abort(txn);
+      (void)db->Abort(txn);
     }
     db->Forget(txn);
     return s;
@@ -63,7 +63,7 @@ struct Fixture {
     Transaction* reader = db->Begin(ReadMode::kDirty);
     auto row = db->GetViewRow(reader, "inventory", {Value::Int64(item)});
     int64_t qty = row->has_value() ? (**row)[2].AsInt64() : 0;
-    db->Commit(reader);
+    EXPECT_TRUE(db->Commit(reader).ok());
     db->Forget(reader);
     return qty;
   }
@@ -195,7 +195,7 @@ TEST(EscrowBounds, ConcurrentDrainNeverOverdraws) {
         if (s.ok()) {
           drained.fetch_add(1);
         } else if (txn->state() == TxnState::kActive) {
-          f.db->Abort(txn);
+          (void)f.db->Abort(txn);
         }
         f.db->Forget(txn);
       }

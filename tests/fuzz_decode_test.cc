@@ -50,7 +50,7 @@ TEST(FuzzDecode, LogRecordArbitraryBytes) {
   for (int i = 0; i < 20000; i++) {
     std::string bytes = RandomBytes(&rng, 96);
     LogRecord rec;
-    LogRecord::DecodeFrom(bytes, &rec);  // must not crash
+    (void)LogRecord::DecodeFrom(bytes, &rec);  // must not crash
   }
 }
 
@@ -68,7 +68,7 @@ TEST(FuzzDecode, LogRecordMutatedEncodings) {
   for (int i = 0; i < 20000; i++) {
     std::string mutated = Mutate(valid, &rng);
     LogRecord out;
-    LogRecord::DecodeFrom(mutated, &out);  // status may be anything; no crash
+    (void)LogRecord::DecodeFrom(mutated, &out);  // status may be anything; no crash
   }
 }
 
@@ -76,7 +76,7 @@ TEST(FuzzDecode, RowArbitraryBytes) {
   Random rng(103);
   for (int i = 0; i < 20000; i++) {
     Row row;
-    DecodeRow(RandomBytes(&rng, 64), &row);
+    (void)DecodeRow(RandomBytes(&rng, 64), &row);
   }
 }
 
@@ -87,7 +87,7 @@ TEST(FuzzDecode, OrderedValueArbitraryBytes) {
     for (TypeId type : {TypeId::kInt64, TypeId::kDouble, TypeId::kString}) {
       Slice input(bytes);
       Value v;
-      Value::DecodeOrderedFrom(&input, type, &v);
+      (void)Value::DecodeOrderedFrom(&input, type, &v);
     }
   }
 }
@@ -108,7 +108,7 @@ TEST(FuzzDecode, ViewDefinitionMutatedEncodings) {
     std::string mutated = Mutate(valid, &rng);
     Slice input(mutated);
     ViewDefinition out;
-    ViewDefinition::DecodeFrom(&input, &out);
+    (void)ViewDefinition::DecodeFrom(&input, &out);
   }
 }
 
@@ -133,12 +133,12 @@ TEST(FuzzDecode, SnapshotMutatedEncodings) {
   for (int i = 0; i < 5000; i++) {
     std::string mutated = Mutate(valid, &rng);
     SnapshotImage out;
-    DecodeSnapshot(mutated, &out);
+    (void)DecodeSnapshot(mutated, &out);
   }
   // And random garbage entirely.
   for (int i = 0; i < 5000; i++) {
     SnapshotImage out;
-    DecodeSnapshot(RandomBytes(&rng, 128), &out);
+    (void)DecodeSnapshot(RandomBytes(&rng, 128), &out);
   }
 }
 

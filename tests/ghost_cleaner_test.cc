@@ -111,7 +111,7 @@ TEST(GhostCleaner, SkipsRevivedRow) {
   auto row = f.db->GetViewRow(reader, "by_grp", {Value::Int64(7)});
   ASSERT_TRUE(row->has_value());
   EXPECT_EQ((**row)[1].AsInt64(), 1);
-  f.db->Commit(reader);
+  EXPECT_TRUE(f.db->Commit(reader).ok());
 }
 
 TEST(GhostCleaner, SnapshotReaderStillSeesPreCleanupState) {
@@ -130,7 +130,7 @@ TEST(GhostCleaner, SnapshotReaderStillSeesPreCleanupState) {
   ASSERT_TRUE(row.ok()) << row.status().ToString();
   ASSERT_TRUE(row->has_value());
   EXPECT_EQ((**row)[1].AsInt64(), 1);
-  f.db->Commit(snapshot);
+  EXPECT_TRUE(f.db->Commit(snapshot).ok());
 }
 
 TEST(GhostCleaner, ManyGhostsReclaimedInOnePass) {
@@ -219,7 +219,7 @@ TEST(GhostCleaner, DegradedEngineStopsPassAndCountsErrors) {
     auto rows = f.db->ScanView(reader, "by_grp");
     ASSERT_TRUE(rows.ok());
     EXPECT_TRUE(rows->empty());
-    f.db->Commit(reader);
+    EXPECT_TRUE(f.db->Commit(reader).ok());
   }
   std::filesystem::remove_all(dir);
 }
@@ -238,7 +238,7 @@ TEST(GhostCleaner, GhostInvisibleInAllReadModes) {
     EXPECT_FALSE(row->has_value()) << static_cast<int>(mode);
     auto rows = f.db->ScanView(reader, "by_grp");
     EXPECT_TRUE(rows->empty());
-    f.db->Commit(reader);
+    EXPECT_TRUE(f.db->Commit(reader).ok());
   }
 }
 

@@ -70,7 +70,7 @@ TEST(Integration, MultiThreadedWorkloadWithCleanerAndGc) {
       for (const Row& row : rows.value()) {
         EXPECT_GT(row[1].AsInt64(), 0);  // no ghosts leak into queries
       }
-      db->Commit(txn);
+      EXPECT_TRUE(db->Commit(txn).ok());
       db->Forget(txn);
     }
   });
@@ -124,7 +124,7 @@ TEST(Integration, CrashRecoveryCyclesPreserveConsistency) {
   Transaction* reader = db->Begin();
   EXPECT_FALSE(db->Get(reader, "sales", {Value::Int64(900001)})->has_value());
   EXPECT_FALSE(db->Get(reader, "sales", {Value::Int64(900002)})->has_value());
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST(Integration, XlockModeFullWorkloadEquivalence) {
@@ -145,7 +145,7 @@ TEST(Integration, XlockModeFullWorkloadEquivalence) {
     Transaction* reader = db->Begin();
     results[escrow ? "escrow" : "xlock"] =
         db->ScanView(reader, "by_grp").value();
-    db->Commit(reader);
+    EXPECT_TRUE(db->Commit(reader).ok());
   }
   const auto& a = results["escrow"];
   const auto& b = results["xlock"];

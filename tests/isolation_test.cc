@@ -53,12 +53,12 @@ TEST(Isolation, NoDirtyRead) {
   Transaction* reader = db->Begin(ReadMode::kLocking);
   auto blocked = db->Get(reader, "acct", {Value::Int64(1)});
   EXPECT_TRUE(blocked.status().IsTimedOut());
-  db->Abort(reader);
+  EXPECT_TRUE(db->Abort(reader).ok());
 
   // A snapshot reader sees the last committed value, also not 999.
   Transaction* snapshot = db->Begin(ReadMode::kSnapshot);
   EXPECT_EQ(Balance(db.get(), snapshot, 1), 100);
-  db->Commit(snapshot);
+  EXPECT_TRUE(db->Commit(snapshot).ok());
 
   ASSERT_TRUE(db->Abort(writer).ok());
 }
@@ -86,7 +86,7 @@ TEST(Isolation, NoLostUpdate) {
         return;
       }
       EXPECT_TRUE(s.RequiresRollback()) << s.ToString();
-      if (txn->state() == TxnState::kActive) db->Abort(txn);
+      if (txn->state() == TxnState::kActive) (void)db->Abort(txn);
       db->Forget(txn);
     }
   };
@@ -96,7 +96,7 @@ TEST(Isolation, NoLostUpdate) {
   t2.join();
   Transaction* reader = db->Begin();
   EXPECT_EQ(Balance(db.get(), reader, 1), 135);  // both deposits present
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST(Isolation, RepeatableRead) {
@@ -111,7 +111,7 @@ TEST(Isolation, RepeatableRead) {
     Transaction* txn = db->Begin();
     Status s = db->Update(txn, "acct", Account(1, 500));
     while (s.RequiresRollback()) {  // blocked until the reader finishes
-      db->Abort(txn);
+      (void)db->Abort(txn);
       db->Forget(txn);
       txn = db->Begin();
       s = db->Update(txn, "acct", Account(1, 500));
@@ -139,11 +139,11 @@ TEST(Isolation, SnapshotRepeatableAcrossCommits) {
 
   // Snapshot still sees its begin-time state after the commit.
   EXPECT_EQ(Balance(db.get(), snapshot, 1), 100);
-  db->Commit(snapshot);
+  EXPECT_TRUE(db->Commit(snapshot).ok());
 
   Transaction* later = db->Begin(ReadMode::kSnapshot);
   EXPECT_EQ(Balance(db.get(), later, 1), 500);
-  db->Commit(later);
+  EXPECT_TRUE(db->Commit(later).ok());
 }
 
 TEST(Isolation, NoPhantoms) {
@@ -157,7 +157,7 @@ TEST(Isolation, NoPhantoms) {
   Transaction* inserter = db->Begin();
   Status s = db->Insert(inserter, "acct", Account(3, 1));
   EXPECT_TRUE(s.IsTimedOut()) << s.ToString();  // blocked by the scan
-  db->Abort(inserter);
+  EXPECT_TRUE(db->Abort(inserter).ok());
 
   auto second = db->ScanTable(scanner, "acct");
   EXPECT_EQ(second->size(), 2u);  // no phantom appeared
@@ -195,7 +195,7 @@ TEST(Isolation, WriteSkewPreventedByS2PL) {
         return;
       }
       ASSERT_TRUE(s.RequiresRollback()) << s.ToString();
-      if (txn->state() == TxnState::kActive) db->Abort(txn);
+      if (txn->state() == TxnState::kActive) (void)db->Abort(txn);
       db->Forget(txn);
     }
   };
@@ -205,7 +205,7 @@ TEST(Isolation, WriteSkewPreventedByS2PL) {
   t2.join();
   Transaction* reader = db->Begin();
   int64_t sum = Balance(db.get(), reader, 1) + Balance(db.get(), reader, 2);
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
   // Serial execution: first txn sees 200 >= 150 and withdraws; second then
   // sees 50 < 150 and declines. Sum never goes negative.
   EXPECT_GE(sum, 0);
@@ -234,7 +234,7 @@ TEST(Isolation, EscrowPreservesSerializableAggregates) {
         Status s = db->Insert(txn, "acct",
                               Account(id_seq.fetch_add(1), 1));
         if (s.ok()) s = db->Commit(txn);
-        if (!s.ok() && txn->state() == TxnState::kActive) db->Abort(txn);
+        if (!s.ok() && txn->state() == TxnState::kActive) (void)db->Abort(txn);
         db->Forget(txn);
       }
     });

@@ -62,7 +62,7 @@ TEST(KeyRange, InsertIntoScannedRangeBlocks) {
   // 15 falls in the gap below scanned key 20: phantom, must block.
   Status s = db->Insert(writer, "t", Item(15));
   EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
-  db->Abort(writer);
+  EXPECT_TRUE(db->Abort(writer).ok());
 
   // The scan still sees exactly the same rows.
   auto again = db->ScanTableRange(scanner, "t", {Value::Int64(0)},
@@ -82,7 +82,7 @@ TEST(KeyRange, InsertJustBelowBoundaryBlocksConservatively) {
   // 27 is outside [0,25) but inside the boundary gap (20, 30): blocked —
   // the standard (conservative) granularity of next-key locking.
   EXPECT_TRUE(db->Insert(writer, "t", Item(27)).IsTimedOut());
-  db->Abort(writer);
+  EXPECT_TRUE(db->Abort(writer).ok());
   ASSERT_TRUE(db->Commit(scanner).ok());
 }
 
@@ -94,7 +94,7 @@ TEST(KeyRange, DeleteInsideScannedRangeBlocks) {
                   .ok());
   Transaction* writer = db->Begin();
   EXPECT_TRUE(db->Delete(writer, "t", {Value::Int64(10)}).IsTimedOut());
-  db->Abort(writer);
+  EXPECT_TRUE(db->Abort(writer).ok());
   ASSERT_TRUE(db->Commit(scanner).ok());
 }
 
@@ -108,7 +108,7 @@ TEST(KeyRange, DeleteOfBoundaryRowBlocks) {
                   .ok());
   Transaction* writer = db->Begin();
   EXPECT_TRUE(db->Delete(writer, "t", {Value::Int64(30)}).IsTimedOut());
-  db->Abort(writer);
+  EXPECT_TRUE(db->Abort(writer).ok());
   // A row far above is deletable.
   writer = db->Begin();
   EXPECT_TRUE(db->Delete(writer, "t", {Value::Int64(80)}).ok());
@@ -123,7 +123,7 @@ TEST(KeyRange, UnboundedScanLocksEofGap) {
   // Appending past the maximum key hits the EOF gap.
   Transaction* writer = db->Begin();
   EXPECT_TRUE(db->Insert(writer, "t", Item(1000)).IsTimedOut());
-  db->Abort(writer);
+  EXPECT_TRUE(db->Abort(writer).ok());
   ASSERT_TRUE(db->Commit(scanner).ok());
 }
 
@@ -137,7 +137,7 @@ TEST(KeyRange, EmptyRangeStillProtected) {
   // The empty range is covered by the boundary gap below 20.
   Transaction* writer = db->Begin();
   EXPECT_TRUE(db->Insert(writer, "t", Item(15)).IsTimedOut());
-  db->Abort(writer);
+  EXPECT_TRUE(db->Abort(writer).ok());
   ASSERT_TRUE(db->Commit(scanner).ok());
 }
 
@@ -158,7 +158,7 @@ TEST(KeyRange, TwoDisjointScannersAndWriters) {
     if (db->Insert(writer, "t", Item(k)).ok() && db->Commit(writer).ok()) {
       ok_writes++;
     } else if (writer->state() == TxnState::kActive) {
-      db->Abort(writer);
+      EXPECT_TRUE(db->Abort(writer).ok());
     }
     db->Forget(writer);
   }

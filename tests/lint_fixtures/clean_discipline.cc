@@ -1,0 +1,40 @@
+// Fixture: the clean twin — every pattern here follows the discipline, so
+// ivdb_lint --fixtures asserts ZERO analyzer findings (no LINT-EXPECT).
+//
+//   * Guards nest in strictly increasing rank order.
+//   * A TryMutexLock probe against the order is sanctioned (no blocking).
+//   * Guarded fields are touched under their guard, under an
+//     IVDB_REQUIRES entry contract, or inside a constructor.
+
+#include "common/mutex.h"
+
+namespace ivdb {
+namespace lint_fixture {
+
+RankedMutex low_side_mu_{LockRank::kTxnActive, "low_side_mu_"};
+RankedMutex high_side_mu_{LockRank::kCatalog, "high_side_mu_"};
+int tally_ IVDB_GUARDED_BY(low_side_mu_) = 0;
+
+class Holder {
+ public:
+  Holder() { tally_ = 0; }  // constructors touch guarded state pre-publication
+};
+
+void TouchUnderRequires() IVDB_REQUIRES(low_side_mu_) { tally_ += 1; }
+
+void NestInDeclaredOrder() {
+  MutexLock outer(&low_side_mu_);  // rank 10
+  tally_ += 1;
+  MutexLock inner(&high_side_mu_);  // rank 70: strictly increasing
+}
+
+void ProbeAgainstOrder() {
+  MutexLock outer(&high_side_mu_);  // rank 70
+  TryMutexLock probe(&low_side_mu_);  // try-probe never blocks: sanctioned
+  if (probe.OwnsLock()) {
+    tally_ += 1;
+  }
+}
+
+}  // namespace lint_fixture
+}  // namespace ivdb

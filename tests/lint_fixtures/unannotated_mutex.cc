@@ -1,0 +1,21 @@
+// Fixture: mutexes invisible to the lock hierarchy.
+//
+// A raw std::mutex bypasses both the static analyzer and the runtime order
+// tracker, and a RankedMutex declared without its inline
+// {LockRank::…, "name"} initializer cannot be keyed into the hierarchy.
+// ivdb_lint --fixtures asserts the rule below fires (both forms map to it).
+//
+// LINT-EXPECT: unranked-mutex
+
+#include "common/mutex.h"
+
+#include <mutex>
+
+namespace ivdb {
+namespace lint_fixture {
+
+std::mutex invisible_mu_;       // raw primitive: no rank, no tracker entry
+RankedMutex rankless_mu_;       // RankedMutex without a declared rank
+
+}  // namespace lint_fixture
+}  // namespace ivdb

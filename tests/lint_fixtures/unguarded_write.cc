@@ -1,0 +1,23 @@
+// Fixture: a guarded field written with no lock and no REQUIRES path.
+//
+// `hits_` is annotated IVDB_GUARDED_BY(stats_side_mu_); the write below
+// holds no guard on that mutex and the function declares no
+// IVDB_REQUIRES(stats_side_mu_), so the touch is a data race waiting for a
+// second thread. ivdb_lint --fixtures asserts the rule below fires.
+//
+// LINT-EXPECT: guarded-by-missing-lock
+
+#include "common/mutex.h"
+
+namespace ivdb {
+namespace lint_fixture {
+
+RankedMutex stats_side_mu_{LockRank::kMetricsRegistry, "stats_side_mu_"};
+int hits_ IVDB_GUARDED_BY(stats_side_mu_) = 0;
+
+void RecordHitRacily() {
+  hits_ += 1;  // no guard held, no REQUIRES declared
+}
+
+}  // namespace lint_fixture
+}  // namespace ivdb

@@ -129,7 +129,7 @@ TEST(LockEscalation, EndToEndThroughDatabase) {
   // Everything committed despite the key locks being dropped mid-flight.
   Transaction* reader = db->Begin();
   EXPECT_EQ(db->ScanTable(reader, "t")->size(), 64u);
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST(LockEscalation, EscalatedTransactionStillRollsBack) {
@@ -148,7 +148,7 @@ TEST(LockEscalation, EscalatedTransactionStillRollsBack) {
   ASSERT_TRUE(db->Abort(txn).ok());
   Transaction* reader = db->Begin();
   EXPECT_TRUE(db->ScanTable(reader, "t")->empty());
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 }  // namespace

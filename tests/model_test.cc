@@ -152,7 +152,7 @@ TEST_P(ModelTest, EngineMatchesReferenceModel) {
         }
         EXPECT_EQ(by_idx->size(), expected) << "grp " << grp;
       }
-      db->Commit(reader);
+      EXPECT_TRUE(db->Commit(reader).ok());
       db->Forget(reader);
       ASSERT_TRUE(db->VerifyViewConsistency("v").ok());
     }

@@ -123,7 +123,7 @@ std::string CaptureState(Database* db) {
       out << view << "-scan:" << vrows.status().ToString() << "\n";
     }
   }
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
   return out.str();
 }
 
@@ -233,7 +233,7 @@ TEST_P(RecoveryEquivalenceTest, SerialAndParallelReplayAgree) {
                              Value::String("eu"), Value::Int64(7),
                              Value::Double(1.25)});
       if (s.IsNotFound()) {  // crashed before the CREATE TABLE checkpoint
-        db->Abort(txn);
+        (void)db->Abort(txn);
         continue;
       }
       ASSERT_TRUE(s.ok()) << s.ToString();

@@ -52,7 +52,7 @@ TEST_F(RecoveryTest, UncommittedWorkRolledBackAtRestart) {
   ASSERT_TRUE(r1->has_value());
   EXPECT_EQ((**r1)[2].AsDouble(), 10.0);  // update undone
   EXPECT_FALSE(db->Get(reader, "sales", {Value::Int64(2)})->has_value());
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST_F(RecoveryTest, ViewMaintenanceRecovered) {
@@ -73,7 +73,7 @@ TEST_F(RecoveryTest, ViewMaintenanceRecovered) {
   ASSERT_TRUE(eu->has_value());
   EXPECT_EQ((**eu)[1].AsInt64(), 2);
   EXPECT_EQ((**eu)[2].AsDouble(), 17.0);
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST_F(RecoveryTest, LogicalUndoAtRestartPreservesCommittedIncrements) {
@@ -100,7 +100,7 @@ TEST_F(RecoveryTest, LogicalUndoAtRestartPreservesCommittedIncrements) {
   EXPECT_EQ((**eu)[1].AsInt64(), 1);
   EXPECT_EQ((**eu)[2].AsDouble(), 10.0);
   EXPECT_FALSE(db->Get(reader, "sales", {Value::Int64(2)})->has_value());
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST_F(RecoveryTest, SystemTransactionGhostSurvivesUserRollback) {
@@ -124,7 +124,7 @@ TEST_F(RecoveryTest, SystemTransactionGhostSurvivesUserRollback) {
   Transaction* reader = db->Begin();
   EXPECT_FALSE(
       db->GetViewRow(reader, "by_region", {Value::String("eu")})->has_value());
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
   // And reclaimable.
   uint64_t reclaimed = 0;
   ASSERT_TRUE(db->CleanGhosts(&reclaimed).ok());
@@ -155,7 +155,7 @@ TEST_F(RecoveryTest, CheckpointRetiresDeadSegmentsAndRestores) {
   auto db = OpenDb();
   Transaction* reader = db->Begin();
   EXPECT_EQ(db->ScanTable(reader, "sales")->size(), 51u);
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST_F(RecoveryTest, ViewDefinitionSurvivesViaCheckpoint) {
@@ -197,7 +197,7 @@ TEST_F(RecoveryTest, RecoveryIsIdempotent) {
     ASSERT_TRUE(rows.ok());
     ASSERT_EQ(rows->size(), 1u) << "round " << round;
     EXPECT_EQ((*rows)[0][0].AsInt64(), 1);
-    db->Commit(reader);
+    EXPECT_TRUE(db->Commit(reader).ok());
   }
 }
 
@@ -226,7 +226,7 @@ TEST_F(RecoveryTest, TornLogTailIgnored) {
   auto rows = db->ScanTable(reader, "sales");
   ASSERT_TRUE(rows.ok());
   EXPECT_LE(rows->size(), 1u);
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST_F(RecoveryTest, MultipleCheckpointCycles) {
@@ -244,7 +244,7 @@ TEST_F(RecoveryTest, MultipleCheckpointCycles) {
   auto db = OpenDb();
   Transaction* reader = db->Begin();
   EXPECT_EQ(db->ScanTable(reader, "sales")->size(), 5u);
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST_F(RecoveryTest, CrashDuringHeavyMixedWorkloadStaysConsistent) {
@@ -281,7 +281,7 @@ TEST_F(RecoveryTest, CrashDuringHeavyMixedWorkloadStaysConsistent) {
   Transaction* reader = db->Begin();
   EXPECT_FALSE(db->Get(reader, "sales", {Value::Int64(1000)})->has_value());
   EXPECT_FALSE(db->Get(reader, "sales", {Value::Int64(1001)})->has_value());
-  db->Commit(reader);
+  EXPECT_TRUE(db->Commit(reader).ok());
 }
 
 TEST_F(RecoveryTest, TimestampsAndIdsAdvancePastLog) {

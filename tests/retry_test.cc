@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "obs/trace.h"
 #include "test_util.h"
 
@@ -121,7 +122,7 @@ TEST_F(RunTransactionTest, CommitsOnFirstAttempt) {
 
   Transaction* reader = db_->Begin();
   EXPECT_TRUE(db_->Get(reader, "sales", {Value::Int64(1)})->has_value());
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 }
 
 TEST_F(RunTransactionTest, RetriesUntilBodySucceedsAndRollsBackFailures) {
@@ -152,7 +153,7 @@ TEST_F(RunTransactionTest, RetriesUntilBodySucceedsAndRollsBackFailures) {
   auto rows = db_->ScanTable(reader, "sales");
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 1u);  // exactly the final attempt's insert
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 }
 
 TEST_F(RunTransactionTest, NonRetryableStatusReturnsImmediately) {
@@ -170,7 +171,7 @@ TEST_F(RunTransactionTest, NonRetryableStatusReturnsImmediately) {
   // The failed attempt's database effects are gone.
   Transaction* reader = db_->Begin();
   EXPECT_FALSE(db_->Get(reader, "sales", {Value::Int64(7)})->has_value());
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 }
 
 TEST(RunTransactionClock, ManualClockPinsBackoffSchedule) {
@@ -255,7 +256,7 @@ TEST_F(RunTransactionTest, DeadlockStormEveryTransactionSucceeds) {
   auto rows = db_->ScanTable(reader, "sales");
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 2u);
-  db_->Commit(reader);
+  EXPECT_TRUE(db_->Commit(reader).ok());
 }
 
 // --- Admission control ---
@@ -285,7 +286,7 @@ TEST(AdmissionControl, RejectsWithBusyWhenFull) {
   ASSERT_TRUE(db->Commit(first.value()).ok());
   auto third = db->BeginChecked();
   ASSERT_TRUE(third.ok()) << third.status().ToString();
-  db->Commit(third.value());
+  EXPECT_TRUE(db->Commit(third.value()).ok());
 }
 
 TEST(AdmissionControl, WaiterIsAdmittedWhenSlotFrees) {
@@ -303,7 +304,7 @@ TEST(AdmissionControl, WaiterIsAdmittedWhenSlotFrees) {
     auto txn = db->BeginChecked();
     if (txn.ok()) {
       admitted = true;
-      db->Commit(txn.value());
+      (void)db->Commit(txn.value());
     }
   });
   // Let the waiter queue up, then free the slot well inside its timeout.
@@ -364,7 +365,7 @@ TEST(Watchdog, SkipsTransactionWhoseOwnerIsMidOperation) {
   {
     // Simulate the owner thread being inside an engine call: the watchdog
     // must not abort a transaction it cannot latch.
-    std::lock_guard<std::mutex> busy(txn->owner_mu());
+    MutexLock busy(&txn->owner_mu());
     EXPECT_EQ(db->AbortStuckTransactions(), 0u);
     EXPECT_EQ(txn->state(), TxnState::kActive);
   }

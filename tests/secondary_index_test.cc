@@ -42,7 +42,7 @@ struct Fixture {
     EXPECT_TRUE(rows.ok()) << rows.status().ToString();
     std::vector<int64_t> ids;
     for (const Row& row : rows.value()) ids.push_back(row[0].AsInt64());
-    db->Commit(txn);
+    EXPECT_TRUE(db->Commit(txn).ok());
     db->Forget(txn);
     return ids;
   }
@@ -143,7 +143,7 @@ TEST(SecondaryIndex, DuplicateIndexedValuesAllowed) {
   auto rows = f.db->GetByIndex(reader, "by_amount", {Value::Int64(7)});
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 10u);
-  f.db->Commit(reader);
+  EXPECT_TRUE(f.db->Commit(reader).ok());
 }
 
 TEST(SecondaryIndex, CompositeIndexPrefixLookups) {
@@ -173,7 +173,7 @@ TEST(SecondaryIndex, CompositeIndexPrefixLookups) {
                                 Value::Int64(2)})
                   .status()
                   .IsInvalidArgument());
-  f.db->Commit(reader);
+  EXPECT_TRUE(f.db->Commit(reader).ok());
 }
 
 TEST(SecondaryIndex, SnapshotReadsSeeIndexAsOfBegin) {
@@ -194,7 +194,7 @@ TEST(SecondaryIndex, SnapshotReadsSeeIndexAsOfBegin) {
   ASSERT_TRUE(rows.ok());
   ASSERT_EQ(rows->size(), 1u);
   EXPECT_EQ((*rows)[0][0].AsInt64(), 1);
-  f.db->Commit(snapshot);
+  EXPECT_TRUE(f.db->Commit(snapshot).ok());
   EXPECT_EQ(f.IdsByRegion("eu"), (std::vector<int64_t>{2}));
 }
 

@@ -165,13 +165,15 @@ inline void RandomOp(Database* db, Random* rng, int64_t id_space) {
       if (!s2.IsAlreadyExists() && !s2.ok()) s = s2;
     }
     if (s.ok() && rng->OneIn(10)) {
-      db->Abort(txn);
+      // Deliberate random abort; under fault injection it may itself fail,
+      // which is fine — the workload only promises eventual progress.
+      (void)db->Abort(txn);
       db->Forget(txn);
       return;
     }
     if (s.ok()) s = db->Commit(txn);
     bool done = s.ok();
-    if (!done && txn->state() == TxnState::kActive) db->Abort(txn);
+    if (!done && txn->state() == TxnState::kActive) (void)db->Abort(txn);
     db->Forget(txn);
     if (done) return;
   }

@@ -161,7 +161,7 @@ TEST(EngineTrace, DeadlockVictimDumpShowsDeadlock) {
     if (s.ok()) {
       EXPECT_TRUE(db->Commit(txn).ok());
     } else {
-      if (txn->state() == TxnState::kActive) db->Abort(txn);
+      if (txn->state() == TxnState::kActive) (void)db->Abort(txn);
       std::lock_guard<std::mutex> guard(dumps_mu);
       victim_dumps.push_back(txn->DumpTrace());
     }

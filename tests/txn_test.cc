@@ -226,8 +226,8 @@ TEST_F(TxnTest, VersionStoreFlipsAtCommit) {
   auto late = versions_.GetAsOf(1, "k", late_reader->begin_ts());
   EXPECT_FALSE(late.use_chain_value);  // reads the physical value
 
-  txns_.Commit(early_reader);
-  txns_.Commit(late_reader);
+  EXPECT_TRUE(txns_.Commit(early_reader).ok());
+  EXPECT_TRUE(txns_.Commit(late_reader).ok());
 }
 
 TEST_F(TxnTest, OldestActiveTs) {
@@ -298,7 +298,7 @@ TEST_F(TxnTest, ForgetReclaimsDescriptor) {
   // A fresh transaction gets a fresh id.
   Transaction* next = txns_.Begin();
   EXPECT_GT(next->id(), id);
-  txns_.Commit(next);
+  EXPECT_TRUE(txns_.Commit(next).ok());
 }
 
 TEST_F(TxnTest, SavepointRollsBackSuffixOnly) {
@@ -363,7 +363,7 @@ TEST_F(TxnTest, AdvancePast) {
   Transaction* txn = txns_.Begin();
   EXPECT_GT(txn->id(), 1000u);
   EXPECT_GT(txn->begin_ts(), 5000u);
-  txns_.Commit(txn);
+  EXPECT_TRUE(txns_.Commit(txn).ok());
 }
 
 }  // namespace
