@@ -19,23 +19,38 @@
 //   Database::indexes_mu_       (6)    object-id -> BTree map (shared)
 //   Database::views_mu_         (7)    view registry (shared)
 //   TxnManager::active_mu_      (10)   Begin / FinishTxn / quiesce gate
-//   TxnManager::visibility_mu_  (20)   commit-ts draw + version flip
-//   LockManager::table_mu_      (30)   the lock table
-//   VersionStore::store_mu_     (40)   version chains (+ atomic note+apply)
+//   TxnManager::visibility_mu_  (20)   commit-ts draw + in-LSN-order flip
+//   EpochClock::advance_mu_     (21)   commit-epoch reserve/publish
+//   LockManager::graph_mu_      (28)   waits-for graph + per-txn bookkeeping
+//   LockManager::lock_stripe_mu_ (30)  one lock-table stripe (never nested
+//                                      with another stripe)
+//   VersionStore::pending_mu_   (37)   txn -> dirty-chain-key bookkeeping
+//   VersionStore::version_stripe_mu_ (40) one version-chain stripe (never
+//                                      nested with another stripe)
 //   BTree::latch_               (45)   per-tree structural latch
-//   LogManager::flush_mu_       (50)   group-commit leader election
+//   LogManager::flush_mu_       (50)   flush waiters + WAL-writer parking
 //   LogManager::seg_mu_         (55)   WAL segment manifest (rotation/retire)
-//   LogManager::buf_mu_         (60)   WAL append buffer
+//   LogManager::wal_shard_mu_   (58)   one commit-staging shard (never
+//                                      nested with another shard)
+//   LogManager::buf_mu_         (60)   WAL append buffer (serial path)
 //   Catalog::catalog_mu_        (70)   name/schema maps: never calls out
 //   MetricsRegistry::registry_mu_ (80) instrument interning (leaf)
 //   TraceRecorder::ring_mu_     (85)   trace ring (EmitTrace under WAL locks)
 //   FaultInjectionEnv::env_mu_  (90)   fault schedule (env ops under seg_mu_)
 //
-// e.g. Commit holds visibility_mu_ (20) while appending the COMMIT record
-// (60) and flipping versions (40); ApplyIncrement holds the version-store
-// mutex (40) while appending the INCREMENT record (60); the group-commit
-// leader holds flush_mu_ (50) while swapping the buffer (60); snapshot reads
-// hold store_mu_ (40) while probing the physical tree (45).
+// e.g. Commit holds visibility_mu_ (20) while drawing the durable epoch
+// (21), staging the COMMIT record (58/60) and flipping versions (40);
+// ApplyIncrement holds a version stripe (40) while staging the INCREMENT
+// record (58/60); the group-commit leader holds flush_mu_ (50) while
+// swapping the buffer (60); snapshot reads hold a version stripe (40) while
+// probing the physical tree (45).
+//
+// Striping note: the lock-table stripes all share rank 30, the version-chain
+// stripes rank 40, and the WAL staging shards rank 58. The strictly-greater
+// rule therefore *forbids nesting two stripes of the same family* — exactly
+// the discipline the striped designs rely on (multi-stripe operations such
+// as deadlock DFS, lock escalation, commit stamping, and the batch writer's
+// shard drain visit stripes strictly one at a time).
 //
 // Ranked mutexes (common/mutex.h) feed the tracker from their own
 // Lock/Unlock paths, so a locking site needs no separate declaration. The
@@ -67,11 +82,15 @@ enum class LockRank : int {
   kEngineViews = 7,
   kTxnActive = 10,
   kTxnVisibility = 20,
+  kTxnEpoch = 21,
+  kLockGraph = 28,
   kLockManager = 30,
+  kVersionPending = 37,
   kVersionStore = 40,
   kBtreeLatch = 45,
   kWalFlush = 50,
   kWalSegments = 55,
+  kWalShard = 58,
   kWalBuffer = 60,
   kCatalog = 70,
   kMetricsRegistry = 80,

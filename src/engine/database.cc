@@ -92,6 +92,17 @@ Database::Database(DatabaseOptions options)
   log_options.flush_delay_micros = options_.flush_delay_micros;
   log_options.group_commit_window_micros =
       options_.group_commit_window_micros;
+  log_options.dedicated_writer = options_.commit_pipeline;
+  log_options.staging_shards = options_.wal_staging_shards;
+  // The adaptive batching window regrows from the configured group-commit
+  // window and may stretch to 2x under sustained commit load. The cap is
+  // deliberately tight: the window only has to assemble the convoy of
+  // committers released by the previous batch — stragglers arriving later
+  // are accumulated by the fsync itself — so a window anywhere near the
+  // device latency just adds a full sleep to every batch cycle.
+  log_options.batch_window_min_micros = options_.group_commit_window_micros;
+  log_options.batch_window_max_micros =
+      2 * options_.group_commit_window_micros;
   log_options.metrics = &registry_;
   // Runs once, on the thread whose I/O failure poisoned the WAL, possibly
   // with WAL locks held — just flip the gauge and drop a span marker into

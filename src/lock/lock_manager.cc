@@ -1,12 +1,22 @@
 #include "lock/lock_manager.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/lock_order.h"
 #include "common/logging.h"
 #include "obs/trace.h"
 
 namespace ivdb {
+
+namespace {
+
+// Default stripe count. Sixteen independent cache-line-aligned buckets is
+// enough that a committer fleet hashing random keys almost never collides,
+// while keeping the fixed footprint trivial.
+constexpr size_t kDefaultLockStripes = 16;
+
+}  // namespace
 
 LockManagerMetrics::LockManagerMetrics(obs::MetricsRegistry* registry)
     : acquisitions(registry->GetCounter("ivdb_lock_acquisitions_total")),
@@ -29,7 +39,14 @@ LockManager::LockManager(Options options)
                           : nullptr),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : owned_registry_.get()),
-      clock_(options.clock != nullptr ? options.clock : Clock::Default()) {}
+      clock_(options.clock != nullptr ? options.clock : Clock::Default()) {
+  const size_t n =
+      options_.stripes != 0 ? options_.stripes : kDefaultLockStripes;
+  stripes_.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
 
 std::string ResourceId::ToString() const {
   std::string out = "obj" + std::to_string(object_id);
@@ -45,18 +62,24 @@ std::string ResourceId::ToString() const {
   return out;
 }
 
+LockManager::Stripe& LockManager::StripeFor(const ResourceId& res) const {
+  size_t h = std::hash<uint32_t>{}(res.object_id);
+  h ^= std::hash<std::string>{}(res.key) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+       (h >> 2);
+  return *stripes_[h % stripes_.size()];
+}
+
 Status LockManager::Lock(TxnId txn, const ResourceId& res, LockMode mode) {
-  UniqueMutexLock guard(&table_mu_);
-  return LockInternal(txn, res, mode, /*wait=*/true, &guard);
+  return LockInternal(txn, res, mode, /*wait=*/true);
 }
 
 Status LockManager::TryLock(TxnId txn, const ResourceId& res, LockMode mode) {
-  UniqueMutexLock guard(&table_mu_);
-  return LockInternal(txn, res, mode, /*wait=*/false, &guard);
+  return LockInternal(txn, res, mode, /*wait=*/false);
 }
 
-bool LockManager::CanGrant(const LockQueue& queue,
+bool LockManager::CanGrant(const Stripe& stripe, const LockQueue& queue,
                            const LockRequest& req) const {
+  (void)stripe;
   bool is_conversion = req.converting_from != LockMode::kNL;
   for (const LockRequest& other : queue.requests) {
     if (&other == &req) {
@@ -84,17 +107,41 @@ bool LockManager::CanGrant(const LockQueue& queue,
   return true;
 }
 
+void LockManager::RollbackRequest(const Stripe& stripe, const ResourceId& res,
+                                  LockQueue* queue,
+                                  std::list<LockRequest>::iterator request,
+                                  bool is_conversion, LockMode restore_mode) {
+  if (is_conversion) {
+    // If the conversion was granted in a window where the stripe was
+    // unlocked (deadlock verdict racing a grant), this simply downgrades
+    // back — semantically the conversion never happened.
+    request->mode = restore_mode;
+    request->converting_from = LockMode::kNL;
+    request->granted = true;
+  } else {
+    queue->requests.erase(request);
+  }
+  GrantWaiters(stripe, res, queue);
+}
+
 Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
-                                 LockMode mode, bool wait,
-                                 UniqueMutexLock* guard) {
+                                 LockMode mode, bool wait) {
   metrics_.acquisitions->Add();
 
   // Coarse-lock coverage: a key request already implied by a held
   // object-level lock (e.g. after escalation) is granted without creating
-  // a key-level request at all.
+  // a key-level request at all. The object lives in another stripe, so
+  // this is its own earlier critical section; the mode read is stable
+  // because only this transaction (serialized by its engine owner latch)
+  // ever changes its own object-level holds.
   if (!res.IsObjectLevel()) {
-    LockMode object_mode =
-        HeldModeLocked(txn, ResourceId::Object(res.object_id));
+    const ResourceId object_res = ResourceId::Object(res.object_id);
+    Stripe& object_stripe = StripeFor(object_res);
+    LockMode object_mode;
+    {
+      MutexLock object_guard(&object_stripe.lock_stripe_mu_);
+      object_mode = HeldModeLocked(object_stripe, txn, object_res);
+    }
     if (object_mode != LockMode::kNL && LockModeCovers(object_mode, mode)) {
       metrics_.covered_by_object_lock->Add();
       metrics_.immediate_grants->Add();
@@ -102,7 +149,10 @@ Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
     }
   }
 
-  auto& queue_ptr = queues_[res];
+  Stripe& stripe = StripeFor(res);
+  UniqueMutexLock guard(&stripe.lock_stripe_mu_);
+
+  auto& queue_ptr = stripe.queues[res];
   if (queue_ptr == nullptr) queue_ptr = std::make_unique<LockQueue>();
   LockQueue* queue = queue_ptr.get();
 
@@ -111,6 +161,7 @@ Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
                          [txn](const LockRequest& r) { return r.txn == txn; });
 
   bool is_conversion = false;
+  bool fresh_request = false;
   LockMode restore_mode = LockMode::kNL;
   if (it != queue->requests.end()) {
     IVDB_CHECK_MSG(it->granted, "transaction already waiting on this lock");
@@ -129,54 +180,55 @@ Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
   } else {
     queue->requests.push_back(LockRequest{txn, mode, LockMode::kNL, false});
     it = std::prev(queue->requests.end());
-    txn_locks_[txn].insert(res);
+    fresh_request = true;
   }
 
-  auto rollback_request = [&]() {
-    if (is_conversion) {
-      it->mode = restore_mode;
-      it->converting_from = LockMode::kNL;
-      it->granted = true;
-    } else {
-      queue->requests.erase(it);
-      // Only erase the bookkeeping entry if the txn has no other request on
-      // this resource (it cannot, but keep the set consistent regardless).
-      txn_locks_[txn].erase(res);
-      if (txn_locks_[txn].empty()) txn_locks_.erase(txn);
-    }
-    GrantWaiters(res, queue);
-  };
-
-  auto note_key_grant = [&] {
-    if (is_conversion || res.IsObjectLevel()) return;
-    size_t count = ++key_counts_[{txn, res.object_id}];
-    if (options_.escalation_threshold > 0 &&
-        count >= options_.escalation_threshold) {
-      TryEscalateLocked(txn, res.object_id);
-    }
-  };
-
-  if (CanGrant(*queue, *it)) {
+  if (CanGrant(stripe, *queue, *it)) {
     it->granted = true;
     it->converting_from = LockMode::kNL;
     metrics_.immediate_grants->Add();
-    note_key_grant();
+    guard.Unlock();
+    FinishGrant(txn, res, fresh_request, is_conversion);
     return Status::OK();
   }
 
   if (!wait) {
-    rollback_request();
+    RollbackRequest(stripe, res, queue, it, is_conversion, restore_mode);
     return Status::Busy("lock not immediately available: " + res.ToString());
   }
 
-  waiting_on_[txn] = res;
+  // The request is queued; release the stripe before touching the graph
+  // (stripes rank above graph_mu_, never the reverse). The queue entry —
+  // and therefore `queue` and `it` — stay valid while unlocked: only this
+  // transaction may erase its own request, and a queue with requests in it
+  // is never reclaimed.
+  guard.Unlock();
+
   // Recorded before the deadlock probe so a victim's trace still shows what
   // it was about to wait on when the detector chose it.
   obs::EmitTrace(obs::TraceEventType::kLockWait, res.object_id,
                  res.IsObjectLevel() ? 0 : 1);
-  if (options_.detect_deadlocks && WouldDeadlock(txn)) {
-    waiting_on_.erase(txn);
-    rollback_request();
+
+  // Publish the wait edge and probe for a cycle in ONE graph_mu_ critical
+  // section: every edge is published before its owner's DFS runs, so the
+  // last transaction to close a cycle is guaranteed to observe the whole
+  // cycle and elect itself the victim.
+  bool deadlock = false;
+  if (options_.detect_deadlocks) {
+    MutexLock graph_guard(&graph_mu_);
+    waiting_on_[txn] = res;
+    if (WouldDeadlockLocked(txn)) {
+      waiting_on_.erase(txn);
+      deadlock = true;
+    }
+  } else {
+    MutexLock graph_guard(&graph_mu_);
+    waiting_on_[txn] = res;
+  }
+  if (deadlock) {
+    guard.Lock();
+    RollbackRequest(stripe, res, queue, it, is_conversion, restore_mode);
+    guard.Unlock();
     metrics_.deadlocks->Add();
     obs::EmitTrace(obs::TraceEventType::kLockDeadlock, res.object_id);
     return Status::Deadlock(std::string("deadlock acquiring ") +
@@ -190,33 +242,57 @@ Status LockManager::LockInternal(TxnId txn, const ResourceId& res,
   const auto deadline =
       std::chrono::steady_clock::now() + options_.wait_timeout;
   bool granted = false;
+  guard.Lock();
   while (true) {
-    if (queue->cv.WaitUntil(guard, deadline) == std::cv_status::timeout) {
+    if (it->granted) {
+      // Possibly granted while the stripe was unlocked around the deadlock
+      // probe — the predicate check before the first wait catches it.
+      granted = true;
+      break;
+    }
+    if (queue->cv.WaitUntil(&guard, deadline) == std::cv_status::timeout) {
       // Re-check once under the lock: the grant may have raced the timeout.
       granted = it->granted;
       break;
     }
-    if (it->granted) {
-      granted = true;
-      break;
-    }
   }
-  waiting_on_.erase(txn);
+  if (!granted) {
+    RollbackRequest(stripe, res, queue, it, is_conversion, restore_mode);
+  }
+  guard.Unlock();
+  {
+    MutexLock graph_guard(&graph_mu_);
+    waiting_on_.erase(txn);
+  }
   const uint64_t waited = clock_->NowMicros() - wait_start;
   metrics_.wait_micros->Add(waited);
   metrics_.wait_latency->Record(waited);
   if (granted) {
     obs::EmitTrace(obs::TraceEventType::kLockGrant, res.object_id, waited);
-    note_key_grant();
+    FinishGrant(txn, res, fresh_request, is_conversion);
     return Status::OK();
   }
-  rollback_request();
   metrics_.timeouts->Add();
   obs::EmitTrace(obs::TraceEventType::kLockTimeout, res.object_id, waited);
   return Status::TimedOut("lock wait timeout on " + res.ToString());
 }
 
-void LockManager::GrantWaiters(const ResourceId& res, LockQueue* queue) {
+void LockManager::FinishGrant(TxnId txn, const ResourceId& res,
+                              bool fresh_request, bool is_conversion) {
+  // Runs after the stripe is released: a transaction's own bookkeeping is
+  // stable under its engine owner latch, so nothing can observe the gap.
+  MutexLock graph_guard(&graph_mu_);
+  if (fresh_request) txn_locks_[txn].insert(res);
+  if (is_conversion || res.IsObjectLevel()) return;
+  size_t count = ++key_counts_[{txn, res.object_id}];
+  if (options_.escalation_threshold > 0 &&
+      count >= options_.escalation_threshold) {
+    TryEscalateLocked(txn, res.object_id);
+  }
+}
+
+void LockManager::GrantWaiters(const Stripe& stripe, const ResourceId& res,
+                               LockQueue* queue) {
   (void)res;
   bool any_granted = false;
   bool fresh_blocked = false;
@@ -224,7 +300,7 @@ void LockManager::GrantWaiters(const ResourceId& res, LockQueue* queue) {
     if (req.granted) continue;
     bool is_conversion = req.converting_from != LockMode::kNL;
     if (!is_conversion && fresh_blocked) continue;
-    if (CanGrant(*queue, req)) {
+    if (CanGrant(stripe, *queue, req)) {
       req.granted = true;
       req.converting_from = LockMode::kNL;
       any_granted = true;
@@ -235,12 +311,19 @@ void LockManager::GrantWaiters(const ResourceId& res, LockQueue* queue) {
   if (any_granted) queue->cv.NotifyAll();
 }
 
-std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
+std::vector<TxnId> LockManager::BlockersOfLocked(TxnId txn) const {
   std::vector<TxnId> blockers;
   auto wait_it = waiting_on_.find(txn);
   if (wait_it == waiting_on_.end()) return blockers;
-  auto queue_it = queues_.find(wait_it->second);
-  if (queue_it == queues_.end()) return blockers;
+  const ResourceId& res = wait_it->second;
+
+  // Re-read live queue state under the resource's stripe (taken inside
+  // graph_mu_, 28 -> 30, one stripe at a time). A stale wait edge — its
+  // owner already granted — yields no blockers here.
+  Stripe& stripe = StripeFor(res);
+  MutexLock stripe_guard(&stripe.lock_stripe_mu_);
+  auto queue_it = stripe.queues.find(res);
+  if (queue_it == stripe.queues.end()) return blockers;
   const LockQueue& queue = *queue_it->second;
 
   auto self = std::find_if(queue.requests.begin(), queue.requests.end(),
@@ -264,49 +347,63 @@ std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
   return blockers;
 }
 
-bool LockManager::WouldDeadlock(TxnId requester) const {
+bool LockManager::WouldDeadlockLocked(TxnId requester) const {
   // DFS over the waits-for graph looking for a cycle back to `requester`.
-  std::vector<TxnId> stack = BlockersOf(requester);
+  std::vector<TxnId> stack = BlockersOfLocked(requester);
   std::set<TxnId> visited;
   while (!stack.empty()) {
     TxnId t = stack.back();
     stack.pop_back();
     if (t == requester) return true;
     if (!visited.insert(t).second) continue;
-    for (TxnId b : BlockersOf(t)) stack.push_back(b);
+    for (TxnId b : BlockersOfLocked(t)) stack.push_back(b);
   }
   return false;
 }
 
-void LockManager::EraseRequest(TxnId txn, const ResourceId& res,
-                               LockQueue* queue) {
+void LockManager::EraseRequest(Stripe& stripe, TxnId txn,
+                               const ResourceId& res, LockQueue* queue) {
   queue->requests.remove_if(
       [txn](const LockRequest& r) { return r.txn == txn; });
-  GrantWaiters(res, queue);
-  if (queue->requests.empty()) queues_.erase(res);
+  GrantWaiters(stripe, res, queue);
+  if (queue->requests.empty()) stripe.queues.erase(res);
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  UniqueMutexLock guard(&table_mu_);
-  auto it = txn_locks_.find(txn);
-  if (it != txn_locks_.end()) {
-    for (const ResourceId& res : it->second) {
-      auto queue_it = queues_.find(res);
-      if (queue_it == queues_.end()) continue;
-      EraseRequest(txn, res, queue_it->second.get());
+  // Snapshot-and-clear the bookkeeping first (graph_mu_), then walk the
+  // stripes one at a time. The set cannot change in between: only the
+  // owning transaction adds entries, and it is not running — it is here.
+  std::set<ResourceId> resources;
+  {
+    MutexLock graph_guard(&graph_mu_);
+    auto it = txn_locks_.find(txn);
+    if (it != txn_locks_.end()) {
+      resources.swap(it->second);
+      txn_locks_.erase(it);
     }
-    txn_locks_.erase(it);
+    waiting_on_.erase(txn);
+    key_counts_.erase(key_counts_.lower_bound({txn, 0}),
+                      key_counts_.upper_bound({txn, UINT32_MAX}));
   }
-  waiting_on_.erase(txn);
-  key_counts_.erase(key_counts_.lower_bound({txn, 0}),
-                    key_counts_.upper_bound({txn, UINT32_MAX}));
+  for (const ResourceId& res : resources) {
+    Stripe& stripe = StripeFor(res);
+    MutexLock stripe_guard(&stripe.lock_stripe_mu_);
+    auto queue_it = stripe.queues.find(res);
+    if (queue_it == stripe.queues.end()) continue;
+    EraseRequest(stripe, txn, res, queue_it->second.get());
+  }
 }
 
 void LockManager::Unlock(TxnId txn, const ResourceId& res) {
-  UniqueMutexLock guard(&table_mu_);
-  auto queue_it = queues_.find(res);
-  if (queue_it == queues_.end()) return;
-  EraseRequest(txn, res, queue_it->second.get());
+  {
+    Stripe& stripe = StripeFor(res);
+    MutexLock stripe_guard(&stripe.lock_stripe_mu_);
+    auto queue_it = stripe.queues.find(res);
+    if (queue_it != stripe.queues.end()) {
+      EraseRequest(stripe, txn, res, queue_it->second.get());
+    }
+  }
+  MutexLock graph_guard(&graph_mu_);
   auto it = txn_locks_.find(txn);
   if (it != txn_locks_.end()) {
     it->second.erase(res);
@@ -320,9 +417,10 @@ void LockManager::Unlock(TxnId txn, const ResourceId& res) {
   }
 }
 
-LockMode LockManager::HeldModeLocked(TxnId txn, const ResourceId& res) const {
-  auto queue_it = queues_.find(res);
-  if (queue_it == queues_.end()) return LockMode::kNL;
+LockMode LockManager::HeldModeLocked(const Stripe& stripe, TxnId txn,
+                                     const ResourceId& res) const {
+  auto queue_it = stripe.queues.find(res);
+  if (queue_it == stripe.queues.end()) return LockMode::kNL;
   for (const LockRequest& r : queue_it->second->requests) {
     if (r.txn == txn) {
       if (r.granted) return r.mode;
@@ -334,8 +432,9 @@ LockMode LockManager::HeldModeLocked(TxnId txn, const ResourceId& res) const {
 }
 
 LockMode LockManager::HeldMode(TxnId txn, const ResourceId& res) const {
-  UniqueMutexLock guard(&table_mu_);
-  return HeldModeLocked(txn, res);
+  Stripe& stripe = StripeFor(res);
+  MutexLock guard(&stripe.lock_stripe_mu_);
+  return HeldModeLocked(stripe, txn, res);
 }
 
 void LockManager::TryEscalateLocked(TxnId txn, uint32_t object_id) {
@@ -344,13 +443,20 @@ void LockManager::TryEscalateLocked(TxnId txn, uint32_t object_id) {
 
   // Collect this txn's granted key locks on the object and derive the
   // escalation target: S when everything held is shared, X otherwise
-  // (an object-level E would not license arbitrary key access).
+  // (an object-level E would not license arbitrary key access). Each key's
+  // stripe is taken one at a time under graph_mu_; the modes read are
+  // stable because only this transaction changes its own holds.
   std::vector<ResourceId> key_locks;
   bool all_shared = true;
   for (auto it = locks_it->second.lower_bound(ResourceId::Object(object_id));
        it != locks_it->second.end() && it->object_id == object_id; ++it) {
     if (it->IsObjectLevel()) continue;
-    LockMode held = HeldModeLocked(txn, *it);
+    LockMode held;
+    {
+      Stripe& stripe = StripeFor(*it);
+      MutexLock stripe_guard(&stripe.lock_stripe_mu_);
+      held = HeldModeLocked(stripe, txn, *it);
+    }
     if (held == LockMode::kNL) return;  // a key wait is in flight: bail
     if (held != LockMode::kS && held != LockMode::kIS) all_shared = false;
     key_locks.push_back(*it);
@@ -358,50 +464,62 @@ void LockManager::TryEscalateLocked(TxnId txn, uint32_t object_id) {
   if (key_locks.empty()) return;
   LockMode target = all_shared ? LockMode::kS : LockMode::kX;
 
-  // Upgrade (or freshly take) the object-level lock, without waiting.
+  // Upgrade (or freshly take) the object-level lock, without waiting. The
+  // object queue alone arbitrates this: every transaction touching keys of
+  // the object holds an intention mode on the object, so a grant against
+  // this one queue is a grant against all concurrent key activity — no
+  // cross-stripe atomicity is needed.
   ResourceId object_res = ResourceId::Object(object_id);
-  auto& queue_ptr = queues_[object_res];
-  if (queue_ptr == nullptr) queue_ptr = std::make_unique<LockQueue>();
-  LockQueue* queue = queue_ptr.get();
-  auto self = std::find_if(queue->requests.begin(), queue->requests.end(),
-                           [txn](const LockRequest& r) { return r.txn == txn; });
-  if (self != queue->requests.end()) {
-    if (!self->granted) return;  // waiting on the object already: bail
-    if (LockModeCovers(self->mode, target)) {
-      // Already strong enough (repeat escalation attempt).
-    } else {
-      LockMode restore = self->mode;
-      self->converting_from = self->mode;
-      self->mode = LockModeSupremum(self->mode, target);
-      self->granted = false;
-      if (CanGrant(*queue, *self)) {
-        self->granted = true;
-        self->converting_from = LockMode::kNL;
+  {
+    Stripe& object_stripe = StripeFor(object_res);
+    MutexLock object_guard(&object_stripe.lock_stripe_mu_);
+    auto& queue_ptr = object_stripe.queues[object_res];
+    if (queue_ptr == nullptr) queue_ptr = std::make_unique<LockQueue>();
+    LockQueue* queue = queue_ptr.get();
+    auto self =
+        std::find_if(queue->requests.begin(), queue->requests.end(),
+                     [txn](const LockRequest& r) { return r.txn == txn; });
+    if (self != queue->requests.end()) {
+      if (!self->granted) return;  // waiting on the object already: bail
+      if (LockModeCovers(self->mode, target)) {
+        // Already strong enough (repeat escalation attempt).
       } else {
-        self->mode = restore;
-        self->converting_from = LockMode::kNL;
-        self->granted = true;
-        return;  // conflicting holders: try again at the next trigger
+        LockMode restore = self->mode;
+        self->converting_from = self->mode;
+        self->mode = LockModeSupremum(self->mode, target);
+        self->granted = false;
+        if (CanGrant(object_stripe, *queue, *self)) {
+          self->granted = true;
+          self->converting_from = LockMode::kNL;
+        } else {
+          self->mode = restore;
+          self->converting_from = LockMode::kNL;
+          self->granted = true;
+          return;  // conflicting holders: try again at the next trigger
+        }
       }
-    }
-  } else {
-    queue->requests.push_back(LockRequest{txn, target, LockMode::kNL, false});
-    auto inserted = std::prev(queue->requests.end());
-    if (CanGrant(*queue, *inserted)) {
-      inserted->granted = true;
-      txn_locks_[txn].insert(object_res);
     } else {
-      queue->requests.erase(inserted);
-      return;
+      queue->requests.push_back(
+          LockRequest{txn, target, LockMode::kNL, false});
+      auto inserted = std::prev(queue->requests.end());
+      if (CanGrant(object_stripe, *queue, *inserted)) {
+        inserted->granted = true;
+        txn_locks_[txn].insert(object_res);
+      } else {
+        queue->requests.erase(inserted);
+        return;
+      }
     }
   }
 
   // Escalated: the key locks are now redundant — drop them so the lock
   // table shrinks (the point of the exercise).
   for (const ResourceId& res : key_locks) {
-    auto queue_it = queues_.find(res);
-    if (queue_it != queues_.end()) {
-      EraseRequest(txn, res, queue_it->second.get());
+    Stripe& stripe = StripeFor(res);
+    MutexLock stripe_guard(&stripe.lock_stripe_mu_);
+    auto queue_it = stripe.queues.find(res);
+    if (queue_it != stripe.queues.end()) {
+      EraseRequest(stripe, txn, res, queue_it->second.get());
     }
     locks_it->second.erase(res);
   }
@@ -412,9 +530,10 @@ void LockManager::TryEscalateLocked(TxnId txn, uint32_t object_id) {
 }
 
 int LockManager::NumHolders(const ResourceId& res) const {
-  UniqueMutexLock guard(&table_mu_);
-  auto queue_it = queues_.find(res);
-  if (queue_it == queues_.end()) return 0;
+  Stripe& stripe = StripeFor(res);
+  MutexLock guard(&stripe.lock_stripe_mu_);
+  auto queue_it = stripe.queues.find(res);
+  if (queue_it == stripe.queues.end()) return 0;
   int n = 0;
   for (const LockRequest& r : queue_it->second->requests) {
     // A waiting conversion still holds its original lock.

@@ -71,11 +71,36 @@ struct LockManagerMetrics {
 
 // Centralized hierarchical lock manager with escrow support.
 //
-// Deadlock handling: when a request must wait, a depth-first search over the
-// waits-for graph (computed from the queues) runs first; if the new wait
-// would close a cycle the requester is chosen as the victim and receives
-// Status::Deadlock — it must roll back. Waits additionally carry a timeout
-// (Status::TimedOut) as a backstop.
+// Striped lock table: resources hash onto a fixed array of stripes, each
+// with its own mutex and queue map, so independent keys never contend on
+// one mutex (or share its cache line — stripes are cache-line aligned).
+// All per-resource state transitions (queueing, granting, conversion,
+// release) happen under exactly one stripe mutex; stripes all share one
+// lock rank, so the runtime order checker forbids ever nesting two —
+// multi-resource operations (escalation, release-all, the deadlock DFS)
+// visit stripes strictly one at a time.
+//
+// Cross-resource bookkeeping — the waits-for graph (waiting_on_), each
+// transaction's resource set (txn_locks_) and its per-object key-lock
+// counts (key_counts_) — lives under a single graph_mu_, ranked BELOW the
+// stripes: a thread holding graph_mu_ may take stripes one at a time (the
+// DFS and escalation do), but a thread holding a stripe may never touch
+// the graph. A transaction's own entries are additionally stable under its
+// engine owner latch, which is what lets grant bookkeeping run after the
+// stripe is released.
+//
+// Deadlock handling: when a request must wait, the waiter publishes its
+// wait edge and runs a depth-first search over the waits-for graph in one
+// graph_mu_ critical section; because every wait edge is published under
+// graph_mu_ BEFORE its DFS runs, the last transaction to close a cycle is
+// guaranteed to see every other edge of the cycle and elect itself the
+// victim (Status::Deadlock). Queue states are re-read per stripe during
+// the walk, so a stale waiting_on_ entry (its owner already granted)
+// contributes no edges; under heavy churn the walk can very rarely observe
+// edges from different instants and report a cycle that never coexisted —
+// a spurious Deadlock is safe (the engine's retry loop re-runs the
+// transaction) where a missed real one would not be. Waits additionally
+// carry a timeout (Status::TimedOut) as a backstop.
 //
 // Fairness: strict FIFO per resource, except that conversions of already-
 // granted locks wait ahead of fresh requests (standard practice; avoids
@@ -92,6 +117,10 @@ class LockManager {
     // object-level lock — it never waits, it just tries again later.
     // 0 disables escalation.
     size_t escalation_threshold = 0;
+    // Lock-table stripes (hash buckets with independent mutexes); 0 = the
+    // built-in default. Tests pin 1 to force every resource through one
+    // stripe.
+    size_t stripes = 0;
     // Unified metrics registry to register `ivdb_lock_*` instruments in;
     // nullptr => the manager owns a private registry (standalone use in
     // tests/benches).
@@ -145,26 +174,62 @@ class LockManager {
     CondVar cv;
   };
 
-  // All private helpers require table_mu_ held.
+  // One hash bucket of the lock table. Cache-line aligned so two stripes
+  // never false-share; every stripe mutex carries the same rank
+  // (kLockManager), which makes the runtime order checker reject any
+  // attempt to nest two stripes.
+  struct alignas(64) Stripe {
+    mutable RankedMutex lock_stripe_mu_{LockRank::kLockManager,
+                                        "lock_stripe_mu_"};
+    std::map<ResourceId, std::unique_ptr<LockQueue>> queues
+        IVDB_GUARDED_BY(lock_stripe_mu_);
+  };
+
+  Stripe& StripeFor(const ResourceId& res) const;
+
+  // Single-resource queue helpers: each requires the stripe mutex of the
+  // stripe that owns the queue (passed explicitly so the thread-safety
+  // analysis can name the capability).
   Status LockInternal(TxnId txn, const ResourceId& res, LockMode mode,
-                      bool wait, UniqueMutexLock* guard)
-      IVDB_REQUIRES(table_mu_);
-  bool CanGrant(const LockQueue& queue, const LockRequest& req) const
-      IVDB_REQUIRES(table_mu_);
-  void GrantWaiters(const ResourceId& res, LockQueue* queue)
-      IVDB_REQUIRES(table_mu_);
-  bool WouldDeadlock(TxnId requester) const IVDB_REQUIRES(table_mu_);
-  std::vector<TxnId> BlockersOf(TxnId txn) const IVDB_REQUIRES(table_mu_);
-  void EraseRequest(TxnId txn, const ResourceId& res, LockQueue* queue)
-      IVDB_REQUIRES(table_mu_);
+                      bool wait);
+  bool CanGrant(const Stripe& stripe, const LockQueue& queue,
+                const LockRequest& req) const
+      IVDB_REQUIRES(stripe.lock_stripe_mu_);
+  void GrantWaiters(const Stripe& stripe, const ResourceId& res,
+                    LockQueue* queue)
+      IVDB_REQUIRES(stripe.lock_stripe_mu_);
+  void EraseRequest(Stripe& stripe, TxnId txn, const ResourceId& res,
+                    LockQueue* queue)
+      IVDB_REQUIRES(stripe.lock_stripe_mu_);
+  // Withdraws a request that will not be granted (busy / deadlock /
+  // timeout): conversions fall back to their original granted mode, fresh
+  // requests are erased; either way waiters behind it are re-examined.
+  void RollbackRequest(const Stripe& stripe, const ResourceId& res,
+                       LockQueue* queue,
+                       std::list<LockRequest>::iterator request,
+                       bool is_conversion, LockMode restore_mode)
+      IVDB_REQUIRES(stripe.lock_stripe_mu_);
   // Mode the txn holds on `res` via a granted request, kNL if none.
-  LockMode HeldModeLocked(TxnId txn, const ResourceId& res) const
-      IVDB_REQUIRES(table_mu_);
+  LockMode HeldModeLocked(const Stripe& stripe, TxnId txn,
+                          const ResourceId& res) const
+      IVDB_REQUIRES(stripe.lock_stripe_mu_);
+
+  // Waits-for helpers: require graph_mu_; they take stripes one at a time
+  // internally to read live queue state.
+  bool WouldDeadlockLocked(TxnId requester) const IVDB_REQUIRES(graph_mu_);
+  std::vector<TxnId> BlockersOfLocked(TxnId txn) const
+      IVDB_REQUIRES(graph_mu_);
+
+  // Post-grant bookkeeping (txn_locks_ / key_counts_ / escalation), run
+  // after the stripe is released; safe because a transaction's own entries
+  // only change under its engine owner latch.
+  void FinishGrant(TxnId txn, const ResourceId& res, bool fresh_request,
+                   bool is_conversion);
   // Attempts to replace the txn's key locks on `object_id` with one
   // object-level lock; silently does nothing if that lock cannot be
-  // granted immediately.
+  // granted immediately. Takes stripes one at a time under graph_mu_.
   void TryEscalateLocked(TxnId txn, uint32_t object_id)
-      IVDB_REQUIRES(table_mu_);
+      IVDB_REQUIRES(graph_mu_);
 
   Options options_;
   // Private fallback registry (standalone use); the handles in metrics_
@@ -172,17 +237,22 @@ class LockManager {
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
   LockManagerMetrics metrics_;
   Clock* const clock_;
-  mutable RankedMutex table_mu_{LockRank::kLockManager, "table_mu_"};
-  std::map<ResourceId, std::unique_ptr<LockQueue>> queues_
-      IVDB_GUARDED_BY(table_mu_);
-  // Resources each txn has requests (granted or waiting) in.
+
+  // Striped lock table (fixed size after construction).
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  // Cross-resource bookkeeping; ranked below the stripes so the deadlock
+  // DFS and escalation may take stripes while holding it, never the
+  // reverse.
+  mutable RankedMutex graph_mu_{LockRank::kLockGraph, "graph_mu_"};
+  // Resources each txn has granted requests in.
   std::map<TxnId, std::set<ResourceId>> txn_locks_
-      IVDB_GUARDED_BY(table_mu_);
+      IVDB_GUARDED_BY(graph_mu_);
   // Resource each txn is currently waiting on (at most one).
-  std::map<TxnId, ResourceId> waiting_on_ IVDB_GUARDED_BY(table_mu_);
+  std::map<TxnId, ResourceId> waiting_on_ IVDB_GUARDED_BY(graph_mu_);
   // Granted key-lock counts per (txn, object): escalation trigger.
   std::map<std::pair<TxnId, uint32_t>, size_t> key_counts_
-      IVDB_GUARDED_BY(table_mu_);
+      IVDB_GUARDED_BY(graph_mu_);
 };
 
 }  // namespace ivdb

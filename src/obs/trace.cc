@@ -21,6 +21,7 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kGhostCreate: return "ghost.create";
     case TraceEventType::kGhostCleanup: return "ghost.cleanup";
     case TraceEventType::kTxnCommit: return "txn.commit";
+    case TraceEventType::kTxnFlip: return "txn.flip";
     case TraceEventType::kTxnAbort: return "txn.abort";
     case TraceEventType::kTxnRetry: return "txn.retry";
     case TraceEventType::kEngineDegraded: return "engine.degraded";
@@ -61,6 +62,7 @@ std::string TraceEvent::ToString(uint64_t origin_micros) const {
     case TraceEventType::kLockEscalation:
     case TraceEventType::kViewMaintain:
     case TraceEventType::kGhostCleanup:
+    case TraceEventType::kTxnFlip:
       std::snprintf(buf, sizeof(buf),
                     "+%8" PRIu64 "us %-16s obj=%" PRIu64 " n=%" PRIu64, rel,
                     TraceEventTypeName(type), a, b);

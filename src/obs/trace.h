@@ -29,6 +29,7 @@ enum class TraceEventType : uint8_t {
   kGhostCreate,        // a = view object id
   kGhostCleanup,       // a = view object id, b = rows reclaimed
   kTxnCommit,          // a = txn id, b = commit-path micros
+  kTxnFlip,            // a = txn id, b = visible timestamp (in-LSN-order)
   kTxnAbort,           // a = txn id
   kTxnRetry,           // a = attempt number (1-based), b = backoff micros
   kEngineDegraded,     // a = 1, b = 0 (one-shot transition marker)

@@ -8,10 +8,37 @@
 
 namespace ivdb {
 
+namespace {
+
+// Default stripe count: enough buckets that concurrent committers hashing
+// random keys almost never collide, at a trivial fixed footprint.
+constexpr size_t kVersionStripes = 16;
+
+}  // namespace
+
+VersionStore::VersionStore() {
+  stripes_.reserve(kVersionStripes);
+  for (size_t i = 0; i < kVersionStripes; i++) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+VersionStore::Stripe& VersionStore::StripeFor(const ChainKey& ck) const {
+  size_t h = std::hash<uint32_t>{}(ck.first);
+  h ^= std::hash<std::string>{}(ck.second) + 0x9e3779b97f4a7c15ULL +
+       (h << 6) + (h >> 2);
+  return *stripes_[h % stripes_.size()];
+}
+
+void VersionStore::NotePending(TxnId txn, ChainKey ck) {
+  MutexLock guard(&pending_mu_);
+  pending_[txn].push_back(std::move(ck));
+}
+
 #if IVDB_CHECKS_ENABLED
 namespace {
 
-// Structural invariants of one version chain (mu_ held):
+// Structural invariants of one version chain (its stripe mutex held):
 //  - committed values appear before pendings, in ascending superseded_ts;
 //  - every pending entry (value or delta) carries a live owner;
 //  - at most one pending value version per owner.
@@ -50,37 +77,46 @@ void CheckChainInvariants(const ChainT& chain) {
 }  // namespace
 #endif  // IVDB_CHECKS_ENABLED
 
-void VersionStore::NotePendingWriteLocked(uint32_t object_id, const Slice& key,
+bool VersionStore::NotePendingWriteLocked(Stripe& stripe, uint32_t object_id,
+                                          const Slice& key,
                                           std::optional<std::string> old_value,
                                           TxnId txn) {
   ChainKey ck{object_id, key.ToString()};
-  Chain& chain = chains_[ck];
+  Chain& chain = stripe.chains[ck];
   for (const ValueVersion& v : chain.values) {
-    if (v.superseded_ts == 0 && v.owner == txn) return;  // already noted
+    if (v.superseded_ts == 0 && v.owner == txn) return false;  // already noted
   }
   ValueVersion v;
   v.value = std::move(old_value);
   v.superseded_ts = 0;
   v.owner = txn;
   chain.values.push_back(std::move(v));
-  pending_[txn].push_back(std::move(ck));
+  return true;
 }
 
 void VersionStore::NotePendingWrite(uint32_t object_id, const Slice& key,
                                     std::optional<std::string> old_value,
                                     TxnId txn) {
-  MutexLock guard(&store_mu_);
-  NotePendingWriteLocked(object_id, key, std::move(old_value), txn);
+  ChainKey ck{object_id, key.ToString()};
+  Stripe& stripe = StripeFor(ck);
+  bool created;
+  {
+    MutexLock guard(&stripe.version_stripe_mu_);
+    created =
+        NotePendingWriteLocked(stripe, object_id, key, std::move(old_value),
+                               txn);
+  }
+  if (created) NotePending(txn, std::move(ck));
 }
 
-void VersionStore::NotePendingIncrementLocked(
-    uint32_t object_id, const Slice& key,
+bool VersionStore::NotePendingIncrementLocked(
+    Stripe& stripe, uint32_t object_id, const Slice& key,
     const std::vector<ColumnDelta>& deltas, TxnId txn, bool create_pending) {
   ChainKey ck{object_id, key.ToString()};
-  auto chain_it = chains_.find(ck);
-  if (chain_it == chains_.end()) {
-    if (!create_pending) return;
-    chain_it = chains_.emplace(ck, Chain{}).first;
+  auto chain_it = stripe.chains.find(ck);
+  if (chain_it == stripe.chains.end()) {
+    if (!create_pending) return false;
+    chain_it = stripe.chains.emplace(std::move(ck), Chain{}).first;
   }
   Chain& chain = chain_it->second;
   // Coalesce with an existing pending delta entry of this transaction.
@@ -101,24 +137,32 @@ void VersionStore::NotePendingIncrementLocked(
         }
         if (!merged) d.deltas.push_back(nd);
       }
-      return;
+      return false;
     }
   }
-  if (!create_pending) return;  // undo path with nothing pending: physical only
+  if (!create_pending) {
+    return false;  // undo path with nothing pending: physical only
+  }
   DeltaVersion d;
   d.deltas = deltas;
   d.commit_ts = 0;
   d.owner = txn;
   chain.deltas.push_back(std::move(d));
-  pending_[txn].push_back(std::move(ck));
+  return true;
 }
 
 void VersionStore::NotePendingIncrement(uint32_t object_id, const Slice& key,
                                         const std::vector<ColumnDelta>& deltas,
                                         TxnId txn) {
-  MutexLock guard(&store_mu_);
-  NotePendingIncrementLocked(object_id, key, deltas, txn,
-                             /*create_pending=*/true);
+  ChainKey ck{object_id, key.ToString()};
+  Stripe& stripe = StripeFor(ck);
+  bool created;
+  {
+    MutexLock guard(&stripe.version_stripe_mu_);
+    created = NotePendingIncrementLocked(stripe, object_id, key, deltas, txn,
+                                         /*create_pending=*/true);
+  }
+  if (created) NotePending(txn, std::move(ck));
 }
 
 Status VersionStore::ApplyIncrement(uint32_t object_id, const Slice& key,
@@ -127,66 +171,77 @@ Status VersionStore::ApplyIncrement(uint32_t object_id, const Slice& key,
                                     BTree* tree,
                                     const std::vector<ColumnBound>* bounds,
                                     const std::function<Status()>& pre_apply) {
-  MutexLock guard(&store_mu_);
+  ChainKey ck{object_id, key.ToString()};
+  Stripe& stripe = StripeFor(ck);
+  bool created = false;
+  {
+    MutexLock guard(&stripe.version_stripe_mu_);
 
-  if (bounds != nullptr && !bounds->empty()) {
-    // Escrow-bound admission: candidate = physical + my deltas (= the value
-    // if every pending transaction commits, since physical already contains
-    // the others' applied deltas). Worst case subtracts every *positive*
-    // pending contribution of other transactions (they might all abort).
-    std::string value;
-    if (!tree->Get(key, &value)) {
-      return Status::NotFound("escrow bound check: row missing");
-    }
-    Row row;
-    IVDB_RETURN_NOT_OK(DecodeRow(value, &row));
-    IVDB_RETURN_NOT_OK(ApplyIncrementToRow(&row, deltas));
-    auto chain_it = chains_.find(ChainKey{object_id, key.ToString()});
-    for (const ColumnBound& bound : *bounds) {
-      if (bound.column >= row.size() ||
-          row[bound.column].type() != TypeId::kInt64) {
-        return Status::InvalidArgument("escrow bound on non-int64 column");
+    if (bounds != nullptr && !bounds->empty()) {
+      // Escrow-bound admission: candidate = physical + my deltas (= the
+      // value if every pending transaction commits, since physical already
+      // contains the others' applied deltas). Worst case subtracts every
+      // *positive* pending contribution of other transactions (they might
+      // all abort).
+      std::string value;
+      if (!tree->Get(key, &value)) {
+        return Status::NotFound("escrow bound check: row missing");
       }
-      int64_t candidate = row[bound.column].AsInt64();
-      if (candidate < bound.min_value) {
-        return Status::InvalidArgument(
-            "escrow bound violated even if all pending work commits");
-      }
-      int64_t worst = candidate;
-      if (chain_it != chains_.end()) {
-        for (const DeltaVersion& d : chain_it->second.deltas) {
-          if (d.commit_ts != 0 || d.owner == txn) continue;
-          for (const ColumnDelta& cd : d.deltas) {
-            if (cd.column == bound.column && !cd.delta.is_null() &&
-                cd.delta.AsInt64() > 0) {
-              worst -= cd.delta.AsInt64();
+      Row row;
+      IVDB_RETURN_NOT_OK(DecodeRow(value, &row));
+      IVDB_RETURN_NOT_OK(ApplyIncrementToRow(&row, deltas));
+      auto chain_it = stripe.chains.find(ck);
+      for (const ColumnBound& bound : *bounds) {
+        if (bound.column >= row.size() ||
+            row[bound.column].type() != TypeId::kInt64) {
+          return Status::InvalidArgument("escrow bound on non-int64 column");
+        }
+        int64_t candidate = row[bound.column].AsInt64();
+        if (candidate < bound.min_value) {
+          return Status::InvalidArgument(
+              "escrow bound violated even if all pending work commits");
+        }
+        int64_t worst = candidate;
+        if (chain_it != stripe.chains.end()) {
+          for (const DeltaVersion& d : chain_it->second.deltas) {
+            if (d.commit_ts != 0 || d.owner == txn) continue;
+            for (const ColumnDelta& cd : d.deltas) {
+              if (cd.column == bound.column && !cd.delta.is_null() &&
+                  cd.delta.AsInt64() > 0) {
+                worst -= cd.delta.AsInt64();
+              }
             }
           }
         }
-      }
-      if (worst < bound.min_value) {
-        return Status::Busy(
-            "escrow bound at risk until concurrent transactions settle");
+        if (worst < bound.min_value) {
+          return Status::Busy(
+              "escrow bound at risk until concurrent transactions settle");
+        }
       }
     }
-  }
 
-  if (pre_apply) {
-    IVDB_RETURN_NOT_OK(pre_apply());  // WAL append, log-before-apply
+    if (pre_apply) {
+      IVDB_RETURN_NOT_OK(pre_apply());  // WAL append, log-before-apply
+    }
+    // Apply after admission: if the physical application fails (corrupt
+    // row, missing key) the bookkeeping must not claim a delta that never
+    // landed.
+    IVDB_RETURN_NOT_OK(ApplyIncrementToTree(tree, key, deltas));
+    created = NotePendingIncrementLocked(stripe, object_id, key, deltas, txn,
+                                         create_pending);
   }
-  // Apply after admission: if the physical application fails (corrupt row,
-  // missing key) the bookkeeping must not claim a delta that never landed.
-  IVDB_RETURN_NOT_OK(ApplyIncrementToTree(tree, key, deltas));
-  NotePendingIncrementLocked(object_id, key, deltas, txn, create_pending);
+  if (created) NotePending(txn, std::move(ck));
   return Status::OK();
 }
 
 std::vector<std::vector<ColumnDelta>> VersionStore::PendingDeltas(
     uint32_t object_id, const Slice& key, TxnId exclude_txn) const {
-  MutexLock guard(&store_mu_);
+  ChainKey ck{object_id, key.ToString()};
+  Stripe& stripe = StripeFor(ck);
+  MutexLock guard(&stripe.version_stripe_mu_);
   std::vector<std::vector<ColumnDelta>> out;
-  auto it = chains_.find(ChainKey{object_id, key.ToString()});
-  if (it == chains_.end()) return out;
+  auto it = stripe.chains.find(ck);
+  if (it == stripe.chains.end()) return out;
   for (const DeltaVersion& d : it->second.deltas) {
     if (d.commit_ts == 0 && d.owner != exclude_txn) {
       out.push_back(d.deltas);
@@ -199,19 +254,39 @@ Status VersionStore::ApplyWithPendingWrite(
     uint32_t object_id, const Slice& key,
     std::optional<std::string> old_value, TxnId txn,
     const std::function<Status()>& apply) {
-  MutexLock guard(&store_mu_);
-  IVDB_RETURN_NOT_OK(apply());
-  NotePendingWriteLocked(object_id, key, std::move(old_value), txn);
+  ChainKey ck{object_id, key.ToString()};
+  Stripe& stripe = StripeFor(ck);
+  bool created;
+  {
+    MutexLock guard(&stripe.version_stripe_mu_);
+    IVDB_RETURN_NOT_OK(apply());
+    created =
+        NotePendingWriteLocked(stripe, object_id, key, std::move(old_value),
+                               txn);
+  }
+  if (created) NotePending(txn, std::move(ck));
   return Status::OK();
 }
 
 void VersionStore::Commit(TxnId txn, uint64_t commit_ts) {
-  MutexLock guard(&store_mu_);
-  auto it = pending_.find(txn);
-  if (it == pending_.end()) return;
-  for (const ChainKey& ck : it->second) {
-    auto chain_it = chains_.find(ck);
-    if (chain_it == chains_.end()) continue;
+  // Snapshot the dirty-key list first (pending_mu_), then stamp chains one
+  // stripe at a time. Nothing can add to the list in between: only the
+  // owning transaction's thread appends, and its writes happened-before
+  // whichever thread is flipping it here (flip_queue_ hand-off under the
+  // txn manager's visibility mutex).
+  std::vector<ChainKey> keys;
+  {
+    MutexLock guard(&pending_mu_);
+    auto it = pending_.find(txn);
+    if (it == pending_.end()) return;
+    keys = std::move(it->second);
+    pending_.erase(it);
+  }
+  for (const ChainKey& ck : keys) {
+    Stripe& stripe = StripeFor(ck);
+    MutexLock guard(&stripe.version_stripe_mu_);
+    auto chain_it = stripe.chains.find(ck);
+    if (chain_it == stripe.chains.end()) continue;
     Chain& chain = chain_it->second;
     for (ValueVersion& v : chain.values) {
       if (v.superseded_ts == 0 && v.owner == txn) {
@@ -239,16 +314,22 @@ void VersionStore::Commit(TxnId txn, uint64_t commit_ts) {
     CheckChainInvariants(chain);
 #endif
   }
-  pending_.erase(it);
 }
 
 void VersionStore::Abort(TxnId txn) {
-  MutexLock guard(&store_mu_);
-  auto it = pending_.find(txn);
-  if (it == pending_.end()) return;
-  for (const ChainKey& ck : it->second) {
-    auto chain_it = chains_.find(ck);
-    if (chain_it == chains_.end()) continue;
+  std::vector<ChainKey> keys;
+  {
+    MutexLock guard(&pending_mu_);
+    auto it = pending_.find(txn);
+    if (it == pending_.end()) return;
+    keys = std::move(it->second);
+    pending_.erase(it);
+  }
+  for (const ChainKey& ck : keys) {
+    Stripe& stripe = StripeFor(ck);
+    MutexLock guard(&stripe.version_stripe_mu_);
+    auto chain_it = stripe.chains.find(ck);
+    if (chain_it == stripe.chains.end()) continue;
     Chain& chain = chain_it->second;
     chain.values.erase(
         std::remove_if(chain.values.begin(), chain.values.end(),
@@ -263,21 +344,21 @@ void VersionStore::Abort(TxnId txn) {
                        }),
         chain.deltas.end());
     if (chain.values.empty() && chain.deltas.empty()) {
-      chains_.erase(chain_it);
+      stripe.chains.erase(chain_it);
     } else {
 #if IVDB_CHECKS_ENABLED
       CheckChainInvariants(chain);
 #endif
     }
   }
-  pending_.erase(it);
 }
 
 VersionStore::SnapshotView VersionStore::GetAsOfLocked(
-    uint32_t object_id, const Slice& key, uint64_t snapshot_ts) const {
+    const Stripe& stripe, uint32_t object_id, const Slice& key,
+    uint64_t snapshot_ts) const {
   SnapshotView view;
-  auto it = chains_.find(ChainKey{object_id, key.ToString()});
-  if (it == chains_.end()) return view;
+  auto it = stripe.chains.find(ChainKey{object_id, key.ToString()});
+  if (it == stripe.chains.end()) return view;
   const Chain& chain = it->second;
 
   // 1. A committed superseded value with superseded_ts > snapshot_ts is the
@@ -328,15 +409,20 @@ VersionStore::SnapshotView VersionStore::GetAsOfLocked(
 VersionStore::SnapshotView VersionStore::GetAsOf(uint32_t object_id,
                                                  const Slice& key,
                                                  uint64_t snapshot_ts) const {
-  MutexLock guard(&store_mu_);
-  return GetAsOfLocked(object_id, key, snapshot_ts);
+  Stripe& stripe = StripeFor(ChainKey{object_id, key.ToString()});
+  MutexLock guard(&stripe.version_stripe_mu_);
+  return GetAsOfLocked(stripe, object_id, key, snapshot_ts);
 }
 
 VersionStore::SnapshotView VersionStore::GetAsOfConsistent(
     uint32_t object_id, const Slice& key, uint64_t snapshot_ts,
     const BTree* tree, std::optional<std::string>* physical) const {
-  MutexLock guard(&store_mu_);
-  SnapshotView view = GetAsOfLocked(object_id, key, snapshot_ts);
+  // Holding the chain's stripe across the tree probe keeps a writer's
+  // note+apply pair (which runs under the same stripe) from falling
+  // between the view computation and the physical read.
+  Stripe& stripe = StripeFor(ChainKey{object_id, key.ToString()});
+  MutexLock guard(&stripe.version_stripe_mu_);
+  SnapshotView view = GetAsOfLocked(stripe, object_id, key, snapshot_ts);
   physical->reset();
   if (!view.use_chain_value) {
     std::string value;
@@ -347,48 +433,57 @@ VersionStore::SnapshotView VersionStore::GetAsOfConsistent(
 
 std::vector<std::string> VersionStore::ListChainKeys(
     uint32_t object_id) const {
-  MutexLock guard(&store_mu_);
+  // One stripe at a time, then sort: callers union this with the physical
+  // key set and expect deterministic ordering.
   std::vector<std::string> keys;
-  for (auto it = chains_.lower_bound(ChainKey{object_id, ""});
-       it != chains_.end() && it->first.first == object_id; ++it) {
-    keys.push_back(it->first.second);
+  for (const auto& stripe : stripes_) {
+    MutexLock guard(&stripe->version_stripe_mu_);
+    for (auto it = stripe->chains.lower_bound(ChainKey{object_id, ""});
+         it != stripe->chains.end() && it->first.first == object_id; ++it) {
+      keys.push_back(it->first.second);
+    }
   }
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 
 uint64_t VersionStore::GarbageCollect(uint64_t oldest_active_ts) {
-  MutexLock guard(&store_mu_);
   uint64_t reclaimed = 0;
-  for (auto it = chains_.begin(); it != chains_.end();) {
-    Chain& chain = it->second;
-    auto dead_value = [&](const ValueVersion& v) {
-      return v.superseded_ts != 0 && v.superseded_ts <= oldest_active_ts;
-    };
-    auto dead_delta = [&](const DeltaVersion& d) {
-      return d.commit_ts != 0 && d.commit_ts <= oldest_active_ts;
-    };
-    size_t before = chain.values.size() + chain.deltas.size();
-    chain.values.erase(
-        std::remove_if(chain.values.begin(), chain.values.end(), dead_value),
-        chain.values.end());
-    chain.deltas.erase(
-        std::remove_if(chain.deltas.begin(), chain.deltas.end(), dead_delta),
-        chain.deltas.end());
-    reclaimed += before - (chain.values.size() + chain.deltas.size());
-    if (chain.values.empty() && chain.deltas.empty()) {
-      it = chains_.erase(it);
-    } else {
-      ++it;
+  for (const auto& stripe : stripes_) {
+    MutexLock guard(&stripe->version_stripe_mu_);
+    for (auto it = stripe->chains.begin(); it != stripe->chains.end();) {
+      Chain& chain = it->second;
+      auto dead_value = [&](const ValueVersion& v) {
+        return v.superseded_ts != 0 && v.superseded_ts <= oldest_active_ts;
+      };
+      auto dead_delta = [&](const DeltaVersion& d) {
+        return d.commit_ts != 0 && d.commit_ts <= oldest_active_ts;
+      };
+      size_t before = chain.values.size() + chain.deltas.size();
+      chain.values.erase(
+          std::remove_if(chain.values.begin(), chain.values.end(), dead_value),
+          chain.values.end());
+      chain.deltas.erase(
+          std::remove_if(chain.deltas.begin(), chain.deltas.end(), dead_delta),
+          chain.deltas.end());
+      reclaimed += before - (chain.values.size() + chain.deltas.size());
+      if (chain.values.empty() && chain.deltas.empty()) {
+        it = stripe->chains.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   return reclaimed;
 }
 
 uint64_t VersionStore::TotalEntries() const {
-  MutexLock guard(&store_mu_);
   uint64_t n = 0;
-  for (const auto& [ck, chain] : chains_) {
-    n += chain.values.size() + chain.deltas.size();
+  for (const auto& stripe : stripes_) {
+    MutexLock guard(&stripe->version_stripe_mu_);
+    for (const auto& [ck, chain] : stripe->chains) {
+      n += chain.values.size() + chain.deltas.size();
+    }
   }
   return n;
 }

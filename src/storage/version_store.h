@@ -42,9 +42,19 @@ namespace ivdb {
 //
 // The two representations never overlap on a key at the same instant
 // because E conflicts with X/S/U in the lock manager.
+//
+// Concurrency: chains are striped — (object, key) hashes onto a fixed
+// array of cache-line-aligned stripes, each with its own mutex and chain
+// map, so writers on independent keys never contend. All stripe mutexes
+// share one rank, which forbids nesting two (multi-key operations —
+// commit/abort stamping, GC, scans — visit stripes one at a time). The
+// txn -> dirty-chain-key bookkeeping (pending_) lives under its own
+// pending_mu_, ranked below the stripes; pending notes are recorded after
+// the stripe is released, which is safe because only the owning
+// transaction's thread reads or writes its own entry until commit/abort.
 class VersionStore {
  public:
-  VersionStore() = default;
+  VersionStore();
   VersionStore(const VersionStore&) = delete;
   VersionStore& operator=(const VersionStore&) = delete;
 
@@ -171,22 +181,44 @@ class VersionStore {
 
   using ChainKey = std::pair<uint32_t, std::string>;
 
-  // Unlocked internals (store_mu_ held by caller).
-  void NotePendingWriteLocked(uint32_t object_id, const Slice& key,
+  // One hash bucket of the chain map. Cache-line aligned so independent
+  // keys never false-share; all stripe mutexes carry rank kVersionStore,
+  // so the order checker rejects nesting two.
+  struct alignas(64) Stripe {
+    mutable RankedMutex version_stripe_mu_{LockRank::kVersionStore,
+                                           "version_stripe_mu_"};
+    std::map<ChainKey, Chain> chains IVDB_GUARDED_BY(version_stripe_mu_);
+  };
+
+  Stripe& StripeFor(const ChainKey& ck) const;
+
+  // Unlocked internals (the owning stripe's mutex held by caller). The
+  // note helpers return true when they created a new pending entry, which
+  // the caller records in pending_ after releasing the stripe.
+  bool NotePendingWriteLocked(Stripe& stripe, uint32_t object_id,
+                              const Slice& key,
                               std::optional<std::string> old_value, TxnId txn)
-      IVDB_REQUIRES(store_mu_);
-  void NotePendingIncrementLocked(uint32_t object_id, const Slice& key,
+      IVDB_REQUIRES(stripe.version_stripe_mu_);
+  bool NotePendingIncrementLocked(Stripe& stripe, uint32_t object_id,
+                                  const Slice& key,
                                   const std::vector<ColumnDelta>& deltas,
                                   TxnId txn, bool create_pending)
-      IVDB_REQUIRES(store_mu_);
-  SnapshotView GetAsOfLocked(uint32_t object_id, const Slice& key,
-                             uint64_t snapshot_ts) const
-      IVDB_REQUIRES(store_mu_);
+      IVDB_REQUIRES(stripe.version_stripe_mu_);
+  SnapshotView GetAsOfLocked(const Stripe& stripe, uint32_t object_id,
+                             const Slice& key, uint64_t snapshot_ts) const
+      IVDB_REQUIRES(stripe.version_stripe_mu_);
 
-  mutable RankedMutex store_mu_{LockRank::kVersionStore, "store_mu_"};
-  std::map<ChainKey, Chain> chains_ IVDB_GUARDED_BY(store_mu_);
+  // Appends `ck` to `txn`'s dirty-key list (pending_mu_).
+  void NotePending(TxnId txn, ChainKey ck);
+
+  // Striped chain map (fixed size after construction).
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
   // txn -> keys it has pending entries in (for O(changes) commit/abort).
-  std::map<TxnId, std::vector<ChainKey>> pending_ IVDB_GUARDED_BY(store_mu_);
+  // Ranked below the stripes: commit/abort/GC snapshot the key list here,
+  // then stamp chains one stripe at a time.
+  mutable RankedMutex pending_mu_{LockRank::kVersionPending, "pending_mu_"};
+  std::map<TxnId, std::vector<ChainKey>> pending_ IVDB_GUARDED_BY(pending_mu_);
 };
 
 }  // namespace ivdb

@@ -95,13 +95,11 @@ Transaction* TransactionManager::Begin(ReadMode read_mode, bool gated) {
     }
   }
   TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
-  uint64_t begin_ts;
-  {
-    // Serialized against commit-visibility conversion: a begin timestamp
-    // drawn here is strictly ordered w.r.t. every commit timestamp.
-    MutexLock vis_guard(&visibility_mu_);
-    begin_ts = clock_.Tick();
-  }
+  // Lock-free snapshot draw from this thread's EpochClock slot: strictly
+  // above every *published* commit timestamp and strictly below any commit
+  // epoch still being stamped (see EpochClock) — so Begin never contends
+  // with the commit-visibility path.
+  const uint64_t begin_ts = clock_.BeginTs();
   auto txn = std::make_unique<Transaction>(id, begin_ts, read_mode,
                                            /*system=*/false);
   // Every record this transaction will ever log gets an LSN above the
@@ -117,11 +115,7 @@ Transaction* TransactionManager::BeginSystem() {
   // checkpoint that itself waits for those user transactions would deadlock.
   UniqueMutexLock active_guard(&active_mu_);
   TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
-  uint64_t begin_ts;
-  {
-    MutexLock vis_guard(&visibility_mu_);
-    begin_ts = clock_.Tick();
-  }
+  const uint64_t begin_ts = clock_.BeginTs();
   auto txn = std::make_unique<Transaction>(id, begin_ts, ReadMode::kLocking,
                                            /*system=*/true);
   txn->set_begin_floor_lsn(log_manager_->last_lsn());
@@ -213,7 +207,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   LogRecord commit;
   {
     MutexLock vis_guard(&visibility_mu_);
-    uint64_t durable_ts = clock_.Tick();
+    const uint64_t durable_ts = clock_.CommitTs();
     IVDB_INVARIANT(durable_ts > txn->begin_ts(),
                    "commit timestamp must follow the begin timestamp");
     // The transaction's public commit_ts is the LOGGED timestamp: recovery
@@ -229,6 +223,10 @@ Status TransactionManager::Commit(Transaction* txn) {
     commit.timestamp = durable_ts;
     IVDB_RETURN_NOT_OK(log_manager_->Append(&commit));
     txn->set_last_lsn(commit.lsn);
+    // Enter the flip queue in COMMIT-LSN order (appends are serialized by
+    // visibility_mu_). From here on, once the durable watermark covers our
+    // LSN, ANY committer running the step-3 sequencer may flip us.
+    if (!txn->is_system()) flip_queue_.push_back({commit.lsn, txn});
   }
 
   if (!txn->is_system()) {
@@ -240,13 +238,25 @@ Status TransactionManager::Commit(Transaction* txn) {
     // still pending, so the engine can roll it back logically — no other
     // transaction in this process ever observes the unacknowledged write
     // (restart recovery may still find the COMMIT record durable; see
-    // docs/ROBUSTNESS.md §2).
-    IVDB_RETURN_NOT_OK(log_manager_->Flush(commit.lsn));
+    // docs/ROBUSTNESS.md §2). The queue entry must be withdrawn under the
+    // same mutex, or a bystander sequencer could flip a rolled-back batch
+    // member if the watermark ever moved again.
+    Status flush_status = log_manager_->Flush(commit.lsn);
+    if (!flush_status.ok()) {
+      MutexLock vis_guard(&visibility_mu_);
+      for (auto it = flip_queue_.begin(); it != flip_queue_.end(); ++it) {
+        if (it->txn == txn) {
+          flip_queue_.erase(it);
+          break;
+        }
+      }
+      return flush_status;
+    }
   }
 
-  // Durability point passed: flip this transaction's versions to committed.
-  // The flip runs under visibility_mu_ and stamps the versions with a FRESH
-  // timestamp drawn at flip time, not the one logged with the COMMIT
+  // Durability point passed: flip versions to committed, strictly in COMMIT
+  // LSN order (see the class comment's step 3). Each flip stamps a FRESH
+  // timestamp reserved at flip time, not the one logged with the COMMIT
   // record. Begin timestamps issued during the flush window fall strictly
   // between the two draws, so for every snapshot the flip is invisible:
   //   begin_ts < visible_ts  =>  pre-image before the flip (pending entry)
@@ -258,11 +268,21 @@ Status TransactionManager::Commit(Transaction* txn) {
   // non-repeatable read within one snapshot transaction.
   {
     MutexLock vis_guard(&visibility_mu_);
-    uint64_t visible_ts = clock_.Tick();
-    version_store_->Commit(txn->id(), visible_ts);
-    // From here on a checkpoint capture sees this transaction's effects in
-    // its as-of-capture_ts image and must not replay its records.
-    txn->set_flipped();
+    if (txn->is_system()) {
+      // System transactions bypass the queue (class comment): reserve,
+      // stamp, publish — atomically w.r.t. lock-free snapshot draws.
+      const uint64_t visible_ts = clock_.ReserveCommitTs();
+      version_store_->Commit(txn->id(), visible_ts);
+      txn->set_flipped();
+      clock_.PublishCommitTs(visible_ts);
+    } else {
+      FlipCommittedLocked(log_manager_->flushed_lsn());
+      // Our own COMMIT LSN is durable (the flush above succeeded), so the
+      // sequencer pass we just ran — or a concurrent committer's — must
+      // have reached and flipped us.
+      IVDB_INVARIANT(txn->flipped(),
+                     "flip sequencer must cover the flushed prefix");
+    }
   }
 
   LogRecord end;
@@ -289,6 +309,23 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
   obs::EmitTrace(obs::TraceEventType::kTxnCommit, txn->id(), commit_micros);
   return Status::OK();
+}
+
+void TransactionManager::FlipCommittedLocked(Lsn durable_upto) {
+  while (!flip_queue_.empty() && flip_queue_.front().lsn <= durable_upto) {
+    Transaction* t = flip_queue_.front().txn;
+    flip_queue_.pop_front();
+    // Reserve-stamp-publish: a lock-free Begin racing this flip reads the
+    // PREVIOUS published epoch, so its snapshot is strictly below
+    // visible_ts and never observes the half-stamped chains.
+    const uint64_t visible_ts = clock_.ReserveCommitTs();
+    version_store_->Commit(t->id(), visible_ts);
+    // From here on a checkpoint capture sees this transaction's effects in
+    // its as-of-capture_ts image and must not replay its records.
+    t->set_flipped();
+    clock_.PublishCommitTs(visible_ts);
+    obs::EmitTrace(obs::TraceEventType::kTxnFlip, t->id(), visible_ts);
+  }
 }
 
 Status TransactionManager::Abort(Transaction* txn) {
@@ -405,6 +442,11 @@ void TransactionManager::FinishTxn(Transaction* txn, TxnState final_state) {
     if (!txn->is_system()) user_active_--;
   }
   active_cv_.NotifyAll();
+  // Keep the GC horizon (Peek) moving even in read-only workloads: finish
+  // of ANY transaction bumps the published epoch past every begin timestamp
+  // issued so far. A no-op while a flip is mid-stamp (unpublished reserve),
+  // so it can never expose a half-flipped commit to fresh snapshots.
+  clock_.BumpIdle();
 }
 
 uint64_t TransactionManager::SweepStuckTransactions() {
@@ -504,7 +546,10 @@ TransactionManager::CheckpointCapture TransactionManager::CaptureCheckpoint() {
   const TxnId reader_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   {
     MutexLock vis_guard(&visibility_mu_);
-    cap.capture_ts = clock_.Tick();
+    // A fresh published commit epoch: above every flipped commit's
+    // visible_ts, below any future one — the exact as-of point for the
+    // image builder's snapshot reads.
+    cap.capture_ts = clock_.CommitTs();
     cap.checkpoint_lsn = log_manager_->last_lsn();
     cap.redo_start_lsn = cap.checkpoint_lsn + 1;
     // Every unflipped active transaction — whether mid-statement, waiting

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <thread>
@@ -56,32 +57,47 @@ struct TxnManagerMetrics {
 //
 // Commit protocol (user transactions with writes):
 //   1. under the visibility mutex: draw the durable commit timestamp,
-//      append the COMMIT record carrying it;
+//      append the COMMIT record carrying it, and enqueue the transaction
+//      on the flip queue (the mutex makes queue order == COMMIT LSN
+//      order);
 //   2. group-commit flush of the WAL up to the COMMIT record;
-//   3. under the visibility mutex again: draw visible_ts and flip this
-//      txn's version-store entries to committed, stamped with visible_ts;
+//   3. under the visibility mutex again: pop the flip queue in LSN order
+//      while the head's COMMIT LSN is covered by the durable watermark —
+//      for each popped transaction, reserve a fresh visible_ts, flip its
+//      version-store entries to committed stamped with it, then publish;
 //   4. append END, release all locks.
+//
+// Step 3 is the in-LSN-order visibility sequencer the parallel group
+// commit relies on: the WAL writer may make several transactions' COMMIT
+// records durable with one fsync, and whichever committer reaches step 3
+// first flips ALL of them, in LSN order — a later-LSN commit can never
+// become visible before an earlier one, and visible-timestamp order equals
+// durable-LSN order for user transactions. A committer whose flush FAILS
+// removes its own queue entry under the visibility mutex before returning
+// (its versions stay pending; the engine rolls it back), so a poisoned
+// batch can never be flipped by a bystander.
 //
 // The flip happens only after the COMMIT record is durable, so an
 // unacknowledged commit is never visible to other transactions in this
-// process: if the flush fails (WAL poisoned, engine degraded) the
-// transaction is still fully pending and a plain Abort rolls it back
-// logically. Both timestamp draws share the visibility mutex with Begin's
-// snapshot draw, which makes the flip atomic w.r.t. snapshots: a reader
-// that begins during the flush window draws begin_ts < visible_ts and
-// keeps resolving to the pre-image after the flip (superseded_ts =
-// visible_ts > begin_ts), while any transaction that begins after Commit()
-// returns draws begin_ts > visible_ts and sees the converted versions.
-// No snapshot ever observes the flip mid-transaction. The WAL record and
-// Transaction::commit_ts() carry the step-1 timestamp — the durable one,
-// which recovery's clock high-water mark keeps strictly monotone across
-// restarts — while visible_ts is unlogged and never leaves the process:
-// visibility state restarts empty, so only in-memory begin_ts draws are
-// ever compared against it.
+// process. Snapshot draws are LOCK-FREE against all of this (EpochClock):
+// a Begin reads the last *published* commit epoch, and the flip's
+// reserve-stamp-publish split guarantees a flush-window snapshot draws
+// begin_ts < visible_ts and keeps resolving to the pre-image after the
+// flip (superseded_ts = visible_ts > begin_ts), while any transaction that
+// begins after Commit() returns draws begin_ts > visible_ts and sees the
+// converted versions. No snapshot ever observes a flip mid-transaction.
+// The WAL record and Transaction::commit_ts() carry the step-1 timestamp —
+// the durable one, which recovery's clock high-water mark keeps strictly
+// monotone across restarts — while visible_ts is unlogged and never leaves
+// the process: visibility state restarts empty, so only in-memory begin_ts
+// draws are ever compared against it.
 //
-// System transactions (ghost creation/cleanup) follow the same protocol but
-// skip step 2: their effects are structural and become durable with (and
-// strictly before, in log order) the user commit that depends on them.
+// System transactions (ghost creation/cleanup) follow the same protocol
+// but skip step 2 and bypass the flip queue, flipping immediately: their
+// effects are structural and become durable with (and strictly before, in
+// log order) the user commit that depends on them, so holding their
+// visibility hostage to a durable watermark they never flush would only
+// stall the dependent user statement.
 class TransactionManager {
  public:
   struct Options {
@@ -222,7 +238,7 @@ class TransactionManager {
   // should call it to bound memory.
   void Forget(Transaction* txn);
 
-  LogicalClock* clock() { return &clock_; }
+  EpochClock* clock() { return &clock_; }
   const TxnManagerMetrics& metrics() const { return metrics_; }
 
   // Next id to be handed out (checkpoint high-water mark).
@@ -241,6 +257,11 @@ class TransactionManager {
       IVDB_REQUIRES(active_mu_);
   void WatchdogLoop();
 
+  // Step-3 sequencer: pops flip_queue_ while the head's COMMIT LSN is
+  // <= durable_upto, flipping each popped transaction (reserve visible_ts,
+  // stamp the version store, set_flipped, publish). Strict LSN order.
+  void FlipCommittedLocked(Lsn durable_upto) IVDB_REQUIRES(visibility_mu_);
+
   LockManager* const lock_manager_;
   LogManager* const log_manager_;
   VersionStore* const version_store_;
@@ -250,12 +271,23 @@ class TransactionManager {
   TxnManagerMetrics metrics_;
   Clock* const wall_clock_;
 
-  LogicalClock clock_;
+  // Sharded timestamp source: Begin draws are lock-free per-thread; commit
+  // epochs are reserved/published under visibility_mu_ (see class comment).
+  EpochClock clock_;
   std::atomic<TxnId> next_txn_id_{1};
 
-  // Serializes commit-timestamp draw + version-store flip against Begin's
-  // snapshot-timestamp draw (see class comment).
+  // Serializes commit-epoch draws + the in-LSN-order version-store flip
+  // sequencer (see class comment). Begin's snapshot draw no longer takes
+  // it — EpochClock's publish protocol orders lock-free snapshots against
+  // half-stamped flips.
   RankedMutex visibility_mu_{LockRank::kTxnVisibility, "visibility_mu_"};
+  // COMMIT-appended-but-not-yet-flipped user transactions, in COMMIT LSN
+  // order (appends happen under visibility_mu_).
+  struct FlipEntry {
+    Lsn lsn = kInvalidLsn;
+    Transaction* txn = nullptr;
+  };
+  std::deque<FlipEntry> flip_queue_ IVDB_GUARDED_BY(visibility_mu_);
 
   mutable RankedMutex active_mu_{LockRank::kTxnActive, "active_mu_"};
   CondVar active_cv_;

@@ -1,0 +1,61 @@
+#ifndef IVDB_WAL_BATCH_POLICY_H_
+#define IVDB_WAL_BATCH_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ivdb {
+
+// Adaptive group-commit batch sizing for the dedicated WAL-writer thread.
+//
+// The writer sleeps `window_micros()` after each wakeup so concurrent
+// committers can stage into the batch it is about to seal. The right window
+// is load-dependent: under heavy commit traffic a wider window amortizes
+// one fsync over more transactions; with a lone committer any window is
+// pure added latency. The policy watches how many commit waiters each
+// sealed batch actually served and doubles or halves the window:
+//
+//   commits >= kGrowThreshold  -> window *= 2   (coalescing is paying off)
+//   commits <= 1               -> window /= 2   (window was wasted latency)
+//   otherwise                  -> hold
+//
+// always clamped to [min, max]. Pure state machine, no clocks, no locks —
+// it is owned and driven by the single writer thread, and unit tests feed
+// it synthetic load directly. With min == 0 the window stays 0 until load
+// appears (it regrows from kFloorMicros), so unloaded engines pay nothing.
+class AdaptiveBatchPolicy {
+ public:
+  static constexpr size_t kGrowThreshold = 4;
+  static constexpr uint64_t kFloorMicros = 16;  // regrowth seed when min == 0
+
+  AdaptiveBatchPolicy(uint64_t min_micros, uint64_t max_micros)
+      : min_micros_(min_micros),
+        max_micros_(max_micros < min_micros ? min_micros : max_micros),
+        window_micros_(min_micros) {}
+
+  uint64_t window_micros() const { return window_micros_; }
+
+  // Feeds back one sealed batch: `commits` is the number of commit (flush)
+  // waiters the batch satisfied.
+  void OnBatch(size_t commits) {
+    if (commits >= kGrowThreshold) {
+      uint64_t grown = window_micros_ == 0 ? kFloorMicros : window_micros_ * 2;
+      window_micros_ = grown > max_micros_ ? max_micros_ : grown;
+    } else if (commits <= 1) {
+      uint64_t shrunk = window_micros_ / 2;
+      window_micros_ = shrunk < min_micros_ ? min_micros_ : shrunk;
+    }
+  }
+
+  uint64_t min_micros() const { return min_micros_; }
+  uint64_t max_micros() const { return max_micros_; }
+
+ private:
+  uint64_t min_micros_;
+  uint64_t max_micros_;
+  uint64_t window_micros_;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_WAL_BATCH_POLICY_H_

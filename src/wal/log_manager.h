@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -15,6 +17,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "wal/batch_policy.h"
 #include "wal/log_record.h"
 
 namespace ivdb {
@@ -60,6 +63,30 @@ struct LogManagerOptions {
   // thread, possibly while WAL-internal locks are held; keep it cheap and
   // do not call back into the log manager.
   std::function<void()> on_poison = nullptr;
+
+  // --- Parallel group-commit pipeline ---
+
+  // With true, committers stage framed records into per-core shards and a
+  // dedicated WAL-writer thread coalesces everything staged into one
+  // segment append with a single fsync per batch; Flush() becomes
+  // "hand the writer work, wait for the durable watermark". With false
+  // (the default for direct LogManager users), the original inline
+  // leader/follower group commit runs instead — the two paths produce
+  // byte-identical logs for the same append sequence.
+  bool dedicated_writer = false;
+  // Number of staging shards (dedicated-writer mode); 0 = auto
+  // (min(8, hardware threads)). Committers hash onto shards by thread.
+  uint32_t staging_shards = 0;
+  // Adaptive batching window bounds for the dedicated writer (see
+  // wal/batch_policy.h). The writer sleeps the current window after each
+  // wakeup so concurrent committers join the batch; the policy doubles or
+  // halves the window inside [min, max] based on commits-per-batch. The
+  // window's job is convoy assembly — committers released together by the
+  // previous batch re-commit together — so the max should stay well below
+  // the device latency: the fsync itself already accumulates stragglers.
+  // With both 0 the writer never waits (each wakeup seals immediately).
+  uint64_t batch_window_min_micros = 0;
+  uint64_t batch_window_max_micros = 0;
 };
 
 // WAL instruments; see docs/OBSERVABILITY.md for the naming scheme.
@@ -77,6 +104,17 @@ struct LogManagerMetrics {
   // durable (`ivdb_wal_flush_wait_micros`): group commit shows up here as a
   // tight distribution near the device latency.
   obs::Histogram* flush_wait_latency;
+  // Dedicated-writer pipeline: per-sealed-batch record count / byte size /
+  // batching-window width (`ivdb_wal_batch_*`). fsyncs-per-commit is
+  // flushes / committed-txns; batch_records p50/p99 is the direct view of
+  // how much coalescing each fsync buys.
+  obs::Histogram* batch_records;
+  obs::Histogram* batch_bytes;
+  obs::Histogram* batch_window;
+  // Times the writer found a head-of-line gap in the staged LSN stream (a
+  // committer was mid-append in another shard) and had to re-run
+  // (`ivdb_wal_staging_stalls_total`).
+  obs::Counter* staging_stalls;
 
   explicit LogManagerMetrics(obs::MetricsRegistry* registry);
 };
@@ -214,6 +252,43 @@ class LogManager {
   // updates the manifest. Leader-exclusive (flusher_active_ true or Open).
   Status RotateLocked(Lsn seal_end_lsn);
 
+  // --- Dedicated-writer pipeline (options_.dedicated_writer) ---
+
+  // Stable per-thread shard pick (hash of thread id onto shards_.size()).
+  size_t ShardIndex() const;
+
+  // Body of the WAL-writer thread: park on writer_cv_ until work is
+  // requested, sleep the adaptive batching window, then run one
+  // WriteStagedBatch pass. Exits when writer_stop_ is set.
+  void WriterLoop();
+
+  // One writer pass: drain every staging shard into pending_frames_, write
+  // the dense LSN prefix as ONE segment append + ONE fsync, rotate if due
+  // (or `do_rotate`), then — under flush_mu_ — advance flushed_lsn_, ack
+  // rotation up to `rotate_target`, feed the policy, and wake flush
+  // waiters. The durable watermark deliberately advances only at the END
+  // of the pass (after rotation I/O): a flush waiter that returns has
+  // therefore observed every env op of its batch complete, which keeps
+  // single-threaded workloads' env-op streams deterministic.
+  void WriteStagedBatch(bool do_rotate, uint64_t rotate_target);
+
+  // Dedicated-mode halves of the public entry points.
+  Status AppendStaged(LogRecord* rec);
+  Status FlushStaged(Lsn upto);
+  Status RotateNowStaged();
+
+  // Writer-thread poison: records the root-cause status and defers the
+  // on_poison callback instead of firing it on the writer thread (which has
+  // no transaction context). The first committer/checkpointer to observe
+  // the poison *claims* both — ClaimPoisonStatusLocked hands it the real
+  // I/O status (everyone after gets kUnavailable) and
+  // FirePendingPoisonCallback runs the callback on its thread — mirroring
+  // the serial path, where the group-commit leader both performs the
+  // failing I/O and reports it from its own commit scope.
+  void PoisonStagedLocked(Status cause) IVDB_REQUIRES(flush_mu_);
+  Status ClaimPoisonStatusLocked() IVDB_REQUIRES(flush_mu_);
+  void FirePendingPoisonCallback();
+
   LogManagerOptions options_;
   Env* env_ = nullptr;  // options_.env resolved against Env::Default()
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
@@ -244,6 +319,54 @@ class LogManager {
   std::atomic<Lsn> flushed_lsn_{0};
   std::atomic<uint64_t> appended_bytes_{0};
   std::atomic<bool> poisoned_{false};
+
+  // --- Dedicated-writer pipeline state (unused in serial mode) ---
+
+  // One commit-staging shard. Committers hash onto shards by thread; the
+  // LSN is drawn *inside* the shard mutex so each shard's staged frames are
+  // internally LSN-ordered, and the writer's merge across shards is a dense
+  // stream except for committers caught mid-append elsewhere. alignas keeps
+  // independent committers off each other's cache line.
+  struct alignas(64) StagingShard {
+    RankedMutex wal_shard_mu_{LockRank::kWalShard, "wal_shard_mu_"};
+    // Framed records ([len][crc][body]) staged and not yet drained.
+    std::vector<std::pair<Lsn, std::string>> staged
+        IVDB_GUARDED_BY(wal_shard_mu_);
+  };
+  std::vector<std::unique_ptr<StagingShard>> shards_;
+
+  // Writer parking + request flags ride the existing flush_mu_ (rank 50);
+  // flush_cv_ doubles as the "durable watermark advanced" broadcast.
+  CondVar writer_cv_;
+  bool writer_stop_ IVDB_GUARDED_BY(flush_mu_) = false;
+  bool work_requested_ IVDB_GUARDED_BY(flush_mu_) = false;
+  // RotateNow() handshake, sequence-numbered so a request that lands while
+  // a pass is already in flight is never satisfied by that pass (which
+  // sampled its drain before the request's records were staged): a caller
+  // takes seq = ++rotate_seq_ and waits for rotate_seq_done_ >= seq; the
+  // writer samples rotate_seq_ at pass START (before draining) and sets
+  // rotate_seq_done_ to the sampled value only after its rotation lands.
+  uint64_t rotate_seq_ IVDB_GUARDED_BY(flush_mu_) = 0;
+  uint64_t rotate_seq_done_ IVDB_GUARDED_BY(flush_mu_) = 0;
+
+  // Root cause of a writer-thread poison and whether a waiter has already
+  // claimed it (see PoisonStagedLocked). The callback flag is atomic so
+  // AppendStaged can claim it without touching flush_mu_.
+  Status staged_error_ IVDB_GUARDED_BY(flush_mu_);
+  bool staged_error_claimed_ IVDB_GUARDED_BY(flush_mu_) = false;
+  std::atomic<bool> poison_callback_pending_{false};
+
+  // Committers currently inside FlushStaged() — the writer reads this as
+  // the "commit waiters served" signal for the adaptive batch policy.
+  std::atomic<uint32_t> flush_waiters_{0};
+
+  // Writer-thread-private: frames drained from shards but not yet written
+  // because of a head-of-line LSN gap, keyed by LSN. No lock — only the
+  // writer thread touches it.
+  std::map<Lsn, std::string> pending_frames_;
+  AdaptiveBatchPolicy policy_{0, 0};
+
+  std::thread writer_;
 };
 
 }  // namespace ivdb

@@ -1,0 +1,60 @@
+// Fixture: the clean twin of stripe_nesting.cc — every striped-capability
+// pattern the engine actually uses, so ivdb_lint --fixtures asserts ZERO
+// findings (no LINT-EXPECT).
+//
+//   * Multi-bucket operations visit stripes strictly one at a time
+//     (sequential scopes, never two stripes held together).
+//   * A coordinator mutex ranked BELOW the stripes may hold while taking
+//     one stripe (strictly increasing rank), which is how the lock
+//     manager's wait-graph and the version store's pending map compose
+//     with their buckets.
+//   * Per-stripe entry contracts are spelled with a parameter-dependent
+//     IVDB_REQUIRES on the stripe's own capability.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace ivdb {
+namespace lint_fixture {
+
+struct alignas(64) ChainStripe {
+  RankedMutex chain_stripe_mu_{LockRank::kVersionStore, "chain_stripe_mu_"};
+  std::map<std::string, int> chains IVDB_GUARDED_BY(chain_stripe_mu_);
+};
+
+RankedMutex coordinator_mu_{LockRank::kVersionPending, "coordinator_mu_"};
+std::vector<std::string> dirty_keys_ IVDB_GUARDED_BY(coordinator_mu_);
+
+ChainStripe stripe_a_;
+ChainStripe stripe_b_;
+
+void StampLocked(ChainStripe& stripe, const std::string& key)
+    IVDB_REQUIRES(stripe.chain_stripe_mu_) {
+  stripe.chains[key] += 1;
+}
+
+void VisitStripesOneAtATime() {
+  {
+    MutexLock guard(&stripe_a_.chain_stripe_mu_);
+    StampLocked(stripe_a_, "a-key");
+  }
+  // The first stripe is released before the next is taken.
+  {
+    MutexLock guard(&stripe_b_.chain_stripe_mu_);
+    StampLocked(stripe_b_, "b-key");
+  }
+}
+
+void CoordinatorThenOneStripe() {
+  MutexLock pending(&coordinator_mu_);  // rank below the stripes
+  dirty_keys_.push_back("a-key");
+  MutexLock guard(&stripe_a_.chain_stripe_mu_);  // strictly increasing
+  StampLocked(stripe_a_, "a-key");
+}
+
+}  // namespace lint_fixture
+}  // namespace ivdb

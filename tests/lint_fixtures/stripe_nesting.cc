@@ -1,0 +1,40 @@
+// Fixture: nesting two stripes of one striped structure.
+//
+// Striped mutexes (lock-manager buckets, version-store buckets) are
+// distinct capabilities that share ONE rank: the discipline permits holding
+// at most one stripe at a time, so multi-bucket operations must visit
+// stripes sequentially. Lexically, two stripes lock the same declared
+// member, so the analyzer sees a rank(A) >= rank(B) edge — the same-rank
+// nesting below is exactly the cross-bucket deadlock (thread 1 takes
+// stripe a then b, thread 2 takes b then a). ivdb_lint --fixtures asserts
+// the rule fires.
+//
+// LINT-EXPECT: static-rank-inversion
+
+#include <map>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace ivdb {
+namespace lint_fixture {
+
+struct alignas(64) BucketStripe {
+  RankedMutex bucket_stripe_mu_{LockRank::kLockManager, "bucket_stripe_mu_"};
+  std::map<std::string, int> entries IVDB_GUARDED_BY(bucket_stripe_mu_);
+};
+
+BucketStripe stripe_a_;
+BucketStripe stripe_b_;
+
+void TransferAcrossBuckets(const std::string& from, const std::string& to) {
+  MutexLock source(&stripe_a_.bucket_stripe_mu_);
+  // Same rank as the guard above: two stripes may never nest.
+  MutexLock target(&stripe_b_.bucket_stripe_mu_);
+  stripe_b_.entries[to] = stripe_a_.entries[from];
+  stripe_a_.entries.erase(from);
+}
+
+}  // namespace lint_fixture
+}  // namespace ivdb
