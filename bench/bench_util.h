@@ -53,8 +53,12 @@ struct RunResult {
 // stop flag: in-flight transactions that finish during the drain are real
 // measurements, and counting them in the numerator but not the window used
 // to inflate Tps by up to one transaction per thread on short runs.
+// `thread_begin(thread_idx)`, when provided, runs once on each worker
+// thread before its first body() call (e.g. to name the thread's
+// flight-recorder lane).
 inline RunResult RunFor(int threads, int duration_ms,
-                        const std::function<bool(int)>& body) {
+                        const std::function<bool(int)>& body,
+                        const std::function<void(int)>& thread_begin = {}) {
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> committed{0};
   std::atomic<uint64_t> aborted{0};
@@ -65,6 +69,7 @@ inline RunResult RunFor(int threads, int duration_ms,
   uint64_t start = NowMicros();
   for (int t = 0; t < threads; t++) {
     workers.emplace_back([&, t] {
+      if (thread_begin) thread_begin(t);
       while (!stop.load(std::memory_order_relaxed)) {
         uint64_t begin = NowMicros();
         bool ok = body(t);
@@ -116,6 +121,20 @@ inline void MaybeDumpMetrics(Database* db) {
   Status s = Env::Default()->WriteStringToFileAtomic(path, db->DumpMetrics());
   if (!s.ok()) {
     std::fprintf(stderr, "metrics dump to %s failed: %s\n", path,
+                 s.ToString().c_str());
+  }
+}
+
+// With IVDB_FLIGHT_OUT set, writes the engine's flight-recorder snapshot
+// JSON there (atomic replace; the last call wins). CI feeds this to
+// tools/ivdb_trace and asserts the export is valid Chrome trace JSON.
+inline void MaybeDumpFlight(Database* db) {
+  const char* path = std::getenv("IVDB_FLIGHT_OUT");
+  if (path == nullptr || *path == '\0' || db == nullptr) return;
+  Status s = Env::Default()->WriteStringToFileAtomic(
+      path, db->flight_recorder()->Snap().ToJson());
+  if (!s.ok()) {
+    std::fprintf(stderr, "flight dump to %s failed: %s\n", path,
                  s.ToString().c_str());
   }
 }

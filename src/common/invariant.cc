@@ -1,0 +1,49 @@
+#include "common/invariant.h"
+
+#include <atomic>
+
+namespace ivdb {
+
+namespace {
+
+// One registration slot, swapped atomically as a pair-with-generation so a
+// racing SetInvariantHook cannot leave a hook matched with a stale arg. The
+// failure path is already fatal, so "most recent registration wins" and a
+// torn hook/arg pair during teardown degrading to a no-op are acceptable:
+// the hook fires under a CAS-guarded once-flag, and Database clears the
+// slot before destroying anything the hook touches.
+struct HookSlot {
+  InvariantHook hook = nullptr;
+  void* arg = nullptr;
+};
+
+std::atomic<HookSlot*> g_hook{nullptr};
+HookSlot g_slots[2];
+std::atomic<int> g_next_slot{0};
+std::atomic<bool> g_fired{false};
+
+}  // namespace
+
+void SetInvariantHook(InvariantHook hook, void* arg) {
+  if (hook == nullptr) {
+    g_hook.store(nullptr, std::memory_order_release);
+    return;
+  }
+  HookSlot* slot =
+      &g_slots[g_next_slot.fetch_add(1, std::memory_order_relaxed) % 2];
+  slot->hook = hook;
+  slot->arg = arg;
+  g_hook.store(slot, std::memory_order_release);
+}
+
+void FireInvariantHook() {
+  bool expected = false;
+  if (!g_fired.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    return;  // a hook is already running (or ran); don't recurse
+  }
+  HookSlot* slot = g_hook.load(std::memory_order_acquire);
+  if (slot != nullptr && slot->hook != nullptr) slot->hook(slot->arg);
+}
+
+}  // namespace ivdb

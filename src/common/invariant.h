@@ -23,6 +23,19 @@
 
 namespace ivdb {
 
+// Best-effort post-mortem hook, fired once before an invariant failure
+// aborts the process. The engine registers its flight-recorder black-box
+// dump here (Database ties registration to its own lifetime); with several
+// engines in one process the most recent registration wins. The hook runs
+// on the failing thread and must itself be abort-safe — a failure inside
+// the hook falls through to the original abort (re-entry is suppressed).
+using InvariantHook = void (*)(void* arg);
+void SetInvariantHook(InvariantHook hook, void* arg);
+// Fires the registered hook (at most once per process). Called by the
+// IVDB_ASSERT/IVDB_INVARIANT failure paths; exposed so other last-gasp
+// paths can flush the same black box before dying.
+void FireInvariantHook();
+
 #if IVDB_CHECKS_ENABLED
 
 #define IVDB_ASSERT(cond)                                                   \
@@ -30,6 +43,7 @@ namespace ivdb {
     if (!(cond)) {                                                          \
       std::fprintf(stderr, "IVDB_ASSERT failed at %s:%d: %s\n", __FILE__,   \
                    __LINE__, #cond);                                        \
+      ::ivdb::FireInvariantHook();                                          \
       std::abort();                                                         \
     }                                                                       \
   } while (0)
@@ -39,6 +53,7 @@ namespace ivdb {
     if (!(cond)) {                                                          \
       std::fprintf(stderr, "IVDB_INVARIANT violated at %s:%d: %s (%s)\n",   \
                    __FILE__, __LINE__, #cond, (msg));                       \
+      ::ivdb::FireInvariantHook();                                          \
       std::abort();                                                         \
     }                                                                       \
   } while (0)

@@ -35,6 +35,10 @@
 //   LogManager::buf_mu_         (60)   WAL append buffer (serial path)
 //   Catalog::catalog_mu_        (70)   name/schema maps: never calls out
 //   MetricsRegistry::registry_mu_ (80) instrument interning (leaf)
+//   FlightRecorder::flight_mu_  (83)   flight-recorder thread registration
+//                                      and snapshots (Emit itself is
+//                                      lock-free; a black-box dump snaps
+//                                      under WAL locks, rank 50/60)
 //   TraceRecorder::ring_mu_     (85)   trace ring (EmitTrace under WAL locks)
 //   FaultInjectionEnv::env_mu_  (90)   fault schedule (env ops under seg_mu_)
 //
@@ -94,6 +98,7 @@ enum class LockRank : int {
   kWalBuffer = 60,
   kCatalog = 70,
   kMetricsRegistry = 80,
+  kFlightRing = 83,
   kTraceRing = 85,
   kFaultEnv = 90,
 };

@@ -6,6 +6,7 @@
 
 #include "common/coding.h"
 #include "common/env.h"
+#include "common/invariant.h"
 #include "common/lock_order.h"
 #include "common/logging.h"
 #include "engine/snapshot.h"
@@ -36,6 +37,14 @@ LockManager::Options MakeLockOptions(const DatabaseOptions& options,
   lock_options.escalation_threshold = options.lock_escalation_threshold;
   lock_options.metrics = registry;
   return lock_options;
+}
+
+obs::FlightRecorder::Options MakeFlightOptions(const DatabaseOptions& options,
+                                               Clock* clock) {
+  obs::FlightRecorder::Options flight_options;
+  flight_options.events_per_thread = options.flight_recorder_events;
+  flight_options.clock = clock;
+  return flight_options;
 }
 
 // Pins the transaction as "owner busy" for the duration of one engine entry
@@ -79,11 +88,28 @@ Database::Database(DatabaseOptions options)
       txn_retry_exhausted_(
           registry_.GetCounter("ivdb_txn_retry_exhausted_total")),
       clock_(options_.clock != nullptr ? options_.clock : Clock::Default()),
+      version_chain_max_gauge_(
+          registry_.GetGauge("ivdb_storage_version_chain_max")),
+      version_chain_p99_gauge_(
+          registry_.GetGauge("ivdb_storage_version_chain_p99")),
+      flight_(MakeFlightOptions(options_, clock_)),
       locks_(MakeLockOptions(options_, &registry_)) {
   ckpt_total_ = registry_.GetCounter("ivdb_ckpt_total");
   ckpt_duration_ = registry_.GetHistogram("ivdb_ckpt_duration_micros");
   ckpt_capture_stall_ =
       registry_.GetHistogram("ivdb_ckpt_capture_stall_micros");
+  ckpt_phase_rotate_ = registry_.GetHistogram(
+      obs::WithLabel("ivdb_ckpt_phase_micros", "phase", "rotate"));
+  ckpt_phase_capture_ = registry_.GetHistogram(
+      obs::WithLabel("ivdb_ckpt_phase_micros", "phase", "capture"));
+  ckpt_phase_build_ = registry_.GetHistogram(
+      obs::WithLabel("ivdb_ckpt_phase_micros", "phase", "build"));
+  ckpt_phase_write_ = registry_.GetHistogram(
+      obs::WithLabel("ivdb_ckpt_phase_micros", "phase", "write"));
+  ckpt_phase_retire_ = registry_.GetHistogram(
+      obs::WithLabel("ivdb_ckpt_phase_micros", "phase", "retire"));
+  recovery_segment_micros_ =
+      registry_.GetHistogram("ivdb_recovery_segment_micros");
   LogManagerOptions log_options;
   log_options.dir = options_.dir;
   log_options.segment_bytes = options_.wal_segment_bytes;
@@ -104,17 +130,25 @@ Database::Database(DatabaseOptions options)
   log_options.batch_window_max_micros =
       2 * options_.group_commit_window_micros;
   log_options.metrics = &registry_;
+  log_options.flight = &flight_;
   // Runs once, on the thread whose I/O failure poisoned the WAL, possibly
-  // with WAL locks held — just flip the gauge and drop a span marker into
-  // whatever transaction that thread was serving.
+  // with WAL locks held: flip the gauge, drop a span marker into whatever
+  // transaction that thread was serving, and write the black-box dump —
+  // the flight snapshot takes only flight_mu_ (rank 83) and Env calls
+  // (rank 90), both above every WAL rank, so the dump is lock-order-legal
+  // even from under flush_mu_.
   log_options.on_poison = [this] {
     degraded_gauge_->Set(1);
     obs::EmitTrace(obs::TraceEventType::kEngineDegraded, 1, 0);
+    flight_.EmitInstant(obs::FlightEventType::kDegraded, flight_.NowMicros(),
+                        1);
+    WriteBlackboxDump("degraded");
   };
   log_ = std::make_unique<LogManager>(std::move(log_options));
   TransactionManager::Options txn_options;
   txn_options.metrics = &registry_;
   txn_options.clock = clock_;
+  txn_options.flight = &flight_;
   txn_options.trace_ring_capacity = options_.trace_ring_capacity;
   txn_options.max_active_txns = options_.max_active_txns;
   txn_options.admission_timeout_micros = options_.admission_timeout_micros;
@@ -124,6 +158,10 @@ Database::Database(DatabaseOptions options)
 }
 
 Database::~Database() {
+  // Unhook the invariant-failure dump before tearing anything down (a late
+  // assert must not walk a half-destroyed engine). Clears whichever
+  // database registered last — fine, the hook is best-effort diagnostics.
+  SetInvariantHook(nullptr, nullptr);
   // Simulated crash semantics: no implicit checkpoint, no implicit aborts.
   // Whatever the WAL says is what a reopened database will reconstruct.
   if (ckpt_thread_.joinable()) {
@@ -148,6 +186,9 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   std::unique_ptr<Database> db(new Database(std::move(options)));
   IVDB_RETURN_NOT_OK(db->log_->Open());
   IVDB_RETURN_NOT_OK(db->Recover());
+  // From here an IVDB_ASSERT/IVDB_INVARIANT failure anywhere in the process
+  // writes this engine's flight recorder next to its WAL before aborting.
+  SetInvariantHook(&Database::InvariantBlackboxHook, db.get());
   if (!db->options_.dir.empty() && db->options_.checkpoint_wal_bytes > 0) {
     db->ckpt_thread_ = std::thread([raw = db.get()] {
       raw->CheckpointThreadLoop();
@@ -268,9 +309,13 @@ Status Database::RegisterView(ObjectId id, ViewDefinition def, bool populate) {
     GhostCleaner::Options cleaner_options;
     cleaner_options.metrics = &registry_;
     cleaner_options.view_name = def.name;
+    cleaner_options.clock = clock_;
+    cleaner_options.flight = &flight_;
     entry->cleaner = std::make_unique<GhostCleaner>(
         id, def.CountColumnIndex(), this, &locks_, txns_.get(), &versions_,
         std::move(cleaner_options));
+    entry->ghost_lag_gauge = registry_.GetGauge(obs::WithLabel(
+        "ivdb_ghost_last_pass_age_micros", "view", def.name));
   }
 
   std::string view_name = def.name;
@@ -1246,7 +1291,15 @@ Status Database::Checkpoint() {
   // checkpoint can stall committers for.
   const uint64_t capture_start = clock_->NowMicros();
   TransactionManager::CheckpointCapture cap = txns_->CaptureCheckpoint();
-  ckpt_capture_stall_->Record(clock_->NowMicros() - capture_start);
+  const uint64_t capture_end = clock_->NowMicros();
+  ckpt_capture_stall_->Record(capture_end - capture_start);
+  ckpt_phase_rotate_->Record(capture_start - start_micros);
+  ckpt_phase_capture_->Record(capture_end - capture_start);
+  flight_.Emit(obs::FlightEventType::kCkptRotate, start_micros,
+               capture_start - start_micros, cap.checkpoint_lsn);
+  flight_.Emit(obs::FlightEventType::kCkptCapture, capture_start,
+               capture_end - capture_start, cap.checkpoint_lsn,
+               cap.capture_ts);
 
   Status s = [&]() -> Status {
     obs::TraceScope scope(cap.reader->trace());
@@ -1297,6 +1350,11 @@ Status Database::Checkpoint() {
           BuildIndexImage(id, cap.capture_ts, &tree_payload));
       image.indexes.emplace_back(id, std::move(tree_payload));
     }
+    const uint64_t build_end = clock_->NowMicros();
+    ckpt_phase_build_->Record(build_end - capture_end);
+    flight_.Emit(obs::FlightEventType::kCkptBuild, capture_end,
+                 build_end - capture_end, cap.checkpoint_lsn,
+                 image.indexes.size());
 
     IVDB_RETURN_NOT_OK(log_->Flush(cap.checkpoint_lsn));
     std::string encoded;
@@ -1312,13 +1370,26 @@ Status Database::Checkpoint() {
       log_->Poison();
       return write_status;
     }
+    const uint64_t write_end = clock_->NowMicros();
+    ckpt_phase_write_->Record(write_end - build_end);
+    flight_.Emit(obs::FlightEventType::kCkptWrite, build_end,
+                 write_end - build_end, cap.checkpoint_lsn, encoded.size());
     // Published. Segments wholly below the redo horizon are dead; a failed
     // retirement is not poisonous — recovery filters everything below the
     // horizon, so a lingering segment is only disk waste until the next
     // checkpoint retries.
+    const size_t segments_before = log_->SegmentCount();
     (void)log_->RetireSegmentsBelow(cap.redo_start_lsn);
+    const size_t segments_after = log_->SegmentCount();
     ckpt_total_->Add(1);
-    const uint64_t took_micros = clock_->NowMicros() - start_micros;
+    // One clock read closes both the retire phase and the whole checkpoint,
+    // so the five phases partition ckpt_duration exactly.
+    const uint64_t retire_end = clock_->NowMicros();
+    const uint64_t took_micros = retire_end - start_micros;
+    ckpt_phase_retire_->Record(retire_end - write_end);
+    flight_.Emit(obs::FlightEventType::kCkptRetire, write_end,
+                 retire_end - write_end, cap.checkpoint_lsn,
+                 segments_before - segments_after);
     ckpt_duration_->Record(took_micros);
     obs::EmitTrace(obs::TraceEventType::kCheckpoint, cap.checkpoint_lsn,
                    took_micros);
@@ -1329,6 +1400,7 @@ Status Database::Checkpoint() {
 }
 
 void Database::CheckpointThreadLoop() {
+  flight_.SetThreadName("checkpointer");
   UniqueMutexLock lock(&ckpt_thread_mu_);
   while (!ckpt_stop_) {
     ckpt_thread_cv_.WaitFor(&lock, std::chrono::milliseconds(10));
@@ -1404,8 +1476,19 @@ Status Database::Recover() {
   // Parallel redo pipeline: segments are decoded and CRC-checked
   // concurrently, then applied below in strict LSN order.
   std::vector<LogRecord> records;
+  std::vector<LogManager::SegmentReadStats> segment_stats;
   IVDB_RETURN_NOT_OK(LogManager::ReadLog(options_.dir, &records, env_,
-                                         options_.recovery_threads));
+                                         options_.recovery_threads,
+                                         &segment_stats));
+  for (const LogManager::SegmentReadStats& st : segment_stats) {
+    recovery_segment_micros_->Record(st.micros);
+    // Spans are re-anchored at emission time (the decode ran on unnamed
+    // pool threads with no Clock-seam start stamp of their own).
+    const uint64_t now = flight_.NowMicros();
+    flight_.Emit(obs::FlightEventType::kRecoverySegment,
+                 now > st.micros ? now - st.micros : 0, st.micros, st.seqno,
+                 st.records);
+  }
 
   // A fuzzy image holds every flipped transaction's effects up to
   // checkpoint_lsn; transactions in flight at capture are excluded from it
@@ -1630,7 +1713,61 @@ const GhostCleanerMetrics* Database::ghost_metrics(
 std::string Database::DumpMetrics() const {
   version_entries_gauge_->Set(
       static_cast<int64_t>(versions_.TotalEntries()));
+  const VersionStore::ChainLengthStats chains =
+      versions_.CollectChainLengthStats();
+  version_chain_max_gauge_->Set(static_cast<int64_t>(chains.max_len));
+  version_chain_p99_gauge_->Set(static_cast<int64_t>(chains.p99_len));
+  const uint64_t now = clock_->NowMicros();
+  {
+    ReaderMutexLock guard(&views_mu_);
+    for (const auto& [name, entry] : views_) {
+      if (entry->cleaner == nullptr || entry->ghost_lag_gauge == nullptr) {
+        continue;
+      }
+      const uint64_t last = entry->cleaner->last_pass_end_micros();
+      // 0 before the first pass (no lag signal yet, not "infinitely late").
+      entry->ghost_lag_gauge->Set(
+          last == 0 || last > now ? 0 : static_cast<int64_t>(now - last));
+    }
+  }
   return registry_.RenderPrometheus();
+}
+
+void Database::WriteBlackboxDump(const char* reason) {
+  if (options_.dir.empty()) return;
+  // Next free sequence number: scan the directory for prior dumps so
+  // repeated incidents across process lifetimes never overwrite each other.
+  uint64_t seq = 1;
+  Result<std::vector<std::string>> listing = env_->ListDirectory(options_.dir);
+  if (listing.ok()) {
+    for (const std::string& name : *listing) {
+      static const char kPrefix[] = "blackbox-";
+      static const char kSuffix[] = ".json";
+      if (name.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1 ||
+          name.compare(0, sizeof(kPrefix) - 1, kPrefix) != 0 ||
+          name.compare(name.size() - (sizeof(kSuffix) - 1),
+                       sizeof(kSuffix) - 1, kSuffix) != 0) {
+        continue;
+      }
+      uint64_t n = 0;
+      bool numeric = true;
+      for (size_t i = sizeof(kPrefix) - 1;
+           i < name.size() - (sizeof(kSuffix) - 1); ++i) {
+        if (name[i] < '0' || name[i] > '9') {
+          numeric = false;
+          break;
+        }
+        n = n * 10 + static_cast<uint64_t>(name[i] - '0');
+      }
+      if (numeric && n >= seq) seq = n + 1;
+    }
+  }
+  std::string json = flight_.Snap().ToJson();
+  json.insert(1, std::string("\"reason\":\"") + reason + "\",");
+  // Best-effort: the engine is already degraded or aborting; a failed dump
+  // must not mask the original failure.
+  (void)env_->WriteStringToFileAtomic(
+      options_.dir + "/blackbox-" + std::to_string(seq) + ".json", json);
 }
 
 }  // namespace ivdb

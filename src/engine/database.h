@@ -16,6 +16,7 @@
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "lock/lock_manager.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/btree.h"
 #include "storage/version_store.h"
@@ -104,6 +105,12 @@ struct DatabaseOptions {
   // runs set a few hundred. Each transaction then carries its own ring and
   // Transaction::DumpTrace() yields a readable span log.
   size_t trace_ring_capacity = 0;
+
+  // Engine flight recorder ring capacity, in events per thread (rounded up
+  // to a power of two; see obs/flight_recorder.h). Unlike the per-txn trace
+  // ring this is always on — it is the black-box record dumped on
+  // degraded-mode entry and the input of tools/ivdb_trace.
+  size_t flight_recorder_events = 2048;
 
   // Admission control: maximum concurrently active user transactions
   // (system transactions — ghost maintenance — are exempt). 0 disables the
@@ -330,6 +337,11 @@ class Database : public LogApplier, public IndexResolver {
 
   // Every component of this engine registers its instruments here.
   obs::MetricsRegistry* metrics_registry() { return &registry_; }
+  // The always-on engine flight recorder (per-thread event rings). Benches
+  // snapshot it for Chrome-trace export; the engine dumps it to
+  // `blackbox-<seq>.json` next to the WAL on degraded-mode entry or an
+  // invariant failure.
+  obs::FlightRecorder* flight_recorder() { return &flight_; }
   // Prometheus text exposition of every instrument in the engine (counters,
   // gauges, histogram summaries with p50/p95/p99). Point-in-time gauges
   // (e.g. ivdb_storage_version_entries) are refreshed by this call.
@@ -356,12 +368,23 @@ class Database : public LogApplier, public IndexResolver {
     ViewInfo info;
     std::unique_ptr<ViewMaintainer> maintainer;
     std::unique_ptr<GhostCleaner> cleaner;
+    // `ivdb_ghost_last_pass_age_micros{view=...}`, refreshed by
+    // DumpMetrics() from the cleaner's pass stamp (0 = no pass yet).
+    obs::Gauge* ghost_lag_gauge = nullptr;
   };
 
   std::string CheckpointPath() const { return options_.dir + "/checkpoint.db"; }
 
   Status Recover();
   Status RestoreFromImage(const SnapshotImage& image);
+  // Writes the flight recorder's contents to `<dir>/blackbox-<seq>.json`
+  // (next free seq; best-effort — the engine is already failing when this
+  // runs). Called on degraded-mode entry and from the invariant-failure
+  // hook.
+  void WriteBlackboxDump(const char* reason);
+  static void InvariantBlackboxHook(void* arg) {
+    static_cast<Database*>(arg)->WriteBlackboxDump("invariant");
+  }
   // Serializes one index's contents as of `as_of_ts` (MVCC snapshot read:
   // physical state minus pending/unflipped deltas — ghosts included, since
   // increment redo is not idempotent and needs its base rows).
@@ -422,6 +445,14 @@ class Database : public LogApplier, public IndexResolver {
   obs::Counter* txn_retry_exhausted_ = nullptr;
   // options_.clock resolved against Clock::Default().
   Clock* clock_ = nullptr;
+  // Version-chain shape at the last DumpMetrics() (longest chain and p99
+  // chain length) and per-view ghost-cleaner lag live in gauges refreshed
+  // the same way as version_entries_gauge_.
+  obs::Gauge* version_chain_max_gauge_ = nullptr;
+  obs::Gauge* version_chain_p99_gauge_ = nullptr;
+  // Declared after clock_ (its timestamps go through the same seam) and
+  // before every component that records into it.
+  obs::FlightRecorder flight_;
   LockManager locks_;
   VersionStore versions_;
   std::unique_ptr<LogManager> log_;
@@ -447,6 +478,15 @@ class Database : public LogApplier, public IndexResolver {
   // Length of the snapshot-acquire critical section — the only window a
   // fuzzy checkpoint can stall committers for.
   obs::Histogram* ckpt_capture_stall_ = nullptr;
+  // Checkpoint phase breakdown (`ivdb_ckpt_phase_micros{phase=...}`): the
+  // five phases partition ckpt_duration_ exactly (same clock reads).
+  obs::Histogram* ckpt_phase_rotate_ = nullptr;
+  obs::Histogram* ckpt_phase_capture_ = nullptr;
+  obs::Histogram* ckpt_phase_build_ = nullptr;
+  obs::Histogram* ckpt_phase_write_ = nullptr;
+  obs::Histogram* ckpt_phase_retire_ = nullptr;
+  // Per-segment decode + CRC time of the restart redo pipeline.
+  obs::Histogram* recovery_segment_micros_ = nullptr;
 
   // Background checkpointer (only when dir set and checkpoint_wal_bytes >
   // 0): wakes periodically and checkpoints when enough WAL has accumulated.

@@ -108,9 +108,16 @@ class Histogram {
 };
 
 // `base{key="value"}` — the spelling RenderPrometheus() expects for
-// per-instance instruments (one per view, one per cleaner).
+// per-instance instruments (one per view, one per cleaner). Applied to a
+// name that already carries labels it splices the new pair into the
+// existing set: WithLabel(WithLabel("m", "view", "v"), "stage", "s")
+// yields `m{view="v",stage="s"}`.
 inline std::string WithLabel(const std::string& base, const std::string& key,
                              const std::string& value) {
+  if (!base.empty() && base.back() == '}') {
+    return base.substr(0, base.size() - 1) + "," + key + "=\"" + value +
+           "\"}";
+  }
   return base + "{" + key + "=\"" + value + "\"}";
 }
 

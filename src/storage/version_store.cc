@@ -488,4 +488,25 @@ uint64_t VersionStore::TotalEntries() const {
   return n;
 }
 
+VersionStore::ChainLengthStats VersionStore::CollectChainLengthStats() const {
+  std::vector<uint64_t> lengths;
+  for (const auto& stripe : stripes_) {
+    MutexLock guard(&stripe->version_stripe_mu_);
+    for (const auto& [ck, chain] : stripe->chains) {
+      lengths.push_back(chain.values.size() + chain.deltas.size());
+    }
+  }
+  ChainLengthStats stats;
+  stats.chain_count = lengths.size();
+  if (lengths.empty()) return stats;
+  // Nearest-rank percentile; chains are visited stripe by stripe, so the
+  // distribution is "as of no single instant" — fine for a gauge.
+  std::sort(lengths.begin(), lengths.end());
+  stats.max_len = lengths.back();
+  stats.p99_len =
+      lengths[static_cast<size_t>(static_cast<double>(lengths.size() - 1) *
+                                  0.99)];
+  return stats;
+}
+
 }  // namespace ivdb

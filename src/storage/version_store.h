@@ -157,6 +157,18 @@ class VersionStore {
 
   uint64_t TotalEntries() const;
 
+  // Point-in-time version-chain length distribution: entries (committed
+  // versions + pending notes, value and delta alike) per chained key.
+  // Walks stripes one at a time, so it is DumpMetrics-path only — not for
+  // the hot path. p99 is the nearest-rank 99th percentile across chains
+  // (equal to max when fewer than 100 chains exist).
+  struct ChainLengthStats {
+    uint64_t chain_count = 0;
+    uint64_t max_len = 0;
+    uint64_t p99_len = 0;
+  };
+  ChainLengthStats CollectChainLengthStats() const;
+
   // Keys of `object_id` that currently have version chains. Snapshot scans
   // union these with the physical keys (a recently deleted key may still be
   // visible to old snapshots only through its chain).

@@ -20,7 +20,15 @@ TxnManagerMetrics::TxnManagerMetrics(obs::MetricsRegistry* registry)
       watchdog_aborted(
           registry->GetCounter("ivdb_txn_watchdog_aborted_total")),
       active(registry->GetGauge("ivdb_txn_active")),
-      commit_latency(registry->GetHistogram("ivdb_txn_commit_micros")) {}
+      commit_latency(registry->GetHistogram("ivdb_txn_commit_micros")),
+      stage_staging_wait(registry->GetHistogram(obs::WithLabel(
+          "ivdb_commit_stage_micros", "stage", "staging_wait"))),
+      stage_batch_assembly(registry->GetHistogram(obs::WithLabel(
+          "ivdb_commit_stage_micros", "stage", "batch_assembly"))),
+      stage_fsync(registry->GetHistogram(
+          obs::WithLabel("ivdb_commit_stage_micros", "stage", "fsync"))),
+      stage_flip_wait(registry->GetHistogram(obs::WithLabel(
+          "ivdb_commit_stage_micros", "stage", "flip_wait"))) {}
 
 TransactionManager::TransactionManager(LockManager* lock_manager,
                                        LogManager* log_manager,
@@ -37,7 +45,8 @@ TransactionManager::TransactionManager(LockManager* lock_manager,
       metrics_(options.metrics != nullptr ? options.metrics
                                           : owned_registry_.get()),
       wall_clock_(options.clock != nullptr ? options.clock
-                                           : Clock::Default()) {
+                                           : Clock::Default()),
+      flight_(options.flight) {
   if (options_.max_txn_lifetime_micros > 0) {
     watchdog_ = std::thread(&TransactionManager::WatchdogLoop, this);
   }
@@ -228,6 +237,13 @@ Status TransactionManager::Commit(Transaction* txn) {
     // LSN, ANY committer running the step-3 sequencer may flip us.
     if (!txn->is_system()) flip_queue_.push_back({commit.lsn, txn});
   }
+  // Stage boundary: the COMMIT record is staged (LSN drawn, shard write
+  // done). Everything since commit_start is "staging_wait"; the flush wait
+  // below splits into "batch_assembly" + "fsync"; the remainder of the
+  // commit is "flip_wait".
+  const uint64_t staged_at = wall_clock_->NowMicros();
+  uint64_t flushed_at = staged_at;
+  uint64_t fsync_micros = 0;
 
   if (!txn->is_system()) {
     // Group commit: blocks until the COMMIT record is on stable storage.
@@ -252,6 +268,14 @@ Status TransactionManager::Commit(Transaction* txn) {
       }
       return flush_status;
     }
+    flushed_at = wall_clock_->NowMicros();
+    // The writer publishes the measured duration of the batch sync that
+    // advanced the durable watermark; clamp it to this commit's own flush
+    // wait (a commit that joined mid-batch waited for less than the whole
+    // sync). The clamp keeps the four stages an exact partition of
+    // commit_micros.
+    fsync_micros = std::min(log_manager_->last_batch_fsync_micros(),
+                            flushed_at - staged_at);
   }
 
   // Durability point passed: flip versions to committed, strictly in COMMIT
@@ -298,14 +322,37 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
 
   FinishTxn(txn, TxnState::kCommitted);
-  const uint64_t commit_micros = wall_clock_->NowMicros() - commit_start;
+  const uint64_t commit_end = wall_clock_->NowMicros();
+  const uint64_t commit_micros = commit_end - commit_start;
   if (txn->is_system()) {
     metrics_.system_committed->Add();
   } else {
     // Only user transactions with writes pay the commit path; this is the
-    // latency distribution the benches report percentiles of.
+    // latency distribution the benches report percentiles of. The four
+    // stage samples below partition commit_micros exactly (same clock
+    // reads), so per-stage means reconcile with the end-to-end mean.
+    const uint64_t staging_wait = staged_at - commit_start;
+    const uint64_t batch_assembly = (flushed_at - staged_at) - fsync_micros;
+    const uint64_t flip_wait = commit_end - flushed_at;
     metrics_.commit_latency->Record(commit_micros);
+    metrics_.stage_staging_wait->Record(staging_wait);
+    metrics_.stage_batch_assembly->Record(batch_assembly);
+    metrics_.stage_fsync->Record(fsync_micros);
+    metrics_.stage_flip_wait->Record(flip_wait);
     metrics_.committed->Add();
+    if (flight_ != nullptr) {
+      flight_->Emit(obs::FlightEventType::kStageStagingWait, commit_start,
+                    staging_wait, txn->id(), commit.lsn);
+      flight_->Emit(obs::FlightEventType::kStageBatchAssembly, staged_at,
+                    batch_assembly, txn->id(), commit.lsn);
+      flight_->Emit(obs::FlightEventType::kStageFsync,
+                    staged_at + batch_assembly, fsync_micros, txn->id(),
+                    commit.lsn);
+      flight_->Emit(obs::FlightEventType::kStageFlipWait, flushed_at,
+                    flip_wait, txn->id(), commit.lsn);
+      flight_->Emit(obs::FlightEventType::kCommit, commit_start,
+                    commit_micros, txn->id(), commit.lsn);
+    }
   }
   obs::EmitTrace(obs::TraceEventType::kTxnCommit, txn->id(), commit_micros);
   return Status::OK();
@@ -497,6 +544,7 @@ uint64_t TransactionManager::SweepStuckTransactions() {
 }
 
 void TransactionManager::WatchdogLoop() {
+  if (flight_ != nullptr) flight_->SetThreadName("watchdog");
   const uint64_t lifetime = options_.max_txn_lifetime_micros;
   // Sweep at a quarter of the lifetime, clamped to [1ms, 1s]: prompt
   // enough to catch stalls without busy-polling tiny lifetimes.
@@ -508,7 +556,12 @@ void TransactionManager::WatchdogLoop() {
     watchdog_cv_.WaitFor(&lock, std::chrono::microseconds(period));
     if (watchdog_stop_) break;
     lock.Unlock();
-    SweepStuckTransactions();
+    const uint64_t pass_start = wall_clock_->NowMicros();
+    const uint64_t reaped = SweepStuckTransactions();
+    if (flight_ != nullptr) {
+      flight_->Emit(obs::FlightEventType::kWatchdogPass, pass_start,
+                    wall_clock_->NowMicros() - pass_start, reaped);
+    }
     lock.Lock();
   }
 }

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "lock/lock_manager.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/version_store.h"
 #include "txn/transaction.h"
@@ -48,6 +49,21 @@ struct TxnManagerMetrics {
   // (`ivdb_txn_commit_micros`): timestamp draw + COMMIT append + group
   // commit flush + END. The escrow-vs-X-lock story is in this tail.
   obs::Histogram* commit_latency;
+  // Stage attribution of that same path
+  // (`ivdb_commit_stage_micros{stage="..."}`). The four stages partition
+  // each commit's latency exactly — per commit they sum to the
+  // commit_latency sample recorded from the same timestamps:
+  //   staging_wait    Begin of Commit() to COMMIT record staged (timestamp
+  //                   draw + visibility_mu_ wait + shard staging).
+  //   batch_assembly  Flush-join wait spent before/around the writer's
+  //                   batch fsync: window sleep, shard drain, framing.
+  //   fsync           The durable write itself (the writer's measured batch
+  //                   sync time, clamped to this commit's flush wait).
+  //   flip_wait       Post-durability: in-LSN-order visibility flip + END.
+  obs::Histogram* stage_staging_wait;
+  obs::Histogram* stage_batch_assembly;
+  obs::Histogram* stage_fsync;
+  obs::Histogram* stage_flip_wait;
 
   explicit TxnManagerMetrics(obs::MetricsRegistry* registry);
 };
@@ -106,6 +122,10 @@ class TransactionManager {
     // Time source for commit-latency accounting and trace timestamps;
     // nullptr => Clock::Default().
     Clock* clock = nullptr;
+    // Engine flight recorder: commit-stage spans and watchdog passes land
+    // on the calling thread's lane. nullptr disables (unit tests that
+    // construct a bare TransactionManager).
+    obs::FlightRecorder* flight = nullptr;
     // Per-transaction trace ring size (span events); 0 — the default
     // outside tests/benches — disables tracing entirely.
     size_t trace_ring_capacity = 0;
@@ -270,6 +290,7 @@ class TransactionManager {
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
   TxnManagerMetrics metrics_;
   Clock* const wall_clock_;
+  obs::FlightRecorder* const flight_;
 
   // Sharded timestamp source: Begin draws are lock-free per-thread; commit
   // epochs are reserved/published under visibility_mu_ (see class comment).

@@ -37,11 +37,14 @@ GhostCleaner::GhostCleaner(ObjectId view_id, size_t count_column,
                           : nullptr),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : owned_registry_.get(),
-               options.view_name) {}
+               options.view_name),
+      clock_(options.clock != nullptr ? options.clock : Clock::Default()),
+      flight_(options.flight) {}
 
 GhostCleaner::~GhostCleaner() { Stop(); }
 
 Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
+  const uint64_t pass_start = clock_->NowMicros();
   metrics_.passes->Add();
   BTree* tree = resolver_->GetIndex(view_id_);
   if (tree == nullptr) return Status::Corruption("view index missing");
@@ -134,6 +137,12 @@ Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
   last_pass_errors_.store(errors, std::memory_order_release);
   metrics_.reclaimed->Add(reclaimed);
   obs::EmitTrace(obs::TraceEventType::kGhostCleanup, view_id_, reclaimed);
+  const uint64_t pass_end = clock_->NowMicros();
+  last_pass_end_micros_.store(pass_end, std::memory_order_relaxed);
+  if (flight_ != nullptr) {
+    flight_->Emit(obs::FlightEventType::kGhostPass, pass_start,
+                  pass_end - pass_start, view_id_, reclaimed);
+  }
   if (reclaimed_out != nullptr) *reclaimed_out = reclaimed;
   return pass_status;
 }
@@ -142,6 +151,7 @@ void GhostCleaner::Start(uint64_t interval_micros) {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
   thread_ = std::thread([this, interval_micros] {
+    if (flight_ != nullptr) flight_->SetThreadName("ghost-cleaner");
     uint64_t interval = interval_micros;
     while (running_.load(std::memory_order_acquire)) {
       Status s = RunOnce();

@@ -7,7 +7,9 @@
 #include <string>
 #include <thread>
 
+#include "common/clock.h"
 #include "lock/lock_manager.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/version_store.h"
 #include "txn/txn_manager.h"
@@ -54,6 +56,12 @@ class GhostCleaner {
     obs::MetricsRegistry* metrics = nullptr;
     // Label value for this cleaner's instruments (normally the view name).
     std::string view_name;
+    // Time source for the pass-freshness stamp (last_pass_end_micros);
+    // nullptr => Clock::Default().
+    Clock* clock = nullptr;
+    // Engine flight recorder: the background thread names its lane
+    // ("ghost-cleaner") and records one span per pass. nullptr disables.
+    obs::FlightRecorder* flight = nullptr;
   };
 
   GhostCleaner(ObjectId view_id, size_t count_column, IndexResolver* resolver,
@@ -86,6 +94,13 @@ class GhostCleaner {
 
   const GhostCleanerMetrics& metrics() const { return metrics_; }
 
+  // Clock-seam timestamp of the most recent completed pass (0 before the
+  // first one). DumpMetrics turns `now - this` into the per-view
+  // ghost-cleaner lag gauge.
+  uint64_t last_pass_end_micros() const {
+    return last_pass_end_micros_.load(std::memory_order_relaxed);
+  }
+
  private:
   const ObjectId view_id_;
   const size_t count_column_;
@@ -96,10 +111,14 @@ class GhostCleaner {
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
   GhostCleanerMetrics metrics_;
 
+  Clock* const clock_;
+  obs::FlightRecorder* const flight_;
+
   std::atomic<bool> running_{false};
   std::thread thread_;
   // Errors absorbed by the most recent pass (background backoff signal).
   std::atomic<uint64_t> last_pass_errors_{0};
+  std::atomic<uint64_t> last_pass_end_micros_{0};
 };
 
 }  // namespace ivdb

@@ -105,6 +105,7 @@ LogManager::LogManager(LogManagerOptions options)
       metrics_(options_.metrics != nullptr ? options_.metrics
                                            : owned_registry_.get()),
       clock_(options_.clock != nullptr ? options_.clock : Clock::Default()) {
+  flight_ = options_.flight;
   if (options_.dedicated_writer) {
     uint32_t n = options_.staging_shards;
     if (n == 0) {
@@ -281,6 +282,11 @@ Status LogManager::Append(LogRecord* rec) {
 }
 
 Status LogManager::WriteBatch(const std::string& batch) {
+  // The whole device interaction — append, fsync, and the modelled device
+  // latency — counts as the batch's sync time. Published before the durable
+  // watermark advances so a committer waking from Flush() reads the duration
+  // of the batch that made it durable (see last_batch_fsync_micros()).
+  const uint64_t sync_start = clock_->NowMicros();
   if (!batch.empty() && file_ != nullptr) {
     IVDB_RETURN_NOT_OK(file_->Append(batch));
     if (options_.sync == SyncMode::kFsync) {
@@ -290,6 +296,10 @@ Status LogManager::WriteBatch(const std::string& batch) {
   if (options_.flush_delay_micros > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.flush_delay_micros));
+  }
+  if (!batch.empty()) {
+    last_batch_fsync_micros_.store(clock_->NowMicros() - sync_start,
+                                   std::memory_order_relaxed);
   }
   return Status::OK();
 }
@@ -550,6 +560,7 @@ Status LogManager::RotateNowStaged() {
 }
 
 void LogManager::WriterLoop() {
+  if (flight_ != nullptr) flight_->SetThreadName("wal-writer");
   for (;;) {
     bool do_rotate = false;
     uint64_t rotate_target = 0;
@@ -587,6 +598,7 @@ void LogManager::WriteStagedBatch(bool do_rotate, uint64_t rotate_target) {
     flush_cv_.NotifyAll();
     return;
   }
+  const uint64_t pass_start = clock_->NowMicros();
   // Drain every shard into the writer-private reorder map. Shard mutexes
   // are taken strictly one at a time (they share a rank; nesting two is a
   // lock-order violation by design).
@@ -602,6 +614,7 @@ void LogManager::WriteStagedBatch(bool do_rotate, uint64_t rotate_target) {
   // Flush() will re-request work, so frames past the gap just wait here.
   std::string batch;
   Lsn upto = flushed_lsn_.load(std::memory_order_relaxed);
+  const Lsn batch_first = upto + 1;
   uint64_t batch_count = 0;
   while (!pending_frames_.empty() &&
          pending_frames_.begin()->first == upto + 1) {
@@ -614,10 +627,21 @@ void LogManager::WriteStagedBatch(bool do_rotate, uint64_t rotate_target) {
   const uint32_t waiters = flush_waiters_.load(std::memory_order_relaxed);
 
   Status status = Status::OK();
+  const uint64_t write_start = clock_->NowMicros();
   if (!batch.empty() || do_rotate) {
     // ONE segment append + ONE fsync for the whole batch (WriteBatch also
     // models the device latency), exactly like the serial leader.
     status = WriteBatch(batch);
+  }
+  if (flight_ != nullptr && !batch.empty()) {
+    const uint64_t write_end = clock_->NowMicros();
+    // Two spans on the wal-writer lane, LSN-correlated with the committer
+    // stage spans: the whole pass (drain + reorder + write) and the device
+    // interaction alone.
+    flight_->Emit(obs::FlightEventType::kWalBatch, pass_start,
+                  write_end - pass_start, batch_first, upto);
+    flight_->Emit(obs::FlightEventType::kWalFsync, write_start,
+                  write_end - write_start, upto, batch.size());
   }
 
   // Pass epilogue under flush_mu_. The durable watermark must not advance
@@ -707,8 +731,10 @@ void LogManager::AdvancePastLsn(Lsn lsn) {
 
 Status LogManager::ReadLog(const std::string& dir,
                            std::vector<LogRecord>* records, Env* env,
-                           unsigned threads) {
+                           unsigned threads,
+                           std::vector<SegmentReadStats>* segment_stats) {
   records->clear();
+  if (segment_stats != nullptr) segment_stats->clear();
   if (env == nullptr) env = Env::Default();
   if (!env->FileExists(dir)) return Status::OK();  // no log yet
   std::vector<std::string> names;
@@ -730,7 +756,9 @@ Status LogManager::ReadLog(const std::string& dir,
   // is needed beyond the join.
   std::vector<std::vector<LogRecord>> per_segment(n);
   std::vector<Status> statuses(n, Status::OK());
+  std::vector<SegmentReadStats> stats(n);
   auto decode_one = [&](size_t i) {
+    const uint64_t decode_start = Clock::Default()->NowMicros();
     const bool newest = (i + 1 == n);
     std::string contents;
     Status s = env->ReadFileToString(dir + "/" + names[i], &contents);
@@ -744,7 +772,12 @@ Status LogManager::ReadLog(const std::string& dir,
     if (!s.ok()) {
       statuses[i] =
           Status::Corruption("WAL segment " + names[i] + ": " + s.message());
+      return;
     }
+    (void)ParseSegmentSeqno(names[i], &stats[i].seqno);
+    stats[i].records = per_segment[i].size();
+    stats[i].bytes = valid_bytes;
+    stats[i].micros = Clock::Default()->NowMicros() - decode_start;
   };
   if (workers == 1) {
     for (size_t i = 0; i < n; ++i) decode_one(i);
@@ -759,6 +792,7 @@ Status LogManager::ReadLog(const std::string& dir,
     for (auto& t : pool) t.join();
   }
   for (size_t i = 0; i < n; ++i) IVDB_RETURN_NOT_OK(statuses[i]);
+  if (segment_stats != nullptr) *segment_stats = std::move(stats);
 
   // Merge in seqno order. Records are never split across segments and LSNs
   // are assigned contiguously, so the stream must be dense across segment

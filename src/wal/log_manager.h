@@ -16,6 +16,7 @@
 #include "common/thread_annotations.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "wal/batch_policy.h"
 #include "wal/log_record.h"
@@ -63,6 +64,10 @@ struct LogManagerOptions {
   // thread, possibly while WAL-internal locks are held; keep it cheap and
   // do not call back into the log manager.
   std::function<void()> on_poison = nullptr;
+  // Engine flight recorder: the dedicated writer names its lane
+  // ("wal-writer") and records per-batch assembly/fsync spans on it.
+  // nullptr disables the instrumentation.
+  obs::FlightRecorder* flight = nullptr;
 
   // --- Parallel group-commit pipeline ---
 
@@ -164,6 +169,16 @@ class LogManager {
   Lsn flushed_lsn() const { return flushed_lsn_.load(); }
   Lsn last_lsn() const { return next_lsn_.load() - 1; }
 
+  // Measured duration of the most recent non-empty batch write (segment
+  // append + fsync + modelled device latency), published before the durable
+  // watermark advances. Commit-stage attribution reads this after its Flush
+  // returns to split the flush wait into batch_assembly vs fsync; a racing
+  // later batch can overwrite it, which only shifts a few microseconds
+  // between those two stages.
+  uint64_t last_batch_fsync_micros() const {
+    return last_batch_fsync_micros_.load(std::memory_order_relaxed);
+  }
+
   // After recovery, continue LSN allocation past everything in the log.
   void AdvancePastLsn(Lsn lsn);
 
@@ -199,9 +214,22 @@ class LogManager {
   // sealing, so any damage there is real corruption and a hard error. The
   // *newest* segment tolerates a torn or corrupt tail (the crash case) by
   // stopping at the last whole record. `env` defaults to Env::Default().
+  // Per-segment decode accounting for ReadLog: how many records and bytes
+  // each segment contributed and how long its decode + CRC pass took (real
+  // time — decode workers are real threads, so there is no Clock seam to
+  // virtualize here). Recovery turns these into the per-segment replay
+  // histogram and flight-recorder spans.
+  struct SegmentReadStats {
+    uint64_t seqno = 0;
+    uint64_t records = 0;
+    uint64_t bytes = 0;
+    uint64_t micros = 0;
+  };
+
   static Status ReadLog(const std::string& dir,
                         std::vector<LogRecord>* records, Env* env = nullptr,
-                        unsigned threads = 1);
+                        unsigned threads = 1,
+                        std::vector<SegmentReadStats>* segment_stats = nullptr);
 
   // Names (not paths) of the WAL segment files in `dir`, sorted by seqno.
   // The only supported way to enumerate segments outside src/wal/.
@@ -318,7 +346,9 @@ class LogManager {
   std::atomic<Lsn> next_lsn_{1};
   std::atomic<Lsn> flushed_lsn_{0};
   std::atomic<uint64_t> appended_bytes_{0};
+  std::atomic<uint64_t> last_batch_fsync_micros_{0};
   std::atomic<bool> poisoned_{false};
+  obs::FlightRecorder* flight_ = nullptr;  // options_.flight
 
   // --- Dedicated-writer pipeline state (unused in serial mode) ---
 

@@ -385,6 +385,18 @@ TEST(CrashTorture, DegradedModeEverySyncBoundarySweep) {
           << checked.status().ToString();
       // No crash was simulated: the process survived the failure.
       EXPECT_FALSE(env.crashed());
+
+      // Every degraded entry leaves the flight-recorder black box beside
+      // the WAL, whichever sync boundary poisoned the batch.
+      const std::string blackbox = dir.path() + "/blackbox-1.json";
+      EXPECT_TRUE(Env::Default()->FileExists(blackbox));
+      std::string dump;
+      EXPECT_TRUE(Env::Default()->ReadFileToString(blackbox, &dump).ok());
+      EXPECT_FALSE(dump.empty());
+      EXPECT_EQ(dump.front(), '{');
+      EXPECT_EQ(dump.back(), '}');
+      EXPECT_NE(dump.find("\"flight_recorder\":1"), std::string::npos);
+      EXPECT_NE(dump.find("\"reason\":\"degraded\""), std::string::npos);
     }
 
     DatabaseOptions recovered;

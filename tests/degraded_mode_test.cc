@@ -187,6 +187,41 @@ TEST_F(DegradedModeTest, DegradeDropsSpanIntoFailingCommittersTrace) {
   EXPECT_NE(trace.find("engine.degraded"), std::string::npos) << trace;
 }
 
+// Degraded-mode entry is the black-box moment: the engine must leave a
+// flight-recorder dump next to the WAL before anyone asks, so a post-mortem
+// has the per-thread timeline that led up to the poisoned batch.
+TEST_F(DegradedModeTest, DegradeWritesBlackboxDumpNextToWal) {
+  FaultInjectionEnv env(7);
+  DegradeViaFailedCommit(&env).reset();
+
+  const std::string path = dir_ + "/blackbox-1.json";
+  ASSERT_TRUE(Env::Default()->FileExists(path));
+  std::string dump;
+  ASSERT_TRUE(Env::Default()->ReadFileToString(path, &dump).ok());
+  // The versioned snapshot envelope, stamped with the dump reason.
+  EXPECT_EQ(dump.front(), '{');
+  EXPECT_EQ(dump.back(), '}');
+  EXPECT_NE(dump.find("\"reason\":\"degraded\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"flight_recorder\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"threads\":["), std::string::npos);
+  // The committing thread's history is in the dump: it recorded the
+  // acknowledged commit's span before the poisoned batch degraded the
+  // engine, and the degraded-entry instant itself.
+  EXPECT_NE(dump.find("\"type\":\"commit\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"type\":\"degraded\""), std::string::npos) << dump;
+
+  // A later incident never overwrites an earlier dump: reopen (recovery
+  // clears the poison), degrade again, and the next dump takes seq 2.
+  FaultInjectionEnv env2(19);
+  auto db = OpenDb(&env2, SyncMode::kFsync);
+  env2.FailNextSyncs(1);
+  Transaction* failing = db->Begin();
+  ASSERT_TRUE(db->Insert(failing, "sales", Sale(3, "us", 30.0)).ok());
+  ASSERT_FALSE(db->Commit(failing).ok());
+  ASSERT_TRUE(db->degraded());
+  EXPECT_TRUE(Env::Default()->FileExists(dir_ + "/blackbox-2.json"));
+}
+
 TEST_F(DegradedModeTest, RunTransactionDoesNotRetryUnavailable) {
   FaultInjectionEnv env(7);
   auto db = DegradeViaFailedCommit(&env);

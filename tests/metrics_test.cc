@@ -174,6 +174,67 @@ TEST(Registry, RenderPrometheusRoundTrips) {
   EXPECT_NEAR(p50, 50, 50 * 0.10);
 }
 
+TEST(WithLabelHelper, SplicesIntoExistingLabelSet) {
+  EXPECT_EQ(WithLabel("ivdb_m", "view", "v"), "ivdb_m{view=\"v\"}");
+  EXPECT_EQ(WithLabel(WithLabel("ivdb_m", "view", "v"), "stage", "s"),
+            "ivdb_m{view=\"v\",stage=\"s\"}");
+  EXPECT_EQ(WithLabel(WithLabel(WithLabel("ivdb_m", "a", "1"), "b", "2"), "c",
+                      "3"),
+            "ivdb_m{a=\"1\",b=\"2\",c=\"3\"}");
+}
+
+// Multi-label instruments through the full exposition path: the spliced
+// names must render as one metric family with distinct label sets, sharing
+// a single # TYPE header — the shape Prometheus requires and the one the
+// stage-latency metrics (ivdb_commit_stage_micros{stage=...}) rely on.
+TEST(Registry, RenderPrometheusMultiLabel) {
+  MetricsRegistry registry;
+  for (const char* stage :
+       {"staging_wait", "batch_assembly", "fsync", "flip_wait"}) {
+    Histogram* h = registry.GetHistogram(
+        WithLabel("ivdb_commit_stage_micros", "stage", stage));
+    h->Record(10);
+  }
+  registry
+      .GetCounter(WithLabel(WithLabel("ivdb_multi_total", "view", "by_grp"),
+                            "stage", "apply"))
+      ->Add(5);
+
+  std::string text = registry.RenderPrometheus();
+  // The two-label sample renders with both pairs, in splice order.
+  EXPECT_NE(
+      text.find("ivdb_multi_total{view=\"by_grp\",stage=\"apply\"} 5"),
+      std::string::npos)
+      << text;
+  // All four stage variants expose their samples with the label set moved
+  // after the _count/_sum suffix (the Prometheus summary shape) and their
+  // quantile label spliced after the stage label.
+  for (const char* stage :
+       {"staging_wait", "batch_assembly", "fsync", "flip_wait"}) {
+    const std::string set = "{stage=\"" + std::string(stage) + "\"}";
+    EXPECT_NE(text.find("ivdb_commit_stage_micros_count" + set + " 1"),
+              std::string::npos)
+        << "missing count for " << stage << "\n"
+        << text;
+    EXPECT_NE(text.find("ivdb_commit_stage_micros{stage=\"" +
+                        std::string(stage) + "\",quantile=\"0.5\"}"),
+              std::string::npos)
+        << "missing quantile for " << stage;
+  }
+  // The four labelled variants are one metric family: exactly one TYPE
+  // header for the base name, naming the bare family (no labels).
+  std::istringstream in(text);
+  std::string line;
+  size_t stage_type_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ivdb_commit_stage_micros", 0) == 0) {
+      EXPECT_EQ(line, "# TYPE ivdb_commit_stage_micros summary");
+      stage_type_lines++;
+    }
+  }
+  EXPECT_EQ(stage_type_lines, 1u);
+}
+
 TEST(Registry, ConcurrentGetIsSafe) {
   MetricsRegistry registry;
   std::vector<std::thread> threads;

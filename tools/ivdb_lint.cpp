@@ -62,6 +62,11 @@
 //                      manager. Enumerate segments via
 //                      LogManager::ListSegmentFiles / SegmentFileName so a
 //                      layout change stays a one-module edit.
+//   metric-catalog     Every ivdb_* metric registered against the
+//                      MetricsRegistry in src/** (GetCounter / GetGauge /
+//                      GetHistogram, with or without WithLabel) must be
+//                      named in the docs/OBSERVABILITY.md catalog. Tree
+//                      mode only (needs the docs file next to src/).
 //   adhoc-retry        No sleeping (std::this_thread::sleep_for/sleep_until,
 //                      usleep, nanosleep) in src/** outside the allowlisted
 //                      waiting primitives: sleep-in-a-loop is how ad-hoc
@@ -1027,6 +1032,51 @@ bool Allowlisted(const Finding& f, const std::vector<AllowEntry>& entries) {
   return false;
 }
 
+// --- Metric-catalog rule: every ivdb_* metric registered against the
+//     MetricsRegistry anywhere in src/** must appear in the
+//     docs/OBSERVABILITY.md catalog, so the operator-facing reference can
+//     never silently fall behind the code. Registration sites are literal
+//     GetCounter/GetGauge/GetHistogram calls (optionally wrapped in
+//     WithLabel); the base name inside the first string literal is what the
+//     catalog must mention. ---
+
+void RunMetricCatalogCheck(
+    const std::vector<std::pair<std::string, FileContent>>& src_files,
+    const std::string& catalog_text, std::vector<Finding>* findings) {
+  // Every ivdb_* token in the catalog counts as documentation, whether it
+  // appears in a table, inline code span, or prose.
+  std::set<std::string> documented;
+  static const std::regex doc_re("ivdb_[a-z0-9_]+");
+  for (std::sregex_iterator it(catalog_text.begin(), catalog_text.end(),
+                               doc_re),
+       end;
+       it != end; ++it) {
+    documented.insert(it->str());
+  }
+  // Registrations: scan with comments blanked but literals kept, so a doc
+  // comment naming a metric is not mistaken for a registration.
+  static const std::regex reg_re(
+      "Get(?:Counter|Gauge|Histogram)\\s*\\(\\s*"
+      "(?:(?:obs::)?WithLabel\\s*\\(\\s*)*\"(ivdb_[A-Za-z0-9_]*)\"");
+  std::set<std::string> reported;
+  for (const auto& [path, fc] : src_files) {
+    for (std::sregex_iterator it(fc.literals_kept.begin(),
+                                 fc.literals_kept.end(), reg_re),
+         end;
+         it != end; ++it) {
+      const std::string name = (*it)[1].str();
+      if (documented.count(name) != 0) continue;
+      if (!reported.insert(name).second) continue;  // one finding per metric
+      findings->push_back(
+          {path, LineOf(fc.literals_kept, static_cast<size_t>(it->position())),
+           "metric-catalog",
+           "metric '" + name +
+               "' is registered here but missing from the "
+               "docs/OBSERVABILITY.md catalog"});
+    }
+  }
+}
+
 int LintTree(const fs::path& root, const std::string& allowlist_path) {
   if (!fs::is_directory(root)) {
     std::fprintf(stderr, "ivdb_lint: --root %s is not a directory\n",
@@ -1072,6 +1122,21 @@ int LintTree(const fs::path& root, const std::string& allowlist_path) {
                  "src/common/lock_order.h; lock analysis skipped\n");
   } else {
     RunLockAnalysis(src_files, ranks, &findings);
+  }
+  // Metric-catalog cross-check against docs/OBSERVABILITY.md (not under
+  // kDirs, so read it here).
+  {
+    const fs::path catalog = root / "docs" / "OBSERVABILITY.md";
+    if (!fs::exists(catalog)) {
+      std::fprintf(stderr,
+                   "ivdb_lint: warning: docs/OBSERVABILITY.md not found; "
+                   "metric-catalog check skipped\n");
+    } else {
+      std::ifstream in(catalog, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      RunMetricCatalogCheck(src_files, buf.str(), &findings);
+    }
   }
   int reported = 0;
   for (const Finding& f : findings) {
@@ -1421,6 +1486,53 @@ int SelfTest() {
                        f.rule.c_str(), f.message.c_str());
         }
       }
+    }
+  }
+
+  // Metric-catalog rule, both directions: an undocumented registration must
+  // fire (through a WithLabel wrapper too), and a fully documented set must
+  // stay clean. A metric named only in a comment is not a registration.
+  {
+    std::vector<std::pair<std::string, FileContent>> srcs;
+    srcs.emplace_back(
+        "src/foo/bar.cc",
+        MakeFileContent(
+            "void F(MetricsRegistry* r) {\n"
+            "  r->GetCounter(\"ivdb_documented_total\")->Add();\n"
+            "  // ivdb_commented_only is just prose, not a registration\n"
+            "  r->GetHistogram(\n"
+            "      obs::WithLabel(\"ivdb_missing_micros\", \"stage\", "
+            "\"x\"));\n"
+            "}\n"));
+    const std::string catalog =
+        "| `ivdb_documented_total` | commits |\n"
+        "| `ivdb_unused_total` | documented but never registered |\n";
+    std::vector<Finding> findings;
+    RunMetricCatalogCheck(srcs, catalog, &findings);
+    bool fired = findings.size() == 1 && findings[0].rule == "metric-catalog" &&
+                 findings[0].message.find("ivdb_missing_micros") !=
+                     std::string::npos;
+    if (!fired) {
+      failures++;
+      std::fprintf(stderr,
+                   "self-test FAIL: metric-catalog undocumented registration "
+                   "(got %zu findings)\n",
+                   findings.size());
+      for (const Finding& f : findings) {
+        std::fprintf(stderr, "  got %s:%d [%s] %s\n", f.path.c_str(), f.line,
+                     f.rule.c_str(), f.message.c_str());
+      }
+    }
+    std::vector<Finding> clean;
+    RunMetricCatalogCheck(
+        srcs, catalog + "| `ivdb_missing_micros` | now documented |\n",
+        &clean);
+    if (!clean.empty()) {
+      failures++;
+      std::fprintf(stderr,
+                   "self-test FAIL: metric-catalog documented set must be "
+                   "clean (got %zu findings)\n",
+                   clean.size());
     }
   }
 
