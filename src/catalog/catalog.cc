@@ -156,4 +156,52 @@ std::vector<const SecondaryIndexInfo*> Catalog::ListAllSecondaryIndexes()
   return out;
 }
 
+const char* ViewBuildPhaseName(ViewBuildState::Phase phase) {
+  switch (phase) {
+    case ViewBuildState::Phase::kScan:
+      return "scan";
+    case ViewBuildState::Phase::kCatchUp:
+      return "catchup";
+    case ViewBuildState::Phase::kBarrier:
+      return "barrier";
+    case ViewBuildState::Phase::kCommitted:
+      return "committed";
+    case ViewBuildState::Phase::kAbandoned:
+      return "abandoned";
+  }
+  return "?";
+}
+
+Status Catalog::RegisterViewBuild(ViewBuildState state) {
+  MutexLock guard(&catalog_mu_);
+  if (state.id == kInvalidObjectId) {
+    return Status::InvalidArgument("view build needs an object id");
+  }
+  if (next_id_ <= state.id) next_id_ = state.id + 1;
+  view_builds_[state.id] = std::move(state);
+  return Status::OK();
+}
+
+void Catalog::UpdateViewBuild(ObjectId id, ViewBuildState::Phase phase,
+                              uint64_t catchup_lag_bytes) {
+  MutexLock guard(&catalog_mu_);
+  auto it = view_builds_.find(id);
+  if (it == view_builds_.end()) return;
+  it->second.phase = phase;
+  it->second.catchup_lag_bytes = catchup_lag_bytes;
+}
+
+void Catalog::RemoveViewBuild(ObjectId id) {
+  MutexLock guard(&catalog_mu_);
+  view_builds_.erase(id);
+}
+
+std::vector<ViewBuildState> Catalog::ListViewBuilds() const {
+  MutexLock guard(&catalog_mu_);
+  std::vector<ViewBuildState> out;
+  out.reserve(view_builds_.size());
+  for (const auto& [id, state] : view_builds_) out.push_back(state);
+  return out;
+}
+
 }  // namespace ivdb

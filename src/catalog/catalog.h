@@ -48,6 +48,36 @@ struct SecondaryIndexInfo {
   std::vector<int> columns;  // indexed columns (into the table schema)
 };
 
+// One online view build's catalog record. Registered when the build's
+// kViewBuildStart WAL marker becomes durable, updated as the build moves
+// through its phases, and removed when the view flips live (the registered
+// view is then its own record). A build that dies mid-flight — crash or
+// degraded-mode abort — stays behind as kAbandoned until recovery
+// garbage-collects its partial state; checkpoints persist these records so
+// offline tools (ivdb_dump) can show what was in flight at capture.
+// The view definition travels as its encoded payload
+// (ViewDefinition::EncodeTo) because the catalog layer sits below view/.
+struct ViewBuildState {
+  enum class Phase : uint8_t {
+    kScan = 1,      // snapshot-scanning the base table
+    kCatchUp = 2,   // replaying the WAL tail from start_lsn
+    kBarrier = 3,   // waiting for / inside the flip barrier
+    kCommitted = 4, // flip done, kViewBuildCommit durable (transient)
+    kAbandoned = 5, // aborted by crash/degrade; awaiting recovery GC
+  };
+
+  ObjectId id = kInvalidObjectId;
+  std::string name;
+  std::string encoded_def;  // ViewDefinition::EncodeTo payload
+  uint64_t start_lsn = 0;   // the kViewBuildStart marker's LSN
+  uint64_t replay_lsn = 0;  // WAL-tail replay floor (build capture)
+  uint64_t start_ts = 0;    // MVCC capture timestamp of the scan
+  Phase phase = Phase::kScan;
+  uint64_t catchup_lag_bytes = 0;  // tail bytes left after the last round
+};
+
+const char* ViewBuildPhaseName(ViewBuildState::Phase phase);
+
 // Name → metadata registry for base tables and secondary indexes, plus the
 // id allocator shared with views. Thread-safe.
 class Catalog {
@@ -86,6 +116,20 @@ class Catalog {
       ObjectId table_id) const;
   std::vector<const SecondaryIndexInfo*> ListAllSecondaryIndexes() const;
 
+  // --- Online view build records. ---
+
+  // Registers (or, on the restore path, re-registers) a build under its id.
+  Status RegisterViewBuild(ViewBuildState state);
+  // Updates phase and catch-up lag; unknown ids are ignored (the build may
+  // already have been removed by a concurrent flip/GC).
+  void UpdateViewBuild(ObjectId id, ViewBuildState::Phase phase,
+                       uint64_t catchup_lag_bytes);
+  // Drops the record (flip committed, or recovery GC'd the partial state).
+  void RemoveViewBuild(ObjectId id);
+  // Snapshot of every build record, ascending id (copies: records are tiny
+  // and the caller must not hold catalog_mu_ references).
+  std::vector<ViewBuildState> ListViewBuilds() const;
+
  private:
   mutable RankedMutex catalog_mu_{LockRank::kCatalog, "catalog_mu_"};
   ObjectId next_id_ IVDB_GUARDED_BY(catalog_mu_) = 1;
@@ -96,6 +140,7 @@ class Catalog {
       IVDB_GUARDED_BY(catalog_mu_);
   std::map<ObjectId, std::unique_ptr<SecondaryIndexInfo>> indexes_
       IVDB_GUARDED_BY(catalog_mu_);
+  std::map<ObjectId, ViewBuildState> view_builds_ IVDB_GUARDED_BY(catalog_mu_);
 };
 
 }  // namespace ivdb

@@ -110,6 +110,24 @@ Database::Database(DatabaseOptions options)
       obs::WithLabel("ivdb_ckpt_phase_micros", "phase", "retire"));
   recovery_segment_micros_ =
       registry_.GetHistogram("ivdb_recovery_segment_micros");
+  build_started_ = registry_.GetCounter("ivdb_view_build_started_total");
+  build_committed_ = registry_.GetCounter("ivdb_view_build_committed_total");
+  build_abandoned_ = registry_.GetCounter("ivdb_view_build_abandoned_total");
+  build_gc_ = registry_.GetCounter("ivdb_view_build_gc_total");
+  build_barrier_timeouts_ =
+      registry_.GetCounter("ivdb_view_build_barrier_timeouts_total");
+  build_catchup_rounds_ =
+      registry_.GetCounter("ivdb_view_build_catchup_rounds_total");
+  build_active_gauge_ = registry_.GetGauge("ivdb_view_build_active");
+  build_lag_gauge_ = registry_.GetGauge("ivdb_view_build_catchup_lag_bytes");
+  build_phase_scan_ = registry_.GetHistogram(
+      obs::WithLabel("ivdb_view_build_phase_micros", "phase", "scan"));
+  build_phase_catchup_ = registry_.GetHistogram(
+      obs::WithLabel("ivdb_view_build_phase_micros", "phase", "catchup"));
+  build_phase_barrier_ = registry_.GetHistogram(
+      obs::WithLabel("ivdb_view_build_phase_micros", "phase", "barrier"));
+  build_phase_flip_ = registry_.GetHistogram(
+      obs::WithLabel("ivdb_view_build_phase_micros", "phase", "flip"));
   LogManagerOptions log_options;
   log_options.dir = options_.dir;
   log_options.segment_bytes = options_.wal_segment_bytes;
@@ -142,7 +160,15 @@ Database::Database(DatabaseOptions options)
     obs::EmitTrace(obs::TraceEventType::kEngineDegraded, 1, 0);
     flight_.EmitInstant(obs::FlightEventType::kDegraded, flight_.NowMicros(),
                         1);
-    WriteBlackboxDump("degraded");
+    // An online view build in flight dies with the engine; stamp the dump
+    // with the build-specific reason so the post-mortem starts at the
+    // right subsystem. view_build_active_ is a lock-free atomic — this
+    // callback can run under WAL locks, so it must not take any lock the
+    // builder holds (the builder itself polls poisoned() at every phase
+    // boundary and abandons the build like a crash would).
+    WriteBlackboxDump(view_build_active_.load(std::memory_order_acquire)
+                          ? "view_build"
+                          : "degraded");
   };
   log_ = std::make_unique<LogManager>(std::move(log_options));
   TransactionManager::Options txn_options;
@@ -172,6 +198,7 @@ Database::~Database() {
     ckpt_thread_cv_.NotifyAll();
     ckpt_thread_.join();
   }
+  if (build_thread_.joinable()) build_thread_.join();
   ReaderMutexLock views_guard(&views_mu_);
   for (auto& [name, entry] : views_) {
     if (entry->cleaner != nullptr) entry->cleaner->Stop();
@@ -212,6 +239,11 @@ BTree* Database::GetIndex(ObjectId id) {
   ReaderMutexLock guard(&indexes_mu_);
   auto it = indexes_.find(id);
   return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+void Database::DropIndex(ObjectId id) {
+  WriterMutexLock guard(&indexes_mu_);
+  indexes_.erase(id);
 }
 
 Status Database::ApplyRedo(LogRecordType op_type, const LogRecord& rec) {
@@ -1335,6 +1367,13 @@ Status Database::Checkpoint() {
          catalog_.ListAllSecondaryIndexes()) {
       image.secondary_indexes.push_back(*idx);
     }
+    // In-flight (and not-yet-GC'd abandoned) online view builds. Their
+    // start markers may fall below this image's replay horizon, so the
+    // image itself must carry the build records for recovery's resolution
+    // pass — and for ivdb_dump's in-flight-build listing. A build can
+    // never be mid-flip here: the flip holds checkpoint_mu_ for its whole
+    // critical section.
+    image.view_builds = catalog_.ListViewBuilds();
     // Index contents: MVCC snapshot reads as-of capture_ts, taken while
     // commits keep flowing. cap.reader pins the version-store GC horizon
     // at capture_ts for the duration of the build.
@@ -1441,6 +1480,12 @@ Status Database::RestoreFromImage(const SnapshotImage& image) {
     IVDB_RETURN_NOT_OK(catalog_.RestoreSecondaryIndex(idx));
     CreateIndex(idx.id);  // contents came with image.indexes above
   }
+  for (const ViewBuildState& b : image.view_builds) {
+    // Builds in flight at capture. Recovery's resolution pass decides their
+    // fate: committed (a later kViewBuildCommit replays) flips the view
+    // live, everything else is GC'd as abandoned.
+    IVDB_RETURN_NOT_OK(catalog_.RegisterViewBuild(b));
+  }
   txns_->AdvancePast(image.next_txn_id, image.clock_ts);
   return Status::OK();
 }
@@ -1512,6 +1557,15 @@ Status Database::Recover() {
   uint64_t max_ts = 0;
 
   for (const LogRecord& rec : records) {
+    if (rec.type == LogRecordType::kViewBuildStart ||
+        rec.type == LogRecordType::kViewBuildCommit) {
+      // Engine-level build markers: no transaction behind them, so they
+      // must not enter the loser table — but their LSNs and timestamps
+      // still bound post-restart allocation.
+      max_lsn = std::max(max_lsn, rec.lsn);
+      max_ts = std::max(max_ts, rec.timestamp);
+      continue;
+    }
     if (skip_record(rec)) continue;
     max_lsn = std::max(max_lsn, rec.lsn);
     max_txn = std::max(max_txn, rec.txn_id);
@@ -1525,6 +1579,39 @@ Status Database::Recover() {
   }
   log_->AdvancePastLsn(max_lsn);
   txns_->AdvancePast(max_txn, max_ts);
+
+  // --- Online view builds: reconstruct the build table (checkpoint image
+  //     + start markers above the image's horizon) and create each build's
+  //     scratch index so redo of the flip transaction's records has a
+  //     target. A marker at or below checkpoint_lsn needs no handling: the
+  //     build was either still alive at capture (its record rode the
+  //     image) or already resolved before it. ---
+  std::map<ObjectId, ViewBuildState> builds;
+  for (const ViewBuildState& b : catalog_.ListViewBuilds()) {
+    builds[b.id] = b;
+    CreateIndex(b.id);
+  }
+  std::set<ObjectId> committed_builds;
+  for (const LogRecord& rec : records) {
+    if (rec.type == LogRecordType::kViewBuildStart &&
+        rec.lsn > checkpoint_lsn) {
+      ViewBuildState b;
+      b.id = static_cast<ObjectId>(rec.object_id);
+      b.name = rec.key;
+      b.encoded_def = rec.after;
+      b.start_lsn = rec.lsn;
+      b.replay_lsn = rec.undo_next_lsn;
+      b.start_ts = rec.timestamp;
+      b.phase = ViewBuildState::Phase::kAbandoned;  // until a commit marker
+      CreateIndex(b.id);
+      if (builds.emplace(b.id, b).second) {
+        IVDB_RETURN_NOT_OK(catalog_.RegisterViewBuild(b));
+      }
+    } else if (rec.type == LogRecordType::kViewBuildCommit &&
+               rec.lsn > checkpoint_lsn) {
+      committed_builds.insert(static_cast<ObjectId>(rec.object_id));
+    }
+  }
 
   // --- Redo: replay history (including compensations) from the snapshot
   //     base. Logical redo is deterministic and exact from the image:
@@ -1594,6 +1681,29 @@ Status Database::Recover() {
     end.system_txn = entry.system;
     end.prev_lsn = chain_tail;
     IVDB_RETURN_NOT_OK(log_->Append(&end));
+  }
+
+  // --- Resolve online view builds (after undo, so the tree contents are
+  //     final): a build with a durable commit marker flips its view live —
+  //     the index was rebuilt by redo of the flip transaction's records.
+  //     Anything else is an abandoned build; its scratch index (emptied by
+  //     the undo pass if the flip transaction lost) and catalog record are
+  //     garbage-collected, leaving no trace of the build but the dead
+  //     markers in the log. ---
+  for (auto& [build_id, b] : builds) {
+    if (committed_builds.count(build_id) != 0) {
+      ViewDefinition def;
+      Slice encoded(b.encoded_def);
+      IVDB_RETURN_NOT_OK(ViewDefinition::DecodeFrom(&encoded, &def));
+      catalog_.AdvancePastId(build_id);
+      IVDB_RETURN_NOT_OK(RegisterView(build_id, std::move(def),
+                                      /*populate=*/false));
+      catalog_.RemoveViewBuild(build_id);
+    } else {
+      DropIndex(build_id);
+      catalog_.RemoveViewBuild(build_id);
+      build_gc_->Add();
+    }
   }
 
   return log_->Flush(log_->last_lsn());

@@ -1,6 +1,7 @@
 #ifndef IVDB_ENGINE_DATABASE_H_
 #define IVDB_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <thread>
@@ -123,6 +124,31 @@ struct DatabaseOptions {
   size_t max_active_txns = 0;
   uint64_t admission_timeout_micros = 1000 * 1000;
 
+  // --- Online view build (CreateIndexedViewOnline) ---
+
+  // Catch-up convergence threshold: once the un-replayed WAL tail behind
+  // the build cursor is below this many bytes, the builder stops iterating
+  // catch-up rounds and tries the flip barrier.
+  uint64_t online_build_catchup_threshold_bytes = 64 * 1024;
+  // Bounded wait for the flip barrier's quiesce attempt. On timeout the
+  // builder reopens the Begin gate, replays whatever tail accumulated, and
+  // retries after a jittered backoff — writers never stall longer than
+  // this per attempt.
+  uint64_t online_build_barrier_timeout_micros = 50 * 1000;
+  // Barrier attempts before the build gives up with kBusy (the catalog
+  // record is then abandoned and GC'd exactly like a crash).
+  int online_build_barrier_max_retries = 16;
+  // Base backoff between barrier attempts (exponential, capped at 16x,
+  // ±50% jitter; sleeps go through DatabaseOptions::clock).
+  uint64_t online_build_backoff_micros = 2000;
+  // Builder pacing: the background build cedes the CPU for this long after
+  // every scan chunk, apply batch, and catch-up round, so foreground
+  // commits are never starved behind a long builder CPU burst (the build
+  // is one thread, but on small machines an unpaced scan of a large table
+  // monopolizes a core and inflates writer tail latency). 0 disables
+  // pacing. The flip barrier's final quiesced round never paces.
+  uint64_t online_build_pace_micros = 500;
+
   // Stuck-transaction watchdog: user transactions idle for longer than this
   // (wall-clock age since Begin, owner thread not inside an engine call)
   // are force-aborted by a background sweep, releasing their locks. 0 — the
@@ -195,6 +221,31 @@ class Database : public LogApplier, public IndexResolver {
   // a quiescent section). The view is maintained by every subsequent
   // transaction that changes its fact table.
   Result<const ViewInfo*> CreateIndexedView(ViewDefinition definition);
+
+  // Creates an indexed view *online*: writers keep committing while the
+  // view is built. Phased and crash-safe at every phase boundary
+  // (docs/ROBUSTNESS.md §4):
+  //   1. a durable VIEW_BUILD_START record + catalog build entry pin the
+  //      capture point (MVCC reader snapshot + WAL replay floor);
+  //   2. the base table is snapshot-scanned as of the capture timestamp
+  //      into a private offline state;
+  //   3. the WAL tail past the capture point is replayed into that state,
+  //      iterating until the remaining tail is below
+  //      online_build_catchup_threshold_bytes;
+  //   4. a bounded-wait barrier (TryQuiesce + jittered-backoff retries)
+  //      drains actives, the final tail is applied, the contents are logged
+  //      through a system transaction, VIEW_BUILD_COMMIT seals the build,
+  //      and the view flips live.
+  // A crash or degraded-mode entry at any point before the commit marker
+  // leaves an abandoned build that restart recovery GCs completely.
+  Result<const ViewInfo*> CreateIndexedViewOnline(ViewDefinition definition);
+
+  // Runs CreateIndexedViewOnline on a dedicated builder thread (which gets
+  // its own flight-recorder lane). At most one background build at a time;
+  // kBusy if one is already running.
+  Status StartViewBuildAsync(ViewDefinition definition);
+  // Blocks until the background build finishes; returns its status.
+  Status WaitForViewBuild();
 
   Result<const ViewInfo*> GetView(const std::string& name) const;
   std::vector<const ViewInfo*> ListViews() const;
@@ -409,6 +460,26 @@ class Database : public LogApplier, public IndexResolver {
                                   const Row* old_row, const Row* new_row);
   Status RegisterView(ObjectId id, ViewDefinition def, bool populate);
 
+  // --- Online view build internals (engine/online_build.cc) ---
+  struct OnlineBuildCtx;
+  Status RunOnlineBuild(ViewDefinition def, const ViewInfo** out);
+  // Snapshot-scans the fact table as of the capture timestamp into the
+  // build's offline state.
+  Status OnlineBuildScan(OnlineBuildCtx* ctx);
+  // One catch-up round: replays the WAL tail past the build cursor into
+  // the offline state (commit-ordered, capture-filtered). Returns the
+  // remaining un-replayed tail size through ctx.
+  Status OnlineBuildCatchUpRound(OnlineBuildCtx* ctx);
+  // Barrier + flip: bounded quiesce, final tail apply, contents logged via
+  // a system transaction, VIEW_BUILD_COMMIT, view registration.
+  Status OnlineBuildFlip(OnlineBuildCtx* ctx);
+  // Marks the catalog record abandoned and tears the build down (metrics +
+  // retain-floor release). The durable GC happens at next recovery, same
+  // as after a crash.
+  void AbandonOnlineBuild(OnlineBuildCtx* ctx, const Status& cause);
+  // Drops a scratch index created for a build that never committed.
+  void DropIndex(ObjectId id);
+
   // Mode-dispatched visibility: the row of (object, key) as `txn` must see
   // it (nullopt = absent). Takes the read locks itself in kLocking mode.
   Result<std::optional<Row>> ReadRow(Transaction* txn, ObjectId object_id,
@@ -487,6 +558,33 @@ class Database : public LogApplier, public IndexResolver {
   obs::Histogram* ckpt_phase_retire_ = nullptr;
   // Per-segment decode + CRC time of the restart redo pipeline.
   obs::Histogram* recovery_segment_micros_ = nullptr;
+
+  // Online view build instruments (`ivdb_view_build_*`).
+  obs::Counter* build_started_ = nullptr;
+  obs::Counter* build_committed_ = nullptr;
+  obs::Counter* build_abandoned_ = nullptr;
+  obs::Counter* build_gc_ = nullptr;  // abandoned builds GC'd at recovery
+  obs::Counter* build_barrier_timeouts_ = nullptr;
+  obs::Counter* build_catchup_rounds_ = nullptr;
+  obs::Gauge* build_active_gauge_ = nullptr;
+  obs::Gauge* build_lag_gauge_ = nullptr;     // catch-up lag, bytes
+  obs::Histogram* build_phase_scan_ = nullptr;
+  obs::Histogram* build_phase_catchup_ = nullptr;
+  obs::Histogram* build_phase_barrier_ = nullptr;
+  obs::Histogram* build_phase_flip_ = nullptr;
+  // True while a build is in flight. Read by the WAL poison callback —
+  // which runs under WAL locks — to stamp the blackbox dump with the
+  // "view_build" reason; must stay lock-free. The builder polls
+  // degraded() at every phase boundary and aborts the build exactly like
+  // a crash would.
+  std::atomic<bool> view_build_active_{false};
+
+  // Background builder thread (StartViewBuildAsync). `build_running_`
+  // gates double-starts; the result slot is published by the thread before
+  // it clears the flag and read only after join.
+  std::thread build_thread_;
+  std::atomic<bool> build_running_{false};
+  Status build_result_;
 
   // Background checkpointer (only when dir set and checkpoint_wal_bytes >
   // 0): wakes periodically and checkpoints when enough WAL has accumulated.

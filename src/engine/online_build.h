@@ -1,0 +1,14 @@
+#ifndef IVDB_ENGINE_ONLINE_BUILD_H_
+#define IVDB_ENGINE_ONLINE_BUILD_H_
+
+// Online indexed-view build (docs/ROBUSTNESS.md §4). The driver is a set of
+// Database member functions (declared in engine/database.h, defined in
+// online_build.cc): RunOnlineBuild and its phase bodies OnlineBuildScan,
+// OnlineBuildCatchUpRound, OnlineBuildFlip, plus AbandonOnlineBuild. This
+// header anchors that translation unit; the public entry points are
+// Database::CreateIndexedViewOnline / StartViewBuildAsync /
+// WaitForViewBuild.
+
+#include "engine/database.h"
+
+#endif  // IVDB_ENGINE_ONLINE_BUILD_H_

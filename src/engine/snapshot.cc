@@ -7,7 +7,10 @@ namespace ivdb {
 
 namespace {
 
-constexpr char kMagic[] = "IVCKPT03";
+// 04 appended the online-view-build section; 03 images (no build was ever
+// in flight when they were written) still decode.
+constexpr char kMagic[] = "IVCKPT04";
+constexpr char kMagicV3[] = "IVCKPT03";
 constexpr size_t kMagicLen = 8;
 
 void EncodeSchema(const Schema& schema, std::string* dst) {
@@ -82,6 +85,18 @@ Status EncodeSnapshot(const SnapshotImage& image, std::string* out) {
     PutLengthPrefixed(&body, payload);
   }
 
+  PutVarint64(&body, image.view_builds.size());
+  for (const ViewBuildState& b : image.view_builds) {
+    PutVarint64(&body, b.id);
+    PutLengthPrefixed(&body, b.name);
+    PutLengthPrefixed(&body, b.encoded_def);
+    PutVarint64(&body, b.start_lsn);
+    PutVarint64(&body, b.replay_lsn);
+    PutVarint64(&body, b.start_ts);
+    body.push_back(static_cast<char>(b.phase));
+    PutVarint64(&body, b.catchup_lag_bytes);
+  }
+
   out->append(kMagic, kMagicLen);
   PutFixed32(out, Crc32(body.data(), body.size()));
   PutFixed64(out, body.size());
@@ -92,8 +107,10 @@ Status EncodeSnapshot(const SnapshotImage& image, std::string* out) {
 Status DecodeSnapshot(const Slice& data, SnapshotImage* out) {
   *out = SnapshotImage();
   Slice input = data;
-  if (input.size() < kMagicLen ||
-      std::string_view(input.data(), kMagicLen) != kMagic) {
+  if (input.size() < kMagicLen) return Status::Corruption("bad snapshot magic");
+  const std::string_view magic(input.data(), kMagicLen);
+  const bool v3 = (magic == kMagicV3);
+  if (magic != kMagic && !v3) {
     return Status::Corruption("bad snapshot magic");
   }
   input.RemovePrefix(kMagicLen);
@@ -187,6 +204,27 @@ Status DecodeSnapshot(const Slice& data, SnapshotImage* out) {
       return Status::Corruption("index payload");
     }
     out->indexes.emplace_back(static_cast<ObjectId>(id), std::move(payload));
+  }
+
+  if (v3) return Status::OK();  // no build section in 03 images
+  if (!GetVarint64(&body, &n)) return Status::Corruption("view build count");
+  for (uint64_t i = 0; i < n; i++) {
+    ViewBuildState b;
+    uint64_t id = 0;
+    if (!GetVarint64(&body, &id) || !GetLengthPrefixed(&body, &b.name) ||
+        !GetLengthPrefixed(&body, &b.encoded_def) ||
+        !GetVarint64(&body, &b.start_lsn) ||
+        !GetVarint64(&body, &b.replay_lsn) ||
+        !GetVarint64(&body, &b.start_ts) || body.empty()) {
+      return Status::Corruption("view build record");
+    }
+    b.id = static_cast<ObjectId>(id);
+    b.phase = static_cast<ViewBuildState::Phase>(body[0]);
+    body.RemovePrefix(1);
+    if (!GetVarint64(&body, &b.catchup_lag_bytes)) {
+      return Status::Corruption("view build record");
+    }
+    out->view_builds.push_back(std::move(b));
   }
   return Status::OK();
 }

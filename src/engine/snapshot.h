@@ -56,6 +56,12 @@ struct SnapshotImage {
 
   // (object id, BTree::SerializeTo payload) for every index.
   std::vector<std::pair<ObjectId, std::string>> indexes;
+
+  // Online view builds in flight (or abandoned, awaiting recovery GC) at
+  // capture time. Restart re-registers them so recovery's marker scan and
+  // the offline tools (ivdb_dump) see the same build-state records the
+  // running engine had.
+  std::vector<ViewBuildState> view_builds;
 };
 
 // CRC-framed snapshot file codec.

@@ -97,6 +97,8 @@ const char* FlightEventName(FlightEventType type) {
       return "watchdog_pass";
     case FlightEventType::kDegraded:
       return "degraded";
+    case FlightEventType::kViewBuildPhase:
+      return "view_build";
   }
   return "unknown";
 }

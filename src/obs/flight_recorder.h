@@ -63,6 +63,7 @@ enum class FlightEventType : uint32_t {
   kGhostPass,           // a = view object id, b = rows reclaimed
   kWatchdogPass,        // a = txns aborted
   kDegraded,            // a = 1 (instant: degraded-mode entry)
+  kViewBuildPhase,      // a = view object id, b = ViewBuildState::Phase
 };
 
 // Stable wire name for a type ("wal_fsync", "stage_flip_wait", ...), shared

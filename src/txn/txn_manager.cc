@@ -1,5 +1,6 @@
 #include "txn/txn_manager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -591,6 +592,21 @@ void TransactionManager::EndQuiesce() {
   MutexLock guard(&active_mu_);
   quiescing_ = false;
   active_cv_.NotifyAll();
+}
+
+bool TransactionManager::TryQuiesce(uint64_t timeout_micros) {
+  UniqueMutexLock guard(&active_mu_);
+  quiescing_ = true;
+  // 1ms wait slices against real wall time, bounded by slice *count* so the
+  // timeout also fires under a ManualClock (whose NowMicros never moves).
+  const uint64_t slices = std::max<uint64_t>(1, timeout_micros / 1000);
+  for (uint64_t i = 0; i < slices && !active_.empty(); i++) {
+    active_cv_.WaitFor(&guard, std::chrono::milliseconds(1));
+  }
+  if (active_.empty()) return true;  // gate stays closed; caller EndQuiesce()s
+  quiescing_ = false;
+  active_cv_.NotifyAll();
+  return false;
 }
 
 TransactionManager::CheckpointCapture TransactionManager::CaptureCheckpoint() {

@@ -210,6 +210,16 @@ class TransactionManager {
   void BeginQuiesce();
   void EndQuiesce();
 
+  // Bounded-wait variant for the online view build's flip barrier: closes
+  // the Begin gate and waits up to `timeout_micros` for the active set to
+  // drain. Returns true with the gate still closed (caller must
+  // EndQuiesce() when done); on timeout re-opens the gate and returns
+  // false, so a convoy of long transactions can never wedge the build —
+  // the caller backs off, catches up further, and retries. The wait is
+  // sliced so a ManualClock (frozen wall time) still times out after a
+  // bounded number of slices.
+  bool TryQuiesce(uint64_t timeout_micros);
+
   // --- Fuzzy-checkpoint capture. ---
   //
   // The short critical section at the start of a fuzzy checkpoint: under

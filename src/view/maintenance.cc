@@ -473,6 +473,65 @@ Status ViewMaintainer::ApplyBatch(Transaction* txn,
   return Status::OK();
 }
 
+Status ViewMaintainer::ApplyBatchOffline(
+    const std::vector<DeferredChange>& batch,
+    std::map<std::string, Row>* state) const {
+  if (batch.empty()) return Status::OK();
+
+  if (def_.kind == ViewKind::kProjection) {
+    auto project_and_key = [&](const Row& joined, Row* projected,
+                               std::string* key) {
+      projected->clear();
+      for (int p : def_.projection) {
+        projected->push_back(joined[static_cast<size_t>(p)]);
+      }
+      std::vector<Value> key_values;
+      for (int k : def_.projection_key) {
+        key_values.push_back((*projected)[static_cast<size_t>(k)]);
+      }
+      *key = EncodeKeyValues(key_values);
+    };
+    for (const DeferredChange& change : batch) {
+      std::optional<Row> old_joined, new_joined;
+      if (change.op != DeferredChange::Op::kInsert) {
+        IVDB_RETURN_NOT_OK(JoinAndFilter(change.old_row, nullptr, &old_joined));
+      }
+      if (change.op != DeferredChange::Op::kDelete) {
+        IVDB_RETURN_NOT_OK(JoinAndFilter(change.new_row, nullptr, &new_joined));
+      }
+      Row proj;
+      std::string key;
+      if (old_joined.has_value()) {
+        project_and_key(*old_joined, &proj, &key);
+        if (state->erase(key) == 0) {
+          return Status::Corruption(
+              "offline projection state missing a deleted row");
+        }
+      }
+      if (new_joined.has_value()) {
+        project_and_key(*new_joined, &proj, &key);
+        if (state->count(key) != 0) {
+          return Status::InvalidArgument(
+              "duplicate clustering key in projection view '" + def_.name +
+              "'");
+        }
+        (*state)[key] = std::move(proj);
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<AggregateDelta> deltas;
+  IVDB_RETURN_NOT_OK(ComputeAggregateDeltasImpl(batch, nullptr, &deltas));
+  for (const AggregateDelta& delta : deltas) {
+    const std::string key = EncodeKeyValues(delta.group);
+    auto [it, inserted] = state->try_emplace(key);
+    if (inserted) it->second = GhostRow(delta.group);
+    IVDB_RETURN_NOT_OK(ApplyIncrementToRow(&it->second, delta.deltas));
+  }
+  return Status::OK();
+}
+
 Status ViewMaintainer::Recompute(std::map<std::string, Row>* out) const {
   out->clear();
   BTree* fact_tree = resolver_->GetIndex(def_.fact_table);

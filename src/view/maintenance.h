@@ -104,6 +104,17 @@ class ViewMaintainer {
   Status ComputeAggregateDeltas(const std::vector<DeferredChange>& batch,
                                 std::vector<AggregateDelta>* out) const;
 
+  // Applies base-table changes to an *offline* view state (online build's
+  // snapshot-scan accumulator and WAL-tail catch-up target): a plain
+  // key → stored-row map instead of the live index. No locks, no logging,
+  // no version store — the state is private to the build until the flip.
+  // Join probes read the dimension tree dirtily, which is exact because
+  // joined dimension tables reject DML. Aggregate groups driven to net
+  // count 0 stay in the map as ghost rows (the flip installs them too; the
+  // ghost cleaner reclaims them the same as after live maintenance).
+  Status ApplyBatchOffline(const std::vector<DeferredChange>& batch,
+                           std::map<std::string, Row>* state) const;
+
  private:
   Status ComputeAggregateDeltasImpl(const std::vector<DeferredChange>& batch,
                                     Transaction* txn,

@@ -693,6 +693,10 @@ void LogManager::WriteStagedBatch(bool do_rotate, uint64_t rotate_target) {
 
 Status LogManager::RetireSegmentsBelow(Lsn lsn) {
   if (options_.dir.empty()) return Status::OK();  // in-memory log
+  // An online view build pins its replay tail: never retire a segment
+  // holding LSNs the build's catch-up cursor may still need.
+  const Lsn floor = retain_floor_.load(std::memory_order_acquire);
+  if (floor != 0 && floor < lsn) lsn = floor;
   MutexLock guard(&seg_mu_);
   Status result = Status::OK();
   while (segments_.size() > 1) {
@@ -740,7 +744,39 @@ Status LogManager::ReadLog(const std::string& dir,
   std::vector<std::string> names;
   IVDB_ASSIGN_OR_RETURN(names, ListSegmentFiles(dir, env));
   if (names.empty()) return Status::OK();
+  return ReadSegmentFiles(dir, names, env, threads, /*min_lsn=*/0, records,
+                          segment_stats);
+}
 
+Status LogManager::ReadTail(Lsn from_lsn, std::vector<LogRecord>* records,
+                            unsigned threads,
+                            std::vector<SegmentReadStats>* segment_stats) {
+  records->clear();
+  if (segment_stats != nullptr) segment_stats->clear();
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("ReadTail needs a durable log");
+  }
+  // Snapshot the manifest: segments whose sealed range ends below from_lsn
+  // have nothing to contribute; the open segment (end_lsn unset) always
+  // qualifies. The retention floor keeps the chosen files alive after the
+  // snapshot, so a concurrent checkpoint retirement cannot race the reads.
+  std::vector<std::string> names;
+  {
+    MutexLock guard(&seg_mu_);
+    for (const Segment& seg : segments_) {
+      if (seg.end_lsn != kInvalidLsn && seg.end_lsn < from_lsn) continue;
+      names.push_back(SegmentFileName(seg.seqno));
+    }
+  }
+  if (names.empty()) return Status::OK();
+  return ReadSegmentFiles(options_.dir, names, env_, threads, from_lsn,
+                          records, segment_stats);
+}
+
+Status LogManager::ReadSegmentFiles(
+    const std::string& dir, const std::vector<std::string>& names, Env* env,
+    unsigned threads, Lsn min_lsn, std::vector<LogRecord>* records,
+    std::vector<SegmentReadStats>* segment_stats) {
   const size_t n = names.size();
   unsigned workers = threads;
   if (workers == 0) {
@@ -818,7 +854,10 @@ Status LogManager::ReadLog(const std::string& dir,
                                 " does not continue the LSN stream");
     }
     expected_first = per_segment[i].back().lsn + 1;
-    for (auto& rec : per_segment[i]) records->push_back(std::move(rec));
+    for (auto& rec : per_segment[i]) {
+      if (min_lsn != 0 && rec.lsn < min_lsn) continue;
+      records->push_back(std::move(rec));
+    }
   }
   return Status::OK();
 }

@@ -231,6 +231,29 @@ class LogManager {
                         unsigned threads = 1,
                         std::vector<SegmentReadStats>* segment_stats = nullptr);
 
+  // Live tail replay for online view builds: every *durable* record with
+  // lsn >= from_lsn, through the same parallel segment decode as ReadLog.
+  // Runs against the running log — sealed segments wholly below from_lsn
+  // are skipped without being opened (the in-memory manifest knows their
+  // LSN ranges), and the open segment is decoded tolerantly (a concurrent
+  // append can only expose a prefix, so decoding stops at the last whole
+  // record exactly like recovery's torn-tail case). Records buffered or
+  // staged but not yet written to the file are not seen — callers that
+  // need the complete tail Flush() first. The caller must hold a retention
+  // floor at or below from_lsn (SetRetainLsnFloor) so a concurrent
+  // checkpoint cannot retire segments out from under the read.
+  Status ReadTail(Lsn from_lsn, std::vector<LogRecord>* records,
+                  unsigned threads = 1,
+                  std::vector<SegmentReadStats>* segment_stats = nullptr);
+
+  // Retention floor for online view builds: while non-zero, checkpoints'
+  // RetireSegmentsBelow() never deletes a segment containing LSNs at or
+  // above the floor, keeping the build's replay tail (its start marker
+  // included) on disk for as long as the build is alive. 0 clears.
+  void SetRetainLsnFloor(Lsn floor) {
+    retain_floor_.store(floor, std::memory_order_release);
+  }
+
   // Names (not paths) of the WAL segment files in `dir`, sorted by seqno.
   // The only supported way to enumerate segments outside src/wal/.
   static Result<std::vector<std::string>> ListSegmentFiles(
@@ -261,6 +284,16 @@ class LogManager {
   };
 
   std::string SegmentPath(uint64_t seqno) const;
+
+  // Shared core of ReadLog/ReadTail: decode + CRC-check `names` (ascending
+  // seqno, all in `dir`) on `threads` workers, merge in seqno order, check
+  // LSN density across the result, and drop records below `min_lsn`
+  // (0 = keep all). The last name is decoded tolerantly (torn tail).
+  static Status ReadSegmentFiles(const std::string& dir,
+                                 const std::vector<std::string>& names,
+                                 Env* env, unsigned threads, Lsn min_lsn,
+                                 std::vector<LogRecord>* records,
+                                 std::vector<SegmentReadStats>* segment_stats);
 
   // Writes a batch to the open segment (plus fsync / simulated latency).
   // Called by the leader with no locks held.
@@ -345,6 +378,8 @@ class LogManager {
 
   std::atomic<Lsn> next_lsn_{1};
   std::atomic<Lsn> flushed_lsn_{0};
+  // Online-build retention floor (see SetRetainLsnFloor); 0 = none.
+  std::atomic<Lsn> retain_floor_{0};
   std::atomic<uint64_t> appended_bytes_{0};
   std::atomic<uint64_t> last_batch_fsync_micros_{0};
   std::atomic<bool> poisoned_{false};

@@ -29,6 +29,10 @@ const char* LogRecordTypeName(LogRecordType type) {
       return "CKPT_BEGIN";
     case LogRecordType::kEndCheckpoint:
       return "CKPT_END";
+    case LogRecordType::kViewBuildStart:
+      return "VIEW_BUILD_START";
+    case LogRecordType::kViewBuildCommit:
+      return "VIEW_BUILD_COMMIT";
   }
   return "?";
 }

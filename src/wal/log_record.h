@@ -35,6 +35,17 @@ enum class LogRecordType : uint8_t {
   kClr = 9,        // compensation record (redo-only), carries undo_next_lsn
   kBeginCheckpoint = 10,
   kEndCheckpoint = 11,
+  // Online view build markers (engine-level, not part of any user
+  // transaction; logged with txn_id 0 / system_txn). kViewBuildStart
+  // carries the view id in object_id, the view name in `key`, the encoded
+  // ViewDefinition in `after`, the build's snapshot capture timestamp in
+  // `timestamp`, and the WAL-tail replay floor in `undo_next_lsn`.
+  // kViewBuildCommit carries the view id and seals the build: recovery
+  // registers the view (its contents were logged by the flip's system
+  // transaction), while a start marker with no commit marker is an
+  // abandoned build whose partial state recovery garbage-collects.
+  kViewBuildStart = 12,
+  kViewBuildCommit = 13,
 };
 
 const char* LogRecordTypeName(LogRecordType type);

@@ -125,8 +125,8 @@ Status RunTortureWorkload(Database* db, uint64_t seed, TortureOutcome* out) {
     if (i % 7 == 5) {
       // Aborted transaction: logically a no-op whatever the crash point.
       Transaction* t = db->Begin();
-      IVDB_RETURN_NOT_OK(
-          db->Insert(t, "sales", make_row(next_id++, kRegions[rng.Uniform(3)])));
+      IVDB_RETURN_NOT_OK(db->Insert(
+          t, "sales", make_row(next_id++, kRegions[rng.Uniform(3)])));
       IVDB_RETURN_NOT_OK(db->Abort(t));
       continue;
     }
@@ -520,6 +520,158 @@ TEST(CrashTorture, BatchedCommitEveryOpBoundarySweep) {
     ASSERT_GE(static_cast<Lsn>(records.size()), out.acked)
         << "acknowledged batch prefix lost";
     ASSERT_LE(static_cast<Lsn>(records.size()), full_appended);
+  }
+}
+
+// --- Online-build crash sweep ---------------------------------------------
+//
+// A scripted workload runs an online view build to completion between two
+// batches of committed writes, then the sweep crashes at every env-op
+// boundary — which lands inside every phase of the build state machine:
+// the capture's retention pin, the kViewBuildStart append/flush, the
+// catch-up tail reads, the flip transaction's appends, the kViewBuildCommit
+// flush, and the pre-build checkpoint's interleavings. After recovery the
+// view must be fully live and equal to recomputation, or fully absent with
+// the abandoned build record garbage-collected — never anything in between.
+
+Status RunBuildTortureWorkload(Database* db, uint64_t seed,
+                               TortureOutcome* out, bool* build_ok) {
+  Random rng(seed);
+  static const char* kRegions[] = {"eu", "us", "apac"};
+  auto table = db->CreateTable("sales", SalesSchema(), {0});
+  if (!table.ok()) return Status::OK();  // crash inside the DDL checkpoint
+
+  int64_t next_id = 1;
+  Status stmt_error;  // statement failures propagate as test bugs
+  auto insert_one = [&]() -> bool {
+    int64_t id = next_id++;
+    Row row = Sale(id, kRegions[rng.Uniform(3)],
+                   static_cast<double>(rng.Uniform(100)),
+                   static_cast<int64_t>(rng.Uniform(5)) + 1);
+    Transaction* txn = db->Begin();
+    stmt_error = db->Insert(txn, "sales", row);
+    if (!stmt_error.ok()) return false;
+    if (!db->Commit(txn).ok()) {
+      out->pending = out->acked;
+      (*out->pending)[id] = row;
+      return false;
+    }
+    out->acked[id] = row;
+    return true;
+  };
+
+  for (int i = 0; i < 12; i++) {
+    if (i == 6 && !db->Checkpoint().ok()) return Status::OK();
+    if (!insert_one()) return stmt_error;
+  }
+
+  auto view = db->CreateIndexedViewOnline(
+      RegionView(table.value()->id, "by_region", /*with_units=*/true));
+  if (!view.ok()) return Status::OK();  // crash mid-build
+  *build_ok = true;
+
+  // Post-flip traffic: the freshly flipped view is maintained like any
+  // other, so redo after a crash must replay maintenance on top of the
+  // flip transaction's contents.
+  for (int i = 0; i < 6; i++) {
+    if (i == 3 && !out->acked.empty()) {
+      auto it = out->acked.begin();
+      Transaction* txn = db->Begin();
+      IVDB_RETURN_NOT_OK(db->Delete(txn, "sales", {Value::Int64(it->first)}));
+      if (!db->Commit(txn).ok()) {
+        out->pending = out->acked;
+        out->pending->erase(it->first);
+        return Status::OK();
+      }
+      out->acked.erase(it);
+      continue;
+    }
+    if (!insert_one()) return stmt_error;
+  }
+  out->finished = true;
+  return Status::OK();
+}
+
+TEST(CrashTorture, OnlineBuildEveryOpBoundarySweep) {
+  const uint64_t seed = TortureSeed();
+
+  int64_t total_ops = 0;
+  {
+    ScopedTempDir dir("build_torture_dry");
+    FaultInjectionEnv env(seed);
+    DatabaseOptions options;
+    options.dir = dir.path();
+    options.sync = SyncMode::kFsync;
+    options.wal_segment_bytes = TortureSegmentBytes();
+    options.env = &env;
+    auto opened = Database::Open(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto db = std::move(opened).value();
+    TortureOutcome out;
+    bool build_ok = false;
+    ASSERT_TRUE(RunBuildTortureWorkload(db.get(), seed, &out, &build_ok).ok());
+    ASSERT_TRUE(out.finished);
+    ASSERT_TRUE(build_ok);
+    db.reset();
+    total_ops = env.ops_issued();
+  }
+  ASSERT_GE(total_ops, 50) << "seed=" << seed
+                           << ": workload exposes too few crash points";
+
+  for (int64_t k = 0; k < total_ops; k++) {
+    SCOPED_TRACE("IVDB_TORTURE_SEED=" + std::to_string(seed) +
+                 ", crash index " + std::to_string(k));
+    ScopedTempDir dir("build_torture");
+    FaultInjectionEnv env(seed * 1000003 + static_cast<uint64_t>(k));
+    env.CrashAtOp(k);
+    TortureOutcome out;
+    bool build_ok = false;
+    {
+      DatabaseOptions options;
+      options.dir = dir.path();
+      options.sync = SyncMode::kFsync;
+      options.wal_segment_bytes = TortureSegmentBytes();
+      options.env = &env;
+      auto opened = Database::Open(options);
+      if (opened.ok()) {
+        auto db = std::move(opened).value();
+        ASSERT_TRUE(
+            RunBuildTortureWorkload(db.get(), seed, &out, &build_ok).ok());
+        EXPECT_FALSE(out.finished);
+      }
+    }
+    ASSERT_TRUE(env.crashed());
+
+    // Classify the frozen directory by its durable markers before recovery
+    // mutates anything: a surviving kViewBuildCommit means the flip sealed.
+    bool has_start = false;
+    bool has_commit = false;
+    {
+      std::vector<LogRecord> records;
+      ASSERT_TRUE(LogManager::ReadLog(dir.path(), &records).ok());
+      for (const LogRecord& rec : records) {
+        if (rec.type == LogRecordType::kViewBuildStart) has_start = true;
+        if (rec.type == LogRecordType::kViewBuildCommit) has_commit = true;
+      }
+    }
+
+    DatabaseOptions recovered_options;
+    recovered_options.dir = dir.path();
+    auto reopened = Database::Open(recovered_options);
+    ASSERT_TRUE(reopened.ok())
+        << "recovery failed: IVDB_TORTURE_SEED=" << seed << " crash index "
+        << k << ": " << reopened.status().ToString();
+    Database* db = reopened.value().get();
+
+    VerifyRecovered(db, out, seed, k);
+    // All-or-nothing: the build either flipped (view live, consistent —
+    // VerifyRecovered checked it) or left nothing behind.
+    EXPECT_EQ(db->GetView("by_region").ok(), has_commit);
+    EXPECT_TRUE(db->catalog().ListViewBuilds().empty());
+    if (has_start && !has_commit) {
+      EXPECT_NE(db->DumpMetrics().find("ivdb_view_build_gc_total 1"),
+                std::string::npos);
+    }
   }
 }
 

@@ -321,6 +321,141 @@ TEST(CommitPathEquivalence, PipelinedAndSerialRunsRecoverIdentically) {
             CaptureState(pipelined.value().get()));
 }
 
+// Mid-run online build: the frozen WAL now contains kViewBuildStart, the
+// flip transaction's records, and kViewBuildCommit — possibly torn at any
+// of them. Serial and parallel replay must still agree bit for bit on the
+// recovered engine, including the build pre-pass and abandoned-build GC.
+TEST(OnlineBuildEquivalence, MidRunBuildSerialAndParallelReplayAgree) {
+  const uint64_t seed = 0xB01D1;
+  const uint64_t segment_bytes = 1024;
+
+  auto workload = [&](Database* db) -> Status {
+    Random rng(seed);
+    auto table = db->CreateTable("sales", WideSchema(), {0});
+    if (!table.ok()) return Status::OK();
+    for (int i = 0; i < 25; i++) {
+      Transaction* txn = db->Begin();
+      Status s = db->Insert(txn, "sales", RandomWideRow(&rng, i));
+      if (s.IsAlreadyExists()) s = Status::OK();
+      IVDB_RETURN_NOT_OK(s);
+      if (!db->Commit(txn).ok()) return Status::OK();
+    }
+    ViewDefinition def;
+    def.name = "by_grp";
+    def.kind = ViewKind::kAggregate;
+    def.fact_table = table.value()->id;
+    def.group_by = {1};
+    def.aggregates = {{AggregateFunction::kSum, 3, "total"},
+                      {AggregateFunction::kAvg, 4, "avg_price"}};
+    if (!db->CreateIndexedViewOnline(def).ok()) return Status::OK();
+    // A checkpoint right after the flip: one crash window has the view in
+    // the image, another only in the WAL markers.
+    if (!db->Checkpoint().ok()) return Status::OK();
+    for (int i = 25; i < 50; i++) {
+      Transaction* txn = db->Begin();
+      Status s = db->Insert(txn, "sales", RandomWideRow(&rng, i));
+      if (s.IsAlreadyExists()) s = Status::OK();
+      IVDB_RETURN_NOT_OK(s);
+      if (!db->Commit(txn).ok()) return Status::OK();
+    }
+    return Status::OK();
+  };
+
+  auto capture = [](Database* db) {
+    std::ostringstream out;
+    Transaction* reader = db->Begin();
+    auto rows = db->ScanTable(reader, "sales");
+    if (rows.ok()) {
+      for (const Row& row : *rows) {
+        out << "table";
+        for (const Value& v : row) out << "|" << v.ToString();
+        out << "\n";
+      }
+    } else {
+      out << "table-scan:" << rows.status().ToString() << "\n";
+    }
+    auto vrows = db->ScanView(reader, "by_grp");
+    if (vrows.ok()) {
+      for (const Row& row : *vrows) {
+        out << "by_grp";
+        for (const Value& v : row) out << "|" << v.ToString();
+        out << "\n";
+      }
+    } else {
+      out << "by_grp-scan:" << vrows.status().ToString() << "\n";
+    }
+    for (const auto& b : db->catalog().ListViewBuilds()) {
+      out << "build|" << b.name << "|" << int(b.phase) << "\n";
+    }
+    EXPECT_TRUE(db->Commit(reader).ok());
+    return out.str();
+  };
+
+  int64_t total_ops = 0;
+  {
+    ScopedTempDir dir("build_equiv_dry");
+    FaultInjectionEnv env(seed);
+    DatabaseOptions options;
+    options.dir = dir.path();
+    options.sync = SyncMode::kFsync;
+    options.wal_segment_bytes = segment_bytes;
+    options.env = &env;
+    auto opened = Database::Open(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto db = std::move(opened).value();
+    ASSERT_TRUE(workload(db.get()).ok());
+    ASSERT_TRUE(db->GetView("by_grp").ok()) << "dry-run build never flipped";
+    db.reset();
+    total_ops = env.ops_issued();
+  }
+  ASSERT_GE(total_ops, 50);
+
+  for (int percent : {25, 45, 60, 75, 90}) {
+    const int64_t crash_at = total_ops * percent / 100;
+    SCOPED_TRACE("crash_at=" + std::to_string(crash_at));
+    ScopedTempDir dir("build_equiv");
+    {
+      FaultInjectionEnv env(seed * 1000003 + static_cast<uint64_t>(crash_at));
+      env.CrashAtOp(crash_at);
+      DatabaseOptions options;
+      options.dir = dir.path();
+      options.sync = SyncMode::kFsync;
+      options.wal_segment_bytes = segment_bytes;
+      options.env = &env;
+      auto opened = Database::Open(options);
+      if (opened.ok()) {
+        auto db = std::move(opened).value();
+        ASSERT_TRUE(workload(db.get()).ok());
+      }
+      ASSERT_TRUE(env.crashed());
+    }
+
+    ScopedTempDir twin("build_equiv_twin");
+    CopyDir(dir.path(), twin.path());
+
+    DatabaseOptions serial_options;
+    serial_options.dir = dir.path();
+    serial_options.recovery_threads = 1;
+    auto serial = Database::Open(serial_options);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+    DatabaseOptions parallel_options;
+    parallel_options.dir = twin.path();
+    parallel_options.recovery_threads = 4;
+    auto parallel = Database::Open(parallel_options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+    EXPECT_EQ(capture(serial.value().get()), capture(parallel.value().get()));
+    for (Database* db : {serial.value().get(), parallel.value().get()}) {
+      EXPECT_TRUE(db->catalog().ListViewBuilds().empty());
+      if (db->GetView("by_grp").ok()) {
+        Status s = db->VerifyViewConsistency("by_grp");
+        EXPECT_TRUE(s.ok()) << s.ToString();
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(SegmentGeometries, RecoveryEquivalenceTest,
                          ::testing::Values(uint64_t{0},      // one segment
                                            uint64_t{1024}),  // many segments

@@ -76,6 +76,19 @@ int DumpCatalog(const SnapshotImage& image) {
     }
     std::printf("\n");
   }
+  if (!image.view_builds.empty()) {
+    std::printf("\nonline view builds in flight at capture (%zu):\n",
+                image.view_builds.size());
+    for (const auto& b : image.view_builds) {
+      std::printf(
+          "  [%u] %s  phase=%s start_lsn=%llu replay_lsn=%llu "
+          "catchup_lag=%llu bytes\n",
+          b.id, b.name.c_str(), ViewBuildPhaseName(b.phase),
+          static_cast<unsigned long long>(b.start_lsn),
+          static_cast<unsigned long long>(b.replay_lsn),
+          static_cast<unsigned long long>(b.catchup_lag_bytes));
+    }
+  }
   std::printf("\nsecondary indexes (%zu):\n", image.secondary_indexes.size());
   for (const auto& idx : image.secondary_indexes) {
     std::printf("  [%u] %s on table %u cols(", idx.id, idx.name.c_str(),
@@ -144,6 +157,15 @@ int DumpDiskMetrics(bool have_checkpoint, const SnapshotImage& image,
     std::printf("# TYPE ivdb_disk_secondary_indexes gauge\n");
     std::printf("ivdb_disk_secondary_indexes %zu\n",
                 image.secondary_indexes.size());
+    std::printf("# TYPE ivdb_disk_view_builds gauge\n");
+    std::printf("ivdb_disk_view_builds %zu\n", image.view_builds.size());
+    for (const auto& b : image.view_builds) {
+      std::printf(
+          "ivdb_disk_view_build_catchup_lag_bytes{view=\"%s\",phase=\"%s\"} "
+          "%llu\n",
+          b.name.c_str(), ViewBuildPhaseName(b.phase),
+          static_cast<unsigned long long>(b.catchup_lag_bytes));
+    }
     uint64_t entries = 0;
     size_t snapshot_bytes = 0;
     for (const auto& [id, payload] : image.indexes) {
@@ -257,6 +279,13 @@ int main(int argc, char** argv) {
                      " active txns at capture)")
                         .c_str()
                   : "absent");
+  for (const auto& b : image.view_builds) {
+    std::printf("in-flight view build: [%u] %s phase=%s start_lsn=%llu "
+                "catchup_lag=%llu bytes\n",
+                b.id, b.name.c_str(), ViewBuildPhaseName(b.phase),
+                static_cast<unsigned long long>(b.start_lsn),
+                static_cast<unsigned long long>(b.catchup_lag_bytes));
+  }
   std::printf("wal: %zu segments, %zu bytes\n", segment_names.size(),
               wal_bytes);
   DumpWal(records, /*verbose=*/false);

@@ -42,6 +42,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string dump = opened.value()->DumpMetrics();
+  // Online-build records that survived recovery (normally none: committed
+  // builds become views, abandoned ones are GC'd — see
+  // ivdb_view_build_gc_total above). Shown as synthetic samples so scrapers
+  // that only parse the exposition format still see them.
+  for (const auto& b : opened.value()->catalog().ListViewBuilds()) {
+    std::ostringstream extra;
+    extra << "ivdb_view_build_record{view=\"" << b.name << "\",phase=\""
+          << ViewBuildPhaseName(b.phase) << "\",start_lsn=\"" << b.start_lsn
+          << "\"} " << b.catchup_lag_bytes << "\n";
+    dump += extra.str();
+  }
   if (argc < 3) {
     std::fputs(dump.c_str(), stdout);
     return 0;
