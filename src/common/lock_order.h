@@ -19,12 +19,17 @@
 //   Database::indexes_mu_       (6)    object-id -> BTree map (shared)
 //   Database::views_mu_         (7)    view registry (shared)
 //   TxnManager::active_mu_      (10)   Begin / FinishTxn / quiesce gate
+//   EpochReaderRegistry::slot_mu_ (12) one epoch reader slot (never nested
+//                                      with another slot)
 //   TxnManager::visibility_mu_  (20)   commit-ts draw + in-LSN-order flip
 //   EpochClock::advance_mu_     (21)   commit-epoch reserve/publish
 //   LockManager::graph_mu_      (28)   waits-for graph + per-txn bookkeeping
 //   LockManager::lock_stripe_mu_ (30)  one lock-table stripe (never nested
 //                                      with another stripe)
+//   ScanCache::entry_mu_        (33)   one object's last-committed-row cache
+//                                      (never nested with another entry)
 //   VersionStore::pending_mu_   (37)   txn -> dirty-chain-key bookkeeping
+//   EpochReclaimer::retire_mu_  (38)   deferred-free retire pile
 //   VersionStore::version_stripe_mu_ (40) one version-chain stripe (never
 //                                      nested with another stripe)
 //   BTree::latch_               (45)   per-tree structural latch
@@ -50,11 +55,12 @@
 // probing the physical tree (45).
 //
 // Striping note: the lock-table stripes all share rank 30, the version-chain
-// stripes rank 40, and the WAL staging shards rank 58. The strictly-greater
-// rule therefore *forbids nesting two stripes of the same family* — exactly
-// the discipline the striped designs rely on (multi-stripe operations such
-// as deadlock DFS, lock escalation, commit stamping, and the batch writer's
-// shard drain visit stripes strictly one at a time).
+// stripes rank 40, the WAL staging shards rank 58, the epoch reader slots
+// rank 12, and the scan-cache entries rank 33. The strictly-greater rule
+// therefore *forbids nesting two stripes of the same family* — exactly the
+// discipline the striped designs rely on (multi-stripe operations such as
+// deadlock DFS, lock escalation, commit stamping, the oldest-pin sweep, and
+// the batch writer's shard drain visit stripes strictly one at a time).
 //
 // Ranked mutexes (common/mutex.h) feed the tracker from their own
 // Lock/Unlock paths, so a locking site needs no separate declaration. The
@@ -85,11 +91,14 @@ enum class LockRank : int {
   kEngineIndexes = 6,
   kEngineViews = 7,
   kTxnActive = 10,
+  kEpochSlot = 12,
   kTxnVisibility = 20,
   kTxnEpoch = 21,
   kLockGraph = 28,
   kLockManager = 30,
+  kScanCache = 33,
   kVersionPending = 37,
+  kVersionRetire = 38,
   kVersionStore = 40,
   kBtreeLatch = 45,
   kWalFlush = 50,

@@ -181,6 +181,24 @@ Database::Database(DatabaseOptions options)
   txn_options.max_txn_lifetime_micros = options_.max_txn_lifetime_micros;
   txns_ = std::make_unique<TransactionManager>(&locks_, log_.get(),
                                                &versions_, this, txn_options);
+  gc_lag_gauge_ = registry_.GetGauge("ivdb_storage_gc_lag_micros");
+  scan_cache_hits_gauge_ = registry_.GetGauge("ivdb_scan_cache_hits");
+  scan_cache_misses_gauge_ = registry_.GetGauge("ivdb_scan_cache_misses");
+  scan_cache_served_gauge_ =
+      registry_.GetGauge("ivdb_scan_cache_served_scans");
+  scan_cache_full_gauge_ = registry_.GetGauge("ivdb_scan_cache_full_scans");
+  scan_cache_invalidations_gauge_ =
+      registry_.GetGauge("ivdb_scan_cache_invalidations");
+  if (options_.scan_cache) {
+    // Installed before any transaction can exist; fires per committed dirty
+    // key with the committer's visibility_mu_ held (rank 20 -> 33, legal)
+    // and the commit timestamp not yet published — see
+    // storage/scan_cache.h for why that ordering makes staleness precise.
+    versions_.SetCommitHook([this](uint32_t object_id, const std::string& key,
+                                   uint64_t visible_ts) {
+      scan_cache_.Invalidate(object_id, key, visible_ts);
+    });
+  }
 }
 
 Database::~Database() {
@@ -197,6 +215,14 @@ Database::~Database() {
     }
     ckpt_thread_cv_.NotifyAll();
     ckpt_thread_.join();
+  }
+  if (gc_thread_.joinable()) {
+    {
+      MutexLock guard(&gc_thread_mu_);
+      gc_stop_ = true;
+    }
+    gc_thread_cv_.NotifyAll();
+    gc_thread_.join();
   }
   if (build_thread_.joinable()) build_thread_.join();
   ReaderMutexLock views_guard(&views_mu_);
@@ -221,6 +247,9 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
       raw->CheckpointThreadLoop();
     });
   }
+  if (db->options_.version_gc_interval_micros > 0) {
+    db->gc_thread_ = std::thread([raw = db.get()] { raw->GcThreadLoop(); });
+  }
   return db;
 }
 
@@ -242,8 +271,11 @@ BTree* Database::GetIndex(ObjectId id) {
 }
 
 void Database::DropIndex(ObjectId id) {
-  WriterMutexLock guard(&indexes_mu_);
-  indexes_.erase(id);
+  {
+    WriterMutexLock guard(&indexes_mu_);
+    indexes_.erase(id);
+  }
+  scan_cache_.Evict(id);
 }
 
 Status Database::ApplyRedo(LogRecordType op_type, const LogRecord& rec) {
@@ -330,24 +362,27 @@ Status Database::RegisterView(ObjectId id, ViewDefinition def, bool populate) {
   ViewMaintainer::Options maintainer_options;
   maintainer_options.use_escrow = options_.use_escrow_locks;
   maintainer_options.metrics = &registry_;
+  maintainer_options.clock = clock_;
   entry->maintainer = std::make_unique<ViewMaintainer>(
       def, id, fact->schema, dim_schema, this, &locks_, txns_.get(),
       &versions_, maintainer_options);
   entry->info.schema = entry->maintainer->view_schema();
 
   BTree* tree = CreateIndex(id);
+  if (options_.scan_cache) scan_cache_.EnableObject(id);
 
   if (def.kind == ViewKind::kAggregate) {
+    entry->ghost_lag_gauge = registry_.GetGauge(obs::WithLabel(
+        "ivdb_ghost_last_pass_age_micros", "view", def.name));
     GhostCleaner::Options cleaner_options;
     cleaner_options.metrics = &registry_;
     cleaner_options.view_name = def.name;
     cleaner_options.clock = clock_;
     cleaner_options.flight = &flight_;
+    cleaner_options.lag_gauge = entry->ghost_lag_gauge;
     entry->cleaner = std::make_unique<GhostCleaner>(
         id, def.CountColumnIndex(), this, &locks_, txns_.get(), &versions_,
         std::move(cleaner_options));
-    entry->ghost_lag_gauge = registry_.GetGauge(obs::WithLabel(
-        "ivdb_ghost_last_pass_age_micros", "view", def.name));
   }
 
   std::string view_name = def.name;
@@ -1069,6 +1104,46 @@ Result<std::vector<std::pair<std::string, Row>>> Database::ScanObject(
       return out;
     }
     case ReadMode::kSnapshot: {
+      // Read-optimized path: a FULL-object scan of a cache-enabled object
+      // (an indexed view) is served from the last-committed-row cache, with
+      // only the keys invalidated since our snapshot resolved through the
+      // version store. On a cache miss the slow scan below runs and its
+      // result seeds the cache for every later scan.
+      const bool cacheable = options_.scan_cache && begin.empty() &&
+                             end == nullptr &&
+                             scan_cache_.ObjectEnabled(object_id);
+      if (cacheable) {
+        std::map<std::string, Row> cached;
+        std::vector<ScanCache::StaleKey> stale;
+        if (scan_cache_.BeginScan(object_id, txn->begin_ts(), &cached,
+                                  &stale)) {
+          for (const ScanCache::StaleKey& sk : stale) {
+            std::optional<std::string> physical;
+            VersionStore::SnapshotView view = versions_.GetAsOfConsistent(
+                object_id, sk.key, txn->begin_ts(), tree, &physical);
+            std::optional<std::string> value =
+                view.use_chain_value ? view.chain_value : std::move(physical);
+            bool present = value.has_value();
+            Row row;
+            if (present) {
+              IVDB_RETURN_NOT_OK(DecodeRow(*value, &row));
+              for (const auto& deltas : view.subtract) {
+                for (const ColumnDelta& d : deltas) {
+                  IVDB_RETURN_NOT_OK(
+                      row[d.column].AccumulateAdd(d.delta.Negated()));
+                }
+              }
+            }
+            scan_cache_.Resolve(object_id, sk.key, sk.token, present, row);
+            if (present) cached[sk.key] = std::move(row);
+          }
+          out.reserve(cached.size());
+          for (auto& [key, row] : cached) {
+            out.emplace_back(key, std::move(row));
+          }
+          return out;
+        }
+      }
       // Candidate keys: everything physically present plus keys only the
       // version store still knows about (deleted after our snapshot). Keys
       // that appear after this collection cannot be visible at our
@@ -1100,6 +1175,9 @@ Result<std::vector<std::pair<std::string, Row>>> Database::ScanObject(
         }
         out.emplace_back(key, std::move(row));
       }
+      // First full scan of a cacheable object populates the cache (first
+      // publish wins; concurrent scanners race benignly).
+      if (cacheable) scan_cache_.Publish(object_id, txn->begin_ts(), out);
       return out;
     }
   }
@@ -1435,6 +1513,12 @@ Status Database::Checkpoint() {
     return Status::OK();
   }();
   txns_->ReleaseCheckpointReader(cap.reader);
+  // Ghost cleanup piggybacks on the checkpoint cadence: every successful
+  // fuzzy checkpoint is followed by one batched cleanup pass (system
+  // transactions, outside the capture section, so image consistency and
+  // commit flow are untouched). Best-effort — a cleanup failure does not
+  // fail the checkpoint that already published.
+  if (s.ok() && options_.ghost_cleanup_on_checkpoint) (void)CleanGhosts();
   return s;
 }
 
@@ -1732,7 +1816,42 @@ Status Database::CleanGhosts(uint64_t* reclaimed_out) {
 }
 
 uint64_t Database::GarbageCollectVersions() {
-  return versions_.GarbageCollect(txns_->OldestActiveTs());
+  const uint64_t pass_start = clock_->NowMicros();
+  // Horizon: versions dead to the oldest active snapshot are unlinked now.
+  // Retire stamp: a batch unlinked under stamp E is freed once every
+  // active reader's pin exceeds E — i.e. everyone who could have been
+  // traversing the unlinked nodes has left.
+  const uint64_t horizon = txns_->OldestActiveTs();
+  const uint64_t stamp = txns_->clock()->Peek();
+  VersionStore::ChainLengthStats stats;
+  const uint64_t unlinked = versions_.GarbageCollect(horizon, stamp, &stats);
+  const uint64_t freed =
+      versions_.AdvanceReclamation(txns_->epochs()->MinActivePin());
+  // Chain-shape gauges go live off the lengths this pass just measured
+  // while pruning — no second walk, no wait for DumpMetrics().
+  version_chain_max_gauge_->Set(static_cast<int64_t>(stats.max_len));
+  version_chain_p99_gauge_->Set(static_cast<int64_t>(stats.p99_len));
+  const uint64_t pass_end = clock_->NowMicros();
+  const uint64_t prev_end =
+      last_gc_pass_end_micros_.exchange(pass_end, std::memory_order_acq_rel);
+  gc_lag_gauge_->Set(
+      prev_end == 0 ? 0 : static_cast<int64_t>(pass_end - prev_end));
+  flight_.Emit(obs::FlightEventType::kGcPass, pass_start,
+               pass_end - pass_start, unlinked, freed);
+  return unlinked;
+}
+
+void Database::GcThreadLoop() {
+  flight_.SetThreadName("version-gc");
+  UniqueMutexLock lock(&gc_thread_mu_);
+  while (!gc_stop_) {
+    gc_thread_cv_.WaitFor(
+        &lock, std::chrono::microseconds(options_.version_gc_interval_micros));
+    if (gc_stop_) break;
+    lock.Unlock();
+    (void)GarbageCollectVersions();
+    lock.Lock();
+  }
 }
 
 Status Database::VerifyViewConsistency(const std::string& view) const {
@@ -1828,6 +1947,24 @@ std::string Database::DumpMetrics() const {
   version_chain_max_gauge_->Set(static_cast<int64_t>(chains.max_len));
   version_chain_p99_gauge_->Set(static_cast<int64_t>(chains.p99_len));
   const uint64_t now = clock_->NowMicros();
+  // GC lag: the gauge normally holds the pass-to-pass interval set live by
+  // GarbageCollectVersions(); when the time since the last pass already
+  // exceeds that, report the age instead — a stalled collector then reads
+  // as monotonically growing lag, not a frozen healthy value.
+  const uint64_t last_gc =
+      last_gc_pass_end_micros_.load(std::memory_order_acquire);
+  if (last_gc != 0 && now > last_gc &&
+      static_cast<int64_t>(now - last_gc) > gc_lag_gauge_->Value()) {
+    gc_lag_gauge_->Set(static_cast<int64_t>(now - last_gc));
+  }
+  const ScanCache::Stats scan_stats = scan_cache_.GetStats();
+  scan_cache_hits_gauge_->Set(static_cast<int64_t>(scan_stats.hits));
+  scan_cache_misses_gauge_->Set(static_cast<int64_t>(scan_stats.misses));
+  scan_cache_served_gauge_->Set(
+      static_cast<int64_t>(scan_stats.served_scans));
+  scan_cache_full_gauge_->Set(static_cast<int64_t>(scan_stats.full_scans));
+  scan_cache_invalidations_gauge_->Set(
+      static_cast<int64_t>(scan_stats.invalidations));
   {
     ReaderMutexLock guard(&views_mu_);
     for (const auto& [name, entry] : views_) {

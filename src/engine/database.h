@@ -20,6 +20,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/btree.h"
+#include "storage/scan_cache.h"
 #include "storage/version_store.h"
 #include "txn/retry.h"
 #include "txn/txn_manager.h"
@@ -100,6 +101,24 @@ struct DatabaseOptions {
   // Background ghost cleanup for every aggregate view.
   bool start_ghost_cleaner = false;
   uint64_t ghost_cleaner_interval_micros = 50000;
+  // Piggyback one batched ghost-cleanup pass on every successful fuzzy
+  // checkpoint (the pass runs as system transactions after the image is
+  // published, so it rides the same quiet point without extending the
+  // capture section).
+  bool ghost_cleanup_on_checkpoint = true;
+
+  // Read-optimized snapshot scans: keep a contiguous last-committed-row
+  // cache per indexed view, invalidated key-precisely by (escrow) commits
+  // (storage/scan_cache.h). Full-object snapshot scans of a view are then
+  // served from the cache plus a slow re-resolution of only the keys
+  // changed since the serving snapshot.
+  bool scan_cache = true;
+
+  // Background epoch-based version GC: every interval, unlink versions
+  // dead to the oldest active snapshot and free batches whose retire epoch
+  // every active reader has left. 0 — the default — disables the thread;
+  // GarbageCollectVersions() can still be called explicitly.
+  uint64_t version_gc_interval_micros = 0;
 
   // Per-transaction span-trace ring size (see obs/trace.h). 0 — the
   // default — disables tracing entirely; benches and deadlock-diagnosis
@@ -405,6 +424,8 @@ class Database : public LogApplier, public IndexResolver {
   const ViewMaintainerMetrics* view_metrics(const std::string& view) const;
   const GhostCleanerMetrics* ghost_metrics(const std::string& view) const;
   uint64_t version_store_entries() const { return versions_.TotalEntries(); }
+  // The snapshot-scan row cache (hit/miss stats for benches and tests).
+  ScanCache* scan_cache() { return &scan_cache_; }
 
   // --- LogApplier (rollback + recovery) ---
   Status ApplyRedo(LogRecordType op_type, const LogRecord& rec) override;
@@ -443,6 +464,8 @@ class Database : public LogApplier, public IndexResolver {
                          std::string* payload);
   // The checkpointer thread body (only when checkpoint_wal_bytes > 0).
   void CheckpointThreadLoop();
+  // The version-GC thread body (only when version_gc_interval_micros > 0).
+  void GcThreadLoop();
 
   // kUnavailable once the engine is degraded; gates every path that would
   // append to the WAL (DML, DDL, checkpoints). Reads are never gated.
@@ -516,16 +539,32 @@ class Database : public LogApplier, public IndexResolver {
   obs::Counter* txn_retry_exhausted_ = nullptr;
   // options_.clock resolved against Clock::Default().
   Clock* clock_ = nullptr;
-  // Version-chain shape at the last DumpMetrics() (longest chain and p99
-  // chain length) and per-view ghost-cleaner lag live in gauges refreshed
-  // the same way as version_entries_gauge_.
+  // Version-chain shape (longest chain and p99 chain length), updated LIVE
+  // by every GC pass from the lengths it measures while pruning, and
+  // re-measured by DumpMetrics() for engines that never run GC.
   obs::Gauge* version_chain_max_gauge_ = nullptr;
   obs::Gauge* version_chain_p99_gauge_ = nullptr;
+  // `ivdb_storage_gc_lag_micros`: interval between consecutive GC pass
+  // ends, set live at the end of every pass; DumpMetrics() additionally
+  // ages it to now - last_pass_end when that is larger, so a stopped
+  // collector reads as unbounded growing lag rather than a stale low value.
+  obs::Gauge* gc_lag_gauge_ = nullptr;
+  // Scan-cache counters (`ivdb_scan_cache_*`), refreshed by DumpMetrics()
+  // from ScanCache::GetStats().
+  obs::Gauge* scan_cache_hits_gauge_ = nullptr;
+  obs::Gauge* scan_cache_misses_gauge_ = nullptr;
+  obs::Gauge* scan_cache_served_gauge_ = nullptr;
+  obs::Gauge* scan_cache_full_gauge_ = nullptr;
+  obs::Gauge* scan_cache_invalidations_gauge_ = nullptr;
   // Declared after clock_ (its timestamps go through the same seam) and
   // before every component that records into it.
   obs::FlightRecorder flight_;
   LockManager locks_;
   VersionStore versions_;
+  // Declared after versions_ so it is destroyed first; the version store
+  // fires no commit hooks during destruction, so the ordering is only
+  // about member-init dependence (the hook captures &scan_cache_).
+  ScanCache scan_cache_;
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<TransactionManager> txns_;
 
@@ -593,6 +632,18 @@ class Database : public LogApplier, public IndexResolver {
   CondVar ckpt_thread_cv_;
   bool ckpt_stop_ IVDB_GUARDED_BY(ckpt_thread_mu_) = false;
   uint64_t ckpt_last_bytes_ = 0;  // checkpointer-thread-only
+
+  // Background version collector (only when version_gc_interval_micros >
+  // 0): wakes every interval and runs one GarbageCollectVersions() pass.
+  // gc_thread_mu_ reuses rank kCkptThread — same background-parking family
+  // as the checkpointer's mutex and never nested with it.
+  std::thread gc_thread_;
+  RankedMutex gc_thread_mu_{LockRank::kCkptThread, "gc_thread_mu_"};
+  CondVar gc_thread_cv_;
+  bool gc_stop_ IVDB_GUARDED_BY(gc_thread_mu_) = false;
+  // Wall-clock stamp of the last GC pass end (0 = never ran); written by
+  // GC passes, read by DumpMetrics() to age the lag gauge.
+  std::atomic<uint64_t> last_gc_pass_end_micros_{0};
 };
 
 }  // namespace ivdb

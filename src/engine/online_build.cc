@@ -426,6 +426,7 @@ Status Database::RunOnlineBuild(ViewDefinition def, const ViewInfo** out) {
   ViewMaintainer::Options maintainer_options;
   maintainer_options.use_escrow = options_.use_escrow_locks;
   maintainer_options.metrics = &registry_;
+  maintainer_options.clock = clock_;
   ctx->maintainer = std::make_unique<ViewMaintainer>(
       def, ctx->id, ctx->fact->schema, ctx->dim_schema, this, &locks_,
       txns_.get(), &versions_, maintainer_options);

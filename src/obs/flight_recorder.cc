@@ -99,6 +99,8 @@ const char* FlightEventName(FlightEventType type) {
       return "degraded";
     case FlightEventType::kViewBuildPhase:
       return "view_build";
+    case FlightEventType::kGcPass:
+      return "gc_pass";
   }
   return "unknown";
 }

@@ -64,6 +64,7 @@ enum class FlightEventType : uint32_t {
   kWatchdogPass,        // a = txns aborted
   kDegraded,            // a = 1 (instant: degraded-mode entry)
   kViewBuildPhase,      // a = view object id, b = ViewBuildState::Phase
+  kGcPass,              // a = versions unlinked, b = entries freed
 };
 
 // Stable wire name for a type ("wal_fsync", "stage_flip_wait", ...), shared

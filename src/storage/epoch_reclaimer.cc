@@ -1,0 +1,51 @@
+#include "storage/epoch_reclaimer.h"
+
+#include <utility>
+#include <vector>
+
+namespace ivdb {
+
+void EpochReclaimer::Retire(uint64_t stamp, uint64_t entries,
+                            std::shared_ptr<void> payload) {
+  if (entries == 0) return;
+  MutexLock guard(&retire_mu_);
+  Batch batch;
+  batch.stamp = stamp;
+  batch.entries = entries;
+  batch.payload = std::move(payload);
+  retired_.push_back(std::move(batch));
+}
+
+IVDB_EPOCH_RETIRE_PATH
+uint64_t EpochReclaimer::Advance(uint64_t min_active_pin) {
+  // Pop the retirable prefix under the mutex, destroy it outside: payload
+  // teardown (string frees across a whole batch) must not extend the
+  // critical section a concurrent Retire is waiting on.
+  std::vector<Batch> retirable_garbage;
+  uint64_t freed = 0;
+  {
+    MutexLock guard(&retire_mu_);
+    while (!retired_.empty() && retired_.front().stamp < min_active_pin) {
+      freed += retired_.front().entries;
+      retirable_garbage.push_back(std::move(retired_.front()));
+      retired_.pop_front();
+    }
+    freed_entries_total_ += freed;
+    freed_batches_total_ += retirable_garbage.size();
+  }
+  retirable_garbage.clear();
+  return freed;
+}
+
+EpochReclaimer::Stats EpochReclaimer::GetStats() const {
+  MutexLock guard(&retire_mu_);
+  Stats stats;
+  stats.pending_batches = retired_.size();
+  for (const Batch& b : retired_) stats.pending_entries += b.entries;
+  stats.oldest_stamp = retired_.empty() ? UINT64_MAX : retired_.front().stamp;
+  stats.freed_entries_total = freed_entries_total_;
+  stats.freed_batches_total = freed_batches_total_;
+  return stats;
+}
+
+}  // namespace ivdb

@@ -1,0 +1,90 @@
+#ifndef IVDB_STORAGE_EPOCH_RECLAIMER_H_
+#define IVDB_STORAGE_EPOCH_RECLAIMER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+// Marks a function as part of the epoch-retirement path: the ONLY place
+// version-store garbage may be physically destroyed. ivdb_lint's
+// epoch-discipline rule flags destruction of retired/garbage containers in
+// any function not annotated with this macro (see docs/INTERNALS.md §7).
+// Expands to nothing — it exists for the reader and the analyzer.
+#define IVDB_EPOCH_RETIRE_PATH
+
+namespace ivdb {
+
+// Deferred physical reclamation for unlinked version-store entries.
+//
+// Version-chain pruning unlinks dead versions under the chain's stripe
+// mutex (so no reader holding the stripe can still reach them) but does NOT
+// destroy them there: destruction — string frees, vector teardown — would
+// lengthen the stripe critical section readers contend on, and a future
+// latch-free reader could still hold a reference it picked up before the
+// unlink. Instead the unlinked payload is moved into a retire batch stamped
+// with the epoch-clock value current at unlink time, and destroyed only
+// once every reader pinned at or before that stamp has left the epoch
+// (EpochReaderRegistry::MinActivePin() > stamp).
+//
+// The payload is type-erased (shared_ptr<void>): the deleter captured at
+// Retire() runs the real destructor, so the reclaimer never names the
+// version types and other subsystems (scan cache, ghost piles) can retire
+// through the same pile.
+//
+// Lock order: retire_mu_ (kVersionRetire, 38) is taken with no stripe held
+// — Retire() is called after the unlinking pass released its last stripe,
+// and Advance() touches nothing but the pile.
+class EpochReclaimer {
+ public:
+  struct Stats {
+    uint64_t pending_batches = 0;
+    uint64_t pending_entries = 0;
+    // Stamp of the oldest batch still awaiting retirement; UINT64_MAX when
+    // the pile is empty. GC lag = now - oldest stamp's wall time analog.
+    uint64_t oldest_stamp = UINT64_MAX;
+    uint64_t freed_entries_total = 0;
+    uint64_t freed_batches_total = 0;
+  };
+
+  EpochReclaimer() = default;
+  EpochReclaimer(const EpochReclaimer&) = delete;
+  EpochReclaimer& operator=(const EpochReclaimer&) = delete;
+
+  // Hands a batch of unlinked-but-not-freed entries to the pile. `stamp` is
+  // the epoch-clock value (Peek) current when the entries were unlinked;
+  // `entries` is the payload's entry count (metrics only). Call with no
+  // stripe mutex held.
+  void Retire(uint64_t stamp, uint64_t entries,
+              std::shared_ptr<void> payload);
+
+  // Destroys every batch whose stamp is below `min_active_pin`: all readers
+  // that could have begun at or before the unlink have left the epoch, so
+  // nothing can reference the payload. Pass
+  // EpochReaderRegistry::MinActivePin() (UINT64_MAX when no reader is
+  // inside any epoch retires everything). Returns entries freed. The
+  // destruction itself runs outside retire_mu_.
+  uint64_t Advance(uint64_t min_active_pin);
+
+  Stats GetStats() const;
+
+ private:
+  struct Batch {
+    uint64_t stamp = 0;
+    uint64_t entries = 0;
+    std::shared_ptr<void> payload;
+  };
+
+  mutable RankedMutex retire_mu_{LockRank::kVersionRetire, "retire_mu_"};
+  // Stamps are drawn from a monotone clock, so the deque is naturally
+  // sorted oldest-first and Advance pops a prefix.
+  std::deque<Batch> retired_ IVDB_GUARDED_BY(retire_mu_);
+  uint64_t freed_entries_total_ IVDB_GUARDED_BY(retire_mu_) = 0;
+  uint64_t freed_batches_total_ IVDB_GUARDED_BY(retire_mu_) = 0;
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_STORAGE_EPOCH_RECLAIMER_H_

@@ -1,0 +1,146 @@
+#include "storage/scan_cache.h"
+
+#include <utility>
+
+namespace ivdb {
+
+ScanCache::ScanCache() {
+  for (uint32_t i = 0; i < kMaxObjects; i++) {
+    enabled_[i].store(false, std::memory_order_relaxed);
+    entries_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+void ScanCache::EnableObject(uint32_t object_id) {
+  if (object_id >= kMaxObjects) return;
+  MutexLock guard(&enable_mu_);
+  if (entries_[object_id].load(std::memory_order_relaxed) == nullptr) {
+    owned_.push_back(std::make_unique<Entry>());
+    entries_[object_id].store(owned_.back().get(), std::memory_order_release);
+  }
+  enabled_[object_id].store(true, std::memory_order_release);
+}
+
+void ScanCache::Invalidate(uint32_t object_id, const std::string& key,
+                           uint64_t visible_ts) {
+  if (!ObjectEnabled(object_id)) return;
+  Entry* entry = EntryFor(object_id);
+  if (entry == nullptr) return;
+  MutexLock guard(&entry->entry_mu_);
+  CachedRow& cached = entry->keys[key];  // marker-creates unknown keys
+  // Hooks fire in commit-visibility order, so per key visible_ts is
+  // monotone: the latest mark just advances, and this commit becomes the
+  // earliest unreconciled change only when none was pending.
+  if (visible_ts > cached.last_stale_ts) cached.last_stale_ts = visible_ts;
+  if (cached.first_stale_ts == 0) cached.first_stale_ts = visible_ts;
+  entry->invalidations++;
+}
+
+bool ScanCache::BeginScan(uint32_t object_id, uint64_t snapshot_ts,
+                          std::map<std::string, Row>* rows,
+                          std::vector<StaleKey>* stale) {
+  Entry* entry = EntryFor(object_id);
+  if (entry == nullptr || !ObjectEnabled(object_id)) return false;
+  MutexLock guard(&entry->entry_mu_);
+  if (entry->published_ts == 0 || snapshot_ts < entry->published_ts) {
+    entry->full_scans++;
+    return false;
+  }
+  for (const auto& [key, cached] : entry->keys) {
+    if (cached.visible_ts != 0 && cached.visible_ts <= snapshot_ts &&
+        (cached.first_stale_ts == 0 ||
+         cached.first_stale_ts > snapshot_ts)) {
+      // The cached row was committed at or before the snapshot and the
+      // earliest unreconciled change is invisible to it.
+      if (cached.present) (*rows)[key] = cached.row;
+      entry->hits++;
+      continue;
+    }
+    StaleKey sk;
+    sk.key = key;
+    // Write back only when the snapshot covers the key's whole known
+    // history AND the resolution would advance the cached row: then the
+    // resolved state is exactly the state at last_stale_ts (no commit can
+    // sit in (last_stale_ts, snapshot] — its hook would have fired before
+    // this scan's transaction began).
+    sk.token = (cached.last_stale_ts != 0 &&
+                cached.last_stale_ts <= snapshot_ts &&
+                cached.last_stale_ts > cached.visible_ts)
+                   ? cached.last_stale_ts
+                   : 0;
+    stale->push_back(std::move(sk));
+    entry->misses++;
+  }
+  entry->served_scans++;
+  return true;
+}
+
+void ScanCache::Resolve(uint32_t object_id, const std::string& key,
+                        uint64_t token, bool present, const Row& row) {
+  if (token == 0) return;
+  Entry* entry = EntryFor(object_id);
+  if (entry == nullptr) return;
+  MutexLock guard(&entry->entry_mu_);
+  auto it = entry->keys.find(key);
+  if (it == entry->keys.end()) return;  // evicted meanwhile
+  CachedRow& cached = it->second;
+  // Apply only while this is the newest resolution: a concurrent reader at
+  // a higher snapshot resolves with a higher token (it observed the newer
+  // stale mark), and its row must win.
+  if (token <= cached.visible_ts) return;
+  cached.row = row;
+  cached.present = present;
+  cached.visible_ts = token;
+  // Fully reconciled only when no invalidation arrived after the one this
+  // resolution covered; otherwise the earliest unreconciled mark must
+  // stand (it may be conservative — at most token — which costs a miss,
+  // never a wrong serve).
+  if (cached.last_stale_ts == token) cached.first_stale_ts = 0;
+}
+
+void ScanCache::Publish(uint32_t object_id, uint64_t snapshot_ts,
+                        const std::vector<std::pair<std::string, Row>>& rows) {
+  Entry* entry = EntryFor(object_id);
+  if (entry == nullptr || !ObjectEnabled(object_id)) return;
+  MutexLock guard(&entry->entry_mu_);
+  if (entry->published_ts != 0) return;  // first publish wins
+  for (const auto& [key, row] : rows) {
+    CachedRow& cached = entry->keys[key];
+    if (cached.visible_ts != 0) continue;
+    cached.row = row;
+    cached.present = true;
+    cached.visible_ts = snapshot_ts;
+    // Invalidations at or below the publish snapshot are already baked
+    // into the scanned row; any above it still stand (and when the history
+    // straddles the snapshot, the early mark stays — conservative).
+    if (cached.last_stale_ts != 0 && cached.last_stale_ts <= snapshot_ts) {
+      cached.first_stale_ts = 0;
+    }
+  }
+  entry->published_ts = snapshot_ts;
+}
+
+void ScanCache::Evict(uint32_t object_id) {
+  Entry* entry = EntryFor(object_id);
+  if (entry == nullptr) return;
+  MutexLock guard(&entry->entry_mu_);
+  entry->keys.clear();
+  entry->published_ts = 0;
+}
+
+ScanCache::Stats ScanCache::GetStats() const {
+  Stats stats;
+  for (uint32_t i = 0; i < kMaxObjects; i++) {
+    const Entry* entry = entries_[i].load(std::memory_order_acquire);
+    if (entry == nullptr) continue;
+    MutexLock guard(&entry->entry_mu_);
+    stats.hits += entry->hits;
+    stats.misses += entry->misses;
+    stats.full_scans += entry->full_scans;
+    stats.served_scans += entry->served_scans;
+    stats.invalidations += entry->invalidations;
+  }
+  return stats;
+}
+
+}  // namespace ivdb

@@ -1,0 +1,175 @@
+#ifndef IVDB_STORAGE_SCAN_CACHE_H_
+#define IVDB_STORAGE_SCAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace ivdb {
+
+// Last-committed-row cache for full-object snapshot scans.
+//
+// Dashboard-style readers scan the same indexed view over and over while
+// escrow writers commit continuously; without help every scan walks every
+// key's version chain under the chain's stripe mutex. This cache keeps, per
+// enabled object, one contiguous map of the last committed row per key,
+// each entry carrying a validity interval:
+//
+//   visible_ts      the commit timestamp at which the cached row became
+//                   the committed state (0 = marker only, no row data yet);
+//   first_stale_ts  the EARLIEST commit known to have changed the key since
+//                   the row was cached and not yet reconciled into it
+//                   (0 = none);
+//   last_stale_ts   the LATEST commit known to have changed the key, ever.
+//
+// A snapshot at B is served from the entry iff visible_ts != 0 and
+// visible_ts <= B and (first_stale_ts == 0 or first_stale_ts > B) — the
+// cached row was committed before the snapshot and the earliest
+// unreconciled change is invisible to it. The two marks must be separate:
+// serving needs the earliest pending change (one old stale mark hiding
+// behind a newer one would serve a reader a row a visible commit has
+// superseded), while write-back needs the latest (see below). Everything
+// else resolves the key the slow way (version-store GetAsOfConsistent)
+// and, when the key's full invalidation history is covered by the snapshot
+// (last_stale_ts <= B), writes the fresh row back with visible_ts =
+// last_stale_ts — commit hooks fire in visibility order, so every commit
+// <= B was already marked when the scan began and the resolved row IS the
+// state at last_stale_ts. One escrow commit therefore costs one slow
+// re-resolution per key, not a cache rebuild. A snapshot that covers only
+// part of the history (first_stale_ts <= B < last_stale_ts) resolves
+// without write-back: the largest commit at or below B is unknown, so no
+// validity interval can be claimed for the resolved row.
+//
+// Invalidation is precise: VersionStore::Commit fires the registered hook
+// once per committed dirty key, BEFORE the commit timestamp is published.
+// Any snapshot that can observe the commit draws its begin_ts after the
+// publish, hence after the stale mark is in place — a reader can never be
+// served a row a visible commit has superseded. Keys the cache has never
+// cached get a marker entry (visible_ts = 0), so freshly inserted keys are
+// found by later scans; the key universe after the first Publish is
+// therefore complete for every snapshot at or above the publish timestamp.
+//
+// Lock order: per-object entry_mu_ carries rank kScanCache (33) — above
+// visibility_mu_ (20, the hook's caller) and below the version stripes
+// (40); the serve/resolve path never holds it while calling into the
+// version store. ObjectEnabled() is a lock-free atomic-flag probe so
+// commits touching uncached objects pay one load.
+class ScanCache {
+ public:
+  // Objects are dense small ids in this engine; the flag array bounds the
+  // lock-free enabled probe. Ids at or above the bound are never cached.
+  static constexpr uint32_t kMaxObjects = 4096;
+
+  ScanCache();
+  ScanCache(const ScanCache&) = delete;
+  ScanCache& operator=(const ScanCache&) = delete;
+
+  // Opts `object_id` into caching (idempotent). The engine enables each
+  // indexed view's object at creation; base tables stay uncached unless a
+  // caller enables them.
+  void EnableObject(uint32_t object_id);
+
+  // Lock-free: may this object have cache state worth invalidating?
+  bool ObjectEnabled(uint32_t object_id) const {
+    return object_id < kMaxObjects &&
+           enabled_[object_id].load(std::memory_order_acquire);
+  }
+
+  // Commit hook: records that `key` of `object_id` changed at commit
+  // timestamp `visible_ts`. No-op for disabled objects.
+  void Invalidate(uint32_t object_id, const std::string& key,
+                  uint64_t visible_ts);
+
+  // One key needing slow resolution, as reported by BeginScan.
+  struct StaleKey {
+    std::string key;
+    // Write-back token: the last_stale_ts observed at scan time when the
+    // snapshot covers the key's whole invalidation history (resolution at
+    // B >= token yields the row committed at token), 0 when the resolution
+    // must not be written back (the snapshot predates part of what the
+    // cache knows about the key).
+    uint64_t token = 0;
+  };
+
+  // Attempts to serve a FULL-object scan at snapshot `snapshot_ts`.
+  // Returns false when the cache cannot serve this snapshot at all (object
+  // disabled, never published, or published above the snapshot) — the
+  // caller runs the full slow scan and may Publish it. On true, `rows`
+  // holds every served key's row (absent rows omitted) and `stale` every
+  // key the caller must resolve slowly (then report via Resolve).
+  bool BeginScan(uint32_t object_id, uint64_t snapshot_ts,
+                 std::map<std::string, Row>* rows,
+                 std::vector<StaleKey>* stale);
+
+  // Write-back after slowly resolving `key` at the snapshot passed to
+  // BeginScan. `token` is the StaleKey token (0 = no write-back);
+  // `present`/`row` describe the resolved state. Safe under races: the
+  // write-back applies only while it is the newest resolution of the key.
+  void Resolve(uint32_t object_id, const std::string& key, uint64_t token,
+               bool present, const Row& row);
+
+  // Installs the result of a full slow scan at `snapshot_ts` as the
+  // object's initial population. First publish wins; later calls and
+  // populated objects are no-ops. Keys with pending invalidations above
+  // `snapshot_ts` keep their stale marks.
+  void Publish(uint32_t object_id, uint64_t snapshot_ts,
+               const std::vector<std::pair<std::string, Row>>& rows);
+
+  // Drops all cached state of `object_id` (object drop / restart rebuild).
+  // The object stays enabled; the next slow scan re-publishes.
+  void Evict(uint32_t object_id);
+
+  struct Stats {
+    uint64_t hits = 0;            // keys served from cache
+    uint64_t misses = 0;          // keys resolved slowly
+    uint64_t full_scans = 0;      // scans the cache could not serve
+    uint64_t served_scans = 0;    // scans served (possibly with misses)
+    uint64_t invalidations = 0;   // commit-hook stale marks
+  };
+  Stats GetStats() const;
+
+ private:
+  struct CachedRow {
+    Row row;
+    bool present = false;
+    uint64_t visible_ts = 0;
+    uint64_t first_stale_ts = 0;  // earliest unreconciled change (0 = none)
+    uint64_t last_stale_ts = 0;   // latest change ever recorded
+  };
+
+  struct Entry {
+    mutable RankedMutex entry_mu_{LockRank::kScanCache, "entry_mu_"};
+    uint64_t published_ts IVDB_GUARDED_BY(entry_mu_) = 0;
+    std::map<std::string, CachedRow> keys IVDB_GUARDED_BY(entry_mu_);
+    uint64_t hits IVDB_GUARDED_BY(entry_mu_) = 0;
+    uint64_t misses IVDB_GUARDED_BY(entry_mu_) = 0;
+    uint64_t full_scans IVDB_GUARDED_BY(entry_mu_) = 0;
+    uint64_t served_scans IVDB_GUARDED_BY(entry_mu_) = 0;
+    uint64_t invalidations IVDB_GUARDED_BY(entry_mu_) = 0;
+  };
+
+  // Entry storage is allocated at EnableObject time; the pointer slot is
+  // written once (release) and read lock-free thereafter.
+  Entry* EntryFor(uint32_t object_id) const {
+    if (object_id >= kMaxObjects) return nullptr;
+    return entries_[object_id].load(std::memory_order_acquire);
+  }
+
+  std::atomic<bool> enabled_[kMaxObjects];
+  std::atomic<Entry*> entries_[kMaxObjects];
+  // Serializes EnableObject's allocate-and-install (rank reuse is fine: it
+  // never nests with an entry mutex).
+  RankedMutex enable_mu_{LockRank::kScanCache, "enable_mu_"};
+  std::vector<std::unique_ptr<Entry>> owned_ IVDB_GUARDED_BY(enable_mu_);
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_STORAGE_SCAN_CACHE_H_

@@ -284,39 +284,45 @@ void VersionStore::Commit(TxnId txn, uint64_t commit_ts) {
   }
   for (const ChainKey& ck : keys) {
     Stripe& stripe = StripeFor(ck);
-    MutexLock guard(&stripe.version_stripe_mu_);
-    auto chain_it = stripe.chains.find(ck);
-    if (chain_it == stripe.chains.end()) continue;
-    Chain& chain = chain_it->second;
-    for (ValueVersion& v : chain.values) {
-      if (v.superseded_ts == 0 && v.owner == txn) {
-        v.superseded_ts = commit_ts;
-        v.owner = 0;
+    {
+      MutexLock guard(&stripe.version_stripe_mu_);
+      auto chain_it = stripe.chains.find(ck);
+      if (chain_it == stripe.chains.end()) continue;
+      Chain& chain = chain_it->second;
+      for (ValueVersion& v : chain.values) {
+        if (v.superseded_ts == 0 && v.owner == txn) {
+          v.superseded_ts = commit_ts;
+          v.owner = 0;
+        }
       }
-    }
-    for (DeltaVersion& d : chain.deltas) {
-      if (d.commit_ts == 0 && d.owner == txn) {
-        d.commit_ts = commit_ts;
-        d.owner = 0;
+      for (DeltaVersion& d : chain.deltas) {
+        if (d.commit_ts == 0 && d.owner == txn) {
+          d.commit_ts = commit_ts;
+          d.owner = 0;
+        }
       }
-    }
-    // Keep committed value versions sorted by superseded_ts (pendings, with
-    // ts 0, conceptually sort last).
-    std::stable_sort(chain.values.begin(), chain.values.end(),
-                     [](const ValueVersion& a, const ValueVersion& b) {
-                       uint64_t ta = a.superseded_ts == 0 ? UINT64_MAX
-                                                          : a.superseded_ts;
-                       uint64_t tb = b.superseded_ts == 0 ? UINT64_MAX
-                                                          : b.superseded_ts;
-                       return ta < tb;
-                     });
+      // Keep committed value versions sorted by superseded_ts (pendings,
+      // with ts 0, conceptually sort last).
+      std::stable_sort(chain.values.begin(), chain.values.end(),
+                       [](const ValueVersion& a, const ValueVersion& b) {
+                         uint64_t ta = a.superseded_ts == 0 ? UINT64_MAX
+                                                            : a.superseded_ts;
+                         uint64_t tb = b.superseded_ts == 0 ? UINT64_MAX
+                                                            : b.superseded_ts;
+                         return ta < tb;
+                       });
 #if IVDB_CHECKS_ENABLED
-    CheckChainInvariants(chain);
+      CheckChainInvariants(chain);
 #endif
+    }
+    // Invalidation hook outside the stripe (rank 20 -> 33 only, never
+    // 40 -> 33). The commit is not yet published: any snapshot that can see
+    // commit_ts draws its begin_ts after the publish, hence after this.
+    if (commit_hook_) commit_hook_(ck.first, ck.second, commit_ts);
   }
 }
 
-void VersionStore::Abort(TxnId txn) {
+void VersionStore::Abort(TxnId txn, uint64_t retire_stamp) {
   std::vector<ChainKey> keys;
   {
     MutexLock guard(&pending_mu_);
@@ -325,24 +331,32 @@ void VersionStore::Abort(TxnId txn) {
     keys = std::move(it->second);
     pending_.erase(it);
   }
+  // Unlink under the stripes, free via the epoch reclaimer: same discipline
+  // as GarbageCollect, so NO version payload is ever destroyed while a
+  // stripe mutex is held.
+  auto batch = std::make_shared<RetiredVersions>();
   for (const ChainKey& ck : keys) {
     Stripe& stripe = StripeFor(ck);
     MutexLock guard(&stripe.version_stripe_mu_);
     auto chain_it = stripe.chains.find(ck);
     if (chain_it == stripe.chains.end()) continue;
     Chain& chain = chain_it->second;
-    chain.values.erase(
-        std::remove_if(chain.values.begin(), chain.values.end(),
-                       [txn](const ValueVersion& v) {
-                         return v.superseded_ts == 0 && v.owner == txn;
-                       }),
-        chain.values.end());
-    chain.deltas.erase(
-        std::remove_if(chain.deltas.begin(), chain.deltas.end(),
-                       [txn](const DeltaVersion& d) {
-                         return d.commit_ts == 0 && d.owner == txn;
-                       }),
-        chain.deltas.end());
+    auto mine_v = [txn](const ValueVersion& v) {
+      return v.superseded_ts == 0 && v.owner == txn;
+    };
+    auto mine_d = [txn](const DeltaVersion& d) {
+      return d.commit_ts == 0 && d.owner == txn;
+    };
+    auto v_it =
+        std::stable_partition(chain.values.begin(), chain.values.end(),
+                              [&](const ValueVersion& v) { return !mine_v(v); });
+    std::move(v_it, chain.values.end(), std::back_inserter(batch->values));
+    chain.values.erase(v_it, chain.values.end());
+    auto d_it =
+        std::stable_partition(chain.deltas.begin(), chain.deltas.end(),
+                              [&](const DeltaVersion& d) { return !mine_d(d); });
+    std::move(d_it, chain.deltas.end(), std::back_inserter(batch->deltas));
+    chain.deltas.erase(d_it, chain.deltas.end());
     if (chain.values.empty() && chain.deltas.empty()) {
       stripe.chains.erase(chain_it);
     } else {
@@ -350,6 +364,10 @@ void VersionStore::Abort(TxnId txn) {
       CheckChainInvariants(chain);
 #endif
     }
+  }
+  const uint64_t unlinked = batch->values.size() + batch->deltas.size();
+  if (unlinked > 0) {
+    reclaimer_.Retire(retire_stamp, unlinked, std::move(batch));
   }
 }
 
@@ -447,34 +465,60 @@ std::vector<std::string> VersionStore::ListChainKeys(
   return keys;
 }
 
-uint64_t VersionStore::GarbageCollect(uint64_t oldest_active_ts) {
-  uint64_t reclaimed = 0;
+uint64_t VersionStore::GarbageCollect(uint64_t oldest_active_ts,
+                                      uint64_t retire_stamp,
+                                      ChainLengthStats* stats) {
+  // Unlink-only pass: dead versions move out of the chains (under their
+  // stripe, so no reader mid-lookup can resolve to one) into a retire batch
+  // the epoch reclaimer frees once every reader pinned at or below
+  // retire_stamp has left (AdvanceReclamation). Keeping destruction out of
+  // the stripes is the point — a GC pass costs readers only the unlink.
+  uint64_t unlinked = 0;
+  auto batch = std::make_shared<RetiredVersions>();
+  std::vector<uint64_t> lengths;
   for (const auto& stripe : stripes_) {
     MutexLock guard(&stripe->version_stripe_mu_);
     for (auto it = stripe->chains.begin(); it != stripe->chains.end();) {
       Chain& chain = it->second;
-      auto dead_value = [&](const ValueVersion& v) {
-        return v.superseded_ts != 0 && v.superseded_ts <= oldest_active_ts;
+      auto live_value = [&](const ValueVersion& v) {
+        return v.superseded_ts == 0 || v.superseded_ts > oldest_active_ts;
       };
-      auto dead_delta = [&](const DeltaVersion& d) {
-        return d.commit_ts != 0 && d.commit_ts <= oldest_active_ts;
+      auto live_delta = [&](const DeltaVersion& d) {
+        return d.commit_ts == 0 || d.commit_ts > oldest_active_ts;
       };
       size_t before = chain.values.size() + chain.deltas.size();
-      chain.values.erase(
-          std::remove_if(chain.values.begin(), chain.values.end(), dead_value),
-          chain.values.end());
-      chain.deltas.erase(
-          std::remove_if(chain.deltas.begin(), chain.deltas.end(), dead_delta),
-          chain.deltas.end());
-      reclaimed += before - (chain.values.size() + chain.deltas.size());
-      if (chain.values.empty() && chain.deltas.empty()) {
+      auto v_it = std::stable_partition(chain.values.begin(),
+                                        chain.values.end(), live_value);
+      std::move(v_it, chain.values.end(), std::back_inserter(batch->values));
+      chain.values.erase(v_it, chain.values.end());
+      auto d_it = std::stable_partition(chain.deltas.begin(),
+                                        chain.deltas.end(), live_delta);
+      std::move(d_it, chain.deltas.end(), std::back_inserter(batch->deltas));
+      chain.deltas.erase(d_it, chain.deltas.end());
+      size_t after = chain.values.size() + chain.deltas.size();
+      unlinked += before - after;
+      if (after == 0) {
         it = stripe->chains.erase(it);
       } else {
+        if (stats != nullptr) lengths.push_back(after);
         ++it;
       }
     }
   }
-  return reclaimed;
+  if (unlinked > 0) {
+    reclaimer_.Retire(retire_stamp, unlinked, std::move(batch));
+  }
+  if (stats != nullptr) {
+    *stats = ChainLengthStats{};
+    stats->chain_count = lengths.size();
+    if (!lengths.empty()) {
+      std::sort(lengths.begin(), lengths.end());
+      stats->max_len = lengths.back();
+      stats->p99_len = lengths[static_cast<size_t>(
+          static_cast<double>(lengths.size() - 1) * 0.99)];
+    }
+  }
+  return unlinked;
 }
 
 uint64_t VersionStore::TotalEntries() const {

@@ -13,6 +13,7 @@
 #include "common/slice.h"
 #include "common/thread_annotations.h"
 #include "storage/btree.h"
+#include "storage/epoch_reclaimer.h"
 #include "storage/increment.h"
 #include "wal/log_record.h"
 
@@ -52,6 +53,12 @@ namespace ivdb {
 // pending_mu_, ranked below the stripes; pending notes are recorded after
 // the stripe is released, which is safe because only the owning
 // transaction's thread reads or writes its own entry until commit/abort.
+//
+// Reclamation is epoch-based (docs/INTERNALS.md §7): GarbageCollect and
+// Abort only UNLINK dead versions under the stripes; the payloads move into
+// the EpochReclaimer's retire pile and are physically freed by
+// AdvanceReclamation once every reader pinned at or below the batch's epoch
+// stamp has left the reader epoch.
 class VersionStore {
  public:
   VersionStore();
@@ -122,8 +129,20 @@ class VersionStore {
   void Commit(TxnId txn, uint64_t commit_ts);
 
   // Discards all pending entries of `txn` (the physical rollback restores
-  // the B-tree itself).
-  void Abort(TxnId txn);
+  // the B-tree itself). The removed entries are unlinked under their
+  // stripes and retired at `retire_stamp` (the epoch-clock value current at
+  // the abort; 0 = "retire at the next Advance", safe because the entries
+  // were pending — no snapshot resolves them after the unlink).
+  void Abort(TxnId txn, uint64_t retire_stamp = 0);
+
+  // Commit-visibility hook, fired once per dirty (object, key) of each
+  // Commit(txn, commit_ts) AFTER that key's stripe mutex is released. The
+  // scan cache uses it for precise invalidation. Install before concurrent
+  // use (Database construction); not synchronized.
+  using CommitHook =
+      std::function<void(uint32_t object_id, const std::string& key,
+                         uint64_t visible_ts)>;
+  void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
   // --- Reader side. ---
 
@@ -151,22 +170,40 @@ class VersionStore {
                                  uint64_t snapshot_ts, const BTree* tree,
                                  std::optional<std::string>* physical) const;
 
-  // Drops versions invisible to every snapshot with ts >= oldest_active_ts.
-  // Returns number of entries reclaimed.
-  uint64_t GarbageCollect(uint64_t oldest_active_ts);
-
-  uint64_t TotalEntries() const;
-
   // Point-in-time version-chain length distribution: entries (committed
   // versions + pending notes, value and delta alike) per chained key.
-  // Walks stripes one at a time, so it is DumpMetrics-path only — not for
-  // the hot path. p99 is the nearest-rank 99th percentile across chains
-  // (equal to max when fewer than 100 chains exist).
+  // p99 is the nearest-rank 99th percentile across chains (equal to max
+  // when fewer than 100 chains exist).
   struct ChainLengthStats {
     uint64_t chain_count = 0;
     uint64_t max_len = 0;
     uint64_t p99_len = 0;
   };
+
+  // Unlinks versions invisible to every snapshot with ts >=
+  // oldest_active_ts. Unlinked entries are NOT destroyed here: they move
+  // into the epoch reclaimer's retire pile stamped with `retire_stamp` (the
+  // epoch-clock value current at the unlink) and are freed by
+  // AdvanceReclamation once every reader pinned at or below that stamp has
+  // left the epoch. Returns the number of entries unlinked. When `stats` is
+  // non-null it is filled with the post-prune chain-length distribution
+  // collected during the same walk (no second pass over the stripes).
+  uint64_t GarbageCollect(uint64_t oldest_active_ts, uint64_t retire_stamp = 0,
+                          ChainLengthStats* stats = nullptr);
+
+  // Physically frees retired batches every epoch reader has moved past;
+  // `min_active_pin` is EpochReaderRegistry::MinActivePin(). Returns
+  // entries freed.
+  uint64_t AdvanceReclamation(uint64_t min_active_pin) {
+    return reclaimer_.Advance(min_active_pin);
+  }
+
+  EpochReclaimer* reclaimer() { return &reclaimer_; }
+
+  uint64_t TotalEntries() const;
+
+  // Standalone chain-length distribution pass (DumpMetrics-path / tests);
+  // GC passes get the same stats for free via GarbageCollect's out-param.
   ChainLengthStats CollectChainLengthStats() const;
 
   // Keys of `object_id` that currently have version chains. Snapshot scans
@@ -187,6 +224,15 @@ class VersionStore {
   };
   struct Chain {
     // Committed versions in ascending superseded_ts order, then pendings.
+    std::vector<ValueVersion> values;
+    std::vector<DeltaVersion> deltas;
+  };
+
+  // One GC/abort pass's unlinked entries, awaiting epoch retirement. Lives
+  // behind the reclaimer's type-erased payload; its destructor (run inside
+  // EpochReclaimer::Advance, the IVDB_EPOCH_RETIRE_PATH) is the only place
+  // dead versions are physically freed.
+  struct RetiredVersions {
     std::vector<ValueVersion> values;
     std::vector<DeltaVersion> deltas;
   };
@@ -231,6 +277,14 @@ class VersionStore {
   // then stamp chains one stripe at a time.
   mutable RankedMutex pending_mu_{LockRank::kVersionPending, "pending_mu_"};
   std::map<TxnId, std::vector<ChainKey>> pending_ IVDB_GUARDED_BY(pending_mu_);
+
+  // Deferred-free pile for unlinked versions (rank 38, taken with no
+  // stripe held).
+  EpochReclaimer reclaimer_;
+
+  // Fired per committed dirty key after its stripe is released; see
+  // SetCommitHook.
+  CommitHook commit_hook_;
 };
 
 }  // namespace ivdb

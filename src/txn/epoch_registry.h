@@ -1,0 +1,77 @@
+#ifndef IVDB_TXN_EPOCH_REGISTRY_H_
+#define IVDB_TXN_EPOCH_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace ivdb {
+
+// Per-core reader epochs for version-store reclamation.
+//
+// Every transaction — user, system, checkpoint reader — pins its begin
+// timestamp in one of 64 cache-line-aligned slots for its whole lifetime
+// (Enter at registration, Leave at finish). The minimum pinned timestamp
+// across all slots is the epoch-based GC horizon: no version a pinned
+// snapshot can still resolve is ever physically freed, and no mutation of
+// the shared active-transaction map is needed to compute it — the sweep
+// reads the slots one at a time, so a horizon query never contends with
+// Begin/FinishTxn beyond the single slot a thread is touching.
+//
+// The slot a thread lands in is a hash of its identity, the same scheme the
+// EpochClock uses for begin draws: repeated begin/finish cycles on one
+// thread stay on one cache line, and two threads only share a slot (and its
+// mutex) on a hash collision. Each slot holds a multiset because a thread
+// may have several transactions in flight (an engine call spawning a system
+// transaction) and distinct transactions can pin equal timestamps.
+//
+// Lock order: slot mutexes share rank kEpochSlot (12) — acquired under
+// active_mu_ (10) by the registration path, never two slots together (the
+// min sweep visits them strictly one at a time).
+class EpochReaderRegistry {
+ public:
+  static constexpr size_t kSlots = 64;
+
+  EpochReaderRegistry() = default;
+  EpochReaderRegistry(const EpochReaderRegistry&) = delete;
+  EpochReaderRegistry& operator=(const EpochReaderRegistry&) = delete;
+
+  // Pins `pin` (the transaction's begin timestamp) in this thread's slot;
+  // returns the slot index the matching Leave() must use. The pin must be
+  // recorded before the transaction performs its first read — the
+  // TransactionManager calls this inside Register(), before the descriptor
+  // is handed out.
+  size_t Enter(uint64_t pin);
+
+  // Releases one instance of `pin` from `slot` (the Enter return value).
+  void Leave(size_t slot, uint64_t pin);
+
+  // Minimum pinned timestamp across all slots; UINT64_MAX when no reader
+  // is inside any epoch. Visits slots one at a time — a pin inserted by a
+  // racing Enter() either makes this sweep or was drawn from a clock state
+  // the caller's horizon already reflects (fresh begin timestamps are
+  // strictly above every published epoch, so missing one can never lower
+  // the true minimum below the returned value's safety).
+  uint64_t MinActivePin() const;
+
+  // Number of pins currently held (tests/diagnostics).
+  uint64_t ActivePins() const;
+
+ private:
+  struct alignas(64) Slot {
+    mutable RankedMutex epoch_slot_mu_{LockRank::kEpochSlot,
+                                       "epoch_slot_mu_"};
+    std::multiset<uint64_t> pins IVDB_GUARDED_BY(epoch_slot_mu_);
+  };
+
+  static size_t SlotForThisThread();
+
+  Slot slots_[kSlots];
+};
+
+}  // namespace ivdb
+
+#endif  // IVDB_TXN_EPOCH_REGISTRY_H_

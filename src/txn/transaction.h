@@ -90,6 +90,12 @@ class Transaction {
   uint64_t begin_wall_micros() const { return begin_wall_micros_; }
   void set_begin_wall_micros(uint64_t t) { begin_wall_micros_ = t; }
 
+  // Which EpochReaderRegistry slot holds this transaction's begin_ts pin.
+  // Written inside Register (before the descriptor is published) and read by
+  // FinishTxn to release the pin.
+  size_t epoch_slot() const { return epoch_slot_; }
+  void set_epoch_slot(size_t slot) { epoch_slot_ = slot; }
+
   // Owner latch. Held (via Database's entry points) for the duration of
   // every operation performed on behalf of this transaction, so the
   // stuck-transaction watchdog can distinguish "idle between statements"
@@ -125,6 +131,7 @@ class Transaction {
   Lsn begin_floor_lsn_ = kInvalidLsn;
   bool flipped_ = false;
   uint64_t begin_wall_micros_ = 0;
+  size_t epoch_slot_ = SIZE_MAX;
   RankedMutex owner_mu_{LockRank::kTxnOwner, "owner_mu_"};
 
   // In-memory copy of this transaction's data log records, newest last;

@@ -73,6 +73,10 @@ Transaction* TransactionManager::Register(std::unique_ptr<Transaction> txn) {
     txn->trace()->Record(obs::TraceEventType::kTxnBegin, txn->id());
   }
   txn->set_begin_wall_micros(wall_clock_->NowMicros());
+  // Pin the snapshot in the reader epoch before the descriptor is handed
+  // out: from here until FinishTxn's Leave, no version this begin_ts can
+  // resolve is ever physically reclaimed (active_mu_ 10 -> slot 12).
+  txn->set_epoch_slot(epochs_.Enter(txn->begin_ts()));
   Transaction* out = txn.get();
   if (!out->is_system()) user_active_++;
   active_[out->id()] = std::move(txn);
@@ -424,7 +428,7 @@ Status TransactionManager::Abort(Transaction* txn) {
       IVDB_RETURN_NOT_OK(applier_->ApplyRedo(clr.clr_op, clr));
     }
 
-    version_store_->Abort(txn->id());
+    version_store_->Abort(txn->id(), clock_.Peek());
 
     if (wal_alive) {
       LogRecord end;
@@ -436,7 +440,7 @@ Status TransactionManager::Abort(Transaction* txn) {
       (void)log_manager_->Append(&end);
     }
   } else {
-    version_store_->Abort(txn->id());
+    version_store_->Abort(txn->id(), clock_.Peek());
   }
   FinishTxn(txn, TxnState::kAborted);
   metrics_.aborted->Add();
@@ -481,14 +485,20 @@ Status TransactionManager::RollbackToSavepoint(Transaction* txn,
 void TransactionManager::FinishTxn(Transaction* txn, TxnState final_state) {
   lock_manager_->ReleaseAll(txn->id());
   txn->set_state(final_state);
-  MutexLock guard(&active_mu_);
-  auto it = active_.find(txn->id());
-  if (it != active_.end()) {
-    finished_[txn->id()] = std::move(it->second);
-    active_.erase(it);
-    metrics_.active->Add(-1);
-    if (!txn->is_system()) user_active_--;
+  {
+    MutexLock guard(&active_mu_);
+    auto it = active_.find(txn->id());
+    if (it != active_.end()) {
+      finished_[txn->id()] = std::move(it->second);
+      active_.erase(it);
+      metrics_.active->Add(-1);
+      if (!txn->is_system()) user_active_--;
+    }
   }
+  // Leave the reader epoch only after the descriptor left the active set:
+  // the pin may raise the GC horizon the instant it disappears, and this
+  // transaction performs no further reads.
+  epochs_.Leave(txn->epoch_slot(), txn->begin_ts());
   active_cv_.NotifyAll();
   // Keep the GC horizon (Peek) moving even in read-only workloads: finish
   // of ANY transaction bumps the published epoch past every begin timestamp
@@ -568,13 +578,27 @@ void TransactionManager::WatchdogLoop() {
 }
 
 uint64_t TransactionManager::OldestActiveTs() const {
-  MutexLock guard(&active_mu_);
-  if (active_.empty()) return clock_.Peek();
-  uint64_t oldest = UINT64_MAX;
-  for (const auto& [id, txn] : active_) {
-    oldest = std::min(oldest, txn->begin_ts());
+  // Striped epoch sweep — no active_mu_. Snapshot the published clock
+  // FIRST: a transaction that registers between the Peek and the sweep
+  // either lands in the sweep or drew a begin_ts strictly above the peeked
+  // value (fresh draws exceed every published epoch), so any reader the
+  // sweep misses pins above `fallback`.
+  const uint64_t fallback = clock_.Peek();
+  const uint64_t pin = epochs_.MinActivePin();
+  if (pin == UINT64_MAX) return fallback;
+  if (pin <= fallback) return pin;
+  // pin > fallback. Visibility is decided purely by the epoch bits (commit
+  // timestamps are exact multiples of 2^kEpochShift), so while the swept
+  // minimum shares fallback's epoch it is an exact horizon: a racing
+  // registrant the sweep missed pins in this epoch or later, and within
+  // one epoch every begin_ts sees the same committed state. Only when the
+  // swept minimum is from a LATER epoch can a missed registrant still pin
+  // fallback's epoch — then fallback is the tightest safe answer.
+  if ((pin >> EpochClock::kEpochShift) ==
+      (fallback >> EpochClock::kEpochShift)) {
+    return pin;
   }
-  return oldest;
+  return fallback;
 }
 
 int TransactionManager::ActiveCount() const {

@@ -16,6 +16,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "storage/version_store.h"
+#include "txn/epoch_registry.h"
 #include "txn/transaction.h"
 #include "wal/log_manager.h"
 
@@ -199,9 +200,17 @@ class TransactionManager {
   Status LogIncrement(Transaction* txn, ObjectId object_id, std::string key,
                       std::vector<ColumnDelta> deltas);
 
-  // Oldest begin timestamp among active transactions (version-store GC
-  // horizon); the current clock value when none are active.
+  // Oldest begin timestamp pinned by any transaction inside the reader
+  // epoch (version-store GC horizon); the current clock value when none are
+  // active. Served by the EpochReaderRegistry's striped slot sweep — never
+  // touches active_mu_, so the GC driver cannot contend with Begin/Finish.
+  // Safety: a transaction registered after the sweep draws a fresh begin_ts
+  // strictly above every published epoch, hence above any horizon computed
+  // from the clock before it existed.
   uint64_t OldestActiveTs() const;
+
+  // The reader-epoch registry (epoch reclamation + tests).
+  EpochReaderRegistry* epochs() { return &epochs_; }
 
   int ActiveCount() const;
 
@@ -306,6 +315,11 @@ class TransactionManager {
   // epochs are reserved/published under visibility_mu_ (see class comment).
   EpochClock clock_;
   std::atomic<TxnId> next_txn_id_{1};
+
+  // Reader-epoch registry: every live transaction pins its begin_ts here
+  // (Enter in Register, Leave in FinishTxn); the minimum pin is the
+  // version-store reclamation horizon.
+  EpochReaderRegistry epochs_;
 
   // Serializes commit-epoch draws + the in-LSN-order version-store flip
   // sequencer (see class comment). Begin's snapshot draw no longer takes

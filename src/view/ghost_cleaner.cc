@@ -1,5 +1,6 @@
 #include "view/ghost_cleaner.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "catalog/schema.h"
@@ -39,7 +40,8 @@ GhostCleaner::GhostCleaner(ObjectId view_id, size_t count_column,
                                           : owned_registry_.get(),
                options.view_name),
       clock_(options.clock != nullptr ? options.clock : Clock::Default()),
-      flight_(options.flight) {}
+      flight_(options.flight),
+      lag_gauge_(options.lag_gauge) {}
 
 GhostCleaner::~GhostCleaner() { Stop(); }
 
@@ -72,73 +74,105 @@ Status GhostCleaner::RunOnce(uint64_t* reclaimed_out) {
   uint64_t reclaimed = 0;
   uint64_t errors = 0;
   Status pass_status;
-  for (const std::string& key : candidates) {
+  for (size_t base = 0; base < candidates.size() && pass_status.ok();
+       base += kReclaimBatch) {
+    const size_t batch_end =
+        std::min(candidates.size(), base + kReclaimBatch);
+    // One system transaction deletes the whole batch: one commit record and
+    // one WAL flush per kReclaimBatch ghosts instead of per ghost.
     Transaction* sys = txns_->BeginSystem();
-    Status lock_status =
-        locks_->TryLock(sys->id(), ResourceId::Key(view_id_, key),
-                        LockMode::kX);
-    if (!lock_status.ok()) {
-      // Some transaction still holds E (uncommitted contributions) or is
-      // reading the row; leave the ghost for a later pass.
-      metrics_.skipped_locked->Add();
-      // Nothing was written under `sys`; the skip itself is the outcome.
+    uint64_t batch_deleted = 0;
+    for (size_t i = base; i < batch_end; i++) {
+      const std::string& key = candidates[i];
+      Status lock_status =
+          locks_->TryLock(sys->id(), ResourceId::Key(view_id_, key),
+                          LockMode::kX);
+      if (!lock_status.ok()) {
+        // Some transaction still holds E (uncommitted contributions) or is
+        // reading the row; leave the ghost for a later pass. A failed
+        // TryLock grants nothing, so there is nothing to undo.
+        metrics_.skipped_locked->Add();
+        continue;
+      }
+      std::string value;
+      bool still_ghost = false;
+      if (tree->Get(key, &value)) {
+        Row row;
+        Status s = DecodeRow(value, &row);
+        if (s.ok() && count_column_ < row.size() &&
+            row[count_column_].AsInt64() == 0) {
+          still_ghost = true;
+        }
+      }
+      if (!still_ghost) {
+        // Revived (or gone) before we got the lock; the X lock rides until
+        // the batch commit — brief, and only on a just-revived row.
+        metrics_.skipped_revived->Add();
+        continue;
+      }
+      // Per-row statement atomicity inside the batch: a failed delete is
+      // compensated back to its own savepoint and the batch carries on.
+      TransactionManager::Savepoint sp = TransactionManager::GetSavepoint(sys);
+      Status s = txns_->LogDelete(sys, view_id_, key, value);
+      if (s.ok()) {
+        s = versions_->ApplyWithPendingWrite(view_id_, key, value, sys->id(),
+                                             [&] {
+                                               tree->Delete(key);
+                                               return Status::OK();
+                                             });
+      }
+      if (!s.ok()) {
+        // A ghost is logically absent either way, so a failed reclamation
+        // costs space, not correctness: roll this row back, count it, keep
+        // sweeping. Only a degraded engine (kUnavailable is sticky — every
+        // further row would fail the same way) or a non-transient error
+        // (corruption) stops the pass.
+        errors++;
+        metrics_.errors->Add();
+        (void)txns_->RollbackToSavepoint(sys, sp);
+        if (s.IsUnavailable() || (!s.IsTransient() && !s.IsIOError())) {
+          pass_status = s;
+          break;
+        }
+        continue;
+      }
+      batch_deleted++;
+    }
+    if (!pass_status.ok()) {
+      // The pass is stopping early; throw the unfinished batch away.
       (void)txns_->Abort(sys);
       txns_->Forget(sys);
-      continue;
+      break;
     }
-    std::string value;
-    bool still_ghost = false;
-    if (tree->Get(key, &value)) {
-      Row row;
-      Status s = DecodeRow(value, &row);
-      if (s.ok() && count_column_ < row.size() &&
-          row[count_column_].AsInt64() == 0) {
-        still_ghost = true;
-      }
-    }
-    if (!still_ghost) {
-      metrics_.skipped_revived->Add();
-      // Empty read-only txn: commit releases the lock; there is no write
-      // whose durability could fail.
-      (void)txns_->Commit(sys);
-      txns_->Forget(sys);
-      continue;
-    }
-    Status s = txns_->LogDelete(sys, view_id_, key, value);
-    if (s.ok()) {
-      s = versions_->ApplyWithPendingWrite(view_id_, key, value, sys->id(),
-                                           [&] {
-                                             tree->Delete(key);
-                                             return Status::OK();
-                                           });
-    }
-    if (s.ok()) {
-      s = txns_->Commit(sys);
-    }
-    // Cleanup abort on the failure path; `s` is the error we account below.
+    // An all-skips batch commits an empty transaction, which just releases
+    // whatever recheck locks it picked up.
+    Status commit_status = txns_->Commit(sys);
     if (sys->state() == TxnState::kActive) (void)txns_->Abort(sys);
     txns_->Forget(sys);
-    if (!s.ok()) {
-      // A ghost is logically absent either way, so a failed reclamation
-      // costs space, not correctness: count it and keep sweeping. Only a
-      // degraded engine (kUnavailable is sticky — every further row would
-      // fail the same way) or a non-transient error (corruption) stops the
-      // pass.
-      errors++;
-      metrics_.errors->Add();
-      if (s.IsUnavailable() || (!s.IsTransient() && !s.IsIOError())) {
-        pass_status = s;
-        break;
+    if (!commit_status.ok()) {
+      // The whole batch failed together (commit is all-or-nothing).
+      errors += batch_deleted;
+      metrics_.errors->Add(batch_deleted == 0 ? 1 : batch_deleted);
+      if (commit_status.IsUnavailable() ||
+          (!commit_status.IsTransient() && !commit_status.IsIOError())) {
+        pass_status = commit_status;
       }
-      continue;
+    } else {
+      reclaimed += batch_deleted;
     }
-    reclaimed++;
   }
   last_pass_errors_.store(errors, std::memory_order_release);
   metrics_.reclaimed->Add(reclaimed);
   obs::EmitTrace(obs::TraceEventType::kGhostCleanup, view_id_, reclaimed);
   const uint64_t pass_end = clock_->NowMicros();
-  last_pass_end_micros_.store(pass_end, std::memory_order_relaxed);
+  const uint64_t prev_end =
+      last_pass_end_micros_.exchange(pass_end, std::memory_order_acq_rel);
+  if (lag_gauge_ != nullptr) {
+    // Live pass-to-pass lag; DumpMetrics ages the same gauge when the
+    // cleaner goes quiet (see Options::lag_gauge).
+    lag_gauge_->Set(
+        prev_end == 0 ? 0 : static_cast<int64_t>(pass_end - prev_end));
+  }
   if (flight_ != nullptr) {
     flight_->Emit(obs::FlightEventType::kGhostPass, pass_start,
                   pass_end - pass_start, view_id_, reclaimed);
@@ -154,7 +188,9 @@ void GhostCleaner::Start(uint64_t interval_micros) {
     if (flight_ != nullptr) flight_->SetThreadName("ghost-cleaner");
     uint64_t interval = interval_micros;
     while (running_.load(std::memory_order_acquire)) {
+      const uint64_t pass_begin = clock_->NowMicros();
       Status s = RunOnce();
+      const uint64_t pass_micros = clock_->NowMicros() - pass_begin;
       if (!s.ok() || last_pass_errors_.load(std::memory_order_acquire) > 0) {
         // Erroring pass: the engine is degraded or flaky. Back off
         // (doubling, capped at 16x) so a struggling engine is probed
@@ -163,6 +199,13 @@ void GhostCleaner::Start(uint64_t interval_micros) {
       } else {
         interval = interval_micros;
       }
+      // Duty-cycle cap: sleep at least as long as the pass itself ran, so
+      // cleanup occupies at most half the wall clock. A pass holds batch X
+      // locks on the rows it reclaims; back-to-back passes (a short
+      // configured interval on a slow machine or sanitizer build) would
+      // keep re-taking them and starve foreground transactions trying to
+      // stabilize a freshly created aggregate row.
+      interval = std::max(interval, pass_micros);
       // Sleep in small slices so Stop() is responsive.
       uint64_t slept = 0;
       while (slept < interval && running_.load(std::memory_order_acquire)) {

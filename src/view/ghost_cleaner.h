@@ -39,17 +39,25 @@ struct GhostCleanerMetrics {
 // Escrow updates can decrement a group's count to zero, but the holder of an
 // E lock must not delete the row: a concurrent E holder may be about to
 // increment it, and deletion does not commute. So the row is left behind as
-// a ghost and reclaimed here, one short system transaction per row:
+// a ghost and reclaimed here by short system transactions, each deleting a
+// batch of up to kReclaimBatch rows:
 //
 //   TryLock X (instant)  — succeeds only when *no* transaction holds E/S/X,
 //                          i.e. every contributor has committed or aborted
 //   re-check count == 0  — it may have been revived in the meantime
-//   log DELETE, remove   — commit immediately
+//   log DELETE, remove   — batch commits once, amortizing the WAL flush
 //
-// Rows that are busy are simply skipped; a later pass gets them. This is the
-// paper's "asynchronous ghost cleanup" system transaction.
+// Rows that are busy are simply skipped (a failed TryLock leaves nothing to
+// undo); a row whose delete fails mid-batch is rolled back to its own
+// savepoint, so one bad row never poisons its batchmates. A later pass gets
+// the skipped rows. This is the paper's "asynchronous ghost cleanup" system
+// transaction, batched so a big backlog (e.g. the post-checkpoint piggyback
+// pass) costs one commit per ~hundred ghosts, not per ghost.
 class GhostCleaner {
  public:
+  // Ghost deletions per system transaction (one WAL commit per batch).
+  static constexpr size_t kReclaimBatch = 128;
+
   struct Options {
     // Unified metrics registry (`ivdb_ghost_*{view="..."}` instruments);
     // nullptr => the cleaner owns a private registry.
@@ -62,6 +70,11 @@ class GhostCleaner {
     // Engine flight recorder: the background thread names its lane
     // ("ghost-cleaner") and records one span per pass. nullptr disables.
     obs::FlightRecorder* flight = nullptr;
+    // Per-view lag gauge, set LIVE at the end of every pass to the interval
+    // since the previous pass (0 on the first). DumpMetrics() additionally
+    // ages the same gauge to now - last_pass_end, so a stopped cleaner
+    // reads as growing lag. nullptr disables the live update.
+    obs::Gauge* lag_gauge = nullptr;
   };
 
   GhostCleaner(ObjectId view_id, size_t count_column, IndexResolver* resolver,
@@ -113,6 +126,7 @@ class GhostCleaner {
 
   Clock* const clock_;
   obs::FlightRecorder* const flight_;
+  obs::Gauge* const lag_gauge_;
 
   std::atomic<bool> running_{false};
   std::thread thread_;

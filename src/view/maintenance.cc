@@ -1,5 +1,6 @@
 #include "view/maintenance.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "common/logging.h"
@@ -87,6 +88,7 @@ ViewMaintainer::ViewMaintainer(ViewDefinition definition, ObjectId view_id,
       txns_(txns),
       versions_(versions),
       options_(options),
+      clock_(options_.clock != nullptr ? options_.clock : Clock::Default()),
       owned_registry_(options_.metrics == nullptr
                           ? std::make_unique<obs::MetricsRegistry>()
                           : nullptr),
@@ -294,12 +296,25 @@ Status ViewMaintainer::ApplyAggregateDelta(Transaction* txn,
 
   const LockMode row_mode =
       options_.use_escrow ? LockMode::kE : LockMode::kX;
+  // A Busy ghost creation or a create/reclaim race usually means the ghost
+  // cleaner holds X on this row until its current batch commits — a window
+  // of many milliseconds on a slow or sanitizer build. Instant retries
+  // would burn every attempt inside that one window, so escalate the wait
+  // so the attempt budget spans several cleaner passes.
+  const auto backoff = [&](int attempt) {
+    if (attempt == 0) {
+      std::this_thread::yield();
+      return;
+    }
+    clock_->SleepMicros(std::min<uint64_t>(
+        uint64_t{100} << std::min(attempt - 1, 5), 5000));
+  };
   bool locked_and_present = false;
   for (int attempt = 0; attempt < options_.max_apply_attempts; attempt++) {
     if (!tree->Contains(key)) {
       Status s = CreateGhost(key, delta.group);
       if (s.IsBusy()) {
-        std::this_thread::yield();
+        backoff(attempt);
         continue;
       }
       IVDB_RETURN_NOT_OK(s);
@@ -313,6 +328,7 @@ Status ViewMaintainer::ApplyAggregateDelta(Transaction* txn,
     // The ghost cleaner reclaimed the row between creation and our lock
     // acquisition; go around again.
     metrics_.ghost_create_races->Add();
+    backoff(attempt);
   }
   if (!locked_and_present) {
     return Status::Busy("could not stabilize aggregate row for maintenance");

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/clock.h"
 #include "lock/lock_manager.h"
 #include "obs/metrics.h"
 #include "storage/btree.h"
@@ -71,6 +72,8 @@ class ViewMaintainer {
     // Unified metrics registry (`ivdb_view_*{view="..."}` instruments);
     // nullptr => the maintainer owns a private registry.
     obs::MetricsRegistry* metrics = nullptr;
+    // Time source for the stabilize-loop backoff; nullptr => Clock::Default().
+    Clock* clock = nullptr;
   };
 
   ViewMaintainer(ViewDefinition definition, ObjectId view_id,
@@ -146,6 +149,7 @@ class ViewMaintainer {
   TransactionManager* const txns_;
   VersionStore* const versions_;
   const Options options_;
+  Clock* const clock_;
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
   mutable ViewMaintainerMetrics metrics_;
   // Escrow constraints derived from AggregateSpec::min_value.

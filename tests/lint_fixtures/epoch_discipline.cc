@@ -1,0 +1,62 @@
+// Fixture: the clean twin of epoch_discipline_broken.cc — the sanctioned
+// shape of epoch-based version reclamation, so ivdb_lint --fixtures asserts
+// ZERO findings (no LINT-EXPECT).
+//
+//   * Retiring (handing a batch to the pile) is not destruction: push_back
+//     on a retired/garbage container is fine anywhere.
+//   * Physical destruction of retired garbage happens only inside a
+//     function marked IVDB_EPOCH_RETIRE_PATH — the place that has proven,
+//     via the minimum active reader pin, that no reader can still be
+//     traversing the unlinked versions.
+//   * Reads (size/empty/front) of the pile never fire the rule.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#define IVDB_EPOCH_RETIRE_PATH
+
+namespace ivdb {
+namespace lint_fixture {
+
+struct RetiredBatch {
+  uint64_t stamp = 0;
+  std::vector<std::string> values;
+};
+
+std::deque<RetiredBatch> retired_pile_;
+
+// Handing garbage to the pile is not destruction.
+void Retire(uint64_t stamp, std::vector<std::string> values) {
+  RetiredBatch batch;
+  batch.stamp = stamp;
+  batch.values = std::move(values);
+  retired_pile_.push_back(std::move(batch));
+}
+
+// Reads of the pile are fine outside the retire path.
+uint64_t OldestStamp() {
+  return retired_pile_.empty() ? 0 : retired_pile_.front().stamp;
+}
+
+// The one sanctioned destruction site: annotated, so the brace-tracked body
+// (including nested scopes) may pop and clear retired garbage.
+IVDB_EPOCH_RETIRE_PATH
+uint64_t Advance(uint64_t min_active_pin) {
+  std::vector<RetiredBatch> retirable_garbage;
+  while (!retired_pile_.empty() &&
+         retired_pile_.front().stamp < min_active_pin) {
+    retirable_garbage.push_back(std::move(retired_pile_.front()));
+    retired_pile_.pop_front();
+  }
+  const uint64_t freed = retirable_garbage.size();
+  {
+    // Nested scope inside the annotated body is still sanctioned.
+    retirable_garbage.clear();
+  }
+  return freed;
+}
+
+}  // namespace lint_fixture
+}  // namespace ivdb

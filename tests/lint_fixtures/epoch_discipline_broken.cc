@@ -1,0 +1,36 @@
+// Fixture: epoch-reclamation discipline violations. The broken twin of
+// epoch_discipline.cc; ivdb_lint --fixtures asserts the expected rule fires.
+//
+// LINT-EXPECT: epoch-discipline
+//
+// Destroying retired version garbage outside an IVDB_EPOCH_RETIRE_PATH
+// function frees memory a concurrent epoch reader may still be traversing —
+// exactly the use-after-free the reclaimer's pin protocol exists to prevent.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace ivdb {
+namespace lint_fixture {
+
+struct RetiredBatch {
+  uint64_t stamp = 0;
+  std::vector<std::string> values;
+};
+
+std::deque<RetiredBatch> retired_pile_;
+
+// BROKEN: drops the whole retire pile with no proof that every reader left
+// the epoch — the function is not marked IVDB_EPOCH_RETIRE_PATH.
+void DropEverything() { retired_pile_.clear(); }
+
+// BROKEN: popping retired garbage outside the retire path frees versions a
+// pinned reader may still dereference.
+void PopOne() {
+  if (!retired_pile_.empty()) retired_pile_.pop_front();
+}
+
+}  // namespace lint_fixture
+}  // namespace ivdb

@@ -383,6 +383,55 @@ void CheckAdhocRetry(const std::string& path, const std::string& stripped,
 }
 
 // Runs every rule over one file's content.
+void CheckEpochDiscipline(const std::string& path, const std::string& stripped,
+                          std::vector<Finding>* findings) {
+  // Epoch-based reclamation discipline (docs/INTERNALS.md §7): unlinked
+  // version garbage ("retired"/"garbage" identifiers) must be physically
+  // destroyed only inside a function marked IVDB_EPOCH_RETIRE_PATH — the
+  // place that has proven every reader left the epoch. A destructive
+  // container call on such an identifier anywhere else is a use-after-free
+  // factory: some reader may still be traversing the versions.
+  if (path.rfind("src/", 0) != 0 &&
+      path.rfind("tests/lint_fixtures/", 0) != 0) {
+    return;
+  }
+  static const std::regex re_destroy(
+      R"(\b[A-Za-z0-9_]*(garbage|retired)[A-Za-z0-9_]*\s*(\.|->)\s*(clear|erase|pop_back|pop_front|resize|swap|shrink_to_fit)\s*\()");
+  const std::vector<std::string> lines = SplitLines(stripped);
+  int depth = 0;
+  bool pending_annotation = false;  // macro seen; body not yet entered
+  int sanctioned_depth = -1;        // brace depth of the annotated body
+  for (size_t i = 0; i < lines.size(); i++) {
+    const std::string& line = lines[i];
+    if (line.find("IVDB_EPOCH_RETIRE_PATH") != std::string::npos) {
+      pending_annotation = true;
+    }
+    // A one-line annotated body opens and closes its sanctioned scope on
+    // this very line, so remember whether it was active at any point.
+    bool sanctioned_on_line = sanctioned_depth >= 0;
+    for (char ch : line) {
+      if (ch == '{') {
+        depth++;
+        if (pending_annotation && sanctioned_depth < 0) {
+          sanctioned_depth = depth;
+          sanctioned_on_line = true;
+          pending_annotation = false;
+        }
+      } else if (ch == '}') {
+        if (depth == sanctioned_depth) sanctioned_depth = -1;
+        depth--;
+      }
+    }
+    if (!sanctioned_on_line && std::regex_search(line, re_destroy)) {
+      findings->push_back(
+          {path, static_cast<int>(i + 1), "epoch-discipline",
+           "retired version garbage destroyed outside an "
+           "IVDB_EPOCH_RETIRE_PATH function; physical frees must go through "
+           "the epoch reclaimer's retire path (storage/epoch_reclaimer.h)"});
+    }
+  }
+}
+
 void LintContent(const std::string& path, const std::string& raw,
                  std::vector<Finding>* findings) {
   const std::string stripped = StripCommentsAndLiterals(raw);
@@ -399,6 +448,7 @@ void LintContent(const std::string& path, const std::string& raw,
   CheckAdhocStats(path, stripped, findings);
   CheckWalNaming(path, literals_kept, findings);
   CheckAdhocRetry(path, stripped, findings);
+  CheckEpochDiscipline(path, stripped, findings);
 }
 
 // ===========================================================================
@@ -983,6 +1033,9 @@ std::vector<Finding> AnalyzeSingleFile(const std::string& path,
   std::vector<MutexDecl> decls;
   CollectMutexDecls(path, fc, ranks, &decls, &findings);
   CheckStdMutexTokens(path, fc, &findings);
+  // Fixtures exercise the epoch-retire discipline too (the rule is
+  // per-file, so running it here keeps fixture analysis self-contained).
+  CheckEpochDiscipline(path, fc.stripped, &findings);
   std::map<std::string, FnAnnotation> fns;
   CollectFnAnnotations(fc, &fns);
   std::vector<GuardedFieldDecl> fields;
@@ -1361,6 +1414,24 @@ int SelfTest() {
       {"Clock::SleepMicros is fine", "src/foo/bar.cc",
        "#include \"foo/bar.h\"\nvoid F(Clock* c) { c->SleepMicros(100); }\n",
        nullptr},
+      {"garbage destroyed outside retire path fires", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F() { retired_batches_.clear(); }\n",
+       "epoch-discipline"},
+      {"garbage swap outside retire path fires", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F(std::vector<int>& v) { "
+       "version_garbage.swap(v); }\n",
+       "epoch-discipline"},
+      {"annotated retire path is fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nIVDB_EPOCH_RETIRE_PATH\nvoid F() { "
+       "retired_batches_.clear(); }\n",
+       nullptr},
+      {"non-garbage identifiers are fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nvoid F() { pending_.clear(); }\n", nullptr},
+      {"garbage reads are fine", "src/foo/bar.cc",
+       "#include \"foo/bar.h\"\nsize_t F() { return retired_.size(); }\n",
+       nullptr},
+      {"epoch rule ignores other trees", "tools/foo.cpp",
+       "void F() { retired_.clear(); }\n", nullptr},
   };
 
   int failures = 0;
